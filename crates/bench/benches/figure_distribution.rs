@@ -1,0 +1,59 @@
+//! Criterion bench for the Figure 1/2 post-processing: producing the voltage
+//! drop distribution at a probe node from the OPERA expansion (pure sampling
+//! of the explicit polynomial, no circuit solves) versus extracting it from
+//! Monte Carlo traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use opera::analysis::probe_distributions;
+use opera::monte_carlo::{run as run_monte_carlo, MonteCarloOptions};
+use opera::stochastic::{solve, OperaOptions};
+use opera::transient::TransientOptions;
+use opera_grid::GridSpec;
+use opera_pce::sampling;
+use opera_variation::{StochasticGridModel, VariationSpec};
+
+fn bench_distribution(c: &mut Criterion) {
+    let grid = GridSpec::paper_grid(0)
+        .scaled_nodes(0.02)
+        .with_seed(2)
+        .build()
+        .expect("grid generation");
+    let model = StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults())
+        .expect("variation model");
+    let transient = TransientOptions::new(0.1e-9, grid.waveform_end_time());
+    let opera = solve(&model, &OperaOptions::order2(transient)).expect("opera");
+    let (node, k, _) = opera.worst_mean_drop(grid.vdd());
+    let mc = run_monte_carlo(
+        &model,
+        &MonteCarloOptions {
+            samples: 50,
+            seed: 5,
+            transient,
+            probe_nodes: vec![node],
+        },
+    )
+    .expect("monte carlo");
+
+    let mut group = c.benchmark_group("figure12_distribution");
+    group.sample_size(20);
+
+    group.bench_function("sample_opera_expansion_1000", |b| {
+        let series = opera.node_series(k, node).expect("series");
+        b.iter(|| {
+            let samples = sampling::sample_standard(series.basis(), 1000, 99);
+            sampling::evaluate_at_samples(&series, &samples).expect("evaluation")
+        })
+    });
+
+    group.bench_function("build_probe_histograms", |b| {
+        b.iter(|| {
+            probe_distributions(&opera, &mc, grid.vdd(), node, k, 30, 7).expect("histograms")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_distribution);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the ablation on expansion order and number of random
+//! variables: the cost of the OPERA solve grows with the basis size
+//! `N + 1 = C(r + p, p)` (the paper's O(r^p) complexity discussion, §5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use opera::stochastic::{solve, OperaOptions};
+use opera::transient::TransientOptions;
+use opera_grid::GridSpec;
+use opera_variation::{StochasticGridModel, VariationSpec};
+
+fn bench_order_sweep(c: &mut Criterion) {
+    let grid = GridSpec::industrial(400).with_seed(9).build().expect("grid");
+    let spec = VariationSpec::paper_defaults();
+    let transient = TransientOptions::new(0.1e-9, grid.waveform_end_time());
+
+    let models = [
+        ("vars2", StochasticGridModel::inter_die(&grid, &spec).expect("model")),
+        (
+            "vars3",
+            StochasticGridModel::inter_die_three_variable(&grid, &spec).expect("model"),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("opera_order_sweep");
+    group.sample_size(10);
+    for (label, model) in &models {
+        for order in 1..=3u32 {
+            group.bench_with_input(
+                BenchmarkId::new(*label, order),
+                &order,
+                |b, &order| {
+                    b.iter(|| {
+                        solve(model, &OperaOptions::with_order(order, transient)).expect("opera solve")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_order_sweep);
+criterion_main!(benches);

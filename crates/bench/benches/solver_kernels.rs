@@ -1,0 +1,68 @@
+//! Criterion bench for the sparse-solver kernels that dominate both OPERA and
+//! Monte Carlo: fill-reducing ordering, Cholesky factorisation, triangular
+//! solves and preconditioned CG on power-grid conductance matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use opera_grid::GridSpec;
+use opera_sparse::{cg, CholeskyFactor, OrderingChoice};
+
+fn bench_solver_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_kernels");
+    group.sample_size(10);
+
+    for &nodes in &[500usize, 2_000] {
+        let grid = GridSpec::industrial(nodes)
+            .with_seed(nodes as u64)
+            .build()
+            .expect("grid");
+        let g = grid.conductance_matrix();
+        let u = grid.excitation(0.0);
+
+        group.bench_with_input(BenchmarkId::new("rcm_ordering", nodes), &g, |b, g| {
+            b.iter(|| opera_sparse::ordering::reverse_cuthill_mckee(&g.to_csc()))
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("cholesky_factor_rcm", nodes),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    CholeskyFactor::factor_with(g, OrderingChoice::ReverseCuthillMckee)
+                        .expect("factor")
+                })
+            },
+        );
+
+        let chol = CholeskyFactor::factor(&g).expect("factor");
+        group.bench_with_input(
+            BenchmarkId::new("cholesky_solve", nodes),
+            &(&chol, &u),
+            |b, (chol, u)| b.iter(|| chol.solve(u)),
+        );
+
+        let ic = cg::IncompleteCholesky::new(&g).expect("ic0");
+        group.bench_with_input(
+            BenchmarkId::new("pcg_ic0", nodes),
+            &(&g, &u, &ic),
+            |b, (g, u, ic)| {
+                b.iter(|| {
+                    cg::solve(
+                        g,
+                        u,
+                        *ic,
+                        cg::CgOptions {
+                            max_iterations: 10_000,
+                            tolerance: 1e-10,
+                        },
+                    )
+                    .expect("cg")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_kernels);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for the Section 5.1 special case: RHS-only (leakage)
+//! variation solved with a single shared factorisation, versus the
+//! corresponding Monte Carlo baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use opera::monte_carlo::{run_leakage, MonteCarloOptions};
+use opera::special_case::{solve_leakage, SpecialCaseOptions};
+use opera::transient::TransientOptions;
+use opera_grid::GridSpec;
+use opera_variation::LeakageModel;
+
+fn bench_special_case(c: &mut Criterion) {
+    let grid = GridSpec::industrial(800).with_seed(12).build().expect("grid");
+    let leakage = LeakageModel::uniform_slices(grid.node_count(), 2, 3.0e-5, 0.04, 23.0)
+        .expect("leakage model");
+    let transient = TransientOptions::new(0.1e-9, grid.waveform_end_time());
+
+    let mut group = c.benchmark_group("special_case_leakage");
+    group.sample_size(10);
+
+    group.bench_function("opera_special_case_order2", |b| {
+        b.iter(|| {
+            solve_leakage(&grid, &leakage, &SpecialCaseOptions::order2(transient))
+                .expect("special case")
+        })
+    });
+
+    group.bench_function("opera_special_case_order3", |b| {
+        b.iter(|| {
+            solve_leakage(
+                &grid,
+                &leakage,
+                &SpecialCaseOptions {
+                    order: 3,
+                    transient,
+                },
+            )
+            .expect("special case")
+        })
+    });
+
+    group.bench_function("monte_carlo_10_samples", |b| {
+        b.iter(|| {
+            run_leakage(&grid, &leakage, &MonteCarloOptions::new(10, 3, transient))
+                .expect("monte carlo")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_special_case);
+criterion_main!(benches);

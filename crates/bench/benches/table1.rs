@@ -1,0 +1,53 @@
+//! Criterion bench for the Table 1 runtime comparison: OPERA (one augmented
+//! transient solve) versus Monte Carlo (per-sample transient solves) on a
+//! scaled version of the paper's first grid.
+//!
+//! The paper's speed-up column is the ratio of the two; Criterion reports the
+//! absolute times of each side. The per-sample Monte Carlo bench measures 10
+//! samples, so the equivalent 1000-sample run is 100× the reported time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use opera::monte_carlo::{run as run_monte_carlo, MonteCarloOptions};
+use opera::stochastic::{solve, OperaOptions};
+use opera::transient::TransientOptions;
+use opera_grid::GridSpec;
+use opera_variation::{StochasticGridModel, VariationSpec};
+
+fn bench_table1(c: &mut Criterion) {
+    let grid = GridSpec::paper_grid(0)
+        .scaled_nodes(0.03) // ≈ 575 nodes so the bench stays in seconds
+        .with_seed(1)
+        .build()
+        .expect("grid generation");
+    let model = StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults())
+        .expect("variation model");
+    let transient = TransientOptions::new(0.05e-9, grid.waveform_end_time());
+
+    let mut group = c.benchmark_group("table1_row1_scaled");
+    group.sample_size(10);
+
+    group.bench_function("opera_order2", |b| {
+        b.iter_batched(
+            || (),
+            |_| solve(&model, &OperaOptions::order2(transient)).expect("opera solve"),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("monte_carlo_10_samples", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                run_monte_carlo(&model, &MonteCarloOptions::new(10, 3, transient))
+                    .expect("monte carlo")
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Runs the complete (scaled) experiment suite in one go and prints every
+//! result recorded in EXPERIMENTS.md: the Table 1 reproduction, the
+//! Figure 1/2 distributions, the order/variable ablation and the special
+//! case of Section 5.1.
+//!
+//! ```text
+//! cargo run --release -p opera-bench --bin experiments_report
+//! ```
+
+use opera::analysis::run_experiment;
+use opera::compare::compare;
+use opera::monte_carlo::{run as run_monte_carlo, run_leakage, MonteCarloOptions};
+use opera::special_case::{solve_leakage, SpecialCaseOptions};
+use opera::stochastic::{solve, OperaOptions};
+use opera::transient::TransientOptions;
+use opera_bench::{
+    ascii_histogram, mc_samples_from_env, scale_from_env, table1_config, table1_header,
+    table1_row_line,
+};
+use opera_grid::GridSpec;
+use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env();
+    let samples = mc_samples_from_env();
+
+    // ------------------------------------------------------------------ Table 1
+    println!("==== Experiment 1: Table 1 (scale {scale}, {samples} MC samples) ====");
+    println!("{}", table1_header());
+    let mut first_report = None;
+    for row in 0..7 {
+        let report = run_experiment(&table1_config(row, scale, samples))?;
+        println!("{}", table1_row_line(&report));
+        if row == 0 {
+            first_report = Some(report);
+        }
+    }
+
+    // --------------------------------------------------------------- Figures 1–2
+    println!("\n==== Experiment 2: Figures 1 & 2 (drop distribution at the worst node) ====");
+    let report = first_report.expect("row 0 ran above");
+    let dist = &report.distribution;
+    println!("probe node {} at time index {}", dist.node, dist.time_index);
+    println!(
+        "{}",
+        ascii_histogram(
+            "Monte Carlo (% of occurrences per drop bin, drop in % of VDD)",
+            &dist.monte_carlo.centers(),
+            &dist.monte_carlo.percentages()
+        )
+    );
+    println!(
+        "{}",
+        ascii_histogram(
+            "OPERA (sampled from the order-2 expansion)",
+            &dist.opera.centers(),
+            &dist.opera.percentages()
+        )
+    );
+
+    // -------------------------------------------------- Order / variable ablation
+    println!("==== Experiment 3: expansion order and variable-count ablation ====");
+    let grid = GridSpec::industrial((19_181.0 * scale) as usize)
+        .with_seed(71)
+        .build()?;
+    let transient = TransientOptions::new(0.05e-9, grid.waveform_end_time());
+    let spec = VariationSpec::paper_defaults();
+    println!(
+        "{:<26} {:>5} {:>6} {:>12} {:>12} {:>10}",
+        "model", "order", "N+1", "µ err %VDD", "σ err %", "OPERA (s)"
+    );
+    for (name, model) in [
+        ("2 vars (ξ_G, ξ_L)", StochasticGridModel::inter_die(&grid, &spec)?),
+        (
+            "3 vars (ξ_W, ξ_T, ξ_L)",
+            StochasticGridModel::inter_die_three_variable(&grid, &spec)?,
+        ),
+    ] {
+        let mc = run_monte_carlo(&model, &MonteCarloOptions::new(samples, 17, transient))?;
+        for order in 1..=3u32 {
+            let started = std::time::Instant::now();
+            let sol = solve(&model, &OperaOptions::with_order(order, transient))?;
+            let secs = started.elapsed().as_secs_f64();
+            let err = compare(&sol, &mc, grid.vdd());
+            println!(
+                "{:<26} {:>5} {:>6} {:>12.5} {:>12.2} {:>10.3}",
+                name,
+                order,
+                sol.basis_size(),
+                err.avg_mean_error_percent,
+                err.avg_std_error_percent,
+                secs
+            );
+        }
+    }
+
+    // ------------------------------------------------------------ Special case 5.1
+    println!("\n==== Experiment 4: special case (RHS-only leakage variation, Section 5.1) ====");
+    let leakage = LeakageModel::uniform_slices(grid.node_count(), 2, 3.0e-5, 0.04, 23.0)?;
+    let started = std::time::Instant::now();
+    let sol = solve_leakage(&grid, &leakage, &SpecialCaseOptions::order2(transient))?;
+    let opera_secs = started.elapsed().as_secs_f64();
+    let started = std::time::Instant::now();
+    let mc = run_leakage(&grid, &leakage, &MonteCarloOptions::new(samples, 23, transient))?;
+    let mc_secs = started.elapsed().as_secs_f64();
+    let (node, k, drop) = sol.worst_mean_drop(grid.vdd());
+    println!(
+        "worst drop {:.2} mV at node {node}: OPERA σ {:.3} mV vs MC σ {:.3} mV",
+        1e3 * drop,
+        1e3 * sol.std_dev_at(k, node),
+        1e3 * mc.std_dev_at(k, node)
+    );
+    println!(
+        "runtime: OPERA {:.2} s vs Monte Carlo {:.2} s (speed-up {:.0}x, single factorisation shared)",
+        opera_secs,
+        mc_secs,
+        mc_secs / opera_secs
+    );
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! Shared configuration for the OPERA benchmark harness.
+//!
+//! The report binaries (`table1_report`, `figure12_report`,
+//! `experiments_report`) regenerate the paper's tables and figures; the
+//! Criterion benches in `benches/` measure the kernels and the end-to-end
+//! OPERA/Monte-Carlo runtimes on scaled grids.
+//!
+//! All harness entry points accept the environment variables
+//!
+//! * `OPERA_BENCH_SCALE` — fraction of the paper's node counts to use
+//!   (default `0.05`; `1.0` reproduces the full-size grids),
+//! * `OPERA_BENCH_MC_SAMPLES` — Monte Carlo sample count (default `200`;
+//!   the paper uses `1000`),
+//!
+//! so the same binaries can run as quick smoke tests or as the full
+//! (hours-long) paper-scale reproduction.
+
+use opera::analysis::ExperimentConfig;
+
+/// Default fraction of the paper's grid sizes used by the reports.
+pub const DEFAULT_SCALE: f64 = 0.05;
+/// Default Monte Carlo sample count used by the reports.
+pub const DEFAULT_MC_SAMPLES: usize = 200;
+
+/// Reads the node-count scale from `OPERA_BENCH_SCALE`.
+pub fn scale_from_env() -> f64 {
+    std::env::var("OPERA_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Reads the Monte Carlo sample count from `OPERA_BENCH_MC_SAMPLES`.
+pub fn mc_samples_from_env() -> usize {
+    std::env::var("OPERA_BENCH_MC_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_MC_SAMPLES)
+}
+
+/// The experiment configuration for one (possibly scaled) Table 1 row.
+pub fn table1_config(row: usize, scale: f64, mc_samples: usize) -> ExperimentConfig {
+    if (scale - 1.0).abs() < f64::EPSILON {
+        let mut config = ExperimentConfig::table1_row(row);
+        config.mc_samples = mc_samples;
+        config
+    } else {
+        ExperimentConfig::table1_row_scaled(row, scale, mc_samples)
+    }
+}
+
+/// Formats the header of the Table 1 reproduction.
+pub fn table1_header() -> String {
+    format!(
+        "{:>9} | {:>11} {:>11} | {:>11} {:>11} | {:>9} | {:>10} {:>10} | {:>8}",
+        "nodes",
+        "avg %err µ",
+        "max %err µ",
+        "avg %err σ",
+        "max %err σ",
+        "±3σ (%µ0)",
+        "MC (s)",
+        "OPERA (s)",
+        "speedup"
+    )
+}
+
+/// Formats one row of the Table 1 reproduction from an experiment report.
+pub fn table1_row_line(report: &opera::analysis::ExperimentReport) -> String {
+    format!(
+        "{:>9} | {:>11.4} {:>11.4} | {:>11.2} {:>11.2} | {:>9.1} | {:>10.2} {:>10.2} | {:>8.0}",
+        report.node_count,
+        report.errors.avg_mean_error_percent,
+        report.errors.max_mean_error_percent,
+        report.errors.avg_std_error_percent,
+        report.errors.max_std_error_percent,
+        report.opera.avg_three_sigma_percent_of_nominal,
+        report.monte_carlo_seconds,
+        report.opera_seconds,
+        report.speedup
+    )
+}
+
+/// Renders a histogram as an ASCII bar chart (one line per bin).
+pub fn ascii_histogram(label: &str, centers: &[f64], percentages: &[f64]) -> String {
+    let mut out = format!("{label}\n");
+    for (c, p) in centers.iter().zip(percentages) {
+        let bars = "#".repeat((p * 0.8).round() as usize);
+        out.push_str(&format!("{c:>8.3} | {p:>5.1}% {bars}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_apply_when_unset() {
+        std::env::remove_var("OPERA_BENCH_SCALE");
+        std::env::remove_var("OPERA_BENCH_MC_SAMPLES");
+        assert_eq!(scale_from_env(), DEFAULT_SCALE);
+        assert_eq!(mc_samples_from_env(), DEFAULT_MC_SAMPLES);
+    }
+
+    #[test]
+    fn table1_config_honours_scale() {
+        let scaled = table1_config(0, 0.1, 50);
+        assert_eq!(scaled.mc_samples, 50);
+        assert!(scaled.grid_spec.target_nodes < 3_000);
+        let full = table1_config(0, 1.0, 1000);
+        assert_eq!(full.grid_spec.target_nodes, 19_181);
+    }
+
+    #[test]
+    fn header_and_histogram_formatting() {
+        assert!(table1_header().contains("speedup"));
+        let s = ascii_histogram("demo", &[1.0, 2.0], &[10.0, 90.0]);
+        assert!(s.contains("demo"));
+        assert!(s.lines().count() >= 3);
+    }
+}

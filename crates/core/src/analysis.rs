@@ -1,0 +1,306 @@
+//! End-to-end experiment drivers.
+//!
+//! [`run_experiment`] reproduces one row of the paper's Table 1: it builds a
+//! synthetic grid, runs OPERA and the Monte Carlo baseline with the same
+//! transient configuration, and reports accuracy, ±3σ spread, wall-clock
+//! times and the speed-up. [`probe_distributions`] additionally produces the
+//! histograms of Figures 1–2 for the node with the worst voltage drop.
+
+use std::time::Instant;
+
+use opera_grid::{GridSpec, PowerGrid};
+use opera_pce::sampling;
+use opera_variation::{StochasticGridModel, VariationSpec};
+
+use crate::compare::{compare, AccuracySummary};
+use crate::monte_carlo::{run as run_monte_carlo, MonteCarloOptions, MonteCarloResult};
+use crate::response::{drop_summary, drops_as_percent_of_vdd, DropSummary, Histogram};
+use crate::stochastic::{solve, OperaOptions, StochasticSolution};
+use crate::transient::{solve_transient, TransientOptions};
+use crate::Result;
+
+/// Configuration of one OPERA-vs-Monte-Carlo experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Grid to generate.
+    pub grid_spec: GridSpec,
+    /// Process-variation magnitudes.
+    pub variation: VariationSpec,
+    /// Expansion order (2 in the paper's Table 1).
+    pub order: u32,
+    /// Monte Carlo sample count (1000 in the paper).
+    pub mc_samples: usize,
+    /// Transient time step in seconds.
+    pub time_step: f64,
+    /// Transient end time; `None` uses the grid's waveform end time.
+    pub end_time: Option<f64>,
+    /// Seed for the Monte Carlo sampler.
+    pub mc_seed: u64,
+    /// Number of histogram bins for the distribution figures.
+    pub histogram_bins: usize,
+    /// Use the block-preconditioned CG solver for the augmented system
+    /// instead of the direct factorisation — recommended for large grids
+    /// (the paper's §5.2 remark on iterative block solvers).
+    pub iterative_solver: bool,
+}
+
+impl ExperimentConfig {
+    /// A configuration mirroring one row of Table 1 at full scale: paper grid
+    /// `index` (0-based), order-2 expansion, 1000 Monte Carlo samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 7`.
+    pub fn table1_row(index: usize) -> Self {
+        ExperimentConfig {
+            grid_spec: GridSpec::paper_grid(index),
+            variation: VariationSpec::paper_defaults(),
+            order: 2,
+            mc_samples: 1000,
+            time_step: 0.05e-9,
+            end_time: None,
+            mc_seed: 42 + index as u64,
+            histogram_bins: 30,
+            iterative_solver: true,
+        }
+    }
+
+    /// The same experiment with the grid size and sample count scaled down so
+    /// it finishes quickly on a laptop (`scale` ≤ 1 scales the node count,
+    /// `samples` overrides the Monte Carlo sample count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 7`.
+    pub fn table1_row_scaled(index: usize, scale: f64, samples: usize) -> Self {
+        let mut config = ExperimentConfig::table1_row(index);
+        config.grid_spec = config.grid_spec.scaled_nodes(scale);
+        config.mc_samples = samples;
+        config
+    }
+
+    /// A deliberately tiny configuration for doc-tests and smoke tests.
+    pub fn quick_demo(nodes: usize) -> Self {
+        ExperimentConfig {
+            grid_spec: GridSpec::small_test(nodes),
+            variation: VariationSpec::paper_defaults(),
+            order: 2,
+            mc_samples: 40,
+            time_step: 0.2e-9,
+            end_time: Some(1.0e-9),
+            mc_seed: 7,
+            histogram_bins: 12,
+            iterative_solver: false,
+        }
+    }
+
+    fn transient_options(&self, grid: &PowerGrid) -> TransientOptions {
+        let end = self
+            .end_time
+            .unwrap_or_else(|| grid.waveform_end_time().max(self.time_step));
+        TransientOptions::new(self.time_step, end)
+    }
+}
+
+/// Distributions of the voltage drop (as % of VDD) at a probe node — the
+/// content of the paper's Figures 1 and 2.
+#[derive(Debug, Clone)]
+pub struct ProbeDistribution {
+    /// Node the distribution was taken at.
+    pub node: usize,
+    /// Time index the distribution was taken at (worst mean drop).
+    pub time_index: usize,
+    /// Histogram of the drop predicted by sampling the OPERA expansion.
+    pub opera: Histogram,
+    /// Histogram of the drop observed in the Monte Carlo samples.
+    pub monte_carlo: Histogram,
+}
+
+/// Everything produced by one experiment: one row of Table 1 plus the data of
+/// Figures 1–2.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Number of nodes of the generated grid.
+    pub node_count: usize,
+    /// Voltage-drop statistics of the OPERA solution.
+    pub opera: DropSummary,
+    /// OPERA-vs-Monte-Carlo accuracy (the µ and σ error columns).
+    pub errors: AccuracySummary,
+    /// Wall-clock seconds of the OPERA analysis (assembly + solve).
+    pub opera_seconds: f64,
+    /// Wall-clock seconds of the Monte Carlo baseline.
+    pub monte_carlo_seconds: f64,
+    /// Speed-up `monte_carlo_seconds / opera_seconds`.
+    pub speedup: f64,
+    /// Number of Monte Carlo samples used.
+    pub mc_samples: usize,
+    /// Distribution of the drop at the worst node (Figures 1–2).
+    pub distribution: ProbeDistribution,
+}
+
+/// Runs a full OPERA-vs-Monte-Carlo experiment.
+///
+/// # Errors
+///
+/// Propagates grid-generation, assembly and solver errors.
+pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport> {
+    let grid = config.grid_spec.build()?;
+    let model = StochasticGridModel::inter_die(&grid, &config.variation)?;
+    let topts = config.transient_options(&grid);
+
+    // --- OPERA (timed).
+    let mut opera_options = OperaOptions::with_order(config.order, topts);
+    if config.iterative_solver {
+        opera_options = opera_options.with_iterative_solver();
+    }
+    let t0 = Instant::now();
+    let opera_solution = solve(&model, &opera_options)?;
+    let opera_seconds = t0.elapsed().as_secs_f64();
+
+    // Probe node: worst mean drop of the OPERA solution.
+    let (probe_node, probe_time, _) = opera_solution.worst_mean_drop(grid.vdd());
+
+    // --- Monte Carlo (timed).
+    let mc_options = MonteCarloOptions {
+        samples: config.mc_samples,
+        seed: config.mc_seed,
+        transient: topts,
+        probe_nodes: vec![probe_node],
+    };
+    let t1 = Instant::now();
+    let mc_result = run_monte_carlo(&model, &mc_options)?;
+    let monte_carlo_seconds = t1.elapsed().as_secs_f64();
+
+    // --- Nominal (no-variation) transient for the µ₀ reference.
+    let nominal = solve_transient(
+        &grid.conductance_matrix(),
+        &grid.capacitance_matrix(),
+        |t| grid.excitation(t),
+        &topts,
+    )?;
+
+    let summary = drop_summary(&opera_solution, grid.vdd(), Some(&nominal));
+    let errors = compare(&opera_solution, &mc_result, grid.vdd());
+    let distribution = probe_distributions(
+        &opera_solution,
+        &mc_result,
+        grid.vdd(),
+        probe_node,
+        probe_time,
+        config.histogram_bins,
+        config.mc_seed ^ 0x5eed,
+    )?;
+
+    Ok(ExperimentReport {
+        node_count: grid.node_count(),
+        opera: summary,
+        errors,
+        opera_seconds,
+        monte_carlo_seconds,
+        speedup: if opera_seconds > 0.0 {
+            monte_carlo_seconds / opera_seconds
+        } else {
+            f64::INFINITY
+        },
+        mc_samples: config.mc_samples,
+        distribution,
+    })
+}
+
+/// Builds the OPERA and Monte Carlo drop histograms at a probe node/time
+/// (the paper's Figures 1–2). The OPERA histogram is obtained by sampling the
+/// explicit expansion — no further circuit solves are needed, which is the
+/// point the figures make.
+///
+/// # Errors
+///
+/// Propagates expansion-evaluation errors.
+pub fn probe_distributions(
+    opera: &StochasticSolution,
+    mc: &MonteCarloResult,
+    vdd: f64,
+    node: usize,
+    time_index: usize,
+    bins: usize,
+    seed: u64,
+) -> Result<ProbeDistribution> {
+    // Monte Carlo drops at the probe.
+    let mc_voltages = mc.probe_samples_at(node, time_index);
+    let mc_drops = drops_as_percent_of_vdd(&mc_voltages, vdd);
+
+    // OPERA drops: evaluate the expansion at freshly drawn standard samples.
+    let series = opera.node_series(time_index, node)?;
+    let samples = sampling::sample_standard(series.basis(), mc_voltages.len().max(1000), seed);
+    let opera_voltages = sampling::evaluate_at_samples(&series, &samples)?;
+    let opera_drops = drops_as_percent_of_vdd(&opera_voltages, vdd);
+
+    // Shared histogram range so the two distributions are directly comparable.
+    let lo = mc_drops
+        .iter()
+        .chain(opera_drops.iter())
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let hi = mc_drops
+        .iter()
+        .chain(opera_drops.iter())
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+    let lo = lo - 0.02 * span;
+    let hi = hi + 0.02 * span;
+
+    Ok(ProbeDistribution {
+        node,
+        time_index,
+        opera: Histogram::with_range(&opera_drops, bins, lo, hi),
+        monte_carlo: Histogram::with_range(&mc_drops, bins, lo, hi),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiment_produces_consistent_report() {
+        let report = run_experiment(&ExperimentConfig::quick_demo(120)).unwrap();
+        assert!(report.node_count >= 100);
+        assert!(report.opera.worst_mean_drop > 0.0);
+        assert!(report.opera.sigma_at_worst > 0.0);
+        assert!(report.errors.avg_mean_error_percent < 1.0);
+        assert!(report.opera_seconds > 0.0);
+        assert!(report.monte_carlo_seconds > 0.0);
+        assert!(report.speedup > 1.0, "speedup {}", report.speedup);
+        assert_eq!(report.mc_samples, 40);
+        // Histograms cover the same range and contain all samples.
+        assert_eq!(
+            report.distribution.opera.edges(),
+            report.distribution.monte_carlo.edges()
+        );
+        assert_eq!(
+            report.distribution.monte_carlo.total(),
+            report.mc_samples
+        );
+    }
+
+    #[test]
+    fn distributions_overlap_between_opera_and_monte_carlo() {
+        let report = run_experiment(&ExperimentConfig::quick_demo(150)).unwrap();
+        // The modal bins of the two histograms should be close (the paper's
+        // figures show nearly coincident distributions).
+        let mode_opera = report.distribution.opera.mode_bin() as i64;
+        let mode_mc = report.distribution.monte_carlo.mode_bin() as i64;
+        assert!(
+            (mode_opera - mode_mc).abs() <= 3,
+            "modes {mode_opera} vs {mode_mc}"
+        );
+    }
+
+    #[test]
+    fn table1_row_scaled_shrinks_the_grid() {
+        let config = ExperimentConfig::table1_row_scaled(0, 0.05, 25);
+        assert_eq!(config.mc_samples, 25);
+        assert!(config.grid_spec.target_nodes < 1_000);
+        assert_eq!(ExperimentConfig::table1_row(3).mc_samples, 1000);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the OPERA engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the OPERA solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperaError {
+    /// An underlying sparse linear-algebra operation failed.
+    Sparse(opera_sparse::SparseError),
+    /// A polynomial-chaos operation failed.
+    Pce(opera_pce::PceError),
+    /// A grid construction/query failed.
+    Grid(opera_grid::GridError),
+    /// A variation-model operation failed.
+    Variation(opera_variation::VariationError),
+    /// The analysis options are inconsistent (non-positive time step, zero
+    /// samples, …).
+    InvalidOptions {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OperaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperaError::Sparse(e) => write!(f, "sparse linear algebra error: {e}"),
+            OperaError::Pce(e) => write!(f, "polynomial chaos error: {e}"),
+            OperaError::Grid(e) => write!(f, "power grid error: {e}"),
+            OperaError::Variation(e) => write!(f, "variation model error: {e}"),
+            OperaError::InvalidOptions { reason } => write!(f, "invalid options: {reason}"),
+        }
+    }
+}
+
+impl Error for OperaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OperaError::Sparse(e) => Some(e),
+            OperaError::Pce(e) => Some(e),
+            OperaError::Grid(e) => Some(e),
+            OperaError::Variation(e) => Some(e),
+            OperaError::InvalidOptions { .. } => None,
+        }
+    }
+}
+
+impl From<opera_sparse::SparseError> for OperaError {
+    fn from(e: opera_sparse::SparseError) -> Self {
+        OperaError::Sparse(e)
+    }
+}
+
+impl From<opera_pce::PceError> for OperaError {
+    fn from(e: opera_pce::PceError) -> Self {
+        OperaError::Pce(e)
+    }
+}
+
+impl From<opera_grid::GridError> for OperaError {
+    fn from(e: opera_grid::GridError) -> Self {
+        OperaError::Grid(e)
+    }
+}
+
+impl From<opera_variation::VariationError> for OperaError {
+    fn from(e: opera_variation::VariationError) -> Self {
+        OperaError::Variation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_the_source_error() {
+        let inner = opera_sparse::SparseError::Singular { column: 3 };
+        let e: OperaError = inner.clone().into();
+        assert_eq!(e, OperaError::Sparse(inner));
+        assert!(e.to_string().contains("column 3"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn invalid_options_display() {
+        let e = OperaError::InvalidOptions {
+            reason: "time step must be positive".to_string(),
+        };
+        assert!(e.to_string().contains("time step"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OperaError>();
+    }
+}

@@ -1,0 +1,381 @@
+//! Assembly of the spectral (Galerkin) augmented system.
+//!
+//! Projecting the truncation error of the expansion onto every basis function
+//! (paper Eq. 10/17) turns the stochastic MNA equation into one large
+//! deterministic block system:
+//!
+//! ```text
+//! G̃[i][j] = ⟨ψ_i ψ_j⟩ G_a + Σ_d ⟨ξ_d ψ_i ψ_j⟩ G_d        (blocks of size n×n)
+//! C̃[i][j] = ⟨ψ_i ψ_j⟩ C_a + Σ_d ⟨ξ_d ψ_i ψ_j⟩ C_d
+//! Ũ_i(t)  = ⟨ψ_i⟩      u_a(t) + Σ_d ⟨ξ_d ψ_i⟩      u_d(t)
+//! ```
+//!
+//! For the two-variable order-2 Hermite basis this reproduces exactly the
+//! 6×6 block matrices of paper Eqs. (20)–(22); the unit tests check this
+//! structure literally.
+
+use opera_pce::{GalerkinCoupling, OrthogonalBasis};
+use opera_sparse::{CsrMatrix, TripletMatrix};
+use opera_variation::StochasticGridModel;
+
+use crate::{OperaError, Result};
+
+/// The assembled Galerkin system for a stochastic grid model and basis.
+#[derive(Debug, Clone)]
+pub struct GalerkinSystem {
+    basis: OrthogonalBasis,
+    coupling: GalerkinCoupling,
+    node_count: usize,
+    g_hat: CsrMatrix,
+    c_hat: CsrMatrix,
+}
+
+impl GalerkinSystem {
+    /// Assembles the augmented matrices for the given model and basis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] if the basis variable count does
+    /// not match the model, and propagates numerical errors.
+    pub fn assemble(model: &StochasticGridModel, basis: &OrthogonalBasis) -> Result<Self> {
+        if basis.n_vars() != model.n_vars() {
+            return Err(OperaError::InvalidOptions {
+                reason: format!(
+                    "basis has {} variables but the model has {}",
+                    basis.n_vars(),
+                    model.n_vars()
+                ),
+            });
+        }
+        let coupling = GalerkinCoupling::new(basis)?;
+        let n = model.node_count();
+        let size = basis.len();
+
+        let g_hat = assemble_block_matrix(
+            n,
+            size,
+            &coupling,
+            model.nominal_conductance(),
+            (0..model.n_vars())
+                .map(|d| model.conductance_perturbation(d))
+                .collect::<Vec<_>>()
+                .as_slice(),
+        );
+        let c_hat = assemble_block_matrix(
+            n,
+            size,
+            &coupling,
+            model.nominal_capacitance(),
+            (0..model.n_vars())
+                .map(|d| model.capacitance_perturbation(d))
+                .collect::<Vec<_>>()
+                .as_slice(),
+        );
+        Ok(GalerkinSystem {
+            basis: basis.clone(),
+            coupling,
+            node_count: n,
+            g_hat,
+            c_hat,
+        })
+    }
+
+    /// The basis the system was assembled for.
+    pub fn basis(&self) -> &OrthogonalBasis {
+        &self.basis
+    }
+
+    /// The precomputed Galerkin coupling tensors.
+    pub fn coupling(&self) -> &GalerkinCoupling {
+        &self.coupling
+    }
+
+    /// Number of grid nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of basis functions `N + 1`.
+    pub fn basis_size(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Total number of unknowns `(N + 1)·n`.
+    pub fn dim(&self) -> usize {
+        self.node_count * self.basis.len()
+    }
+
+    /// The augmented conductance matrix `G̃`.
+    pub fn conductance(&self) -> &CsrMatrix {
+        &self.g_hat
+    }
+
+    /// The augmented capacitance matrix `C̃`.
+    pub fn capacitance(&self) -> &CsrMatrix {
+        &self.c_hat
+    }
+
+    /// Assembles the augmented excitation `Ũ(t)` from the model: block `i`
+    /// receives `⟨ψ_i⟩ u_a(t) + Σ_d ⟨ξ_d ψ_i⟩ u_d(t)`.
+    pub fn excitation(&self, model: &StochasticGridModel, t: f64) -> Vec<f64> {
+        let n = self.node_count;
+        let size = self.basis.len();
+        let mut u_hat = vec![0.0; n * size];
+        // ⟨ψ_i⟩ is nonzero only for i = 0 where it equals 1 (ψ₀ ≡ 1).
+        let u_a = model.excitation_nominal(t);
+        u_hat[..n].copy_from_slice(&u_a);
+        for d in 0..model.n_vars() {
+            let u_d = model.excitation_perturbation(d, t);
+            if u_d.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            for i in 0..size {
+                // ⟨ξ_d ψ_i⟩ = ⟨ξ_d ψ_i ψ_0⟩.
+                let w = self.coupling.linear(d, i, 0);
+                if w == 0.0 {
+                    continue;
+                }
+                let block = &mut u_hat[i * n..(i + 1) * n];
+                for (b, v) in block.iter_mut().zip(&u_d) {
+                    *b += w * v;
+                }
+            }
+        }
+        u_hat
+    }
+
+    /// Splits a stacked augmented solution vector into per-basis-function
+    /// coefficient vectors (each of length `node_count`).
+    pub fn split_solution(&self, stacked: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(stacked.len(), self.dim(), "stacked solution has wrong length");
+        let n = self.node_count;
+        (0..self.basis.len())
+            .map(|i| stacked[i * n..(i + 1) * n].to_vec())
+            .collect()
+    }
+}
+
+/// Assembles `Σ_ij block(i, j) ⊗ entries` where
+/// `block(i, j) = ⟨ψ_i ψ_j⟩ A_nominal + Σ_d ⟨ξ_d ψ_i ψ_j⟩ A_d`.
+fn assemble_block_matrix(
+    n: usize,
+    size: usize,
+    coupling: &GalerkinCoupling,
+    nominal: &CsrMatrix,
+    perturbations: &[&CsrMatrix],
+) -> CsrMatrix {
+    // Estimate capacity: the diagonal blocks hold the nominal matrix and each
+    // linear coupling adds a perturbation-sized block.
+    let mut capacity = size * nominal.nnz();
+    for p in perturbations {
+        capacity += 2 * size * p.nnz();
+    }
+    let mut t = TripletMatrix::with_capacity(n * size, n * size, capacity);
+    for i in 0..size {
+        for j in 0..size {
+            // Mass term ⟨ψ_i ψ_j⟩ = δ_ij ⟨ψ_i²⟩.
+            if i == j {
+                let w = coupling.norm_squared(i);
+                for (r, c, v) in nominal.iter() {
+                    t.push(i * n + r, j * n + c, w * v);
+                }
+            }
+            for (d, pert) in perturbations.iter().enumerate() {
+                if pert.nnz() == 0 {
+                    continue;
+                }
+                let w = coupling.linear(d, i, j);
+                if w == 0.0 {
+                    continue;
+                }
+                for (r, c, v) in pert.iter() {
+                    t.push(i * n + r, j * n + c, w * v);
+                }
+            }
+        }
+    }
+    t.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opera_grid::GridSpec;
+    use opera_pce::PolynomialFamily;
+    use opera_variation::{StochasticGridModel, VariationSpec};
+
+    fn model_and_basis() -> (StochasticGridModel, OrthogonalBasis) {
+        let grid = GridSpec::small_test(60).with_seed(2).build().unwrap();
+        let model =
+            StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults()).unwrap();
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
+        (model, basis)
+    }
+
+    #[test]
+    fn augmented_dimensions_are_basis_times_nodes() {
+        let (model, basis) = model_and_basis();
+        let sys = GalerkinSystem::assemble(&model, &basis).unwrap();
+        assert_eq!(sys.basis_size(), 6);
+        assert_eq!(sys.dim(), 6 * model.node_count());
+        assert_eq!(sys.conductance().nrows(), sys.dim());
+        assert_eq!(sys.capacitance().nrows(), sys.dim());
+    }
+
+    #[test]
+    fn augmented_conductance_is_symmetric() {
+        let (model, basis) = model_and_basis();
+        let sys = GalerkinSystem::assemble(&model, &basis).unwrap();
+        let scale = sys.conductance().frobenius_norm();
+        assert!(sys.conductance().is_symmetric(1e-10 * scale));
+        let cscale = sys.capacitance().frobenius_norm();
+        assert!(sys.capacitance().is_symmetric(1e-10 * cscale));
+    }
+
+    /// Checks the literal block pattern of paper Eq. (20): with blocks labeled
+    /// by the basis index pair (i, j), the Ga blocks sit on the diagonal
+    /// scaled by ⟨ψ_i²⟩ = [1,1,1,2,1,2] and the Gg blocks follow the ξ_G
+    /// coupling pattern.
+    #[test]
+    fn block_structure_matches_paper_equation_20() {
+        let (model, basis) = model_and_basis();
+        let sys = GalerkinSystem::assemble(&model, &basis).unwrap();
+        let n = model.node_count();
+        let ga = model.nominal_conductance();
+        let gg = model.conductance_perturbation(0);
+        // Pick a representative off-diagonal entry of Ga/Gg to probe blocks.
+        let (probe_r, probe_c, ga_val) = ga
+            .iter()
+            .find(|&(r, c, _)| r != c)
+            .expect("grid has off-diagonal entries");
+        let gg_val = gg.get(probe_r, probe_c);
+        let g_hat = sys.conductance();
+        let norms = [1.0, 1.0, 1.0, 2.0, 1.0, 2.0];
+        #[rustfmt::skip]
+        let xi_g_coupling: [[f64; 6]; 6] = [
+            [0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 2.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+            [0.0, 2.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ];
+        for i in 0..6 {
+            for j in 0..6 {
+                let expected = if i == j { norms[i] * ga_val } else { 0.0 }
+                    + xi_g_coupling[i][j] * gg_val;
+                let got = g_hat.get(i * n + probe_r, j * n + probe_c);
+                assert!(
+                    (got - expected).abs() < 1e-10 * ga_val.abs().max(1.0),
+                    "block ({i}, {j}): got {got}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    /// The capacitance blocks must follow paper Eq. (21): Ca on the scaled
+    /// diagonal and Cc following the ξ_L coupling pattern.
+    #[test]
+    fn block_structure_matches_paper_equation_21() {
+        let (model, basis) = model_and_basis();
+        let sys = GalerkinSystem::assemble(&model, &basis).unwrap();
+        let n = model.node_count();
+        let ca = model.nominal_capacitance();
+        let cc = model.capacitance_perturbation(1);
+        let probe = 0; // capacitance matrices are diagonal
+        let ca_val = ca.get(probe, probe);
+        let cc_val = cc.get(probe, probe);
+        assert!(ca_val > 0.0);
+        let norms = [1.0, 1.0, 1.0, 2.0, 1.0, 2.0];
+        #[rustfmt::skip]
+        let xi_l_coupling: [[f64; 6]; 6] = [
+            [0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0, 0.0, 2.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 2.0, 0.0, 0.0, 0.0],
+        ];
+        let c_hat = sys.capacitance();
+        for i in 0..6 {
+            for j in 0..6 {
+                let expected = if i == j { norms[i] * ca_val } else { 0.0 }
+                    + xi_l_coupling[i][j] * cc_val;
+                let got = c_hat.get(i * n + probe, j * n + probe);
+                assert!(
+                    (got - expected).abs() < 1e-12 * ca_val.max(1e-18),
+                    "block ({i}, {j}): got {got}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    /// The excitation must follow paper Eq. (22): only the blocks coupled to
+    /// ψ₀, ψ₁ (ξ_G) and ψ₂ (ξ_L) are nonzero.
+    #[test]
+    fn excitation_matches_paper_equation_22() {
+        let (model, basis) = model_and_basis();
+        let sys = GalerkinSystem::assemble(&model, &basis).unwrap();
+        let n = model.node_count();
+        let t = 0.4e-9;
+        let u_hat = sys.excitation(&model, t);
+        assert_eq!(u_hat.len(), 6 * n);
+        // Block 0 = nominal excitation.
+        let u_a = model.excitation_nominal(t);
+        for (a, b) in u_hat[..n].iter().zip(&u_a) {
+            assert!((a - b).abs() < 1e-15);
+        }
+        // Block 1 = u_G(t), block 2 = u_L(t).
+        let u_g = model.excitation_perturbation(0, t);
+        let u_l = model.excitation_perturbation(1, t);
+        for k in 0..n {
+            assert!((u_hat[n + k] - u_g[k]).abs() < 1e-15);
+            assert!((u_hat[2 * n + k] - u_l[k]).abs() < 1e-15);
+        }
+        // Higher-order blocks are zero for a first-order input model.
+        assert!(u_hat[3 * n..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn excitation_without_pad_variation_has_zero_xi_g_block_at_quiescence() {
+        // With pads held fixed, u_G(t) vanishes entirely and u_L(t) vanishes
+        // whenever no drain current flows (t = 0), so only block 0 of Ũ(0)
+        // is nonzero.
+        let grid = GridSpec::small_test(60).with_seed(6).build().unwrap();
+        let mut spec = VariationSpec::paper_defaults();
+        spec.include_pad_variation = false;
+        let model = StochasticGridModel::inter_die(&grid, &spec).unwrap();
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
+        let sys = GalerkinSystem::assemble(&model, &basis).unwrap();
+        let n = model.node_count();
+        let u0 = sys.excitation(&model, 0.0);
+        assert!(u0[..n].iter().any(|&v| v != 0.0), "pad injection missing");
+        assert!(u0[n..].iter().all(|&v| v == 0.0));
+        // At a time with switching current the ξ_L block becomes active while
+        // the ξ_G block stays zero.
+        let u = sys.excitation(&model, 0.4e-9);
+        assert!(u[n..2 * n].iter().all(|&v| v == 0.0));
+        assert!(u[2 * n..3 * n].iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn mismatched_basis_is_rejected() {
+        let (model, _) = model_and_basis();
+        let wrong = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 3, 2).unwrap();
+        assert!(matches!(
+            GalerkinSystem::assemble(&model, &wrong),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+    }
+
+    #[test]
+    fn split_solution_partitions_the_stacked_vector() {
+        let (model, basis) = model_and_basis();
+        let sys = GalerkinSystem::assemble(&model, &basis).unwrap();
+        let stacked: Vec<f64> = (0..sys.dim()).map(|k| k as f64).collect();
+        let parts = sys.split_solution(&stacked);
+        assert_eq!(parts.len(), 6);
+        assert_eq!(parts[0][0], 0.0);
+        assert_eq!(parts[1][0], model.node_count() as f64);
+    }
+}

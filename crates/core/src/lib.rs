@@ -1,0 +1,64 @@
+//! OPERA — Orthogonal Polynomial Expansions for Response Analysis.
+//!
+//! This crate is the core of the reproduction of *"Stochastic Power Grid
+//! Analysis Considering Process Variations"* (DATE 2005): it computes the
+//! stochastic voltage response of an RC power grid whose electrical
+//! parameters vary with manufacturing process parameters.
+//!
+//! The pieces are:
+//!
+//! * [`transient`] — deterministic transient MNA solver (backward Euler or
+//!   trapezoidal) used both for nominal analysis and inside the Monte Carlo
+//!   baseline.
+//! * [`galerkin`] — assembly of the spectral (Galerkin) augmented system
+//!   `(G̃ + sC̃) a(s) = Ũ(s)` of paper Eqs. (19)–(22).
+//! * [`stochastic`] — the OPERA solver: one augmented transient solve yields
+//!   the full polynomial-chaos representation of every node voltage at every
+//!   time step.
+//! * [`special_case`] — the Section 5.1 special case (variations only in the
+//!   excitation, e.g. per-region leakage): a single factorisation of the
+//!   nominal matrix plus `N + 1` independent solves.
+//! * [`monte_carlo`] — the Monte Carlo baseline the paper compares against.
+//! * [`response`] — node-voltage statistics, voltage-drop summaries and
+//!   histograms (paper Figures 1–2, the ±3σ column of Table 1).
+//! * [`compare`] — OPERA-vs-Monte-Carlo error metrics (the accuracy columns
+//!   of Table 1).
+//! * [`analysis`] — end-to-end experiment drivers used by the benchmark
+//!   harness and the examples.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use opera::analysis::{ExperimentConfig, run_experiment};
+//!
+//! # fn main() -> Result<(), opera::OperaError> {
+//! // A deliberately tiny configuration so the doc-test runs in milliseconds.
+//! let config = ExperimentConfig::quick_demo(160);
+//! let report = run_experiment(&config)?;
+//! assert!(report.opera.max_three_sigma_percent_of_nominal > 0.0);
+//! assert!(report.errors.avg_mean_error_percent < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+
+pub mod analysis;
+pub mod compare;
+pub mod galerkin;
+pub mod monte_carlo;
+pub mod response;
+pub mod special_case;
+pub mod stochastic;
+pub mod transient;
+
+pub use error::OperaError;
+pub use galerkin::GalerkinSystem;
+pub use stochastic::{AugmentedSolver, OperaOptions, StochasticSolution};
+pub use transient::{IntegrationMethod, TransientOptions, TransientSolution};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, OperaError>;

@@ -1,0 +1,406 @@
+//! Monte Carlo baseline for stochastic power-grid analysis.
+//!
+//! The paper validates OPERA against plain Monte Carlo with 1000 samples per
+//! grid: each sample draws a value of the process variables, realises the
+//! perturbed `G`, `C` and excitation, and runs a full deterministic transient
+//! analysis. Mean and variance are accumulated per node and time point with
+//! Welford's algorithm; full sample traces are kept only for a small set of
+//! probe nodes (used for the distribution plots of Figures 1–2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use opera_grid::PowerGrid;
+use opera_sparse::{CholeskyFactor, CsrMatrix, LuFactor};
+use opera_variation::{LeakageModel, StochasticGridModel};
+
+use crate::transient::{IntegrationMethod, TransientOptions};
+use crate::{OperaError, Result};
+
+/// Options for a Monte Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloOptions {
+    /// Number of samples (the paper uses 1000).
+    pub samples: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Transient analysis options (shared with the OPERA run being compared).
+    pub transient: TransientOptions,
+    /// Nodes whose full per-sample voltage traces are recorded.
+    pub probe_nodes: Vec<usize>,
+}
+
+impl MonteCarloOptions {
+    /// Creates options with no probes.
+    pub fn new(samples: usize, seed: u64, transient: TransientOptions) -> Self {
+        MonteCarloOptions {
+            samples,
+            seed,
+            transient,
+            probe_nodes: Vec::new(),
+        }
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for zero samples or invalid
+    /// transient options.
+    pub fn validate(&self) -> Result<()> {
+        if self.samples == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "Monte Carlo needs at least one sample".to_string(),
+            });
+        }
+        self.transient.validate()
+    }
+}
+
+/// Accumulated Monte Carlo statistics.
+#[derive(Debug, Clone)]
+pub struct MonteCarloResult {
+    /// Time points of the transient analyses.
+    pub times: Vec<f64>,
+    /// Per time point and node: sample mean of the voltage.
+    pub mean: Vec<Vec<f64>>,
+    /// Per time point and node: unbiased sample variance of the voltage.
+    pub variance: Vec<Vec<f64>>,
+    /// Probe nodes whose full traces were recorded.
+    pub probe_nodes: Vec<usize>,
+    /// `probe_traces[p][s][k]`: voltage of probe `p` in sample `s` at time
+    /// index `k`.
+    pub probe_traces: Vec<Vec<Vec<f64>>>,
+    /// Number of samples that were run.
+    pub samples: usize,
+}
+
+impl MonteCarloResult {
+    /// Standard deviation at a time index and node.
+    pub fn std_dev_at(&self, k: usize, node: usize) -> f64 {
+        self.variance[k][node].sqrt()
+    }
+
+    /// The node, time index and value of the worst mean voltage drop.
+    pub fn worst_mean_drop(&self, vdd: f64) -> (usize, usize, f64) {
+        let mut best = (0usize, 0usize, f64::NEG_INFINITY);
+        for (k, row) in self.mean.iter().enumerate() {
+            for (n, &v) in row.iter().enumerate() {
+                let drop = vdd - v;
+                if drop > best.2 {
+                    best = (n, k, drop);
+                }
+            }
+        }
+        best
+    }
+
+    /// Per-sample voltages of a probe node at one time index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a probe node.
+    pub fn probe_samples_at(&self, node: usize, k: usize) -> Vec<f64> {
+        let p = self
+            .probe_nodes
+            .iter()
+            .position(|&n| n == node)
+            .expect("node is not a probe node");
+        self.probe_traces[p].iter().map(|trace| trace[k]).collect()
+    }
+}
+
+/// Welford accumulator over vectors indexed by (time, node).
+struct WelfordGrid {
+    count: usize,
+    mean: Vec<Vec<f64>>,
+    m2: Vec<Vec<f64>>,
+}
+
+impl WelfordGrid {
+    fn new(times: usize, nodes: usize) -> Self {
+        WelfordGrid {
+            count: 0,
+            mean: vec![vec![0.0; nodes]; times],
+            m2: vec![vec![0.0; nodes]; times],
+        }
+    }
+
+    fn update(&mut self, sample: &[Vec<f64>]) {
+        self.count += 1;
+        let c = self.count as f64;
+        for (k, row) in sample.iter().enumerate() {
+            let mean_row = &mut self.mean[k];
+            let m2_row = &mut self.m2[k];
+            for (n, &v) in row.iter().enumerate() {
+                let delta = v - mean_row[n];
+                mean_row[n] += delta / c;
+                m2_row[n] += delta * (v - mean_row[n]);
+            }
+        }
+    }
+
+    fn finish(self) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, usize) {
+        let denom = (self.count.max(2) - 1) as f64;
+        let variance = self
+            .m2
+            .into_iter()
+            .map(|row| row.into_iter().map(|m2| m2 / denom).collect())
+            .collect();
+        (self.mean, variance, self.count)
+    }
+}
+
+/// Runs the Monte Carlo baseline for an inter-die variation model.
+///
+/// # Errors
+///
+/// Returns [`OperaError::InvalidOptions`] for invalid options, and propagates
+/// sampling or factorisation errors.
+pub fn run(model: &StochasticGridModel, options: &MonteCarloOptions) -> Result<MonteCarloResult> {
+    options.validate()?;
+    let times = options.transient.time_points();
+    let n = model.node_count();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let families = model.families();
+
+    let mut stats = WelfordGrid::new(times.len(), n);
+    let mut probe_traces: Vec<Vec<Vec<f64>>> =
+        vec![Vec::with_capacity(options.samples); options.probe_nodes.len()];
+
+    for _ in 0..options.samples {
+        let xi: Vec<f64> = families.iter().map(|f| f.sample(&mut rng)).collect();
+        let g = model.sample_conductance(&xi)?;
+        let c = model.sample_capacitance(&xi)?;
+        let voltages = transient_sample(
+            &g,
+            &c,
+            |t| Ok(model.sample_excitation(t, &xi)?),
+            &times,
+            &options.transient,
+        )?;
+        stats.update(&voltages);
+        for (p, &node) in options.probe_nodes.iter().enumerate() {
+            probe_traces[p].push(voltages.iter().map(|row| row[node]).collect());
+        }
+    }
+    let (mean, variance, samples) = stats.finish();
+    Ok(MonteCarloResult {
+        times,
+        mean,
+        variance,
+        probe_nodes: options.probe_nodes.clone(),
+        probe_traces,
+        samples,
+    })
+}
+
+/// Runs the Monte Carlo baseline for the RHS-only leakage variation of the
+/// paper's special case: the matrices stay nominal, only the excitation is
+/// resampled, so a single factorisation is shared by all samples.
+///
+/// # Errors
+///
+/// Returns [`OperaError::InvalidOptions`] for invalid options and propagates
+/// factorisation errors.
+pub fn run_leakage(
+    grid: &PowerGrid,
+    leakage: &LeakageModel,
+    options: &MonteCarloOptions,
+) -> Result<MonteCarloResult> {
+    options.validate()?;
+    let times = options.transient.time_points();
+    let n = grid.node_count();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let families = leakage.families();
+
+    let g = grid.conductance_matrix();
+    let c = grid.capacitance_matrix();
+    let companion =
+        crate::transient::CompanionSystem::new(&g, &c, options.transient.time_step, options.transient.method)?;
+    let dc = factor_for_dc(&g)?;
+
+    let mut stats = WelfordGrid::new(times.len(), n);
+    let mut probe_traces: Vec<Vec<Vec<f64>>> =
+        vec![Vec::with_capacity(options.samples); options.probe_nodes.len()];
+
+    for _ in 0..options.samples {
+        let xi: Vec<f64> = families.iter().map(|f| f.sample(&mut rng)).collect();
+        // Leakage current for this sample at each node.
+        let leak = leakage.sample_leakage(&xi);
+        let excitation = |t: f64| {
+            let mut u = grid.excitation(t);
+            for (u_n, l_n) in u.iter_mut().zip(&leak) {
+                *u_n -= l_n;
+            }
+            u
+        };
+        // DC start + shared-factor transient.
+        let u0 = excitation(0.0);
+        let mut state = dc.solve(&u0);
+        let mut voltages = Vec::with_capacity(times.len());
+        voltages.push(state.clone());
+        let mut u_prev = u0;
+        for &t in &times[1..] {
+            let u_next = excitation(t);
+            state = companion.step(&state, &u_prev, &u_next);
+            voltages.push(state.clone());
+            u_prev = u_next;
+        }
+        stats.update(&voltages);
+        for (p, &node) in options.probe_nodes.iter().enumerate() {
+            probe_traces[p].push(voltages.iter().map(|row| row[node]).collect());
+        }
+    }
+    let (mean, variance, samples) = stats.finish();
+    Ok(MonteCarloResult {
+        times,
+        mean,
+        variance,
+        probe_nodes: options.probe_nodes.clone(),
+        probe_traces,
+        samples,
+    })
+}
+
+fn factor_for_dc(g: &CsrMatrix) -> Result<DcFactor> {
+    match CholeskyFactor::factor(g) {
+        Ok(f) => Ok(DcFactor::Cholesky(f)),
+        Err(_) => Ok(DcFactor::Lu(LuFactor::factor(g)?)),
+    }
+}
+
+enum DcFactor {
+    Cholesky(CholeskyFactor),
+    Lu(LuFactor),
+}
+
+impl DcFactor {
+    fn solve(&self, b: &[f64]) -> Vec<f64> {
+        match self {
+            DcFactor::Cholesky(f) => f.solve(b),
+            DcFactor::Lu(f) => f.solve(b),
+        }
+    }
+}
+
+/// One Monte Carlo transient: DC start plus fixed-step integration with the
+/// sampled matrices.
+fn transient_sample(
+    g: &CsrMatrix,
+    c: &CsrMatrix,
+    excitation: impl Fn(f64) -> Result<Vec<f64>>,
+    times: &[f64],
+    options: &TransientOptions,
+) -> Result<Vec<Vec<f64>>> {
+    let u0 = excitation(0.0)?;
+    let dc = factor_for_dc(g)?;
+    let v0 = dc.solve(&u0);
+    let method = match options.method {
+        IntegrationMethod::BackwardEuler => IntegrationMethod::BackwardEuler,
+        IntegrationMethod::Trapezoidal => IntegrationMethod::Trapezoidal,
+    };
+    let companion = crate::transient::CompanionSystem::new(g, c, options.time_step, method)?;
+    let mut voltages = Vec::with_capacity(times.len());
+    voltages.push(v0);
+    let mut u_prev = u0;
+    for (k, &t) in times.iter().enumerate().skip(1) {
+        let u_next = excitation(t)?;
+        let next = companion.step(&voltages[k - 1], &u_prev, &u_next);
+        voltages.push(next);
+        u_prev = u_next;
+    }
+    Ok(voltages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stochastic::{solve, OperaOptions};
+    use opera_grid::GridSpec;
+    use opera_variation::{StochasticGridModel, VariationSpec};
+
+    fn setup() -> (opera_grid::PowerGrid, StochasticGridModel) {
+        let grid = GridSpec::small_test(80).with_seed(21).build().unwrap();
+        let model =
+            StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults()).unwrap();
+        (grid, model)
+    }
+
+    #[test]
+    fn monte_carlo_matches_opera_mean_and_variance() {
+        let (grid, model) = setup();
+        let topts = TransientOptions::new(0.2e-9, 1.0e-9);
+        let opera = solve(&model, &OperaOptions::order2(topts)).unwrap();
+        let mc = run(&model, &MonteCarloOptions::new(200, 1, topts)).unwrap();
+        let (node, k, _) = opera.worst_mean_drop(grid.vdd());
+        let mean_err = (opera.mean_at(k, node) - mc.mean[k][node]).abs() / grid.vdd();
+        assert!(mean_err < 5e-3, "mean error {mean_err}");
+        let sigma_opera = opera.std_dev_at(k, node);
+        let sigma_mc = mc.std_dev_at(k, node);
+        assert!(sigma_mc > 0.0);
+        let rel = (sigma_opera - sigma_mc).abs() / sigma_mc;
+        assert!(rel < 0.25, "sigma mismatch: {sigma_opera} vs {sigma_mc}");
+    }
+
+    #[test]
+    fn probe_traces_have_expected_shape() {
+        let (_grid, model) = setup();
+        let topts = TransientOptions::new(0.25e-9, 1.0e-9);
+        let mut opts = MonteCarloOptions::new(5, 3, topts);
+        opts.probe_nodes = vec![0, 7];
+        let mc = run(&model, &opts).unwrap();
+        assert_eq!(mc.probe_traces.len(), 2);
+        assert_eq!(mc.probe_traces[0].len(), 5);
+        assert_eq!(mc.probe_traces[0][0].len(), mc.times.len());
+        let samples = mc.probe_samples_at(7, 1);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(mc.samples, 5);
+    }
+
+    #[test]
+    fn leakage_monte_carlo_records_probe_traces_and_matches_nominal_without_variation() {
+        use opera_variation::LeakageModel;
+        let grid = GridSpec::small_test(70).with_seed(19).build().unwrap();
+        let topts = TransientOptions::new(0.25e-9, 0.5e-9);
+        // Zero Vth sigma: every sample is identical, so the variance must be
+        // (numerically) zero and the probes all coincide.
+        let leakage =
+            LeakageModel::uniform_slices(grid.node_count(), 2, 1.0e-5, 0.0, 23.0).unwrap();
+        let mut opts = MonteCarloOptions::new(8, 4, topts);
+        opts.probe_nodes = vec![3];
+        let mc = run_leakage(&grid, &leakage, &opts).unwrap();
+        assert_eq!(mc.probe_traces[0].len(), 8);
+        let k = mc.times.len() - 1;
+        let samples = mc.probe_samples_at(3, k);
+        for s in &samples {
+            assert!((s - samples[0]).abs() < 1e-12);
+        }
+        for n in 0..grid.node_count() {
+            assert!(mc.std_dev_at(k, n) < 1e-10);
+        }
+        let (_, _, worst) = mc.worst_mean_drop(grid.vdd());
+        assert!(worst >= 0.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let (_grid, model) = setup();
+        let topts = TransientOptions::new(0.25e-9, 0.5e-9);
+        let a = run(&model, &MonteCarloOptions::new(10, 11, topts)).unwrap();
+        let b = run(&model, &MonteCarloOptions::new(10, 11, topts)).unwrap();
+        let c = run(&model, &MonteCarloOptions::new(10, 12, topts)).unwrap();
+        assert_eq!(a.mean, b.mean);
+        assert_ne!(a.mean, c.mean);
+    }
+
+    #[test]
+    fn zero_samples_is_rejected() {
+        let (_grid, model) = setup();
+        let opts = MonteCarloOptions::new(0, 1, TransientOptions::new(0.1e-9, 1.0e-9));
+        assert!(matches!(
+            run(&model, &opts),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+    }
+}

@@ -1,0 +1,262 @@
+//! The special case of Section 5.1: variations only in the excitation.
+//!
+//! When only the right-hand side of the MNA equation is stochastic (for
+//! example leakage currents driven by per-region threshold-voltage
+//! variations), projecting onto the basis decouples the Galerkin system into
+//! `N + 1` *independent* deterministic systems
+//!
+//! ```text
+//! (G + sC) x_j(s) = U_j(s),    j = 0 … N            (paper Eq. 27)
+//! ```
+//!
+//! so a single factorisation of the nominal companion matrix is shared by all
+//! right-hand sides. Unlike the bounds of prior work, the expansion gives the
+//! exact mean, variance and higher moments of the response.
+
+use opera_grid::PowerGrid;
+use opera_pce::{GalerkinCoupling, OrthogonalBasis};
+use opera_sparse::{CholeskyFactor, LuFactor};
+use opera_variation::LeakageModel;
+
+use crate::stochastic::StochasticSolution;
+use crate::transient::{CompanionSystem, TransientOptions};
+use crate::{OperaError, Result};
+
+/// Options for the special-case (RHS-only variation) solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecialCaseOptions {
+    /// Truncation order of the expansion (the paper uses 2 in its example).
+    pub order: u32,
+    /// Transient analysis options.
+    pub transient: TransientOptions,
+}
+
+impl SpecialCaseOptions {
+    /// Order-2 options, matching the paper's example.
+    pub fn order2(transient: TransientOptions) -> Self {
+        SpecialCaseOptions {
+            order: 2,
+            transient,
+        }
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for order 0 or invalid
+    /// transient options.
+    pub fn validate(&self) -> Result<()> {
+        if self.order == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "expansion order must be at least 1".to_string(),
+            });
+        }
+        self.transient.validate()
+    }
+}
+
+/// Solves the RHS-only variation problem: switching currents are
+/// deterministic, leakage currents are lognormal with per-region `Vth`
+/// variations.
+///
+/// # Errors
+///
+/// Returns [`OperaError::InvalidOptions`] for inconsistent inputs and
+/// propagates factorisation errors.
+///
+/// # Example
+///
+/// ```
+/// use opera::special_case::{solve_leakage, SpecialCaseOptions};
+/// use opera::transient::TransientOptions;
+/// use opera_grid::GridSpec;
+/// use opera_variation::LeakageModel;
+///
+/// # fn main() -> Result<(), opera::OperaError> {
+/// let grid = GridSpec::small_test(100).build()?;
+/// let leakage = LeakageModel::uniform_slices(grid.node_count(), 2, 2.0e-6, 0.03, 23.0)?;
+/// let options = SpecialCaseOptions::order2(TransientOptions::new(0.1e-9, 1.0e-9));
+/// let solution = solve_leakage(&grid, &leakage, &options)?;
+/// assert_eq!(solution.basis_size(), 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_leakage(
+    grid: &PowerGrid,
+    leakage: &LeakageModel,
+    options: &SpecialCaseOptions,
+) -> Result<StochasticSolution> {
+    options.validate()?;
+    if leakage.node_count() != grid.node_count() {
+        return Err(OperaError::InvalidOptions {
+            reason: format!(
+                "leakage model covers {} nodes but the grid has {}",
+                leakage.node_count(),
+                grid.node_count()
+            ),
+        });
+    }
+    let basis = OrthogonalBasis::total_order_mixed(
+        leakage.families(),
+        leakage.region_count(),
+        options.order,
+    )?;
+    let coupling = GalerkinCoupling::new(&basis)?;
+    // Projected leakage injections: inj[j][node] (amperes drawn).
+    let injections = leakage.projected_injections(&basis, &coupling)?;
+
+    let g = grid.conductance_matrix();
+    let c = grid.capacitance_matrix();
+    let times = options.transient.time_points();
+    let n = grid.node_count();
+    let size = basis.len();
+
+    // Right-hand side for coefficient j at time t:
+    //   j = 0 : nominal switching excitation minus the mean leakage,
+    //   j > 0 : minus the j-th leakage coefficient (time independent).
+    let rhs_at = |j: usize, t: f64| -> Vec<f64> {
+        if j == 0 {
+            let mut u = grid.excitation(t);
+            for (u_n, inj) in u.iter_mut().zip(&injections[0]) {
+                *u_n -= inj;
+            }
+            u
+        } else {
+            injections[j].iter().map(|&inj| -inj).collect()
+        }
+    };
+
+    // One factorisation of G for the DC start and one of the companion matrix
+    // for the time stepping — shared by all N + 1 systems (the whole point of
+    // the special case).
+    let dc_factor = match CholeskyFactor::factor(&g) {
+        Ok(f) => DcFactor::Cholesky(f),
+        Err(_) => DcFactor::Lu(LuFactor::factor(&g)?),
+    };
+    let companion = CompanionSystem::new(&g, &c, options.transient.time_step, options.transient.method)?;
+
+    // coefficients[k][j][node]
+    let mut coefficients = vec![vec![Vec::new(); size]; times.len()];
+    for j in 0..size {
+        let u0 = rhs_at(j, 0.0);
+        let mut state = dc_factor.solve(&u0);
+        coefficients[0][j] = state.clone();
+        let mut u_prev = u0;
+        for (k, &t) in times.iter().enumerate().skip(1) {
+            let u_next = rhs_at(j, t);
+            state = companion.step(&state, &u_prev, &u_next);
+            coefficients[k][j] = state.clone();
+            u_prev = u_next;
+        }
+    }
+    Ok(StochasticSolution::new(basis, times, n, coefficients))
+}
+
+enum DcFactor {
+    Cholesky(CholeskyFactor),
+    Lu(LuFactor),
+}
+
+impl DcFactor {
+    fn solve(&self, b: &[f64]) -> Vec<f64> {
+        match self {
+            DcFactor::Cholesky(f) => f.solve(b),
+            DcFactor::Lu(f) => f.solve(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::{run_leakage, MonteCarloOptions};
+    use opera_grid::GridSpec;
+
+    fn setup() -> (opera_grid::PowerGrid, LeakageModel) {
+        let grid = GridSpec::small_test(90).with_seed(13).build().unwrap();
+        // Sizeable leakage so its variation is visible next to the switching
+        // currents: a few percent of the block current budget per node.
+        let leakage =
+            LeakageModel::uniform_slices(grid.node_count(), 2, 3.0e-5, 0.04, 23.0).unwrap();
+        (grid, leakage)
+    }
+
+    #[test]
+    fn special_case_matches_leakage_monte_carlo() {
+        let (grid, leakage) = setup();
+        let topts = TransientOptions::new(0.2e-9, 1.0e-9);
+        let sol = solve_leakage(&grid, &leakage, &SpecialCaseOptions::order2(topts)).unwrap();
+        let mc = run_leakage(&grid, &leakage, &MonteCarloOptions::new(300, 2, topts)).unwrap();
+        let (node, k, _) = sol.worst_mean_drop(grid.vdd());
+        let mean_err = (sol.mean_at(k, node) - mc.mean[k][node]).abs() / grid.vdd();
+        assert!(mean_err < 2e-3, "mean error {mean_err}");
+        let s_opera = sol.std_dev_at(k, node);
+        let s_mc = mc.std_dev_at(k, node);
+        assert!(s_mc > 0.0);
+        assert!(
+            (s_opera - s_mc).abs() / s_mc < 0.3,
+            "sigma mismatch {s_opera} vs {s_mc}"
+        );
+    }
+
+    #[test]
+    fn mean_reflects_lognormal_leakage_bias() {
+        // The mean response must account for E[exp(−sξ)] > exp(0): the mean
+        // drop is larger than the drop at the nominal (median) leakage.
+        let (grid, leakage) = setup();
+        let topts = TransientOptions::new(0.5e-9, 1.0e-9);
+        let sol = solve_leakage(&grid, &leakage, &SpecialCaseOptions::order2(topts)).unwrap();
+        // Zero-variance model with the same median leakage.
+        let no_var =
+            LeakageModel::uniform_slices(grid.node_count(), 2, 3.0e-5, 0.0, 23.0).unwrap();
+        let sol0 = solve_leakage(&grid, &no_var, &SpecialCaseOptions::order2(topts)).unwrap();
+        let (node, k, _) = sol.worst_mean_drop(grid.vdd());
+        assert!(sol.mean_at(k, node) < sol0.mean_at(k, node));
+        // And the zero-variance case has (numerically) zero spread.
+        assert!(sol0.std_dev_at(k, node) < 1e-12);
+    }
+
+    #[test]
+    fn region_variables_affect_their_own_region_most() {
+        let (grid, leakage) = setup();
+        let topts = TransientOptions::new(0.5e-9, 1.0e-9);
+        let sol = solve_leakage(&grid, &leakage, &SpecialCaseOptions::order2(topts)).unwrap();
+        let k = sol.times().len() - 1;
+        // A node deep in region 0 must load mostly on ξ₁; one in region 1 on ξ₂.
+        let node_r0 = (0..grid.node_count())
+            .find(|&n| leakage.region_of(n) == 0)
+            .unwrap();
+        let node_r1 = (0..grid.node_count())
+            .rev()
+            .find(|&n| leakage.region_of(n) == 1)
+            .unwrap();
+        let xi1 = sol.basis().linear_index(0).unwrap();
+        let xi2 = sol.basis().linear_index(1).unwrap();
+        assert!(
+            sol.coefficient(k, xi1, node_r0).abs() > sol.coefficient(k, xi2, node_r0).abs()
+        );
+        assert!(
+            sol.coefficient(k, xi2, node_r1).abs() > sol.coefficient(k, xi1, node_r1).abs()
+        );
+    }
+
+    #[test]
+    fn mismatched_node_counts_are_rejected() {
+        let (grid, _) = setup();
+        let wrong = LeakageModel::uniform_slices(grid.node_count() + 5, 2, 1e-6, 0.03, 23.0)
+            .unwrap();
+        let opts = SpecialCaseOptions::order2(TransientOptions::new(0.2e-9, 1.0e-9));
+        assert!(matches!(
+            solve_leakage(&grid, &wrong, &opts),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+        let bad_order = SpecialCaseOptions {
+            order: 0,
+            transient: TransientOptions::new(0.2e-9, 1.0e-9),
+        };
+        let leakage =
+            LeakageModel::uniform_slices(grid.node_count(), 2, 1e-6, 0.03, 23.0).unwrap();
+        assert!(solve_leakage(&grid, &leakage, &bad_order).is_err());
+    }
+}

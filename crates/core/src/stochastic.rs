@@ -1,0 +1,674 @@
+//! The OPERA stochastic transient solver.
+//!
+//! One transient analysis of the Galerkin-augmented system yields the full
+//! polynomial-chaos representation of every node voltage at every time step:
+//! the coefficients `a_i(t)` of `x(t, ξ) = Σ_i a_i(t) ψ_i(ξ)`. Mean, variance
+//! and distributions then follow in closed form (paper Eq. 23), which is what
+//! makes OPERA one to two orders of magnitude faster than Monte Carlo.
+
+use opera_pce::{OrthogonalBasis, PceSeries};
+use opera_variation::StochasticGridModel;
+
+use crate::galerkin::GalerkinSystem;
+use crate::transient::{CompanionSystem, TransientOptions};
+use crate::{OperaError, Result};
+
+/// How the augmented Galerkin system is solved at each time step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AugmentedSolver {
+    /// Sparse Cholesky factorisation of the full `(N+1)·n` companion matrix,
+    /// factored once and reused for every time step (default).
+    #[default]
+    Direct,
+    /// Conjugate gradient on the augmented system with a block-Jacobi
+    /// preconditioner built from a *single* factorisation of the nominal
+    /// companion matrix `G_a + C_a/h` (the diagonal blocks of the augmented
+    /// matrix are exactly `⟨ψ_i²⟩(G_a + C_a/h)` for symmetric variations).
+    /// This is the "iterative block solver with appropriate pre-conditioner"
+    /// the paper suggests for very large grids (§5.2) and it keeps the OPERA
+    /// cost close to a single deterministic transient.
+    PreconditionedCg {
+        /// Relative residual tolerance of the CG iteration.
+        tolerance: f64,
+        /// Maximum CG iterations per solve.
+        max_iterations: usize,
+    },
+}
+
+impl AugmentedSolver {
+    /// The preconditioned-CG solver with default settings (1e-10 tolerance).
+    pub fn preconditioned_cg() -> Self {
+        AugmentedSolver::PreconditionedCg {
+            tolerance: 1e-10,
+            max_iterations: 2_000,
+        }
+    }
+}
+
+/// Options for the OPERA solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperaOptions {
+    /// Truncation order `p` of the polynomial chaos expansion (the paper uses
+    /// 2 or 3).
+    pub order: u32,
+    /// Transient analysis options.
+    pub transient: TransientOptions,
+    /// How the augmented system is solved.
+    pub solver: AugmentedSolver,
+}
+
+impl OperaOptions {
+    /// Order-2 expansion with the given transient options (the configuration
+    /// used for every Table 1 entry in the paper) and the direct solver.
+    pub fn order2(transient: TransientOptions) -> Self {
+        OperaOptions {
+            order: 2,
+            transient,
+            solver: AugmentedSolver::Direct,
+        }
+    }
+
+    /// Order-`p` expansion with the given transient options and the direct
+    /// solver.
+    pub fn with_order(order: u32, transient: TransientOptions) -> Self {
+        OperaOptions {
+            order,
+            transient,
+            solver: AugmentedSolver::Direct,
+        }
+    }
+
+    /// Switches to the block-preconditioned CG solver for the augmented
+    /// system.
+    pub fn with_iterative_solver(mut self) -> Self {
+        self.solver = AugmentedSolver::preconditioned_cg();
+        self
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for order 0, a non-positive CG
+    /// tolerance, or invalid transient options.
+    pub fn validate(&self) -> Result<()> {
+        if self.order == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "expansion order must be at least 1".to_string(),
+            });
+        }
+        if let AugmentedSolver::PreconditionedCg {
+            tolerance,
+            max_iterations,
+        } = self.solver
+        {
+            if !(tolerance > 0.0) || max_iterations == 0 {
+                return Err(OperaError::InvalidOptions {
+                    reason: "CG tolerance must be positive and max_iterations nonzero".to_string(),
+                });
+            }
+        }
+        self.transient.validate()
+    }
+}
+
+/// The stochastic voltage response: polynomial-chaos coefficients of every
+/// node voltage at every time point.
+#[derive(Debug, Clone)]
+pub struct StochasticSolution {
+    basis: OrthogonalBasis,
+    times: Vec<f64>,
+    node_count: usize,
+    /// `coefficients[k][i][n]`: coefficient of basis function `ψ_i` for node
+    /// `n` at time `times[k]`.
+    coefficients: Vec<Vec<Vec<f64>>>,
+}
+
+impl StochasticSolution {
+    /// Builds a solution from raw per-time coefficient blocks. Intended for
+    /// the solvers in this crate; the lengths must be consistent.
+    pub(crate) fn new(
+        basis: OrthogonalBasis,
+        times: Vec<f64>,
+        node_count: usize,
+        coefficients: Vec<Vec<Vec<f64>>>,
+    ) -> Self {
+        debug_assert_eq!(times.len(), coefficients.len());
+        StochasticSolution {
+            basis,
+            times,
+            node_count,
+            coefficients,
+        }
+    }
+
+    /// The basis the response is expanded in.
+    pub fn basis(&self) -> &OrthogonalBasis {
+        &self.basis
+    }
+
+    /// Time points of the transient analysis.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of grid nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of basis functions `N + 1`.
+    pub fn basis_size(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Coefficient of basis function `i` for node `node` at time index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn coefficient(&self, k: usize, i: usize, node: usize) -> f64 {
+        self.coefficients[k][i][node]
+    }
+
+    /// Mean voltage of `node` at time index `k` (paper Eq. 23: the mean is
+    /// the zeroth coefficient).
+    pub fn mean_at(&self, k: usize, node: usize) -> f64 {
+        self.coefficients[k][0][node]
+    }
+
+    /// Variance of the voltage of `node` at time index `k`
+    /// (`Σ_{i>0} a_i² ⟨ψ_i²⟩`).
+    pub fn variance_at(&self, k: usize, node: usize) -> f64 {
+        (1..self.basis.len())
+            .map(|i| {
+                let a = self.coefficients[k][i][node];
+                a * a * self.basis.norm_squared(i)
+            })
+            .sum()
+    }
+
+    /// Standard deviation of the voltage of `node` at time index `k`.
+    pub fn std_dev_at(&self, k: usize, node: usize) -> f64 {
+        self.variance_at(k, node).sqrt()
+    }
+
+    /// The full scalar expansion of one node voltage at one time point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coefficient-length errors (cannot happen for solutions
+    /// produced by this crate).
+    pub fn node_series(&self, k: usize, node: usize) -> Result<PceSeries> {
+        let coeffs: Vec<f64> = (0..self.basis.len())
+            .map(|i| self.coefficients[k][i][node])
+            .collect();
+        Ok(PceSeries::from_coefficients(&self.basis, coeffs)?)
+    }
+
+    /// The time index and value of the worst (largest) mean voltage drop of a
+    /// given node, measured against `vdd`.
+    pub fn worst_mean_drop_of_node(&self, vdd: f64, node: usize) -> (usize, f64) {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for k in 0..self.times.len() {
+            let drop = vdd - self.mean_at(k, node);
+            if drop > best.1 {
+                best = (k, drop);
+            }
+        }
+        best
+    }
+
+    /// The node, time index and value of the worst mean voltage drop over the
+    /// whole grid.
+    pub fn worst_mean_drop(&self, vdd: f64) -> (usize, usize, f64) {
+        let mut best = (0usize, 0usize, f64::NEG_INFINITY);
+        for k in 0..self.times.len() {
+            for n in 0..self.node_count {
+                let drop = vdd - self.mean_at(k, n);
+                if drop > best.2 {
+                    best = (n, k, drop);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Runs the OPERA analysis: assembles the Galerkin system for the model and
+/// performs one augmented transient solve.
+///
+/// # Errors
+///
+/// Returns [`OperaError::InvalidOptions`] for invalid options and propagates
+/// assembly/factorisation errors.
+///
+/// # Example
+///
+/// ```
+/// use opera::stochastic::{solve, OperaOptions};
+/// use opera::transient::TransientOptions;
+/// use opera_grid::GridSpec;
+/// use opera_variation::{StochasticGridModel, VariationSpec};
+///
+/// # fn main() -> Result<(), opera::OperaError> {
+/// let grid = GridSpec::small_test(100).build()?;
+/// let model = StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults())?;
+/// let options = OperaOptions::order2(TransientOptions::new(0.1e-9, 1.0e-9));
+/// let solution = solve(&model, &options)?;
+/// let (node, k, drop) = solution.worst_mean_drop(grid.vdd());
+/// assert!(drop > 0.0);
+/// assert!(solution.std_dev_at(k, node) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(model: &StochasticGridModel, options: &OperaOptions) -> Result<StochasticSolution> {
+    options.validate()?;
+    let basis = OrthogonalBasis::total_order_mixed(
+        model.families(),
+        model.n_vars(),
+        options.order,
+    )?;
+    let system = GalerkinSystem::assemble(model, &basis)?;
+    solve_assembled(model, &system, options)
+}
+
+/// Runs the OPERA transient on an already assembled Galerkin system (useful
+/// when the same system is reused with several transient or solver
+/// configurations; the expansion order of `options` is ignored in favour of
+/// the system's basis).
+///
+/// # Errors
+///
+/// Propagates factorisation errors and invalid transient options.
+pub fn solve_assembled(
+    model: &StochasticGridModel,
+    system: &GalerkinSystem,
+    options: &OperaOptions,
+) -> Result<StochasticSolution> {
+    let transient = &options.transient;
+    transient.validate()?;
+    match options.solver {
+        AugmentedSolver::Direct => solve_direct(model, system, transient),
+        AugmentedSolver::PreconditionedCg {
+            tolerance,
+            max_iterations,
+        } => solve_iterative(model, system, transient, tolerance, max_iterations),
+    }
+}
+
+/// Direct path: one sparse Cholesky (or LU) factorisation of the augmented
+/// companion matrix, reused for every time step.
+fn solve_direct(
+    model: &StochasticGridModel,
+    system: &GalerkinSystem,
+    transient: &TransientOptions,
+) -> Result<StochasticSolution> {
+    let times = transient.time_points();
+    let n = system.node_count();
+
+    // DC initial condition: G̃ a(0) = Ũ(0).
+    let u0 = system.excitation(model, 0.0);
+    let a0 = match opera_sparse::CholeskyFactor::factor(system.conductance()) {
+        Ok(f) => f.solve(&u0),
+        Err(_) => opera_sparse::LuFactor::factor(system.conductance())?.solve(&u0),
+    };
+
+    let companion = CompanionSystem::new(
+        system.conductance(),
+        system.capacitance(),
+        transient.time_step,
+        transient.method,
+    )?;
+
+    let mut coefficients = Vec::with_capacity(times.len());
+    coefficients.push(system.split_solution(&a0));
+    let mut state = a0;
+    let mut u_prev = u0;
+    for k in 1..times.len() {
+        let u_next = system.excitation(model, times[k]);
+        let next = companion.step(&state, &u_prev, &u_next);
+        coefficients.push(system.split_solution(&next));
+        state = next;
+        u_prev = u_next;
+    }
+    Ok(StochasticSolution::new(
+        system.basis().clone(),
+        times,
+        n,
+        coefficients,
+    ))
+}
+
+/// Block-Jacobi preconditioner for the augmented system: every basis block is
+/// preconditioned with a shared factorisation of the nominal matrix, scaled
+/// by `1 / ⟨ψ_i²⟩`.
+struct BlockNominalPreconditioner {
+    factor: opera_sparse::CholeskyFactor,
+    inv_norms: Vec<f64>,
+    block_size: usize,
+}
+
+impl opera_sparse::cg::Preconditioner for BlockNominalPreconditioner {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        let mut z = Vec::with_capacity(r.len());
+        for (i, block) in r.chunks(self.block_size).enumerate() {
+            let mut zi = self.factor.solve(block);
+            for v in &mut zi {
+                *v *= self.inv_norms[i];
+            }
+            z.extend_from_slice(&zi);
+        }
+        z
+    }
+}
+
+/// Preconditioned CG with an initial guess: solves `A·x = b` by iterating on
+/// the correction `A·δ = b − A·x₀`, with the tolerance rescaled so that the
+/// overall relative residual (with respect to `‖b‖`) matches `tolerance`.
+fn cg_with_guess(
+    a: &opera_sparse::CsrMatrix,
+    b: &[f64],
+    guess: &[f64],
+    preconditioner: &BlockNominalPreconditioner,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<Vec<f64>> {
+    let mut residual = b.to_vec();
+    a.matvec_acc(guess, -1.0, &mut residual);
+    let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let norm_r = residual.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm_r <= tolerance * norm_b.max(f64::MIN_POSITIVE) {
+        return Ok(guess.to_vec());
+    }
+    let effective_tol = (tolerance * norm_b / norm_r).clamp(1e-14, 0.5);
+    let correction = opera_sparse::cg::solve(
+        a,
+        &residual,
+        preconditioner,
+        opera_sparse::cg::CgOptions {
+            max_iterations,
+            tolerance: effective_tol,
+        },
+    )?;
+    Ok(guess
+        .iter()
+        .zip(&correction.x)
+        .map(|(g, d)| g + d)
+        .collect())
+}
+
+/// Iterative path: conjugate gradient on the augmented companion system with
+/// the block-nominal preconditioner. Only two factorisations of *nominal*
+/// sized matrices are performed (one for the DC start, one for the companion
+/// matrix), so the OPERA cost stays close to a single deterministic transient
+/// even for very large grids.
+fn solve_iterative(
+    model: &StochasticGridModel,
+    system: &GalerkinSystem,
+    transient: &TransientOptions,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<StochasticSolution> {
+    let times = transient.time_points();
+    let n = system.node_count();
+    let size = system.basis_size();
+    let h = transient.time_step;
+    let c_scale = match transient.method {
+        crate::transient::IntegrationMethod::BackwardEuler => 1.0 / h,
+        crate::transient::IntegrationMethod::Trapezoidal => 2.0 / h,
+    };
+
+    let inv_norms: Vec<f64> = (0..size)
+        .map(|i| 1.0 / system.coupling().norm_squared(i))
+        .collect();
+
+    // Augmented companion matrix (for matvecs only — never factored).
+    let c_over_h = system.capacitance().scaled(c_scale);
+    let a_hat = system.conductance().add_scaled(&c_over_h, 1.0)?;
+
+    // Preconditioners: nominal G (DC start) and nominal companion (stepping).
+    let g_nominal = model.nominal_conductance();
+    let nominal_companion =
+        g_nominal.add_scaled(&model.nominal_capacitance().scaled(c_scale), 1.0)?;
+    let dc_pre = BlockNominalPreconditioner {
+        factor: opera_sparse::CholeskyFactor::factor(g_nominal)?,
+        inv_norms: inv_norms.clone(),
+        block_size: n,
+    };
+    let step_pre = BlockNominalPreconditioner {
+        factor: opera_sparse::CholeskyFactor::factor(&nominal_companion)?,
+        inv_norms,
+        block_size: n,
+    };
+
+    // DC initial condition via CG on G̃ (guess: nominal DC solution in block 0).
+    let u0 = system.excitation(model, 0.0);
+    let mut guess = vec![0.0; n * size];
+    guess[..n].copy_from_slice(&dc_pre.factor.solve(&u0[..n]));
+    let a0 = cg_with_guess(
+        system.conductance(),
+        &u0,
+        &guess,
+        &dc_pre,
+        tolerance,
+        max_iterations,
+    )?;
+
+    let mut coefficients = Vec::with_capacity(times.len());
+    coefficients.push(system.split_solution(&a0));
+    let mut state = a0;
+    let mut u_prev = u0;
+    for k in 1..times.len() {
+        let u_next = system.excitation(model, times[k]);
+        // Right-hand side of the implicit step.
+        let mut rhs = vec![0.0; n * size];
+        match transient.method {
+            crate::transient::IntegrationMethod::BackwardEuler => {
+                c_over_h.matvec_into(&state, &mut rhs);
+                for (r, u) in rhs.iter_mut().zip(&u_next) {
+                    *r += u;
+                }
+            }
+            crate::transient::IntegrationMethod::Trapezoidal => {
+                c_over_h.matvec_into(&state, &mut rhs);
+                system.conductance().matvec_acc(&state, -1.0, &mut rhs);
+                for ((r, a), b) in rhs.iter_mut().zip(&u_prev).zip(&u_next) {
+                    *r += a + b;
+                }
+            }
+        }
+        let next = cg_with_guess(&a_hat, &rhs, &state, &step_pre, tolerance, max_iterations)?;
+        coefficients.push(system.split_solution(&next));
+        state = next;
+        u_prev = u_next;
+    }
+    Ok(StochasticSolution::new(
+        system.basis().clone(),
+        times,
+        n,
+        coefficients,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::{solve_transient, TransientOptions};
+    use opera_grid::GridSpec;
+    use opera_variation::{StochasticGridModel, VariationSpec};
+
+    fn small_setup() -> (opera_grid::PowerGrid, StochasticGridModel) {
+        let grid = GridSpec::small_test(120).with_seed(9).build().unwrap();
+        let model =
+            StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults()).unwrap();
+        (grid, model)
+    }
+
+    #[test]
+    fn zero_variation_reduces_to_deterministic_transient() {
+        let grid = GridSpec::small_test(90).with_seed(4).build().unwrap();
+        let model = StochasticGridModel::inter_die(&grid, &VariationSpec::none()).unwrap();
+        let topts = TransientOptions::new(0.1e-9, 1.0e-9);
+        let opera = solve(&model, &OperaOptions::order2(topts)).unwrap();
+        let det = solve_transient(
+            &grid.conductance_matrix(),
+            &grid.capacitance_matrix(),
+            |t| grid.excitation(t),
+            &topts,
+        )
+        .unwrap();
+        for k in 0..opera.times().len() {
+            for n in 0..grid.node_count() {
+                assert!(
+                    (opera.mean_at(k, n) - det.voltages[k][n]).abs() < 1e-9,
+                    "mean differs at time {k}, node {n}"
+                );
+                assert!(opera.std_dev_at(k, n) < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn variation_produces_nonzero_spread_at_loaded_nodes() {
+        let (grid, model) = small_setup();
+        let opts = OperaOptions::order2(TransientOptions::new(0.1e-9, 1.0e-9));
+        let sol = solve(&model, &opts).unwrap();
+        let (node, k, drop) = sol.worst_mean_drop(grid.vdd());
+        assert!(drop > 0.0);
+        let sigma = sol.std_dev_at(k, node);
+        assert!(sigma > 0.0, "expected nonzero spread at the worst node");
+        // The ±3σ spread should be a sizeable fraction of the nominal drop
+        // (the paper reports ≈ ±35 %), certainly above 5 % for these settings.
+        assert!(3.0 * sigma / drop > 0.05, "3σ/µ0 = {}", 3.0 * sigma / drop);
+    }
+
+    #[test]
+    fn mean_is_close_to_nominal_voltage() {
+        // Paper: "the mean voltage drops ... with variations was more or less
+        // the same as the nominal voltage drops without variations".
+        let (grid, model) = small_setup();
+        let topts = TransientOptions::new(0.1e-9, 1.0e-9);
+        let sol = solve(&model, &OperaOptions::order2(topts)).unwrap();
+        let det = solve_transient(
+            &grid.conductance_matrix(),
+            &grid.capacitance_matrix(),
+            |t| grid.excitation(t),
+            &topts,
+        )
+        .unwrap();
+        let (node, k, _) = sol.worst_mean_drop(grid.vdd());
+        let diff = (sol.mean_at(k, node) - det.voltages[k][node]).abs();
+        assert!(
+            diff / grid.vdd() < 0.01,
+            "mean shift {diff} is larger than 1 % of VDD"
+        );
+    }
+
+    #[test]
+    fn node_series_matches_solution_statistics() {
+        let (_grid, model) = small_setup();
+        let sol = solve(
+            &model,
+            &OperaOptions::order2(TransientOptions::new(0.2e-9, 1.0e-9)),
+        )
+        .unwrap();
+        let k = sol.times().len() - 1;
+        let series = sol.node_series(k, 3).unwrap();
+        assert!((series.mean() - sol.mean_at(k, 3)).abs() < 1e-14);
+        assert!((series.variance() - sol.variance_at(k, 3)).abs() < 1e-16);
+    }
+
+    #[test]
+    fn order_one_and_two_agree_on_the_mean_to_first_order() {
+        let (_grid, model) = small_setup();
+        let topts = TransientOptions::new(0.2e-9, 1.0e-9);
+        let sol1 = solve(&model, &OperaOptions::with_order(1, topts)).unwrap();
+        let sol2 = solve(&model, &OperaOptions::order2(topts)).unwrap();
+        let k = sol1.times().len() - 1;
+        for n in (0..model.node_count()).step_by(7) {
+            let d = (sol1.mean_at(k, n) - sol2.mean_at(k, n)).abs();
+            assert!(d < 5e-4, "order-1 and order-2 means differ by {d}");
+        }
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let (_grid, model) = small_setup();
+        let bad = OperaOptions::with_order(0, TransientOptions::new(0.1e-9, 1.0e-9));
+        assert!(matches!(
+            solve(&model, &bad),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+        let bad_cg = OperaOptions {
+            solver: AugmentedSolver::PreconditionedCg {
+                tolerance: 0.0,
+                max_iterations: 10,
+            },
+            ..OperaOptions::order2(TransientOptions::new(0.1e-9, 1.0e-9))
+        };
+        assert!(bad_cg.validate().is_err());
+    }
+
+    #[test]
+    fn iterative_solver_matches_direct_solver_with_trapezoidal_integration() {
+        // Exercises the trapezoidal branch of the iterative stepping code.
+        let (grid, model) = small_setup();
+        let topts = TransientOptions {
+            time_step: 0.1e-9,
+            end_time: 1.0e-9,
+            method: crate::transient::IntegrationMethod::Trapezoidal,
+        };
+        let direct = solve(&model, &OperaOptions::order2(topts)).unwrap();
+        let iterative = solve(
+            &model,
+            &OperaOptions::order2(topts).with_iterative_solver(),
+        )
+        .unwrap();
+        let (node, k, _) = direct.worst_mean_drop(grid.vdd());
+        assert!((direct.mean_at(k, node) - iterative.mean_at(k, node)).abs() < 1e-7 * grid.vdd());
+        assert!(
+            (direct.std_dev_at(k, node) - iterative.std_dev_at(k, node)).abs()
+                < 1e-6 * grid.vdd()
+        );
+    }
+
+    #[test]
+    fn augmented_solver_default_is_direct() {
+        assert_eq!(AugmentedSolver::default(), AugmentedSolver::Direct);
+        match AugmentedSolver::preconditioned_cg() {
+            AugmentedSolver::PreconditionedCg {
+                tolerance,
+                max_iterations,
+            } => {
+                assert!(tolerance > 0.0 && max_iterations > 0);
+            }
+            AugmentedSolver::Direct => panic!("expected the CG variant"),
+        }
+    }
+
+    #[test]
+    fn iterative_solver_matches_direct_solver() {
+        let (grid, model) = small_setup();
+        let topts = TransientOptions::new(0.1e-9, 1.0e-9);
+        let direct = solve(&model, &OperaOptions::order2(topts)).unwrap();
+        let iterative = solve(
+            &model,
+            &OperaOptions::order2(topts).with_iterative_solver(),
+        )
+        .unwrap();
+        for k in (0..direct.times().len()).step_by(3) {
+            for n in (0..direct.node_count()).step_by(9) {
+                assert!(
+                    (direct.mean_at(k, n) - iterative.mean_at(k, n)).abs() < 1e-7 * grid.vdd(),
+                    "mean differs at ({k}, {n})"
+                );
+                assert!(
+                    (direct.std_dev_at(k, n) - iterative.std_dev_at(k, n)).abs()
+                        < 1e-6 * grid.vdd(),
+                    "sigma differs at ({k}, {n})"
+                );
+            }
+        }
+    }
+}

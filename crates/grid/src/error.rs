@@ -1,0 +1,63 @@
+//! Error type for power-grid construction and stamping.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying a power grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// A grid specification is inconsistent (zero nodes, no pads, …).
+    InvalidSpec {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// A node index referenced by a branch, capacitor or source is out of
+    /// bounds.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the grid.
+        node_count: usize,
+    },
+    /// A circuit element has a non-physical value (negative conductance,
+    /// negative capacitance, non-finite current, …).
+    InvalidElement {
+        /// Description of the element and value.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::InvalidSpec { reason } => write!(f, "invalid grid specification: {reason}"),
+            GridError::UnknownNode { node, node_count } => write!(
+                f,
+                "node index {node} out of bounds for a grid with {node_count} nodes"
+            ),
+            GridError::InvalidElement { reason } => write!(f, "invalid circuit element: {reason}"),
+        }
+    }
+}
+
+impl Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GridError::UnknownNode { node: 7, node_count: 5 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('5'));
+        let e = GridError::InvalidSpec { reason: "no pads".to_string() };
+        assert!(e.to_string().contains("no pads"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GridError>();
+    }
+}

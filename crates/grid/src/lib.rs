@@ -1,0 +1,48 @@
+//! RC power-grid modelling for stochastic IR-drop analysis.
+//!
+//! The OPERA paper analyses on-chip power distribution networks modelled as
+//! RC meshes: metal stripes and vias are resistors, functional blocks are
+//! transient drain-current sources in parallel with their non-switching load
+//! capacitance, and the package connections are ideal VDD sources behind pad
+//! resistances. This crate provides:
+//!
+//! * [`PowerGrid`] — the circuit-level model with conductance/capacitance
+//!   stamping into [`opera_sparse`] matrices and time-dependent excitation
+//!   vectors.
+//! * [`Waveform`] — piecewise-linear transient current profiles (the paper
+//!   obtains these from gate-level simulation; we synthesise clocked pulses).
+//! * [`GridSpec`] / [`generator`] — a synthetic "industrial-like" mesh
+//!   generator parameterised by node count, used in place of the paper's
+//!   proprietary FreeScale grids (see DESIGN.md §5 for the substitution
+//!   rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use opera_grid::{GridSpec, PowerGrid};
+//!
+//! # fn main() -> Result<(), opera_grid::GridError> {
+//! let grid: PowerGrid = GridSpec::small_test(400).build()?;
+//! assert!(grid.node_count() >= 380);
+//! let g = grid.conductance_matrix();
+//! assert!(g.is_symmetric(1e-9));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod grid;
+mod waveform;
+
+pub mod generator;
+
+pub use error::GridError;
+pub use generator::{GridSpec, PAPER_GRID_NODE_COUNTS};
+pub use grid::{BranchKind, CapacitorClass, CurrentSource, PowerGrid, ResistiveBranch};
+pub use waveform::Waveform;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GridError>;

@@ -1,0 +1,208 @@
+//! Piecewise-linear transient current waveforms.
+//!
+//! The paper obtains functional-block drain current profiles by simulating
+//! the blocks "at a full supply voltage for a large sequence of random input
+//! vectors". The resulting profiles are clock-synchronous current pulses. We
+//! model them as piecewise-linear waveforms; [`Waveform::clocked_pulses`]
+//! synthesises a typical triangular pulse train.
+
+/// A piecewise-linear waveform `i(t)` defined by `(time, value)` breakpoints.
+///
+/// Outside the breakpoint range the waveform is extended with its first/last
+/// value. Breakpoints are kept sorted by time.
+///
+/// # Example
+///
+/// ```
+/// use opera_grid::Waveform;
+///
+/// let w = Waveform::pulse(1.0e-9, 0.2e-9, 0.6e-9, 0.2e-9, 1.0e-3);
+/// assert_eq!(w.value_at(0.0), 0.0);
+/// assert!((w.value_at(1.2e-9) - 1.0e-3).abs() < 1e-12);
+/// assert_eq!(w.value_at(5.0e-9), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    points: Vec<(f64, f64)>,
+}
+
+impl Waveform {
+    /// A constant waveform.
+    pub fn constant(value: f64) -> Self {
+        Waveform {
+            points: vec![(0.0, value)],
+        }
+    }
+
+    /// Builds a waveform from `(time, value)` breakpoints; the points are
+    /// sorted by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or contains non-finite values.
+    pub fn from_points(mut points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "a waveform needs at least one breakpoint");
+        assert!(
+            points.iter().all(|(t, v)| t.is_finite() && v.is_finite()),
+            "waveform breakpoints must be finite"
+        );
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        Waveform { points }
+    }
+
+    /// A single trapezoidal pulse starting at `start`: value rises from 0 to
+    /// `peak` over `rise`, stays for `width`, and falls back over `fall`.
+    pub fn pulse(start: f64, rise: f64, width: f64, fall: f64, peak: f64) -> Self {
+        Waveform::from_points(vec![
+            (start, 0.0),
+            (start + rise, peak),
+            (start + rise + width, peak),
+            (start + rise + width + fall, 0.0),
+        ])
+    }
+
+    /// A clock-synchronous train of `cycles` triangular/trapezoidal pulses of
+    /// period `period`, each with the given `rise`, `width`, `fall` and
+    /// `peak`, starting at phase `phase` within each cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pulse does not fit within one period.
+    pub fn clocked_pulses(
+        period: f64,
+        phase: f64,
+        rise: f64,
+        width: f64,
+        fall: f64,
+        peak: f64,
+        cycles: usize,
+    ) -> Self {
+        assert!(
+            phase + rise + width + fall <= period * (1.0 + 1e-12),
+            "pulse does not fit in one clock period"
+        );
+        let mut points = vec![(0.0, 0.0)];
+        for c in 0..cycles {
+            let t0 = c as f64 * period + phase;
+            points.push((t0, 0.0));
+            points.push((t0 + rise, peak));
+            points.push((t0 + rise + width, peak));
+            points.push((t0 + rise + width + fall, 0.0));
+        }
+        Waveform::from_points(points)
+    }
+
+    /// Value of the waveform at time `t` (linear interpolation, constant
+    /// extension outside the breakpoints).
+    pub fn value_at(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the segment containing t.
+        let mut lo = 0;
+        let mut hi = pts.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if pts[mid].0 <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (t0, v0) = pts[lo];
+        let (t1, v1) = pts[hi];
+        if t1 == t0 {
+            v1
+        } else {
+            v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        }
+    }
+
+    /// Maximum value over the breakpoints (the peak of a piecewise-linear
+    /// waveform is always attained at a breakpoint).
+    pub fn peak(&self) -> f64 {
+        self.points.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Last breakpoint time.
+    pub fn end_time(&self) -> f64 {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Returns a copy scaled by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> Waveform {
+        Waveform {
+            points: self.points.iter().map(|&(t, v)| (t, alpha * v)).collect(),
+        }
+    }
+
+    /// The breakpoints of the waveform.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_waveform_is_flat() {
+        let w = Waveform::constant(2.5);
+        assert_eq!(w.value_at(-1.0), 2.5);
+        assert_eq!(w.value_at(0.0), 2.5);
+        assert_eq!(w.value_at(1.0e9), 2.5);
+        assert_eq!(w.peak(), 2.5);
+    }
+
+    #[test]
+    fn pulse_interpolates_linearly() {
+        let w = Waveform::pulse(1.0, 1.0, 2.0, 1.0, 10.0);
+        assert_eq!(w.value_at(0.5), 0.0);
+        assert!((w.value_at(1.5) - 5.0).abs() < 1e-12);
+        assert_eq!(w.value_at(2.5), 10.0);
+        assert!((w.value_at(4.5) - 5.0).abs() < 1e-12);
+        assert_eq!(w.value_at(6.0), 0.0);
+        assert_eq!(w.peak(), 10.0);
+        assert_eq!(w.end_time(), 5.0);
+    }
+
+    #[test]
+    fn clocked_pulses_repeat_each_period() {
+        let w = Waveform::clocked_pulses(10.0, 2.0, 1.0, 2.0, 1.0, 4.0, 3);
+        // Same phase in consecutive cycles gives the same value.
+        for t in [2.5, 3.5, 5.5] {
+            assert!((w.value_at(t) - w.value_at(t + 10.0)).abs() < 1e-12);
+        }
+        assert_eq!(w.peak(), 4.0);
+    }
+
+    #[test]
+    fn scaling_scales_values_not_times() {
+        let w = Waveform::pulse(0.0, 1.0, 1.0, 1.0, 2.0).scaled(3.0);
+        assert_eq!(w.peak(), 6.0);
+        assert_eq!(w.end_time(), 3.0);
+    }
+
+    #[test]
+    fn unsorted_points_are_sorted() {
+        let w = Waveform::from_points(vec![(2.0, 1.0), (0.0, 0.0), (1.0, 0.5)]);
+        assert!((w.value_at(0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_waveform_is_rejected() {
+        let _ = Waveform::from_points(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_pulse_is_rejected() {
+        let _ = Waveform::clocked_pulses(1.0, 0.5, 0.3, 0.3, 0.3, 1.0, 2);
+    }
+}

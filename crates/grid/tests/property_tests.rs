@@ -1,0 +1,118 @@
+//! Property-based tests of the power-grid model and the synthetic generator.
+
+use proptest::prelude::*;
+
+use opera_grid::{BranchKind, CapacitorClass, GridSpec, PowerGrid, Waveform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any generated grid is connected to a pad, has an SPD-stampable
+    /// conductance matrix and non-negative DC voltage drops bounded by VDD.
+    #[test]
+    fn generated_grids_are_well_posed(target in 60usize..400, seed in 0u64..500) {
+        let grid = GridSpec::small_test(target).with_seed(seed).build().unwrap();
+        grid.validate_connectivity().unwrap();
+        let g = grid.conductance_matrix();
+        prop_assert!(g.is_symmetric(1e-9 * g.frobenius_norm()));
+        let u = grid.excitation(0.0);
+        let v = opera_sparse::cholesky_solve(&g, &u).unwrap();
+        for &vi in &v {
+            prop_assert!(vi <= grid.vdd() + 1e-9);
+            prop_assert!(vi >= 0.0);
+        }
+    }
+
+    /// The capacitance class split respects the specified fractions for any
+    /// seed and size.
+    #[test]
+    fn capacitance_fractions_hold(target in 60usize..300, seed in 0u64..200) {
+        let spec = GridSpec::small_test(target).with_seed(seed);
+        let grid = spec.build().unwrap();
+        let total = grid.total_capacitance();
+        prop_assert!(total > 0.0);
+        let gate = grid.capacitance_of_class(CapacitorClass::Gate);
+        prop_assert!((gate / total - spec.gate_capacitance_fraction).abs() < 1e-6);
+    }
+
+    /// Waveform interpolation stays within the envelope of its breakpoints
+    /// and is exact at the breakpoints.
+    #[test]
+    fn waveform_interpolation_is_bounded(
+        mut pts in proptest::collection::vec((0.0f64..10.0, -5.0f64..5.0), 2..12),
+        query in 0.0f64..10.0,
+    ) {
+        // De-duplicate times so breakpoints are unambiguous.
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
+        prop_assume!(pts.len() >= 2);
+        let wave = Waveform::from_points(pts.clone());
+        let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let v = wave.value_at(query);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        for &(t, val) in &pts {
+            prop_assert!((wave.value_at(t) - val).abs() < 1e-9);
+        }
+        prop_assert!((wave.peak() - hi).abs() < 1e-12);
+    }
+
+    /// Conductance stamping is linear in the per-branch weights:
+    /// stamping with weight w equals the weighted sum of individual stamps.
+    #[test]
+    fn weighted_stamping_is_linear(w_wire in 0.0f64..2.0, w_pad in 0.0f64..2.0) {
+        let grid = GridSpec::small_test(120).with_seed(3).build().unwrap();
+        let full = grid.conductance_matrix_weighted(|b| match b.kind {
+            BranchKind::MetalWire | BranchKind::Via => w_wire,
+            BranchKind::PackagePad => w_pad,
+        });
+        let wires = grid.conductance_matrix_weighted(|b| match b.kind {
+            BranchKind::MetalWire | BranchKind::Via => 1.0,
+            BranchKind::PackagePad => 0.0,
+        });
+        let pads = grid.conductance_matrix_weighted(|b| match b.kind {
+            BranchKind::MetalWire | BranchKind::Via => 0.0,
+            BranchKind::PackagePad => 1.0,
+        });
+        let combo = wires.scaled(w_wire).add_scaled(&pads.scaled(w_pad), 1.0).unwrap();
+        let diff = full.add_scaled(&combo, -1.0).unwrap();
+        prop_assert!(diff.frobenius_norm() < 1e-9 * full.frobenius_norm().max(1.0));
+    }
+
+    /// Scaling the currents scales the drain part of the excitation and
+    /// leaves the pad part untouched.
+    #[test]
+    fn current_scaling_only_affects_drains(alpha in 0.1f64..5.0, t in 0.0f64..2.0e-9) {
+        let mut grid = GridSpec::small_test(100).with_seed(8).build().unwrap();
+        let pads = grid.pad_injection_vector();
+        let before = grid.excitation(t);
+        grid.scale_currents(alpha);
+        let after = grid.excitation(t);
+        for i in 0..grid.node_count() {
+            let drain_before = pads[i] - before[i];
+            let drain_after = pads[i] - after[i];
+            prop_assert!((drain_after - alpha * drain_before).abs() < 1e-12 + 1e-9 * drain_before.abs());
+        }
+    }
+}
+
+/// A hand-built grid exercising every element type, kept outside proptest.
+#[test]
+fn manual_grid_construction_round_trip() {
+    let mut grid = PowerGrid::new(4, 1.0).unwrap();
+    grid.add_pad(0, 20.0).unwrap();
+    grid.add_wire(0, 1, 10.0, BranchKind::MetalWire).unwrap();
+    grid.add_wire(1, 2, 10.0, BranchKind::Via).unwrap();
+    grid.add_wire(2, 3, 10.0, BranchKind::MetalWire).unwrap();
+    grid.add_capacitor(3, 1e-15, CapacitorClass::Gate).unwrap();
+    grid.add_current_source(3, Waveform::constant(1e-3), 0).unwrap();
+    grid.validate_connectivity().unwrap();
+    assert_eq!(grid.branches().len(), 4);
+    assert_eq!(grid.capacitors().len(), 1);
+    assert_eq!(grid.sources().len(), 1);
+    let g = grid.conductance_matrix();
+    let v = opera_sparse::cholesky_solve(&g, &grid.excitation(0.0)).unwrap();
+    // 1 mA through 0.05 + 0.1 + 0.1 + 0.1 Ω of series resistance.
+    let expected_drop = 1e-3 * (0.05 + 0.3);
+    assert!((1.0 - v[3] - expected_drop).abs() < 1e-9);
+}

@@ -1,0 +1,332 @@
+//! Multivariate orthogonal polynomial bases.
+
+use crate::{basis_size, multi_indices, MultiIndex, PceError, PolynomialFamily, Result};
+
+/// A truncated multivariate orthogonal basis `{ψ_i(ξ)}`, the span of which
+/// approximates second-order random variables over `ξ = (ξ₁, …, ξ_r)`.
+///
+/// Each basis function is a product of univariate polynomials:
+/// `ψ_i(ξ) = Π_d φ_{α_d^{(i)}}(ξ_d)` where `α^{(i)}` is the `i`-th
+/// multi-index. The basis is kept in the *unnormalised* classical convention
+/// of the paper (`⟨ψ_i²⟩` may differ from one); use [`OrthogonalBasis::norm_squared`]
+/// when projecting.
+///
+/// # Example
+///
+/// ```
+/// use opera_pce::{OrthogonalBasis, PolynomialFamily};
+///
+/// # fn main() -> Result<(), opera_pce::PceError> {
+/// let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2)?;
+/// // ψ₄(ξ) = ξ₁·ξ₂ in the paper's ordering.
+/// assert_eq!(basis.evaluate(4, &[2.0, 3.0])?, 6.0);
+/// assert_eq!(basis.norm_squared(3), 2.0); // ⟨(ξ₁²−1)²⟩ = 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrthogonalBasis {
+    families: Vec<PolynomialFamily>,
+    order: u32,
+    indices: Vec<MultiIndex>,
+    norms: Vec<f64>,
+}
+
+impl OrthogonalBasis {
+    /// Builds a total-order truncation where every variable uses the same
+    /// polynomial family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::InvalidBasis`] for zero variables and
+    /// [`PceError::InvalidParameter`] for invalid family parameters.
+    pub fn total_order(family: PolynomialFamily, n_vars: usize, order: u32) -> Result<Self> {
+        Self::total_order_mixed(vec![family; n_vars.max(1)], n_vars, order)
+    }
+
+    /// Builds a total-order truncation with a (possibly different) family per
+    /// variable — e.g. Gaussian interconnect variations alongside uniform
+    /// temperature variations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::InvalidBasis`] if `families.len() != n_vars` or
+    /// `n_vars == 0`, and [`PceError::InvalidParameter`] for invalid family
+    /// parameters.
+    pub fn total_order_mixed(
+        families: Vec<PolynomialFamily>,
+        n_vars: usize,
+        order: u32,
+    ) -> Result<Self> {
+        if n_vars == 0 {
+            return Err(PceError::InvalidBasis {
+                reason: "a basis needs at least one random variable".to_string(),
+            });
+        }
+        if families.len() != n_vars {
+            return Err(PceError::InvalidBasis {
+                reason: format!(
+                    "got {} families for {} variables",
+                    families.len(),
+                    n_vars
+                ),
+            });
+        }
+        for f in &families {
+            f.validate()?;
+        }
+        let indices = multi_indices(n_vars, order)?;
+        let norms = indices
+            .iter()
+            .map(|mi| {
+                mi.degrees()
+                    .iter()
+                    .zip(&families)
+                    .map(|(&d, fam)| fam.norm_squared(d))
+                    .product()
+            })
+            .collect();
+        Ok(OrthogonalBasis {
+            families,
+            order,
+            indices,
+            norms,
+        })
+    }
+
+    /// Number of basis functions `N + 1`.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns `true` if the basis is empty (never the case for a valid basis).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Number of random variables `r`.
+    pub fn n_vars(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Truncation order `p`.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// The polynomial family of variable `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn family(&self, d: usize) -> PolynomialFamily {
+        self.families[d]
+    }
+
+    /// All per-variable families.
+    pub fn families(&self) -> &[PolynomialFamily] {
+        &self.families
+    }
+
+    /// The multi-index of basis function `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn multi_index(&self, i: usize) -> &MultiIndex {
+        &self.indices[i]
+    }
+
+    /// All multi-indices in basis order.
+    pub fn multi_indices(&self) -> &[MultiIndex] {
+        &self.indices
+    }
+
+    /// Squared norm `⟨ψ_i²⟩` of basis function `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn norm_squared(&self, i: usize) -> f64 {
+        self.norms[i]
+    }
+
+    /// Evaluates basis function `i` at the sample point `xi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::DimensionMismatch`] if `xi.len() != n_vars`.
+    pub fn evaluate(&self, i: usize, xi: &[f64]) -> Result<f64> {
+        if xi.len() != self.n_vars() {
+            return Err(PceError::DimensionMismatch {
+                got: xi.len(),
+                expected: self.n_vars(),
+            });
+        }
+        let mi = &self.indices[i];
+        Ok(mi
+            .degrees()
+            .iter()
+            .zip(xi)
+            .zip(&self.families)
+            .map(|((&d, &x), fam)| fam.evaluate(d, x))
+            .product())
+    }
+
+    /// Evaluates *all* basis functions at the sample point `xi`.
+    ///
+    /// This shares the univariate recurrences across basis functions and is
+    /// the preferred entry point when evaluating a whole expansion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::DimensionMismatch`] if `xi.len() != n_vars`.
+    pub fn evaluate_all(&self, xi: &[f64]) -> Result<Vec<f64>> {
+        if xi.len() != self.n_vars() {
+            return Err(PceError::DimensionMismatch {
+                got: xi.len(),
+                expected: self.n_vars(),
+            });
+        }
+        // Precompute univariate values up to the truncation order.
+        let per_var: Vec<Vec<f64>> = xi
+            .iter()
+            .zip(&self.families)
+            .map(|(&x, fam)| fam.evaluate_all(self.order, x))
+            .collect();
+        Ok(self
+            .indices
+            .iter()
+            .map(|mi| {
+                mi.degrees()
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &deg)| per_var[d][deg as usize])
+                    .product()
+            })
+            .collect())
+    }
+
+    /// Returns the basis index whose multi-index has degree one in variable
+    /// `d` and zero elsewhere (the "pure linear" term `ξ_d`), if present.
+    pub fn linear_index(&self, d: usize) -> Option<usize> {
+        self.indices.iter().position(|mi| {
+            mi.total_degree() == 1 && mi.degree(d) == 1
+        })
+    }
+
+    /// Expected number of basis functions for the given truncation, without
+    /// building the basis.
+    pub fn predicted_len(n_vars: usize, order: u32) -> Option<usize> {
+        basis_size(n_vars, order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::tensor_rule;
+
+    #[test]
+    fn basis_size_matches_prediction() {
+        let b = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 3, 2).unwrap();
+        assert_eq!(b.len(), 10);
+        assert_eq!(OrthogonalBasis::predicted_len(3, 2), Some(10));
+        assert_eq!(b.n_vars(), 3);
+        assert_eq!(b.order(), 2);
+    }
+
+    #[test]
+    fn hermite_two_var_order_two_matches_paper_basis() {
+        let b = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
+        let xi = [1.3, -0.7];
+        let psi = b.evaluate_all(&xi).unwrap();
+        let expected = [
+            1.0,
+            xi[0],
+            xi[1],
+            xi[0] * xi[0] - 1.0,
+            xi[0] * xi[1],
+            xi[1] * xi[1] - 1.0,
+        ];
+        for (p, e) in psi.iter().zip(&expected) {
+            assert!((p - e).abs() < 1e-13);
+        }
+        // Norms 1, 1, 1, 2, 1, 2 (paper Eq. 23 weights).
+        let norms: Vec<f64> = (0..6).map(|i| b.norm_squared(i)).collect();
+        assert_eq!(norms, vec![1.0, 1.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn evaluate_matches_evaluate_all() {
+        let b = OrthogonalBasis::total_order(PolynomialFamily::Legendre, 3, 3).unwrap();
+        let xi = [0.2, -0.5, 0.9];
+        let all = b.evaluate_all(&xi).unwrap();
+        for i in 0..b.len() {
+            assert!((b.evaluate(i, &xi).unwrap() - all[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn basis_functions_are_orthogonal_under_quadrature() {
+        let b = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 3).unwrap();
+        let rule = tensor_rule(b.families(), 8).unwrap();
+        for i in 0..b.len() {
+            for j in 0..b.len() {
+                let inner = rule.integrate(|x| {
+                    b.evaluate(i, x).unwrap() * b.evaluate(j, x).unwrap()
+                });
+                let expected = if i == j { b.norm_squared(i) } else { 0.0 };
+                assert!(
+                    (inner - expected).abs() < 1e-8 * b.norm_squared(i).max(1.0),
+                    "⟨ψ{i}, ψ{j}⟩ = {inner}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_families_are_supported() {
+        let b = OrthogonalBasis::total_order_mixed(
+            vec![PolynomialFamily::Hermite, PolynomialFamily::Legendre],
+            2,
+            2,
+        )
+        .unwrap();
+        assert_eq!(b.len(), 6);
+        let rule = tensor_rule(b.families(), 6).unwrap();
+        // Orthogonality still holds across different families.
+        let inner = rule.integrate(|x| b.evaluate(1, x).unwrap() * b.evaluate(2, x).unwrap());
+        assert!(inner.abs() < 1e-10);
+    }
+
+    #[test]
+    fn linear_index_finds_first_order_terms() {
+        let b = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 3, 2).unwrap();
+        for d in 0..3 {
+            let idx = b.linear_index(d).unwrap();
+            assert_eq!(b.multi_index(idx).degree(d), 1);
+            assert_eq!(b.multi_index(idx).total_degree(), 1);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let b = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
+        assert!(matches!(
+            b.evaluate_all(&[1.0]),
+            Err(PceError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_family_count_is_rejected() {
+        assert!(OrthogonalBasis::total_order_mixed(
+            vec![PolynomialFamily::Hermite],
+            2,
+            1
+        )
+        .is_err());
+        assert!(OrthogonalBasis::total_order(PolynomialFamily::Hermite, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for polynomial chaos operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by polynomial chaos construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PceError {
+    /// The requested basis would be empty or malformed.
+    InvalidBasis {
+        /// Explanation of what was wrong (zero variables, order overflow, …).
+        reason: String,
+    },
+    /// A coefficient vector does not match the basis size.
+    CoefficientLengthMismatch {
+        /// Number of coefficients supplied.
+        got: usize,
+        /// Number of basis functions expected.
+        expected: usize,
+    },
+    /// A sample point has the wrong number of variables.
+    DimensionMismatch {
+        /// Number of coordinates supplied.
+        got: usize,
+        /// Number of variables expected.
+        expected: usize,
+    },
+    /// An invalid parameter was supplied (e.g. a non-positive Jacobi
+    /// exponent or a quadrature rule with zero points).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value, formatted.
+        value: String,
+    },
+    /// Two operands use different bases.
+    BasisMismatch,
+}
+
+impl fmt::Display for PceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PceError::InvalidBasis { reason } => write!(f, "invalid basis: {reason}"),
+            PceError::CoefficientLengthMismatch { got, expected } => write!(
+                f,
+                "coefficient vector has length {got}, basis has {expected} functions"
+            ),
+            PceError::DimensionMismatch { got, expected } => write!(
+                f,
+                "sample point has {got} coordinates, basis has {expected} variables"
+            ),
+            PceError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            PceError::BasisMismatch => write!(f, "operands use different bases"),
+        }
+    }
+}
+
+impl Error for PceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PceError::CoefficientLengthMismatch { got: 3, expected: 6 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('6'));
+        let e = PceError::InvalidParameter {
+            name: "points",
+            value: "0".to_string(),
+        };
+        assert!(e.to_string().contains("points"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PceError>();
+    }
+}

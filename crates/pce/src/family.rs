@@ -1,0 +1,438 @@
+//! Univariate orthogonal polynomial families of the Askey scheme.
+//!
+//! Each family is orthogonal with respect to the probability density of a
+//! standard random variable (the paper's normalised, zero-mean/unit-variance
+//! or canonical-form variables):
+//!
+//! | Family            | Random variable            | Support    | Weight (pdf)                  |
+//! |-------------------|----------------------------|------------|-------------------------------|
+//! | Hermite (prob.)   | standard Gaussian          | ℝ          | `exp(−x²/2)/√(2π)`            |
+//! | Legendre          | uniform on [−1, 1]         | [−1, 1]    | `1/2`                         |
+//! | Laguerre          | exponential (Gamma k=1)    | [0, ∞)     | `exp(−x)`                     |
+//! | Generalised Laguerre `α` | Gamma(shape α+1)    | [0, ∞)     | `x^α exp(−x)/Γ(α+1)`          |
+//! | Jacobi `(a, b)`   | shifted Beta on [−1, 1]    | [−1, 1]    | `∝ (1−x)^a (1+x)^b`           |
+//!
+//! The polynomials are kept *unnormalised* in the classical convention used
+//! by the paper (`He₂(ξ) = ξ² − 1` with `⟨He₂²⟩ = 2`); [`PolynomialFamily::norm_squared`]
+//! provides the squared norms needed for Galerkin projections.
+
+use crate::{PceError, Result};
+
+/// A univariate orthogonal polynomial family from the Askey scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolynomialFamily {
+    /// Probabilists' Hermite polynomials `He_k` — Gaussian variables.
+    Hermite,
+    /// Legendre polynomials `P_k` — uniform variables on `[-1, 1]`.
+    Legendre,
+    /// Laguerre polynomials `L_k` — exponential variables.
+    Laguerre,
+    /// Generalised Laguerre polynomials `L_k^{(α)}` — Gamma variables with
+    /// shape `α + 1` (must have `α > −1`).
+    GeneralizedLaguerre {
+        /// Exponent `α` of the Gamma weight `x^α e^{-x}`.
+        alpha: f64,
+    },
+    /// Jacobi polynomials `P_k^{(a, b)}` — Beta variables mapped to `[-1, 1]`
+    /// (must have `a, b > −1`).
+    Jacobi {
+        /// Exponent of `(1 − x)`.
+        a: f64,
+        /// Exponent of `(1 + x)`.
+        b: f64,
+    },
+}
+
+impl PolynomialFamily {
+    /// Validates the family parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::InvalidParameter`] when a Jacobi or generalised
+    /// Laguerre exponent is ≤ −1 or not finite.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            PolynomialFamily::GeneralizedLaguerre { alpha } => {
+                if !(alpha > -1.0) || !alpha.is_finite() {
+                    return Err(PceError::InvalidParameter {
+                        name: "alpha",
+                        value: alpha.to_string(),
+                    });
+                }
+            }
+            PolynomialFamily::Jacobi { a, b } => {
+                if !(a > -1.0) || !(b > -1.0) || !a.is_finite() || !b.is_finite() {
+                    return Err(PceError::InvalidParameter {
+                        name: "jacobi exponents",
+                        value: format!("a = {a}, b = {b}"),
+                    });
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Evaluates the degree-`k` polynomial of this family at `x`.
+    pub fn evaluate(&self, k: u32, x: f64) -> f64 {
+        *self
+            .evaluate_all(k, x)
+            .last()
+            .expect("evaluate_all returns k + 1 values")
+    }
+
+    /// Evaluates all polynomials of degree `0..=max_degree` at `x`.
+    pub fn evaluate_all(&self, max_degree: u32, x: f64) -> Vec<f64> {
+        let n = max_degree as usize;
+        let mut values = Vec::with_capacity(n + 1);
+        values.push(1.0);
+        if n == 0 {
+            return values;
+        }
+        match *self {
+            PolynomialFamily::Hermite => {
+                values.push(x);
+                for k in 1..n {
+                    let kf = k as f64;
+                    let next = x * values[k] - kf * values[k - 1];
+                    values.push(next);
+                }
+            }
+            PolynomialFamily::Legendre => {
+                values.push(x);
+                for k in 1..n {
+                    let kf = k as f64;
+                    let next = ((2.0 * kf + 1.0) * x * values[k] - kf * values[k - 1]) / (kf + 1.0);
+                    values.push(next);
+                }
+            }
+            PolynomialFamily::Laguerre => {
+                values.push(1.0 - x);
+                for k in 1..n {
+                    let kf = k as f64;
+                    let next =
+                        ((2.0 * kf + 1.0 - x) * values[k] - kf * values[k - 1]) / (kf + 1.0);
+                    values.push(next);
+                }
+            }
+            PolynomialFamily::GeneralizedLaguerre { alpha } => {
+                values.push(1.0 + alpha - x);
+                for k in 1..n {
+                    let kf = k as f64;
+                    let next = ((2.0 * kf + 1.0 + alpha - x) * values[k]
+                        - (kf + alpha) * values[k - 1])
+                        / (kf + 1.0);
+                    values.push(next);
+                }
+            }
+            PolynomialFamily::Jacobi { a, b } => {
+                values.push(0.5 * (a - b + (a + b + 2.0) * x));
+                for k in 1..n {
+                    let kf = k as f64;
+                    // Standard three-term recurrence for Jacobi polynomials.
+                    let c1 = 2.0 * (kf + 1.0) * (kf + a + b + 1.0) * (2.0 * kf + a + b);
+                    let c2 = (2.0 * kf + a + b + 1.0) * (a * a - b * b);
+                    let c3 = (2.0 * kf + a + b)
+                        * (2.0 * kf + a + b + 1.0)
+                        * (2.0 * kf + a + b + 2.0);
+                    let c4 = 2.0 * (kf + a) * (kf + b) * (2.0 * kf + a + b + 2.0);
+                    let next = ((c2 + c3 * x) * values[k] - c4 * values[k - 1]) / c1;
+                    values.push(next);
+                }
+            }
+        }
+        values
+    }
+
+    /// Squared norm `⟨φ_k, φ_k⟩` of the degree-`k` polynomial with respect to
+    /// the family's probability weight.
+    pub fn norm_squared(&self, k: u32) -> f64 {
+        let kf = k as f64;
+        match *self {
+            // ⟨He_k²⟩ = k!
+            PolynomialFamily::Hermite => factorial(k),
+            // ⟨P_k²⟩ with weight 1/2 on [−1, 1] is 1/(2k + 1).
+            PolynomialFamily::Legendre => 1.0 / (2.0 * kf + 1.0),
+            // ⟨L_k²⟩ = 1 with weight e^{-x}.
+            PolynomialFamily::Laguerre => 1.0,
+            // ⟨(L_k^{(α)})²⟩ = Γ(k + α + 1) / (k! Γ(α + 1)) under the
+            // normalised Gamma(α + 1) density.
+            PolynomialFamily::GeneralizedLaguerre { alpha } => {
+                (ln_gamma(kf + alpha + 1.0) - ln_gamma(kf + 1.0) - ln_gamma(alpha + 1.0)).exp()
+            }
+            // Jacobi with the *normalised* Beta weight
+            // w(x) = (1−x)^a (1+x)^b / (2^{a+b+1} B(a+1, b+1)).
+            PolynomialFamily::Jacobi { a, b } => {
+                // Unnormalised h_k = 2^{a+b+1} / (2k+a+b+1)
+                //   · Γ(k+a+1)Γ(k+b+1) / (Γ(k+a+b+1) k!)
+                let ln_hk = (a + b + 1.0) * std::f64::consts::LN_2
+                    - (2.0 * kf + a + b + 1.0).ln()
+                    + ln_gamma(kf + a + 1.0)
+                    + ln_gamma(kf + b + 1.0)
+                    - ln_gamma(kf + a + b + 1.0)
+                    - ln_gamma(kf + 1.0);
+                // Normalising constant of the weight:
+                // ∫ (1−x)^a (1+x)^b dx = 2^{a+b+1} B(a+1, b+1).
+                let ln_norm = (a + b + 1.0) * std::f64::consts::LN_2
+                    + ln_gamma(a + 1.0)
+                    + ln_gamma(b + 1.0)
+                    - ln_gamma(a + b + 2.0);
+                (ln_hk - ln_norm).exp()
+            }
+        }
+    }
+
+    /// Monic three-term recurrence coefficients `(a_k, b_k)` for
+    /// `π_{k+1}(x) = (x − a_k) π_k(x) − b_k π_{k−1}(x)`, used to build the
+    /// Jacobi matrix for Gauss quadrature.
+    pub fn monic_recurrence(&self, k: u32) -> (f64, f64) {
+        let kf = k as f64;
+        match *self {
+            PolynomialFamily::Hermite => (0.0, kf),
+            PolynomialFamily::Legendre => {
+                let bk = if k == 0 {
+                    0.0
+                } else {
+                    kf * kf / ((2.0 * kf - 1.0) * (2.0 * kf + 1.0))
+                };
+                (0.0, bk)
+            }
+            PolynomialFamily::Laguerre => (2.0 * kf + 1.0, kf * kf),
+            PolynomialFamily::GeneralizedLaguerre { alpha } => {
+                (2.0 * kf + alpha + 1.0, kf * (kf + alpha))
+            }
+            PolynomialFamily::Jacobi { a, b } => {
+                let s = a + b;
+                let ak = if k == 0 {
+                    (b - a) / (s + 2.0)
+                } else {
+                    (b * b - a * a) / ((2.0 * kf + s) * (2.0 * kf + s + 2.0))
+                };
+                let bk = if k == 0 {
+                    0.0
+                } else if k == 1 {
+                    4.0 * (1.0 + a) * (1.0 + b) / ((2.0 + s).powi(2) * (3.0 + s))
+                } else {
+                    4.0 * kf * (kf + a) * (kf + b) * (kf + s)
+                        / ((2.0 * kf + s).powi(2) * (2.0 * kf + s + 1.0) * (2.0 * kf + s - 1.0))
+                };
+                (ak, bk)
+            }
+        }
+    }
+
+    /// Draws one sample of the standard random variable associated with this
+    /// family (standard normal, uniform on `[-1, 1]`, exponential, Gamma or
+    /// shifted Beta).
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            PolynomialFamily::Hermite => sample_standard_normal(rng),
+            PolynomialFamily::Legendre => rng.gen_range(-1.0..=1.0),
+            PolynomialFamily::Laguerre => sample_gamma(rng, 1.0),
+            PolynomialFamily::GeneralizedLaguerre { alpha } => sample_gamma(rng, alpha + 1.0),
+            PolynomialFamily::Jacobi { a, b } => {
+                // Beta(b + 1, a + 1) on [0, 1] mapped to [−1, 1]; the Jacobi
+                // weight (1−x)^a (1+x)^b corresponds to Beta exponents
+                // (b + 1) on the +1 side and (a + 1) on the −1 side.
+                let g1 = sample_gamma(rng, b + 1.0);
+                let g2 = sample_gamma(rng, a + 1.0);
+                let beta = g1 / (g1 + g2);
+                2.0 * beta - 1.0
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PolynomialFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolynomialFamily::Hermite => write!(f, "Hermite"),
+            PolynomialFamily::Legendre => write!(f, "Legendre"),
+            PolynomialFamily::Laguerre => write!(f, "Laguerre"),
+            PolynomialFamily::GeneralizedLaguerre { alpha } => {
+                write!(f, "GeneralizedLaguerre(alpha={alpha})")
+            }
+            PolynomialFamily::Jacobi { a, b } => write!(f, "Jacobi(a={a}, b={b})"),
+        }
+    }
+}
+
+/// `k!` as a float (exact up to 170!).
+pub(crate) fn factorial(k: u32) -> f64 {
+    (1..=k).fold(1.0, |acc, i| acc * i as f64)
+}
+
+/// Natural log of the Gamma function (Lanczos approximation, ~1e-13 accurate).
+pub(crate) fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = COEFFS[0];
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + 7.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids needing `rand_distr`).
+fn sample_standard_normal<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Gamma(shape, 1) sample via Marsaglia–Tsang (with the shape < 1 boost).
+fn sample_gamma<R: rand::Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) · U^{1/a}.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hermite_values_match_closed_forms() {
+        let fam = PolynomialFamily::Hermite;
+        for &x in &[-2.0, -0.5, 0.0, 1.0, 3.0f64] {
+            assert!((fam.evaluate(0, x) - 1.0).abs() < 1e-14);
+            assert!((fam.evaluate(1, x) - x).abs() < 1e-14);
+            assert!((fam.evaluate(2, x) - (x * x - 1.0)).abs() < 1e-12);
+            assert!((fam.evaluate(3, x) - (x.powi(3) - 3.0 * x)).abs() < 1e-12);
+            assert!((fam.evaluate(4, x) - (x.powi(4) - 6.0 * x * x + 3.0)).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn hermite_norms_are_factorials() {
+        let fam = PolynomialFamily::Hermite;
+        assert_eq!(fam.norm_squared(0), 1.0);
+        assert_eq!(fam.norm_squared(1), 1.0);
+        assert_eq!(fam.norm_squared(2), 2.0);
+        assert_eq!(fam.norm_squared(3), 6.0);
+        assert_eq!(fam.norm_squared(5), 120.0);
+    }
+
+    #[test]
+    fn legendre_values_match_closed_forms() {
+        let fam = PolynomialFamily::Legendre;
+        for &x in &[-1.0, -0.3, 0.0, 0.7, 1.0f64] {
+            assert!((fam.evaluate(2, x) - 0.5 * (3.0 * x * x - 1.0)).abs() < 1e-13);
+            assert!((fam.evaluate(3, x) - 0.5 * (5.0 * x.powi(3) - 3.0 * x)).abs() < 1e-13);
+        }
+        assert!((fam.norm_squared(2) - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn laguerre_values_match_closed_forms() {
+        let fam = PolynomialFamily::Laguerre;
+        for &x in &[0.0, 0.5, 2.0f64] {
+            assert!((fam.evaluate(1, x) - (1.0 - x)).abs() < 1e-14);
+            assert!((fam.evaluate(2, x) - (0.5 * x * x - 2.0 * x + 1.0)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn jacobi_reduces_to_legendre_for_zero_exponents() {
+        let jac = PolynomialFamily::Jacobi { a: 0.0, b: 0.0 };
+        let leg = PolynomialFamily::Legendre;
+        for k in 0..6u32 {
+            for &x in &[-0.9, -0.2, 0.4, 0.8f64] {
+                assert!(
+                    (jac.evaluate(k, x) - leg.evaluate(k, x)).abs() < 1e-10,
+                    "k = {k}, x = {x}"
+                );
+            }
+            assert!((jac.norm_squared(k) - leg.norm_squared(k)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn generalized_laguerre_reduces_to_laguerre_for_zero_alpha() {
+        let gen = PolynomialFamily::GeneralizedLaguerre { alpha: 0.0 };
+        let lag = PolynomialFamily::Laguerre;
+        for k in 0..6u32 {
+            for &x in &[0.1, 1.0, 4.0f64] {
+                assert!((gen.evaluate(k, x) - lag.evaluate(k, x)).abs() < 1e-10);
+            }
+            assert!((gen.norm_squared(k) - lag.norm_squared(k)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-11);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(PolynomialFamily::Jacobi { a: -1.5, b: 0.0 }.validate().is_err());
+        assert!(PolynomialFamily::GeneralizedLaguerre { alpha: -2.0 }
+            .validate()
+            .is_err());
+        assert!(PolynomialFamily::Hermite.validate().is_ok());
+    }
+
+    #[test]
+    fn sampling_produces_plausible_first_moments() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean = |fam: PolynomialFamily, rng: &mut rand::rngs::StdRng| {
+            (0..n).map(|_| fam.sample(rng)).sum::<f64>() / n as f64
+        };
+        assert!(mean(PolynomialFamily::Hermite, &mut rng).abs() < 0.05);
+        assert!(mean(PolynomialFamily::Legendre, &mut rng).abs() < 0.05);
+        assert!((mean(PolynomialFamily::Laguerre, &mut rng) - 1.0).abs() < 0.05);
+        let g = mean(PolynomialFamily::GeneralizedLaguerre { alpha: 2.0 }, &mut rng);
+        assert!((g - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PolynomialFamily::Hermite.to_string(), "Hermite");
+        assert!(PolynomialFamily::Jacobi { a: 1.0, b: 2.0 }
+            .to_string()
+            .contains("Jacobi"));
+    }
+}

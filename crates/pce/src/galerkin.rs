@@ -1,0 +1,306 @@
+//! Galerkin coupling tensors.
+//!
+//! The spectral (Galerkin) projection of the stochastic MNA equation
+//! `(G(ξ) + sC(ξ)) x(s,ξ) = U(s,ξ)` onto a basis `{ψ_i}` requires the inner
+//! products
+//!
+//! * `⟨ψ_i ψ_j⟩ = δ_ij ⟨ψ_i²⟩` (mass terms, the mean matrices `G_a`, `C_a`),
+//! * `⟨ξ_d ψ_i ψ_j⟩` (linear parameter coupling, the perturbation matrices
+//!   `G_g`, `C_c`, …),
+//! * `⟨ψ_k ψ_i ψ_j⟩` (general coupling for parameters expanded in the basis).
+//!
+//! [`GalerkinCoupling`] precomputes these with Gauss quadrature that is exact
+//! for the polynomial degrees involved, and reproduces the explicit 6×6 block
+//! pattern of Eqs. (20)–(22) of the paper for the 2-variable order-2 Hermite
+//! case (see the unit tests).
+
+use crate::quadrature::{tensor_rule, TensorRule};
+use crate::{OrthogonalBasis, Result};
+
+/// Precomputed Galerkin inner products for a given basis.
+#[derive(Debug, Clone)]
+pub struct GalerkinCoupling {
+    size: usize,
+    n_vars: usize,
+    /// `norms[i] = ⟨ψ_i²⟩`.
+    norms: Vec<f64>,
+    /// `linear[d][i * size + j] = ⟨ξ_d ψ_i ψ_j⟩`.
+    linear: Vec<Vec<f64>>,
+    /// Quadrature rule kept for on-demand triple products.
+    rule: TensorRule,
+    /// Cached basis evaluations at the quadrature nodes:
+    /// `psi_at_nodes[q][i] = ψ_i(x_q)`.
+    psi_at_nodes: Vec<Vec<f64>>,
+}
+
+impl GalerkinCoupling {
+    /// Precomputes the coupling tensors for `basis`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quadrature construction errors.
+    pub fn new(basis: &OrthogonalBasis) -> Result<Self> {
+        // ψ_i ψ_j ξ_d has per-variable degree at most 2p + 1; an
+        // (p + 2)-point Gauss rule is exact up to degree 2p + 3.
+        let points = basis.order() as usize + 2;
+        let rule = tensor_rule(basis.families(), points)?;
+        let size = basis.len();
+        let n_vars = basis.n_vars();
+        let psi_at_nodes: Vec<Vec<f64>> = rule
+            .nodes
+            .iter()
+            .map(|x| basis.evaluate_all(x))
+            .collect::<Result<_>>()?;
+        let norms: Vec<f64> = (0..size).map(|i| basis.norm_squared(i)).collect();
+
+        let mut linear = vec![vec![0.0; size * size]; n_vars];
+        for (q, x) in rule.nodes.iter().enumerate() {
+            let w = rule.weights[q];
+            let psi = &psi_at_nodes[q];
+            for (d, lin_d) in linear.iter_mut().enumerate() {
+                let wx = w * x[d];
+                if wx == 0.0 {
+                    continue;
+                }
+                for i in 0..size {
+                    let wxi = wx * psi[i];
+                    for j in 0..size {
+                        lin_d[i * size + j] += wxi * psi[j];
+                    }
+                }
+            }
+        }
+        // Clean tiny quadrature noise so structural zeros stay exactly zero.
+        for lin_d in &mut linear {
+            for v in lin_d.iter_mut() {
+                if v.abs() < 1e-12 {
+                    *v = 0.0;
+                }
+            }
+        }
+        Ok(GalerkinCoupling {
+            size,
+            n_vars,
+            norms,
+            linear,
+            rule,
+            psi_at_nodes,
+        })
+    }
+
+    /// Number of basis functions `N + 1`.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Returns `true` if the coupling is empty (never for a valid basis).
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Number of random variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// `⟨ψ_i²⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn norm_squared(&self, i: usize) -> f64 {
+        self.norms[i]
+    }
+
+    /// `⟨ξ_d ψ_i ψ_j⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn linear(&self, d: usize, i: usize, j: usize) -> f64 {
+        self.linear[d][i * self.size + j]
+    }
+
+    /// The dense `(N+1)×(N+1)` matrix of `⟨ξ_d ψ_i ψ_j⟩` in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn linear_matrix(&self, d: usize) -> &[f64] {
+        &self.linear[d]
+    }
+
+    /// General triple product `⟨ψ_k ψ_i ψ_j⟩` computed with the cached
+    /// quadrature rule (exact as long as the three total degrees sum to at
+    /// most `2·points − 1`, which holds for factors from the same basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn triple(&self, k: usize, i: usize, j: usize) -> f64 {
+        let mut acc = 0.0;
+        for (q, w) in self.rule.weights.iter().enumerate() {
+            let psi = &self.psi_at_nodes[q];
+            acc += w * psi[k] * psi[i] * psi[j];
+        }
+        if acc.abs() < 1e-12 {
+            0.0
+        } else {
+            acc
+        }
+    }
+
+    /// Projection coefficients `⟨f(ξ) ψ_i⟩ / ⟨ψ_i²⟩` of an arbitrary function
+    /// of the random variables — used to expand non-polynomial inputs such as
+    /// lognormal leakage currents on the basis.
+    pub fn project(&self, mut f: impl FnMut(&[f64]) -> f64) -> Vec<f64> {
+        let mut coeffs = vec![0.0; self.size];
+        for (q, w) in self.rule.weights.iter().enumerate() {
+            let value = f(&self.rule.nodes[q]);
+            let psi = &self.psi_at_nodes[q];
+            for (i, c) in coeffs.iter_mut().enumerate() {
+                *c += w * value * psi[i];
+            }
+        }
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c /= self.norms[i];
+        }
+        coeffs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolynomialFamily;
+
+    fn paper_basis() -> OrthogonalBasis {
+        OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap()
+    }
+
+    #[test]
+    fn mass_terms_match_hermite_norms() {
+        let basis = paper_basis();
+        let c = GalerkinCoupling::new(&basis).unwrap();
+        let expected = [1.0, 1.0, 1.0, 2.0, 1.0, 2.0];
+        for (i, &e) in expected.iter().enumerate() {
+            assert!((c.norm_squared(i) - e).abs() < 1e-12);
+        }
+    }
+
+    /// The linear coupling in ξ₁ (= ξ_G) must reproduce the `Gg` pattern of
+    /// the paper's Eq. (20):
+    ///
+    /// ```text
+    ///        j=0   1    2    3    4    5
+    /// i=0  [  0    1    0    0    0    0 ]
+    /// i=1  [  1    0    0    2    0    0 ]
+    /// i=2  [  0    0    0    0    1    0 ]
+    /// i=3  [  0    2    0    0    0    0 ]
+    /// i=4  [  0    0    1    0    0    0 ]
+    /// i=5  [  0    0    0    0    0    0 ]
+    /// ```
+    #[test]
+    fn linear_coupling_matches_paper_equation_20() {
+        let basis = paper_basis();
+        let c = GalerkinCoupling::new(&basis).unwrap();
+        #[rustfmt::skip]
+        let expected: [[f64; 6]; 6] = [
+            [0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 2.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+            [0.0, 2.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ];
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!(
+                    (c.linear(0, i, j) - expected[i][j]).abs() < 1e-10,
+                    "⟨ξG ψ{i} ψ{j}⟩ = {}, expected {}",
+                    c.linear(0, i, j),
+                    expected[i][j]
+                );
+            }
+        }
+    }
+
+    /// The ξ₂ (= ξ_L) coupling must reproduce the `Cc` pattern of Eq. (21).
+    #[test]
+    fn linear_coupling_matches_paper_equation_21() {
+        let basis = paper_basis();
+        let c = GalerkinCoupling::new(&basis).unwrap();
+        #[rustfmt::skip]
+        let expected: [[f64; 6]; 6] = [
+            [0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0, 0.0, 2.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 2.0, 0.0, 0.0, 0.0],
+        ];
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!(
+                    (c.linear(1, i, j) - expected[i][j]).abs() < 1e-10,
+                    "⟨ξL ψ{i} ψ{j}⟩ mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_matrices_are_symmetric() {
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 3, 3).unwrap();
+        let c = GalerkinCoupling::new(&basis).unwrap();
+        for d in 0..3 {
+            for i in 0..basis.len() {
+                for j in 0..basis.len() {
+                    assert!((c.linear(d, i, j) - c.linear(d, j, i)).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_products_match_known_hermite_values() {
+        let basis = paper_basis();
+        let c = GalerkinCoupling::new(&basis).unwrap();
+        // ⟨ψ0 ψi ψj⟩ = δ_ij ⟨ψi²⟩.
+        for i in 0..6 {
+            for j in 0..6 {
+                let expected = if i == j { basis.norm_squared(i) } else { 0.0 };
+                assert!((c.triple(0, i, j) - expected).abs() < 1e-10);
+            }
+        }
+        // ⟨ψ3 ψ3 ψ3⟩ = ⟨(ξ²−1)³⟩ = E[ξ⁶ − 3ξ⁴ + 3ξ² − 1] = 15 − 9 + 3 − 1 = 8.
+        assert!((c.triple(3, 3, 3) - 8.0).abs() < 1e-9);
+        // ⟨ψ1 ψ1 ψ3⟩ = ⟨ξ²(ξ²−1)⟩ = 2.
+        assert!((c.triple(1, 1, 3) - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn projection_recovers_polynomial_coefficients() {
+        let basis = paper_basis();
+        let c = GalerkinCoupling::new(&basis).unwrap();
+        // f(ξ) = 3 + 2ξ₁ − ξ₂ + 0.5(ξ₁² − 1) has exact coefficients.
+        let coeffs = c.project(|x| 3.0 + 2.0 * x[0] - x[1] + 0.5 * (x[0] * x[0] - 1.0));
+        let expected = [3.0, 2.0, -1.0, 0.5, 0.0, 0.0];
+        for (got, want) in coeffs.iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-10, "{coeffs:?}");
+        }
+    }
+
+    #[test]
+    fn projection_of_lognormal_matches_analytic_mean() {
+        // exp(σ ξ) has mean exp(σ²/2); the order-0 projection coefficient is
+        // exactly that mean. Quadrature with p + 2 = 4 points is not exact for
+        // the exponential, so allow a loose tolerance.
+        let basis = paper_basis();
+        let c = GalerkinCoupling::new(&basis).unwrap();
+        let sigma = 0.3;
+        let coeffs = c.project(|x| (sigma * x[0]).exp());
+        let expected_mean = (sigma * sigma / 2.0f64).exp();
+        assert!((coeffs[0] - expected_mean).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,155 @@
+//! Gram–Charlier (type A) probability density reconstruction.
+//!
+//! The paper notes that once higher-order moments of the voltage response are
+//! available from the expansion, "expansions like Gram-Charlier series or
+//! Edgeworth series could be used to obtain the probability density function
+//! of x(t, ξ) directly". This module implements the classical type-A
+//! Gram–Charlier series truncated after the fourth cumulant.
+
+use crate::moments::Moments;
+use crate::PolynomialFamily;
+
+/// A Gram–Charlier type-A density approximation built from the first four
+/// moments of a random variable.
+///
+/// The density is
+///
+/// ```text
+/// f(x) ≈ φ(z)/σ · [ 1 + γ₁/6 · He₃(z) + γ₂/24 · He₄(z) ],   z = (x − μ)/σ
+/// ```
+///
+/// where `γ₁` is the skewness and `γ₂` the excess kurtosis. For nearly
+/// Gaussian responses (the common case for power-grid voltage drops under
+/// moderate process variations) the correction terms are small and the
+/// expansion is an accurate, cheap alternative to histogramming Monte Carlo
+/// samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GramCharlierPdf {
+    mean: f64,
+    std_dev: f64,
+    skewness: f64,
+    excess_kurtosis: f64,
+}
+
+impl GramCharlierPdf {
+    /// Builds the approximation from moments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variance is not strictly positive.
+    pub fn from_moments(moments: &Moments) -> Self {
+        assert!(
+            moments.variance > 0.0,
+            "Gram-Charlier expansion requires positive variance"
+        );
+        GramCharlierPdf {
+            mean: moments.mean,
+            std_dev: moments.variance.sqrt(),
+            skewness: moments.skewness,
+            excess_kurtosis: moments.excess_kurtosis,
+        }
+    }
+
+    /// Evaluates the approximate density at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        let phi = (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt());
+        let he3 = PolynomialFamily::Hermite.evaluate(3, z);
+        let he4 = PolynomialFamily::Hermite.evaluate(4, z);
+        let correction = 1.0 + self.skewness / 6.0 * he3 + self.excess_kurtosis / 24.0 * he4;
+        (phi * correction).max(0.0)
+    }
+
+    /// Approximates the cumulative distribution by trapezoidal integration of
+    /// the density over `[lo, x]` with `steps` panels.
+    pub fn cdf(&self, lo: f64, x: f64, steps: usize) -> f64 {
+        if x <= lo || steps == 0 {
+            return 0.0;
+        }
+        let h = (x - lo) / steps as f64;
+        let mut acc = 0.5 * (self.density(lo) + self.density(x));
+        for i in 1..steps {
+            acc += self.density(lo + h * i as f64);
+        }
+        acc * h
+    }
+
+    /// Mean of the underlying moments.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the underlying moments.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_moments(mean: f64, variance: f64) -> Moments {
+        Moments {
+            mean,
+            variance,
+            skewness: 0.0,
+            excess_kurtosis: 0.0,
+        }
+    }
+
+    #[test]
+    fn reduces_to_gaussian_density_for_zero_higher_cumulants() {
+        let pdf = GramCharlierPdf::from_moments(&gaussian_moments(1.0, 4.0));
+        let x = 2.0;
+        let z: f64 = (x - 1.0) / 2.0;
+        let expected = (-0.5 * z * z).exp() / (2.0 * (2.0 * std::f64::consts::PI).sqrt());
+        assert!((pdf.density(x) - expected).abs() < 1e-14);
+    }
+
+    #[test]
+    fn density_integrates_to_about_one() {
+        let pdf = GramCharlierPdf::from_moments(&Moments {
+            mean: 0.5,
+            variance: 0.04,
+            skewness: 0.3,
+            excess_kurtosis: 0.2,
+        });
+        let total = pdf.cdf(0.5 - 2.0, 0.5 + 2.0, 4000);
+        assert!((total - 1.0).abs() < 1e-3, "integral = {total}");
+    }
+
+    #[test]
+    fn skewness_shifts_mass() {
+        let sym = GramCharlierPdf::from_moments(&gaussian_moments(0.0, 1.0));
+        let skewed = GramCharlierPdf::from_moments(&Moments {
+            mean: 0.0,
+            variance: 1.0,
+            skewness: 0.5,
+            excess_kurtosis: 0.0,
+        });
+        // Positive skewness raises the density in the right tail relative to
+        // the symmetric case.
+        assert!(skewed.density(2.0) > sym.density(2.0));
+        assert!(skewed.density(-2.0) < sym.density(-2.0));
+    }
+
+    #[test]
+    fn density_is_clamped_to_be_nonnegative() {
+        // Large negative excess kurtosis can push the raw series negative in
+        // the tails; the implementation clamps at zero.
+        let pdf = GramCharlierPdf::from_moments(&Moments {
+            mean: 0.0,
+            variance: 1.0,
+            skewness: 0.0,
+            excess_kurtosis: -2.5,
+        });
+        assert!(pdf.density(3.5) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_variance_is_rejected() {
+        let _ = GramCharlierPdf::from_moments(&gaussian_moments(0.0, 0.0));
+    }
+}

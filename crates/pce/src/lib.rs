@@ -1,0 +1,73 @@
+//! Orthogonal polynomial expansions (polynomial chaos) for stochastic
+//! circuit analysis.
+//!
+//! This crate implements the mathematical machinery behind OPERA
+//! ("Orthogonal Polynomial Expansions for Response Analysis", DATE 2005):
+//! representing a second-order random quantity `x(ξ)` as a truncated series
+//!
+//! ```text
+//! x(ξ) ≈ Σ_i a_i ψ_i(ξ),      ξ = (ξ₁, …, ξ_r)
+//! ```
+//!
+//! where `{ψ_i}` are orthogonal polynomials of the underlying random
+//! variables chosen according to the Askey scheme (Hermite for Gaussian,
+//! Legendre for uniform, Laguerre for Gamma/exponential, Jacobi for Beta).
+//!
+//! The main types are:
+//!
+//! * [`PolynomialFamily`] — univariate orthogonal families with recurrences,
+//!   norms and probability weights.
+//! * [`MultiIndex`] / [`multi_indices`] — graded multi-index sets defining a
+//!   total-order truncation.
+//! * [`OrthogonalBasis`] — the tensorised multivariate basis `{ψ_i}`.
+//! * [`quadrature`] — Gauss quadrature rules (Golub–Welsch via Sturm
+//!   bisection) used for inner products and moments.
+//! * [`GalerkinCoupling`] — the tensors `⟨ψ_i ψ_j⟩` and `⟨ξ_d ψ_i ψ_j⟩`
+//!   needed to assemble the spectral (Galerkin) system of the paper.
+//! * [`PceSeries`] — a scalar expansion with mean/variance/evaluation and
+//!   sampling helpers.
+//! * [`gram_charlier`] — PDF reconstruction from moments.
+//!
+//! # Example
+//!
+//! ```
+//! use opera_pce::{OrthogonalBasis, PolynomialFamily, PceSeries};
+//!
+//! # fn main() -> Result<(), opera_pce::PceError> {
+//! // Order-2 expansion in 2 Gaussian variables: 6 basis functions,
+//! // exactly the basis of Eq. (15) in the paper.
+//! let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2)?;
+//! assert_eq!(basis.len(), 6);
+//!
+//! // x(ξ) = 1 + 0.5 ξ₁ + 0.1 (ξ₂² − 1)
+//! let series = PceSeries::from_coefficients(&basis, vec![1.0, 0.5, 0.0, 0.0, 0.0, 0.1])?;
+//! assert!((series.mean() - 1.0).abs() < 1e-15);
+//! assert!((series.variance() - (0.25 + 0.02)).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod basis;
+mod error;
+mod family;
+mod galerkin;
+mod multi_index;
+mod series;
+
+pub mod gram_charlier;
+pub mod moments;
+pub mod quadrature;
+pub mod sampling;
+
+pub use basis::OrthogonalBasis;
+pub use error::PceError;
+pub use family::PolynomialFamily;
+pub use galerkin::GalerkinCoupling;
+pub use multi_index::{basis_size, multi_indices, MultiIndex};
+pub use series::PceSeries;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PceError>;

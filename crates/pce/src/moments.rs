@@ -1,0 +1,137 @@
+//! Statistical moments of polynomial chaos expansions.
+//!
+//! Mean and variance follow directly from the expansion coefficients
+//! (paper Eq. 23). Higher moments are obtained by integrating powers of the
+//! expansion with Gauss quadrature, mirroring the paper's observation that
+//! `E[xⁿ] = ⟨xⁿ⁻¹, x⟩` once an explicit representation is available.
+
+use crate::quadrature::tensor_rule;
+use crate::{PceSeries, Result};
+
+/// First four moments of a random variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Mean `E[x]`.
+    pub mean: f64,
+    /// Variance `E[(x − μ)²]`.
+    pub variance: f64,
+    /// Skewness `E[(x − μ)³] / σ³` (0 for symmetric distributions).
+    pub skewness: f64,
+    /// Excess kurtosis `E[(x − μ)⁴] / σ⁴ − 3` (0 for a Gaussian).
+    pub excess_kurtosis: f64,
+}
+
+impl Moments {
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Computes the first four moments of a PCE series by Gauss quadrature.
+///
+/// The quadrature uses enough points to integrate the fourth power of the
+/// truncated expansion exactly, so the returned values are the exact moments
+/// *of the truncated series* (which approximate the moments of the underlying
+/// response).
+///
+/// # Errors
+///
+/// Propagates quadrature construction failures.
+///
+/// # Example
+///
+/// ```
+/// use opera_pce::{moments::moments, OrthogonalBasis, PolynomialFamily, PceSeries};
+///
+/// # fn main() -> Result<(), opera_pce::PceError> {
+/// let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 1, 2)?;
+/// // A pure Gaussian x = μ + σ ξ.
+/// let x = PceSeries::from_coefficients(&basis, vec![1.0, 2.0, 0.0])?;
+/// let m = moments(&x)?;
+/// assert!((m.mean - 1.0).abs() < 1e-12);
+/// assert!((m.variance - 4.0).abs() < 1e-12);
+/// assert!(m.skewness.abs() < 1e-12);
+/// assert!(m.excess_kurtosis.abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn moments(series: &PceSeries) -> Result<Moments> {
+    let basis = series.basis();
+    // x⁴ has per-variable degree 4p ⇒ 2p + 1 points are enough
+    // (2(2p + 1) − 1 = 4p + 1 ≥ 4p).
+    let points = 2 * basis.order() as usize + 1;
+    let rule = tensor_rule(basis.families(), points.max(2))?;
+    let mean = series.mean();
+    let mut m2 = 0.0;
+    let mut m3 = 0.0;
+    let mut m4 = 0.0;
+    for (node, &w) in rule.nodes.iter().zip(&rule.weights) {
+        let v = series.evaluate(node)? - mean;
+        let v2 = v * v;
+        m2 += w * v2;
+        m3 += w * v2 * v;
+        m4 += w * v2 * v2;
+    }
+    let sigma = m2.sqrt();
+    let (skewness, excess_kurtosis) = if sigma > 0.0 {
+        (m3 / (sigma * sigma * sigma), m4 / (m2 * m2) - 3.0)
+    } else {
+        (0.0, 0.0)
+    };
+    Ok(Moments {
+        mean,
+        variance: m2,
+        skewness,
+        excess_kurtosis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OrthogonalBasis, PolynomialFamily};
+
+    #[test]
+    fn quadrature_moments_match_coefficient_formulas() {
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
+        let s = PceSeries::from_coefficients(&basis, vec![3.0, 0.4, -0.2, 0.1, 0.05, -0.03])
+            .unwrap();
+        let m = moments(&s).unwrap();
+        assert!((m.mean - s.mean()).abs() < 1e-12);
+        assert!((m.variance - s.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_like_series_has_positive_skewness() {
+        // x = ξ² − 1 (centred chi-square with 1 dof): skewness = 2√2,
+        // excess kurtosis = 12.
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 1, 2).unwrap();
+        let s = PceSeries::from_coefficients(&basis, vec![0.0, 0.0, 1.0]).unwrap();
+        let m = moments(&s).unwrap();
+        assert!((m.variance - 2.0).abs() < 1e-10);
+        assert!((m.skewness - 2.0 * 2.0f64.sqrt()).abs() < 1e-8);
+        assert!((m.excess_kurtosis - 12.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn constant_series_has_zero_higher_moments() {
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 1, 1).unwrap();
+        let s = PceSeries::constant(&basis, 5.0);
+        let m = moments(&s).unwrap();
+        assert_eq!(m.mean, 5.0);
+        assert_eq!(m.variance, 0.0);
+        assert_eq!(m.skewness, 0.0);
+        assert_eq!(m.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn uniform_series_has_negative_excess_kurtosis() {
+        // x = ξ with ξ uniform on [−1, 1]: kurtosis = 1.8 ⇒ excess −1.2.
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Legendre, 1, 1).unwrap();
+        let s = PceSeries::from_coefficients(&basis, vec![0.0, 1.0]).unwrap();
+        let m = moments(&s).unwrap();
+        assert!((m.variance - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.excess_kurtosis + 1.2).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,200 @@
+//! Graded multi-index sets for total-order polynomial chaos truncations.
+
+use crate::{PceError, Result};
+
+/// A multi-index `α = (α₁, …, α_r)`: the per-variable polynomial degrees of
+/// one multivariate basis function `ψ_α(ξ) = Π_d φ_{α_d}(ξ_d)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MultiIndex(Vec<u32>);
+
+impl MultiIndex {
+    /// Creates a multi-index from per-variable degrees.
+    pub fn new(degrees: Vec<u32>) -> Self {
+        MultiIndex(degrees)
+    }
+
+    /// The zero multi-index (constant basis function) in `n_vars` variables.
+    pub fn zero(n_vars: usize) -> Self {
+        MultiIndex(vec![0; n_vars])
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total degree `|α| = Σ_d α_d`.
+    pub fn total_degree(&self) -> u32 {
+        self.0.iter().sum()
+    }
+
+    /// Degree of variable `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn degree(&self, d: usize) -> u32 {
+        self.0[d]
+    }
+
+    /// The per-variable degrees.
+    pub fn degrees(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Returns `true` if this is the constant (all-zero) index.
+    pub fn is_constant(&self) -> bool {
+        self.0.iter().all(|&d| d == 0)
+    }
+}
+
+impl std::fmt::Display for MultiIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Number of basis functions in a total-order truncation:
+/// `N + 1 = Σ_{k=0}^{p} C(n − 1 + k, k) = C(n + p, p)`
+/// (Eq. (8) of the paper).
+///
+/// Returns `None` on overflow.
+pub fn basis_size(n_vars: usize, order: u32) -> Option<usize> {
+    // C(n + p, p) computed incrementally.
+    let mut result: u128 = 1;
+    for k in 1..=(order as u128) {
+        result = result.checked_mul(n_vars as u128 + k)?;
+        result /= k;
+    }
+    usize::try_from(result).ok()
+}
+
+/// Enumerates all multi-indices with `n_vars` variables and total degree at
+/// most `order`, in graded order: sorted by total degree first, then
+/// lexicographically with the *first* variable varying slowest.
+///
+/// For two Gaussian variables at order 2 this yields exactly the ordering of
+/// Eq. (15) in the paper: `1, ξ₁, ξ₂, ξ₁²−1, ξ₁ξ₂, ξ₂²−1`.
+///
+/// # Errors
+///
+/// Returns [`PceError::InvalidBasis`] when `n_vars == 0` or the basis size
+/// overflows `usize`.
+pub fn multi_indices(n_vars: usize, order: u32) -> Result<Vec<MultiIndex>> {
+    if n_vars == 0 {
+        return Err(PceError::InvalidBasis {
+            reason: "a basis needs at least one random variable".to_string(),
+        });
+    }
+    let expected = basis_size(n_vars, order).ok_or_else(|| PceError::InvalidBasis {
+        reason: format!("basis size overflows for n_vars = {n_vars}, order = {order}"),
+    })?;
+    let mut out = Vec::with_capacity(expected);
+    let mut current = vec![0u32; n_vars];
+    for total in 0..=order {
+        enumerate_fixed_degree(&mut current, 0, total, &mut out);
+    }
+    debug_assert_eq!(out.len(), expected);
+    Ok(out)
+}
+
+/// Recursively enumerates multi-indices of exactly `remaining` total degree,
+/// assigning variables from position `pos` onward, largest degree to the
+/// first variable (lexicographic descending on the leading variable).
+fn enumerate_fixed_degree(
+    current: &mut Vec<u32>,
+    pos: usize,
+    remaining: u32,
+    out: &mut Vec<MultiIndex>,
+) {
+    if pos == current.len() - 1 {
+        current[pos] = remaining;
+        out.push(MultiIndex::new(current.clone()));
+        current[pos] = 0;
+        return;
+    }
+    // Assign the current variable from the highest degree downward so that
+    // e.g. (2,0) precedes (1,1) precedes (0,2), matching the paper's order
+    // ξ₁²−1, ξ₁ξ₂, ξ₂²−1.
+    for d in (0..=remaining).rev() {
+        current[pos] = d;
+        enumerate_fixed_degree(current, pos + 1, remaining - d, out);
+    }
+    current[pos] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_size_matches_binomial_formula() {
+        assert_eq!(basis_size(1, 3), Some(4));
+        assert_eq!(basis_size(2, 2), Some(6));
+        assert_eq!(basis_size(3, 2), Some(10));
+        assert_eq!(basis_size(3, 3), Some(20));
+        assert_eq!(basis_size(5, 0), Some(1));
+    }
+
+    #[test]
+    fn two_variable_order_two_matches_paper_ordering() {
+        let idx = multi_indices(2, 2).unwrap();
+        let expected: Vec<Vec<u32>> = vec![
+            vec![0, 0], // 1
+            vec![1, 0], // ξ₁
+            vec![0, 1], // ξ₂
+            vec![2, 0], // ξ₁² − 1
+            vec![1, 1], // ξ₁ ξ₂
+            vec![0, 2], // ξ₂² − 1
+        ];
+        let got: Vec<Vec<u32>> = idx.iter().map(|m| m.degrees().to_vec()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn count_matches_basis_size_for_various_truncations() {
+        for n in 1..=4 {
+            for p in 0..=4 {
+                let idx = multi_indices(n, p).unwrap();
+                assert_eq!(idx.len(), basis_size(n, p).unwrap(), "n={n}, p={p}");
+                // All degrees within the bound.
+                assert!(idx.iter().all(|m| m.total_degree() <= p));
+                // No duplicates.
+                let mut sorted = idx.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), idx.len());
+            }
+        }
+    }
+
+    #[test]
+    fn graded_ordering_is_nondecreasing_in_total_degree() {
+        let idx = multi_indices(3, 3).unwrap();
+        for w in idx.windows(2) {
+            assert!(w[0].total_degree() <= w[1].total_degree());
+        }
+        assert!(idx[0].is_constant());
+    }
+
+    #[test]
+    fn zero_variables_is_rejected() {
+        assert!(multi_indices(0, 2).is_err());
+    }
+
+    #[test]
+    fn display_formats_degrees() {
+        let m = MultiIndex::new(vec![1, 0, 2]);
+        assert_eq!(m.to_string(), "(1,0,2)");
+        assert_eq!(m.total_degree(), 3);
+        assert_eq!(m.degree(2), 2);
+        assert_eq!(MultiIndex::zero(2), MultiIndex::new(vec![0, 0]));
+    }
+}

@@ -1,0 +1,361 @@
+//! Gauss quadrature rules for the Askey-scheme probability weights.
+//!
+//! Nodes are computed as the eigenvalues of the Jacobi (tridiagonal
+//! recurrence) matrix — the Golub–Welsch construction — using a robust Sturm
+//! sequence bisection rather than a QL iteration. Weights follow from the
+//! Christoffel numbers `w_i = 1 / Σ_k φ̂_k(x_i)²` where `φ̂_k` are the
+//! orthonormal polynomials. All rules integrate against *probability*
+//! measures, so the weights of every rule sum to one.
+
+use crate::{PceError, PolynomialFamily, Result};
+
+/// A one-dimensional Gauss quadrature rule: `∫ f(x) w(x) dx ≈ Σ_i w_i f(x_i)`
+/// where `w(x)` is the probability density of the family's standard variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussRule {
+    /// Quadrature nodes (roots of the degree-`n` orthogonal polynomial).
+    pub nodes: Vec<f64>,
+    /// Quadrature weights (positive, summing to one).
+    pub weights: Vec<f64>,
+}
+
+impl GaussRule {
+    /// Integrates a function against the rule.
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+
+    /// Number of quadrature points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the rule has no points (never produced by
+    /// [`gauss_rule`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Builds the `n`-point Gauss rule for the given polynomial family. The rule
+/// integrates polynomials up to degree `2n − 1` exactly.
+///
+/// # Errors
+///
+/// Returns [`PceError::InvalidParameter`] if `n == 0` or the family
+/// parameters are invalid.
+///
+/// # Example
+///
+/// ```
+/// use opera_pce::{quadrature::gauss_rule, PolynomialFamily};
+///
+/// # fn main() -> Result<(), opera_pce::PceError> {
+/// let rule = gauss_rule(PolynomialFamily::Hermite, 5)?;
+/// // E[ξ²] = 1 for a standard Gaussian.
+/// let second_moment = rule.integrate(|x| x * x);
+/// assert!((second_moment - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gauss_rule(family: PolynomialFamily, n: usize) -> Result<GaussRule> {
+    family.validate()?;
+    if n == 0 {
+        return Err(PceError::InvalidParameter {
+            name: "quadrature points",
+            value: "0".to_string(),
+        });
+    }
+    // Jacobi matrix of the monic recurrence: diagonal a_k, off-diagonal
+    // sqrt(b_k) (k = 1..n−1).
+    let mut diag = Vec::with_capacity(n);
+    let mut offdiag = Vec::with_capacity(n.saturating_sub(1));
+    for k in 0..n {
+        let (a_k, b_k) = family.monic_recurrence(k as u32);
+        diag.push(a_k);
+        if k > 0 {
+            offdiag.push(b_k.sqrt());
+        }
+    }
+    let nodes = symmetric_tridiagonal_eigenvalues(&diag, &offdiag);
+
+    // Christoffel weights via orthonormal polynomial evaluation.
+    let weights: Vec<f64> = nodes
+        .iter()
+        .map(|&x| {
+            let mut sum = 0.0;
+            let values = family.evaluate_all(n as u32 - 1, x);
+            for (k, v) in values.iter().enumerate() {
+                sum += v * v / family.norm_squared(k as u32);
+            }
+            1.0 / sum
+        })
+        .collect();
+    Ok(GaussRule { nodes, weights })
+}
+
+/// A tensor-product quadrature rule over several (possibly different)
+/// univariate families.
+#[derive(Debug, Clone)]
+pub struct TensorRule {
+    /// Multi-dimensional nodes, one `Vec<f64>` of length `n_vars` per point.
+    pub nodes: Vec<Vec<f64>>,
+    /// Weights (product of the univariate weights), summing to one.
+    pub weights: Vec<f64>,
+}
+
+impl TensorRule {
+    /// Integrates a multivariate function against the rule.
+    pub fn integrate(&self, mut f: impl FnMut(&[f64]) -> f64) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(x, &w)| w * f(x))
+            .sum()
+    }
+
+    /// Number of tensor nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Builds the full tensor product of `points`-point Gauss rules, one per
+/// family in `families`.
+///
+/// # Errors
+///
+/// Propagates errors from [`gauss_rule`]; also rejects an empty family list.
+pub fn tensor_rule(families: &[PolynomialFamily], points: usize) -> Result<TensorRule> {
+    if families.is_empty() {
+        return Err(PceError::InvalidBasis {
+            reason: "tensor rule needs at least one variable".to_string(),
+        });
+    }
+    let rules: Vec<GaussRule> = families
+        .iter()
+        .map(|&f| gauss_rule(f, points))
+        .collect::<Result<_>>()?;
+    let total: usize = rules.iter().map(|r| r.len()).product();
+    let mut nodes = Vec::with_capacity(total);
+    let mut weights = Vec::with_capacity(total);
+    let mut counter = vec![0usize; families.len()];
+    loop {
+        let mut point = Vec::with_capacity(families.len());
+        let mut w = 1.0;
+        for (d, &c) in counter.iter().enumerate() {
+            point.push(rules[d].nodes[c]);
+            w *= rules[d].weights[c];
+        }
+        nodes.push(point);
+        weights.push(w);
+        // Increment the mixed-radix counter.
+        let mut d = 0;
+        loop {
+            if d == families.len() {
+                return Ok(TensorRule { nodes, weights });
+            }
+            counter[d] += 1;
+            if counter[d] < rules[d].len() {
+                break;
+            }
+            counter[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+/// Eigenvalues of a symmetric tridiagonal matrix via Sturm-sequence bisection.
+///
+/// `diag` has length `n`, `offdiag` length `n − 1`. The eigenvalues are
+/// returned in ascending order. This is O(n² log(1/ε)) which is perfectly
+/// adequate for quadrature rules with at most a few hundred points.
+pub fn symmetric_tridiagonal_eigenvalues(diag: &[f64], offdiag: &[f64]) -> Vec<f64> {
+    let n = diag.len();
+    assert!(
+        offdiag.len() + 1 == n || (n == 0 && offdiag.is_empty()),
+        "offdiag must have length n - 1"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    // Gershgorin bounds.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let left = if i > 0 { offdiag[i - 1].abs() } else { 0.0 };
+        let right = if i + 1 < n { offdiag[i].abs() } else { 0.0 };
+        lo = lo.min(diag[i] - left - right);
+        hi = hi.max(diag[i] + left + right);
+    }
+    let span = (hi - lo).max(1e-300);
+    let lo = lo - 1e-12 * span - 1e-300;
+    let hi = hi + 1e-12 * span + 1e-300;
+
+    // Sturm count: number of eigenvalues strictly less than x.
+    let count_below = |x: f64| -> usize {
+        let mut count = 0usize;
+        let mut d = diag[0] - x;
+        if d < 0.0 {
+            count += 1;
+        }
+        for i in 1..n {
+            let e2 = offdiag[i - 1] * offdiag[i - 1];
+            let denom = if d.abs() < 1e-300 {
+                1e-300_f64.copysign(if d == 0.0 { 1.0 } else { d })
+            } else {
+                d
+            };
+            d = diag[i] - x - e2 / denom;
+            if d < 0.0 {
+                count += 1;
+            }
+        }
+        count
+    };
+
+    let tol = 1e-15 * span.max(1.0);
+    let mut eigenvalues = Vec::with_capacity(n);
+    for k in 0..n {
+        // Find the k-th smallest eigenvalue by bisection on the count.
+        let mut a = lo;
+        let mut b = hi;
+        while b - a > tol {
+            let mid = 0.5 * (a + b);
+            if count_below(mid) > k {
+                b = mid;
+            } else {
+                a = mid;
+            }
+        }
+        eigenvalues.push(0.5 * (a + b));
+    }
+    eigenvalues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::factorial;
+
+    #[test]
+    fn tridiagonal_eigenvalues_of_known_matrix() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let eig = symmetric_tridiagonal_eigenvalues(&[2.0, 2.0], &[1.0]);
+        assert!((eig[0] - 1.0).abs() < 1e-10);
+        assert!((eig[1] - 3.0).abs() < 1e-10);
+        // Diagonal matrix.
+        let eig = symmetric_tridiagonal_eigenvalues(&[3.0, -1.0, 5.0], &[0.0, 0.0]);
+        assert!((eig[0] + 1.0).abs() < 1e-10);
+        assert!((eig[2] - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gauss_hermite_integrates_gaussian_moments_exactly() {
+        let rule = gauss_rule(PolynomialFamily::Hermite, 8).unwrap();
+        assert!((rule.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // E[ξ^{2m}] = (2m − 1)!! for a standard Gaussian.
+        let double_factorial = |m: u32| (1..=m).map(|i| (2 * i - 1) as f64).product::<f64>();
+        for m in 1..=7u32 {
+            let moment = rule.integrate(|x| x.powi(2 * m as i32));
+            assert!(
+                (moment - double_factorial(m)).abs() < 1e-9 * double_factorial(m).max(1.0),
+                "moment 2m = {} mismatch: {moment}",
+                2 * m
+            );
+        }
+        // Odd moments vanish.
+        assert!(rule.integrate(|x| x.powi(3)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gauss_hermite_reproduces_hermite_norms() {
+        let fam = PolynomialFamily::Hermite;
+        let rule = gauss_rule(fam, 10).unwrap();
+        for k in 0..=6u32 {
+            let norm = rule.integrate(|x| {
+                let v = fam.evaluate(k, x);
+                v * v
+            });
+            assert!(
+                (norm - factorial(k)).abs() < 1e-8 * factorial(k),
+                "k = {k}: {norm} vs {}",
+                factorial(k)
+            );
+        }
+        // Orthogonality of distinct degrees.
+        let cross = rule.integrate(|x| fam.evaluate(2, x) * fam.evaluate(4, x));
+        assert!(cross.abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauss_legendre_integrates_uniform_moments() {
+        let rule = gauss_rule(PolynomialFamily::Legendre, 6).unwrap();
+        // E[x²] over U(−1, 1) = 1/3; E[x⁴] = 1/5.
+        assert!((rule.integrate(|x| x * x) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((rule.integrate(|x| x.powi(4)) - 0.2).abs() < 1e-12);
+        assert!((rule.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_laguerre_integrates_exponential_moments() {
+        let rule = gauss_rule(PolynomialFamily::Laguerre, 10).unwrap();
+        // E[x^m] = m! for Exp(1).
+        for m in 1..=5u32 {
+            let moment = rule.integrate(|x| x.powi(m as i32));
+            assert!(
+                (moment - factorial(m)).abs() < 1e-7 * factorial(m),
+                "m = {m}: {moment}"
+            );
+        }
+    }
+
+    #[test]
+    fn gauss_jacobi_handles_beta_weights() {
+        let rule = gauss_rule(PolynomialFamily::Jacobi { a: 1.0, b: 2.0 }, 8).unwrap();
+        assert!((rule.weights.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        // Mean of the shifted Beta: for weight (1−x)^a (1+x)^b on [−1,1],
+        // E[x] = (b − a) / (a + b + 2) = 1/5.
+        assert!((rule.integrate(|x| x) - 0.2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn tensor_rule_integrates_separable_functions() {
+        let rule = tensor_rule(&[PolynomialFamily::Hermite, PolynomialFamily::Hermite], 5).unwrap();
+        assert_eq!(rule.len(), 25);
+        // E[ξ₁² ξ₂²] = 1 for independent standard Gaussians.
+        assert!((rule.integrate(|x| x[0] * x[0] * x[1] * x[1]) - 1.0).abs() < 1e-10);
+        // E[ξ₁ ξ₂] = 0.
+        assert!(rule.integrate(|x| x[0] * x[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_points_is_rejected() {
+        assert!(gauss_rule(PolynomialFamily::Hermite, 0).is_err());
+        assert!(tensor_rule(&[], 3).is_err());
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        for fam in [
+            PolynomialFamily::Hermite,
+            PolynomialFamily::Legendre,
+            PolynomialFamily::Laguerre,
+            PolynomialFamily::GeneralizedLaguerre { alpha: 1.5 },
+            PolynomialFamily::Jacobi { a: 0.5, b: 0.5 },
+        ] {
+            let rule = gauss_rule(fam, 7).unwrap();
+            assert!(rule.weights.iter().all(|&w| w > 0.0), "family {fam}");
+            assert_eq!(rule.len(), 7);
+        }
+    }
+}

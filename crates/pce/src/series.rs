@@ -1,0 +1,205 @@
+//! Scalar polynomial chaos expansions.
+
+use crate::{OrthogonalBasis, PceError, Result};
+
+/// A scalar random variable represented by a truncated orthogonal polynomial
+/// expansion `x(ξ) = Σ_i a_i ψ_i(ξ)`.
+///
+/// This is the "explicit analytical representation of the stochastic voltage
+/// response" of the paper: once the coefficients are known, moments and
+/// samples are available in closed form without further circuit solves.
+///
+/// # Example
+///
+/// ```
+/// use opera_pce::{OrthogonalBasis, PolynomialFamily, PceSeries};
+///
+/// # fn main() -> Result<(), opera_pce::PceError> {
+/// let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 1, 2)?;
+/// // x = 2 + 0.3 ξ + 0.05 (ξ² − 1)
+/// let x = PceSeries::from_coefficients(&basis, vec![2.0, 0.3, 0.05])?;
+/// assert!((x.mean() - 2.0).abs() < 1e-15);
+/// assert!((x.variance() - (0.09 + 0.005)).abs() < 1e-15);
+/// assert!((x.evaluate(&[1.0])? - 2.3).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PceSeries {
+    basis: OrthogonalBasis,
+    coefficients: Vec<f64>,
+}
+
+impl PceSeries {
+    /// Creates a series from coefficients in basis order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::CoefficientLengthMismatch`] if the coefficient
+    /// count does not equal the basis size.
+    pub fn from_coefficients(basis: &OrthogonalBasis, coefficients: Vec<f64>) -> Result<Self> {
+        if coefficients.len() != basis.len() {
+            return Err(PceError::CoefficientLengthMismatch {
+                got: coefficients.len(),
+                expected: basis.len(),
+            });
+        }
+        Ok(PceSeries {
+            basis: basis.clone(),
+            coefficients,
+        })
+    }
+
+    /// A deterministic (constant) series.
+    pub fn constant(basis: &OrthogonalBasis, value: f64) -> Self {
+        let mut coefficients = vec![0.0; basis.len()];
+        coefficients[0] = value;
+        PceSeries {
+            basis: basis.clone(),
+            coefficients,
+        }
+    }
+
+    /// The basis this series is expressed in.
+    pub fn basis(&self) -> &OrthogonalBasis {
+        &self.basis
+    }
+
+    /// The expansion coefficients in basis order.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Mean `E[x] = a₀` (the basis is in the unnormalised convention where
+    /// `ψ₀ ≡ 1` and all other basis functions have zero mean).
+    pub fn mean(&self) -> f64 {
+        self.coefficients[0]
+    }
+
+    /// Variance `Var[x] = Σ_{i>0} a_i² ⟨ψ_i²⟩` (paper Eq. 23).
+    pub fn variance(&self) -> f64 {
+        self.coefficients
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, a)| a * a * self.basis.norm_squared(i))
+            .sum()
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Evaluates the expansion at a sample of the random variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::DimensionMismatch`] if `xi` has the wrong length.
+    pub fn evaluate(&self, xi: &[f64]) -> Result<f64> {
+        let psi = self.basis.evaluate_all(xi)?;
+        Ok(self
+            .coefficients
+            .iter()
+            .zip(&psi)
+            .map(|(a, p)| a * p)
+            .sum())
+    }
+
+    /// Adds another series over the same basis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::BasisMismatch`] if the bases differ.
+    pub fn add(&self, other: &PceSeries) -> Result<PceSeries> {
+        if self.basis != other.basis {
+            return Err(PceError::BasisMismatch);
+        }
+        let coefficients = self
+            .coefficients
+            .iter()
+            .zip(&other.coefficients)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(PceSeries {
+            basis: self.basis.clone(),
+            coefficients,
+        })
+    }
+
+    /// Returns the series scaled by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> PceSeries {
+        PceSeries {
+            basis: self.basis.clone(),
+            coefficients: self.coefficients.iter().map(|a| alpha * a).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolynomialFamily;
+
+    fn basis() -> OrthogonalBasis {
+        OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap()
+    }
+
+    #[test]
+    fn mean_and_variance_follow_paper_formula() {
+        let b = basis();
+        // Paper Eq. (23): Var = a1² + a2² + 2 a3² + a4² + 2 a5².
+        let a = vec![1.5, 0.2, -0.1, 0.05, 0.3, -0.02];
+        let s = PceSeries::from_coefficients(&b, a.clone()).unwrap();
+        assert_eq!(s.mean(), 1.5);
+        let expected = a[1] * a[1] + a[2] * a[2] + 2.0 * a[3] * a[3] + a[4] * a[4]
+            + 2.0 * a[5] * a[5];
+        assert!((s.variance() - expected).abs() < 1e-15);
+        assert!((s.std_dev() - expected.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn evaluation_matches_direct_polynomial() {
+        let b = basis();
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let s = PceSeries::from_coefficients(&b, a.clone()).unwrap();
+        let xi = [0.4, -1.2];
+        let direct = a[0]
+            + a[1] * xi[0]
+            + a[2] * xi[1]
+            + a[3] * (xi[0] * xi[0] - 1.0)
+            + a[4] * xi[0] * xi[1]
+            + a[5] * (xi[1] * xi[1] - 1.0);
+        assert!((s.evaluate(&xi).unwrap() - direct).abs() < 1e-13);
+    }
+
+    #[test]
+    fn constant_series_has_zero_variance() {
+        let s = PceSeries::constant(&basis(), 7.5);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.evaluate(&[0.3, -0.4]).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn add_and_scale_are_linear() {
+        let b = basis();
+        let s1 = PceSeries::from_coefficients(&b, vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let s2 = PceSeries::from_coefficients(&b, vec![2.0, 0.0, 3.0, 0.0, 0.0, 0.0]).unwrap();
+        let sum = s1.add(&s2).unwrap().scaled(2.0);
+        assert_eq!(sum.coefficients(), &[6.0, 2.0, 6.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn wrong_lengths_and_bases_are_rejected() {
+        let b = basis();
+        assert!(matches!(
+            PceSeries::from_coefficients(&b, vec![1.0, 2.0]),
+            Err(PceError::CoefficientLengthMismatch { .. })
+        ));
+        let other = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 1).unwrap();
+        let s1 = PceSeries::constant(&b, 1.0);
+        let s2 = PceSeries::constant(&other, 1.0);
+        assert!(matches!(s1.add(&s2), Err(PceError::BasisMismatch)));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the polynomial chaos machinery.
+
+use proptest::prelude::*;
+
+use opera_pce::{
+    basis_size, moments::moments, quadrature::gauss_rule, sampling, GalerkinCoupling,
+    OrthogonalBasis, PceSeries, PolynomialFamily,
+};
+
+fn family_strategy() -> impl Strategy<Value = PolynomialFamily> {
+    prop_oneof![
+        Just(PolynomialFamily::Hermite),
+        Just(PolynomialFamily::Legendre),
+        Just(PolynomialFamily::Laguerre),
+        (0.0f64..3.0).prop_map(|alpha| PolynomialFamily::GeneralizedLaguerre { alpha }),
+        (0.0f64..2.0, 0.0f64..2.0).prop_map(|(a, b)| PolynomialFamily::Jacobi { a, b }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gauss rules integrate the probability measure: weights sum to one and
+    /// the degree-(2n−1) orthogonality of the family holds under quadrature.
+    #[test]
+    fn gauss_rules_are_normalised_and_orthogonal(family in family_strategy(), n in 3usize..9) {
+        let rule = gauss_rule(family, n).unwrap();
+        let total: f64 = rule.weights.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        prop_assert!(rule.weights.iter().all(|&w| w > 0.0));
+        // Orthogonality of φ_1 and φ_2 (degree 3 ≤ 2n − 1 for n ≥ 2).
+        let inner = rule.integrate(|x| family.evaluate(1, x) * family.evaluate(2, x));
+        prop_assert!(inner.abs() < 1e-7, "⟨φ1, φ2⟩ = {inner}");
+        // Norm of φ_1 matches the closed form.
+        let norm = rule.integrate(|x| family.evaluate(1, x).powi(2));
+        prop_assert!((norm - family.norm_squared(1)).abs() < 1e-6 * family.norm_squared(1).max(1.0));
+    }
+
+    /// The truncated basis has exactly C(n + p, p) functions and the first is
+    /// the constant.
+    #[test]
+    fn basis_size_formula_holds(n_vars in 1usize..5, order in 0u32..5) {
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, n_vars, order).unwrap();
+        prop_assert_eq!(basis.len(), basis_size(n_vars, order).unwrap());
+        prop_assert!(basis.multi_index(0).is_constant());
+        // Graded: total degree is non-decreasing along the basis.
+        for i in 1..basis.len() {
+            prop_assert!(
+                basis.multi_index(i - 1).total_degree() <= basis.multi_index(i).total_degree()
+            );
+        }
+    }
+
+    /// Mean and variance computed from the coefficients agree with a Monte
+    /// Carlo estimate over the basis' own sampling routine.
+    #[test]
+    fn series_statistics_match_sampling(
+        coeffs in proptest::collection::vec(-1.0f64..1.0, 6),
+        seed in 0u64..1000,
+    ) {
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
+        let series = PceSeries::from_coefficients(&basis, coeffs).unwrap();
+        let samples = sampling::sample_standard(&basis, 20_000, seed);
+        let values = sampling::evaluate_at_samples(&series, &samples).unwrap();
+        let (mean, var) = sampling::sample_mean_variance(&values);
+        prop_assert!((mean - series.mean()).abs() < 0.08 + 0.05 * series.std_dev());
+        // Variance is noisier; allow a generous band.
+        prop_assert!((var - series.variance()).abs() < 0.1 + 0.25 * series.variance());
+    }
+
+    /// The quadrature-based moments agree with the closed-form mean/variance
+    /// for any coefficients and any (matching) basis.
+    #[test]
+    fn quadrature_moments_match_closed_forms(
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 10),
+    ) {
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 3, 2).unwrap();
+        let series = PceSeries::from_coefficients(&basis, coeffs).unwrap();
+        let m = moments(&series).unwrap();
+        prop_assert!((m.mean - series.mean()).abs() < 1e-10);
+        prop_assert!((m.variance - series.variance()).abs() < 1e-8 * (1.0 + series.variance()));
+    }
+
+    /// Galerkin linear couplings are symmetric in (i, j) and vanish whenever
+    /// the two basis functions differ in more than one degree of the coupled
+    /// variable (selection rule of the Hermite recurrence).
+    #[test]
+    fn galerkin_coupling_symmetry_and_selection_rules(order in 1u32..4) {
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, order).unwrap();
+        let coupling = GalerkinCoupling::new(&basis).unwrap();
+        for d in 0..2 {
+            for i in 0..basis.len() {
+                for j in 0..basis.len() {
+                    let v = coupling.linear(d, i, j);
+                    prop_assert!((v - coupling.linear(d, j, i)).abs() < 1e-10);
+                    let mi = basis.multi_index(i);
+                    let mj = basis.multi_index(j);
+                    // ⟨ξ_d ψ_i ψ_j⟩ ≠ 0 requires |α_d(i) − α_d(j)| = 1 and equal
+                    // degrees in the other variable.
+                    let delta_d = mi.degree(d).abs_diff(mj.degree(d));
+                    let other = 1 - d;
+                    if v.abs() > 1e-10 {
+                        prop_assert_eq!(delta_d, 1, "coupling {} between {} and {}", v, mi, mj);
+                        prop_assert_eq!(mi.degree(other), mj.degree(other));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluating the basis and summing with coefficients equals the series
+    /// evaluation (consistency of the two code paths).
+    #[test]
+    fn series_evaluation_is_consistent(
+        xi in proptest::collection::vec(-2.0f64..2.0, 2),
+        coeffs in proptest::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
+        let series = PceSeries::from_coefficients(&basis, coeffs.clone()).unwrap();
+        let psi = basis.evaluate_all(&xi).unwrap();
+        let direct: f64 = coeffs.iter().zip(&psi).map(|(c, p)| c * p).sum();
+        prop_assert!((series.evaluate(&xi).unwrap() - direct).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,442 @@
+//! Sparse Cholesky (`L·Lᵀ`) factorisation for symmetric positive definite
+//! matrices.
+//!
+//! The factorisation is the classic up-looking algorithm: a symbolic phase
+//! computes the elimination tree and the column counts of `L`, and the
+//! numeric phase computes one row of `L` at a time using the elimination
+//! reach. A fill-reducing ordering (reverse Cuthill–McKee by default) is
+//! applied first; the permutation is handled transparently by
+//! [`CholeskyFactor::solve`].
+
+use crate::etree::ereach;
+use crate::{
+    column_counts, elimination_tree, ordering, CscMatrix, CsrMatrix, Permutation, Result,
+    SparseError,
+};
+
+/// Fill-reducing ordering strategy used before factorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderingChoice {
+    /// Keep the natural (input) order.
+    Natural,
+    /// Reverse Cuthill–McKee — fast, good for mesh-like power grids (default).
+    #[default]
+    ReverseCuthillMckee,
+    /// Greedy minimum degree — slower ordering, usually less fill on
+    /// irregular patterns.
+    MinimumDegree,
+}
+
+/// A sparse Cholesky factorisation `P·A·Pᵀ = L·Lᵀ` of a symmetric positive
+/// definite matrix.
+///
+/// # Example
+///
+/// ```
+/// use opera_sparse::{TripletMatrix, CholeskyFactor};
+///
+/// # fn main() -> Result<(), opera_sparse::SparseError> {
+/// // Small SPD grid Laplacian + I.
+/// let mut t = TripletMatrix::new(3, 3);
+/// for i in 0..3 {
+///     t.push(i, i, 3.0);
+/// }
+/// t.add_symmetric_pair(0, 1, 1.0);
+/// t.add_symmetric_pair(1, 2, 1.0);
+/// let a = t.to_csr();
+/// let chol = CholeskyFactor::factor(&a)?;
+/// let b = vec![1.0, 0.0, -1.0];
+/// let x = chol.solve(&b);
+/// assert!(a.residual_inf_norm(&x, &b) < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    n: usize,
+    perm: Permutation,
+    parent: Vec<Option<usize>>,
+    /// Column pointers of `L` (fixed by the symbolic analysis).
+    l_indptr: Vec<usize>,
+    /// Row indices of `L`.
+    l_indices: Vec<usize>,
+    /// Values of `L`.
+    l_data: Vec<f64>,
+    /// Permuted copy of the input matrix pattern (kept for refactorisation).
+    a_perm: CscMatrix,
+}
+
+impl CholeskyFactor {
+    /// Factors a symmetric positive definite matrix given in CSR format,
+    /// using the default reverse Cuthill–McKee ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for non-square input,
+    /// [`SparseError::InvalidStructure`] if the matrix is not symmetric, and
+    /// [`SparseError::NotPositiveDefinite`] if a non-positive pivot appears.
+    pub fn factor(a: &CsrMatrix) -> Result<Self> {
+        Self::factor_with(a, OrderingChoice::default())
+    }
+
+    /// Factors with an explicit ordering choice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CholeskyFactor::factor`].
+    pub fn factor_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare {
+                shape: (a.nrows(), a.ncols()),
+            });
+        }
+        let scale = a.frobenius_norm().max(1.0);
+        if !a.is_symmetric(1e-10 * scale) {
+            return Err(SparseError::InvalidStructure {
+                reason: "Cholesky factorisation requires a symmetric matrix".to_string(),
+            });
+        }
+        let a_csc = a.to_csc();
+        let perm = match ordering_choice {
+            OrderingChoice::Natural => Permutation::identity(a.nrows()),
+            OrderingChoice::ReverseCuthillMckee => ordering::reverse_cuthill_mckee(&a_csc),
+            OrderingChoice::MinimumDegree => ordering::minimum_degree(&a_csc),
+        };
+        let a_perm = a_csc.permute_symmetric(&perm)?;
+        Self::factor_permuted(a_perm, perm)
+    }
+
+    /// Performs symbolic + numeric factorisation of an already permuted matrix.
+    fn factor_permuted(a_perm: CscMatrix, perm: Permutation) -> Result<Self> {
+        let n = a_perm.ncols();
+        let parent = elimination_tree(&a_perm);
+        let counts = column_counts(&a_perm, &parent);
+        let mut l_indptr = vec![0usize; n + 1];
+        for j in 0..n {
+            l_indptr[j + 1] = l_indptr[j] + counts[j];
+        }
+        let nnz_l = l_indptr[n];
+        let mut factor = CholeskyFactor {
+            n,
+            perm,
+            parent,
+            l_indptr,
+            l_indices: vec![0; nnz_l],
+            l_data: vec![0.0; nnz_l],
+            a_perm,
+        };
+        factor.numeric()?;
+        Ok(factor)
+    }
+
+    /// Re-runs the numeric factorisation for a matrix with the *same sparsity
+    /// pattern* but different values (e.g. a new Monte Carlo sample of the
+    /// grid conductances). The ordering and symbolic analysis are reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if the shape differs from
+    /// the original matrix and [`SparseError::NotPositiveDefinite`] if the new
+    /// matrix is not positive definite. The pattern of `a` may be a subset of
+    /// the original pattern but must not contain new entries outside it;
+    /// entries outside are reported as [`SparseError::InvalidStructure`].
+    pub fn refactor(&mut self, a: &CsrMatrix) -> Result<()> {
+        if a.nrows() != self.n || a.ncols() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                op: "refactor",
+                left: (self.n, self.n),
+                right: (a.nrows(), a.ncols()),
+            });
+        }
+        let a_csc = a.to_csc();
+        let a_perm = a_csc.permute_symmetric(&self.perm)?;
+        // Verify the new pattern is contained in the symbolic pattern we
+        // analysed (same pattern in practice).
+        if a_perm.nnz() > self.a_perm.nnz() {
+            return Err(SparseError::InvalidStructure {
+                reason: "refactor requires the same (or a sub-) sparsity pattern".to_string(),
+            });
+        }
+        self.a_perm = a_perm;
+        self.numeric()
+    }
+
+    /// Up-looking numeric factorisation (CSparse-style).
+    fn numeric(&mut self) -> Result<()> {
+        let n = self.n;
+        let a = &self.a_perm;
+        let mut x = vec![0.0f64; n];
+        let mut work = vec![false; n];
+        // Next free slot in each column of L.
+        let mut next: Vec<usize> = self.l_indptr[..n].to_vec();
+        self.l_data.iter_mut().for_each(|v| *v = 0.0);
+
+        for k in 0..n {
+            let pattern = ereach(a, k, &self.parent, &mut work);
+            // Scatter the upper-triangular part of column k of A into x.
+            let (rows, vals) = a.col(k);
+            let mut d = 0.0;
+            for (&i, &v) in rows.iter().zip(vals) {
+                if i < k {
+                    x[i] = v;
+                } else if i == k {
+                    d = v;
+                }
+            }
+            // Sparse triangular solve along the elimination reach.
+            for &i in &pattern {
+                let li_start = self.l_indptr[i];
+                let diag = self.l_data[li_start];
+                let lki = x[i] / diag;
+                x[i] = 0.0;
+                for p in (li_start + 1)..next[i] {
+                    x[self.l_indices[p]] -= self.l_data[p] * lki;
+                }
+                d -= lki * lki;
+                let slot = next[i];
+                next[i] += 1;
+                self.l_indices[slot] = k;
+                self.l_data[slot] = lki;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                // Clear scratch before reporting the failure.
+                return Err(SparseError::NotPositiveDefinite { column: k, pivot: d });
+            }
+            let slot = next[k];
+            next[k] += 1;
+            self.l_indices[slot] = k;
+            self.l_data[slot] = d.sqrt();
+        }
+        Ok(())
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nonzeros in the factor `L`.
+    pub fn nnz_l(&self) -> usize {
+        self.l_data.len()
+    }
+
+    /// The fill-reducing permutation used (`P·A·Pᵀ = L·Lᵀ`).
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Returns the factor `L` as a CSC matrix (in the permuted ordering).
+    pub fn lower(&self) -> CscMatrix {
+        CscMatrix::from_raw_parts(
+            self.n,
+            self.n,
+            self.l_indptr.clone(),
+            self.l_indices.clone(),
+            self.l_data.clone(),
+        )
+        .expect("factor storage is structurally valid")
+    }
+
+    /// Log-determinant of the original matrix: `log det A = 2 Σ log L_ii`.
+    pub fn log_determinant(&self) -> f64 {
+        let mut acc = 0.0;
+        for j in 0..self.n {
+            acc += self.l_data[self.l_indptr[j]].ln();
+        }
+        2.0 * acc
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
+        let mut y = self.perm.apply(b);
+        self.solve_permuted_in_place(&mut y);
+        self.perm.apply_inverse(&y)
+    }
+
+    /// Solves `A·X = B` column by column for several right-hand sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any right-hand side has the wrong length.
+    pub fn solve_many(&self, columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        columns.iter().map(|b| self.solve(b)).collect()
+    }
+
+    /// In-place solve in the permuted ordering (`L·Lᵀ·y = b_perm`).
+    fn solve_permuted_in_place(&self, b: &mut [f64]) {
+        // Forward and backward substitution directly on the raw arrays to
+        // avoid building a CscMatrix per solve.
+        let n = self.n;
+        // L y = b
+        for j in 0..n {
+            let start = self.l_indptr[j];
+            let end = self.l_indptr[j + 1];
+            let xj = b[j] / self.l_data[start];
+            b[j] = xj;
+            for p in (start + 1)..end {
+                b[self.l_indices[p]] -= self.l_data[p] * xj;
+            }
+        }
+        // Lᵀ x = y
+        for j in (0..n).rev() {
+            let start = self.l_indptr[j];
+            let end = self.l_indptr[j + 1];
+            let mut acc = b[j];
+            for p in (start + 1)..end {
+                acc -= self.l_data[p] * b[self.l_indices[p]];
+            }
+            b[j] = acc / self.l_data[start];
+        }
+    }
+}
+
+/// Convenience: factor-and-solve for a single right-hand side.
+///
+/// # Errors
+///
+/// Propagates any factorisation error from [`CholeskyFactor::factor`].
+pub fn cholesky_solve(a: &CsrMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    Ok(CholeskyFactor::factor(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    /// SPD matrix of a 2-D grid Laplacian plus a diagonal shift.
+    fn grid_spd(nx: usize, ny: usize) -> CsrMatrix {
+        let n = nx * ny;
+        let idx = |x: usize, y: usize| y * nx + x;
+        let mut t = TripletMatrix::new(n, n);
+        for y in 0..ny {
+            for x in 0..nx {
+                t.push(idx(x, y), idx(x, y), 0.5);
+                if x + 1 < nx {
+                    t.add_symmetric_pair(idx(x, y), idx(x + 1, y), 1.0);
+                }
+                if y + 1 < ny {
+                    t.add_symmetric_pair(idx(x, y), idx(x, y + 1), 1.0);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn factorises_and_solves_small_spd_system() {
+        let a = CsrMatrix::from_dense(3, 3, &[4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0], 0.0);
+        let chol = CholeskyFactor::factor(&a).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = chol.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solves_grid_laplacian_with_all_orderings() {
+        let a = grid_spd(7, 9);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.37).sin()).collect();
+        for ord in [
+            OrderingChoice::Natural,
+            OrderingChoice::ReverseCuthillMckee,
+            OrderingChoice::MinimumDegree,
+        ] {
+            let chol = CholeskyFactor::factor_with(&a, ord).unwrap();
+            let x = chol.solve(&b);
+            assert!(
+                a.residual_inf_norm(&x, &b) < 1e-10,
+                "ordering {ord:?} gave a large residual"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_symmetric_and_non_square() {
+        let ns = CsrMatrix::from_dense(2, 2, &[1.0, 2.0, 0.0, 1.0], 0.0);
+        assert!(matches!(
+            CholeskyFactor::factor(&ns),
+            Err(SparseError::InvalidStructure { .. })
+        ));
+        let rect = CsrMatrix::zeros(2, 3);
+        assert!(matches!(
+            CholeskyFactor::factor(&rect),
+            Err(SparseError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = CsrMatrix::from_dense(2, 2, &[1.0, 2.0, 2.0, 1.0], 0.0);
+        assert!(matches!(
+            CholeskyFactor::factor(&a),
+            Err(SparseError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_reuses_symbolic_analysis() {
+        let a = grid_spd(6, 6);
+        let mut chol = CholeskyFactor::factor(&a).unwrap();
+        let b: Vec<f64> = vec![1.0; a.nrows()];
+        let x1 = chol.solve(&b);
+        assert!(a.residual_inf_norm(&x1, &b) < 1e-10);
+
+        // Scale the matrix: same pattern, new values.
+        let a2 = a.scaled(2.0);
+        chol.refactor(&a2).unwrap();
+        let x2 = chol.solve(&b);
+        assert!(a2.residual_inf_norm(&x2, &b) < 1e-10);
+        // Solutions should differ by exactly a factor of 2.
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - 2.0 * v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_determinant_matches_dense_determinant() {
+        let a = CsrMatrix::from_dense(3, 3, &[4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0], 0.0);
+        let chol = CholeskyFactor::factor(&a).unwrap();
+        let det = a.to_dense().determinant().unwrap();
+        assert!((chol.log_determinant() - det.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_factor_reconstructs_matrix() {
+        let a = grid_spd(4, 4);
+        let chol = CholeskyFactor::factor_with(&a, OrderingChoice::Natural).unwrap();
+        let l = chol.lower().to_csr().to_dense();
+        let lt = l.transpose();
+        let llt = l.matmul(&lt);
+        let dense = a.to_dense();
+        assert!(llt.max_abs_diff(&dense) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_solve_convenience_function() {
+        let a = CsrMatrix::from_dense(2, 2, &[2.0, 0.0, 0.0, 5.0], 0.0);
+        let x = cholesky_solve(&a, &[2.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_many_handles_multiple_rhs() {
+        let a = grid_spd(3, 3);
+        let chol = CholeskyFactor::factor(&a).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..4)
+            .map(|k| (0..a.nrows()).map(|i| ((i + k) as f64).cos()).collect())
+            .collect();
+        let xs = chol.solve_many(&rhs);
+        for (x, b) in xs.iter().zip(&rhs) {
+            assert!(a.residual_inf_norm(x, b) < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Compressed sparse column (CSC) matrix.
+
+use crate::{CsrMatrix, Permutation, Result, SparseError};
+
+/// A sparse matrix in compressed sparse column format.
+///
+/// Column `j` occupies `indices[indptr[j]..indptr[j+1]]` (row indices, sorted
+/// ascending and unique) and the matching slice of `data`. CSC is the natural
+/// layout for sparse factorisations (Cholesky, LU) which proceed column by
+/// column.
+///
+/// # Example
+///
+/// ```
+/// use opera_sparse::{TripletMatrix, CscMatrix};
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(1, 0, 2.0);
+/// t.push(1, 1, 3.0);
+/// let a: CscMatrix = t.to_csc();
+/// assert_eq!(a.col(0).0, &[0, 1]);
+/// assert_eq!(a.get(1, 1), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from raw parts, validating the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] when the arrays are
+    /// inconsistent (wrong lengths, unsorted row indices, out-of-bounds rows).
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Result<Self> {
+        // Validate by reusing the CSR validator on the transposed
+        // interpretation, then move the arrays into a CscMatrix.
+        let as_csr = CsrMatrix::from_raw_parts(ncols, nrows, indptr, indices, data)?;
+        Ok(CscMatrix::from_transposed_csr(as_csr))
+    }
+
+    /// Interprets a CSR matrix as the CSC storage of its transpose
+    /// (zero-copy re-labelling used internally by conversions).
+    pub(crate) fn from_transposed_csr(t: CsrMatrix) -> Self {
+        let nrows = t.ncols();
+        let ncols = t.nrows();
+        // Deconstruct the CSR matrix: its rows become our columns.
+        let indptr = t.indptr().to_vec();
+        let indices = t.indices().to_vec();
+        let data = t.data().to_vec();
+        CscMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Creates an `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CscMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            data: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Column pointer array (length `ncols + 1`).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Row index array.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Stored values.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the stored values (pattern is fixed).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Returns the row indices and values of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.indptr[j];
+        let hi = self.indptr[j + 1];
+        (&self.indices[lo..hi], &self.data[lo..hi])
+    }
+
+    /// Returns the value at `(i, j)`, or `0.0` if the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&i) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix-vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                y[i] += v * xj;
+            }
+        }
+        y
+    }
+
+    /// Converts to CSR format.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // A CSC matrix with arrays (indptr, indices, data) is exactly the CSR
+        // storage of its transpose; transposing that CSR matrix gives the CSR
+        // storage of the original matrix.
+        let as_csr_of_transpose = CsrMatrix::from_raw_parts(
+            self.ncols,
+            self.nrows,
+            self.indptr.clone(),
+            self.indices.clone(),
+            self.data.clone(),
+        )
+        .expect("internal CSC arrays are always structurally valid");
+        as_csr_of_transpose.transpose()
+    }
+
+    /// Symmetric permutation `P·A·Pᵀ` of a square matrix, returning CSC.
+    ///
+    /// Entry `(i, j)` of the result equals `A(p[i], p[j])` where `p` is the
+    /// permutation's image (`perm.get(i)` = original index placed at `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for non-square inputs or
+    /// [`SparseError::DimensionMismatch`] if the permutation length differs.
+    pub fn permute_symmetric(&self, perm: &Permutation) -> Result<CscMatrix> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::NotSquare {
+                shape: (self.nrows, self.ncols),
+            });
+        }
+        if perm.len() != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                op: "permute_symmetric",
+                left: (self.nrows, self.ncols),
+                right: (perm.len(), perm.len()),
+            });
+        }
+        let n = self.nrows;
+        let inv = perm.inverse_slice();
+        // new column j corresponds to old column perm[j]; new row index of an
+        // old row i is inv[i].
+        let mut counts = vec![0usize; n + 1];
+        for new_j in 0..n {
+            let old_j = perm.get(new_j);
+            counts[new_j + 1] = self.indptr[old_j + 1] - self.indptr[old_j];
+        }
+        for j in 0..n {
+            counts[j + 1] += counts[j];
+        }
+        let nnz = self.nnz();
+        let mut indices = vec![0usize; nnz];
+        let mut data = vec![0.0; nnz];
+        for new_j in 0..n {
+            let old_j = perm.get(new_j);
+            let (rows, vals) = self.col(old_j);
+            let base = counts[new_j];
+            // Gather and sort the permuted row indices of this column.
+            let mut entries: Vec<(usize, f64)> = rows
+                .iter()
+                .zip(vals)
+                .map(|(&i, &v)| (inv[i], v))
+                .collect();
+            entries.sort_unstable_by_key(|e| e.0);
+            for (k, (i, v)) in entries.into_iter().enumerate() {
+                indices[base + k] = i;
+                data[base + k] = v;
+            }
+        }
+        Ok(CscMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: counts,
+            indices,
+            data,
+        })
+    }
+
+    /// Extracts the lower triangle (including the diagonal) as CSC.
+    pub fn lower_triangle(&self) -> CscMatrix {
+        let mut indptr = Vec::with_capacity(self.ncols + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                if i >= j {
+                    indices.push(i);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CscMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Extracts the diagonal as a dense vector (missing entries are zero).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        let mut d = vec![0.0; n];
+        for (j, item) in d.iter_mut().enumerate() {
+            *item = self.get(j, j);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn sample() -> CscMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        let mut t = TripletMatrix::new(3, 3);
+        for &(i, j, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+            t.push(i, j, v);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn csc_and_csr_round_trip() {
+        let a = sample();
+        let csr = a.to_csr();
+        assert_eq!(csr.get(2, 0), 4.0);
+        let back = csr.to_csc();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn column_access_is_sorted() {
+        let a = sample();
+        let (rows, vals) = a.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_matches_csr() {
+        let a = sample();
+        let x = [1.0, -1.0, 0.5];
+        assert_eq!(a.matvec(&x), a.to_csr().matvec(&x));
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_entries() {
+        // Symmetric matrix
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 2, 4.0);
+        t.push(0, 1, -1.0);
+        t.push(1, 0, -1.0);
+        let a = t.to_csc();
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let b = a.permute_symmetric(&p).unwrap();
+        // b[i][j] = a[p[i]][p[j]]
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(b.get(i, j), a.get(p.get(i), p.get(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn lower_triangle_drops_strict_upper() {
+        let a = sample();
+        let l = a.lower_triangle();
+        assert_eq!(l.get(0, 2), 0.0);
+        assert_eq!(l.get(2, 0), 4.0);
+        assert_eq!(l.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = sample();
+        assert_eq!(a.diagonal(), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn invalid_raw_parts_are_rejected() {
+        assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+    }
+}

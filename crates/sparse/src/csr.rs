@@ -1,0 +1,551 @@
+//! Compressed sparse row (CSR) matrix.
+
+use crate::{CscMatrix, DenseMatrix, Result, SparseError, TripletMatrix};
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Row `i` occupies `indices[indptr[i]..indptr[i+1]]` (column indices, sorted
+/// ascending and unique) and the matching slice of `data`.
+///
+/// # Example
+///
+/// ```
+/// use opera_sparse::CsrMatrix;
+///
+/// let a = CsrMatrix::identity(3).scaled(2.0);
+/// let y = a.matvec(&[1.0, 2.0, 3.0]);
+/// assert_eq!(y, vec![2.0, 4.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] if `indptr` has the wrong
+    /// length, is not non-decreasing, or column indices are out of bounds or
+    /// unsorted within a row.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != nrows + 1 {
+            return Err(SparseError::InvalidStructure {
+                reason: format!("indptr length {} != nrows + 1 = {}", indptr.len(), nrows + 1),
+            });
+        }
+        if indices.len() != data.len() {
+            return Err(SparseError::InvalidStructure {
+                reason: "indices and data lengths differ".to_string(),
+            });
+        }
+        if *indptr.last().unwrap_or(&0) != indices.len() {
+            return Err(SparseError::InvalidStructure {
+                reason: "last indptr entry does not equal nnz".to_string(),
+            });
+        }
+        for i in 0..nrows {
+            if indptr[i] > indptr[i + 1] {
+                return Err(SparseError::InvalidStructure {
+                    reason: format!("indptr decreases at row {i}"),
+                });
+            }
+            let row = &indices[indptr[i]..indptr[i + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure {
+                        reason: format!("unsorted or duplicate column indices in row {i}"),
+                    });
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= ncols {
+                    return Err(SparseError::InvalidStructure {
+                        reason: format!("column index {last} out of bounds in row {i}"),
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Creates an `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            data: vec![1.0; n],
+        }
+    }
+
+    /// Creates an `nrows`×`ncols` matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            data: diag.to_vec(),
+        }
+    }
+
+    /// Builds a CSR matrix from a dense row-major slice.
+    ///
+    /// Entries with absolute value `<= drop_tol` are not stored.
+    pub fn from_dense(rows: usize, cols: usize, values: &[f64], drop_tol: f64) -> Self {
+        assert_eq!(values.len(), rows * cols, "dense data has wrong length");
+        let mut t = TripletMatrix::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = values[i * cols + j];
+                if v.abs() > drop_tol {
+                    t.push(i, j, v);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column index array.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Stored values.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the stored values (pattern is fixed).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Returns the column indices and values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        (&self.indices[lo..hi], &self.data[lo..hi])
+    }
+
+    /// Returns the value at `(i, j)`, or `0.0` if the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dense matrix-vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product writing into a preallocated output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions do not match.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec output dimension mismatch");
+        for i in 0..self.nrows {
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.data[k] * x[self.indices[k]];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Accumulating matrix-vector product `y += alpha · A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions do not match.
+    pub fn matvec_acc(&self, x: &[f64], alpha: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec output dimension mismatch");
+        for i in 0..self.nrows {
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.data[k] * x[self.indices[k]];
+            }
+            y[i] += alpha * acc;
+        }
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        // Transposing CSR is the same as reinterpreting as CSC and converting.
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        let mut indptr = counts.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut data = vec![0.0; self.nnz()];
+        for i in 0..self.nrows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let c = self.indices[k];
+                let p = indptr[c];
+                indices[p] = i;
+                data[p] = self.data[k];
+                indptr[c] += 1;
+            }
+        }
+        // Shift back.
+        for j in (1..=self.ncols).rev() {
+            indptr[j] = indptr[j - 1];
+        }
+        indptr[0] = 0;
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Converts to compressed sparse column format.
+    pub fn to_csc(&self) -> CscMatrix {
+        let t = self.transpose();
+        CscMatrix::from_transposed_csr(t)
+    }
+
+    /// Converts to a dense matrix (row-major). Intended for tests and small
+    /// matrices only.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                d[(i, j)] = v;
+            }
+        }
+        d
+    }
+
+    /// Returns a copy with every stored value multiplied by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= alpha;
+        }
+        out
+    }
+
+    /// Multiplies every stored value by `alpha` in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Computes `self + alpha * other` (general sparse addition; the result
+    /// pattern is the union of both patterns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if the shapes differ.
+    pub fn add_scaled(&self, other: &CsrMatrix, alpha: f64) -> Result<CsrMatrix> {
+        if (self.nrows, self.ncols) != (other.nrows, other.ncols) {
+            return Err(SparseError::DimensionMismatch {
+                op: "add_scaled",
+                left: (self.nrows, self.ncols),
+                right: (other.nrows, other.ncols),
+            });
+        }
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut data = Vec::with_capacity(self.nnz() + other.nnz());
+        indptr.push(0);
+        for i in 0..self.nrows {
+            let (ca, va) = self.row(i);
+            let (cb, vb) = other.row(i);
+            let (mut p, mut q) = (0, 0);
+            while p < ca.len() || q < cb.len() {
+                let next_a = ca.get(p).copied().unwrap_or(usize::MAX);
+                let next_b = cb.get(q).copied().unwrap_or(usize::MAX);
+                if next_a < next_b {
+                    indices.push(next_a);
+                    data.push(va[p]);
+                    p += 1;
+                } else if next_b < next_a {
+                    indices.push(next_b);
+                    data.push(alpha * vb[q]);
+                    q += 1;
+                } else {
+                    indices.push(next_a);
+                    data.push(va[p] + alpha * vb[q]);
+                    p += 1;
+                    q += 1;
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Extracts the diagonal as a dense vector (missing entries are zero).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        let mut d = vec![0.0; n];
+        for (i, item) in d.iter_mut().enumerate() {
+            *item = self.get(i, i);
+        }
+        d
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute value of `A - Aᵀ` over all entries; zero for a
+    /// (numerically) symmetric matrix.
+    pub fn asymmetry(&self) -> f64 {
+        if self.nrows != self.ncols {
+            return f64::INFINITY;
+        }
+        let t = self.transpose();
+        let mut max = 0.0f64;
+        for i in 0..self.nrows {
+            let (ca, va) = self.row(i);
+            let (cb, vb) = t.row(i);
+            let (mut p, mut q) = (0, 0);
+            while p < ca.len() || q < cb.len() {
+                let next_a = ca.get(p).copied().unwrap_or(usize::MAX);
+                let next_b = cb.get(q).copied().unwrap_or(usize::MAX);
+                if next_a < next_b {
+                    max = max.max(va[p].abs());
+                    p += 1;
+                } else if next_b < next_a {
+                    max = max.max(vb[q].abs());
+                    q += 1;
+                } else {
+                    max = max.max((va[p] - vb[q]).abs());
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        max
+    }
+
+    /// Returns `true` if the matrix is square and symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.nrows == self.ncols && self.asymmetry() <= tol
+    }
+
+    /// Computes the residual infinity norm `‖A·x − b‖∞`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not match.
+    pub fn residual_inf_norm(&self, x: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(b.len(), self.nrows, "rhs dimension mismatch");
+        let ax = self.matvec(x);
+        ax.iter()
+            .zip(b)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&j, &v)| (i, j, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        CsrMatrix::from_dense(3, 3, &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0, 0.0, 5.0], 0.0)
+    }
+
+    #[test]
+    fn get_returns_stored_and_zero_entries() {
+        let a = sample();
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(2, 2), 5.0);
+        assert_eq!(a.nnz(), 5);
+    }
+
+    #[test]
+    fn matvec_matches_dense_computation() {
+        let a = sample();
+        let y = a.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn matvec_acc_accumulates() {
+        let a = CsrMatrix::identity(2);
+        let mut y = vec![1.0, 1.0];
+        a.matvec_acc(&[2.0, 3.0], 0.5, &mut y);
+        assert_eq!(y, vec![2.0, 2.5]);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let a = sample();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+        assert_eq!(a.transpose().get(0, 2), 4.0);
+    }
+
+    #[test]
+    fn add_scaled_merges_patterns() {
+        let a = CsrMatrix::from_dense(2, 2, &[1.0, 0.0, 0.0, 2.0], 0.0);
+        let b = CsrMatrix::from_dense(2, 2, &[0.0, 3.0, 0.0, 4.0], 0.0);
+        let c = a.add_scaled(&b, 2.0).unwrap();
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(0, 1), 6.0);
+        assert_eq!(c.get(1, 1), 10.0);
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn add_scaled_rejects_mismatched_shapes() {
+        let a = CsrMatrix::zeros(2, 2);
+        let b = CsrMatrix::zeros(3, 2);
+        assert!(matches!(
+            a.add_scaled(&b, 1.0),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::from_dense(2, 2, &[2.0, -1.0, -1.0, 2.0], 0.0);
+        assert!(sym.is_symmetric(0.0));
+        let asym = CsrMatrix::from_dense(2, 2, &[2.0, -1.0, 1.0, 2.0], 0.0);
+        assert!(!asym.is_symmetric(1e-12));
+        assert!((asym.asymmetry() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diagonal_and_norm() {
+        let a = sample();
+        assert_eq!(a.diagonal(), vec![1.0, 3.0, 5.0]);
+        let expected = (1.0f64 + 4.0 + 9.0 + 16.0 + 25.0).sqrt();
+        assert!((a.frobenius_norm() - expected).abs() < 1e-14);
+    }
+
+    #[test]
+    fn invalid_structure_is_rejected() {
+        // indptr too short
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // unsorted columns
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
+        // out of bounds column
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let a = sample();
+        let entries: Vec<_> = a.iter().collect();
+        assert_eq!(entries.len(), 5);
+        assert!(entries.contains(&(2, 0, 4.0)));
+    }
+
+    #[test]
+    fn residual_norm_is_zero_for_exact_solution() {
+        let a = CsrMatrix::identity(3);
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.residual_inf_norm(&x, &x), 0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Small dense matrix kernels.
+//!
+//! These are used for quadrature Gram matrices, for verifying sparse results
+//! in tests, and for the dense fallback paths of very small systems. They are
+//! deliberately simple (O(n³) LU with partial pivoting) — large systems go
+//! through the sparse kernels.
+
+use std::ops::{Index, IndexMut};
+
+use crate::{Result, SparseError};
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use opera_sparse::DenseMatrix;
+///
+/// # fn main() -> Result<(), opera_sparse::SparseError> {
+/// let a = DenseMatrix::from_rows(2, 2, &[4.0, 1.0, 1.0, 3.0]);
+/// let x = a.solve(&[1.0, 2.0])?;
+/// assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_rows(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense data has wrong length");
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for i in 0..self.nrows {
+            let row = &self.data[i * self.ncols..(i + 1) * self.ncols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Matrix-matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.ncols, other.nrows, "matmul dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute difference with another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (other.nrows, other.ncols),
+            "shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Solves `A·x = b` using LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for non-square matrices and
+    /// [`SparseError::Singular`] when a pivot is numerically zero.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::NotSquare {
+                shape: (self.nrows, self.ncols),
+            });
+        }
+        assert_eq!(b.len(), self.nrows, "rhs dimension mismatch");
+        let n = self.nrows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting.
+            let mut p = k;
+            let mut best = a[piv[k] * n + k].abs();
+            for (idx, &row) in piv.iter().enumerate().skip(k + 1) {
+                let v = a[row * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = idx;
+                }
+            }
+            if best < 1e-300 {
+                return Err(SparseError::Singular { column: k });
+            }
+            piv.swap(k, p);
+            let pk = piv[k];
+            let pivot = a[pk * n + k];
+            for &pi in piv.iter().skip(k + 1) {
+                let factor = a[pi * n + k] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[pi * n + k] = 0.0;
+                for j in (k + 1)..n {
+                    a[pi * n + j] -= factor * a[pk * n + j];
+                }
+                x[pi] -= factor * x[pk];
+            }
+        }
+        // Back substitution.
+        let mut out = vec![0.0; n];
+        for k in (0..n).rev() {
+            let pk = piv[k];
+            let mut acc = x[pk];
+            for j in (k + 1)..n {
+                acc -= a[pk * n + j] * out[j];
+            }
+            out[k] = acc / a[pk * n + k];
+        }
+        Ok(out)
+    }
+
+    /// Computes the determinant via LU (for small matrices / tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for non-square matrices.
+    pub fn determinant(&self) -> Result<f64> {
+        if self.nrows != self.ncols {
+            return Err(SparseError::NotSquare {
+                shape: (self.nrows, self.ncols),
+            });
+        }
+        let n = self.nrows;
+        let mut a = self.data.clone();
+        let mut det = 1.0;
+        for k in 0..n {
+            // Partial pivoting with row swap.
+            let mut p = k;
+            let mut best = a[k * n + k].abs();
+            for i in (k + 1)..n {
+                if a[i * n + k].abs() > best {
+                    best = a[i * n + k].abs();
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Ok(0.0);
+            }
+            if p != k {
+                for j in 0..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+                det = -det;
+            }
+            let pivot = a[k * n + k];
+            det *= pivot;
+            for i in (k + 1)..n {
+                let factor = a[i * n + k] / pivot;
+                for j in k..n {
+                    a[i * n + j] -= factor * a[k * n + j];
+                }
+            }
+        }
+        Ok(det)
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn solve_small_system() {
+        let a = DenseMatrix::from_rows(3, 3, &[2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the first diagonal entry forces a row swap.
+        let a = DenseMatrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(a.solve(&[1.0, 1.0]), Err(SparseError::Singular { .. })));
+        assert_eq!(a.determinant().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn determinant_of_identity_and_permutation() {
+        assert_eq!(DenseMatrix::identity(4).determinant().unwrap(), 1.0);
+        let perm = DenseMatrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(perm.determinant().unwrap(), -1.0);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = DenseMatrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = a.transpose();
+        let c = a.matmul(&b);
+        assert_eq!(c.nrows(), 2);
+        assert_eq!(c.ncols(), 2);
+        assert_eq!(c[(0, 0)], 14.0);
+        assert_eq!(c[(0, 1)], 32.0);
+        assert_eq!(c[(1, 1)], 77.0);
+    }
+
+    #[test]
+    fn non_square_solve_is_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.solve(&[0.0, 0.0]), Err(SparseError::NotSquare { .. })));
+    }
+}

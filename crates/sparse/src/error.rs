@@ -1,0 +1,120 @@
+//! Error type for sparse linear algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the sparse linear algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Human readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Dimensions of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Matrix shape (rows, cols).
+        shape: (usize, usize),
+    },
+    /// A Cholesky factorisation encountered a non-positive pivot.
+    NotPositiveDefinite {
+        /// Column at which the factorisation broke down.
+        column: usize,
+        /// The offending pivot value.
+        pivot: f64,
+    },
+    /// An LU factorisation encountered a zero (or numerically negligible) pivot.
+    Singular {
+        /// Column at which the factorisation broke down.
+        column: usize,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Actual shape (rows, cols).
+        shape: (usize, usize),
+    },
+    /// An iterative solver failed to converge.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Relative residual at the last iteration.
+        residual: f64,
+    },
+    /// The provided data does not describe a valid matrix or permutation.
+    InvalidStructure {
+        /// Description of the structural violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {}x{} matrix",
+                shape.0, shape.1
+            ),
+            SparseError::NotPositiveDefinite { column, pivot } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot:e} at column {column}"
+            ),
+            SparseError::Singular { column } => {
+                write!(f, "matrix is singular at column {column}")
+            }
+            SparseError::NotSquare { shape } => {
+                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            SparseError::DidNotConverge { iterations, residual } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (relative residual {residual:e})"
+            ),
+            SparseError::InvalidStructure { reason } => {
+                write!(f, "invalid matrix structure: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::DimensionMismatch {
+            op: "matvec",
+            left: (3, 4),
+            right: (5, 1),
+        };
+        assert!(e.to_string().contains("matvec"));
+        assert!(e.to_string().contains("3x4"));
+
+        let e = SparseError::NotPositiveDefinite { column: 7, pivot: -1.0 };
+        assert!(e.to_string().contains("column 7"));
+
+        let e = SparseError::DidNotConverge { iterations: 10, residual: 0.5 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,226 @@
+//! Fill-reducing and bandwidth-reducing node orderings.
+//!
+//! Power-grid conductance matrices are essentially 2-D mesh Laplacians.
+//! Reverse Cuthill–McKee (RCM) keeps the factor band small and is linear in
+//! the number of nonzeros, which makes it the default ordering for the
+//! Cholesky factorisation used by OPERA. A greedy minimum-degree ordering is
+//! also provided; it usually produces less fill on irregular patterns at a
+//! higher ordering cost.
+
+use crate::{CscMatrix, Permutation};
+
+/// Adjacency structure (undirected graph) of the nonzero pattern of a square
+/// sparse matrix, ignoring the diagonal.
+fn adjacency(a: &CscMatrix) -> Vec<Vec<usize>> {
+    let n = a.ncols();
+    assert_eq!(a.nrows(), n, "ordering requires a square matrix");
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        let (rows, _) = a.col(j);
+        for &i in rows {
+            if i != j {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
+
+/// Computes a reverse Cuthill–McKee ordering of the symmetric pattern of `a`.
+///
+/// The returned permutation `p` is meant to be used as a symmetric
+/// permutation `P·A·Pᵀ` via [`CscMatrix::permute_symmetric`]; `p.get(i)` is
+/// the original node placed at position `i`.
+///
+/// # Example
+///
+/// ```
+/// use opera_sparse::{TripletMatrix, ordering};
+///
+/// // 1-D chain 0-1-2-3: already banded, RCM returns some valid permutation.
+/// let mut t = TripletMatrix::new(4, 4);
+/// for i in 0..3 {
+///     t.add_symmetric_pair(i, i + 1, 1.0);
+/// }
+/// let p = ordering::reverse_cuthill_mckee(&t.to_csc());
+/// assert_eq!(p.len(), 4);
+/// ```
+pub fn reverse_cuthill_mckee(a: &CscMatrix) -> Permutation {
+    let n = a.ncols();
+    let adj = adjacency(a);
+    let degree: Vec<usize> = adj.iter().map(|l| l.len()).collect();
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+
+    // Process every connected component, starting each BFS from a node of
+    // minimal degree (a pseudo-peripheral heuristic good enough for meshes).
+    let mut nodes_by_degree: Vec<usize> = (0..n).collect();
+    nodes_by_degree.sort_unstable_by_key(|&i| degree[i]);
+
+    for &start in &nodes_by_degree {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let mut neighbours: Vec<usize> = adj[u]
+                .iter()
+                .copied()
+                .filter(|&v| !visited[v])
+                .collect();
+            neighbours.sort_unstable_by_key(|&v| degree[v]);
+            for v in neighbours {
+                visited[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order.reverse();
+    Permutation::from_vec(order).expect("RCM produces a valid permutation")
+}
+
+/// Computes a greedy minimum-degree ordering of the symmetric pattern of `a`.
+///
+/// At each step the node with the currently smallest degree is eliminated and
+/// its neighbours are pairwise connected (clique update). This is the textbook
+/// minimum-degree algorithm without supernodes or multiple elimination; it is
+/// intended for moderately sized matrices (up to a few tens of thousands of
+/// nodes) where its fill reduction pays for the ordering time.
+pub fn minimum_degree(a: &CscMatrix) -> Permutation {
+    let n = a.ncols();
+    let mut adj: Vec<std::collections::BTreeSet<usize>> = adjacency(a)
+        .into_iter()
+        .map(|l| l.into_iter().collect())
+        .collect();
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        // Pick the non-eliminated node with minimum current degree.
+        let mut best = usize::MAX;
+        let mut best_deg = usize::MAX;
+        for v in 0..n {
+            if !eliminated[v] && adj[v].len() < best_deg {
+                best_deg = adj[v].len();
+                best = v;
+            }
+        }
+        let v = best;
+        eliminated[v] = true;
+        order.push(v);
+        // Connect the remaining neighbours of v into a clique and remove v.
+        let neighbours: Vec<usize> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
+        for &u in &neighbours {
+            adj[u].remove(&v);
+        }
+        for i in 0..neighbours.len() {
+            for j in (i + 1)..neighbours.len() {
+                let (a_, b_) = (neighbours[i], neighbours[j]);
+                adj[a_].insert(b_);
+                adj[b_].insert(a_);
+            }
+        }
+        adj[v].clear();
+    }
+    Permutation::from_vec(order).expect("minimum degree produces a valid permutation")
+}
+
+/// Bandwidth of the symmetric pattern of `a` (maximum `|i - j|` over stored
+/// entries). Useful to check that RCM actually reduced the band.
+pub fn bandwidth(a: &CscMatrix) -> usize {
+    let mut bw = 0usize;
+    for j in 0..a.ncols() {
+        let (rows, _) = a.col(j);
+        for &i in rows {
+            bw = bw.max(i.abs_diff(j));
+        }
+    }
+    bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    /// Builds the Laplacian (plus identity, to be SPD) of an `nx` × `ny` grid.
+    fn grid_matrix(nx: usize, ny: usize) -> CscMatrix {
+        let n = nx * ny;
+        let idx = |x: usize, y: usize| y * nx + x;
+        let mut t = TripletMatrix::new(n, n);
+        for y in 0..ny {
+            for x in 0..nx {
+                t.push(idx(x, y), idx(x, y), 1.0);
+                if x + 1 < nx {
+                    t.add_symmetric_pair(idx(x, y), idx(x + 1, y), 1.0);
+                }
+                if y + 1 < ny {
+                    t.add_symmetric_pair(idx(x, y), idx(x, y + 1), 1.0);
+                }
+            }
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn rcm_is_a_permutation_and_reduces_bandwidth() {
+        let a = grid_matrix(8, 8);
+        let p = reverse_cuthill_mckee(&a);
+        assert_eq!(p.len(), 64);
+        let permuted = a.permute_symmetric(&p).unwrap();
+        // On an 8x8 grid with natural ordering, the bandwidth is 8; RCM should
+        // not make it dramatically worse (it typically keeps it at ~8).
+        assert!(bandwidth(&permuted) <= bandwidth(&a) + 2);
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_components() {
+        // Two disjoint edges: 0-1 and 2-3, plus an isolated node 4.
+        let mut t = TripletMatrix::new(5, 5);
+        t.add_symmetric_pair(0, 1, 1.0);
+        t.add_symmetric_pair(2, 3, 1.0);
+        t.push(4, 4, 1.0);
+        let p = reverse_cuthill_mckee(&t.to_csc());
+        assert_eq!(p.len(), 5);
+        // All nodes must appear exactly once (from_vec validates this).
+    }
+
+    #[test]
+    fn minimum_degree_is_a_permutation() {
+        let a = grid_matrix(5, 5);
+        let p = minimum_degree(&a);
+        assert_eq!(p.len(), 25);
+    }
+
+    #[test]
+    fn minimum_degree_orders_leaves_of_a_star_first() {
+        // Star graph: node 0 connected to 1..5. Minimum degree must eliminate
+        // several leaves (degree 1) before it can touch the hub (degree 5);
+        // the hub only becomes eligible once its degree has dropped to the
+        // minimum, i.e. it cannot be among the first four eliminations.
+        let mut t = TripletMatrix::new(6, 6);
+        for i in 1..6 {
+            t.add_symmetric_pair(0, i, 1.0);
+        }
+        let p = minimum_degree(&t.to_csc());
+        assert!(
+            p.position_of(0) >= 4,
+            "hub eliminated too early (position {})",
+            p.position_of(0)
+        );
+    }
+
+    #[test]
+    fn bandwidth_of_diagonal_matrix_is_zero() {
+        let a = CscMatrix::identity(10);
+        assert_eq!(bandwidth(&a), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Permutations of `{0, …, n−1}` used by fill-reducing orderings.
+
+use crate::{Result, SparseError};
+
+/// A permutation of `{0, …, n−1}`.
+///
+/// The permutation is stored as an *image* vector `perm`: position `i` of the
+/// permuted object holds original index `perm[i]`. The inverse map is kept
+/// alongside so both directions are O(1).
+///
+/// # Example
+///
+/// ```
+/// use opera_sparse::Permutation;
+///
+/// # fn main() -> Result<(), opera_sparse::SparseError> {
+/// let p = Permutation::from_vec(vec![2, 0, 1])?;
+/// let x = [10.0, 20.0, 30.0];
+/// assert_eq!(p.apply(&x), vec![30.0, 10.0, 20.0]);
+/// assert_eq!(p.apply_inverse(&p.apply(&x)), x.to_vec());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    perm: Vec<usize>,
+    inv: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        let perm: Vec<usize> = (0..n).collect();
+        Permutation {
+            inv: perm.clone(),
+            perm,
+        }
+    }
+
+    /// Builds a permutation from its image vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] if `perm` is not a
+    /// permutation of `0..n`.
+    pub fn from_vec(perm: Vec<usize>) -> Result<Self> {
+        let n = perm.len();
+        let mut inv = vec![usize::MAX; n];
+        for (i, &p) in perm.iter().enumerate() {
+            if p >= n {
+                return Err(SparseError::InvalidStructure {
+                    reason: format!("permutation entry {p} out of range for length {n}"),
+                });
+            }
+            if inv[p] != usize::MAX {
+                return Err(SparseError::InvalidStructure {
+                    reason: format!("permutation entry {p} appears more than once"),
+                });
+            }
+            inv[p] = i;
+        }
+        Ok(Permutation { perm, inv })
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Returns `true` for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Original index placed at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> usize {
+        self.perm[i]
+    }
+
+    /// Position where original index `j` ends up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn position_of(&self, j: usize) -> usize {
+        self.inv[j]
+    }
+
+    /// The image vector (`perm[i]` = original index at position `i`).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The inverse image vector (`inv[j]` = position of original index `j`).
+    pub fn inverse_slice(&self) -> &[usize] {
+        &self.inv
+    }
+
+    /// Returns the inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            perm: self.inv.clone(),
+            inv: self.perm.clone(),
+        }
+    }
+
+    /// Applies the permutation to a dense vector: `out[i] = x[perm[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len(), "permutation length mismatch");
+        self.perm.iter().map(|&p| x[p]).collect()
+    }
+
+    /// Applies the inverse permutation: `out[perm[i]] = x[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply_inverse(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.len(), "permutation length mismatch");
+        let mut out = vec![0.0; x.len()];
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p] = x[i];
+        }
+        out
+    }
+
+    /// Composes two permutations: `(self ∘ other)(i) = other[self[i]]`, i.e.
+    /// applying the result is the same as applying `other` first and then
+    /// `self`... more precisely `result.apply(x) == self.apply(&other.apply(x))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "permutation length mismatch");
+        let perm: Vec<usize> = self.perm.iter().map(|&p| other.perm[p]).collect();
+        Permutation::from_vec(perm).expect("composition of valid permutations is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Permutation::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(p.apply(&x), x.to_vec());
+        assert_eq!(p.apply_inverse(&x), x.to_vec());
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn invalid_permutations_are_rejected() {
+        assert!(Permutation::from_vec(vec![0, 0]).is_err());
+        assert!(Permutation::from_vec(vec![0, 5]).is_err());
+        assert!(Permutation::from_vec(vec![1, 0, 2]).is_ok());
+    }
+
+    #[test]
+    fn apply_then_inverse_round_trips() {
+        let p = Permutation::from_vec(vec![3, 1, 0, 2]).unwrap();
+        let x = [9.0, 8.0, 7.0, 6.0];
+        assert_eq!(p.apply_inverse(&p.apply(&x)), x.to_vec());
+        assert_eq!(p.apply(&p.apply_inverse(&x)), x.to_vec());
+    }
+
+    #[test]
+    fn inverse_and_positions_agree() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        for i in 0..3 {
+            assert_eq!(p.position_of(p.get(i)), i);
+        }
+        let inv = p.inverse();
+        for i in 0..3 {
+            assert_eq!(inv.get(p.get(i)), i);
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let p = Permutation::from_vec(vec![1, 2, 0]).unwrap();
+        let q = Permutation::from_vec(vec![2, 1, 0]).unwrap();
+        let pq = p.compose(&q);
+        let x = [5.0, 6.0, 7.0];
+        assert_eq!(pq.apply(&x), p.apply(&q.apply(&x)));
+    }
+}

@@ -1,0 +1,163 @@
+//! Sparse triangular solves with dense right-hand sides.
+
+use crate::CscMatrix;
+
+/// Solves `L·x = b` in place, where `L` is lower triangular in CSC format
+/// with the diagonal entry stored as the *first* entry of each column
+/// (the layout produced by [`crate::CholeskyFactor`] and [`crate::LuFactor`]).
+///
+/// # Panics
+///
+/// Panics if dimensions do not match or a diagonal entry is missing/zero.
+pub fn solve_lower_csc(l: &CscMatrix, b: &mut [f64]) {
+    let n = l.ncols();
+    assert_eq!(l.nrows(), n, "triangular solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    for j in 0..n {
+        let (rows, vals) = l.col(j);
+        assert!(
+            !rows.is_empty() && rows[0] == j,
+            "missing diagonal entry in lower triangular column {j}"
+        );
+        let xj = b[j] / vals[0];
+        b[j] = xj;
+        for (&i, &v) in rows.iter().zip(vals).skip(1) {
+            b[i] -= v * xj;
+        }
+    }
+}
+
+/// Solves `Lᵀ·x = b` in place for a lower triangular `L` stored in CSC with
+/// the diagonal first in each column.
+///
+/// # Panics
+///
+/// Panics if dimensions do not match or a diagonal entry is missing/zero.
+pub fn solve_lower_transpose_csc(l: &CscMatrix, b: &mut [f64]) {
+    let n = l.ncols();
+    assert_eq!(l.nrows(), n, "triangular solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    for j in (0..n).rev() {
+        let (rows, vals) = l.col(j);
+        assert!(
+            !rows.is_empty() && rows[0] == j,
+            "missing diagonal entry in lower triangular column {j}"
+        );
+        let mut acc = b[j];
+        for (&i, &v) in rows.iter().zip(vals).skip(1) {
+            acc -= v * b[i];
+        }
+        b[j] = acc / vals[0];
+    }
+}
+
+/// Solves `U·x = b` in place, where `U` is upper triangular in CSC format
+/// with the diagonal entry stored as the *last* entry of each column.
+///
+/// # Panics
+///
+/// Panics if dimensions do not match or a diagonal entry is missing/zero.
+pub fn solve_upper_csc(u: &CscMatrix, b: &mut [f64]) {
+    let n = u.ncols();
+    assert_eq!(u.nrows(), n, "triangular solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    for j in (0..n).rev() {
+        let (rows, vals) = u.col(j);
+        let last = rows.len() - 1;
+        assert!(
+            !rows.is_empty() && rows[last] == j,
+            "missing diagonal entry in upper triangular column {j}"
+        );
+        let xj = b[j] / vals[last];
+        b[j] = xj;
+        for (&i, &v) in rows.iter().zip(vals).take(last) {
+            b[i] -= v * xj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn lower_example() -> CscMatrix {
+        // L = [ 2 0 0 ]
+        //     [ 1 3 0 ]
+        //     [ 4 5 6 ]
+        let mut t = TripletMatrix::new(3, 3);
+        for &(i, j, v) in &[
+            (0, 0, 2.0),
+            (1, 0, 1.0),
+            (2, 0, 4.0),
+            (1, 1, 3.0),
+            (2, 1, 5.0),
+            (2, 2, 6.0),
+        ] {
+            t.push(i, j, v);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn lower_solve_matches_dense() {
+        let l = lower_example();
+        let x_true = [1.0, -1.0, 0.5];
+        let mut b = l.matvec(&x_true);
+        solve_lower_csc(&l, &mut b);
+        for (a, e) in b.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn lower_transpose_solve_matches_dense() {
+        let l = lower_example();
+        let lt = l.to_csr(); // CSR of L is CSC-like of Lᵀ but we just need matvec
+        let x_true = [2.0, 0.0, -3.0];
+        // b = Lᵀ x  computed via  (xᵀ L)ᵀ
+        let mut b = vec![0.0; 3];
+        for j in 0..3 {
+            let (rows, vals) = l.col(j);
+            b[j] = rows.iter().zip(vals).map(|(&i, &v)| v * x_true[i]).sum();
+        }
+        let _ = lt;
+        solve_lower_transpose_csc(&l, &mut b);
+        for (a, e) in b.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn upper_solve_matches_dense() {
+        // U = Lᵀ of the example above.
+        let l = lower_example();
+        // Build U explicitly.
+        let mut t = TripletMatrix::new(3, 3);
+        for j in 0..3 {
+            let (rows, vals) = l.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                t.push(j, i, v); // transpose
+            }
+        }
+        let u = t.to_csc();
+        let x_true = [1.0, 2.0, 3.0];
+        let mut b = u.matvec(&x_true);
+        solve_upper_csc(&u, &mut b);
+        for (a, e) in b.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_diagonal_is_detected() {
+        // Strictly lower triangular column 0 has no diagonal.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let l = t.to_csc();
+        let mut b = vec![1.0, 1.0];
+        solve_lower_csc(&l, &mut b);
+    }
+}

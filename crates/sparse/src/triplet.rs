@@ -1,0 +1,317 @@
+//! Coordinate (triplet / COO) format matrix builder.
+
+use crate::{CscMatrix, CsrMatrix};
+
+/// A sparse matrix under assembly, stored as `(row, col, value)` triplets.
+///
+/// This is the natural format for stamping circuit elements into an MNA
+/// matrix: each resistor or capacitor contributes a handful of triplets and
+/// duplicate entries are summed when the matrix is compressed.
+///
+/// # Example
+///
+/// ```
+/// use opera_sparse::TripletMatrix;
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// // Stamp a 2-terminal conductance of 3.0 between nodes 0 and 1.
+/// t.add_symmetric_pair(0, 1, 3.0);
+/// let a = t.to_csr();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// assert_eq!(a.get(0, 1), -3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripletMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty triplet matrix with the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an empty triplet matrix with capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates are not merged until compression).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends a triplet. Duplicate `(row, col)` entries are summed on
+    /// conversion to CSR/CSC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet index ({row}, {col}) out of bounds for {}x{} matrix",
+            self.nrows,
+            self.ncols
+        );
+        self.rows.push(row);
+        self.cols.push(col);
+        self.values.push(value);
+    }
+
+    /// Stamps a two-terminal admittance `g` between nodes `a` and `b`
+    /// (both assumed to be ungrounded): adds `+g` to the two diagonal
+    /// entries and `-g` to the two off-diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of bounds.
+    pub fn add_symmetric_pair(&mut self, a: usize, b: usize, g: f64) {
+        assert_ne!(a, b, "a two-terminal stamp needs distinct nodes");
+        self.push(a, a, g);
+        self.push(b, b, g);
+        self.push(a, b, -g);
+        self.push(b, a, -g);
+    }
+
+    /// Stamps an admittance `g` from node `a` to ground: adds `+g` to the
+    /// diagonal entry `(a, a)`.
+    pub fn add_to_ground(&mut self, a: usize, g: f64) {
+        self.push(a, a, g);
+    }
+
+    /// Iterates over the raw (unmerged) triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.values.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Extends this builder with all triplets of `other`, scaled by `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn extend_scaled(&mut self, other: &TripletMatrix, alpha: f64) {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (other.nrows, other.ncols),
+            "extend_scaled requires matching shapes"
+        );
+        for (r, c, v) in other.iter() {
+            self.push(r, c, alpha * v);
+        }
+    }
+
+    /// Compresses to CSR, summing duplicate entries and dropping explicit
+    /// zeros that result from cancellation only if `prune` were requested
+    /// (we keep them: structural zeros are harmless and keep patterns stable).
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Count entries per row after merging duplicates. We first sort by
+        // (row, col) using a counting-sort style pass over rows, then sort
+        // each row's column indices and merge.
+        let nnz = self.values.len();
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        // Scatter into row buckets.
+        let mut bucket_cols = vec![0usize; nnz];
+        let mut bucket_vals = vec![0.0f64; nnz];
+        let mut next = row_counts.clone();
+        for k in 0..nnz {
+            let r = self.rows[k];
+            let p = next[r];
+            bucket_cols[p] = self.cols[k];
+            bucket_vals[p] = self.values[k];
+            next[r] += 1;
+        }
+        // Per row: sort by column and merge duplicates.
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut data = Vec::with_capacity(nnz);
+        indptr.push(0);
+        let mut order: Vec<usize> = Vec::new();
+        for r in 0..self.nrows {
+            let start = row_counts[r];
+            let end = row_counts[r + 1];
+            order.clear();
+            order.extend(start..end);
+            order.sort_unstable_by_key(|&k| bucket_cols[k]);
+            let mut i = 0;
+            while i < order.len() {
+                let col = bucket_cols[order[i]];
+                let mut val = bucket_vals[order[i]];
+                let mut j = i + 1;
+                while j < order.len() && bucket_cols[order[j]] == col {
+                    val += bucket_vals[order[j]];
+                    j += 1;
+                }
+                indices.push(col);
+                data.push(val);
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw_parts(self.nrows, self.ncols, indptr, indices, data)
+            .expect("triplet compression produced a valid CSR matrix")
+    }
+
+    /// Compresses to CSC, summing duplicate entries.
+    pub fn to_csc(&self) -> CscMatrix {
+        self.to_csr().to_csc()
+    }
+}
+
+impl FromIterator<(usize, usize, f64)> for TripletMatrix {
+    /// Builds a triplet matrix whose shape is the smallest that fits all
+    /// provided entries.
+    fn from_iter<I: IntoIterator<Item = (usize, usize, f64)>>(iter: I) -> Self {
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut values = Vec::new();
+        let mut nrows = 0;
+        let mut ncols = 0;
+        for (r, c, v) in iter {
+            nrows = nrows.max(r + 1);
+            ncols = ncols.max(c + 1);
+            rows.push(r);
+            cols.push(c);
+            values.push(v);
+        }
+        TripletMatrix {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            values,
+        }
+    }
+}
+
+impl Extend<(usize, usize, f64)> for TripletMatrix {
+    fn extend<I: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: I) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_compresses_to_empty_csr() {
+        let t = TripletMatrix::new(3, 4);
+        assert!(t.is_empty());
+        let a = t.to_csr();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 4);
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, 2.5);
+        t.push(1, 1, -1.0);
+        t.push(1, 0, 4.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.get(1, 1), -1.0);
+        assert_eq!(a.get(1, 0), 4.0);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn symmetric_pair_stamp_matches_conductance_stamp() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.add_symmetric_pair(0, 2, 2.0);
+        t.add_to_ground(1, 5.0);
+        let a = t.to_csr();
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(2, 2), 2.0);
+        assert_eq!(a.get(0, 2), -2.0);
+        assert_eq!(a.get(2, 0), -2.0);
+        assert_eq!(a.get(1, 1), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_push_panics() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn from_iterator_infers_shape() {
+        let t: TripletMatrix = vec![(0, 0, 1.0), (3, 2, 2.0)].into_iter().collect();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 3);
+        assert_eq!(t.nnz(), 2);
+    }
+
+    #[test]
+    fn extend_scaled_adds_scaled_copy() {
+        let mut a = TripletMatrix::new(2, 2);
+        a.push(0, 0, 1.0);
+        let mut b = TripletMatrix::new(2, 2);
+        b.push(0, 0, 2.0);
+        b.push(1, 1, 3.0);
+        a.extend_scaled(&b, 0.5);
+        let m = a.to_csr();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 1), 1.5);
+    }
+
+    #[test]
+    fn rows_are_sorted_after_compression() {
+        let mut t = TripletMatrix::new(1, 5);
+        t.push(0, 4, 4.0);
+        t.push(0, 1, 1.0);
+        t.push(0, 3, 3.0);
+        let a = t.to_csr();
+        let (cols, vals) = a.row(0);
+        assert_eq!(cols, &[1, 3, 4]);
+        assert_eq!(vals, &[1.0, 3.0, 4.0]);
+    }
+}

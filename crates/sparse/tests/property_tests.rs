@@ -1,0 +1,185 @@
+//! Property-based tests of the sparse linear algebra kernels.
+
+use proptest::prelude::*;
+
+use opera_sparse::{
+    cg, CholeskyFactor, CsrMatrix, LuFactor, OrderingChoice, Permutation, TripletMatrix,
+};
+
+/// Strategy: a random symmetric positive definite matrix built as a weighted
+/// graph Laplacian plus a positive diagonal shift (exactly the structure of a
+/// power-grid conductance matrix).
+fn spd_matrix(max_n: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2..max_n)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..n, 0.1f64..5.0), 1..4 * n),
+                proptest::collection::vec(0.05f64..2.0, n),
+            )
+        })
+        .prop_map(|(n, edges, shifts)| {
+            let mut t = TripletMatrix::new(n, n);
+            for (i, &s) in shifts.iter().enumerate() {
+                t.push(i, i, s);
+            }
+            for (a, b, w) in edges {
+                if a != b {
+                    t.add_symmetric_pair(a, b, w);
+                }
+            }
+            t.to_csr()
+        })
+}
+
+/// Strategy: an arbitrary dense-ish vector of a given length.
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_solves_spd_systems(a in spd_matrix(40)) {
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let b = a.matvec(&x_true);
+        let chol = CholeskyFactor::factor(&a).expect("SPD by construction");
+        let x = chol.solve(&b);
+        let err = x.iter().zip(&x_true).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        prop_assert!(err < 1e-6, "max error {err}");
+    }
+
+    #[test]
+    fn cholesky_orderings_agree(a in spd_matrix(30)) {
+        let b: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let x_nat = CholeskyFactor::factor_with(&a, OrderingChoice::Natural).unwrap().solve(&b);
+        let x_rcm = CholeskyFactor::factor_with(&a, OrderingChoice::ReverseCuthillMckee)
+            .unwrap()
+            .solve(&b);
+        let x_md = CholeskyFactor::factor_with(&a, OrderingChoice::MinimumDegree)
+            .unwrap()
+            .solve(&b);
+        for i in 0..b.len() {
+            prop_assert!((x_nat[i] - x_rcm[i]).abs() < 1e-7);
+            prop_assert!((x_nat[i] - x_md[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn lu_and_cholesky_agree_on_spd_matrices(a in spd_matrix(25)) {
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let x_lu = LuFactor::factor(&a).unwrap().solve(&b);
+        let x_ch = CholeskyFactor::factor(&a).unwrap().solve(&b);
+        for (u, v) in x_lu.iter().zip(&x_ch) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn conjugate_gradient_matches_direct_solve(a in spd_matrix(25)) {
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
+        let direct = CholeskyFactor::factor(&a).unwrap().solve(&b);
+        let jacobi = cg::JacobiPreconditioner::new(&a).unwrap();
+        let sol = cg::solve(&a, &b, &jacobi, cg::CgOptions {
+            max_iterations: 10_000,
+            tolerance: 1e-12,
+        }).unwrap();
+        for (u, v) in sol.x.iter().zip(&direct) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn csr_csc_round_trip_preserves_entries(
+        entries in proptest::collection::vec((0usize..15, 0usize..15, -5.0f64..5.0), 0..60)
+    ) {
+        let mut t = TripletMatrix::new(15, 15);
+        for &(i, j, v) in &entries {
+            t.push(i, j, v);
+        }
+        let csr = t.to_csr();
+        let round = csr.to_csc().to_csr();
+        prop_assert_eq!(&csr, &round);
+        // The transpose of the transpose is the original.
+        prop_assert_eq!(&csr, &csr.transpose().transpose());
+    }
+
+    #[test]
+    fn matvec_is_linear(
+        a in spd_matrix(20),
+        alpha in -3.0f64..3.0,
+    ) {
+        let n = a.ncols();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| xi + alpha * yi).collect();
+        let lhs = a.matvec(&combo);
+        let ax = a.matvec(&x);
+        let ay = a.matvec(&y);
+        for i in 0..n {
+            prop_assert!((lhs[i] - (ax[i] + alpha * ay[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn permutation_apply_and_inverse_are_inverse_bijections(perm in proptest::collection::vec(0usize..1000, 1..50)) {
+        // Turn an arbitrary vector into a permutation by ranking.
+        let n = perm.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (perm[i], i));
+        let p = Permutation::from_vec(order).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let there = p.apply(&x);
+        let back = p.apply_inverse(&there);
+        prop_assert_eq!(back, x);
+        // Composition with the inverse is the identity.
+        let identity = p.compose(&p.inverse());
+        for i in 0..n {
+            prop_assert_eq!(identity.get(i), i);
+        }
+    }
+
+    #[test]
+    fn add_scaled_matches_dense_addition(
+        a_entries in proptest::collection::vec((0usize..10, 0usize..10, -3.0f64..3.0), 0..40),
+        b_entries in proptest::collection::vec((0usize..10, 0usize..10, -3.0f64..3.0), 0..40),
+        alpha in -2.0f64..2.0,
+    ) {
+        let build = |entries: &[(usize, usize, f64)]| {
+            let mut t = TripletMatrix::new(10, 10);
+            for &(i, j, v) in entries {
+                t.push(i, j, v);
+            }
+            t.to_csr()
+        };
+        let a = build(&a_entries);
+        let b = build(&b_entries);
+        let c = a.add_scaled(&b, alpha).unwrap();
+        let (da, db, dc) = (a.to_dense(), b.to_dense(), c.to_dense());
+        for i in 0..10 {
+            for j in 0..10 {
+                prop_assert!((dc[(i, j)] - (da[(i, j)] + alpha * db[(i, j)])).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_solve_vector_round_trip(v in vector(12), shift in 0.5f64..3.0) {
+        // Build an SPD matrix, factor it, and verify L (L^T x) reproduces it.
+        let n = v.len();
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, shift + v[i].abs());
+            if i + 1 < n {
+                t.add_symmetric_pair(i, i + 1, 0.3);
+            }
+        }
+        let a = t.to_csr();
+        let chol = CholeskyFactor::factor_with(&a, OrderingChoice::Natural).unwrap();
+        let l = chol.lower().to_csr().to_dense();
+        let llt = l.matmul(&l.transpose());
+        prop_assert!(llt.max_abs_diff(&a.to_dense()) < 1e-8);
+    }
+}

@@ -1,0 +1,244 @@
+//! Decorrelation of correlated process parameters.
+//!
+//! The paper assumes the variation variables are uncorrelated and notes that
+//! correlated parameters "can always be transformed into a set of
+//! uncorrelated random variables by an orthogonal transformation technique
+//! like principal component analysis". This module provides that
+//! transformation for the small covariance matrices involved (a handful of
+//! process parameters), using a cyclic Jacobi eigenvalue iteration.
+
+use opera_sparse::DenseMatrix;
+
+use crate::{Result, VariationError};
+
+/// Result of a principal-component decorrelation of a covariance matrix
+/// `Σ = V·diag(λ)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Decorrelation {
+    /// Eigenvalues (variances of the principal components), descending.
+    pub variances: Vec<f64>,
+    /// Orthonormal eigenvectors as columns: `components[(i, k)]` is the
+    /// weight of original parameter `i` in principal component `k`.
+    pub components: DenseMatrix,
+}
+
+impl Decorrelation {
+    /// Maps a vector of independent *standard* principal-component samples
+    /// `η` back to correlated parameter deviations `x = V·diag(√λ)·η`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta.len()` does not match the number of components.
+    pub fn correlate(&self, eta: &[f64]) -> Vec<f64> {
+        assert_eq!(eta.len(), self.variances.len(), "component count mismatch");
+        let n = self.variances.len();
+        let mut x = vec![0.0; n];
+        for (i, xi) in x.iter_mut().enumerate() {
+            for k in 0..n {
+                *xi += self.components[(i, k)] * self.variances[k].max(0.0).sqrt() * eta[k];
+            }
+        }
+        x
+    }
+
+    /// Number of principal components retained to explain at least
+    /// `fraction` of the total variance.
+    pub fn components_for_variance(&self, fraction: f64) -> usize {
+        let total: f64 = self.variances.iter().sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (k, v) in self.variances.iter().enumerate() {
+            acc += v;
+            if acc / total >= fraction {
+                return k + 1;
+            }
+        }
+        self.variances.len()
+    }
+}
+
+/// Performs the PCA decorrelation of a symmetric covariance matrix given in
+/// row-major order.
+///
+/// # Errors
+///
+/// Returns [`VariationError::InvalidSpec`] for a non-square or asymmetric
+/// input.
+///
+/// # Example
+///
+/// ```
+/// use opera_variation::correlation::decorrelate;
+///
+/// # fn main() -> Result<(), opera_variation::VariationError> {
+/// // Two fully correlated parameters collapse onto one component.
+/// let d = decorrelate(2, &[1.0, 1.0, 1.0, 1.0])?;
+/// assert!((d.variances[0] - 2.0).abs() < 1e-12);
+/// assert!(d.variances[1].abs() < 1e-12);
+/// assert_eq!(d.components_for_variance(0.99), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decorrelate(n: usize, covariance: &[f64]) -> Result<Decorrelation> {
+    if covariance.len() != n * n {
+        return Err(VariationError::InvalidSpec {
+            reason: format!(
+                "covariance has {} entries, expected {}",
+                covariance.len(),
+                n * n
+            ),
+        });
+    }
+    // Symmetry check.
+    for i in 0..n {
+        for j in 0..n {
+            if (covariance[i * n + j] - covariance[j * n + i]).abs()
+                > 1e-10 * covariance[i * n + i].abs().max(1.0)
+            {
+                return Err(VariationError::InvalidSpec {
+                    reason: format!("covariance matrix is not symmetric at ({i}, {j})"),
+                });
+            }
+        }
+    }
+    let (eigenvalues, eigenvectors) = jacobi_eigen(n, covariance);
+    // Sort descending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| eigenvalues[b].partial_cmp(&eigenvalues[a]).expect("finite"));
+    let variances: Vec<f64> = order.iter().map(|&k| eigenvalues[k]).collect();
+    let mut components = DenseMatrix::zeros(n, n);
+    for (new_k, &old_k) in order.iter().enumerate() {
+        for i in 0..n {
+            components[(i, new_k)] = eigenvectors[(i, old_k)];
+        }
+    }
+    Ok(Decorrelation {
+        variances,
+        components,
+    })
+}
+
+/// Cyclic Jacobi eigenvalue iteration for small symmetric matrices.
+/// Returns `(eigenvalues, eigenvector_columns)`.
+fn jacobi_eigen(n: usize, matrix: &[f64]) -> (Vec<f64>, DenseMatrix) {
+    let mut a = matrix.to_vec();
+    let mut v = DenseMatrix::identity(n);
+    let idx = |i: usize, j: usize| i * n + j;
+    for _sweep in 0..100 {
+        // Largest off-diagonal magnitude.
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off = off.max(a[idx(i, j)].abs());
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[idx(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[idx(p, p)];
+                let aqq = a[idx(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation to A (both sides).
+                for k in 0..n {
+                    let akp = a[idx(k, p)];
+                    let akq = a[idx(k, q)];
+                    a[idx(k, p)] = c * akp - s * akq;
+                    a[idx(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[idx(p, k)];
+                    let aqk = a[idx(q, k)];
+                    a[idx(p, k)] = c * apk - s * aqk;
+                    a[idx(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eigenvalues = (0..n).map(|i| a[idx(i, i)]).collect();
+    (eigenvalues, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_covariance_is_already_decorrelated() {
+        let d = decorrelate(3, &[4.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 9.0]).unwrap();
+        assert!((d.variances[0] - 9.0).abs() < 1e-12);
+        assert!((d.variances[1] - 4.0).abs() < 1e-12);
+        assert!((d.variances[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_pair_has_known_eigenstructure() {
+        // Cov = [[1, ρ], [ρ, 1]] has eigenvalues 1 ± ρ.
+        let rho = 0.6;
+        let d = decorrelate(2, &[1.0, rho, rho, 1.0]).unwrap();
+        assert!((d.variances[0] - (1.0 + rho)).abs() < 1e-12);
+        assert!((d.variances[1] - (1.0 - rho)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlate_reproduces_covariance_statistically() {
+        use rand::{Rng, SeedableRng};
+        let rho = -0.4;
+        let cov = [1.0, rho, rho, 1.0];
+        let d = decorrelate(2, &cov).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mut sum = [0.0; 3]; // xx, yy, xy
+        for _ in 0..n {
+            let eta: Vec<f64> = (0..2)
+                .map(|_| {
+                    // Box–Muller standard normal.
+                    let u1: f64 = rng.gen::<f64>().max(1e-12);
+                    let u2: f64 = rng.gen();
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                })
+                .collect();
+            let x = d.correlate(&eta);
+            sum[0] += x[0] * x[0];
+            sum[1] += x[1] * x[1];
+            sum[2] += x[0] * x[1];
+        }
+        let nf = n as f64;
+        assert!((sum[0] / nf - 1.0).abs() < 0.05);
+        assert!((sum[1] / nf - 1.0).abs() < 0.05);
+        assert!((sum[2] / nf - rho).abs() < 0.05);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let cov = [2.0, 0.5, 0.1, 0.5, 1.5, 0.3, 0.1, 0.3, 1.0];
+        let d = decorrelate(3, &cov).unwrap();
+        let vt = d.components.transpose();
+        let prod = vt.matmul(&d.components);
+        let eye = DenseMatrix::identity(3);
+        assert!(prod.max_abs_diff(&eye) < 1e-10);
+    }
+
+    #[test]
+    fn invalid_covariances_are_rejected() {
+        assert!(decorrelate(2, &[1.0, 0.0, 0.0]).is_err());
+        assert!(decorrelate(2, &[1.0, 0.5, -0.5, 1.0]).is_err());
+    }
+}

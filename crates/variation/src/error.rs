@@ -1,0 +1,59 @@
+//! Error type for variation-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building process-variation models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VariationError {
+    /// A variation specification is non-physical (negative sigma, …).
+    InvalidSpec {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A node or region index is out of bounds.
+    IndexOutOfBounds {
+        /// Description of the offending index.
+        reason: String,
+    },
+    /// An underlying linear-algebra operation failed.
+    Numerical {
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VariationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariationError::InvalidSpec { reason } => {
+                write!(f, "invalid variation specification: {reason}")
+            }
+            VariationError::IndexOutOfBounds { reason } => {
+                write!(f, "index out of bounds: {reason}")
+            }
+            VariationError::Numerical { reason } => write!(f, "numerical failure: {reason}"),
+        }
+    }
+}
+
+impl Error for VariationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VariationError::InvalidSpec {
+            reason: "negative sigma".to_string(),
+        };
+        assert!(e.to_string().contains("negative sigma"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VariationError>();
+    }
+}

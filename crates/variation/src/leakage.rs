@@ -1,0 +1,309 @@
+//! Leakage-current (threshold-voltage) variation — the special case of
+//! Section 5.1 of the paper.
+//!
+//! When only the right-hand side of the MNA equation varies (leakage currents
+//! driven by per-region `Vth` variations), the Galerkin system decouples: a
+//! single factorisation of the nominal `G + sC` suffices and the stochastic
+//! excitation is obtained by projecting the (lognormal) leakage currents onto
+//! the Hermite basis. [`LeakageModel`] builds those projected injection
+//! vectors.
+
+use opera_pce::{GalerkinCoupling, OrthogonalBasis, PolynomialFamily};
+
+use crate::{Result, VariationError};
+
+/// Per-region threshold-voltage variation driving lognormal leakage currents.
+///
+/// The chip is divided into `R` regions (the paper uses 2 in its example);
+/// region `r` gets its own normalised Gaussian variable `ξ_r`. The leakage
+/// current of every node in region `r` is
+///
+/// ```text
+/// I_leak(ξ_r) = I₀ · exp(−λ · σ_Vth · ξ_r)
+/// ```
+///
+/// i.e. lognormal, with `λ` the leakage sensitivity `∂ ln I / ∂ Vth`
+/// (≈ ln 10 / S for subthreshold slope `S`).
+#[derive(Debug, Clone)]
+pub struct LeakageModel {
+    /// `region_of_node[n]` is the region index of node `n`.
+    region_of_node: Vec<usize>,
+    /// Nominal (median) leakage current drawn at each node, in amperes.
+    nominal_leakage: Vec<f64>,
+    /// Number of regions.
+    region_count: usize,
+    /// Standard deviation of the threshold voltage in volts.
+    sigma_vth: f64,
+    /// Leakage sensitivity `λ = ∂ ln I / ∂ Vth` in 1/volts.
+    sensitivity: f64,
+}
+
+impl LeakageModel {
+    /// Creates a leakage model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidSpec`] when the inputs are
+    /// inconsistent (length mismatch, empty regions, negative currents or
+    /// sigma).
+    pub fn new(
+        region_of_node: Vec<usize>,
+        nominal_leakage: Vec<f64>,
+        sigma_vth: f64,
+        sensitivity: f64,
+    ) -> Result<Self> {
+        if region_of_node.len() != nominal_leakage.len() {
+            return Err(VariationError::InvalidSpec {
+                reason: format!(
+                    "region map has {} nodes but leakage vector has {}",
+                    region_of_node.len(),
+                    nominal_leakage.len()
+                ),
+            });
+        }
+        if region_of_node.is_empty() {
+            return Err(VariationError::InvalidSpec {
+                reason: "leakage model needs at least one node".to_string(),
+            });
+        }
+        if !(sigma_vth >= 0.0) || !(sensitivity.is_finite()) || !sigma_vth.is_finite() {
+            return Err(VariationError::InvalidSpec {
+                reason: "sigma_vth must be non-negative and finite".to_string(),
+            });
+        }
+        if nominal_leakage.iter().any(|&i| !(i >= 0.0) || !i.is_finite()) {
+            return Err(VariationError::InvalidSpec {
+                reason: "nominal leakage currents must be non-negative and finite".to_string(),
+            });
+        }
+        let region_count = region_of_node.iter().copied().max().unwrap_or(0) + 1;
+        Ok(LeakageModel {
+            region_of_node,
+            nominal_leakage,
+            region_count,
+            sigma_vth,
+            sensitivity,
+        })
+    }
+
+    /// Builds a uniform leakage model on top of a grid partitioned into
+    /// `regions` vertical slices, drawing `leakage_per_node` amperes of
+    /// median leakage at every node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidSpec`] if `regions == 0` or the
+    /// parameters are non-physical.
+    pub fn uniform_slices(
+        node_count: usize,
+        regions: usize,
+        leakage_per_node: f64,
+        sigma_vth: f64,
+        sensitivity: f64,
+    ) -> Result<Self> {
+        if regions == 0 || node_count == 0 {
+            return Err(VariationError::InvalidSpec {
+                reason: "need at least one region and one node".to_string(),
+            });
+        }
+        let region_of_node = (0..node_count)
+            .map(|n| (n * regions / node_count).min(regions - 1))
+            .collect();
+        LeakageModel::new(
+            region_of_node,
+            vec![leakage_per_node; node_count],
+            sigma_vth,
+            sensitivity,
+        )
+    }
+
+    /// Number of regions (= number of random variables of the special case).
+    pub fn region_count(&self) -> usize {
+        self.region_count
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.region_of_node.len()
+    }
+
+    /// Region of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn region_of(&self, node: usize) -> usize {
+        self.region_of_node[node]
+    }
+
+    /// Polynomial families for the basis of the special case (all Hermite —
+    /// the underlying `Vth` variations are Gaussian even though the leakage
+    /// itself is lognormal).
+    pub fn families(&self) -> Vec<PolynomialFamily> {
+        vec![PolynomialFamily::Hermite; self.region_count]
+    }
+
+    /// Standard deviation of the threshold voltage in volts.
+    pub fn sigma_vth(&self) -> f64 {
+        self.sigma_vth
+    }
+
+    /// Leakage sensitivity `λ = ∂ ln I / ∂ Vth` in 1/volts.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// Effective lognormal sigma `λ·σ_Vth` of the leakage currents.
+    pub fn lognormal_sigma(&self) -> f64 {
+        self.sensitivity * self.sigma_vth
+    }
+
+    /// Nominal (median) leakage current per node in amperes.
+    pub fn nominal_leakage(&self) -> &[f64] {
+        &self.nominal_leakage
+    }
+
+    /// Realises the leakage currents for one sample of the per-region
+    /// threshold variables: `I_leak[n] = I₀[n] · exp(−λ σ ξ_{r(n)})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi.len()` is smaller than the number of regions.
+    pub fn sample_leakage(&self, xi: &[f64]) -> Vec<f64> {
+        assert!(
+            xi.len() >= self.region_count,
+            "sample has {} coordinates, model has {} regions",
+            xi.len(),
+            self.region_count
+        );
+        let s = self.lognormal_sigma();
+        self.nominal_leakage
+            .iter()
+            .zip(&self.region_of_node)
+            .map(|(&i0, &r)| i0 * (-s * xi[r]).exp())
+            .collect()
+    }
+
+    /// Mean leakage current per node, `E[I_leak] = I₀ · exp((λσ)²/2)`.
+    pub fn mean_leakage(&self) -> Vec<f64> {
+        let s = self.sensitivity * self.sigma_vth;
+        let factor = (0.5 * s * s).exp();
+        self.nominal_leakage.iter().map(|i| i * factor).collect()
+    }
+
+    /// Projects the per-node leakage currents onto the basis: the result
+    /// `out[j][n]` is the coefficient of basis function `ψ_j` of the leakage
+    /// current drawn at node `n` (paper Eq. 26, the expansion of `U(s, ξ)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidSpec`] if the basis does not have one
+    /// variable per region.
+    pub fn projected_injections(
+        &self,
+        basis: &OrthogonalBasis,
+        coupling: &GalerkinCoupling,
+    ) -> Result<Vec<Vec<f64>>> {
+        if basis.n_vars() != self.region_count {
+            return Err(VariationError::InvalidSpec {
+                reason: format!(
+                    "basis has {} variables but the leakage model has {} regions",
+                    basis.n_vars(),
+                    self.region_count
+                ),
+            });
+        }
+        let n = self.node_count();
+        let size = basis.len();
+        // The lognormal factor exp(−λ σ ξ_r) depends only on the region
+        // variable; project it once per region.
+        let lambda = -self.sensitivity * self.sigma_vth;
+        let mut region_coeffs = Vec::with_capacity(self.region_count);
+        for r in 0..self.region_count {
+            let coeffs = coupling.project(|xi| (lambda * xi[r]).exp());
+            region_coeffs.push(coeffs);
+        }
+        let mut out = vec![vec![0.0; n]; size];
+        for node in 0..n {
+            let r = self.region_of_node[node];
+            let i0 = self.nominal_leakage[node];
+            if i0 == 0.0 {
+                continue;
+            }
+            for j in 0..size {
+                out[j][node] = i0 * region_coeffs[r][j];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opera_pce::{GalerkinCoupling, OrthogonalBasis, PolynomialFamily};
+
+    fn model() -> LeakageModel {
+        LeakageModel::uniform_slices(10, 2, 1.0e-6, 0.03, 23.0).unwrap()
+    }
+
+    #[test]
+    fn uniform_slices_partition_nodes_evenly() {
+        let m = model();
+        assert_eq!(m.region_count(), 2);
+        assert_eq!(m.node_count(), 10);
+        assert_eq!(m.region_of(0), 0);
+        assert_eq!(m.region_of(9), 1);
+        let counts: Vec<usize> = (0..2)
+            .map(|r| (0..10).filter(|&n| m.region_of(n) == r).count())
+            .collect();
+        assert_eq!(counts, vec![5, 5]);
+    }
+
+    #[test]
+    fn mean_leakage_reflects_lognormal_bias() {
+        let m = model();
+        let s: f64 = 23.0 * 0.03;
+        let mean = m.mean_leakage();
+        assert!(mean.iter().all(|&v| v > 1.0e-6));
+        assert!((mean[0] - 1.0e-6 * (0.5 * s * s).exp()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn projected_injections_match_lognormal_statistics() {
+        let m = model();
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 3).unwrap();
+        let coupling = GalerkinCoupling::new(&basis).unwrap();
+        let inj = m.projected_injections(&basis, &coupling).unwrap();
+        assert_eq!(inj.len(), basis.len());
+        // The mean coefficient must equal the analytic lognormal mean.
+        let s: f64 = 23.0 * 0.03;
+        let mean_expected = 1.0e-6 * (0.5 * s * s).exp();
+        assert!((inj[0][0] - mean_expected).abs() < 1e-3 * mean_expected);
+        // A node in region 0 has zero coefficient on the pure-ξ₂ basis term.
+        let xi2_index = basis.linear_index(1).unwrap();
+        assert!(inj[xi2_index][0].abs() < 1e-20);
+        // And a nonzero coefficient on the pure-ξ₁ term (negative: more
+        // leakage for lower Vth).
+        let xi1_index = basis.linear_index(0).unwrap();
+        assert!(inj[xi1_index][0] < 0.0);
+    }
+
+    #[test]
+    fn invalid_models_are_rejected() {
+        assert!(LeakageModel::new(vec![0, 1], vec![1.0e-6], 0.03, 23.0).is_err());
+        assert!(LeakageModel::new(vec![], vec![], 0.03, 23.0).is_err());
+        assert!(LeakageModel::new(vec![0], vec![-1.0], 0.03, 23.0).is_err());
+        assert!(LeakageModel::new(vec![0], vec![1.0], -0.1, 23.0).is_err());
+        assert!(LeakageModel::uniform_slices(0, 2, 1.0e-6, 0.03, 23.0).is_err());
+        assert!(LeakageModel::uniform_slices(5, 0, 1.0e-6, 0.03, 23.0).is_err());
+    }
+
+    #[test]
+    fn basis_region_mismatch_is_reported() {
+        let m = model();
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 3, 2).unwrap();
+        let coupling = GalerkinCoupling::new(&basis).unwrap();
+        assert!(m.projected_injections(&basis, &coupling).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Specification of process-variation magnitudes.
+
+use crate::{Result, VariationError};
+
+/// Magnitudes of the (inter-die) process variations, expressed as the
+/// maximum 3σ relative deviation of each physical parameter — exactly the
+/// way the paper states them ("maximum 3σ variations of 20 % in ξW, 15 % in
+/// ξT (hence 25 % in ξG) and 20 % in ξL").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationSpec {
+    /// 3σ relative variation of the interconnect width `W`.
+    pub width_3sigma: f64,
+    /// 3σ relative variation of the interconnect thickness `T`.
+    pub thickness_3sigma: f64,
+    /// 3σ relative variation of the device channel length `Leff`.
+    pub channel_length_3sigma: f64,
+    /// Sensitivity of the block drain currents to `Leff`: relative current
+    /// change per unit relative `Leff` change (first-order model; the paper
+    /// uses a linear expansion of `i(s)` in `ξ_L`).
+    pub drain_current_sensitivity: f64,
+    /// Whether the pad (supply-connection) conductances also vary with
+    /// `ξ_G`. The paper's formulation perturbs the whole `G` matrix and the
+    /// `G₁·VDD` excitation term together; set to `false` to hold the package
+    /// resistance fixed.
+    pub include_pad_variation: bool,
+}
+
+impl VariationSpec {
+    /// The variation magnitudes used in the paper's experiments
+    /// (Section 6): 20 % / 15 % / 20 % at 3σ, linear current model.
+    pub fn paper_defaults() -> Self {
+        VariationSpec {
+            width_3sigma: 0.20,
+            thickness_3sigma: 0.15,
+            channel_length_3sigma: 0.20,
+            drain_current_sensitivity: 1.0,
+            include_pad_variation: true,
+        }
+    }
+
+    /// A spec with no variation at all (useful as a control case).
+    pub fn none() -> Self {
+        VariationSpec {
+            width_3sigma: 0.0,
+            thickness_3sigma: 0.0,
+            channel_length_3sigma: 0.0,
+            drain_current_sensitivity: 0.0,
+            include_pad_variation: false,
+        }
+    }
+
+    /// Per-unit (1σ) relative standard deviation of the width.
+    pub fn sigma_width(&self) -> f64 {
+        self.width_3sigma / 3.0
+    }
+
+    /// Per-unit (1σ) relative standard deviation of the thickness.
+    pub fn sigma_thickness(&self) -> f64 {
+        self.thickness_3sigma / 3.0
+    }
+
+    /// Per-unit (1σ) relative standard deviation of the channel length.
+    pub fn sigma_channel_length(&self) -> f64 {
+        self.channel_length_3sigma / 3.0
+    }
+
+    /// Per-unit (1σ) relative standard deviation of the combined conductance
+    /// variable `ξ_G`. With the linear model `G ∝ W·T`, the relative
+    /// conductance deviation is the sum of two independent Gaussians, so the
+    /// variances add (paper: 20 % and 15 % at 3σ combine to 25 % at 3σ).
+    pub fn sigma_conductance(&self) -> f64 {
+        (self.sigma_width().powi(2) + self.sigma_thickness().powi(2)).sqrt()
+    }
+
+    /// 3σ relative deviation of the combined conductance variable.
+    pub fn conductance_3sigma(&self) -> f64 {
+        3.0 * self.sigma_conductance()
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VariationError::InvalidSpec`] for negative or non-finite
+    /// magnitudes, or variations large enough to make conductances go
+    /// negative within ±4σ (which would break positive definiteness).
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("width_3sigma", self.width_3sigma),
+            ("thickness_3sigma", self.thickness_3sigma),
+            ("channel_length_3sigma", self.channel_length_3sigma),
+        ] {
+            if !(v >= 0.0) || !v.is_finite() {
+                return Err(VariationError::InvalidSpec {
+                    reason: format!("{name} must be non-negative and finite, got {v}"),
+                });
+            }
+            if v >= 0.60 {
+                return Err(VariationError::InvalidSpec {
+                    reason: format!(
+                        "{name} = {v} is too large: ±4σ excursions would make parameters negative"
+                    ),
+                });
+            }
+        }
+        if !self.drain_current_sensitivity.is_finite() {
+            return Err(VariationError::InvalidSpec {
+                reason: "drain_current_sensitivity must be finite".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for VariationSpec {
+    fn default() -> Self {
+        VariationSpec::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_combine_to_25_percent() {
+        let spec = VariationSpec::paper_defaults();
+        assert!((spec.conductance_3sigma() - 0.25).abs() < 1e-12);
+        assert!((spec.sigma_conductance() - 0.25 / 3.0).abs() < 1e-12);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn none_spec_has_zero_sigmas() {
+        let spec = VariationSpec::none();
+        assert_eq!(spec.sigma_conductance(), 0.0);
+        assert_eq!(spec.sigma_channel_length(), 0.0);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        let mut spec = VariationSpec::paper_defaults();
+        spec.width_3sigma = -0.1;
+        assert!(spec.validate().is_err());
+        let mut spec = VariationSpec::paper_defaults();
+        spec.channel_length_3sigma = 0.9;
+        assert!(spec.validate().is_err());
+        let mut spec = VariationSpec::paper_defaults();
+        spec.drain_current_sensitivity = f64::NAN;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_paper_defaults() {
+        assert_eq!(VariationSpec::default(), VariationSpec::paper_defaults());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the process-variation models.
+
+use proptest::prelude::*;
+
+use opera_grid::GridSpec;
+use opera_pce::{GalerkinCoupling, OrthogonalBasis, PolynomialFamily};
+use opera_variation::{correlation, LeakageModel, StochasticGridModel, VariationSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sampled matrices are affine in ξ: G(αξ) − G(0) = α (G(ξ) − G(0)).
+    #[test]
+    fn sampled_matrices_are_affine(
+        xi_g in -3.0f64..3.0,
+        xi_l in -3.0f64..3.0,
+        alpha in 0.1f64..2.0,
+    ) {
+        let grid = GridSpec::small_test(80).with_seed(5).build().unwrap();
+        let model = StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults()).unwrap();
+        let base = model.sample_conductance(&[0.0, 0.0]).unwrap();
+        let at = model.sample_conductance(&[xi_g, xi_l]).unwrap();
+        let at_scaled = model.sample_conductance(&[alpha * xi_g, alpha * xi_l]).unwrap();
+        let delta = at.add_scaled(&base, -1.0).unwrap();
+        let delta_scaled = at_scaled.add_scaled(&base, -1.0).unwrap();
+        let diff = delta_scaled.add_scaled(&delta.scaled(alpha), -1.0).unwrap();
+        prop_assert!(diff.frobenius_norm() < 1e-9 * base.frobenius_norm());
+    }
+
+    /// For any admissible variation spec, the ±3σ conductance excursion keeps
+    /// the sampled matrix positive definite (Cholesky succeeds).
+    #[test]
+    fn three_sigma_samples_remain_positive_definite(
+        w3 in 0.0f64..0.3,
+        t3 in 0.0f64..0.3,
+        l3 in 0.0f64..0.3,
+        sign in prop_oneof![Just(-1.0f64), Just(1.0f64)],
+    ) {
+        let spec = VariationSpec {
+            width_3sigma: w3,
+            thickness_3sigma: t3,
+            channel_length_3sigma: l3,
+            ..VariationSpec::paper_defaults()
+        };
+        prop_assume!(spec.validate().is_ok());
+        let grid = GridSpec::small_test(70).with_seed(2).build().unwrap();
+        let model = StochasticGridModel::inter_die(&grid, &spec).unwrap();
+        let g = model.sample_conductance(&[3.0 * sign, 3.0 * sign]).unwrap();
+        prop_assert!(opera_sparse::CholeskyFactor::factor(&g).is_ok());
+    }
+
+    /// Leakage projections: the coefficient on the constant basis function is
+    /// the lognormal mean, and every region's nodes share the same projection
+    /// profile scaled by their nominal currents.
+    #[test]
+    fn leakage_projection_scales_with_nominal_current(
+        sigma in 0.0f64..0.06,
+        i0 in 1e-7f64..1e-4,
+    ) {
+        let model = LeakageModel::uniform_slices(12, 2, i0, sigma, 23.0).unwrap();
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
+        let coupling = GalerkinCoupling::new(&basis).unwrap();
+        let inj = model.projected_injections(&basis, &coupling).unwrap();
+        let s: f64 = 23.0 * sigma;
+        let mean = i0 * (0.5 * s * s).exp();
+        prop_assert!((inj[0][0] - mean).abs() < 5e-3 * mean);
+        // All nodes of region 0 have identical projections (same nominal current).
+        for j in 0..basis.len() {
+            for node in 0..6 {
+                prop_assert!((inj[j][node] - inj[j][0]).abs() < 1e-18 + 1e-12 * inj[j][0].abs());
+            }
+        }
+    }
+
+    /// PCA decorrelation: eigenvalues are non-negative for valid covariance
+    /// matrices and their sum equals the trace.
+    #[test]
+    fn decorrelation_preserves_total_variance(
+        v1 in 0.1f64..2.0,
+        v2 in 0.1f64..2.0,
+        rho in -0.95f64..0.95,
+    ) {
+        let c12 = rho * (v1 * v2).sqrt();
+        let d = correlation::decorrelate(2, &[v1, c12, c12, v2]).unwrap();
+        let total: f64 = d.variances.iter().sum();
+        prop_assert!((total - (v1 + v2)).abs() < 1e-9);
+        prop_assert!(d.variances.iter().all(|&v| v >= -1e-12));
+        prop_assert!(d.variances[0] >= d.variances[1]);
+    }
+
+    /// Samples of leakage currents are always positive and their empirical
+    /// mean approaches the analytic lognormal mean.
+    #[test]
+    fn leakage_sampling_matches_lognormal_mean(sigma in 0.0f64..0.05, seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let model = LeakageModel::uniform_slices(4, 2, 1e-6, sigma, 23.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut acc = 0.0;
+        let n = 4000;
+        for _ in 0..n {
+            let xi: Vec<f64> = (0..2)
+                .map(|_| {
+                    let u1: f64 = rng.gen::<f64>().max(1e-12);
+                    let u2: f64 = rng.gen();
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                })
+                .collect();
+            let leak = model.sample_leakage(&xi);
+            prop_assert!(leak.iter().all(|&v| v > 0.0));
+            acc += leak[0];
+        }
+        let s: f64 = 23.0 * sigma;
+        let analytic = 1e-6 * (0.5 * s * s).exp();
+        let empirical = acc / n as f64;
+        prop_assert!((empirical - analytic).abs() < 0.1 * analytic + 1e-9);
+    }
+}

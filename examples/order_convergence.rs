@@ -1,0 +1,67 @@
+//! Ablation: truncation order and number of random variables.
+//!
+//! The paper argues that an order 2/3 expansion is sufficient for realistic
+//! variation magnitudes, and that the cost grows as O(r^p) with the number of
+//! random variables r and order p. This example sweeps the order for both the
+//! combined 2-variable model (ξ_G, ξ_L) and the split 3-variable model
+//! (ξ_W, ξ_T, ξ_L), reporting accuracy against a common Monte Carlo reference
+//! and the OPERA runtime.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example order_convergence
+//! ```
+
+use opera::compare::compare;
+use opera::monte_carlo::{run as run_monte_carlo, MonteCarloOptions};
+use opera::stochastic::{solve, OperaOptions};
+use opera::transient::TransientOptions;
+use opera_grid::GridSpec;
+use opera_variation::{StochasticGridModel, VariationSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = GridSpec::industrial(1_200).with_seed(5).build()?;
+    let transient = TransientOptions::new(0.1e-9, grid.waveform_end_time());
+    let spec = VariationSpec::paper_defaults();
+
+    let models = [
+        (
+            "2 vars (ξ_G, ξ_L)",
+            StochasticGridModel::inter_die(&grid, &spec)?,
+        ),
+        (
+            "3 vars (ξ_W, ξ_T, ξ_L)",
+            StochasticGridModel::inter_die_three_variable(&grid, &spec)?,
+        ),
+    ];
+
+    println!(
+        "{:<24} {:>5} {:>8} {:>12} {:>12} {:>10}",
+        "model", "order", "N+1", "µ err %VDD", "σ err %", "time (s)"
+    );
+    for (name, model) in &models {
+        // A common Monte Carlo reference per model.
+        let mc = run_monte_carlo(model, &MonteCarloOptions::new(300, 17, transient))?;
+        for order in 1..=3u32 {
+            let started = std::time::Instant::now();
+            let solution = solve(model, &OperaOptions::with_order(order, transient))?;
+            let seconds = started.elapsed().as_secs_f64();
+            let errors = compare(&solution, &mc, grid.vdd());
+            println!(
+                "{:<24} {:>5} {:>8} {:>12.5} {:>12.2} {:>10.3}",
+                name,
+                order,
+                solution.basis_size(),
+                errors.avg_mean_error_percent,
+                errors.avg_std_error_percent,
+                seconds
+            );
+        }
+    }
+    println!(
+        "\nNote: the σ error against a 300-sample Monte Carlo plateaus at the MC noise floor;\n\
+         the order-2 → order-3 difference shows the truncation is already converged (paper §5.2)."
+    );
+    Ok(())
+}

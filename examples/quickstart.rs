@@ -1,0 +1,89 @@
+//! Quickstart: stochastic IR-drop analysis of a small synthetic power grid.
+//!
+//! Builds a ~2,000-node grid, applies the paper's process-variation
+//! magnitudes (20 % W, 15 % T, 20 % Leff at 3σ), runs OPERA with an order-2
+//! Hermite expansion and prints the voltage-drop statistics at the worst
+//! node, comparing them against a small Monte Carlo run.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use opera::compare::compare;
+use opera::monte_carlo::{run as run_monte_carlo, MonteCarloOptions};
+use opera::response::drop_summary;
+use opera::stochastic::{solve, OperaOptions};
+use opera::transient::TransientOptions;
+use opera_grid::GridSpec;
+use opera_variation::{StochasticGridModel, VariationSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a synthetic "industrial-like" grid with ~2,000 nodes.
+    let grid = GridSpec::industrial(2_000).with_seed(1).build()?;
+    println!(
+        "grid: {} nodes, {} pads, {} current sources, VDD = {:.2} V",
+        grid.node_count(),
+        grid.pad_nodes().len(),
+        grid.sources().len(),
+        grid.vdd()
+    );
+
+    // 2. Attach the paper's inter-die variation model (ξ_G, ξ_L).
+    let variation = VariationSpec::paper_defaults();
+    println!(
+        "variation: 3σ of {:.0}% (W), {:.0}% (T) -> {:.0}% (ξ_G), {:.0}% (Leff)",
+        100.0 * variation.width_3sigma,
+        100.0 * variation.thickness_3sigma,
+        100.0 * variation.conductance_3sigma(),
+        100.0 * variation.channel_length_3sigma,
+    );
+    let model = StochasticGridModel::inter_die(&grid, &variation)?;
+
+    // 3. Run OPERA: one augmented transient solve with an order-2 expansion.
+    let transient = TransientOptions::new(0.05e-9, grid.waveform_end_time());
+    let started = std::time::Instant::now();
+    let solution = solve(&model, &OperaOptions::order2(transient))?;
+    let opera_time = started.elapsed();
+    let summary = drop_summary(&solution, grid.vdd(), None);
+    println!(
+        "\nOPERA ({} basis functions, {} time points) finished in {:.2?}",
+        solution.basis_size(),
+        solution.times().len(),
+        opera_time
+    );
+    println!(
+        "worst mean drop: {:.2} mV at node {} (σ = {:.2} mV)",
+        1e3 * summary.worst_mean_drop,
+        summary.worst_node,
+        1e3 * summary.sigma_at_worst
+    );
+    println!(
+        "±3σ spread: avg {:.1} % / max {:.1} % of the nominal drop ({} loaded nodes)",
+        summary.avg_three_sigma_percent_of_nominal,
+        summary.max_three_sigma_percent_of_nominal,
+        summary.loaded_nodes
+    );
+
+    // 4. Validate against a small Monte Carlo run (the paper uses 1000
+    //    samples; 100 keeps the example fast).
+    let started = std::time::Instant::now();
+    let mc = run_monte_carlo(&model, &MonteCarloOptions::new(100, 7, transient))?;
+    let mc_time = started.elapsed();
+    let errors = compare(&solution, &mc, grid.vdd());
+    println!(
+        "\nMonte Carlo with {} samples finished in {:.2?} (speed-up {:.0}x)",
+        mc.samples,
+        mc_time,
+        mc_time.as_secs_f64() / opera_time.as_secs_f64()
+    );
+    println!(
+        "accuracy vs MC: µ error avg {:.4} % / max {:.4} % of VDD, σ error avg {:.2} % / max {:.2} %",
+        errors.avg_mean_error_percent,
+        errors.max_mean_error_percent,
+        errors.avg_std_error_percent,
+        errors.max_std_error_percent
+    );
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Workspace umbrella crate for the OPERA reproduction.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories have a package to attach to. The actual functionality lives in
+//! the member crates:
+//!
+//! * [`opera_sparse`] — sparse linear algebra substrate
+//! * [`opera_pce`] — orthogonal polynomial (polynomial chaos) machinery
+//! * [`opera_grid`] — RC power-grid modelling and synthetic grid generation
+//! * [`opera_variation`] — process-variation models
+//! * [`opera`] — the OPERA engine (Galerkin stochastic solver) and the
+//!   Monte Carlo baseline
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use opera;
+pub use opera_grid;
+pub use opera_pce;
+pub use opera_sparse;
+pub use opera_variation;

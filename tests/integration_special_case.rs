@@ -1,0 +1,70 @@
+//! Integration test for the Section 5.1 special case (RHS-only variations)
+//! across the grid, variation and core crates.
+
+use opera::monte_carlo::{run_leakage, MonteCarloOptions};
+use opera::special_case::{solve_leakage, SpecialCaseOptions};
+use opera::transient::TransientOptions;
+use opera_grid::GridSpec;
+use opera_variation::LeakageModel;
+
+#[test]
+fn special_case_statistics_match_monte_carlo_across_regions() {
+    let grid = GridSpec::industrial(350).with_seed(909).build().unwrap();
+    let leakage = LeakageModel::uniform_slices(grid.node_count(), 4, 2.0e-5, 0.05, 23.0).unwrap();
+    let transient = TransientOptions::new(0.2e-9, 1.0e-9);
+
+    let opera = solve_leakage(&grid, &leakage, &SpecialCaseOptions::order2(transient)).unwrap();
+    assert_eq!(opera.basis_size(), 15); // 4 variables, order 2.
+
+    let mc = run_leakage(&grid, &leakage, &MonteCarloOptions::new(400, 5, transient)).unwrap();
+    let (node, k, _) = opera.worst_mean_drop(grid.vdd());
+    let mean_err = (opera.mean_at(k, node) - mc.mean[k][node]).abs() / grid.vdd();
+    assert!(mean_err < 2e-3, "mean error {mean_err}");
+    let sigma_opera = opera.std_dev_at(k, node);
+    let sigma_mc = mc.std_dev_at(k, node);
+    assert!(sigma_mc > 0.0);
+    assert!(
+        (sigma_opera - sigma_mc).abs() / sigma_mc < 0.35,
+        "σ mismatch: {sigma_opera} vs {sigma_mc}"
+    );
+}
+
+#[test]
+fn higher_order_expansion_captures_the_lognormal_tail_better() {
+    // The leakage is lognormal, so a higher-order Hermite expansion of the
+    // RHS should track its variance more closely. Compare the predicted
+    // variance of the leakage-driven response at order 1, 2 and 3 — they
+    // must increase monotonically toward the exact lognormal variance.
+    let grid = GridSpec::industrial(250).with_seed(31).build().unwrap();
+    // A moderate lognormal (λ·σ_Vth ≈ 0.69) so the Hermite series converges
+    // within the first few orders; for much larger spreads the coefficients
+    // e^{s²} s^{2k}/k! keep growing until k ≈ s² and order 3 is not enough.
+    let leakage = LeakageModel::uniform_slices(grid.node_count(), 2, 4.0e-5, 0.03, 23.0).unwrap();
+    let transient = TransientOptions::new(0.5e-9, 1.0e-9);
+
+    let mut variances = Vec::new();
+    for order in 1..=3u32 {
+        let sol = solve_leakage(
+            &grid,
+            &leakage,
+            &SpecialCaseOptions {
+                order,
+                transient,
+            },
+        )
+        .unwrap();
+        let (node, k, _) = sol.worst_mean_drop(grid.vdd());
+        variances.push(sol.variance_at(k, node));
+    }
+    assert!(
+        variances[1] >= variances[0] && variances[2] >= variances[1],
+        "variance did not increase with order: {variances:?}"
+    );
+    // Order 2 → 3 must be a much smaller jump than 1 → 2 (convergence).
+    let first_jump = variances[1] - variances[0];
+    let second_jump = variances[2] - variances[1];
+    assert!(
+        second_jump <= first_jump,
+        "no sign of convergence: jumps {first_jump} then {second_jump}"
+    );
+}
