@@ -47,9 +47,7 @@ fn bench_distribution(c: &mut Criterion) {
     });
 
     group.bench_function("build_probe_histograms", |b| {
-        b.iter(|| {
-            probe_distributions(&opera, &mc, grid.vdd(), node, k, 30, 7).expect("histograms")
-        })
+        b.iter(|| probe_distributions(&opera, &mc, grid.vdd(), node, k, 30, 7).expect("histograms"))
     });
 
     group.finish();

@@ -10,12 +10,18 @@ use opera_grid::GridSpec;
 use opera_variation::{StochasticGridModel, VariationSpec};
 
 fn bench_order_sweep(c: &mut Criterion) {
-    let grid = GridSpec::industrial(400).with_seed(9).build().expect("grid");
+    let grid = GridSpec::industrial(400)
+        .with_seed(9)
+        .build()
+        .expect("grid");
     let spec = VariationSpec::paper_defaults();
     let transient = TransientOptions::new(0.1e-9, grid.waveform_end_time());
 
     let models = [
-        ("vars2", StochasticGridModel::inter_die(&grid, &spec).expect("model")),
+        (
+            "vars2",
+            StochasticGridModel::inter_die(&grid, &spec).expect("model"),
+        ),
         (
             "vars3",
             StochasticGridModel::inter_die_three_variable(&grid, &spec).expect("model"),
@@ -26,15 +32,11 @@ fn bench_order_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for (label, model) in &models {
         for order in 1..=3u32 {
-            group.bench_with_input(
-                BenchmarkId::new(*label, order),
-                &order,
-                |b, &order| {
-                    b.iter(|| {
-                        solve(model, &OperaOptions::with_order(order, transient)).expect("opera solve")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*label, order), &order, |b, &order| {
+                b.iter(|| {
+                    solve(model, &OperaOptions::with_order(order, transient)).expect("opera solve")
+                })
+            });
         }
     }
     group.finish();

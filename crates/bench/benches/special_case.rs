@@ -11,7 +11,10 @@ use opera_grid::GridSpec;
 use opera_variation::LeakageModel;
 
 fn bench_special_case(c: &mut Criterion) {
-    let grid = GridSpec::industrial(800).with_seed(12).build().expect("grid");
+    let grid = GridSpec::industrial(800)
+        .with_seed(12)
+        .build()
+        .expect("grid");
     let leakage = LeakageModel::uniform_slices(grid.node_count(), 2, 3.0e-5, 0.04, 23.0)
         .expect("leakage model");
     let transient = TransientOptions::new(0.1e-9, grid.waveform_end_time());

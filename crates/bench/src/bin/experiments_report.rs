@@ -14,8 +14,8 @@ use opera::special_case::{solve_leakage, SpecialCaseOptions};
 use opera::stochastic::{solve, OperaOptions};
 use opera::transient::TransientOptions;
 use opera_bench::{
-    ascii_histogram, mc_samples_from_env, scale_from_env, table1_config, table1_header,
-    table1_row_line,
+    ascii_histogram, mc_samples_from_env, parallelism_from_env, scale_from_env, table1_config,
+    table1_header, table1_row_line,
 };
 use opera_grid::GridSpec;
 use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
@@ -23,13 +23,14 @@ use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = scale_from_env();
     let samples = mc_samples_from_env();
+    let parallelism = parallelism_from_env();
 
     // ------------------------------------------------------------------ Table 1
     println!("==== Experiment 1: Table 1 (scale {scale}, {samples} MC samples) ====");
     println!("{}", table1_header());
     let mut first_report = None;
     for row in 0..7 {
-        let report = run_experiment(&table1_config(row, scale, samples))?;
+        let report = run_experiment(&table1_config(row, scale, samples, parallelism))?;
         println!("{}", table1_row_line(&report));
         if row == 0 {
             first_report = Some(report);
@@ -70,13 +71,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "model", "order", "N+1", "µ err %VDD", "σ err %", "OPERA (s)"
     );
     for (name, model) in [
-        ("2 vars (ξ_G, ξ_L)", StochasticGridModel::inter_die(&grid, &spec)?),
+        (
+            "2 vars (ξ_G, ξ_L)",
+            StochasticGridModel::inter_die(&grid, &spec)?,
+        ),
         (
             "3 vars (ξ_W, ξ_T, ξ_L)",
             StochasticGridModel::inter_die_three_variable(&grid, &spec)?,
         ),
     ] {
-        let mc = run_monte_carlo(&model, &MonteCarloOptions::new(samples, 17, transient))?;
+        let mc = parallelism.install(|| {
+            run_monte_carlo(&model, &MonteCarloOptions::new(samples, 17, transient))
+        })??;
         for order in 1..=3u32 {
             let started = std::time::Instant::now();
             let sol = solve(&model, &OperaOptions::with_order(order, transient))?;
@@ -98,10 +104,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n==== Experiment 4: special case (RHS-only leakage variation, Section 5.1) ====");
     let leakage = LeakageModel::uniform_slices(grid.node_count(), 2, 3.0e-5, 0.04, 23.0)?;
     let started = std::time::Instant::now();
-    let sol = solve_leakage(&grid, &leakage, &SpecialCaseOptions::order2(transient))?;
+    let sol = parallelism
+        .install(|| solve_leakage(&grid, &leakage, &SpecialCaseOptions::order2(transient)))??;
     let opera_secs = started.elapsed().as_secs_f64();
     let started = std::time::Instant::now();
-    let mc = run_leakage(&grid, &leakage, &MonteCarloOptions::new(samples, 23, transient))?;
+    let mc = parallelism.install(|| {
+        run_leakage(
+            &grid,
+            &leakage,
+            &MonteCarloOptions::new(samples, 23, transient),
+        )
+    })??;
     let mc_secs = started.elapsed().as_secs_f64();
     let (node, k, drop) = sol.worst_mean_drop(grid.vdd());
     println!(

@@ -13,7 +13,10 @@
 //! ```
 
 use opera::analysis::run_experiment;
-use opera_bench::{mc_samples_from_env, scale_from_env, table1_config, table1_header, table1_row_line};
+use opera_bench::{
+    mc_samples_from_env, parallelism_from_env, scale_from_env, table1_config, table1_header,
+    table1_row_line,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -34,13 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "Table 1 reproduction — scale {scale}, {samples} Monte Carlo samples, order-2 expansion"
     );
+    let parallelism = parallelism_from_env();
     println!("{}", table1_header());
     for row in rows {
-        let config = table1_config(row, scale, samples);
+        let config = table1_config(row, scale, samples, parallelism);
         let report = run_experiment(&config)?;
         println!("{}", table1_row_line(&report));
     }
     println!("\npaper reference (full scale, 1000 samples):");
-    println!("  avg %err µ: 0.014–0.199, avg %err σ: 1.5–6.7, ±3σ: 30–46 % of µ0, speed-ups 20×–124×");
+    println!(
+        "  avg %err µ: 0.014–0.199, avg %err σ: 1.5–6.7, ±3σ: 30–46 % of µ0, speed-ups 20×–124×"
+    );
     Ok(())
 }

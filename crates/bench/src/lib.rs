@@ -11,11 +11,15 @@
 //!   (default `0.05`; `1.0` reproduces the full-size grids),
 //! * `OPERA_BENCH_MC_SAMPLES` — Monte Carlo sample count (default `200`;
 //!   the paper uses `1000`),
+//! * `OPERA_BENCH_THREADS` — worker threads for the Monte Carlo baseline
+//!   (`1` = serial, `0`/`max` = all cores — the default, any other integer
+//!   = fixed count); statistics are bit-identical for every setting,
 //!
 //! so the same binaries can run as quick smoke tests or as the full
 //! (hours-long) paper-scale reproduction.
 
 use opera::analysis::ExperimentConfig;
+use opera::Parallelism;
 
 /// Default fraction of the paper's grid sizes used by the reports.
 pub const DEFAULT_SCALE: f64 = 0.05;
@@ -38,15 +42,41 @@ pub fn mc_samples_from_env() -> usize {
         .unwrap_or(DEFAULT_MC_SAMPLES)
 }
 
+/// Reads the Monte Carlo worker-thread budget from `OPERA_BENCH_THREADS`
+/// (`1` = serial, `0`/`max` = all cores, otherwise a fixed count; defaults
+/// to all cores).
+pub fn parallelism_from_env() -> Parallelism {
+    match std::env::var("OPERA_BENCH_THREADS") {
+        Err(_) => Parallelism::Max,
+        Ok(raw) => Parallelism::from_str_setting(&raw).unwrap_or_else(|| {
+            eprintln!(
+                "warning: ignoring unparseable OPERA_BENCH_THREADS={raw:?} \
+                 (expected an integer or \"max\"); using all cores"
+            );
+            Parallelism::Max
+        }),
+    }
+}
+
 /// The experiment configuration for one (possibly scaled) Table 1 row.
-pub fn table1_config(row: usize, scale: f64, mc_samples: usize) -> ExperimentConfig {
-    if (scale - 1.0).abs() < f64::EPSILON {
+///
+/// Pass [`parallelism_from_env`] to honour the `OPERA_BENCH_THREADS`
+/// setting; the environment is deliberately not read here so the function's
+/// inputs stay explicit.
+pub fn table1_config(
+    row: usize,
+    scale: f64,
+    mc_samples: usize,
+    parallelism: Parallelism,
+) -> ExperimentConfig {
+    let config = if (scale - 1.0).abs() < f64::EPSILON {
         let mut config = ExperimentConfig::table1_row(row);
         config.mc_samples = mc_samples;
         config
     } else {
         ExperimentConfig::table1_row_scaled(row, scale, mc_samples)
-    }
+    };
+    config.with_parallelism(parallelism)
 }
 
 /// Formats the header of the Table 1 reproduction.
@@ -96,19 +126,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn env_defaults_apply_when_unset() {
+    fn env_settings_round_trip() {
+        // One test covers both unset → defaults and set → parsed, so the
+        // OPERA_BENCH_THREADS mutations cannot race a sibling test thread.
         std::env::remove_var("OPERA_BENCH_SCALE");
         std::env::remove_var("OPERA_BENCH_MC_SAMPLES");
+        std::env::remove_var("OPERA_BENCH_THREADS");
         assert_eq!(scale_from_env(), DEFAULT_SCALE);
         assert_eq!(mc_samples_from_env(), DEFAULT_MC_SAMPLES);
+        assert_eq!(parallelism_from_env(), Parallelism::Max);
+
+        std::env::set_var("OPERA_BENCH_THREADS", "1");
+        assert_eq!(parallelism_from_env(), Parallelism::Serial);
+        std::env::set_var("OPERA_BENCH_THREADS", "4");
+        assert_eq!(parallelism_from_env(), Parallelism::Threads(4));
+        std::env::set_var("OPERA_BENCH_THREADS", "banana");
+        assert_eq!(parallelism_from_env(), Parallelism::Max);
+        std::env::remove_var("OPERA_BENCH_THREADS");
     }
 
     #[test]
     fn table1_config_honours_scale() {
-        let scaled = table1_config(0, 0.1, 50);
+        let scaled = table1_config(0, 0.1, 50, Parallelism::Serial);
+        assert_eq!(scaled.parallelism, Parallelism::Serial);
         assert_eq!(scaled.mc_samples, 50);
         assert!(scaled.grid_spec.target_nodes < 3_000);
-        let full = table1_config(0, 1.0, 1000);
+        let full = table1_config(0, 1.0, 1000, Parallelism::Max);
         assert_eq!(full.grid_spec.target_nodes, 19_181);
     }
 

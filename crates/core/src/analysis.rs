@@ -14,6 +14,7 @@ use opera_variation::{StochasticGridModel, VariationSpec};
 
 use crate::compare::{compare, AccuracySummary};
 use crate::monte_carlo::{run as run_monte_carlo, MonteCarloOptions, MonteCarloResult};
+use crate::parallel::Parallelism;
 use crate::response::{drop_summary, drops_as_percent_of_vdd, DropSummary, Histogram};
 use crate::stochastic::{solve, OperaOptions, StochasticSolution};
 use crate::transient::{solve_transient, TransientOptions};
@@ -42,6 +43,10 @@ pub struct ExperimentConfig {
     /// instead of the direct factorisation — recommended for large grids
     /// (the paper's §5.2 remark on iterative block solvers).
     pub iterative_solver: bool,
+    /// Worker-thread budget for the Monte Carlo baseline. Statistics are
+    /// bit-identical for every setting (per-sample RNG streams, ordered
+    /// accumulation); only wall-clock time changes.
+    pub parallelism: Parallelism,
 }
 
 impl ExperimentConfig {
@@ -62,6 +67,7 @@ impl ExperimentConfig {
             mc_seed: 42 + index as u64,
             histogram_bins: 30,
             iterative_solver: true,
+            parallelism: Parallelism::Max,
         }
     }
 
@@ -91,7 +97,14 @@ impl ExperimentConfig {
             mc_seed: 7,
             histogram_bins: 12,
             iterative_solver: false,
+            parallelism: Parallelism::Max,
         }
+    }
+
+    /// Returns the same configuration with a different parallelism setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     fn transient_options(&self, grid: &PowerGrid) -> TransientOptions {
@@ -168,7 +181,9 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport> {
         probe_nodes: vec![probe_node],
     };
     let t1 = Instant::now();
-    let mc_result = run_monte_carlo(&model, &mc_options)?;
+    let mc_result = config
+        .parallelism
+        .install(|| run_monte_carlo(&model, &mc_options))??;
     let monte_carlo_seconds = t1.elapsed().as_secs_f64();
 
     // --- Nominal (no-variation) transient for the µ₀ reference.
@@ -277,10 +292,7 @@ mod tests {
             report.distribution.opera.edges(),
             report.distribution.monte_carlo.edges()
         );
-        assert_eq!(
-            report.distribution.monte_carlo.total(),
-            report.mc_samples
-        );
+        assert_eq!(report.distribution.monte_carlo.total(), report.mc_samples);
     }
 
     #[test]

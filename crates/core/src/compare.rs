@@ -136,7 +136,11 @@ mod tests {
         let opera = solve(&model, &OperaOptions::order2(topts)).unwrap();
         let times = opera.times().to_vec();
         let mean: Vec<Vec<f64>> = (0..times.len())
-            .map(|k| (0..opera.node_count()).map(|n| opera.mean_at(k, n)).collect())
+            .map(|k| {
+                (0..opera.node_count())
+                    .map(|n| opera.mean_at(k, n))
+                    .collect()
+            })
             .collect();
         let variance: Vec<Vec<f64>> = (0..times.len())
             .map(|k| {

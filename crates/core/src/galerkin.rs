@@ -147,7 +147,11 @@ impl GalerkinSystem {
     /// Splits a stacked augmented solution vector into per-basis-function
     /// coefficient vectors (each of length `node_count`).
     pub fn split_solution(&self, stacked: &[f64]) -> Vec<Vec<f64>> {
-        assert_eq!(stacked.len(), self.dim(), "stacked solution has wrong length");
+        assert_eq!(
+            stacked.len(),
+            self.dim(),
+            "stacked solution has wrong length"
+        );
         let n = self.node_count;
         (0..self.basis.len())
             .map(|i| stacked[i * n..(i + 1) * n].to_vec())
@@ -260,10 +264,11 @@ mod tests {
             [0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
             [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
         ];
+        #[allow(clippy::needless_range_loop)] // (i, j) index the expected block matrix
         for i in 0..6 {
             for j in 0..6 {
-                let expected = if i == j { norms[i] * ga_val } else { 0.0 }
-                    + xi_g_coupling[i][j] * gg_val;
+                let expected =
+                    if i == j { norms[i] * ga_val } else { 0.0 } + xi_g_coupling[i][j] * gg_val;
                 let got = g_hat.get(i * n + probe_r, j * n + probe_c);
                 assert!(
                     (got - expected).abs() < 1e-10 * ga_val.abs().max(1.0),
@@ -297,10 +302,11 @@ mod tests {
             [0.0, 0.0, 2.0, 0.0, 0.0, 0.0],
         ];
         let c_hat = sys.capacitance();
+        #[allow(clippy::needless_range_loop)] // (i, j) index the expected block matrix
         for i in 0..6 {
             for j in 0..6 {
-                let expected = if i == j { norms[i] * ca_val } else { 0.0 }
-                    + xi_l_coupling[i][j] * cc_val;
+                let expected =
+                    if i == j { norms[i] * ca_val } else { 0.0 } + xi_l_coupling[i][j] * cc_val;
                 let got = c_hat.get(i * n + probe, j * n + probe);
                 assert!(
                     (got - expected).abs() < 1e-12 * ca_val.max(1e-18),

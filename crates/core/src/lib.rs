@@ -19,6 +19,9 @@
 //!   excitation, e.g. per-region leakage): a single factorisation of the
 //!   nominal matrix plus `N + 1` independent solves.
 //! * [`monte_carlo`] — the Monte Carlo baseline the paper compares against.
+//! * [`parallel`] — the [`Parallelism`] knob and deterministic per-sample
+//!   seeding that let the Monte Carlo and special-case loops use all cores
+//!   without changing any statistic.
 //! * [`response`] — node-voltage statistics, voltage-drop summaries and
 //!   histograms (paper Figures 1–2, the ±3σ column of Table 1).
 //! * [`compare`] — OPERA-vs-Monte-Carlo error metrics (the accuracy columns
@@ -50,6 +53,7 @@ pub mod analysis;
 pub mod compare;
 pub mod galerkin;
 pub mod monte_carlo;
+pub mod parallel;
 pub mod response;
 pub mod special_case;
 pub mod stochastic;
@@ -57,6 +61,7 @@ pub mod transient;
 
 pub use error::OperaError;
 pub use galerkin::GalerkinSystem;
+pub use parallel::Parallelism;
 pub use stochastic::{AugmentedSolver, OperaOptions, StochasticSolution};
 pub use transient::{IntegrationMethod, TransientOptions, TransientSolution};
 

@@ -6,15 +6,28 @@
 //! analysis. Mean and variance are accumulated per node and time point with
 //! Welford's algorithm; full sample traces are kept only for a small set of
 //! probe nodes (used for the distribution plots of Figures 1–2).
+//!
+//! # Parallelism and determinism
+//!
+//! Samples are independent, so the loop runs on a `rayon` pool bounded by
+//! the installed [`Parallelism`](crate::parallel::Parallelism). Each sample
+//! draws from its own RNG stream seeded by
+//! [`sample_seed`](crate::parallel::sample_seed)`(options.seed, index)`, and
+//! batches of traces are folded into the Welford accumulator *in sample
+//! order*, so the statistics are bit-identical for every thread count
+//! (serial included). Memory stays bounded: at most one batch of traces
+//! (a small multiple of the worker count) is alive at a time.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use opera_grid::PowerGrid;
 use opera_sparse::{CholeskyFactor, CsrMatrix, LuFactor};
 use opera_variation::{LeakageModel, StochasticGridModel};
 
-use crate::transient::{IntegrationMethod, TransientOptions};
+use crate::parallel::sample_seed;
+use crate::transient::TransientOptions;
 use crate::{OperaError, Result};
 
 /// Options for a Monte Carlo run.
@@ -161,28 +174,51 @@ pub fn run(model: &StochasticGridModel, options: &MonteCarloOptions) -> Result<M
     options.validate()?;
     let times = options.transient.time_points();
     let n = model.node_count();
-    let mut rng = StdRng::seed_from_u64(options.seed);
     let families = model.families();
 
-    let mut stats = WelfordGrid::new(times.len(), n);
-    let mut probe_traces: Vec<Vec<Vec<f64>>> =
-        vec![Vec::with_capacity(options.samples); options.probe_nodes.len()];
-
-    for _ in 0..options.samples {
+    accumulate_samples(options, times.clone(), n, |sample_index| {
+        let mut rng = StdRng::seed_from_u64(sample_seed(options.seed, sample_index as u64));
         let xi: Vec<f64> = families.iter().map(|f| f.sample(&mut rng)).collect();
         let g = model.sample_conductance(&xi)?;
         let c = model.sample_capacitance(&xi)?;
-        let voltages = transient_sample(
+        transient_sample(
             &g,
             &c,
             |t| Ok(model.sample_excitation(t, &xi)?),
             &times,
             &options.transient,
-        )?;
-        stats.update(&voltages);
-        for (p, &node) in options.probe_nodes.iter().enumerate() {
-            probe_traces[p].push(voltages.iter().map(|row| row[node]).collect());
+        )
+    })
+}
+
+/// Runs the per-sample closure over all samples on the installed `rayon`
+/// pool and folds the resulting traces into the Welford statistics in sample
+/// order. Batching keeps at most ~2 traces per worker alive, bounding memory
+/// on paper-scale grids while keeping every worker busy.
+fn accumulate_samples(
+    options: &MonteCarloOptions,
+    times: Vec<f64>,
+    n: usize,
+    sample_trace: impl Fn(usize) -> Result<Vec<Vec<f64>>> + Sync,
+) -> Result<MonteCarloResult> {
+    let mut stats = WelfordGrid::new(times.len(), n);
+    let mut probe_traces: Vec<Vec<Vec<f64>>> =
+        vec![Vec::with_capacity(options.samples); options.probe_nodes.len()];
+
+    let batch = (rayon::current_num_threads().max(1) * 2).min(options.samples.max(1));
+    let mut start = 0;
+    while start < options.samples {
+        let end = (start + batch).min(options.samples);
+        let traces: Vec<Result<Vec<Vec<f64>>>> =
+            (start..end).into_par_iter().map(&sample_trace).collect();
+        for voltages in traces {
+            let voltages = voltages?;
+            stats.update(&voltages);
+            for (p, &node) in options.probe_nodes.iter().enumerate() {
+                probe_traces[p].push(voltages.iter().map(|row| row[node]).collect());
+            }
         }
+        start = end;
     }
     let (mean, variance, samples) = stats.finish();
     Ok(MonteCarloResult {
@@ -211,20 +247,20 @@ pub fn run_leakage(
     options.validate()?;
     let times = options.transient.time_points();
     let n = grid.node_count();
-    let mut rng = StdRng::seed_from_u64(options.seed);
     let families = leakage.families();
 
     let g = grid.conductance_matrix();
     let c = grid.capacitance_matrix();
-    let companion =
-        crate::transient::CompanionSystem::new(&g, &c, options.transient.time_step, options.transient.method)?;
+    let companion = crate::transient::CompanionSystem::new(
+        &g,
+        &c,
+        options.transient.time_step,
+        options.transient.method,
+    )?;
     let dc = factor_for_dc(&g)?;
 
-    let mut stats = WelfordGrid::new(times.len(), n);
-    let mut probe_traces: Vec<Vec<Vec<f64>>> =
-        vec![Vec::with_capacity(options.samples); options.probe_nodes.len()];
-
-    for _ in 0..options.samples {
+    accumulate_samples(options, times.clone(), n, |sample_index| {
+        let mut rng = StdRng::seed_from_u64(sample_seed(options.seed, sample_index as u64));
         let xi: Vec<f64> = families.iter().map(|f| f.sample(&mut rng)).collect();
         // Leakage current for this sample at each node.
         let leak = leakage.sample_leakage(&xi);
@@ -235,7 +271,8 @@ pub fn run_leakage(
             }
             u
         };
-        // DC start + shared-factor transient.
+        // DC start + shared-factor transient (the factor is shared across
+        // samples *and* threads; it is only read).
         let u0 = excitation(0.0);
         let mut state = dc.solve(&u0);
         let mut voltages = Vec::with_capacity(times.len());
@@ -247,19 +284,7 @@ pub fn run_leakage(
             voltages.push(state.clone());
             u_prev = u_next;
         }
-        stats.update(&voltages);
-        for (p, &node) in options.probe_nodes.iter().enumerate() {
-            probe_traces[p].push(voltages.iter().map(|row| row[node]).collect());
-        }
-    }
-    let (mean, variance, samples) = stats.finish();
-    Ok(MonteCarloResult {
-        times,
-        mean,
-        variance,
-        probe_nodes: options.probe_nodes.clone(),
-        probe_traces,
-        samples,
+        Ok(voltages)
     })
 }
 
@@ -296,10 +321,7 @@ fn transient_sample(
     let u0 = excitation(0.0)?;
     let dc = factor_for_dc(g)?;
     let v0 = dc.solve(&u0);
-    let method = match options.method {
-        IntegrationMethod::BackwardEuler => IntegrationMethod::BackwardEuler,
-        IntegrationMethod::Trapezoidal => IntegrationMethod::Trapezoidal,
-    };
+    let method = options.method;
     let companion = crate::transient::CompanionSystem::new(g, c, options.time_step, method)?;
     let mut voltages = Vec::with_capacity(times.len());
     voltages.push(v0);

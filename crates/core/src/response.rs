@@ -73,10 +73,7 @@ impl Histogram {
 
     /// Bin centres.
     pub fn centers(&self) -> Vec<f64> {
-        self.edges
-            .windows(2)
-            .map(|w| 0.5 * (w[0] + w[1]))
-            .collect()
+        self.edges.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect()
     }
 
     /// Percentage of occurrences per bin (0–100, the paper's y-axis).
@@ -303,8 +300,10 @@ mod tests {
             "±3σ = {}%",
             summary.avg_three_sigma_percent_of_nominal
         );
-        assert!(summary.max_three_sigma_percent_of_nominal
-            >= summary.avg_three_sigma_percent_of_nominal);
+        assert!(
+            summary.max_three_sigma_percent_of_nominal
+                >= summary.avg_three_sigma_percent_of_nominal
+        );
         // Mean shift vs nominal is small (paper: negligible).
         assert!(summary.avg_mean_shift_percent_of_vdd < 1.0);
     }

@@ -12,11 +12,16 @@
 //! so a single factorisation of the nominal companion matrix is shared by all
 //! right-hand sides. Unlike the bounds of prior work, the expansion gives the
 //! exact mean, variance and higher moments of the response.
+//!
+//! The `N + 1` solves are independent and run in parallel on the installed
+//! [`Parallelism`](crate::parallel::Parallelism) pool; the solver is fully
+//! deterministic, so the result does not depend on the thread count.
 
 use opera_grid::PowerGrid;
 use opera_pce::{GalerkinCoupling, OrthogonalBasis};
 use opera_sparse::{CholeskyFactor, LuFactor};
 use opera_variation::LeakageModel;
+use rayon::prelude::*;
 
 use crate::stochastic::StochasticSolution;
 use crate::transient::{CompanionSystem, TransientOptions};
@@ -134,20 +139,39 @@ pub fn solve_leakage(
         Ok(f) => DcFactor::Cholesky(f),
         Err(_) => DcFactor::Lu(LuFactor::factor(&g)?),
     };
-    let companion = CompanionSystem::new(&g, &c, options.transient.time_step, options.transient.method)?;
+    let companion = CompanionSystem::new(
+        &g,
+        &c,
+        options.transient.time_step,
+        options.transient.method,
+    )?;
 
-    // coefficients[k][j][node]
+    // The N + 1 systems are independent, so they run on the installed rayon
+    // pool; the shared factors are only read. Each worker produces the full
+    // time series of its coefficient, per_j[j][k][node].
+    let per_j: Vec<Vec<Vec<f64>>> = (0..size)
+        .into_par_iter()
+        .map(|j| {
+            let u0 = rhs_at(j, 0.0);
+            let mut state = dc_factor.solve(&u0);
+            let mut series = Vec::with_capacity(times.len());
+            series.push(state.clone());
+            let mut u_prev = u0;
+            for &t in &times[1..] {
+                let u_next = rhs_at(j, t);
+                state = companion.step(&state, &u_prev, &u_next);
+                series.push(state.clone());
+                u_prev = u_next;
+            }
+            series
+        })
+        .collect();
+
+    // Transpose into the coefficients[k][j][node] layout the solution expects.
     let mut coefficients = vec![vec![Vec::new(); size]; times.len()];
-    for j in 0..size {
-        let u0 = rhs_at(j, 0.0);
-        let mut state = dc_factor.solve(&u0);
-        coefficients[0][j] = state.clone();
-        let mut u_prev = u0;
-        for (k, &t) in times.iter().enumerate().skip(1) {
-            let u_next = rhs_at(j, t);
-            state = companion.step(&state, &u_prev, &u_next);
-            coefficients[k][j] = state.clone();
-            u_prev = u_next;
+    for (j, series) in per_j.into_iter().enumerate() {
+        for (k, state) in series.into_iter().enumerate() {
+            coefficients[k][j] = state;
         }
     }
     Ok(StochasticSolution::new(basis, times, n, coefficients))
@@ -208,8 +232,7 @@ mod tests {
         let topts = TransientOptions::new(0.5e-9, 1.0e-9);
         let sol = solve_leakage(&grid, &leakage, &SpecialCaseOptions::order2(topts)).unwrap();
         // Zero-variance model with the same median leakage.
-        let no_var =
-            LeakageModel::uniform_slices(grid.node_count(), 2, 3.0e-5, 0.0, 23.0).unwrap();
+        let no_var = LeakageModel::uniform_slices(grid.node_count(), 2, 3.0e-5, 0.0, 23.0).unwrap();
         let sol0 = solve_leakage(&grid, &no_var, &SpecialCaseOptions::order2(topts)).unwrap();
         let (node, k, _) = sol.worst_mean_drop(grid.vdd());
         assert!(sol.mean_at(k, node) < sol0.mean_at(k, node));
@@ -233,19 +256,15 @@ mod tests {
             .unwrap();
         let xi1 = sol.basis().linear_index(0).unwrap();
         let xi2 = sol.basis().linear_index(1).unwrap();
-        assert!(
-            sol.coefficient(k, xi1, node_r0).abs() > sol.coefficient(k, xi2, node_r0).abs()
-        );
-        assert!(
-            sol.coefficient(k, xi2, node_r1).abs() > sol.coefficient(k, xi1, node_r1).abs()
-        );
+        assert!(sol.coefficient(k, xi1, node_r0).abs() > sol.coefficient(k, xi2, node_r0).abs());
+        assert!(sol.coefficient(k, xi2, node_r1).abs() > sol.coefficient(k, xi1, node_r1).abs());
     }
 
     #[test]
     fn mismatched_node_counts_are_rejected() {
         let (grid, _) = setup();
-        let wrong = LeakageModel::uniform_slices(grid.node_count() + 5, 2, 1e-6, 0.03, 23.0)
-            .unwrap();
+        let wrong =
+            LeakageModel::uniform_slices(grid.node_count() + 5, 2, 1e-6, 0.03, 23.0).unwrap();
         let opts = SpecialCaseOptions::order2(TransientOptions::new(0.2e-9, 1.0e-9));
         assert!(matches!(
             solve_leakage(&grid, &wrong, &opts),
@@ -255,8 +274,7 @@ mod tests {
             order: 0,
             transient: TransientOptions::new(0.2e-9, 1.0e-9),
         };
-        let leakage =
-            LeakageModel::uniform_slices(grid.node_count(), 2, 1e-6, 0.03, 23.0).unwrap();
+        let leakage = LeakageModel::uniform_slices(grid.node_count(), 2, 1e-6, 0.03, 23.0).unwrap();
         assert!(solve_leakage(&grid, &leakage, &bad_order).is_err());
     }
 }

@@ -102,7 +102,7 @@ impl OperaOptions {
             max_iterations,
         } = self.solver
         {
-            if !(tolerance > 0.0) || max_iterations == 0 {
+            if tolerance <= 0.0 || tolerance.is_nan() || max_iterations == 0 {
                 return Err(OperaError::InvalidOptions {
                     reason: "CG tolerance must be positive and max_iterations nonzero".to_string(),
                 });
@@ -264,11 +264,8 @@ impl StochasticSolution {
 /// ```
 pub fn solve(model: &StochasticGridModel, options: &OperaOptions) -> Result<StochasticSolution> {
     options.validate()?;
-    let basis = OrthogonalBasis::total_order_mixed(
-        model.families(),
-        model.n_vars(),
-        options.order,
-    )?;
+    let basis =
+        OrthogonalBasis::total_order_mixed(model.families(), model.n_vars(), options.order)?;
     let system = GalerkinSystem::assemble(model, &basis)?;
     solve_assembled(model, &system, options)
 }
@@ -325,8 +322,8 @@ fn solve_direct(
     coefficients.push(system.split_solution(&a0));
     let mut state = a0;
     let mut u_prev = u0;
-    for k in 1..times.len() {
-        let u_next = system.excitation(model, times[k]);
+    for &t in &times[1..] {
+        let u_next = system.excitation(model, t);
         let next = companion.step(&state, &u_prev, &u_next);
         coefficients.push(system.split_solution(&next));
         state = next;
@@ -459,8 +456,8 @@ fn solve_iterative(
     coefficients.push(system.split_solution(&a0));
     let mut state = a0;
     let mut u_prev = u0;
-    for k in 1..times.len() {
-        let u_next = system.excitation(model, times[k]);
+    for &t in &times[1..] {
+        let u_next = system.excitation(model, t);
         // Right-hand side of the implicit step.
         let mut rhs = vec![0.0; n * size];
         match transient.method {
@@ -620,16 +617,12 @@ mod tests {
             method: crate::transient::IntegrationMethod::Trapezoidal,
         };
         let direct = solve(&model, &OperaOptions::order2(topts)).unwrap();
-        let iterative = solve(
-            &model,
-            &OperaOptions::order2(topts).with_iterative_solver(),
-        )
-        .unwrap();
+        let iterative =
+            solve(&model, &OperaOptions::order2(topts).with_iterative_solver()).unwrap();
         let (node, k, _) = direct.worst_mean_drop(grid.vdd());
         assert!((direct.mean_at(k, node) - iterative.mean_at(k, node)).abs() < 1e-7 * grid.vdd());
         assert!(
-            (direct.std_dev_at(k, node) - iterative.std_dev_at(k, node)).abs()
-                < 1e-6 * grid.vdd()
+            (direct.std_dev_at(k, node) - iterative.std_dev_at(k, node)).abs() < 1e-6 * grid.vdd()
         );
     }
 
@@ -652,11 +645,8 @@ mod tests {
         let (grid, model) = small_setup();
         let topts = TransientOptions::new(0.1e-9, 1.0e-9);
         let direct = solve(&model, &OperaOptions::order2(topts)).unwrap();
-        let iterative = solve(
-            &model,
-            &OperaOptions::order2(topts).with_iterative_solver(),
-        )
-        .unwrap();
+        let iterative =
+            solve(&model, &OperaOptions::order2(topts).with_iterative_solver()).unwrap();
         for k in (0..direct.times().len()).step_by(3) {
             for n in (0..direct.node_count()).step_by(9) {
                 assert!(

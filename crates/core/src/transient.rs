@@ -49,12 +49,12 @@ impl TransientOptions {
     /// Returns [`OperaError::InvalidOptions`] for non-positive step or end
     /// time, or a step larger than the end time.
     pub fn validate(&self) -> Result<()> {
-        if !(self.time_step > 0.0) || !self.time_step.is_finite() {
+        if self.time_step <= 0.0 || !self.time_step.is_finite() {
             return Err(OperaError::InvalidOptions {
                 reason: format!("time_step must be positive, got {}", self.time_step),
             });
         }
-        if !(self.end_time > 0.0) || !self.end_time.is_finite() {
+        if self.end_time <= 0.0 || !self.end_time.is_finite() {
             return Err(OperaError::InvalidOptions {
                 reason: format!("end_time must be positive, got {}", self.end_time),
             });
@@ -247,9 +247,7 @@ pub fn solve_transient(
     let dc = CholeskyFactor::factor(g).map(|f| f.solve(&u0));
     let v0 = match dc {
         Ok(v) => v,
-        Err(_) => LuFactor::factor(g)
-            .map_err(OperaError::from)?
-            .solve(&u0),
+        Err(_) => LuFactor::factor(g).map_err(OperaError::from)?.solve(&u0),
     };
     let companion = CompanionSystem::new(g, c, options.time_step, options.method)?;
     let mut voltages = Vec::with_capacity(times.len());
@@ -304,7 +302,10 @@ mod tests {
         let (g, c) = rc_circuit();
         let u = |t: f64| vec![if t > 0.0 { 1.0 } else { 0.0 }];
         let mut results = Vec::new();
-        for method in [IntegrationMethod::BackwardEuler, IntegrationMethod::Trapezoidal] {
+        for method in [
+            IntegrationMethod::BackwardEuler,
+            IntegrationMethod::Trapezoidal,
+        ] {
             let opts = TransientOptions {
                 time_step: 0.0005,
                 end_time: 1.0,
@@ -379,7 +380,8 @@ mod tests {
     #[test]
     fn companion_system_exposes_its_step_and_solves_consistently() {
         let (g, c) = rc_circuit();
-        let companion = CompanionSystem::new(&g, &c, 0.1, IntegrationMethod::BackwardEuler).unwrap();
+        let companion =
+            CompanionSystem::new(&g, &c, 0.1, IntegrationMethod::BackwardEuler).unwrap();
         assert_eq!(companion.time_step(), 0.1);
         // Solving the companion system directly must satisfy (G + C/h) x = b.
         let b = vec![3.0];

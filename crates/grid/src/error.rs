@@ -48,10 +48,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GridError::UnknownNode { node: 7, node_count: 5 };
+        let e = GridError::UnknownNode {
+            node: 7,
+            node_count: 5,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('5'));
-        let e = GridError::InvalidSpec { reason: "no pads".to_string() };
+        let e = GridError::InvalidSpec {
+            reason: "no pads".to_string(),
+        };
         assert!(e.to_string().contains("no pads"));
     }
 

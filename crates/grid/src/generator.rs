@@ -17,6 +17,7 @@
 //!   fraction (default 8 %) of VDD, matching the paper's "< 10 % of VDD"
 //!   condition.
 
+use crate::is_not_positive;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -157,14 +158,14 @@ impl GridSpec {
                 reason: "target_nodes must be at least 4".to_string(),
             });
         }
-        if !(self.vdd > 0.0) {
+        if is_not_positive(self.vdd) {
             return Err(GridError::InvalidSpec {
                 reason: "vdd must be positive".to_string(),
             });
         }
-        if !(self.segment_conductance_x > 0.0)
-            || !(self.segment_conductance_y > 0.0)
-            || !(self.pad_conductance > 0.0)
+        if is_not_positive(self.segment_conductance_x)
+            || is_not_positive(self.segment_conductance_y)
+            || is_not_positive(self.pad_conductance)
         {
             return Err(GridError::InvalidSpec {
                 reason: "conductances must be positive".to_string(),
@@ -190,7 +191,7 @@ impl GridSpec {
                 reason: "capacitance fractions must sum to less than 1".to_string(),
             });
         }
-        if self.cycles == 0 || !(self.clock_period > 0.0) {
+        if self.cycles == 0 || is_not_positive(self.clock_period) {
             return Err(GridError::InvalidSpec {
                 reason: "clock period and cycle count must be positive".to_string(),
             });
@@ -217,9 +218,8 @@ impl GridSpec {
         let mut grid = PowerGrid::new(n, self.vdd)?;
 
         // --- Metal stripes with a deterministic pseudo-random spread.
-        let spread = |rng: &mut StdRng, base: f64, rel: f64| {
-            base * (1.0 + rel * (rng.gen::<f64>() - 0.5))
-        };
+        let spread =
+            |rng: &mut StdRng, base: f64, rel: f64| base * (1.0 + rel * (rng.gen::<f64>() - 0.5));
         for y in 0..ny {
             for x in 0..nx {
                 if x + 1 < nx {
@@ -337,8 +337,7 @@ impl GridSpec {
             })?
             .x
         };
-        Ok(v
-            .iter()
+        Ok(v.iter()
             .map(|&vi| self.vdd - vi)
             .fold(f64::NEG_INFINITY, f64::max))
     }

@@ -99,7 +99,7 @@ impl PowerGrid {
                 reason: "a grid needs at least one node".to_string(),
             });
         }
-        if !(vdd > 0.0) {
+        if crate::is_not_positive(vdd) {
             return Err(GridError::InvalidSpec {
                 reason: format!("supply voltage must be positive, got {vdd}"),
             });
@@ -167,7 +167,13 @@ impl PowerGrid {
     ///
     /// Returns [`GridError::UnknownNode`] for out-of-range nodes and
     /// [`GridError::InvalidElement`] for non-positive conductance or `a == b`.
-    pub fn add_wire(&mut self, a: usize, b: usize, conductance: f64, kind: BranchKind) -> Result<()> {
+    pub fn add_wire(
+        &mut self,
+        a: usize,
+        b: usize,
+        conductance: f64,
+        kind: BranchKind,
+    ) -> Result<()> {
         self.check_node(a)?;
         self.check_node(b)?;
         if a == b {
@@ -175,7 +181,7 @@ impl PowerGrid {
                 reason: format!("wire endpoints must differ (both are node {a})"),
             });
         }
-        if !(conductance > 0.0) || !conductance.is_finite() {
+        if conductance <= 0.0 || !conductance.is_finite() {
             return Err(GridError::InvalidElement {
                 reason: format!("wire conductance must be positive and finite, got {conductance}"),
             });
@@ -197,7 +203,7 @@ impl PowerGrid {
     /// Returns [`GridError::UnknownNode`] or [`GridError::InvalidElement`].
     pub fn add_pad(&mut self, node: usize, conductance: f64) -> Result<()> {
         self.check_node(node)?;
-        if !(conductance > 0.0) || !conductance.is_finite() {
+        if conductance <= 0.0 || !conductance.is_finite() {
             return Err(GridError::InvalidElement {
                 reason: format!("pad conductance must be positive and finite, got {conductance}"),
             });
@@ -216,9 +222,14 @@ impl PowerGrid {
     /// # Errors
     ///
     /// Returns [`GridError::UnknownNode`] or [`GridError::InvalidElement`].
-    pub fn add_capacitor(&mut self, node: usize, capacitance: f64, class: CapacitorClass) -> Result<()> {
+    pub fn add_capacitor(
+        &mut self,
+        node: usize,
+        capacitance: f64,
+        class: CapacitorClass,
+    ) -> Result<()> {
         self.check_node(node)?;
-        if !(capacitance >= 0.0) || !capacitance.is_finite() {
+        if capacitance < 0.0 || !capacitance.is_finite() {
             return Err(GridError::InvalidElement {
                 reason: format!("capacitance must be non-negative and finite, got {capacitance}"),
             });
@@ -237,7 +248,12 @@ impl PowerGrid {
     /// # Errors
     ///
     /// Returns [`GridError::UnknownNode`] for an out-of-range node.
-    pub fn add_current_source(&mut self, node: usize, waveform: Waveform, block: usize) -> Result<()> {
+    pub fn add_current_source(
+        &mut self,
+        node: usize,
+        waveform: Waveform,
+        block: usize,
+    ) -> Result<()> {
         self.check_node(node)?;
         self.sources.push(CurrentSource {
             node,
@@ -268,11 +284,8 @@ impl PowerGrid {
         &self,
         weight: impl Fn(&ResistiveBranch) -> f64,
     ) -> CsrMatrix {
-        let mut t = TripletMatrix::with_capacity(
-            self.node_count,
-            self.node_count,
-            4 * self.branches.len(),
-        );
+        let mut t =
+            TripletMatrix::with_capacity(self.node_count, self.node_count, 4 * self.branches.len());
         for branch in &self.branches {
             let g = branch.conductance * weight(branch);
             if g == 0.0 {
@@ -431,8 +444,10 @@ mod tests {
         g.add_wire(0, 1, 5.0, BranchKind::MetalWire).unwrap();
         g.add_wire(1, 2, 5.0, BranchKind::MetalWire).unwrap();
         g.add_capacitor(1, 1.0e-15, CapacitorClass::Gate).unwrap();
-        g.add_capacitor(2, 2.0e-15, CapacitorClass::Diffusion).unwrap();
-        g.add_current_source(2, Waveform::constant(1.0e-3), 0).unwrap();
+        g.add_capacitor(2, 2.0e-15, CapacitorClass::Diffusion)
+            .unwrap();
+        g.add_current_source(2, Waveform::constant(1.0e-3), 0)
+            .unwrap();
         g
     }
 

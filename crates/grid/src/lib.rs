@@ -44,5 +44,11 @@ pub use generator::{GridSpec, PAPER_GRID_NODE_COUNTS};
 pub use grid::{BranchKind, CapacitorClass, CurrentSource, PowerGrid, ResistiveBranch};
 pub use waveform::Waveform;
 
+/// `true` unless the value is a strictly positive finite number — the
+/// shared predicate behind every "must be positive" validation in this crate.
+pub(crate) fn is_not_positive(value: f64) -> bool {
+    value <= 0.0 || !value.is_finite()
+}
+
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, GridError>;

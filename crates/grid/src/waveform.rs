@@ -41,7 +41,10 @@ impl Waveform {
     ///
     /// Panics if `points` is empty or contains non-finite values.
     pub fn from_points(mut points: Vec<(f64, f64)>) -> Self {
-        assert!(!points.is_empty(), "a waveform needs at least one breakpoint");
+        assert!(
+            !points.is_empty(),
+            "a waveform needs at least one breakpoint"
+        );
         assert!(
             points.iter().all(|(t, v)| t.is_finite() && v.is_finite()),
             "waveform breakpoints must be finite"
@@ -125,7 +128,10 @@ impl Waveform {
     /// Maximum value over the breakpoints (the peak of a piecewise-linear
     /// waveform is always attained at a breakpoint).
     pub fn peak(&self) -> f64 {
-        self.points.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Last breakpoint time.

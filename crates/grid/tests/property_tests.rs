@@ -105,7 +105,8 @@ fn manual_grid_construction_round_trip() {
     grid.add_wire(1, 2, 10.0, BranchKind::Via).unwrap();
     grid.add_wire(2, 3, 10.0, BranchKind::MetalWire).unwrap();
     grid.add_capacitor(3, 1e-15, CapacitorClass::Gate).unwrap();
-    grid.add_current_source(3, Waveform::constant(1e-3), 0).unwrap();
+    grid.add_current_source(3, Waveform::constant(1e-3), 0)
+        .unwrap();
     grid.validate_connectivity().unwrap();
     assert_eq!(grid.branches().len(), 4);
     assert_eq!(grid.capacitors().len(), 1);

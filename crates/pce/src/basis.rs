@@ -65,11 +65,7 @@ impl OrthogonalBasis {
         }
         if families.len() != n_vars {
             return Err(PceError::InvalidBasis {
-                reason: format!(
-                    "got {} families for {} variables",
-                    families.len(),
-                    n_vars
-                ),
+                reason: format!("got {} families for {} variables", families.len(), n_vars),
             });
         }
         for f in &families {
@@ -210,9 +206,9 @@ impl OrthogonalBasis {
     /// Returns the basis index whose multi-index has degree one in variable
     /// `d` and zero elsewhere (the "pure linear" term `ξ_d`), if present.
     pub fn linear_index(&self, d: usize) -> Option<usize> {
-        self.indices.iter().position(|mi| {
-            mi.total_degree() == 1 && mi.degree(d) == 1
-        })
+        self.indices
+            .iter()
+            .position(|mi| mi.total_degree() == 1 && mi.degree(d) == 1)
     }
 
     /// Expected number of basis functions for the given truncation, without
@@ -262,8 +258,8 @@ mod tests {
         let b = OrthogonalBasis::total_order(PolynomialFamily::Legendre, 3, 3).unwrap();
         let xi = [0.2, -0.5, 0.9];
         let all = b.evaluate_all(&xi).unwrap();
-        for i in 0..b.len() {
-            assert!((b.evaluate(i, &xi).unwrap() - all[i]).abs() < 1e-14);
+        for (i, &ai) in all.iter().enumerate() {
+            assert!((b.evaluate(i, &xi).unwrap() - ai).abs() < 1e-14);
         }
     }
 
@@ -273,9 +269,8 @@ mod tests {
         let rule = tensor_rule(b.families(), 8).unwrap();
         for i in 0..b.len() {
             for j in 0..b.len() {
-                let inner = rule.integrate(|x| {
-                    b.evaluate(i, x).unwrap() * b.evaluate(j, x).unwrap()
-                });
+                let inner =
+                    rule.integrate(|x| b.evaluate(i, x).unwrap() * b.evaluate(j, x).unwrap());
                 let expected = if i == j { b.norm_squared(i) } else { 0.0 };
                 assert!(
                     (inner - expected).abs() < 1e-8 * b.norm_squared(i).max(1.0),
@@ -321,12 +316,7 @@ mod tests {
 
     #[test]
     fn mismatched_family_count_is_rejected() {
-        assert!(OrthogonalBasis::total_order_mixed(
-            vec![PolynomialFamily::Hermite],
-            2,
-            1
-        )
-        .is_err());
+        assert!(OrthogonalBasis::total_order_mixed(vec![PolynomialFamily::Hermite], 2, 1).is_err());
         assert!(OrthogonalBasis::total_order(PolynomialFamily::Hermite, 0, 1).is_err());
     }
 }

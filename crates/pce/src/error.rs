@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = PceError::CoefficientLengthMismatch { got: 3, expected: 6 };
+        let e = PceError::CoefficientLengthMismatch {
+            got: 3,
+            expected: 6,
+        };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains('6'));
         let e = PceError::InvalidParameter {

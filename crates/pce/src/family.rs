@@ -52,21 +52,21 @@ impl PolynomialFamily {
     /// Laguerre exponent is ≤ −1 or not finite.
     pub fn validate(&self) -> Result<()> {
         match *self {
-            PolynomialFamily::GeneralizedLaguerre { alpha } => {
-                if !(alpha > -1.0) || !alpha.is_finite() {
-                    return Err(PceError::InvalidParameter {
-                        name: "alpha",
-                        value: alpha.to_string(),
-                    });
-                }
+            PolynomialFamily::GeneralizedLaguerre { alpha }
+                if (alpha <= -1.0 || !alpha.is_finite()) =>
+            {
+                return Err(PceError::InvalidParameter {
+                    name: "alpha",
+                    value: alpha.to_string(),
+                });
             }
-            PolynomialFamily::Jacobi { a, b } => {
-                if !(a > -1.0) || !(b > -1.0) || !a.is_finite() || !b.is_finite() {
-                    return Err(PceError::InvalidParameter {
-                        name: "jacobi exponents",
-                        value: format!("a = {a}, b = {b}"),
-                    });
-                }
+            PolynomialFamily::Jacobi { a, b }
+                if (a <= -1.0 || b <= -1.0 || !a.is_finite() || !b.is_finite()) =>
+            {
+                return Err(PceError::InvalidParameter {
+                    name: "jacobi exponents",
+                    value: format!("a = {a}, b = {b}"),
+                });
             }
             _ => {}
         }
@@ -110,8 +110,7 @@ impl PolynomialFamily {
                 values.push(1.0 - x);
                 for k in 1..n {
                     let kf = k as f64;
-                    let next =
-                        ((2.0 * kf + 1.0 - x) * values[k] - kf * values[k - 1]) / (kf + 1.0);
+                    let next = ((2.0 * kf + 1.0 - x) * values[k] - kf * values[k - 1]) / (kf + 1.0);
                     values.push(next);
                 }
             }
@@ -132,9 +131,8 @@ impl PolynomialFamily {
                     // Standard three-term recurrence for Jacobi polynomials.
                     let c1 = 2.0 * (kf + 1.0) * (kf + a + b + 1.0) * (2.0 * kf + a + b);
                     let c2 = (2.0 * kf + a + b + 1.0) * (a * a - b * b);
-                    let c3 = (2.0 * kf + a + b)
-                        * (2.0 * kf + a + b + 1.0)
-                        * (2.0 * kf + a + b + 2.0);
+                    let c3 =
+                        (2.0 * kf + a + b) * (2.0 * kf + a + b + 1.0) * (2.0 * kf + a + b + 2.0);
                     let c4 = 2.0 * (kf + a) * (kf + b) * (2.0 * kf + a + b + 2.0);
                     let next = ((c2 + c3 * x) * values[k] - c4 * values[k - 1]) / c1;
                     values.push(next);
@@ -165,18 +163,16 @@ impl PolynomialFamily {
             PolynomialFamily::Jacobi { a, b } => {
                 // Unnormalised h_k = 2^{a+b+1} / (2k+a+b+1)
                 //   · Γ(k+a+1)Γ(k+b+1) / (Γ(k+a+b+1) k!)
-                let ln_hk = (a + b + 1.0) * std::f64::consts::LN_2
-                    - (2.0 * kf + a + b + 1.0).ln()
+                let ln_hk = (a + b + 1.0) * std::f64::consts::LN_2 - (2.0 * kf + a + b + 1.0).ln()
                     + ln_gamma(kf + a + 1.0)
                     + ln_gamma(kf + b + 1.0)
                     - ln_gamma(kf + a + b + 1.0)
                     - ln_gamma(kf + 1.0);
                 // Normalising constant of the weight:
                 // ∫ (1−x)^a (1+x)^b dx = 2^{a+b+1} B(a+1, b+1).
-                let ln_norm = (a + b + 1.0) * std::f64::consts::LN_2
-                    + ln_gamma(a + 1.0)
-                    + ln_gamma(b + 1.0)
-                    - ln_gamma(a + b + 2.0);
+                let ln_norm =
+                    (a + b + 1.0) * std::f64::consts::LN_2 + ln_gamma(a + 1.0) + ln_gamma(b + 1.0)
+                        - ln_gamma(a + b + 2.0);
                 (ln_hk - ln_norm).exp()
             }
         }
@@ -266,10 +262,10 @@ pub(crate) fn factorial(k: u32) -> f64 {
 pub(crate) fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients (g = 7, n = 9).
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -406,7 +402,9 @@ mod tests {
 
     #[test]
     fn invalid_parameters_are_rejected() {
-        assert!(PolynomialFamily::Jacobi { a: -1.5, b: 0.0 }.validate().is_err());
+        assert!(PolynomialFamily::Jacobi { a: -1.5, b: 0.0 }
+            .validate()
+            .is_err());
         assert!(PolynomialFamily::GeneralizedLaguerre { alpha: -2.0 }
             .validate()
             .is_err());
@@ -424,7 +422,10 @@ mod tests {
         assert!(mean(PolynomialFamily::Hermite, &mut rng).abs() < 0.05);
         assert!(mean(PolynomialFamily::Legendre, &mut rng).abs() < 0.05);
         assert!((mean(PolynomialFamily::Laguerre, &mut rng) - 1.0).abs() < 0.05);
-        let g = mean(PolynomialFamily::GeneralizedLaguerre { alpha: 2.0 }, &mut rng);
+        let g = mean(
+            PolynomialFamily::GeneralizedLaguerre { alpha: 2.0 },
+            &mut rng,
+        );
         assert!((g - 3.0).abs() < 0.1);
     }
 

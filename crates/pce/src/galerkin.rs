@@ -213,6 +213,7 @@ mod tests {
             [0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
             [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
         ];
+        #[allow(clippy::needless_range_loop)] // (i, j) index the expected coupling matrix
         for i in 0..6 {
             for j in 0..6 {
                 assert!(
@@ -239,6 +240,7 @@ mod tests {
             [0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
             [0.0, 0.0, 2.0, 0.0, 0.0, 0.0],
         ];
+        #[allow(clippy::needless_range_loop)] // (i, j) index the expected coupling matrix
         for i in 0..6 {
             for j in 0..6 {
                 assert!(

@@ -95,8 +95,8 @@ mod tests {
     #[test]
     fn quadrature_moments_match_coefficient_formulas() {
         let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
-        let s = PceSeries::from_coefficients(&basis, vec![3.0, 0.4, -0.2, 0.1, 0.05, -0.03])
-            .unwrap();
+        let s =
+            PceSeries::from_coefficients(&basis, vec![3.0, 0.4, -0.2, 0.1, 0.05, -0.03]).unwrap();
         let m = moments(&s).unwrap();
         assert!((m.mean - s.mean()).abs() < 1e-12);
         assert!((m.variance - s.variance()).abs() < 1e-10);

@@ -38,13 +38,7 @@ pub fn sample_standard_with<R: rand::Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<Vec<f64>> {
     (0..count)
-        .map(|_| {
-            basis
-                .families()
-                .iter()
-                .map(|fam| fam.sample(rng))
-                .collect()
-        })
+        .map(|_| basis.families().iter().map(|fam| fam.sample(rng)).collect())
         .collect()
 }
 

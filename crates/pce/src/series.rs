@@ -98,12 +98,7 @@ impl PceSeries {
     /// Returns [`PceError::DimensionMismatch`] if `xi` has the wrong length.
     pub fn evaluate(&self, xi: &[f64]) -> Result<f64> {
         let psi = self.basis.evaluate_all(xi)?;
-        Ok(self
-            .coefficients
-            .iter()
-            .zip(&psi)
-            .map(|(a, p)| a * p)
-            .sum())
+        Ok(self.coefficients.iter().zip(&psi).map(|(a, p)| a * p).sum())
     }
 
     /// Adds another series over the same basis.
@@ -152,8 +147,8 @@ mod tests {
         let a = vec![1.5, 0.2, -0.1, 0.05, 0.3, -0.02];
         let s = PceSeries::from_coefficients(&b, a.clone()).unwrap();
         assert_eq!(s.mean(), 1.5);
-        let expected = a[1] * a[1] + a[2] * a[2] + 2.0 * a[3] * a[3] + a[4] * a[4]
-            + 2.0 * a[5] * a[5];
+        let expected =
+            a[1] * a[1] + a[2] * a[2] + 2.0 * a[3] * a[3] + a[4] * a[4] + 2.0 * a[5] * a[5];
         assert!((s.variance() - expected).abs() < 1e-15);
         assert!((s.std_dev() - expected.sqrt()).abs() < 1e-15);
     }

@@ -43,7 +43,10 @@ impl JacobiPreconditioner {
         let mut inv_diag = Vec::with_capacity(diag.len());
         for (i, d) in diag.iter().enumerate() {
             if *d <= 0.0 {
-                return Err(SparseError::NotPositiveDefinite { column: i, pivot: *d });
+                return Err(SparseError::NotPositiveDefinite {
+                    column: i,
+                    pivot: *d,
+                });
             }
             inv_diag.push(1.0 / d);
         }
@@ -99,12 +102,15 @@ impl IncompleteCholesky {
             }
             let diag = data[start];
             if diag <= 0.0 {
-                return Err(SparseError::NotPositiveDefinite { column: j, pivot: diag });
+                return Err(SparseError::NotPositiveDefinite {
+                    column: j,
+                    pivot: diag,
+                });
             }
             let diag_sqrt = diag.sqrt();
             data[start] = diag_sqrt;
-            for p in (start + 1)..end {
-                data[p] /= diag_sqrt;
+            for v in &mut data[start + 1..end] {
+                *v /= diag_sqrt;
             }
             // Update the remaining columns k > j restricted to their pattern.
             for p in (start + 1)..end {
@@ -340,7 +346,9 @@ mod tests {
     #[test]
     fn incomplete_cholesky_preconditioner_converges_fast_on_grid() {
         let a = laplacian_2d(12, 12, 0.05);
-        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let b: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i * 13 % 7) as f64) - 3.0)
+            .collect();
         let ic = IncompleteCholesky::new(&a).unwrap();
         let plain = solve(&a, &b, &IdentityPreconditioner, CgOptions::default()).unwrap();
         let pre = solve(&a, &b, &ic, CgOptions::default()).unwrap();
@@ -387,7 +395,9 @@ mod tests {
         // A non-smooth right-hand side so CG genuinely needs many iterations
         // (a constant vector is an eigenvector of the shifted Laplacian and
         // would converge in a single step).
-        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i * 37 % 11) as f64) - 5.0).collect();
+        let b: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i * 37 % 11) as f64) - 5.0)
+            .collect();
         let result = solve(
             &a,
             &b,

@@ -200,7 +200,10 @@ impl CholeskyFactor {
             }
             if d <= 0.0 || !d.is_finite() {
                 // Clear scratch before reporting the failure.
-                return Err(SparseError::NotPositiveDefinite { column: k, pivot: d });
+                return Err(SparseError::NotPositiveDefinite {
+                    column: k,
+                    pivot: d,
+                });
             }
             let slot = next[k];
             next[k] += 1;

@@ -148,8 +148,7 @@ impl CscMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.nrows];
-        for j in 0..self.ncols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 continue;
             }
@@ -214,16 +213,12 @@ impl CscMatrix {
         let nnz = self.nnz();
         let mut indices = vec![0usize; nnz];
         let mut data = vec![0.0; nnz];
-        for new_j in 0..n {
+        for (new_j, &base) in counts.iter().take(n).enumerate() {
             let old_j = perm.get(new_j);
             let (rows, vals) = self.col(old_j);
-            let base = counts[new_j];
             // Gather and sort the permuted row indices of this column.
-            let mut entries: Vec<(usize, f64)> = rows
-                .iter()
-                .zip(vals)
-                .map(|(&i, &v)| (inv[i], v))
-                .collect();
+            let mut entries: Vec<(usize, f64)> =
+                rows.iter().zip(vals).map(|(&i, &v)| (inv[i], v)).collect();
             entries.sort_unstable_by_key(|e| e.0);
             for (k, (i, v)) in entries.into_iter().enumerate() {
                 indices[base + k] = i;
@@ -285,7 +280,13 @@ mod tests {
         // [ 0 3 0 ]
         // [ 4 0 5 ]
         let mut t = TripletMatrix::new(3, 3);
-        for &(i, j, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(i, j, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             t.push(i, j, v);
         }
         t.to_csc()

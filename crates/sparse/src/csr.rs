@@ -42,7 +42,11 @@ impl CsrMatrix {
     ) -> Result<Self> {
         if indptr.len() != nrows + 1 {
             return Err(SparseError::InvalidStructure {
-                reason: format!("indptr length {} != nrows + 1 = {}", indptr.len(), nrows + 1),
+                reason: format!(
+                    "indptr length {} != nrows + 1 = {}",
+                    indptr.len(),
+                    nrows + 1
+                ),
             });
         }
         if indices.len() != data.len() {
@@ -217,14 +221,14 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.nrows, "matvec output dimension mismatch");
-        for i in 0..self.nrows {
+        for (i, out) in y.iter_mut().enumerate() {
             let lo = self.indptr[i];
             let hi = self.indptr[i + 1];
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.data[k] * x[self.indices[k]];
             }
-            y[i] = acc;
+            *out = acc;
         }
     }
 
@@ -236,14 +240,14 @@ impl CsrMatrix {
     pub fn matvec_acc(&self, x: &[f64], alpha: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.nrows, "matvec output dimension mismatch");
-        for i in 0..self.nrows {
+        for (i, out) in y.iter_mut().enumerate() {
             let lo = self.indptr[i];
             let hi = self.indptr[i + 1];
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.data[k] * x[self.indices[k]];
             }
-            y[i] += alpha * acc;
+            *out += alpha * acc;
         }
     }
 

@@ -86,9 +86,9 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.nrows];
-        for i in 0..self.nrows {
+        for (i, out) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.ncols..(i + 1) * self.ncols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *out = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -297,7 +297,10 @@ mod tests {
     #[test]
     fn singular_matrix_is_detected() {
         let a = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
-        assert!(matches!(a.solve(&[1.0, 1.0]), Err(SparseError::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 1.0]),
+            Err(SparseError::Singular { .. })
+        ));
         assert_eq!(a.determinant().unwrap(), 0.0);
     }
 
@@ -323,6 +326,9 @@ mod tests {
     #[test]
     fn non_square_solve_is_rejected() {
         let a = DenseMatrix::zeros(2, 3);
-        assert!(matches!(a.solve(&[0.0, 0.0]), Err(SparseError::NotSquare { .. })));
+        assert!(matches!(
+            a.solve(&[0.0, 0.0]),
+            Err(SparseError::NotSquare { .. })
+        ));
     }
 }

@@ -105,10 +105,16 @@ mod tests {
         assert!(e.to_string().contains("matvec"));
         assert!(e.to_string().contains("3x4"));
 
-        let e = SparseError::NotPositiveDefinite { column: 7, pivot: -1.0 };
+        let e = SparseError::NotPositiveDefinite {
+            column: 7,
+            pivot: -1.0,
+        };
         assert!(e.to_string().contains("column 7"));
 
-        let e = SparseError::DidNotConverge { iterations: 10, residual: 0.5 };
+        let e = SparseError::DidNotConverge {
+            iterations: 10,
+            residual: 0.5,
+        };
         assert!(e.to_string().contains("10"));
     }
 

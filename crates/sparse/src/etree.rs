@@ -61,8 +61,8 @@ pub fn postorder(parent: &[Option<usize>]) -> Vec<usize> {
     }
     let mut post = Vec::with_capacity(n);
     let mut stack = Vec::new();
-    for root in 0..n {
-        if parent[root].is_some() {
+    for (root, par) in parent.iter().enumerate().take(n) {
+        if par.is_some() {
             continue;
         }
         // Iterative DFS with explicit visit state.

@@ -51,8 +51,8 @@ mod error;
 mod etree;
 mod lu;
 mod permutation;
-mod triplet;
 mod triangular;
+mod triplet;
 
 pub mod cg;
 pub mod ordering;
@@ -65,8 +65,8 @@ pub use error::SparseError;
 pub use etree::{column_counts, elimination_tree, postorder};
 pub use lu::LuFactor;
 pub use permutation::Permutation;
-pub use triplet::TripletMatrix;
 pub use triangular::{solve_lower_csc, solve_lower_transpose_csc, solve_upper_csc};
+pub use triplet::TripletMatrix;
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

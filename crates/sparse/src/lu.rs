@@ -71,6 +71,9 @@ impl LuFactor {
         let mut x = vec![0.0f64; n];
         let mut mark = vec![false; n];
 
+        // The column index k drives several parallel arrays at once, so the
+        // indexed loop is the clearest form here.
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             // --- Symbolic: reachability of column k of A through the columns
             // of L that already have an assigned pivot row.
@@ -193,8 +196,8 @@ impl LuFactor {
             l_indptr.push(l_indices.len());
         }
 
-        let row_perm = Permutation::from_vec(perm)
-            .expect("partial pivoting assigns each row exactly once");
+        let row_perm =
+            Permutation::from_vec(perm).expect("partial pivoting assigns each row exactly once");
 
         // Remap L's row indices from original rows to pivotal positions so
         // that L becomes a proper lower triangular matrix, then sort columns.
@@ -296,12 +299,7 @@ mod tests {
 
     #[test]
     fn lu_reconstructs_pa() {
-        let a = CsrMatrix::from_dense(
-            3,
-            3,
-            &[2.0, 1.0, 0.0, 4.0, 3.0, 1.0, 0.0, 1.0, 5.0],
-            0.0,
-        );
+        let a = CsrMatrix::from_dense(3, 3, &[2.0, 1.0, 0.0, 4.0, 3.0, 1.0, 0.0, 1.0, 5.0], 0.0);
         let lu = LuFactor::factor(&a).unwrap();
         let l = lu.lower().to_csr().to_dense();
         let u = lu.upper().to_csr().to_dense();

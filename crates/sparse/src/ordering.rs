@@ -71,11 +71,8 @@ pub fn reverse_cuthill_mckee(a: &CscMatrix) -> Permutation {
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
             order.push(u);
-            let mut neighbours: Vec<usize> = adj[u]
-                .iter()
-                .copied()
-                .filter(|&v| !visited[v])
-                .collect();
+            let mut neighbours: Vec<usize> =
+                adj[u].iter().copied().filter(|&v| !visited[v]).collect();
             neighbours.sort_unstable_by_key(|&v| degree[v]);
             for v in neighbours {
                 visited[v] = true;

@@ -117,9 +117,9 @@ mod tests {
         let x_true = [2.0, 0.0, -3.0];
         // b = Lᵀ x  computed via  (xᵀ L)ᵀ
         let mut b = vec![0.0; 3];
-        for j in 0..3 {
+        for (j, out) in b.iter_mut().enumerate() {
             let (rows, vals) = l.col(j);
-            b[j] = rows.iter().zip(vals).map(|(&i, &v)| v * x_true[i]).sum();
+            *out = rows.iter().zip(vals).map(|(&i, &v)| v * x_true[i]).sum();
         }
         let _ = lt;
         solve_lower_transpose_csc(&l, &mut b);

@@ -170,8 +170,8 @@ proptest! {
         // Build an SPD matrix, factor it, and verify L (L^T x) reproduces it.
         let n = v.len();
         let mut t = TripletMatrix::new(n, n);
-        for i in 0..n {
-            t.push(i, i, shift + v[i].abs());
+        for (i, vi) in v.iter().enumerate() {
+            t.push(i, i, shift + vi.abs());
             if i + 1 < n {
                 t.add_symmetric_pair(i, i + 1, 0.3);
             }

@@ -34,8 +34,8 @@ impl Decorrelation {
         let n = self.variances.len();
         let mut x = vec![0.0; n];
         for (i, xi) in x.iter_mut().enumerate() {
-            for k in 0..n {
-                *xi += self.components[(i, k)] * self.variances[k].max(0.0).sqrt() * eta[k];
+            for (k, (&variance, &eta_k)) in self.variances.iter().zip(eta).enumerate() {
+                *xi += self.components[(i, k)] * variance.max(0.0).sqrt() * eta_k;
             }
         }
         x

@@ -66,12 +66,12 @@ impl LeakageModel {
                 reason: "leakage model needs at least one node".to_string(),
             });
         }
-        if !(sigma_vth >= 0.0) || !(sensitivity.is_finite()) || !sigma_vth.is_finite() {
+        if sigma_vth < 0.0 || !sensitivity.is_finite() || !sigma_vth.is_finite() {
             return Err(VariationError::InvalidSpec {
                 reason: "sigma_vth must be non-negative and finite".to_string(),
             });
         }
-        if nominal_leakage.iter().any(|&i| !(i >= 0.0) || !i.is_finite()) {
+        if nominal_leakage.iter().any(|&i| i < 0.0 || !i.is_finite()) {
             return Err(VariationError::InvalidSpec {
                 reason: "nominal leakage currents must be non-negative and finite".to_string(),
             });
@@ -224,14 +224,13 @@ impl LeakageModel {
             region_coeffs.push(coeffs);
         }
         let mut out = vec![vec![0.0; n]; size];
-        for node in 0..n {
+        for (node, &i0) in self.nominal_leakage.iter().enumerate() {
             let r = self.region_of_node[node];
-            let i0 = self.nominal_leakage[node];
             if i0 == 0.0 {
                 continue;
             }
-            for j in 0..size {
-                out[j][node] = i0 * region_coeffs[r][j];
+            for (row, coeff) in out.iter_mut().zip(&region_coeffs[r]) {
+                row[node] = i0 * coeff;
             }
         }
         Ok(out)

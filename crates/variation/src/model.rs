@@ -471,9 +471,7 @@ mod tests {
         let m = small_model();
         let sigma_l = VariationSpec::paper_defaults().sigma_channel_length();
         let cc_total: f64 = m.capacitance_perturbation(1).diagonal().iter().sum();
-        let gate_total = m
-            .grid()
-            .capacitance_of_class(CapacitorClass::Gate);
+        let gate_total = m.grid().capacitance_of_class(CapacitorClass::Gate);
         assert!((cc_total - sigma_l * gate_total).abs() < 1e-12 * gate_total.max(1e-30));
     }
 
@@ -549,9 +547,13 @@ mod tests {
         // their sum equals the single ξ_G perturbation matrix.
         let mut sum = intra.conductance_perturbation(0).clone();
         for r in 1..regions {
-            sum = sum.add_scaled(intra.conductance_perturbation(r), 1.0).unwrap();
+            sum = sum
+                .add_scaled(intra.conductance_perturbation(r), 1.0)
+                .unwrap();
         }
-        let diff = sum.add_scaled(inter.conductance_perturbation(0), -1.0).unwrap();
+        let diff = sum
+            .add_scaled(inter.conductance_perturbation(0), -1.0)
+            .unwrap();
         assert!(diff.frobenius_norm() < 1e-10 * sum.frobenius_norm());
         // Per-region sampling only perturbs entries owned by that region's nodes.
         let g_r0 = intra.sample_conductance(&[1.0, 0.0, 0.0, 0.0]).unwrap();

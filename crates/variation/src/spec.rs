@@ -90,7 +90,7 @@ impl VariationSpec {
             ("thickness_3sigma", self.thickness_3sigma),
             ("channel_length_3sigma", self.channel_length_3sigma),
         ] {
-            if !(v >= 0.0) || !v.is_finite() {
+            if v < 0.0 || !v.is_finite() {
                 return Err(VariationError::InvalidSpec {
                     reason: format!("{name} must be non-negative and finite, got {v}"),
                 });

@@ -59,8 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.monte_carlo_seconds, report.opera_seconds, report.speedup
     );
 
-    println!("\n--- drop distribution at node {} (Figure 1/2) ---------------",
-        report.distribution.node);
+    println!(
+        "\n--- drop distribution at node {} (Figure 1/2) ---------------",
+        report.distribution.node
+    );
     println!("{:>12} | {:>10} | {:>10}", "drop %VDD", "OPERA %", "MC %");
     let centers = report.distribution.opera.centers();
     let opera_pct = report.distribution.opera.percentages();

@@ -22,7 +22,11 @@ use opera_variation::LeakageModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = GridSpec::industrial(1_500).with_seed(3).build()?;
-    println!("grid: {} nodes, VDD = {:.2} V", grid.node_count(), grid.vdd());
+    println!(
+        "grid: {} nodes, VDD = {:.2} V",
+        grid.node_count(),
+        grid.vdd()
+    );
 
     // Two intra-die regions; σ(Vth) = 40 mV; leakage sensitivity 23 / V
     // (≈ ln 10 / 100 mV-per-decade subthreshold slope). Median leakage of

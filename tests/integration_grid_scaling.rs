@@ -8,7 +8,10 @@ use opera_sparse::{cg, CholeskyFactor, OrderingChoice};
 #[test]
 fn generated_grids_scale_and_stay_solvable() {
     for &target in &[200usize, 800, 2_000] {
-        let grid = GridSpec::industrial(target).with_seed(target as u64).build().unwrap();
+        let grid = GridSpec::industrial(target)
+            .with_seed(target as u64)
+            .build()
+            .unwrap();
         grid.validate_connectivity().unwrap();
         let n = grid.node_count();
         assert!(

@@ -1,0 +1,125 @@
+//! Workspace smoke test: the end-to-end experiment driver runs on a tiny
+//! configuration, and the parallel Monte Carlo path is statistics-identical
+//! to the serial path for a fixed seed (with a wall-clock sanity check on
+//! multi-core machines).
+
+use std::time::Instant;
+
+use opera::analysis::{run_experiment, ExperimentConfig};
+use opera::monte_carlo::{run as run_monte_carlo, run_leakage, MonteCarloOptions};
+use opera::special_case::{solve_leakage, SpecialCaseOptions};
+use opera::transient::TransientOptions;
+use opera::Parallelism;
+use opera_grid::GridSpec;
+use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
+
+#[test]
+fn quick_demo_experiment_runs_end_to_end() {
+    let report = run_experiment(&ExperimentConfig::quick_demo(150)).unwrap();
+    assert!(report.node_count >= 100);
+    assert!(report.opera.max_three_sigma_percent_of_nominal > 0.0);
+    assert!(report.errors.avg_mean_error_percent < 1.0);
+    assert!(report.monte_carlo_seconds > 0.0);
+    assert_eq!(report.mc_samples, 40);
+    assert_eq!(
+        report.distribution.opera.edges(),
+        report.distribution.monte_carlo.edges()
+    );
+}
+
+#[test]
+fn parallel_monte_carlo_is_bit_identical_to_serial() {
+    let grid = GridSpec::small_test(120).with_seed(33).build().unwrap();
+    let model = StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults()).unwrap();
+    let mut options = MonteCarloOptions::new(24, 9, TransientOptions::new(0.25e-9, 1.0e-9));
+    options.probe_nodes = vec![0, 5];
+
+    let serial = Parallelism::Serial
+        .install(|| run_monte_carlo(&model, &options))
+        .unwrap()
+        .unwrap();
+    let parallel = Parallelism::Threads(4)
+        .install(|| run_monte_carlo(&model, &options))
+        .unwrap()
+        .unwrap();
+
+    assert_eq!(serial.mean, parallel.mean);
+    assert_eq!(serial.variance, parallel.variance);
+    assert_eq!(serial.probe_traces, parallel.probe_traces);
+    assert_eq!(serial.samples, parallel.samples);
+}
+
+#[test]
+fn parallel_leakage_monte_carlo_and_special_case_are_deterministic() {
+    let grid = GridSpec::small_test(90).with_seed(17).build().unwrap();
+    let leakage = LeakageModel::uniform_slices(grid.node_count(), 2, 3.0e-5, 0.04, 23.0).unwrap();
+    let topts = TransientOptions::new(0.25e-9, 1.0e-9);
+
+    let options = MonteCarloOptions::new(16, 5, topts);
+    let serial = Parallelism::Serial
+        .install(|| run_leakage(&grid, &leakage, &options))
+        .unwrap()
+        .unwrap();
+    let parallel = Parallelism::Threads(3)
+        .install(|| run_leakage(&grid, &leakage, &options))
+        .unwrap()
+        .unwrap();
+    assert_eq!(serial.mean, parallel.mean);
+    assert_eq!(serial.variance, parallel.variance);
+
+    // The special case's N + 1 solves are deterministic, so serial and
+    // parallel coefficient sets must coincide exactly too.
+    let sc_options = SpecialCaseOptions::order2(topts);
+    let sc_serial = Parallelism::Serial
+        .install(|| solve_leakage(&grid, &leakage, &sc_options))
+        .unwrap()
+        .unwrap();
+    let sc_parallel = Parallelism::Threads(3)
+        .install(|| solve_leakage(&grid, &leakage, &sc_options))
+        .unwrap()
+        .unwrap();
+    let (node, k, _) = sc_serial.worst_mean_drop(grid.vdd());
+    assert_eq!(sc_serial.mean_at(k, node), sc_parallel.mean_at(k, node));
+    assert_eq!(
+        sc_serial.std_dev_at(k, node),
+        sc_parallel.std_dev_at(k, node)
+    );
+}
+
+#[test]
+fn parallel_monte_carlo_speeds_up_on_multicore_machines() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let grid = GridSpec::small_test(220).with_seed(3).build().unwrap();
+    let model = StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults()).unwrap();
+    let options = MonteCarloOptions::new(32, 7, TransientOptions::new(0.1e-9, 2.0e-9));
+
+    let t0 = Instant::now();
+    let serial = Parallelism::Serial
+        .install(|| run_monte_carlo(&model, &options))
+        .unwrap()
+        .unwrap();
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = Parallelism::Max
+        .install(|| run_monte_carlo(&model, &options))
+        .unwrap()
+        .unwrap();
+    let parallel_secs = t1.elapsed().as_secs_f64();
+
+    assert_eq!(serial.mean, parallel.mean);
+    let ratio = serial_secs / parallel_secs.max(1e-9);
+    println!(
+        "monte carlo wall-clock: serial {serial_secs:.3}s, \
+         parallel({cores} cores) {parallel_secs:.3}s, speedup {ratio:.2}x"
+    );
+    // Only assert a real speedup where one is physically possible; wall-clock
+    // thresholds on loaded single-core CI boxes would be noise.
+    if cores >= 4 {
+        assert!(
+            ratio > 1.3,
+            "expected parallel Monte Carlo to be faster on {cores} cores \
+             (serial {serial_secs:.3}s vs parallel {parallel_secs:.3}s)"
+        );
+    }
+}

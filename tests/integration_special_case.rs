@@ -44,15 +44,7 @@ fn higher_order_expansion_captures_the_lognormal_tail_better() {
 
     let mut variances = Vec::new();
     for order in 1..=3u32 {
-        let sol = solve_leakage(
-            &grid,
-            &leakage,
-            &SpecialCaseOptions {
-                order,
-                transient,
-            },
-        )
-        .unwrap();
+        let sol = solve_leakage(&grid, &leakage, &SpecialCaseOptions { order, transient }).unwrap();
         let (node, k, _) = sol.worst_mean_drop(grid.vdd());
         variances.push(sol.variance_at(k, node));
     }

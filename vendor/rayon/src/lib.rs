@@ -1,0 +1,378 @@
+//! Offline, API-compatible subset of the [`rayon`](https://crates.io/crates/rayon)
+//! data-parallelism crate, providing the surface the OPERA workspace uses:
+//!
+//! * `prelude::*` with [`IntoParallelIterator`] and [`ParallelIterator`]
+//!   (`into_par_iter().map(..).collect()`, `for_each`, `sum`),
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] to bound the worker
+//!   count (the `Parallelism` knob threads through this),
+//! * [`current_num_threads`].
+//!
+//! The build environment has no crate-registry access, so the workspace
+//! vendors this minimal implementation. Unlike real rayon there is no
+//! work-stealing pool: each parallel call splits its items into contiguous
+//! chunks and runs them on `std::thread::scope` threads. For the coarse
+//! per-sample / per-coefficient work OPERA parallelizes (each item is a full
+//! transient solve, i.e. milliseconds to seconds), chunked scoped threads
+//! capture essentially all of the available speedup.
+
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Worker budget installed by [`ThreadPool::install`] on this thread.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel calls on this thread will use.
+///
+/// This is the installed pool size if inside [`ThreadPool::install`],
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Error building a thread pool (kept for API compatibility; the shim's
+/// builder cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with a bounded worker count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Bounds the number of worker threads (`0` means "use all cores", as in
+    /// real rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            }),
+        })
+    }
+}
+
+/// A bounded-width scope for parallel calls.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op`; parallel iterator calls made inside it use at most this
+    /// pool's worker count. The previous width is restored even if `op`
+    /// panics.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        let _guard = RestoreWidth(prev);
+        op()
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Restores the caller's installed width on drop (unwind-safe).
+struct RestoreWidth(Option<usize>);
+
+impl Drop for RestoreWidth {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|t| t.set(self.0));
+    }
+}
+
+/// Runs `f` over the items on up to [`current_num_threads`] scoped threads,
+/// preserving item order in the output. Worker threads run with an installed
+/// width of 1, so parallel calls nested inside `f` stay bounded instead of
+/// fanning out to full machine width.
+fn run_chunked<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads().max(1);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    INSTALLED_THREADS.with(|t| t.set(Some(1)));
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator over owned items.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize>;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel slice shorthand (`slice.par_iter()`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over references to the elements.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        self.into_par_iter()
+    }
+}
+
+/// The parallel iterator interface (map/collect/for_each/sum subset).
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Consumes the iterator into its items (implementation hook).
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> MapIter<Self::Item, F> {
+        MapIter {
+            items: self.into_items(),
+            f,
+        }
+    }
+
+    /// Runs `f` on each item in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        run_chunked(self.into_items(), &|item| f(item));
+    }
+
+    /// Collects the items, preserving order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter_vec(self.into_items())
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.into_items().into_iter().sum()
+    }
+
+    /// Reduces with `op` starting from `identity` (sequential fold over the
+    /// parallel-computed items; associative `op` gives rayon-equivalent
+    /// results).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.into_items().into_iter().fold(identity(), op)
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A mapped parallel iterator; the map runs on worker threads when the chain
+/// is consumed.
+pub struct MapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for MapIter<T, F> {
+    type Item = R;
+    fn into_items(self) -> Vec<R> {
+        run_chunked(self.items, &self.f)
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the ordered item vector.
+    fn from_par_iter_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_err() {
+        let ok: Result<Vec<usize>, String> = (0..10usize).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<usize>, String> = (0..10usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 7 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn install_bounds_and_restores_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 2);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn install_restores_width_after_a_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let before = current_num_threads();
+        let caught = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn nested_parallelism_is_bounded_on_worker_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let widths: Vec<usize> = pool.install(|| {
+            (0..4usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        for w in widths {
+            assert_eq!(w, 1, "worker threads must not fan out to machine width");
+        }
+    }
+
+    #[test]
+    fn parallel_results_match_serial_for_fixed_input() {
+        let serial: Vec<f64> = (0..257usize).map(|i| (i as f64).sqrt()).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let parallel: Vec<f64> = pool.install(|| {
+            (0..257usize)
+                .into_par_iter()
+                .map(|i| (i as f64).sqrt())
+                .collect()
+        });
+        assert_eq!(serial, parallel);
+    }
+}
