@@ -15,6 +15,7 @@ use opera_variation::{StochasticGridModel, VariationSpec};
 
 fn bench_distribution(c: &mut Criterion) {
     let grid = GridSpec::paper_grid(0)
+        .expect("paper grid index")
         .scaled_nodes(0.02)
         .with_seed(2)
         .build()
@@ -27,10 +28,8 @@ fn bench_distribution(c: &mut Criterion) {
     let mc = run_monte_carlo(
         &model,
         &MonteCarloOptions {
-            samples: 50,
-            seed: 5,
-            transient,
             probe_nodes: vec![node],
+            ..MonteCarloOptions::new(50, 5, transient)
         },
     )
     .expect("monte carlo");

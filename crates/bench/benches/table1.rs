@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
+use opera::engine::OperaEngine;
 use opera::monte_carlo::{run as run_monte_carlo, MonteCarloOptions};
 use opera::stochastic::{solve, OperaOptions};
 use opera::transient::TransientOptions;
@@ -16,6 +17,7 @@ use opera_variation::{StochasticGridModel, VariationSpec};
 
 fn bench_table1(c: &mut Criterion) {
     let grid = GridSpec::paper_grid(0)
+        .expect("paper grid index")
         .scaled_nodes(0.03) // ≈ 575 nodes so the bench stays in seconds
         .with_seed(1)
         .build()
@@ -44,6 +46,17 @@ fn bench_table1(c: &mut Criterion) {
             },
             BatchSize::LargeInput,
         )
+    });
+
+    // The engine amortises assembly + factorisation across solves: this
+    // measures the marginal per-scenario cost of the setup-once shape.
+    let engine = OperaEngine::for_model(model.clone())
+        .time_step(transient.time_step)
+        .end_time(transient.end_time)
+        .build()
+        .expect("engine build");
+    group.bench_function("engine_solve_amortised", |b| {
+        b.iter(|| engine.solve().expect("engine solve"))
     });
 
     group.finish();

@@ -1,7 +1,8 @@
 //! Runs the complete (scaled) experiment suite in one go and prints every
 //! result recorded in EXPERIMENTS.md: the Table 1 reproduction, the
-//! Figure 1/2 distributions, the order/variable ablation and the special
-//! case of Section 5.1.
+//! Figure 1/2 distributions, the order/variable ablation, the special case
+//! of Section 5.1 and a batched scenario sweep served by one long-lived
+//! [`OperaEngine`] (setup-once/solve-many).
 //!
 //! ```text
 //! cargo run --release -p opera-bench --bin experiments_report
@@ -9,6 +10,7 @@
 
 use opera::analysis::run_experiment;
 use opera::compare::compare;
+use opera::engine::{OperaEngine, Scenario};
 use opera::monte_carlo::{run as run_monte_carlo, run_leakage, MonteCarloOptions};
 use opera::special_case::{solve_leakage, SpecialCaseOptions};
 use opera::stochastic::{solve, OperaOptions};
@@ -30,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", table1_header());
     let mut first_report = None;
     for row in 0..7 {
-        let report = run_experiment(&table1_config(row, scale, samples, parallelism))?;
+        let report = run_experiment(&table1_config(row, scale, samples, parallelism)?)?;
         println!("{}", table1_row_line(&report));
         if row == 0 {
             first_report = Some(report);
@@ -128,6 +130,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         opera_secs,
         mc_secs,
         mc_secs / opera_secs
+    );
+
+    // ------------------------------------------------ Batched scenario sweep
+    println!("\n==== Experiment 5: batched scenario sweep on one OperaEngine ====");
+    let base = table1_config(0, scale, samples, parallelism)?;
+    let engine = OperaEngine::from_config(&base)?;
+    println!(
+        "engine: {} nodes, {} basis functions, solver {}, setup {:.2} s",
+        engine.node_count(),
+        engine.basis_size(),
+        engine.solver().name(),
+        engine.setup_seconds()
+    );
+    let scenarios = [
+        Scenario::named("light (0.75x currents)").with_current_scale(0.75),
+        Scenario::named("nominal"),
+        Scenario::named("heavy (1.25x currents)").with_current_scale(1.25),
+        Scenario::named("surge (1.5x currents)").with_current_scale(1.5),
+    ];
+    let reports = engine.run_batch(&scenarios)?;
+    println!(
+        "{:<26} {:>11} {:>9} {:>11} {:>10} {:>10}",
+        "scenario", "drop (mV)", "σ (mV)", "µ err %VDD", "OPERA (s)", "MC (s)"
+    );
+    for r in &reports {
+        println!(
+            "{:<26} {:>11.2} {:>9.3} {:>11.4} {:>10.3} {:>10.2}",
+            r.label,
+            1e3 * r.report.opera.worst_mean_drop,
+            1e3 * r.report.opera.sigma_at_worst,
+            r.report.errors.avg_mean_error_percent,
+            r.report.opera_seconds,
+            r.report.monte_carlo_seconds
+        );
+    }
+    println!(
+        "{} scenarios served by {} assembly and {} factorisation(s); \
+         per-scenario OPERA cost excludes the shared {:.2} s setup",
+        reports.len(),
+        engine.assembly_count(),
+        engine.factorization_count(),
+        engine.setup_seconds()
     );
     Ok(())
 }

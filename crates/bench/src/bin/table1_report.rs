@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parallelism = parallelism_from_env();
     println!("{}", table1_header());
     for row in rows {
-        let config = table1_config(row, scale, samples, parallelism);
+        let config = table1_config(row, scale, samples, parallelism)?;
         let report = run_experiment(&config)?;
         println!("{}", table1_row_line(&report));
     }

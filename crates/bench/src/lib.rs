@@ -63,20 +63,25 @@ pub fn parallelism_from_env() -> Parallelism {
 /// Pass [`parallelism_from_env`] to honour the `OPERA_BENCH_THREADS`
 /// setting; the environment is deliberately not read here so the function's
 /// inputs stay explicit.
+///
+/// # Errors
+///
+/// Returns [`opera::OperaError::InvalidOptions`] for rows outside the
+/// paper's seven grids.
 pub fn table1_config(
     row: usize,
     scale: f64,
     mc_samples: usize,
     parallelism: Parallelism,
-) -> ExperimentConfig {
+) -> Result<ExperimentConfig, opera::OperaError> {
     let config = if (scale - 1.0).abs() < f64::EPSILON {
-        let mut config = ExperimentConfig::table1_row(row);
+        let mut config = ExperimentConfig::table1_row(row)?;
         config.mc_samples = mc_samples;
         config
     } else {
-        ExperimentConfig::table1_row_scaled(row, scale, mc_samples)
+        ExperimentConfig::table1_row_scaled(row, scale, mc_samples)?
     };
-    config.with_parallelism(parallelism)
+    Ok(config.with_parallelism(parallelism))
 }
 
 /// Formats the header of the Table 1 reproduction.
@@ -147,12 +152,13 @@ mod tests {
 
     #[test]
     fn table1_config_honours_scale() {
-        let scaled = table1_config(0, 0.1, 50, Parallelism::Serial);
+        let scaled = table1_config(0, 0.1, 50, Parallelism::Serial).unwrap();
         assert_eq!(scaled.parallelism, Parallelism::Serial);
         assert_eq!(scaled.mc_samples, 50);
         assert!(scaled.grid_spec.target_nodes < 3_000);
-        let full = table1_config(0, 1.0, 1000, Parallelism::Max);
+        let full = table1_config(0, 1.0, 1000, Parallelism::Max).unwrap();
         assert_eq!(full.grid_spec.target_nodes, 19_181);
+        assert!(table1_config(9, 0.1, 50, Parallelism::Max).is_err());
     }
 
     #[test]

@@ -1,24 +1,28 @@
 //! End-to-end experiment drivers.
 //!
-//! [`run_experiment`] reproduces one row of the paper's Table 1: it builds a
-//! synthetic grid, runs OPERA and the Monte Carlo baseline with the same
-//! transient configuration, and reports accuracy, ±3σ spread, wall-clock
-//! times and the speed-up. [`probe_distributions`] additionally produces the
-//! histograms of Figures 1–2 for the node with the worst voltage drop.
+//! [`ExperimentConfig`] is a thin, validated front end over the
+//! [`OperaEngine`]: [`run_experiment`] builds an
+//! engine from the configuration and runs one baseline
+//! [`Scenario`] through it, reproducing one row of
+//! the paper's Table 1 (accuracy, ±3σ spread, wall-clock times, speed-up)
+//! plus the Figure 1–2 distributions. For serving many scenarios against one
+//! grid, build the engine once and use
+//! [`run_batch`](crate::engine::OperaEngine::run_batch) instead — the
+//! assembly and factorisation are then shared across all of them.
 
-use std::time::Instant;
-
-use opera_grid::{GridSpec, PowerGrid};
+use opera_grid::{GridSpec, PAPER_GRID_NODE_COUNTS};
 use opera_pce::sampling;
-use opera_variation::{StochasticGridModel, VariationSpec};
+use opera_variation::VariationSpec;
 
-use crate::compare::{compare, AccuracySummary};
-use crate::monte_carlo::{run as run_monte_carlo, MonteCarloOptions, MonteCarloResult};
+use crate::compare::AccuracySummary;
+use crate::engine::{OperaEngine, Scenario};
+use crate::monte_carlo::MonteCarloResult;
 use crate::parallel::Parallelism;
-use crate::response::{drop_summary, drops_as_percent_of_vdd, DropSummary, Histogram};
-use crate::stochastic::{solve, OperaOptions, StochasticSolution};
-use crate::transient::{solve_transient, TransientOptions};
-use crate::Result;
+use crate::response::{drops_as_percent_of_vdd, DropSummary, Histogram};
+use crate::solver::{backend_by_name, BLOCK_JACOBI_CG, DIRECT_CHOLESKY};
+use crate::stochastic::StochasticSolution;
+use crate::transient::TransientOptions;
+use crate::{OperaError, Result};
 
 /// Configuration of one OPERA-vs-Monte-Carlo experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,10 +43,11 @@ pub struct ExperimentConfig {
     pub mc_seed: u64,
     /// Number of histogram bins for the distribution figures.
     pub histogram_bins: usize,
-    /// Use the block-preconditioned CG solver for the augmented system
-    /// instead of the direct factorisation — recommended for large grids
-    /// (the paper's §5.2 remark on iterative block solvers).
-    pub iterative_solver: bool,
+    /// Registered name of the solver backend for the augmented system (see
+    /// [`crate::solver::available_backends`]). The block-preconditioned CG
+    /// backend is recommended for large grids (the paper's §5.2 remark on
+    /// iterative block solvers).
+    pub solver: String,
     /// Worker-thread budget for the Monte Carlo baseline. Statistics are
     /// bit-identical for every setting (per-sample RNG streams, ordered
     /// accumulation); only wall-clock time changes.
@@ -53,12 +58,21 @@ impl ExperimentConfig {
     /// A configuration mirroring one row of Table 1 at full scale: paper grid
     /// `index` (0-based), order-2 expansion, 1000 Monte Carlo samples.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index >= 7`.
-    pub fn table1_row(index: usize) -> Self {
-        ExperimentConfig {
-            grid_spec: GridSpec::paper_grid(index),
+    /// Returns [`OperaError::InvalidOptions`] if `index` is not one of the
+    /// paper's seven grids.
+    pub fn table1_row(index: usize) -> Result<Self> {
+        if index >= PAPER_GRID_NODE_COUNTS.len() {
+            return Err(OperaError::InvalidOptions {
+                reason: format!(
+                    "Table 1 has {} rows, got index {index}",
+                    PAPER_GRID_NODE_COUNTS.len()
+                ),
+            });
+        }
+        Ok(ExperimentConfig {
+            grid_spec: GridSpec::paper_grid(index)?,
             variation: VariationSpec::paper_defaults(),
             order: 2,
             mc_samples: 1000,
@@ -66,23 +80,24 @@ impl ExperimentConfig {
             end_time: None,
             mc_seed: 42 + index as u64,
             histogram_bins: 30,
-            iterative_solver: true,
+            solver: BLOCK_JACOBI_CG.to_string(),
             parallelism: Parallelism::Max,
-        }
+        })
     }
 
     /// The same experiment with the grid size and sample count scaled down so
     /// it finishes quickly on a laptop (`scale` ≤ 1 scales the node count,
     /// `samples` overrides the Monte Carlo sample count).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index >= 7`.
-    pub fn table1_row_scaled(index: usize, scale: f64, samples: usize) -> Self {
-        let mut config = ExperimentConfig::table1_row(index);
+    /// Returns [`OperaError::InvalidOptions`] if `index` is not one of the
+    /// paper's seven grids.
+    pub fn table1_row_scaled(index: usize, scale: f64, samples: usize) -> Result<Self> {
+        let mut config = ExperimentConfig::table1_row(index)?;
         config.grid_spec = config.grid_spec.scaled_nodes(scale);
         config.mc_samples = samples;
-        config
+        Ok(config)
     }
 
     /// A deliberately tiny configuration for doc-tests and smoke tests.
@@ -96,7 +111,7 @@ impl ExperimentConfig {
             end_time: Some(1.0e-9),
             mc_seed: 7,
             histogram_bins: 12,
-            iterative_solver: false,
+            solver: DIRECT_CHOLESKY.to_string(),
             parallelism: Parallelism::Max,
         }
     }
@@ -107,11 +122,44 @@ impl ExperimentConfig {
         self
     }
 
-    fn transient_options(&self, grid: &PowerGrid) -> TransientOptions {
-        let end = self
-            .end_time
-            .unwrap_or_else(|| grid.waveform_end_time().max(self.time_step));
-        TransientOptions::new(self.time_step, end)
+    /// Returns the same configuration with a different solver backend name.
+    pub fn with_solver(mut self, name: &str) -> Self {
+        self.solver = name.to_string();
+        self
+    }
+
+    /// Validates the configuration without building anything: expansion
+    /// order, sample and bin counts, solver-backend name and transient
+    /// settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] describing the first problem.
+    pub fn validate(&self) -> Result<()> {
+        if self.order == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "expansion order must be at least 1".to_string(),
+            });
+        }
+        if self.mc_samples == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "mc_samples must be at least 1".to_string(),
+            });
+        }
+        if self.histogram_bins == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "histogram_bins must be at least 1".to_string(),
+            });
+        }
+        backend_by_name(&self.solver)?.validate()?;
+        match self.end_time {
+            // The full transient contract (finite positive step/end, step not
+            // exceeding the horizon) lives in TransientOptions::validate.
+            Some(end) => TransientOptions::new(self.time_step, end).validate(),
+            // Without an explicit end time the horizon comes from the grid's
+            // waveform at engine-build time; only the step can be checked.
+            None => TransientOptions::new(self.time_step, f64::MAX).validate(),
+        }
     }
 }
 
@@ -139,7 +187,11 @@ pub struct ExperimentReport {
     pub opera: DropSummary,
     /// OPERA-vs-Monte-Carlo accuracy (the µ and σ error columns).
     pub errors: AccuracySummary,
-    /// Wall-clock seconds of the OPERA analysis (assembly + solve).
+    /// Wall-clock seconds of the OPERA analysis. For [`run_experiment`] this
+    /// covers assembly + factorisation + solve; for
+    /// [`run_batch`](crate::engine::OperaEngine::run_batch) reports it covers
+    /// the solve only (setup is shared, see
+    /// [`OperaEngine::setup_seconds`](crate::engine::OperaEngine::setup_seconds)).
     pub opera_seconds: f64,
     /// Wall-clock seconds of the Monte Carlo baseline.
     pub monte_carlo_seconds: f64,
@@ -151,75 +203,27 @@ pub struct ExperimentReport {
     pub distribution: ProbeDistribution,
 }
 
-/// Runs a full OPERA-vs-Monte-Carlo experiment.
+/// Runs a full OPERA-vs-Monte-Carlo experiment: builds an
+/// [`OperaEngine`] from the configuration and
+/// runs the baseline scenario through it. The reported `opera_seconds`
+/// includes the engine setup (assembly + factorisation), matching the
+/// paper's cost accounting for a single one-shot analysis.
 ///
 /// # Errors
 ///
-/// Propagates grid-generation, assembly and solver errors.
+/// Propagates configuration-validation, grid-generation, assembly and solver
+/// errors.
 pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentReport> {
-    let grid = config.grid_spec.build()?;
-    let model = StochasticGridModel::inter_die(&grid, &config.variation)?;
-    let topts = config.transient_options(&grid);
-
-    // --- OPERA (timed).
-    let mut opera_options = OperaOptions::with_order(config.order, topts);
-    if config.iterative_solver {
-        opera_options = opera_options.with_iterative_solver();
-    }
-    let t0 = Instant::now();
-    let opera_solution = solve(&model, &opera_options)?;
-    let opera_seconds = t0.elapsed().as_secs_f64();
-
-    // Probe node: worst mean drop of the OPERA solution.
-    let (probe_node, probe_time, _) = opera_solution.worst_mean_drop(grid.vdd());
-
-    // --- Monte Carlo (timed).
-    let mc_options = MonteCarloOptions {
-        samples: config.mc_samples,
-        seed: config.mc_seed,
-        transient: topts,
-        probe_nodes: vec![probe_node],
+    let engine = OperaEngine::from_config(config)?;
+    let scenario_report = engine.run_scenario(&Scenario::default())?;
+    let mut report = scenario_report.report;
+    report.opera_seconds += engine.setup_seconds();
+    report.speedup = if report.opera_seconds > 0.0 {
+        report.monte_carlo_seconds / report.opera_seconds
+    } else {
+        f64::INFINITY
     };
-    let t1 = Instant::now();
-    let mc_result = config
-        .parallelism
-        .install(|| run_monte_carlo(&model, &mc_options))??;
-    let monte_carlo_seconds = t1.elapsed().as_secs_f64();
-
-    // --- Nominal (no-variation) transient for the µ₀ reference.
-    let nominal = solve_transient(
-        &grid.conductance_matrix(),
-        &grid.capacitance_matrix(),
-        |t| grid.excitation(t),
-        &topts,
-    )?;
-
-    let summary = drop_summary(&opera_solution, grid.vdd(), Some(&nominal));
-    let errors = compare(&opera_solution, &mc_result, grid.vdd());
-    let distribution = probe_distributions(
-        &opera_solution,
-        &mc_result,
-        grid.vdd(),
-        probe_node,
-        probe_time,
-        config.histogram_bins,
-        config.mc_seed ^ 0x5eed,
-    )?;
-
-    Ok(ExperimentReport {
-        node_count: grid.node_count(),
-        opera: summary,
-        errors,
-        opera_seconds,
-        monte_carlo_seconds,
-        speedup: if opera_seconds > 0.0 {
-            monte_carlo_seconds / opera_seconds
-        } else {
-            f64::INFINITY
-        },
-        mc_samples: config.mc_samples,
-        distribution,
-    })
+    Ok(report)
 }
 
 /// Builds the OPERA and Monte Carlo drop histograms at a probe node/time
@@ -310,9 +314,54 @@ mod tests {
 
     #[test]
     fn table1_row_scaled_shrinks_the_grid() {
-        let config = ExperimentConfig::table1_row_scaled(0, 0.05, 25);
+        let config = ExperimentConfig::table1_row_scaled(0, 0.05, 25).unwrap();
         assert_eq!(config.mc_samples, 25);
         assert!(config.grid_spec.target_nodes < 1_000);
-        assert_eq!(ExperimentConfig::table1_row(3).mc_samples, 1000);
+        assert_eq!(ExperimentConfig::table1_row(3).unwrap().mc_samples, 1000);
+    }
+
+    #[test]
+    fn out_of_range_table1_rows_are_errors_not_panics() {
+        assert!(matches!(
+            ExperimentConfig::table1_row(7),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+        assert!(matches!(
+            ExperimentConfig::table1_row_scaled(99, 0.1, 10),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_configs_fail_validation_with_clear_errors() {
+        let ok = ExperimentConfig::quick_demo(100);
+        assert!(ok.validate().is_ok());
+
+        let mut bad = ok.clone();
+        bad.mc_samples = 0;
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("mc_samples"), "{err}");
+
+        let mut bad = ok.clone();
+        bad.histogram_bins = 0;
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("histogram_bins"), "{err}");
+
+        let mut bad = ok.clone();
+        bad.solver = "warp-drive".to_string();
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("warp-drive"), "{err}");
+
+        let mut bad = ok.clone();
+        bad.end_time = Some(f64::NAN);
+        assert!(bad.validate().is_err());
+
+        let mut bad = ok.clone();
+        bad.end_time = Some(0.5 * bad.time_step);
+        assert!(bad.validate().is_err(), "step exceeding the horizon");
+
+        let mut bad = ok;
+        bad.order = 0;
+        assert!(bad.validate().is_err());
     }
 }

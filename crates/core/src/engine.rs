@@ -1,0 +1,870 @@
+//! The reusable OPERA session engine: set up once, solve many times.
+//!
+//! The paper's core economics (Eqs. 19–23) are that one Galerkin-augmented
+//! assembly plus one symbolic+numeric factorisation amortise over everything
+//! downstream. [`OperaEngine`] makes that the default shape of the public
+//! API: a typed builder performs grid generation, stochastic-model
+//! construction, Galerkin assembly and the solver preparation exactly once,
+//! and the resulting engine then serves any number of
+//! [scenarios](Scenario) — waveform rescalings, different transient horizons,
+//! Monte Carlo validations — without repeating the setup.
+//!
+//! ```
+//! use opera::engine::{OperaEngine, Scenario};
+//! use opera_grid::GridSpec;
+//! use opera_variation::VariationSpec;
+//!
+//! # fn main() -> Result<(), opera::OperaError> {
+//! let engine = OperaEngine::for_grid(GridSpec::small_test(120))?
+//!     .variation(VariationSpec::paper_defaults())
+//!     .order(2)
+//!     .time_step(0.2e-9)
+//!     .end_time(1.0e-9)
+//!     .build()?;
+//! let solution = engine.solve()?;
+//! let heavy = engine.solve_scenario(&Scenario::named("heavy").with_current_scale(1.25))?;
+//! let (node, k, drop) = solution.worst_mean_drop(engine.grid().vdd());
+//! let (_, _, heavy_drop) = heavy.worst_mean_drop(engine.grid().vdd());
+//! assert!(heavy_drop > drop && drop > 0.0);
+//! // Both solves shared one assembly and one factorisation.
+//! assert_eq!(engine.assembly_count(), 1);
+//! assert_eq!(engine.factorization_count(), 1);
+//! # let _ = (node, k);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use opera_grid::{GridSpec, PowerGrid};
+use opera_pce::OrthogonalBasis;
+use opera_variation::{StochasticGridModel, VariationSpec};
+use rayon::prelude::*;
+
+use crate::analysis::{probe_distributions, ExperimentConfig, ExperimentReport};
+use crate::compare::compare;
+use crate::galerkin::GalerkinSystem;
+use crate::monte_carlo::{run as run_monte_carlo, MonteCarloOptions, MonteCarloResult};
+use crate::parallel::Parallelism;
+use crate::response::drop_summary;
+use crate::solver::{backend_by_name, DirectCholesky, PreparedSolver, SolverBackend};
+use crate::stochastic::{run_prepared, StochasticSolution};
+use crate::transient::{
+    rescale_around_anchor, solve_transient, IntegrationMethod, TransientOptions,
+};
+use crate::{OperaError, Result};
+
+/// One scenario served by a prepared [`OperaEngine`]: overrides of the
+/// engine's defaults that do *not* require re-assembling the Galerkin system.
+///
+/// * `current_scale` rescales all switching (drain) currents around the
+///   quiescent excitation — a pure right-hand-side change that shares the
+///   engine's factorisation.
+/// * `end_time` extends or shortens the transient horizon — more or fewer
+///   steps with the same factors.
+/// * `time_step` changes the companion matrix `G̃ + C̃/h`, so the engine
+///   transparently prepares a fresh factorisation for that scenario (counted
+///   by [`OperaEngine::factorization_count`]); the assembly is still shared.
+/// * `mc_samples` / `mc_seed` only affect the Monte Carlo validation half of
+///   [`OperaEngine::run_scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Label carried through to the [`ScenarioReport`].
+    pub label: String,
+    /// Multiplier applied to the switching currents (`1.0` = as modelled).
+    /// The pad (supply) injection is left untouched: the excitation is scaled
+    /// around its quiescent `t = 0` value.
+    pub current_scale: f64,
+    /// Transient time-step override; `None` uses the engine's step.
+    pub time_step: Option<f64>,
+    /// Transient end-time override; `None` uses the engine's horizon.
+    pub end_time: Option<f64>,
+    /// Monte Carlo sample-count override for [`OperaEngine::run_scenario`].
+    pub mc_samples: Option<usize>,
+    /// Monte Carlo seed override for [`OperaEngine::run_scenario`].
+    pub mc_seed: Option<u64>,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            label: String::new(),
+            current_scale: 1.0,
+            time_step: None,
+            end_time: None,
+            mc_samples: None,
+            mc_seed: None,
+        }
+    }
+}
+
+impl Scenario {
+    /// A default scenario with a label.
+    pub fn named(label: impl Into<String>) -> Self {
+        Scenario {
+            label: label.into(),
+            ..Scenario::default()
+        }
+    }
+
+    /// Sets the switching-current scale.
+    pub fn with_current_scale(mut self, scale: f64) -> Self {
+        self.current_scale = scale;
+        self
+    }
+
+    /// Overrides the transient time step.
+    pub fn with_time_step(mut self, time_step: f64) -> Self {
+        self.time_step = Some(time_step);
+        self
+    }
+
+    /// Overrides the transient end time.
+    pub fn with_end_time(mut self, end_time: f64) -> Self {
+        self.end_time = Some(end_time);
+        self
+    }
+
+    /// Overrides the Monte Carlo sample count.
+    pub fn with_mc_samples(mut self, samples: usize) -> Self {
+        self.mc_samples = Some(samples);
+        self
+    }
+
+    /// Overrides the Monte Carlo seed.
+    pub fn with_mc_seed(mut self, seed: u64) -> Self {
+        self.mc_seed = Some(seed);
+        self
+    }
+}
+
+/// The result of running one [`Scenario`] through
+/// [`OperaEngine::run_scenario`] or [`OperaEngine::run_batch`].
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario's label.
+    pub label: String,
+    /// The switching-current scale the scenario ran at.
+    pub current_scale: f64,
+    /// The full OPERA-vs-Monte-Carlo report. Its `opera_seconds` covers the
+    /// solve only — the engine's one-time setup is amortised across the batch
+    /// and reported by [`OperaEngine::setup_seconds`].
+    pub report: ExperimentReport,
+}
+
+/// Monte Carlo configuration for [`OperaEngine::monte_carlo`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct McConfig {
+    /// Number of samples.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Nodes whose full per-sample traces are recorded.
+    pub probe_nodes: Vec<usize>,
+}
+
+impl McConfig {
+    /// Creates a configuration with no probes.
+    pub fn new(samples: usize, seed: u64) -> Self {
+        McConfig {
+            samples,
+            seed,
+            probe_nodes: Vec::new(),
+        }
+    }
+}
+
+enum ModelSource {
+    Grid {
+        grid: Box<PowerGrid>,
+        variation: VariationSpec,
+    },
+    Model(Box<StochasticGridModel>),
+}
+
+/// Typed builder for [`OperaEngine`]. Obtained from
+/// [`OperaEngine::for_grid`] or [`OperaEngine::for_model`].
+pub struct EngineBuilder {
+    source: ModelSource,
+    order: u32,
+    solver: Arc<dyn SolverBackend>,
+    time_step: f64,
+    end_time: Option<f64>,
+    method: IntegrationMethod,
+    mc_samples: usize,
+    mc_seed: u64,
+    histogram_bins: usize,
+    parallelism: Parallelism,
+}
+
+impl EngineBuilder {
+    fn new(source: ModelSource) -> Self {
+        EngineBuilder {
+            source,
+            order: 2,
+            solver: Arc::new(DirectCholesky),
+            time_step: 0.05e-9,
+            end_time: None,
+            method: IntegrationMethod::BackwardEuler,
+            mc_samples: 200,
+            mc_seed: 42,
+            histogram_bins: 30,
+            parallelism: Parallelism::Max,
+        }
+    }
+
+    /// Sets the process-variation magnitudes (ignored when the builder was
+    /// created from an explicit model via [`OperaEngine::for_model`]).
+    pub fn variation(mut self, variation: VariationSpec) -> Self {
+        if let ModelSource::Grid {
+            variation: ref mut v,
+            ..
+        } = self.source
+        {
+            *v = variation;
+        }
+        self
+    }
+
+    /// Sets the truncation order of the polynomial-chaos expansion.
+    pub fn order(mut self, order: u32) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the solver backend for the augmented system.
+    pub fn solver(mut self, solver: Arc<dyn SolverBackend>) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Sets the solver backend by registered name (see
+    /// [`crate::solver::available_backends`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for unknown backend names.
+    pub fn solver_name(mut self, name: &str) -> Result<Self> {
+        self.solver = backend_by_name(name)?;
+        Ok(self)
+    }
+
+    /// Sets the default transient time step in seconds.
+    pub fn time_step(mut self, time_step: f64) -> Self {
+        self.time_step = time_step;
+        self
+    }
+
+    /// Sets the default transient end time; the default is the grid's
+    /// waveform end time.
+    pub fn end_time(mut self, end_time: f64) -> Self {
+        self.end_time = Some(end_time);
+        self
+    }
+
+    /// Sets the time-integration scheme.
+    pub fn integration_method(mut self, method: IntegrationMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the default Monte Carlo sample count for scenario reports.
+    pub fn mc_samples(mut self, samples: usize) -> Self {
+        self.mc_samples = samples;
+        self
+    }
+
+    /// Sets the default Monte Carlo seed for scenario reports.
+    pub fn mc_seed(mut self, seed: u64) -> Self {
+        self.mc_seed = seed;
+        self
+    }
+
+    /// Sets the number of histogram bins for distribution reports.
+    pub fn histogram_bins(mut self, bins: usize) -> Self {
+        self.histogram_bins = bins;
+        self
+    }
+
+    /// Sets the worker-thread budget for batched scenarios and Monte Carlo.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Performs the one-time setup: stochastic-model construction, Galerkin
+    /// assembly of `G̃`/`C̃` and the solver's symbolic+numeric factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for invalid settings (order 0,
+    /// zero Monte Carlo samples, zero histogram bins, bad transient options)
+    /// and propagates assembly/factorisation errors.
+    pub fn build(self) -> Result<OperaEngine> {
+        if self.order == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "expansion order must be at least 1".to_string(),
+            });
+        }
+        if self.mc_samples == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "Monte Carlo sample count must be at least 1".to_string(),
+            });
+        }
+        if self.histogram_bins == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "histogram bin count must be at least 1".to_string(),
+            });
+        }
+        self.solver.validate()?;
+
+        let started = Instant::now();
+        let model = match self.source {
+            ModelSource::Grid { grid, variation } => {
+                StochasticGridModel::inter_die(&grid, &variation)?
+            }
+            ModelSource::Model(model) => *model,
+        };
+        let end_time = self
+            .end_time
+            .unwrap_or_else(|| model.grid().waveform_end_time().max(self.time_step));
+        let transient = TransientOptions {
+            time_step: self.time_step,
+            end_time,
+            method: self.method,
+        };
+        transient.validate()?;
+
+        let basis =
+            OrthogonalBasis::total_order_mixed(model.families(), model.n_vars(), self.order)?;
+        let system = GalerkinSystem::assemble(&model, &basis)?;
+        let prepared = self.solver.prepare(&model, &system, &transient)?;
+        let setup_seconds = started.elapsed().as_secs_f64();
+
+        Ok(OperaEngine {
+            model,
+            system,
+            solver: self.solver,
+            prepared,
+            transient,
+            mc_samples: self.mc_samples,
+            mc_seed: self.mc_seed,
+            histogram_bins: self.histogram_bins,
+            parallelism: self.parallelism,
+            setup_seconds,
+            assemblies: AtomicUsize::new(1),
+            factorizations: AtomicUsize::new(1),
+        })
+    }
+}
+
+/// A long-lived OPERA session: the generated grid, the stochastic model, the
+/// assembled Galerkin system and the prepared solver factorisation, reusable
+/// across arbitrarily many solves, scenarios and Monte Carlo validations.
+pub struct OperaEngine {
+    model: StochasticGridModel,
+    system: GalerkinSystem,
+    solver: Arc<dyn SolverBackend>,
+    prepared: Box<dyn PreparedSolver>,
+    transient: TransientOptions,
+    mc_samples: usize,
+    mc_seed: u64,
+    histogram_bins: usize,
+    parallelism: Parallelism,
+    setup_seconds: f64,
+    assemblies: AtomicUsize,
+    factorizations: AtomicUsize,
+}
+
+impl fmt::Debug for OperaEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OperaEngine")
+            .field("nodes", &self.node_count())
+            .field("basis_size", &self.basis_size())
+            .field("solver", &self.solver.name())
+            .field("transient", &self.transient)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OperaEngine {
+    /// Starts a builder that will generate the grid from `spec` (the grid is
+    /// elaborated eagerly, so spec errors surface here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid-generation errors.
+    pub fn for_grid(spec: GridSpec) -> Result<EngineBuilder> {
+        let grid = spec.build()?;
+        Ok(EngineBuilder::new(ModelSource::Grid {
+            grid: Box::new(grid),
+            variation: VariationSpec::paper_defaults(),
+        }))
+    }
+
+    /// Starts a builder from an already constructed stochastic model (e.g.
+    /// the three-variable inter-die model or an intra-die model).
+    pub fn for_model(model: StochasticGridModel) -> EngineBuilder {
+        EngineBuilder::new(ModelSource::Model(Box::new(model)))
+    }
+
+    /// Builds an engine from an [`ExperimentConfig`] front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for invalid configurations and
+    /// propagates setup errors.
+    pub fn from_config(config: &ExperimentConfig) -> Result<OperaEngine> {
+        config.validate()?;
+        let mut builder = OperaEngine::for_grid(config.grid_spec.clone())?
+            .variation(config.variation)
+            .order(config.order)
+            .solver_name(&config.solver)?
+            .time_step(config.time_step)
+            .mc_samples(config.mc_samples)
+            .mc_seed(config.mc_seed)
+            .histogram_bins(config.histogram_bins)
+            .parallelism(config.parallelism);
+        if let Some(end_time) = config.end_time {
+            builder = builder.end_time(end_time);
+        }
+        builder.build()
+    }
+
+    /// The power grid the engine was built for.
+    pub fn grid(&self) -> &PowerGrid {
+        self.model.grid()
+    }
+
+    /// The stochastic grid model.
+    pub fn model(&self) -> &StochasticGridModel {
+        &self.model
+    }
+
+    /// The assembled Galerkin system.
+    pub fn system(&self) -> &GalerkinSystem {
+        &self.system
+    }
+
+    /// The solver backend.
+    pub fn solver(&self) -> &dyn SolverBackend {
+        self.solver.as_ref()
+    }
+
+    /// The engine's default transient options.
+    pub fn transient(&self) -> &TransientOptions {
+        &self.transient
+    }
+
+    /// Number of grid nodes.
+    pub fn node_count(&self) -> usize {
+        self.model.node_count()
+    }
+
+    /// Number of basis functions `N + 1`.
+    pub fn basis_size(&self) -> usize {
+        self.system.basis_size()
+    }
+
+    /// Wall-clock seconds of the one-time setup (model construction,
+    /// assembly, factorisation).
+    pub fn setup_seconds(&self) -> f64 {
+        self.setup_seconds
+    }
+
+    /// How many Galerkin assemblies the engine has performed (one at build
+    /// time; scenarios never re-assemble). Test hook for the
+    /// setup-once/solve-many contract.
+    pub fn assembly_count(&self) -> usize {
+        self.assemblies.load(Ordering::Relaxed)
+    }
+
+    /// How many solver preparations (symbolic+numeric factorisations or
+    /// preconditioner setups) the engine has performed: one at build time,
+    /// plus one per scenario that overrides the time step.
+    pub fn factorization_count(&self) -> usize {
+        self.factorizations.load(Ordering::Relaxed)
+    }
+
+    /// Solves the engine's baseline configuration (the default
+    /// [`Scenario`]), reusing the prepared factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn solve(&self) -> Result<StochasticSolution> {
+        self.solve_scenario(&Scenario::default())
+    }
+
+    /// Solves one scenario. Right-hand-side overrides (`current_scale`,
+    /// `end_time`) reuse the engine's factorisation; a `time_step` override
+    /// prepares a fresh factorisation for the scenario but still shares the
+    /// assembled system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for invalid overrides and
+    /// propagates solver errors.
+    pub fn solve_scenario(&self, scenario: &Scenario) -> Result<StochasticSolution> {
+        let transient = self.scenario_transient(scenario)?;
+        let fresh = self.prepare_if_needed(&transient)?;
+        let prepared = fresh.as_deref().unwrap_or(self.prepared.as_ref());
+        let scale = scenario.current_scale;
+        let anchor = (scale != 1.0).then(|| self.system.excitation(&self.model, 0.0));
+        run_prepared(
+            prepared,
+            &self.system,
+            |t| {
+                let mut u = self.system.excitation(&self.model, t);
+                if let Some(u0) = &anchor {
+                    rescale_around_anchor(&mut u, u0, scale);
+                }
+                u
+            },
+            transient.time_points(),
+        )
+    }
+
+    /// Runs the Monte Carlo baseline on the engine's model and default
+    /// transient configuration, on the engine's
+    /// [`Parallelism`] pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for zero samples and propagates
+    /// sampling/factorisation errors.
+    pub fn monte_carlo(&self, config: &McConfig) -> Result<MonteCarloResult> {
+        let options = MonteCarloOptions {
+            samples: config.samples,
+            seed: config.seed,
+            transient: self.transient,
+            probe_nodes: config.probe_nodes.clone(),
+            current_scale: 1.0,
+        };
+        self.parallelism
+            .install(|| run_monte_carlo(&self.model, &options))?
+    }
+
+    /// Runs one scenario end to end — OPERA solve, Monte Carlo validation,
+    /// accuracy comparison and drop distribution — on the engine's pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and sampling errors.
+    pub fn run_scenario(&self, scenario: &Scenario) -> Result<ScenarioReport> {
+        self.parallelism
+            .install(|| self.run_scenario_in_pool(scenario))?
+    }
+
+    /// Runs a batch of independent scenarios, sharing the engine's single
+    /// assembly and factorisation across all of them and distributing the
+    /// scenarios over the engine's [`Parallelism`] pool. Statistics are
+    /// identical to running each scenario alone (solves are deterministic and
+    /// the Monte Carlo accumulation is thread-count neutral). Per-scenario
+    /// wall-clock fields (`opera_seconds`, `monte_carlo_seconds`, `speedup`)
+    /// are measured while the other scenarios run concurrently, so they
+    /// include contention — use [`run_scenario`](Self::run_scenario) when a
+    /// scenario's isolated timing matters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first scenario error.
+    pub fn run_batch(&self, scenarios: &[Scenario]) -> Result<Vec<ScenarioReport>> {
+        self.parallelism.install(|| {
+            scenarios
+                .par_iter()
+                .map(|scenario| self.run_scenario_in_pool(scenario))
+                .collect::<Result<Vec<_>>>()
+        })?
+    }
+
+    fn scenario_transient(&self, scenario: &Scenario) -> Result<TransientOptions> {
+        if !scenario.current_scale.is_finite() || scenario.current_scale < 0.0 {
+            return Err(OperaError::InvalidOptions {
+                reason: format!(
+                    "scenario current_scale must be finite and non-negative, got {}",
+                    scenario.current_scale
+                ),
+            });
+        }
+        let transient = TransientOptions {
+            time_step: scenario.time_step.unwrap_or(self.transient.time_step),
+            end_time: scenario.end_time.unwrap_or(self.transient.end_time),
+            method: self.transient.method,
+        };
+        transient.validate()?;
+        Ok(transient)
+    }
+
+    /// Returns a freshly prepared solver when `transient` is incompatible
+    /// with the engine's prepared factors (different time step), `None` when
+    /// the shared preparation can be reused.
+    fn prepare_if_needed(
+        &self,
+        transient: &TransientOptions,
+    ) -> Result<Option<Box<dyn PreparedSolver>>> {
+        if transient.time_step == self.transient.time_step
+            && transient.method == self.transient.method
+        {
+            return Ok(None);
+        }
+        let prepared = self.solver.prepare(&self.model, &self.system, transient)?;
+        self.factorizations.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(prepared))
+    }
+
+    fn run_scenario_in_pool(&self, scenario: &Scenario) -> Result<ScenarioReport> {
+        let transient = self.scenario_transient(scenario)?;
+        let grid = self.model.grid();
+        let vdd = grid.vdd();
+        let mc_samples = scenario.mc_samples.unwrap_or(self.mc_samples);
+        let mc_seed = scenario.mc_seed.unwrap_or(self.mc_seed);
+
+        // --- OPERA (timed; setup is amortised and reported separately).
+        let t0 = Instant::now();
+        let opera_solution = self.solve_scenario(scenario)?;
+        let opera_seconds = t0.elapsed().as_secs_f64();
+
+        // Probe node: worst mean drop of the OPERA solution.
+        let (probe_node, probe_time, _) = opera_solution.worst_mean_drop(vdd);
+
+        // --- Monte Carlo (timed) on the ambient pool.
+        let mc_options = MonteCarloOptions {
+            samples: mc_samples,
+            seed: mc_seed,
+            transient,
+            probe_nodes: vec![probe_node],
+            current_scale: scenario.current_scale,
+        };
+        let t1 = Instant::now();
+        let mc_result = run_monte_carlo(&self.model, &mc_options)?;
+        let monte_carlo_seconds = t1.elapsed().as_secs_f64();
+
+        // --- Nominal (no-variation) transient for the µ₀ reference, with the
+        // scenario's waveform scaling applied around the quiescent point.
+        let scale = scenario.current_scale;
+        let anchor = (scale != 1.0).then(|| grid.excitation(0.0));
+        let nominal = solve_transient(
+            &grid.conductance_matrix(),
+            &grid.capacitance_matrix(),
+            |t| {
+                let mut u = grid.excitation(t);
+                if let Some(u0) = &anchor {
+                    rescale_around_anchor(&mut u, u0, scale);
+                }
+                u
+            },
+            &transient,
+        )?;
+
+        let summary = drop_summary(&opera_solution, vdd, Some(&nominal));
+        let errors = compare(&opera_solution, &mc_result, vdd);
+        let distribution = probe_distributions(
+            &opera_solution,
+            &mc_result,
+            vdd,
+            probe_node,
+            probe_time,
+            self.histogram_bins,
+            mc_seed ^ 0x5eed,
+        )?;
+
+        Ok(ScenarioReport {
+            label: scenario.label.clone(),
+            current_scale: scale,
+            report: ExperimentReport {
+                node_count: grid.node_count(),
+                opera: summary,
+                errors,
+                opera_seconds,
+                monte_carlo_seconds,
+                speedup: if opera_seconds > 0.0 {
+                    monte_carlo_seconds / opera_seconds
+                } else {
+                    f64::INFINITY
+                },
+                mc_samples,
+                distribution,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::BLOCK_JACOBI_CG;
+
+    fn quick_engine() -> OperaEngine {
+        OperaEngine::for_grid(GridSpec::small_test(110))
+            .unwrap()
+            .variation(VariationSpec::paper_defaults())
+            .time_step(0.25e-9)
+            .end_time(1.0e-9)
+            .mc_samples(20)
+            .mc_seed(7)
+            .histogram_bins(10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_invalid_settings() {
+        let builder = |f: fn(EngineBuilder) -> EngineBuilder| {
+            f(OperaEngine::for_grid(GridSpec::small_test(80)).unwrap()).build()
+        };
+        assert!(matches!(
+            builder(|b| b.order(0)),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+        assert!(matches!(
+            builder(|b| b.mc_samples(0)),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+        assert!(matches!(
+            builder(|b| b.histogram_bins(0)),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+        assert!(matches!(
+            builder(|b| b.time_step(-1.0)),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+        assert!(OperaEngine::for_grid(GridSpec::small_test(80))
+            .unwrap()
+            .solver_name("no-such-backend")
+            .is_err());
+    }
+
+    #[test]
+    fn scenario_overrides_share_or_refresh_the_factorisation() {
+        let engine = quick_engine();
+        assert_eq!(engine.assembly_count(), 1);
+        assert_eq!(engine.factorization_count(), 1);
+
+        // RHS-only overrides reuse the factors.
+        engine.solve().unwrap();
+        engine
+            .solve_scenario(&Scenario::default().with_current_scale(1.5))
+            .unwrap();
+        engine
+            .solve_scenario(&Scenario::default().with_end_time(0.5e-9))
+            .unwrap();
+        assert_eq!(engine.factorization_count(), 1);
+
+        // A time-step override needs a fresh companion factorisation, but
+        // never a re-assembly.
+        engine
+            .solve_scenario(&Scenario::default().with_time_step(0.5e-9))
+            .unwrap();
+        assert_eq!(engine.factorization_count(), 2);
+        assert_eq!(engine.assembly_count(), 1);
+    }
+
+    #[test]
+    fn current_scale_one_is_bit_identical_to_the_baseline() {
+        let engine = quick_engine();
+        let base = engine.solve().unwrap();
+        let scaled = engine
+            .solve_scenario(&Scenario::default().with_current_scale(1.0))
+            .unwrap();
+        let k = base.times().len() - 1;
+        for n in 0..base.node_count() {
+            assert_eq!(base.mean_at(k, n), scaled.mean_at(k, n));
+            assert_eq!(base.variance_at(k, n), scaled.variance_at(k, n));
+        }
+    }
+
+    #[test]
+    fn current_scale_scales_the_drop_but_not_the_supply_level() {
+        let engine = quick_engine();
+        let vdd = engine.grid().vdd();
+        let base = engine.solve().unwrap();
+        let heavy = engine
+            .solve_scenario(&Scenario::default().with_current_scale(2.0))
+            .unwrap();
+        let (node, k, base_drop) = base.worst_mean_drop(vdd);
+        let (_, _, heavy_drop) = heavy.worst_mean_drop(vdd);
+        assert!(base_drop > 0.0);
+        // Doubling the switching currents should roughly double the dynamic
+        // part of the drop (the DC pad level is unchanged, so not exactly).
+        assert!(
+            heavy_drop > 1.3 * base_drop,
+            "drop did not scale: {base_drop} -> {heavy_drop}"
+        );
+        // At t = 0 (quiescence) the two scenarios coincide exactly.
+        for n in (0..base.node_count()).step_by(11) {
+            assert!((base.mean_at(0, n) - heavy.mean_at(0, n)).abs() < 1e-12);
+        }
+        let _ = (node, k);
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected() {
+        let engine = quick_engine();
+        assert!(matches!(
+            engine.solve_scenario(&Scenario::default().with_current_scale(f64::NAN)),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+        assert!(matches!(
+            engine.solve_scenario(&Scenario::default().with_time_step(0.0)),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+    }
+
+    #[test]
+    fn monte_carlo_and_run_scenario_work_from_the_engine() {
+        let engine = quick_engine();
+        let mc = engine.monte_carlo(&McConfig::new(8, 3)).unwrap();
+        assert_eq!(mc.samples, 8);
+        let report = engine
+            .run_scenario(&Scenario::named("demo").with_mc_samples(12))
+            .unwrap();
+        assert_eq!(report.label, "demo");
+        assert_eq!(report.report.mc_samples, 12);
+        assert!(report.report.errors.avg_mean_error_percent < 1.0);
+    }
+
+    #[test]
+    fn scaled_scenarios_keep_opera_and_monte_carlo_consistent() {
+        // If the engine scaled the Galerkin excitation but the Monte Carlo
+        // baseline did not (or vice versa), the mean error would blow up.
+        let engine = quick_engine();
+        let report = engine
+            .run_scenario(
+                &Scenario::named("heavy")
+                    .with_current_scale(1.5)
+                    .with_mc_samples(25),
+            )
+            .unwrap();
+        assert!(
+            report.report.errors.avg_mean_error_percent < 1.0,
+            "scaled scenario disagrees with its Monte Carlo baseline: {} %VDD",
+            report.report.errors.avg_mean_error_percent
+        );
+        assert_eq!(report.current_scale, 1.5);
+    }
+
+    #[test]
+    fn engine_can_be_built_from_a_prebuilt_model_and_named_solver() {
+        let grid = GridSpec::small_test(90).with_seed(3).build().unwrap();
+        let model =
+            StochasticGridModel::inter_die_three_variable(&grid, &VariationSpec::paper_defaults())
+                .unwrap();
+        let engine = OperaEngine::for_model(model)
+            .time_step(0.25e-9)
+            .end_time(1.0e-9)
+            .solver_name(BLOCK_JACOBI_CG)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(engine.solver().name(), BLOCK_JACOBI_CG);
+        // Three variables at order 2: C(3+2, 2) = 10 basis functions.
+        assert_eq!(engine.basis_size(), 10);
+        let sol = engine.solve().unwrap();
+        let (_, k, drop) = sol.worst_mean_drop(engine.grid().vdd());
+        assert!(drop > 0.0 && k > 0);
+    }
+}

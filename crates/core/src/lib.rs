@@ -7,39 +7,70 @@
 //!
 //! The pieces are:
 //!
+//! * [`engine`] — the reusable [`OperaEngine`] session:
+//!   grid generation, stochastic-model construction, Galerkin assembly and
+//!   the solver factorisation happen **once** at build time, then any number
+//!   of [scenarios](engine::Scenario) (waveform rescalings, transient
+//!   overrides, Monte Carlo validations, whole batches) reuse them.
+//! * [`solver`] — pluggable [`SolverBackend`]s for the
+//!   augmented system (direct Cholesky, block-Jacobi preconditioned CG,
+//!   left-looking LU) plus a name-based registry for custom backends.
 //! * [`transient`] — deterministic transient MNA solver (backward Euler or
 //!   trapezoidal) used both for nominal analysis and inside the Monte Carlo
 //!   baseline.
 //! * [`galerkin`] — assembly of the spectral (Galerkin) augmented system
 //!   `(G̃ + sC̃) a(s) = Ũ(s)` of paper Eqs. (19)–(22).
-//! * [`stochastic`] — the OPERA solver: one augmented transient solve yields
-//!   the full polynomial-chaos representation of every node voltage at every
-//!   time step.
+//! * [`stochastic`] — the one-shot OPERA solver front end: one augmented
+//!   transient solve yields the full polynomial-chaos representation of every
+//!   node voltage at every time step.
 //! * [`special_case`] — the Section 5.1 special case (variations only in the
 //!   excitation, e.g. per-region leakage): a single factorisation of the
 //!   nominal matrix plus `N + 1` independent solves.
 //! * [`monte_carlo`] — the Monte Carlo baseline the paper compares against.
 //! * [`parallel`] — the [`Parallelism`] knob and deterministic per-sample
-//!   seeding that let the Monte Carlo and special-case loops use all cores
-//!   without changing any statistic.
+//!   seeding that let the Monte Carlo, special-case and batched-scenario
+//!   loops use all cores without changing any statistic.
 //! * [`response`] — node-voltage statistics, voltage-drop summaries and
 //!   histograms (paper Figures 1–2, the ±3σ column of Table 1).
 //! * [`compare`] — OPERA-vs-Monte-Carlo error metrics (the accuracy columns
 //!   of Table 1).
-//! * [`analysis`] — end-to-end experiment drivers used by the benchmark
-//!   harness and the examples.
+//! * [`analysis`] — [`ExperimentConfig`](analysis::ExperimentConfig), a thin
+//!   validated front end over the engine, and the one-shot
+//!   [`run_experiment`](analysis::run_experiment) driver.
 //!
 //! # Quickstart
 //!
+//! Build an engine once, then serve as many scenarios as you like — the
+//! assembly and factorisation are shared across all of them:
+//!
 //! ```
-//! use opera::analysis::{ExperimentConfig, run_experiment};
+//! use opera::engine::{OperaEngine, Scenario};
+//! use opera_grid::GridSpec;
+//! use opera_variation::VariationSpec;
 //!
 //! # fn main() -> Result<(), opera::OperaError> {
-//! // A deliberately tiny configuration so the doc-test runs in milliseconds.
-//! let config = ExperimentConfig::quick_demo(160);
-//! let report = run_experiment(&config)?;
-//! assert!(report.opera.max_three_sigma_percent_of_nominal > 0.0);
-//! assert!(report.errors.avg_mean_error_percent < 1.0);
+//! // Deliberately tiny so the doc-test runs in milliseconds.
+//! let engine = OperaEngine::for_grid(GridSpec::small_test(140))?
+//!     .variation(VariationSpec::paper_defaults())
+//!     .order(2)
+//!     .time_step(0.2e-9)
+//!     .end_time(1.0e-9)
+//!     .mc_samples(25)
+//!     .build()?;
+//!
+//! // A batch of scenarios: nominal, light and heavy switching activity.
+//! let scenarios = [
+//!     Scenario::named("nominal"),
+//!     Scenario::named("light").with_current_scale(0.5),
+//!     Scenario::named("heavy").with_current_scale(1.5),
+//! ];
+//! let reports = engine.run_batch(&scenarios)?;
+//! assert_eq!(reports.len(), 3);
+//! assert!(reports.iter().all(|r| r.report.opera.worst_mean_drop > 0.0));
+//!
+//! // The whole batch shared one assembly and one factorisation.
+//! assert_eq!(engine.assembly_count(), 1);
+//! assert_eq!(engine.factorization_count(), 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -51,18 +82,22 @@ mod error;
 
 pub mod analysis;
 pub mod compare;
+pub mod engine;
 pub mod galerkin;
 pub mod monte_carlo;
 pub mod parallel;
 pub mod response;
+pub mod solver;
 pub mod special_case;
 pub mod stochastic;
 pub mod transient;
 
+pub use engine::{McConfig, OperaEngine, Scenario, ScenarioReport};
 pub use error::OperaError;
 pub use galerkin::GalerkinSystem;
 pub use parallel::Parallelism;
-pub use stochastic::{AugmentedSolver, OperaOptions, StochasticSolution};
+pub use solver::{BlockJacobiCg, DirectCholesky, LeftLookingLu, SolverBackend};
+pub use stochastic::{OperaOptions, StochasticSolution};
 pub use transient::{IntegrationMethod, TransientOptions, TransientSolution};
 
 /// Result alias used throughout the crate.

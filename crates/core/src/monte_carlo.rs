@@ -12,7 +12,7 @@
 //! Samples are independent, so the loop runs on a `rayon` pool bounded by
 //! the installed [`Parallelism`](crate::parallel::Parallelism). Each sample
 //! draws from its own RNG stream seeded by
-//! [`sample_seed`](crate::parallel::sample_seed)`(options.seed, index)`, and
+//! [`sample_seed`]`(options.seed, index)`, and
 //! batches of traces are folded into the Welford accumulator *in sample
 //! order*, so the statistics are bit-identical for every thread count
 //! (serial included). Memory stays bounded: at most one batch of traces
@@ -23,7 +23,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 use opera_grid::PowerGrid;
-use opera_sparse::{CholeskyFactor, CsrMatrix, LuFactor};
+use opera_sparse::{CsrMatrix, MatrixFactor};
 use opera_variation::{LeakageModel, StochasticGridModel};
 
 use crate::parallel::sample_seed;
@@ -41,16 +41,23 @@ pub struct MonteCarloOptions {
     pub transient: TransientOptions,
     /// Nodes whose full per-sample voltage traces are recorded.
     pub probe_nodes: Vec<usize>,
+    /// Multiplier applied to the switching currents (`1.0` = as modelled):
+    /// the per-sample excitation is scaled around its quiescent `t = 0`
+    /// value, mirroring the engine's
+    /// [`Scenario::current_scale`](crate::engine::Scenario). With the default
+    /// `1.0` the excitation path is bit-identical to the unscaled code.
+    pub current_scale: f64,
 }
 
 impl MonteCarloOptions {
-    /// Creates options with no probes.
+    /// Creates options with no probes and unscaled currents.
     pub fn new(samples: usize, seed: u64, transient: TransientOptions) -> Self {
         MonteCarloOptions {
             samples,
             seed,
             transient,
             probe_nodes: Vec::new(),
+            current_scale: 1.0,
         }
     }
 
@@ -58,12 +65,20 @@ impl MonteCarloOptions {
     ///
     /// # Errors
     ///
-    /// Returns [`OperaError::InvalidOptions`] for zero samples or invalid
-    /// transient options.
+    /// Returns [`OperaError::InvalidOptions`] for zero samples, a negative or
+    /// non-finite current scale, or invalid transient options.
     pub fn validate(&self) -> Result<()> {
         if self.samples == 0 {
             return Err(OperaError::InvalidOptions {
                 reason: "Monte Carlo needs at least one sample".to_string(),
+            });
+        }
+        if !self.current_scale.is_finite() || self.current_scale < 0.0 {
+            return Err(OperaError::InvalidOptions {
+                reason: format!(
+                    "current_scale must be finite and non-negative, got {}",
+                    self.current_scale
+                ),
             });
         }
         self.transient.validate()
@@ -176,15 +191,29 @@ pub fn run(model: &StochasticGridModel, options: &MonteCarloOptions) -> Result<M
     let n = model.node_count();
     let families = model.families();
 
+    let scale = options.current_scale;
     accumulate_samples(options, times.clone(), n, |sample_index| {
         let mut rng = StdRng::seed_from_u64(sample_seed(options.seed, sample_index as u64));
         let xi: Vec<f64> = families.iter().map(|f| f.sample(&mut rng)).collect();
         let g = model.sample_conductance(&xi)?;
         let c = model.sample_capacitance(&xi)?;
+        // Anchor the waveform scaling at the quiescent excitation of *this*
+        // sample, so only the switching currents are rescaled.
+        let anchor = if scale != 1.0 {
+            Some(model.sample_excitation(0.0, &xi)?)
+        } else {
+            None
+        };
         transient_sample(
             &g,
             &c,
-            |t| Ok(model.sample_excitation(t, &xi)?),
+            |t| {
+                let mut u = model.sample_excitation(t, &xi)?;
+                if let Some(u0) = &anchor {
+                    crate::transient::rescale_around_anchor(&mut u, u0, scale);
+                }
+                Ok(u)
+            },
             &times,
             &options.transient,
         )
@@ -257,15 +286,22 @@ pub fn run_leakage(
         options.transient.time_step,
         options.transient.method,
     )?;
-    let dc = factor_for_dc(&g)?;
+    let dc = MatrixFactor::cholesky_or_lu(&g)?;
+    let scale = options.current_scale;
 
     accumulate_samples(options, times.clone(), n, |sample_index| {
         let mut rng = StdRng::seed_from_u64(sample_seed(options.seed, sample_index as u64));
         let xi: Vec<f64> = families.iter().map(|f| f.sample(&mut rng)).collect();
         // Leakage current for this sample at each node.
         let leak = leakage.sample_leakage(&xi);
+        // The waveform scaling is anchored at t = 0, so it rescales only the
+        // switching currents; the (time-independent) leakage is untouched.
+        let anchor = (scale != 1.0).then(|| grid.excitation(0.0));
         let excitation = |t: f64| {
             let mut u = grid.excitation(t);
+            if let Some(u0) = &anchor {
+                crate::transient::rescale_around_anchor(&mut u, u0, scale);
+            }
             for (u_n, l_n) in u.iter_mut().zip(&leak) {
                 *u_n -= l_n;
             }
@@ -288,27 +324,6 @@ pub fn run_leakage(
     })
 }
 
-fn factor_for_dc(g: &CsrMatrix) -> Result<DcFactor> {
-    match CholeskyFactor::factor(g) {
-        Ok(f) => Ok(DcFactor::Cholesky(f)),
-        Err(_) => Ok(DcFactor::Lu(LuFactor::factor(g)?)),
-    }
-}
-
-enum DcFactor {
-    Cholesky(CholeskyFactor),
-    Lu(LuFactor),
-}
-
-impl DcFactor {
-    fn solve(&self, b: &[f64]) -> Vec<f64> {
-        match self {
-            DcFactor::Cholesky(f) => f.solve(b),
-            DcFactor::Lu(f) => f.solve(b),
-        }
-    }
-}
-
 /// One Monte Carlo transient: DC start plus fixed-step integration with the
 /// sampled matrices.
 fn transient_sample(
@@ -319,7 +334,7 @@ fn transient_sample(
     options: &TransientOptions,
 ) -> Result<Vec<Vec<f64>>> {
     let u0 = excitation(0.0)?;
-    let dc = factor_for_dc(g)?;
+    let dc = MatrixFactor::cholesky_or_lu(g)?;
     let v0 = dc.solve(&u0);
     let method = options.method;
     let companion = crate::transient::CompanionSystem::new(g, c, options.time_step, method)?;

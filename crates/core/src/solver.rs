@@ -1,0 +1,554 @@
+//! Pluggable solver backends for the augmented Galerkin system.
+//!
+//! The OPERA pipeline splits one stochastic transient analysis into two
+//! phases with very different costs:
+//!
+//! 1. **prepare** — symbolic + numeric factorisation (or preconditioner
+//!    construction) for a given [`GalerkinSystem`] and time step, and
+//! 2. **step** — one implicit time step per transient point, reusing the
+//!    prepared factors.
+//!
+//! [`SolverBackend`] captures phase 1 and returns a [`PreparedSolver`] that
+//! captures phase 2. The split is what lets the
+//! [`OperaEngine`](crate::engine::OperaEngine) amortise a single preparation
+//! over arbitrarily many scenarios, and it makes alternative solvers a
+//! *registration* ([`register_backend`]) instead of a match-arm edit in the
+//! transient loop.
+//!
+//! Three backends ship with the crate:
+//!
+//! * [`DirectCholesky`] — sparse Cholesky of the augmented companion matrix,
+//!   factored once and reused for every step (the paper's default; falls back
+//!   to LU if the matrix is not numerically SPD).
+//! * [`BlockJacobiCg`] — conjugate gradient on the augmented system with a
+//!   block-Jacobi preconditioner built from a *single* factorisation of the
+//!   nominal companion matrix (the paper's §5.2 "iterative block solver with
+//!   appropriate pre-conditioner" remark for very large grids).
+//! * [`LeftLookingLu`] — left-looking sparse LU with partial pivoting, the
+//!   fallback of choice when large variation magnitudes push the augmented
+//!   matrix away from positive definiteness.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use opera_sparse::{CholeskyFactor, CsrMatrix, MatrixFactor};
+use opera_variation::StochasticGridModel;
+
+use crate::galerkin::GalerkinSystem;
+use crate::transient::{CompanionSystem, IntegrationMethod, TransientOptions};
+use crate::{OperaError, Result};
+
+/// A strategy for solving the augmented Galerkin system.
+///
+/// Implementations perform all one-time work (factorisations, preconditioner
+/// setup) in [`SolverBackend::prepare`] and return a [`PreparedSolver`] that
+/// owns the factors and can be reused for every time step — and, through the
+/// engine, for every scenario that shares the system and time step.
+pub trait SolverBackend: fmt::Debug + Send + Sync {
+    /// Stable identifier of the backend (the name it is registered under).
+    fn name(&self) -> &str;
+
+    /// Validates the backend's own parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for inconsistent parameters.
+    fn validate(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Performs the one-time setup for `system` and the given transient
+    /// configuration: factorisations of the DC and companion matrices, or the
+    /// equivalent preconditioner construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorisation errors.
+    fn prepare(
+        &self,
+        model: &StochasticGridModel,
+        system: &GalerkinSystem,
+        transient: &TransientOptions,
+    ) -> Result<Box<dyn PreparedSolver>>;
+}
+
+/// The reusable product of [`SolverBackend::prepare`]: owns every factor
+/// needed to run an augmented transient and is shareable across threads, so
+/// batched scenarios can step it concurrently.
+pub trait PreparedSolver: Send + Sync {
+    /// Solves the DC system `G̃·a(0) = Ũ(0)` for the initial condition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (iterative backends may fail to converge).
+    fn solve_dc(&self, u0: &[f64]) -> Result<Vec<f64>>;
+
+    /// Advances one implicit time step: given the state at `t_k` and the
+    /// excitations at `t_k` and `t_{k+1}`, returns the state at `t_{k+1}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (iterative backends may fail to converge).
+    fn step(&self, state: &[f64], u_prev: &[f64], u_next: &[f64]) -> Result<Vec<f64>>;
+}
+
+// --------------------------------------------------------------------------
+// Direct backends (Cholesky and left-looking LU).
+// --------------------------------------------------------------------------
+
+/// Sparse Cholesky factorisation of the full `(N+1)·n` augmented companion
+/// matrix, factored once and reused for every time step. Falls back to
+/// left-looking LU if the augmented matrix is not numerically positive
+/// definite (use [`LeftLookingLu`] to skip the Cholesky attempt entirely).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirectCholesky;
+
+/// Left-looking sparse LU with partial pivoting of the augmented companion
+/// matrix — for augmented systems that large variation magnitudes have pushed
+/// away from positive definiteness, where [`DirectCholesky`]'s first attempt
+/// is wasted work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LeftLookingLu;
+
+/// Factors shared by the two direct backends: a DC factor of `G̃` and a
+/// factored companion system for the stepping.
+struct DirectPrepared {
+    dc: MatrixFactor,
+    companion: CompanionSystem,
+}
+
+impl PreparedSolver for DirectPrepared {
+    fn solve_dc(&self, u0: &[f64]) -> Result<Vec<f64>> {
+        Ok(self.dc.solve(u0))
+    }
+
+    fn step(&self, state: &[f64], u_prev: &[f64], u_next: &[f64]) -> Result<Vec<f64>> {
+        Ok(self.companion.step(state, u_prev, u_next))
+    }
+}
+
+impl SolverBackend for DirectCholesky {
+    fn name(&self) -> &str {
+        DIRECT_CHOLESKY
+    }
+
+    fn prepare(
+        &self,
+        _model: &StochasticGridModel,
+        system: &GalerkinSystem,
+        transient: &TransientOptions,
+    ) -> Result<Box<dyn PreparedSolver>> {
+        let dc = MatrixFactor::cholesky_or_lu(system.conductance())?;
+        let companion = CompanionSystem::new(
+            system.conductance(),
+            system.capacitance(),
+            transient.time_step,
+            transient.method,
+        )?;
+        Ok(Box::new(DirectPrepared { dc, companion }))
+    }
+}
+
+impl SolverBackend for LeftLookingLu {
+    fn name(&self) -> &str {
+        LEFT_LOOKING_LU
+    }
+
+    fn prepare(
+        &self,
+        _model: &StochasticGridModel,
+        system: &GalerkinSystem,
+        transient: &TransientOptions,
+    ) -> Result<Box<dyn PreparedSolver>> {
+        let dc = MatrixFactor::lu(system.conductance())?;
+        let companion = CompanionSystem::with_lu(
+            system.conductance(),
+            system.capacitance(),
+            transient.time_step,
+            transient.method,
+        )?;
+        Ok(Box::new(DirectPrepared { dc, companion }))
+    }
+}
+
+// --------------------------------------------------------------------------
+// Block-Jacobi preconditioned CG backend.
+// --------------------------------------------------------------------------
+
+/// Conjugate gradient on the augmented system with a block-Jacobi
+/// preconditioner built from a *single* factorisation of the nominal
+/// companion matrix `G_a + C_a/h` (the diagonal blocks of the augmented
+/// matrix are exactly `⟨ψ_i²⟩(G_a + C_a/h)` for symmetric variations). This
+/// keeps the OPERA cost close to a single deterministic transient even for
+/// very large grids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockJacobiCg {
+    /// Relative residual tolerance of the CG iteration.
+    pub tolerance: f64,
+    /// Maximum CG iterations per solve.
+    pub max_iterations: usize,
+}
+
+impl Default for BlockJacobiCg {
+    fn default() -> Self {
+        BlockJacobiCg {
+            tolerance: 1e-10,
+            max_iterations: 2_000,
+        }
+    }
+}
+
+impl SolverBackend for BlockJacobiCg {
+    fn name(&self) -> &str {
+        BLOCK_JACOBI_CG
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.tolerance <= 0.0 || self.tolerance.is_nan() || self.max_iterations == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "CG tolerance must be positive and max_iterations nonzero".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn prepare(
+        &self,
+        model: &StochasticGridModel,
+        system: &GalerkinSystem,
+        transient: &TransientOptions,
+    ) -> Result<Box<dyn PreparedSolver>> {
+        self.validate()?;
+        let n = system.node_count();
+        let size = system.basis_size();
+        let h = transient.time_step;
+        let c_scale = match transient.method {
+            IntegrationMethod::BackwardEuler => 1.0 / h,
+            IntegrationMethod::Trapezoidal => 2.0 / h,
+        };
+
+        let inv_norms: Vec<f64> = (0..size)
+            .map(|i| 1.0 / system.coupling().norm_squared(i))
+            .collect();
+
+        // Augmented companion matrix (for matvecs only — never factored).
+        let c_over_h = system.capacitance().scaled(c_scale);
+        let a_hat = system.conductance().add_scaled(&c_over_h, 1.0)?;
+
+        // Preconditioners: nominal G (DC start) and nominal companion
+        // (stepping) — the only two factorisations, both of nominal size.
+        let g_nominal = model.nominal_conductance();
+        let nominal_companion =
+            g_nominal.add_scaled(&model.nominal_capacitance().scaled(c_scale), 1.0)?;
+        let dc_pre = BlockNominalPreconditioner {
+            factor: CholeskyFactor::factor(g_nominal)?,
+            inv_norms: inv_norms.clone(),
+            block_size: n,
+        };
+        let step_pre = BlockNominalPreconditioner {
+            factor: CholeskyFactor::factor(&nominal_companion)?,
+            inv_norms,
+            block_size: n,
+        };
+
+        Ok(Box::new(CgPrepared {
+            g_hat: system.conductance().clone(),
+            a_hat,
+            c_over_h,
+            dc_pre,
+            step_pre,
+            method: transient.method,
+            tolerance: self.tolerance,
+            max_iterations: self.max_iterations,
+            block_size: n,
+        }))
+    }
+}
+
+/// Block-Jacobi preconditioner for the augmented system: every basis block is
+/// preconditioned with a shared factorisation of the nominal matrix, scaled
+/// by `1 / ⟨ψ_i²⟩`.
+struct BlockNominalPreconditioner {
+    factor: CholeskyFactor,
+    inv_norms: Vec<f64>,
+    block_size: usize,
+}
+
+impl opera_sparse::cg::Preconditioner for BlockNominalPreconditioner {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        let mut z = Vec::with_capacity(r.len());
+        for (i, block) in r.chunks(self.block_size).enumerate() {
+            let mut zi = self.factor.solve(block);
+            for v in &mut zi {
+                *v *= self.inv_norms[i];
+            }
+            z.extend_from_slice(&zi);
+        }
+        z
+    }
+}
+
+struct CgPrepared {
+    g_hat: CsrMatrix,
+    a_hat: CsrMatrix,
+    c_over_h: CsrMatrix,
+    dc_pre: BlockNominalPreconditioner,
+    step_pre: BlockNominalPreconditioner,
+    method: IntegrationMethod,
+    tolerance: f64,
+    max_iterations: usize,
+    block_size: usize,
+}
+
+impl PreparedSolver for CgPrepared {
+    fn solve_dc(&self, u0: &[f64]) -> Result<Vec<f64>> {
+        // CG on G̃ with the nominal DC solution in block 0 as the guess.
+        let mut guess = vec![0.0; u0.len()];
+        let n = self.block_size;
+        guess[..n].copy_from_slice(&self.dc_pre.factor.solve(&u0[..n]));
+        cg_with_guess(
+            &self.g_hat,
+            u0,
+            &guess,
+            &self.dc_pre,
+            self.tolerance,
+            self.max_iterations,
+        )
+    }
+
+    fn step(&self, state: &[f64], u_prev: &[f64], u_next: &[f64]) -> Result<Vec<f64>> {
+        // Right-hand side of the implicit step.
+        let mut rhs = vec![0.0; state.len()];
+        match self.method {
+            IntegrationMethod::BackwardEuler => {
+                self.c_over_h.matvec_into(state, &mut rhs);
+                for (r, u) in rhs.iter_mut().zip(u_next) {
+                    *r += u;
+                }
+            }
+            IntegrationMethod::Trapezoidal => {
+                self.c_over_h.matvec_into(state, &mut rhs);
+                self.g_hat.matvec_acc(state, -1.0, &mut rhs);
+                for ((r, a), b) in rhs.iter_mut().zip(u_prev).zip(u_next) {
+                    *r += a + b;
+                }
+            }
+        }
+        cg_with_guess(
+            &self.a_hat,
+            &rhs,
+            state,
+            &self.step_pre,
+            self.tolerance,
+            self.max_iterations,
+        )
+    }
+}
+
+/// Preconditioned CG with an initial guess: solves `A·x = b` by iterating on
+/// the correction `A·δ = b − A·x₀`, with the tolerance rescaled so that the
+/// overall relative residual (with respect to `‖b‖`) matches `tolerance`.
+fn cg_with_guess(
+    a: &CsrMatrix,
+    b: &[f64],
+    guess: &[f64],
+    preconditioner: &BlockNominalPreconditioner,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<Vec<f64>> {
+    let mut residual = b.to_vec();
+    a.matvec_acc(guess, -1.0, &mut residual);
+    let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let norm_r = residual.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm_r <= tolerance * norm_b.max(f64::MIN_POSITIVE) {
+        return Ok(guess.to_vec());
+    }
+    let effective_tol = (tolerance * norm_b / norm_r).clamp(1e-14, 0.5);
+    let correction = opera_sparse::cg::solve(
+        a,
+        &residual,
+        preconditioner,
+        opera_sparse::cg::CgOptions {
+            max_iterations,
+            tolerance: effective_tol,
+        },
+    )?;
+    Ok(guess
+        .iter()
+        .zip(&correction.x)
+        .map(|(g, d)| g + d)
+        .collect())
+}
+
+// --------------------------------------------------------------------------
+// Backend registry.
+// --------------------------------------------------------------------------
+
+/// Registered name of [`DirectCholesky`].
+pub const DIRECT_CHOLESKY: &str = "direct-cholesky";
+/// Registered name of [`BlockJacobiCg`].
+pub const BLOCK_JACOBI_CG: &str = "block-jacobi-cg";
+/// Registered name of [`LeftLookingLu`].
+pub const LEFT_LOOKING_LU: &str = "left-looking-lu";
+
+type BackendFactory = Arc<dyn Fn() -> Arc<dyn SolverBackend> + Send + Sync>;
+
+fn registry() -> &'static Mutex<BTreeMap<String, BackendFactory>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, BackendFactory>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map: BTreeMap<String, BackendFactory> = BTreeMap::new();
+        map.insert(
+            DIRECT_CHOLESKY.to_string(),
+            Arc::new(|| Arc::new(DirectCholesky)),
+        );
+        map.insert(
+            BLOCK_JACOBI_CG.to_string(),
+            Arc::new(|| Arc::new(BlockJacobiCg::default())),
+        );
+        map.insert(
+            LEFT_LOOKING_LU.to_string(),
+            Arc::new(|| Arc::new(LeftLookingLu)),
+        );
+        Mutex::new(map)
+    })
+}
+
+/// Registers (or replaces) a backend factory under `name`, making it
+/// available to configuration front ends such as
+/// [`ExperimentConfig::solver`](crate::analysis::ExperimentConfig::solver).
+pub fn register_backend(
+    name: &str,
+    factory: impl Fn() -> Arc<dyn SolverBackend> + Send + Sync + 'static,
+) {
+    registry()
+        .lock()
+        .expect("solver registry poisoned")
+        .insert(name.to_string(), Arc::new(factory));
+}
+
+/// Instantiates the backend registered under `name`.
+///
+/// # Errors
+///
+/// Returns [`OperaError::InvalidOptions`] for unknown names, listing the
+/// registered backends.
+pub fn backend_by_name(name: &str) -> Result<Arc<dyn SolverBackend>> {
+    // Clone the factory out of the registry before invoking it, so factories
+    // may themselves consult the registry (e.g. delegating backends) without
+    // deadlocking on the mutex.
+    let factory = {
+        let guard = registry().lock().expect("solver registry poisoned");
+        match guard.get(name) {
+            Some(factory) => Arc::clone(factory),
+            None => {
+                return Err(OperaError::InvalidOptions {
+                    reason: format!(
+                        "unknown solver backend {name:?}; registered backends: {}",
+                        guard.keys().cloned().collect::<Vec<_>>().join(", ")
+                    ),
+                })
+            }
+        }
+    };
+    Ok(factory())
+}
+
+/// Names of all registered backends, sorted.
+pub fn available_backends() -> Vec<String> {
+    registry()
+        .lock()
+        .expect("solver registry poisoned")
+        .keys()
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opera_grid::GridSpec;
+    use opera_pce::{OrthogonalBasis, PolynomialFamily};
+    use opera_variation::{StochasticGridModel, VariationSpec};
+
+    fn prepared_setup() -> (StochasticGridModel, GalerkinSystem, TransientOptions) {
+        let grid = GridSpec::small_test(60).with_seed(2).build().unwrap();
+        let model =
+            StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults()).unwrap();
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
+        let system = GalerkinSystem::assemble(&model, &basis).unwrap();
+        (model, system, TransientOptions::new(0.2e-9, 1.0e-9))
+    }
+
+    #[test]
+    fn builtin_backends_are_registered() {
+        let names = available_backends();
+        for expected in [DIRECT_CHOLESKY, BLOCK_JACOBI_CG, LEFT_LOOKING_LU] {
+            assert!(names.iter().any(|n| n == expected), "{expected} missing");
+            assert_eq!(backend_by_name(expected).unwrap().name(), expected);
+        }
+        assert!(matches!(
+            backend_by_name("no-such-backend"),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+    }
+
+    #[test]
+    fn delegating_factories_may_consult_the_registry() {
+        // A factory that itself resolves another backend by name must not
+        // deadlock on the registry mutex.
+        register_backend("delegating-direct", || {
+            backend_by_name(DIRECT_CHOLESKY).expect("builtin backend")
+        });
+        let backend = backend_by_name("delegating-direct").unwrap();
+        assert_eq!(backend.name(), DIRECT_CHOLESKY);
+    }
+
+    #[test]
+    fn custom_backends_can_be_registered() {
+        register_backend("custom-direct", || Arc::new(DirectCholesky));
+        let backend = backend_by_name("custom-direct").unwrap();
+        // The factory controls the instance, not the name lookup.
+        assert_eq!(backend.name(), DIRECT_CHOLESKY);
+        assert!(available_backends().contains(&"custom-direct".to_string()));
+    }
+
+    #[test]
+    fn all_three_backends_agree_on_a_time_step() {
+        let (model, system, transient) = prepared_setup();
+        let u0 = system.excitation(&model, 0.0);
+        let u1 = system.excitation(&model, transient.time_step);
+        let mut states = Vec::new();
+        for name in [DIRECT_CHOLESKY, LEFT_LOOKING_LU, BLOCK_JACOBI_CG] {
+            let backend = backend_by_name(name).unwrap();
+            let prepared = backend.prepare(&model, &system, &transient).unwrap();
+            let a0 = prepared.solve_dc(&u0).unwrap();
+            let a1 = prepared.step(&a0, &u0, &u1).unwrap();
+            states.push(a1);
+        }
+        let scale = states[0]
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1.0);
+        for other in &states[1..] {
+            for (a, b) in states[0].iter().zip(other) {
+                assert!((a - b).abs() < 1e-7 * scale, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_cg_parameters_are_rejected() {
+        let bad = BlockJacobiCg {
+            tolerance: 0.0,
+            max_iterations: 10,
+        };
+        assert!(bad.validate().is_err());
+        let bad = BlockJacobiCg {
+            tolerance: 1e-10,
+            max_iterations: 0,
+        };
+        assert!(bad.validate().is_err());
+        assert!(BlockJacobiCg::default().validate().is_ok());
+    }
+}

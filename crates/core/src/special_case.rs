@@ -19,7 +19,7 @@
 
 use opera_grid::PowerGrid;
 use opera_pce::{GalerkinCoupling, OrthogonalBasis};
-use opera_sparse::{CholeskyFactor, LuFactor};
+use opera_sparse::MatrixFactor;
 use opera_variation::LeakageModel;
 use rayon::prelude::*;
 
@@ -135,10 +135,7 @@ pub fn solve_leakage(
     // One factorisation of G for the DC start and one of the companion matrix
     // for the time stepping — shared by all N + 1 systems (the whole point of
     // the special case).
-    let dc_factor = match CholeskyFactor::factor(&g) {
-        Ok(f) => DcFactor::Cholesky(f),
-        Err(_) => DcFactor::Lu(LuFactor::factor(&g)?),
-    };
+    let dc_factor = MatrixFactor::cholesky_or_lu(&g)?;
     let companion = CompanionSystem::new(
         &g,
         &c,
@@ -175,20 +172,6 @@ pub fn solve_leakage(
         }
     }
     Ok(StochasticSolution::new(basis, times, n, coefficients))
-}
-
-enum DcFactor {
-    Cholesky(CholeskyFactor),
-    Lu(LuFactor),
-}
-
-impl DcFactor {
-    fn solve(&self, b: &[f64]) -> Vec<f64> {
-        match self {
-            DcFactor::Cholesky(f) => f.solve(b),
-            DcFactor::Lu(f) => f.solve(b),
-        }
-    }
 }
 
 #[cfg(test)]

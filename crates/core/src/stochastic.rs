@@ -5,48 +5,26 @@
 //! the coefficients `a_i(t)` of `x(t, ξ) = Σ_i a_i(t) ψ_i(ξ)`. Mean, variance
 //! and distributions then follow in closed form (paper Eq. 23), which is what
 //! makes OPERA one to two orders of magnitude faster than Monte Carlo.
+//!
+//! How the augmented system is solved is delegated to a pluggable
+//! [`SolverBackend`]; this module owns only the
+//! backend-independent time-stepping loop. For setup-once/solve-many
+//! workloads, prefer the [`OperaEngine`](crate::engine::OperaEngine), which
+//! keeps the assembled system and prepared factorisation alive across
+//! scenarios.
+
+use std::sync::Arc;
 
 use opera_pce::{OrthogonalBasis, PceSeries};
 use opera_variation::StochasticGridModel;
 
 use crate::galerkin::GalerkinSystem;
-use crate::transient::{CompanionSystem, TransientOptions};
+use crate::solver::{BlockJacobiCg, DirectCholesky, PreparedSolver, SolverBackend};
+use crate::transient::TransientOptions;
 use crate::{OperaError, Result};
 
-/// How the augmented Galerkin system is solved at each time step.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub enum AugmentedSolver {
-    /// Sparse Cholesky factorisation of the full `(N+1)·n` companion matrix,
-    /// factored once and reused for every time step (default).
-    #[default]
-    Direct,
-    /// Conjugate gradient on the augmented system with a block-Jacobi
-    /// preconditioner built from a *single* factorisation of the nominal
-    /// companion matrix `G_a + C_a/h` (the diagonal blocks of the augmented
-    /// matrix are exactly `⟨ψ_i²⟩(G_a + C_a/h)` for symmetric variations).
-    /// This is the "iterative block solver with appropriate pre-conditioner"
-    /// the paper suggests for very large grids (§5.2) and it keeps the OPERA
-    /// cost close to a single deterministic transient.
-    PreconditionedCg {
-        /// Relative residual tolerance of the CG iteration.
-        tolerance: f64,
-        /// Maximum CG iterations per solve.
-        max_iterations: usize,
-    },
-}
-
-impl AugmentedSolver {
-    /// The preconditioned-CG solver with default settings (1e-10 tolerance).
-    pub fn preconditioned_cg() -> Self {
-        AugmentedSolver::PreconditionedCg {
-            tolerance: 1e-10,
-            max_iterations: 2_000,
-        }
-    }
-}
-
 /// Options for the OPERA solver.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct OperaOptions {
     /// Truncation order `p` of the polynomial chaos expansion (the paper uses
     /// 2 or 3).
@@ -54,34 +32,36 @@ pub struct OperaOptions {
     /// Transient analysis options.
     pub transient: TransientOptions,
     /// How the augmented system is solved.
-    pub solver: AugmentedSolver,
+    pub solver: Arc<dyn SolverBackend>,
 }
 
 impl OperaOptions {
     /// Order-2 expansion with the given transient options (the configuration
     /// used for every Table 1 entry in the paper) and the direct solver.
     pub fn order2(transient: TransientOptions) -> Self {
-        OperaOptions {
-            order: 2,
-            transient,
-            solver: AugmentedSolver::Direct,
-        }
+        Self::with_order(2, transient)
     }
 
     /// Order-`p` expansion with the given transient options and the direct
-    /// solver.
+    /// Cholesky solver.
     pub fn with_order(order: u32, transient: TransientOptions) -> Self {
         OperaOptions {
             order,
             transient,
-            solver: AugmentedSolver::Direct,
+            solver: Arc::new(DirectCholesky),
         }
     }
 
     /// Switches to the block-preconditioned CG solver for the augmented
     /// system.
     pub fn with_iterative_solver(mut self) -> Self {
-        self.solver = AugmentedSolver::preconditioned_cg();
+        self.solver = Arc::new(BlockJacobiCg::default());
+        self
+    }
+
+    /// Switches to an arbitrary solver backend.
+    pub fn with_solver(mut self, solver: Arc<dyn SolverBackend>) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -89,25 +69,15 @@ impl OperaOptions {
     ///
     /// # Errors
     ///
-    /// Returns [`OperaError::InvalidOptions`] for order 0, a non-positive CG
-    /// tolerance, or invalid transient options.
+    /// Returns [`OperaError::InvalidOptions`] for order 0, invalid solver
+    /// parameters, or invalid transient options.
     pub fn validate(&self) -> Result<()> {
         if self.order == 0 {
             return Err(OperaError::InvalidOptions {
                 reason: "expansion order must be at least 1".to_string(),
             });
         }
-        if let AugmentedSolver::PreconditionedCg {
-            tolerance,
-            max_iterations,
-        } = self.solver
-        {
-            if tolerance <= 0.0 || tolerance.is_nan() || max_iterations == 0 {
-                return Err(OperaError::InvalidOptions {
-                    reason: "CG tolerance must be positive and max_iterations nonzero".to_string(),
-                });
-            }
-        }
+        self.solver.validate()?;
         self.transient.validate()
     }
 }
@@ -285,197 +255,38 @@ pub fn solve_assembled(
 ) -> Result<StochasticSolution> {
     let transient = &options.transient;
     transient.validate()?;
-    match options.solver {
-        AugmentedSolver::Direct => solve_direct(model, system, transient),
-        AugmentedSolver::PreconditionedCg {
-            tolerance,
-            max_iterations,
-        } => solve_iterative(model, system, transient, tolerance, max_iterations),
-    }
+    options.solver.validate()?;
+    let prepared = options.solver.prepare(model, system, transient)?;
+    run_prepared(
+        prepared.as_ref(),
+        system,
+        |t| system.excitation(model, t),
+        transient.time_points(),
+    )
 }
 
-/// Direct path: one sparse Cholesky (or LU) factorisation of the augmented
-/// companion matrix, reused for every time step.
-fn solve_direct(
-    model: &StochasticGridModel,
+/// The backend-independent augmented transient loop: DC start followed by
+/// fixed-step implicit integration, with the heavy lifting delegated to an
+/// already [prepared](crate::solver::SolverBackend::prepare) solver. The
+/// excitation is a closure so callers (in particular the engine's scenario
+/// paths) can rescale or substitute the right-hand side without reassembly.
+pub(crate) fn run_prepared(
+    prepared: &dyn PreparedSolver,
     system: &GalerkinSystem,
-    transient: &TransientOptions,
+    excitation: impl Fn(f64) -> Vec<f64>,
+    times: Vec<f64>,
 ) -> Result<StochasticSolution> {
-    let times = transient.time_points();
     let n = system.node_count();
-
-    // DC initial condition: G̃ a(0) = Ũ(0).
-    let u0 = system.excitation(model, 0.0);
-    let a0 = match opera_sparse::CholeskyFactor::factor(system.conductance()) {
-        Ok(f) => f.solve(&u0),
-        Err(_) => opera_sparse::LuFactor::factor(system.conductance())?.solve(&u0),
-    };
-
-    let companion = CompanionSystem::new(
-        system.conductance(),
-        system.capacitance(),
-        transient.time_step,
-        transient.method,
-    )?;
+    let u0 = excitation(0.0);
+    let a0 = prepared.solve_dc(&u0)?;
 
     let mut coefficients = Vec::with_capacity(times.len());
     coefficients.push(system.split_solution(&a0));
     let mut state = a0;
     let mut u_prev = u0;
     for &t in &times[1..] {
-        let u_next = system.excitation(model, t);
-        let next = companion.step(&state, &u_prev, &u_next);
-        coefficients.push(system.split_solution(&next));
-        state = next;
-        u_prev = u_next;
-    }
-    Ok(StochasticSolution::new(
-        system.basis().clone(),
-        times,
-        n,
-        coefficients,
-    ))
-}
-
-/// Block-Jacobi preconditioner for the augmented system: every basis block is
-/// preconditioned with a shared factorisation of the nominal matrix, scaled
-/// by `1 / ⟨ψ_i²⟩`.
-struct BlockNominalPreconditioner {
-    factor: opera_sparse::CholeskyFactor,
-    inv_norms: Vec<f64>,
-    block_size: usize,
-}
-
-impl opera_sparse::cg::Preconditioner for BlockNominalPreconditioner {
-    fn apply(&self, r: &[f64]) -> Vec<f64> {
-        let mut z = Vec::with_capacity(r.len());
-        for (i, block) in r.chunks(self.block_size).enumerate() {
-            let mut zi = self.factor.solve(block);
-            for v in &mut zi {
-                *v *= self.inv_norms[i];
-            }
-            z.extend_from_slice(&zi);
-        }
-        z
-    }
-}
-
-/// Preconditioned CG with an initial guess: solves `A·x = b` by iterating on
-/// the correction `A·δ = b − A·x₀`, with the tolerance rescaled so that the
-/// overall relative residual (with respect to `‖b‖`) matches `tolerance`.
-fn cg_with_guess(
-    a: &opera_sparse::CsrMatrix,
-    b: &[f64],
-    guess: &[f64],
-    preconditioner: &BlockNominalPreconditioner,
-    tolerance: f64,
-    max_iterations: usize,
-) -> Result<Vec<f64>> {
-    let mut residual = b.to_vec();
-    a.matvec_acc(guess, -1.0, &mut residual);
-    let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt();
-    let norm_r = residual.iter().map(|v| v * v).sum::<f64>().sqrt();
-    if norm_r <= tolerance * norm_b.max(f64::MIN_POSITIVE) {
-        return Ok(guess.to_vec());
-    }
-    let effective_tol = (tolerance * norm_b / norm_r).clamp(1e-14, 0.5);
-    let correction = opera_sparse::cg::solve(
-        a,
-        &residual,
-        preconditioner,
-        opera_sparse::cg::CgOptions {
-            max_iterations,
-            tolerance: effective_tol,
-        },
-    )?;
-    Ok(guess
-        .iter()
-        .zip(&correction.x)
-        .map(|(g, d)| g + d)
-        .collect())
-}
-
-/// Iterative path: conjugate gradient on the augmented companion system with
-/// the block-nominal preconditioner. Only two factorisations of *nominal*
-/// sized matrices are performed (one for the DC start, one for the companion
-/// matrix), so the OPERA cost stays close to a single deterministic transient
-/// even for very large grids.
-fn solve_iterative(
-    model: &StochasticGridModel,
-    system: &GalerkinSystem,
-    transient: &TransientOptions,
-    tolerance: f64,
-    max_iterations: usize,
-) -> Result<StochasticSolution> {
-    let times = transient.time_points();
-    let n = system.node_count();
-    let size = system.basis_size();
-    let h = transient.time_step;
-    let c_scale = match transient.method {
-        crate::transient::IntegrationMethod::BackwardEuler => 1.0 / h,
-        crate::transient::IntegrationMethod::Trapezoidal => 2.0 / h,
-    };
-
-    let inv_norms: Vec<f64> = (0..size)
-        .map(|i| 1.0 / system.coupling().norm_squared(i))
-        .collect();
-
-    // Augmented companion matrix (for matvecs only — never factored).
-    let c_over_h = system.capacitance().scaled(c_scale);
-    let a_hat = system.conductance().add_scaled(&c_over_h, 1.0)?;
-
-    // Preconditioners: nominal G (DC start) and nominal companion (stepping).
-    let g_nominal = model.nominal_conductance();
-    let nominal_companion =
-        g_nominal.add_scaled(&model.nominal_capacitance().scaled(c_scale), 1.0)?;
-    let dc_pre = BlockNominalPreconditioner {
-        factor: opera_sparse::CholeskyFactor::factor(g_nominal)?,
-        inv_norms: inv_norms.clone(),
-        block_size: n,
-    };
-    let step_pre = BlockNominalPreconditioner {
-        factor: opera_sparse::CholeskyFactor::factor(&nominal_companion)?,
-        inv_norms,
-        block_size: n,
-    };
-
-    // DC initial condition via CG on G̃ (guess: nominal DC solution in block 0).
-    let u0 = system.excitation(model, 0.0);
-    let mut guess = vec![0.0; n * size];
-    guess[..n].copy_from_slice(&dc_pre.factor.solve(&u0[..n]));
-    let a0 = cg_with_guess(
-        system.conductance(),
-        &u0,
-        &guess,
-        &dc_pre,
-        tolerance,
-        max_iterations,
-    )?;
-
-    let mut coefficients = Vec::with_capacity(times.len());
-    coefficients.push(system.split_solution(&a0));
-    let mut state = a0;
-    let mut u_prev = u0;
-    for &t in &times[1..] {
-        let u_next = system.excitation(model, t);
-        // Right-hand side of the implicit step.
-        let mut rhs = vec![0.0; n * size];
-        match transient.method {
-            crate::transient::IntegrationMethod::BackwardEuler => {
-                c_over_h.matvec_into(&state, &mut rhs);
-                for (r, u) in rhs.iter_mut().zip(&u_next) {
-                    *r += u;
-                }
-            }
-            crate::transient::IntegrationMethod::Trapezoidal => {
-                c_over_h.matvec_into(&state, &mut rhs);
-                system.conductance().matvec_acc(&state, -1.0, &mut rhs);
-                for ((r, a), b) in rhs.iter_mut().zip(&u_prev).zip(&u_next) {
-                    *r += a + b;
-                }
-            }
-        }
-        let next = cg_with_guess(&a_hat, &rhs, &state, &step_pre, tolerance, max_iterations)?;
+        let u_next = excitation(t);
+        let next = prepared.step(&state, &u_prev, &u_next)?;
         coefficients.push(system.split_solution(&next));
         state = next;
         u_prev = u_next;
@@ -491,6 +302,7 @@ fn solve_iterative(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::LeftLookingLu;
     use crate::transient::{solve_transient, TransientOptions};
     use opera_grid::GridSpec;
     use opera_variation::{StochasticGridModel, VariationSpec};
@@ -597,14 +409,21 @@ mod tests {
             solve(&model, &bad),
             Err(OperaError::InvalidOptions { .. })
         ));
-        let bad_cg = OperaOptions {
-            solver: AugmentedSolver::PreconditionedCg {
+        let bad_cg = OperaOptions::order2(TransientOptions::new(0.1e-9, 1.0e-9)).with_solver(
+            Arc::new(BlockJacobiCg {
                 tolerance: 0.0,
                 max_iterations: 10,
-            },
-            ..OperaOptions::order2(TransientOptions::new(0.1e-9, 1.0e-9))
-        };
+            }),
+        );
         assert!(bad_cg.validate().is_err());
+    }
+
+    #[test]
+    fn default_solver_is_direct_cholesky() {
+        let opts = OperaOptions::order2(TransientOptions::new(0.1e-9, 1.0e-9));
+        assert_eq!(opts.solver.name(), crate::solver::DIRECT_CHOLESKY);
+        let iterative = opts.clone().with_iterative_solver();
+        assert_eq!(iterative.solver.name(), crate::solver::BLOCK_JACOBI_CG);
     }
 
     #[test]
@@ -627,17 +446,18 @@ mod tests {
     }
 
     #[test]
-    fn augmented_solver_default_is_direct() {
-        assert_eq!(AugmentedSolver::default(), AugmentedSolver::Direct);
-        match AugmentedSolver::preconditioned_cg() {
-            AugmentedSolver::PreconditionedCg {
-                tolerance,
-                max_iterations,
-            } => {
-                assert!(tolerance > 0.0 && max_iterations > 0);
-            }
-            AugmentedSolver::Direct => panic!("expected the CG variant"),
-        }
+    fn left_looking_lu_backend_matches_direct_cholesky_exactly_enough() {
+        let (grid, model) = small_setup();
+        let topts = TransientOptions::new(0.2e-9, 1.0e-9);
+        let direct = solve(&model, &OperaOptions::order2(topts)).unwrap();
+        let lu = solve(
+            &model,
+            &OperaOptions::order2(topts).with_solver(Arc::new(LeftLookingLu)),
+        )
+        .unwrap();
+        let (node, k, _) = direct.worst_mean_drop(grid.vdd());
+        assert!((direct.mean_at(k, node) - lu.mean_at(k, node)).abs() < 1e-9 * grid.vdd());
+        assert!((direct.std_dev_at(k, node) - lu.std_dev_at(k, node)).abs() < 1e-9 * grid.vdd());
     }
 
     #[test]

@@ -6,9 +6,21 @@
 //! `G + C/h` (or `G + 2C/h`) is factored once with sparse Cholesky and reused
 //! for every time step.
 
-use opera_sparse::{CholeskyFactor, CsrMatrix, LuFactor};
+use opera_sparse::{CsrMatrix, MatrixFactor};
 
 use crate::{OperaError, Result};
+
+/// Rescales an excitation vector around an anchor (the quiescent `t = 0`
+/// excitation): `u ← anchor + scale·(u − anchor)`. Because switching
+/// currents vanish at quiescence, this scales exactly the switching part
+/// while leaving the pad (supply) injection untouched. Shared by the
+/// engine's scenario paths and the Monte Carlo baseline so the two sides of
+/// an OPERA-vs-MC comparison always apply the same scaling.
+pub(crate) fn rescale_around_anchor(u: &mut [f64], anchor: &[f64], scale: f64) {
+    for (u_n, a_n) in u.iter_mut().zip(anchor) {
+        *u_n = a_n + scale * (*u_n - a_n);
+    }
+}
 
 /// Time-integration scheme for the transient solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -120,16 +132,11 @@ impl TransientSolution {
 /// reused across right-hand sides (this is what makes the special case of the
 /// paper cheap: one factorisation, many solves).
 pub struct CompanionSystem {
-    factor: CompanionFactor,
+    factor: MatrixFactor,
     c_over_h: CsrMatrix,
     g: CsrMatrix,
     method: IntegrationMethod,
     h: f64,
-}
-
-enum CompanionFactor {
-    Cholesky(CholeskyFactor),
-    Lu(LuFactor),
 }
 
 impl CompanionSystem {
@@ -146,16 +153,39 @@ impl CompanionSystem {
         time_step: f64,
         method: IntegrationMethod,
     ) -> Result<Self> {
+        Self::with_factoring(g, c, time_step, method, MatrixFactor::cholesky_or_lu)
+    }
+
+    /// Builds the companion system with a left-looking LU factorisation,
+    /// skipping the Cholesky attempt — for matrices known (or suspected) not
+    /// to be positive definite.
+    ///
+    /// # Errors
+    ///
+    /// Returns the LU factorisation error for singular companion matrices.
+    pub fn with_lu(
+        g: &CsrMatrix,
+        c: &CsrMatrix,
+        time_step: f64,
+        method: IntegrationMethod,
+    ) -> Result<Self> {
+        Self::with_factoring(g, c, time_step, method, MatrixFactor::lu)
+    }
+
+    fn with_factoring(
+        g: &CsrMatrix,
+        c: &CsrMatrix,
+        time_step: f64,
+        method: IntegrationMethod,
+        factoring: impl FnOnce(&CsrMatrix) -> opera_sparse::Result<MatrixFactor>,
+    ) -> Result<Self> {
         let scale = match method {
             IntegrationMethod::BackwardEuler => 1.0 / time_step,
             IntegrationMethod::Trapezoidal => 2.0 / time_step,
         };
         let c_over_h = c.scaled(scale);
         let companion = g.add_scaled(&c_over_h, 1.0)?;
-        let factor = match CholeskyFactor::factor(&companion) {
-            Ok(chol) => CompanionFactor::Cholesky(chol),
-            Err(_) => CompanionFactor::Lu(LuFactor::factor(&companion)?),
-        };
+        let factor = factoring(&companion)?;
         Ok(CompanionSystem {
             factor,
             c_over_h,
@@ -172,10 +202,7 @@ impl CompanionSystem {
 
     /// Solves the companion system for an arbitrary right-hand side.
     pub fn solve(&self, rhs: &[f64]) -> Vec<f64> {
-        match &self.factor {
-            CompanionFactor::Cholesky(f) => f.solve(rhs),
-            CompanionFactor::Lu(f) => f.solve(rhs),
-        }
+        self.factor.solve(rhs)
     }
 
     /// Advances one time step: given the state `v_k` and the excitations at
@@ -244,11 +271,9 @@ pub fn solve_transient(
     let times = options.time_points();
     // DC initial condition.
     let u0 = excitation(0.0);
-    let dc = CholeskyFactor::factor(g).map(|f| f.solve(&u0));
-    let v0 = match dc {
-        Ok(v) => v,
-        Err(_) => LuFactor::factor(g).map_err(OperaError::from)?.solve(&u0),
-    };
+    let v0 = MatrixFactor::cholesky_or_lu(g)
+        .map_err(OperaError::from)?
+        .solve(&u0);
     let companion = CompanionSystem::new(g, c, options.time_step, options.method)?;
     let mut voltages = Vec::with_capacity(times.len());
     voltages.push(v0);

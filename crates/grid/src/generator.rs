@@ -107,15 +107,22 @@ impl GridSpec {
     /// The `index`-th grid of the paper's Table 1 (`0..7`), at full node
     /// count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index >= 7`.
-    pub fn paper_grid(index: usize) -> Self {
-        let nodes = PAPER_GRID_NODE_COUNTS[index];
+    /// Returns [`GridError::InvalidSpec`] if `index >= 7`.
+    pub fn paper_grid(index: usize) -> Result<Self> {
+        let Some(&nodes) = PAPER_GRID_NODE_COUNTS.get(index) else {
+            return Err(GridError::InvalidSpec {
+                reason: format!(
+                    "the paper's Table 1 has {} grids, got index {index}",
+                    PAPER_GRID_NODE_COUNTS.len()
+                ),
+            });
+        };
         let mut spec = GridSpec::industrial(nodes);
         spec.seed = 1000 + index as u64;
         spec.block_count = 16 + 8 * index;
-        spec
+        Ok(spec)
     }
 
     /// A small grid suitable for unit tests and doc examples.
@@ -400,11 +407,15 @@ mod tests {
     #[test]
     fn paper_grid_specs_use_table1_node_counts() {
         for (i, &n) in PAPER_GRID_NODE_COUNTS.iter().enumerate() {
-            let spec = GridSpec::paper_grid(i);
+            let spec = GridSpec::paper_grid(i).unwrap();
             assert_eq!(spec.target_nodes, n);
         }
-        let scaled = GridSpec::paper_grid(0).scaled_nodes(0.1);
+        let scaled = GridSpec::paper_grid(0).unwrap().scaled_nodes(0.1);
         assert_eq!(scaled.target_nodes, 1_918);
+        assert!(matches!(
+            GridSpec::paper_grid(PAPER_GRID_NODE_COUNTS.len()),
+            Err(GridError::InvalidSpec { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! A unified direct factorisation handle.
+//!
+//! Power-grid conductance and companion matrices are symmetric positive
+//! definite in the nominal case, but Galerkin-augmented matrices can lose
+//! numerical positive definiteness for large variation magnitudes. Callers
+//! therefore routinely want "Cholesky, falling back to LU when the matrix is
+//! not SPD". [`MatrixFactor`] packages that policy (and the pure-Cholesky and
+//! pure-LU variants) behind one `solve` interface so downstream crates do not
+//! each carry their own two-variant enum.
+
+use crate::cholesky::CholeskyFactor;
+use crate::csr::CsrMatrix;
+use crate::lu::LuFactor;
+use crate::Result;
+
+/// A factored sparse matrix: either a sparse Cholesky factor (SPD input) or a
+/// left-looking LU factor with partial pivoting (general input).
+#[derive(Debug)]
+pub enum MatrixFactor {
+    /// Sparse Cholesky factor of an SPD matrix.
+    Cholesky(CholeskyFactor),
+    /// Left-looking LU factor with partial pivoting.
+    Lu(LuFactor),
+}
+
+impl MatrixFactor {
+    /// Factors `a` with sparse Cholesky, falling back to left-looking LU if
+    /// the matrix is not numerically positive definite.
+    ///
+    /// # Errors
+    ///
+    /// Returns the LU factorisation error if both attempts fail.
+    pub fn cholesky_or_lu(a: &CsrMatrix) -> Result<Self> {
+        match CholeskyFactor::factor(a) {
+            Ok(f) => Ok(MatrixFactor::Cholesky(f)),
+            Err(_) => Ok(MatrixFactor::Lu(LuFactor::factor(a)?)),
+        }
+    }
+
+    /// Factors `a` with sparse Cholesky only (no LU fallback).
+    ///
+    /// # Errors
+    ///
+    /// Returns the Cholesky error if `a` is not numerically SPD.
+    pub fn cholesky(a: &CsrMatrix) -> Result<Self> {
+        Ok(MatrixFactor::Cholesky(CholeskyFactor::factor(a)?))
+    }
+
+    /// Factors `a` with left-looking LU with partial pivoting, regardless of
+    /// symmetry or definiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the LU error for singular matrices.
+    pub fn lu(a: &CsrMatrix) -> Result<Self> {
+        Ok(MatrixFactor::Lu(LuFactor::factor(a)?))
+    }
+
+    /// Returns `true` if the factor is a Cholesky factor.
+    pub fn is_cholesky(&self) -> bool {
+        matches!(self, MatrixFactor::Cholesky(_))
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        match self {
+            MatrixFactor::Cholesky(f) => f.dim(),
+            MatrixFactor::Lu(f) => f.dim(),
+        }
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        match self {
+            MatrixFactor::Cholesky(f) => f.solve(b),
+            MatrixFactor::Lu(f) => f.solve(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    fn spd2() -> CsrMatrix {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 4.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 3.0);
+        t.to_csr()
+    }
+
+    fn indefinite2() -> CsrMatrix {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 0.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 0.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn spd_matrix_takes_the_cholesky_path() {
+        let a = spd2();
+        let f = MatrixFactor::cholesky_or_lu(&a).unwrap();
+        assert!(f.is_cholesky());
+        assert_eq!(f.dim(), 2);
+        let x = f.solve(&[5.0, 4.0]);
+        assert!((a.residual_inf_norm(&x, &[5.0, 4.0])) < 1e-12);
+    }
+
+    #[test]
+    fn non_spd_matrix_falls_back_to_lu() {
+        let a = indefinite2();
+        let f = MatrixFactor::cholesky_or_lu(&a).unwrap();
+        assert!(!f.is_cholesky());
+        let x = f.solve(&[2.0, 3.0]);
+        // A swaps the entries: x = [3, 2].
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_variants_respect_their_contract() {
+        assert!(MatrixFactor::cholesky(&indefinite2()).is_err());
+        let f = MatrixFactor::lu(&spd2()).unwrap();
+        assert!(!f.is_cholesky());
+        let x = f.solve(&[4.0, 1.0]);
+        assert!(spd2().residual_inf_norm(&x, &[4.0, 1.0]) < 1e-12);
+    }
+}

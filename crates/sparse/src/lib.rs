@@ -15,6 +15,8 @@
 //!   symmetric positive definite matrices produced by RC power grids.
 //! * [`LuFactor`] — left-looking sparse LU with partial pivoting as a
 //!   general-purpose fallback.
+//! * [`MatrixFactor`] — one handle over "Cholesky, or LU when the matrix is
+//!   not SPD", the factorisation policy shared by all OPERA solve paths.
 //! * [`cg`] — preconditioned conjugate gradient (Jacobi and IC(0)
 //!   preconditioners) for very large grids where a direct factorisation is
 //!   not wanted.
@@ -49,6 +51,7 @@ mod csr;
 mod dense;
 mod error;
 mod etree;
+mod factor;
 mod lu;
 mod permutation;
 mod triangular;
@@ -63,6 +66,7 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use etree::{column_counts, elimination_tree, postorder};
+pub use factor::MatrixFactor;
 pub use lu::LuFactor;
 pub use permutation::Permutation;
 pub use triangular::{solve_lower_csc, solve_lower_transpose_csc, solve_upper_csc};

@@ -185,7 +185,7 @@ impl StochasticGridModel {
     }
 
     /// Builds an intra-die model: the die is split into `regions` slices
-    /// (by node index, mirroring [`opera_variation::LeakageModel::uniform_slices`]'s
+    /// (by node index, mirroring [`crate::LeakageModel::uniform_slices`]'s
     /// convention) and each slice gets its own conductance variable
     /// `ξ_G[r]`, while the channel-length variable `ξ_L` remains shared
     /// (gate capacitance and drain currents track the die-wide `Leff`).

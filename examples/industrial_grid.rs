@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale: f64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(0.1);
     let samples: usize = args.get(3).map(|s| s.parse()).transpose()?.unwrap_or(200);
 
-    let config = ExperimentConfig::table1_row_scaled(row, scale, samples);
+    let config = ExperimentConfig::table1_row_scaled(row, scale, samples)?;
     println!(
         "Table 1 row {} (scaled x{:.2}): target {} nodes, {} MC samples, order-{} expansion",
         row + 1,

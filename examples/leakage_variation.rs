@@ -4,9 +4,12 @@
 //! Threshold-voltage variations in two intra-die regions make the leakage
 //! currents lognormal. Because the grid matrices stay deterministic, the
 //! Galerkin system decouples: one factorisation of the nominal companion
-//! matrix is shared by all `N + 1` coefficient systems. The example prints
-//! the exact mean/σ of the worst drop (prior work could only bound the
-//! variance) and validates against a shared-factorisation Monte Carlo run.
+//! matrix is shared by all `N + 1` coefficient systems — the same
+//! setup-once/solve-many economics the `OperaEngine` provides for the general
+//! case, but exploiting the decoupling so no augmented system is ever built.
+//! The example prints the exact mean/σ of the worst drop (prior work could
+//! only bound the variance) and validates against a shared-factorisation
+//! Monte Carlo run.
 //!
 //! Run with:
 //!

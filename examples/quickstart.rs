@@ -1,9 +1,11 @@
 //! Quickstart: stochastic IR-drop analysis of a small synthetic power grid.
 //!
 //! Builds a ~2,000-node grid, applies the paper's process-variation
-//! magnitudes (20 % W, 15 % T, 20 % Leff at 3σ), runs OPERA with an order-2
-//! Hermite expansion and prints the voltage-drop statistics at the worst
-//! node, comparing them against a small Monte Carlo run.
+//! magnitudes (20 % W, 15 % T, 20 % Leff at 3σ) and constructs an
+//! [`OperaEngine`]: grid elaboration, Galerkin assembly and the solver
+//! factorisation happen once. The engine then serves the order-2 OPERA
+//! solve, a Monte Carlo validation and a rescaled what-if scenario — all
+//! against the same prepared system.
 //!
 //! Run with:
 //!
@@ -12,25 +14,15 @@
 //! ```
 
 use opera::compare::compare;
-use opera::monte_carlo::{run as run_monte_carlo, MonteCarloOptions};
+use opera::engine::{McConfig, OperaEngine, Scenario};
 use opera::response::drop_summary;
-use opera::stochastic::{solve, OperaOptions};
-use opera::transient::TransientOptions;
 use opera_grid::GridSpec;
-use opera_variation::{StochasticGridModel, VariationSpec};
+use opera_variation::VariationSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Generate a synthetic "industrial-like" grid with ~2,000 nodes.
-    let grid = GridSpec::industrial(2_000).with_seed(1).build()?;
-    println!(
-        "grid: {} nodes, {} pads, {} current sources, VDD = {:.2} V",
-        grid.node_count(),
-        grid.pad_nodes().len(),
-        grid.sources().len(),
-        grid.vdd()
-    );
-
-    // 2. Attach the paper's inter-die variation model (ξ_G, ξ_L).
+    // 1. Build the engine: generate a synthetic "industrial-like" grid with
+    //    ~2,000 nodes, attach the paper's inter-die variation model (ξ_G,
+    //    ξ_L) and assemble + factor the augmented system once.
     let variation = VariationSpec::paper_defaults();
     println!(
         "variation: 3σ of {:.0}% (W), {:.0}% (T) -> {:.0}% (ξ_G), {:.0}% (Leff)",
@@ -39,17 +31,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * variation.conductance_3sigma(),
         100.0 * variation.channel_length_3sigma,
     );
-    let model = StochasticGridModel::inter_die(&grid, &variation)?;
+    let engine = OperaEngine::for_grid(GridSpec::industrial(2_000).with_seed(1))?
+        .variation(variation)
+        .order(2)
+        .time_step(0.05e-9)
+        .build()?;
+    let grid = engine.grid();
+    println!(
+        "grid: {} nodes, {} pads, {} current sources, VDD = {:.2} V",
+        grid.node_count(),
+        grid.pad_nodes().len(),
+        grid.sources().len(),
+        grid.vdd()
+    );
+    println!(
+        "engine: {} basis functions prepared in {:.2} s (assembly + factorisation, done once)",
+        engine.basis_size(),
+        engine.setup_seconds()
+    );
 
-    // 3. Run OPERA: one augmented transient solve with an order-2 expansion.
-    let transient = TransientOptions::new(0.05e-9, grid.waveform_end_time());
+    // 2. OPERA: one augmented transient solve on the prepared system.
     let started = std::time::Instant::now();
-    let solution = solve(&model, &OperaOptions::order2(transient))?;
+    let solution = engine.solve()?;
     let opera_time = started.elapsed();
     let summary = drop_summary(&solution, grid.vdd(), None);
     println!(
-        "\nOPERA ({} basis functions, {} time points) finished in {:.2?}",
-        solution.basis_size(),
+        "\nOPERA solve ({} time points) finished in {:.2?}",
         solution.times().len(),
         opera_time
     );
@@ -66,10 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         summary.loaded_nodes
     );
 
-    // 4. Validate against a small Monte Carlo run (the paper uses 1000
-    //    samples; 100 keeps the example fast).
+    // 3. Validate against a small Monte Carlo run on the same engine (the
+    //    paper uses 1000 samples; 100 keeps the example fast).
     let started = std::time::Instant::now();
-    let mc = run_monte_carlo(&model, &MonteCarloOptions::new(100, 7, transient))?;
+    let mc = engine.monte_carlo(&McConfig::new(100, 7))?;
     let mc_time = started.elapsed();
     let errors = compare(&solution, &mc, grid.vdd());
     println!(
@@ -84,6 +91,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         errors.max_mean_error_percent,
         errors.avg_std_error_percent,
         errors.max_std_error_percent
+    );
+
+    // 4. A what-if scenario — 30 % heavier switching activity — reuses the
+    //    same assembly and factorisation (a pure right-hand-side change).
+    let heavy = engine.solve_scenario(&Scenario::named("heavy").with_current_scale(1.3))?;
+    let (node, k, heavy_drop) = heavy.worst_mean_drop(grid.vdd());
+    println!(
+        "\nscenario 1.3x currents: worst drop {:.2} mV (σ = {:.2} mV) — \
+         still {} assembly / {} factorisation in total",
+        1e3 * heavy_drop,
+        1e3 * heavy.std_dev_at(k, node),
+        engine.assembly_count(),
+        engine.factorization_count()
     );
     Ok(())
 }

@@ -66,7 +66,7 @@ fn paper_grid_specs_expose_the_seven_table1_sizes() {
 fn scaled_table1_experiment_runs_end_to_end() {
     // A strongly scaled-down version of Table 1 row 1 — the full-size run is
     // exercised by the benchmark harness, not the test suite.
-    let config = ExperimentConfig::table1_row_scaled(0, 0.02, 30);
+    let config = ExperimentConfig::table1_row_scaled(0, 0.02, 30).unwrap();
     let report = run_experiment(&config).unwrap();
     assert!(report.node_count > 200);
     // With only 30 Monte Carlo samples (kept low so the test is fast) the

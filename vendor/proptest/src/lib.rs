@@ -3,8 +3,9 @@
 //!
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`], [`prop_oneof!`],
-//! * [`Strategy`] with `prop_map` / `prop_flat_map`, [`Just`], numeric-range
-//!   and tuple strategies, and [`collection::vec`].
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//!   [`strategy::Just`], numeric-range and tuple strategies, and
+//!   [`collection::vec`].
 //!
 //! The build environment has no crate-registry access, so the workspace
 //! vendors this minimal implementation. Unlike real proptest there is no
@@ -310,7 +311,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::*;
 
-    /// Length specification for [`vec`]: an exact length or a `[lo, hi)`
+    /// Length specification for [`vec()`]: an exact length or a `[lo, hi)`
     /// range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
