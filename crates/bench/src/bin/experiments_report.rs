@@ -1,8 +1,10 @@
 //! Runs the complete (scaled) experiment suite in one go and prints every
 //! result recorded in EXPERIMENTS.md: the Table 1 reproduction, the
 //! Figure 1/2 distributions, the order/variable ablation, the special case
-//! of Section 5.1 and a batched scenario sweep served by one long-lived
-//! [`OperaEngine`] (setup-once/solve-many).
+//! of Section 5.1, a batched scenario sweep served by one long-lived
+//! [`OperaEngine`] (setup-once/solve-many), and the
+//! Galerkin-vs-collocation-vs-Monte-Carlo cross-validation (orders
+//! `1..=OPERA_BENCH_COLLOCATION_MAX_ORDER`).
 //!
 //! ```text
 //! cargo run --release -p opera-bench --bin experiments_report
@@ -10,14 +12,14 @@
 
 use opera::analysis::run_experiment;
 use opera::compare::compare;
-use opera::engine::{OperaEngine, Scenario};
+use opera::engine::{CollocationConfig, McConfig, OperaEngine, Scenario};
 use opera::monte_carlo::{run as run_monte_carlo, run_leakage, MonteCarloOptions};
 use opera::special_case::{solve_leakage, SpecialCaseOptions};
 use opera::stochastic::{solve, OperaOptions};
 use opera::transient::TransientOptions;
 use opera_bench::{
-    ascii_histogram, mc_samples_from_env, parallelism_from_env, scale_from_env, table1_config,
-    table1_header, table1_row_line,
+    ascii_histogram, collocation_max_order_from_env, mc_samples_from_env, parallelism_from_env,
+    scale_from_env, table1_config, table1_header, table1_row_line,
 };
 use opera_grid::GridSpec;
 use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
@@ -25,7 +27,7 @@ use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = scale_from_env();
     let samples = mc_samples_from_env();
-    let parallelism = parallelism_from_env();
+    let parallelism = parallelism_from_env()?;
 
     // ------------------------------------------------------------------ Table 1
     println!("==== Experiment 1: Table 1 (scale {scale}, {samples} MC samples) ====");
@@ -172,6 +174,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.assembly_count(),
         engine.factorization_count(),
         engine.setup_seconds()
+    );
+
+    // ------------------- Cross-validation: Galerkin vs collocation vs MC
+    let max_order = collocation_max_order_from_env();
+    println!(
+        "\n==== Experiment 6: cross-validation — Galerkin vs collocation vs Monte Carlo \
+         (orders 1..={max_order}) ===="
+    );
+    println!(
+        "{:>5} {:>6} {:>6} | {:>12} {:>12} | {:>10} {:>10} | {:>9} {:>9} {:>9}",
+        "order",
+        "N+1",
+        "nodes",
+        "gal µerr %V",
+        "col µerr %V",
+        "gal σerr %",
+        "col σerr %",
+        "gal (s)",
+        "col (s)",
+        "MC (s)"
+    );
+    let base = table1_config(0, scale, samples, parallelism)?;
+    // The Monte Carlo baseline depends only on the model and transient
+    // settings, not on the expansion order — run it once for the whole sweep.
+    let mut mc_baseline = None;
+    for order in 1..=max_order {
+        let mut config = base.clone();
+        config.order = order;
+        let engine = OperaEngine::from_config(&config)?;
+        if mc_baseline.is_none() {
+            let started = std::time::Instant::now();
+            let mc = engine.monte_carlo(&McConfig::new(samples, 29))?;
+            mc_baseline = Some((mc, started.elapsed().as_secs_f64()));
+        }
+        let (mc, mc_secs) = mc_baseline.as_ref().expect("just populated");
+        let started = std::time::Instant::now();
+        let galerkin = engine.solve()?;
+        let gal_secs = engine.setup_seconds() + started.elapsed().as_secs_f64();
+        let colloc = engine.collocation(&CollocationConfig::smolyak(order))?;
+        let gal_err = compare(&galerkin, mc, engine.grid().vdd());
+        let col_err = compare(&colloc.solution, mc, engine.grid().vdd());
+        println!(
+            "{:>5} {:>6} {:>6} | {:>12.5} {:>12.5} | {:>10.2} {:>10.2} | {:>9.3} {:>9.3} {:>9.2}",
+            order,
+            engine.basis_size(),
+            colloc.nodes,
+            gal_err.avg_mean_error_percent,
+            col_err.avg_mean_error_percent,
+            gal_err.avg_std_error_percent,
+            col_err.avg_std_error_percent,
+            gal_secs,
+            colloc.seconds,
+            mc_secs
+        );
+        assert_eq!(
+            engine.collocation_symbolic_count(),
+            1,
+            "collocation must share one symbolic analysis"
+        );
+    }
+    println!(
+        "collocation shares one symbolic analysis across all nodes of each sweep; \
+         both methods project into the same order-p chaos basis"
     );
     Ok(())
 }

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = scale_from_env();
     let samples = mc_samples_from_env();
     // Figures 1–2 use the 19,181-node grid (Table 1 row 1).
-    let config = table1_config(0, scale, samples, parallelism_from_env())?;
+    let config = table1_config(0, scale, samples, parallelism_from_env()?)?;
     println!(
         "Figure 1/2 reproduction — grid row 1 at scale {scale}, {samples} Monte Carlo samples"
     );

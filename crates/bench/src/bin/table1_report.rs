@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "Table 1 reproduction — scale {scale}, {samples} Monte Carlo samples, order-2 expansion"
     );
-    let parallelism = parallelism_from_env();
+    let parallelism = parallelism_from_env()?;
     println!("{}", table1_header());
     for row in rows {
         let config = table1_config(row, scale, samples, parallelism)?;

@@ -13,7 +13,12 @@
 //!   the paper uses `1000`),
 //! * `OPERA_BENCH_THREADS` — worker threads for the Monte Carlo baseline
 //!   (`1` = serial, `0`/`max` = all cores — the default, any other integer
-//!   = fixed count); statistics are bit-identical for every setting,
+//!   = fixed count); statistics are bit-identical for every setting. An
+//!   unparseable value makes the report binaries exit with an error rather
+//!   than silently falling back,
+//! * `OPERA_BENCH_COLLOCATION_MAX_ORDER` — highest expansion order of the
+//!   Galerkin-vs-collocation-vs-Monte-Carlo cross-validation experiment
+//!   (default `2`),
 //!
 //! so the same binaries can run as quick smoke tests or as the full
 //! (hours-long) paper-scale reproduction.
@@ -44,18 +49,50 @@ pub fn mc_samples_from_env() -> usize {
 
 /// Reads the Monte Carlo worker-thread budget from `OPERA_BENCH_THREADS`
 /// (`1` = serial, `0`/`max` = all cores, otherwise a fixed count; defaults
-/// to all cores).
-pub fn parallelism_from_env() -> Parallelism {
-    match std::env::var("OPERA_BENCH_THREADS") {
-        Err(_) => Parallelism::Max,
-        Ok(raw) => Parallelism::from_str_setting(&raw).unwrap_or_else(|| {
-            eprintln!(
-                "warning: ignoring unparseable OPERA_BENCH_THREADS={raw:?} \
-                 (expected an integer or \"max\"); using all cores"
-            );
-            Parallelism::Max
+/// to all cores when unset).
+///
+/// # Errors
+///
+/// Returns a descriptive message for an unparseable setting. The report
+/// binaries propagate this out of `main`, so a typo like
+/// `OPERA_BENCH_THREADS=banana` aborts the run instead of silently falling
+/// back to all cores.
+pub fn parallelism_from_env() -> Result<Parallelism, String> {
+    parallelism_from_setting(std::env::var("OPERA_BENCH_THREADS").ok().as_deref())
+}
+
+/// The environment-free core of [`parallelism_from_env`]: `None` (variable
+/// unset) means all cores; otherwise the string must parse.
+///
+/// # Errors
+///
+/// Returns a descriptive message for an unparseable setting.
+pub fn parallelism_from_setting(raw: Option<&str>) -> Result<Parallelism, String> {
+    match raw {
+        None => Ok(Parallelism::Max),
+        Some(raw) => Parallelism::from_str_setting(raw).ok_or_else(|| {
+            format!(
+                "unparseable OPERA_BENCH_THREADS={raw:?}: \
+                 expected an integer or \"max\""
+            )
         }),
     }
+}
+
+/// Default highest expansion order of the Galerkin-vs-collocation-vs-Monte
+/// Carlo cross-validation experiment.
+pub const DEFAULT_COLLOCATION_MAX_ORDER: u32 = 2;
+
+/// Reads the highest order of the cross-validation experiment from
+/// `OPERA_BENCH_COLLOCATION_MAX_ORDER` (default
+/// [`DEFAULT_COLLOCATION_MAX_ORDER`]; unparseable values fall back to the
+/// default like the other tuning knobs).
+pub fn collocation_max_order_from_env() -> u32 {
+    std::env::var("OPERA_BENCH_COLLOCATION_MAX_ORDER")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&order| order >= 1)
+        .unwrap_or(DEFAULT_COLLOCATION_MAX_ORDER)
 }
 
 /// The experiment configuration for one (possibly scaled) Table 1 row.
@@ -133,21 +170,55 @@ mod tests {
     #[test]
     fn env_settings_round_trip() {
         // One test covers both unset → defaults and set → parsed, so the
-        // OPERA_BENCH_THREADS mutations cannot race a sibling test thread.
+        // environment mutations cannot race a sibling test thread.
         std::env::remove_var("OPERA_BENCH_SCALE");
         std::env::remove_var("OPERA_BENCH_MC_SAMPLES");
         std::env::remove_var("OPERA_BENCH_THREADS");
+        std::env::remove_var("OPERA_BENCH_COLLOCATION_MAX_ORDER");
         assert_eq!(scale_from_env(), DEFAULT_SCALE);
         assert_eq!(mc_samples_from_env(), DEFAULT_MC_SAMPLES);
-        assert_eq!(parallelism_from_env(), Parallelism::Max);
+        assert_eq!(parallelism_from_env(), Ok(Parallelism::Max));
+        assert_eq!(
+            collocation_max_order_from_env(),
+            DEFAULT_COLLOCATION_MAX_ORDER
+        );
 
         std::env::set_var("OPERA_BENCH_THREADS", "1");
-        assert_eq!(parallelism_from_env(), Parallelism::Serial);
+        assert_eq!(parallelism_from_env(), Ok(Parallelism::Serial));
         std::env::set_var("OPERA_BENCH_THREADS", "4");
-        assert_eq!(parallelism_from_env(), Parallelism::Threads(4));
+        assert_eq!(parallelism_from_env(), Ok(Parallelism::Threads(4)));
+        // An unparseable setting is an error, not a silent fallback.
         std::env::set_var("OPERA_BENCH_THREADS", "banana");
-        assert_eq!(parallelism_from_env(), Parallelism::Max);
+        let err = parallelism_from_env().unwrap_err();
+        assert!(err.contains("banana"), "{err}");
         std::env::remove_var("OPERA_BENCH_THREADS");
+
+        std::env::set_var("OPERA_BENCH_COLLOCATION_MAX_ORDER", "3");
+        assert_eq!(collocation_max_order_from_env(), 3);
+        std::env::set_var("OPERA_BENCH_COLLOCATION_MAX_ORDER", "0");
+        assert_eq!(
+            collocation_max_order_from_env(),
+            DEFAULT_COLLOCATION_MAX_ORDER
+        );
+        std::env::remove_var("OPERA_BENCH_COLLOCATION_MAX_ORDER");
+    }
+
+    #[test]
+    fn parallelism_setting_parses_or_errors() {
+        // Parse-ok paths.
+        assert_eq!(parallelism_from_setting(None), Ok(Parallelism::Max));
+        assert_eq!(parallelism_from_setting(Some("1")), Ok(Parallelism::Serial));
+        assert_eq!(parallelism_from_setting(Some("max")), Ok(Parallelism::Max));
+        assert_eq!(
+            parallelism_from_setting(Some("8")),
+            Ok(Parallelism::Threads(8))
+        );
+        // Parse-fail paths carry the offending value in the message.
+        for bad in ["banana", "-2", "1.5", ""] {
+            let err = parallelism_from_setting(Some(bad)).unwrap_err();
+            assert!(err.contains(bad), "{err}");
+            assert!(err.contains("OPERA_BENCH_THREADS"), "{err}");
+        }
     }
 
     #[test]

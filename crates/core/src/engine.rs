@@ -39,6 +39,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+pub use opera_collocation::GridKind;
+use opera_collocation::{build_grid, solve_collocation, StepScheme, TransientSpec};
 use opera_grid::{GridSpec, PowerGrid};
 use opera_pce::OrthogonalBasis;
 use opera_variation::{StochasticGridModel, VariationSpec};
@@ -175,6 +177,66 @@ impl McConfig {
             probe_nodes: Vec::new(),
         }
     }
+}
+
+/// Configuration of one stochastic-collocation sweep served by
+/// [`OperaEngine::collocation`]: the quadrature-grid kind and its refinement
+/// level. The engine supplies everything else (model, basis, transient
+/// settings, parallelism) from its own state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollocationConfig {
+    /// Refinement level of the quadrature grid (`≥ 1`). A Smolyak grid at
+    /// level `L` integrates total polynomial degree `2L + 1` exactly, so
+    /// `level == order` of the engine's expansion is the natural pairing.
+    pub level: u32,
+    /// Which grid to build (Smolyak sparse grid or full tensor product).
+    pub grid: GridKind,
+}
+
+impl CollocationConfig {
+    /// A Smolyak sparse-grid sweep at the given level.
+    pub fn smolyak(level: u32) -> Self {
+        CollocationConfig {
+            level,
+            grid: GridKind::Smolyak,
+        }
+    }
+
+    /// A full tensor-product sweep at the given level.
+    pub fn tensor(level: u32) -> Self {
+        CollocationConfig {
+            level,
+            grid: GridKind::Tensor,
+        }
+    }
+}
+
+impl Default for CollocationConfig {
+    fn default() -> Self {
+        CollocationConfig::smolyak(2)
+    }
+}
+
+/// The result of one [`OperaEngine::collocation`] sweep: the polynomial-chaos
+/// solution (the same shape [`OperaEngine::solve`] produces) plus the
+/// work counters proving the shared-symbolic contract.
+#[derive(Debug, Clone)]
+pub struct CollocationReport {
+    /// The projected polynomial-chaos solution.
+    pub solution: StochasticSolution,
+    /// The grid kind the sweep ran on.
+    pub grid: GridKind,
+    /// The refinement level the sweep ran at.
+    pub level: u32,
+    /// Number of quadrature nodes solved.
+    pub nodes: usize,
+    /// Symbolic analyses performed (always 1: shared across all nodes).
+    pub symbolic_analyses: usize,
+    /// Numeric-only factorisations performed (two per node).
+    pub numeric_factorizations: usize,
+    /// Wall-clock seconds of the sweep (grid build + node solves +
+    /// projection).
+    pub seconds: f64,
 }
 
 enum ModelSource {
@@ -357,6 +419,8 @@ impl EngineBuilder {
             setup_seconds,
             assemblies: AtomicUsize::new(1),
             factorizations: AtomicUsize::new(1),
+            collocation_symbolics: AtomicUsize::new(0),
+            collocation_factorizations: AtomicUsize::new(0),
         })
     }
 }
@@ -377,6 +441,8 @@ pub struct OperaEngine {
     setup_seconds: f64,
     assemblies: AtomicUsize,
     factorizations: AtomicUsize,
+    collocation_symbolics: AtomicUsize,
+    collocation_factorizations: AtomicUsize,
 }
 
 impl fmt::Debug for OperaEngine {
@@ -489,6 +555,21 @@ impl OperaEngine {
         self.factorizations.load(Ordering::Relaxed)
     }
 
+    /// How many *symbolic* Cholesky analyses (ordering + elimination tree)
+    /// the engine's collocation sweeps have performed — one per
+    /// [`collocation`](Self::collocation) call, shared by every quadrature
+    /// node of that sweep. Test hook for the shared-symbolic contract.
+    pub fn collocation_symbolic_count(&self) -> usize {
+        self.collocation_symbolics.load(Ordering::Relaxed)
+    }
+
+    /// How many numeric-only factorisations the engine's collocation sweeps
+    /// have performed against their shared symbolic analyses (two per
+    /// quadrature node: the DC matrix and the companion matrix).
+    pub fn collocation_factorization_count(&self) -> usize {
+        self.collocation_factorizations.load(Ordering::Relaxed)
+    }
+
     /// Solves the engine's baseline configuration (the default
     /// [`Scenario`]), reusing the prepared factorisation.
     ///
@@ -526,6 +607,95 @@ impl OperaEngine {
             },
             transient.time_points(),
         )
+    }
+
+    /// Runs a stochastic-collocation sweep on the engine's model, the
+    /// non-intrusive cross-check of the Galerkin path: every node of a
+    /// Smolyak (or tensor) quadrature grid gets its own *deterministic*
+    /// transient solve at that parameter realisation, all node
+    /// factorisations share **one** symbolic analysis (no re-assembly of the
+    /// pattern, no re-ordering), and the node results are projected onto the
+    /// engine's polynomial-chaos basis.
+    ///
+    /// Node solves fan out over the engine's [`Parallelism`] pool with a
+    /// deterministic reduction order, so the returned statistics are
+    /// bit-identical for every worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for a zero level and propagates
+    /// grid-construction, realisation and factorisation errors.
+    pub fn collocation(&self, config: &CollocationConfig) -> Result<CollocationReport> {
+        self.parallelism
+            .install(|| self.collocation_in_pool(config, &Scenario::default()))?
+    }
+
+    /// Runs one scenario end to end like [`run_scenario`](Self::run_scenario)
+    /// but computes the stochastic solution by collocation instead of the
+    /// Galerkin solve, validating it against the same Monte Carlo baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collocation, solver and sampling errors.
+    pub fn run_collocation_scenario(
+        &self,
+        scenario: &Scenario,
+        config: &CollocationConfig,
+    ) -> Result<ScenarioReport> {
+        self.parallelism.install(|| {
+            let report = self.collocation_in_pool(config, scenario)?;
+            self.finish_scenario_report(scenario, report.solution, report.seconds)
+        })?
+    }
+
+    /// The collocation sweep proper, run on the ambient pool.
+    fn collocation_in_pool(
+        &self,
+        config: &CollocationConfig,
+        scenario: &Scenario,
+    ) -> Result<CollocationReport> {
+        if config.level == 0 {
+            return Err(OperaError::InvalidOptions {
+                reason: "collocation level must be at least 1 \
+                         (level 0 degenerates to the single mean node)"
+                    .to_string(),
+            });
+        }
+        let transient = self.scenario_transient(scenario)?;
+        let spec = TransientSpec {
+            time_step: transient.time_step,
+            end_time: transient.end_time,
+            scheme: match transient.method {
+                IntegrationMethod::BackwardEuler => StepScheme::BackwardEuler,
+                IntegrationMethod::Trapezoidal => StepScheme::Trapezoidal,
+            },
+            current_scale: scenario.current_scale,
+        };
+        let started = Instant::now();
+        let quadrature = build_grid(config.grid, &self.model.families(), config.level)
+            .map_err(OperaError::from)?;
+        let run = solve_collocation(&self.model, self.system.basis(), &quadrature, &spec)
+            .map_err(OperaError::from)?;
+        let seconds = started.elapsed().as_secs_f64();
+        self.collocation_symbolics
+            .fetch_add(run.stats.symbolic_analyses, Ordering::Relaxed);
+        self.collocation_factorizations
+            .fetch_add(run.stats.numeric_factorizations, Ordering::Relaxed);
+        let solution = StochasticSolution::new(
+            self.system.basis().clone(),
+            run.times,
+            run.node_count,
+            run.coefficients,
+        );
+        Ok(CollocationReport {
+            solution,
+            grid: config.grid,
+            level: config.level,
+            nodes: run.stats.nodes,
+            symbolic_analyses: run.stats.symbolic_analyses,
+            numeric_factorizations: run.stats.numeric_factorizations,
+            seconds,
+        })
     }
 
     /// Runs the Monte Carlo baseline on the engine's model and default
@@ -617,16 +787,27 @@ impl OperaEngine {
     }
 
     fn run_scenario_in_pool(&self, scenario: &Scenario) -> Result<ScenarioReport> {
+        // --- OPERA (timed; setup is amortised and reported separately).
+        let t0 = Instant::now();
+        let opera_solution = self.solve_scenario(scenario)?;
+        let opera_seconds = t0.elapsed().as_secs_f64();
+        self.finish_scenario_report(scenario, opera_solution, opera_seconds)
+    }
+
+    /// The backend-independent half of a scenario run: given a stochastic
+    /// solution (Galerkin or collocation) and the seconds it took, runs the
+    /// Monte Carlo validation, accuracy comparison and drop distribution.
+    fn finish_scenario_report(
+        &self,
+        scenario: &Scenario,
+        opera_solution: StochasticSolution,
+        opera_seconds: f64,
+    ) -> Result<ScenarioReport> {
         let transient = self.scenario_transient(scenario)?;
         let grid = self.model.grid();
         let vdd = grid.vdd();
         let mc_samples = scenario.mc_samples.unwrap_or(self.mc_samples);
         let mc_seed = scenario.mc_seed.unwrap_or(self.mc_seed);
-
-        // --- OPERA (timed; setup is amortised and reported separately).
-        let t0 = Instant::now();
-        let opera_solution = self.solve_scenario(scenario)?;
-        let opera_seconds = t0.elapsed().as_secs_f64();
 
         // Probe node: worst mean drop of the OPERA solution.
         let (probe_node, probe_time, _) = opera_solution.worst_mean_drop(vdd);
@@ -845,6 +1026,67 @@ mod tests {
             report.report.errors.avg_mean_error_percent
         );
         assert_eq!(report.current_scale, 1.5);
+    }
+
+    #[test]
+    fn collocation_agrees_with_the_galerkin_solve() {
+        let engine = quick_engine();
+        let vdd = engine.grid().vdd();
+        let galerkin = engine.solve().unwrap();
+        let report = engine.collocation(&CollocationConfig::smolyak(2)).unwrap();
+        assert_eq!(report.level, 2);
+        assert_eq!(report.grid, GridKind::Smolyak);
+        assert!(report.nodes > 1);
+        assert_eq!(report.symbolic_analyses, 1);
+        assert_eq!(engine.collocation_symbolic_count(), 1);
+        assert_eq!(engine.collocation_factorization_count(), 2 * report.nodes);
+        let colloc = &report.solution;
+        assert_eq!(colloc.times(), galerkin.times());
+        let (node, k, drop) = galerkin.worst_mean_drop(vdd);
+        assert!(drop > 0.0);
+        let mean_diff = (colloc.mean_at(k, node) - galerkin.mean_at(k, node)).abs();
+        assert!(mean_diff < 1e-4 * vdd, "mean differs by {mean_diff}");
+        let sigma_g = galerkin.std_dev_at(k, node);
+        let sigma_c = colloc.std_dev_at(k, node);
+        assert!(sigma_g > 0.0);
+        assert!(
+            (sigma_g - sigma_c).abs() < 0.05 * sigma_g,
+            "sigma {sigma_g} vs {sigma_c}"
+        );
+    }
+
+    #[test]
+    fn collocation_rejects_level_zero_and_tensor_matches_smolyak() {
+        let engine = quick_engine();
+        assert!(matches!(
+            engine.collocation(&CollocationConfig::smolyak(0)),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+        let smolyak = engine.collocation(&CollocationConfig::smolyak(2)).unwrap();
+        let tensor = engine.collocation(&CollocationConfig::tensor(2)).unwrap();
+        assert!(tensor.nodes >= smolyak.nodes);
+        let k = smolyak.solution.times().len() - 1;
+        for n in (0..smolyak.solution.node_count()).step_by(17) {
+            let d = (smolyak.solution.mean_at(k, n) - tensor.solution.mean_at(k, n)).abs();
+            assert!(d < 1e-6, "smolyak and tensor means differ by {d}");
+        }
+    }
+
+    #[test]
+    fn collocation_scenarios_validate_against_monte_carlo() {
+        let engine = quick_engine();
+        let report = engine
+            .run_collocation_scenario(
+                &Scenario::named("colloc").with_mc_samples(25),
+                &CollocationConfig::smolyak(2),
+            )
+            .unwrap();
+        assert_eq!(report.label, "colloc");
+        assert!(
+            report.report.errors.avg_mean_error_percent < 1.0,
+            "collocation disagrees with Monte Carlo: {} %VDD",
+            report.report.errors.avg_mean_error_percent
+        );
     }
 
     #[test]

@@ -70,6 +70,19 @@ impl From<opera_variation::VariationError> for OperaError {
     }
 }
 
+impl From<opera_collocation::CollocationError> for OperaError {
+    fn from(e: opera_collocation::CollocationError) -> Self {
+        match e {
+            opera_collocation::CollocationError::Sparse(e) => OperaError::Sparse(e),
+            opera_collocation::CollocationError::Pce(e) => OperaError::Pce(e),
+            opera_collocation::CollocationError::Variation(e) => OperaError::Variation(e),
+            opera_collocation::CollocationError::InvalidOptions { reason } => {
+                OperaError::InvalidOptions { reason }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,11 @@
 //!   excitation, e.g. per-region leakage): a single factorisation of the
 //!   nominal matrix plus `N + 1` independent solves.
 //! * [`monte_carlo`] — the Monte Carlo baseline the paper compares against.
+//! * [`engine::CollocationConfig`] / [`OperaEngine::collocation`] — the
+//!   stochastic-collocation cross-check: a Smolyak (or tensor) sweep of
+//!   independent deterministic node solves sharing one symbolic
+//!   factorisation analysis (driver in the `opera_collocation` crate),
+//!   projected onto the same polynomial-chaos basis.
 //! * [`parallel`] — the [`Parallelism`] knob and deterministic per-sample
 //!   seeding that let the Monte Carlo, special-case and batched-scenario
 //!   loops use all cores without changing any statistic.
@@ -92,7 +97,10 @@ pub mod special_case;
 pub mod stochastic;
 pub mod transient;
 
-pub use engine::{McConfig, OperaEngine, Scenario, ScenarioReport};
+pub use engine::{
+    CollocationConfig, CollocationReport, GridKind as CollocationGridKind, McConfig, OperaEngine,
+    Scenario, ScenarioReport,
+};
 pub use error::OperaError;
 pub use galerkin::GalerkinSystem;
 pub use parallel::Parallelism;

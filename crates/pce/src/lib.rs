@@ -22,6 +22,9 @@
 //! * [`OrthogonalBasis`] — the tensorised multivariate basis `{ψ_i}`.
 //! * [`quadrature`] — Gauss quadrature rules (Golub–Welsch via Sturm
 //!   bisection) used for inner products and moments.
+//! * [`sparse_grid`] — multi-dimensional collocation grids: full tensor
+//!   products and Smolyak sparse grids (combination technique) with node
+//!   deduplication and pseudo-spectral projection.
 //! * [`GalerkinCoupling`] — the tensors `⟨ψ_i ψ_j⟩` and `⟨ξ_d ψ_i ψ_j⟩`
 //!   needed to assemble the spectral (Galerkin) system of the paper.
 //! * [`PceSeries`] — a scalar expansion with mean/variance/evaluation and
@@ -61,6 +64,7 @@ pub mod gram_charlier;
 pub mod moments;
 pub mod quadrature;
 pub mod sampling;
+pub mod sparse_grid;
 
 pub use basis::OrthogonalBasis;
 pub use error::PceError;

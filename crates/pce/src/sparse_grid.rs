@@ -1,0 +1,512 @@
+//! Multi-dimensional quadrature grids for stochastic collocation.
+//!
+//! Stochastic collocation evaluates a model at a finite set of points in the
+//! random space and recovers the polynomial-chaos coefficients by discrete
+//! projection. This module builds the point sets from the 1-D Gauss rules of
+//! [`crate::quadrature`]:
+//!
+//! * [`tensor_grid`] — the full tensor product, exact but exponential in the
+//!   number of variables;
+//! * [`smolyak_grid`] — the Smolyak sparse grid, a combination-technique sum
+//!   of small anisotropic tensor grids that retains most of the polynomial
+//!   exactness at a fraction of the node count.
+//!
+//! The 1-D rules grow linearly with the level (`m(ℓ) = 2ℓ − 1` points, see
+//! [`level_points`]), so every rule has an odd point count; for families
+//! symmetric about zero (Hermite, Legendre) the centre node is shared across
+//! levels and the node [deduplication](QuadratureGrid) merges it, which is
+//! what makes the linear-growth hierarchy "weakly nested". Combination
+//! coefficients can be negative, so individual grid weights may be negative
+//! too — the weights still sum to one because every constituent rule
+//! integrates the constant exactly.
+
+use std::collections::HashMap;
+
+use crate::quadrature::{gauss_rule, GaussRule};
+use crate::{multi_indices, OrthogonalBasis, PceError, PolynomialFamily, Result};
+
+/// Two nodes whose coordinates all agree within this absolute tolerance are
+/// merged into one grid point (their weights are summed). Gauss nodes of the
+/// rules used here are separated by many orders of magnitude more than this.
+pub const NODE_MERGE_TOLERANCE: f64 = 1e-10;
+
+/// A multi-dimensional quadrature grid: deduplicated nodes with (possibly
+/// negative) weights summing to one.
+///
+/// # Example
+///
+/// ```
+/// use opera_pce::sparse_grid::smolyak_grid;
+/// use opera_pce::PolynomialFamily;
+///
+/// # fn main() -> Result<(), opera_pce::PceError> {
+/// let families = [PolynomialFamily::Hermite; 2];
+/// let grid = smolyak_grid(&families, 2)?;
+/// // E[ξ₁² ξ₂²] = 1 for independent standard Gaussians (total degree 4,
+/// // within the level-2 exactness of total degree 5).
+/// assert!((grid.integrate(|x| x[0] * x[0] * x[1] * x[1]) - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadratureGrid {
+    n_vars: usize,
+    nodes: Vec<Vec<f64>>,
+    weights: Vec<f64>,
+}
+
+impl QuadratureGrid {
+    /// The grid points, one `n_vars`-length coordinate vector per node.
+    pub fn nodes(&self) -> &[Vec<f64>] {
+        &self.nodes
+    }
+
+    /// The node weights (summing to one; Smolyak weights may be negative).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of random variables the grid spans.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Integrates a multivariate function against the grid.
+    pub fn integrate(&self, mut f: impl FnMut(&[f64]) -> f64) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(x, &w)| w * f(x))
+            .sum()
+    }
+
+    /// Discrete (pseudo-spectral) projection of a scalar function onto an
+    /// orthogonal basis: returns the coefficients
+    /// `a_i = Σ_q w_q ψ_i(ξ_q) f(ξ_q) / ⟨ψ_i²⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PceError::DimensionMismatch`] if the basis spans a different
+    /// number of variables than the grid.
+    pub fn project(
+        &self,
+        basis: &OrthogonalBasis,
+        mut f: impl FnMut(&[f64]) -> f64,
+    ) -> Result<Vec<f64>> {
+        if basis.n_vars() != self.n_vars {
+            return Err(PceError::DimensionMismatch {
+                got: basis.n_vars(),
+                expected: self.n_vars,
+            });
+        }
+        let mut coeffs = vec![0.0; basis.len()];
+        for (node, &w) in self.nodes.iter().zip(&self.weights) {
+            let psi = basis.evaluate_all(node)?;
+            let value = f(node);
+            for (c, p) in coeffs.iter_mut().zip(&psi) {
+                *c += w * p * value;
+            }
+        }
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c /= basis.norm_squared(i);
+        }
+        Ok(coeffs)
+    }
+}
+
+/// Accumulates weighted nodes, merging points whose quantised coordinates
+/// coincide. Node order is first-insertion order, which is deterministic for
+/// the deterministic construction loops below.
+struct GridAccumulator {
+    n_vars: usize,
+    nodes: Vec<Vec<f64>>,
+    weights: Vec<f64>,
+    /// Sum of |contribution| per node, to tell genuine combination-technique
+    /// cancellation apart from an intrinsically tiny single-rule weight.
+    magnitudes: Vec<f64>,
+    index: HashMap<Vec<i64>, usize>,
+}
+
+impl GridAccumulator {
+    fn new(n_vars: usize) -> Self {
+        GridAccumulator {
+            n_vars,
+            nodes: Vec::new(),
+            weights: Vec::new(),
+            magnitudes: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn add(&mut self, node: Vec<f64>, weight: f64) {
+        let key: Vec<i64> = node
+            .iter()
+            .map(|&x| (x / NODE_MERGE_TOLERANCE).round() as i64)
+            .collect();
+        match self.index.get(&key) {
+            Some(&q) => {
+                self.weights[q] += weight;
+                self.magnitudes[q] += weight.abs();
+            }
+            None => {
+                self.index.insert(key, self.nodes.len());
+                self.nodes.push(node);
+                self.weights.push(weight);
+                self.magnitudes.push(weight.abs());
+            }
+        }
+    }
+
+    /// Finishes the grid, dropping nodes whose signed contributions
+    /// *cancelled* to (numerically) nothing — they would cost a full model
+    /// solve and contribute zero. The test is relative to the node's own
+    /// summed |contributions|, so an extreme Gauss node whose single weight
+    /// is legitimately tiny is never dropped (dropping it would break the
+    /// advertised polynomial exactness: `w·x^{2m}` can be O(1) even when `w`
+    /// is below any absolute threshold).
+    fn finish(self) -> QuadratureGrid {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut weights = Vec::with_capacity(self.weights.len());
+        for ((node, w), magnitude) in self
+            .nodes
+            .into_iter()
+            .zip(self.weights)
+            .zip(self.magnitudes)
+        {
+            if w.abs() > 1e-14 * magnitude {
+                nodes.push(node);
+                weights.push(w);
+            }
+        }
+        QuadratureGrid {
+            n_vars: self.n_vars,
+            nodes,
+            weights,
+        }
+    }
+}
+
+/// Number of points of the 1-D rule at (1-based) level `ℓ`: `m(ℓ) = 2ℓ − 1`.
+///
+/// Linear growth keeps Smolyak node counts small for non-nested Gauss rules,
+/// and the odd count means every rule of a symmetric family contains the
+/// centre node, so consecutive levels share at least that point.
+///
+/// # Panics
+///
+/// Panics if `level_1d == 0` (levels are 1-based).
+pub fn level_points(level_1d: u32) -> usize {
+    assert!(level_1d >= 1, "1-D quadrature levels are 1-based");
+    2 * level_1d as usize - 1
+}
+
+/// Builds the full tensor-product grid at refinement level `level ≥ 0`:
+/// every dimension uses the `m(level + 1) = 2·level + 1` point Gauss rule of
+/// its family. Exact for polynomials of *per-variable* degree up to
+/// `2·m − 1`, but the node count grows as `m^d`.
+///
+/// # Errors
+///
+/// Propagates [`gauss_rule`] errors and rejects an empty family list.
+pub fn tensor_grid(families: &[PolynomialFamily], level: u32) -> Result<QuadratureGrid> {
+    if families.is_empty() {
+        return Err(PceError::InvalidBasis {
+            reason: "a quadrature grid needs at least one variable".to_string(),
+        });
+    }
+    let rules: Vec<GaussRule> = families
+        .iter()
+        .map(|&f| gauss_rule(f, level_points(level + 1)))
+        .collect::<Result<_>>()?;
+    let mut acc = GridAccumulator::new(families.len());
+    accumulate_tensor(&mut acc, &rules, 1.0);
+    Ok(acc.finish())
+}
+
+/// Builds the Smolyak sparse grid at refinement level `level ≥ 0` via the
+/// combination technique:
+///
+/// ```text
+/// A(L, d) = Σ_{L−d+1 ≤ |i|−d ≤ L} (−1)^{L+d−|i|} · C(d−1, L+d−|i|)
+///           · (U^{i_1} ⊗ … ⊗ U^{i_d})
+/// ```
+///
+/// where `U^{ℓ}` is the `m(ℓ)`-point Gauss rule of the corresponding family.
+/// Nodes shared between constituent tensor grids are merged and their
+/// (signed) weights summed. Exact for polynomials of *total* degree up to
+/// `2·level + 1`; at `level == 0` the grid degenerates to the single
+/// mean-value node.
+///
+/// # Errors
+///
+/// Propagates [`gauss_rule`] errors and rejects an empty family list.
+pub fn smolyak_grid(families: &[PolynomialFamily], level: u32) -> Result<QuadratureGrid> {
+    if families.is_empty() {
+        return Err(PceError::InvalidBasis {
+            reason: "a quadrature grid needs at least one variable".to_string(),
+        });
+    }
+    let d = families.len();
+    // 1-D rules per dimension and level, indexed by (dimension, level − 1).
+    let mut rules: Vec<Vec<GaussRule>> = Vec::with_capacity(d);
+    for &family in families {
+        let per_level: Vec<GaussRule> = (1..=level + 1)
+            .map(|l| gauss_rule(family, level_points(l)))
+            .collect::<Result<_>>()?;
+        rules.push(per_level);
+    }
+
+    let mut acc = GridAccumulator::new(d);
+    // Enumerate offsets j = i − 1 (component-wise) with |j| ≤ level; the
+    // combination coefficient is (−1)^t · C(d−1, t) with t = level − |j|,
+    // which vanishes for t > d − 1.
+    for mi in multi_indices(d, level)? {
+        let t = level - mi.total_degree();
+        if t as usize > d - 1 {
+            continue;
+        }
+        let sign = if t.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let coeff = sign * binomial(d - 1, t as usize);
+        let selected: Vec<&GaussRule> = mi
+            .degrees()
+            .iter()
+            .enumerate()
+            .map(|(dim, &j)| &rules[dim][j as usize])
+            .collect();
+        accumulate_anisotropic_tensor(&mut acc, &selected, coeff);
+    }
+    Ok(acc.finish())
+}
+
+/// Adds the tensor product of per-dimension rules (all of the same type) to
+/// the accumulator, scaled by `coeff`.
+fn accumulate_tensor(acc: &mut GridAccumulator, rules: &[GaussRule], coeff: f64) {
+    let refs: Vec<&GaussRule> = rules.iter().collect();
+    accumulate_anisotropic_tensor(acc, &refs, coeff);
+}
+
+/// Adds the tensor product of (possibly different-size) per-dimension rules
+/// to the accumulator, scaled by `coeff`, via a mixed-radix counter.
+fn accumulate_anisotropic_tensor(acc: &mut GridAccumulator, rules: &[&GaussRule], coeff: f64) {
+    let d = rules.len();
+    let mut counter = vec![0usize; d];
+    loop {
+        let mut node = Vec::with_capacity(d);
+        let mut w = coeff;
+        for (dim, &c) in counter.iter().enumerate() {
+            node.push(rules[dim].nodes[c]);
+            w *= rules[dim].weights[c];
+        }
+        acc.add(node, w);
+        let mut dim = 0;
+        loop {
+            if dim == d {
+                return;
+            }
+            counter[dim] += 1;
+            if counter[dim] < rules[dim].len() {
+                break;
+            }
+            counter[dim] = 0;
+            dim += 1;
+        }
+    }
+}
+
+/// Binomial coefficient `C(n, k)` as a float (small arguments only).
+fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0;
+    for step in 0..k {
+        result = result * (n - step) as f64 / (step + 1) as f64;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HERMITE_2D: [PolynomialFamily; 2] = [PolynomialFamily::Hermite; 2];
+
+    #[test]
+    fn one_dimensional_smolyak_is_a_plain_gauss_rule() {
+        for level in 0..=4u32 {
+            let grid = smolyak_grid(&[PolynomialFamily::Hermite], level).unwrap();
+            let rule = gauss_rule(PolynomialFamily::Hermite, level_points(level + 1)).unwrap();
+            assert_eq!(grid.len(), rule.len());
+            let mut pairs: Vec<(f64, f64)> = grid
+                .nodes()
+                .iter()
+                .map(|n| n[0])
+                .zip(grid.weights().iter().copied())
+                .collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for ((x, w), (rx, rw)) in pairs.iter().zip(rule.nodes.iter().zip(&rule.weights)) {
+                assert!((x - rx).abs() < 1e-12);
+                assert!((w - rw).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_even_with_negative_combination_terms() {
+        let mut saw_negative = false;
+        for d in 1..=4usize {
+            let families = vec![PolynomialFamily::Hermite; d];
+            for level in 0..=3u32 {
+                let grid = smolyak_grid(&families, level).unwrap();
+                let total: f64 = grid.weights().iter().sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-12,
+                    "d = {d}, level = {level}: weights sum to {total}"
+                );
+                saw_negative |= grid.weights().iter().any(|&w| w < 0.0);
+            }
+        }
+        // The combination technique must produce signed weights somewhere in
+        // this sweep (multi-dimensional grids at higher levels).
+        assert!(
+            saw_negative,
+            "no negative Smolyak weight in the whole sweep"
+        );
+    }
+
+    #[test]
+    fn smolyak_is_exact_for_total_degree_up_to_2l_plus_1() {
+        // Gaussian moments: E[ξ^{2m}] = (2m − 1)!!.
+        let dfact = |m: i32| (1..=m).map(|i| (2 * i - 1) as f64).product::<f64>();
+        let grid = smolyak_grid(&HERMITE_2D, 2).unwrap();
+        // Total degree 4 ≤ 5: exact.
+        assert!((grid.integrate(|x| x[0].powi(4)) - dfact(2)).abs() < 1e-9);
+        assert!((grid.integrate(|x| x[0].powi(2) * x[1].powi(2)) - 1.0).abs() < 1e-10);
+        // Odd total degrees vanish by symmetry.
+        assert!(grid.integrate(|x| x[0].powi(3) * x[1].powi(2)).abs() < 1e-9);
+        // Degree 6 > 5 is *not* integrated exactly by level 2 but is by level 3.
+        let level3 = smolyak_grid(&HERMITE_2D, 3).unwrap();
+        assert!((level3.integrate(|x| x[0].powi(6)) - dfact(3)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sparse_grid_is_much_smaller_than_the_tensor_grid() {
+        let families = vec![PolynomialFamily::Hermite; 4];
+        let sparse = smolyak_grid(&families, 2).unwrap();
+        let tensor = tensor_grid(&families, 2).unwrap();
+        assert_eq!(tensor.len(), 5usize.pow(4));
+        assert!(
+            sparse.len() * 5 < tensor.len(),
+            "sparse {} vs tensor {}",
+            sparse.len(),
+            tensor.len()
+        );
+        // Both integrate the constant exactly.
+        assert!((sparse.integrate(|_| 1.0) - 1.0).abs() < 1e-12);
+        assert!((tensor.integrate(|_| 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centre_node_is_deduplicated_across_constituent_grids() {
+        let grid = smolyak_grid(&HERMITE_2D, 2).unwrap();
+        let centre_count = grid
+            .nodes()
+            .iter()
+            .filter(|n| n.iter().all(|&x| x.abs() < 1e-9))
+            .count();
+        assert_eq!(centre_count, 1, "the origin must appear exactly once");
+        // No two remaining nodes coincide.
+        for (a, na) in grid.nodes().iter().enumerate() {
+            for nb in grid.nodes().iter().skip(a + 1) {
+                let dist: f64 = na
+                    .iter()
+                    .zip(nb)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0, f64::max);
+                assert!(dist > 1e-9, "duplicate nodes survived deduplication");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_recovers_polynomial_chaos_coefficients() {
+        let basis = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 2, 2).unwrap();
+        // f(ξ) = 3 + 2ξ₁ − ξ₂ + 0.5(ξ₁² − 1) + 0.25 ξ₁ξ₂ in the paper basis.
+        let truth = [3.0, 2.0, -1.0, 0.5, 0.25, 0.0];
+        let f =
+            |x: &[f64]| 3.0 + 2.0 * x[0] - x[1] + 0.5 * (x[0] * x[0] - 1.0) + 0.25 * x[0] * x[1];
+        for grid in [
+            smolyak_grid(&HERMITE_2D, 2).unwrap(),
+            tensor_grid(&HERMITE_2D, 2).unwrap(),
+        ] {
+            let coeffs = grid.project(&basis, f).unwrap();
+            for (c, t) in coeffs.iter().zip(&truth) {
+                assert!((c - t).abs() < 1e-10, "got {coeffs:?}");
+            }
+        }
+        // Dimension mismatch is reported.
+        let basis_3 = OrthogonalBasis::total_order(PolynomialFamily::Hermite, 3, 2).unwrap();
+        let grid = smolyak_grid(&HERMITE_2D, 1).unwrap();
+        assert!(grid.project(&basis_3, |_| 1.0).is_err());
+    }
+
+    #[test]
+    fn mixed_families_and_errors() {
+        let grid =
+            smolyak_grid(&[PolynomialFamily::Hermite, PolynomialFamily::Legendre], 2).unwrap();
+        // E[ξ² x²] = 1 · 1/3 for a Gaussian times a U(−1, 1).
+        let got = grid.integrate(|x| x[0] * x[0] * x[1] * x[1]);
+        assert!((got - 1.0 / 3.0).abs() < 1e-10, "got {got}");
+        assert!(smolyak_grid(&[], 1).is_err());
+        assert!(tensor_grid(&[], 1).is_err());
+        assert_eq!(level_points(1), 1);
+        assert_eq!(level_points(3), 5);
+        assert!((binomial(4, 2) - 6.0).abs() < 1e-12);
+        assert_eq!(binomial(2, 5), 0.0);
+    }
+
+    #[test]
+    fn tiny_extreme_node_weights_survive_deep_grids() {
+        // A 25-point Hermite rule has extreme-node weights far below 1e-14
+        // of the centre weight; the cancellation cutoff must not drop them —
+        // high moments are dominated by exactly those nodes.
+        let level = 12u32;
+        let grid = tensor_grid(&[PolynomialFamily::Hermite], level).unwrap();
+        let rule = gauss_rule(PolynomialFamily::Hermite, level_points(level + 1)).unwrap();
+        assert_eq!(grid.len(), rule.len(), "an extreme node was dropped");
+        let tiniest = rule.weights.iter().cloned().fold(f64::INFINITY, f64::min);
+        let largest = rule.weights.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            tiniest < 1e-14 * largest,
+            "test premise: weights span >1e14"
+        );
+        // E[ξ^{30}] = 29!! — only computable if the far nodes are present.
+        let dfact_15: f64 = (1..=15).map(|i| (2 * i - 1) as f64).product();
+        let moment = grid.integrate(|x| x[0].powi(30));
+        assert!(
+            (moment - dfact_15).abs() < 1e-6 * dfact_15,
+            "E[ξ^30] = {moment}, expected {dfact_15}"
+        );
+    }
+
+    #[test]
+    fn level_zero_grid_is_the_single_mean_node() {
+        let grid = smolyak_grid(&HERMITE_2D, 0).unwrap();
+        assert_eq!(grid.len(), 1);
+        assert!(grid.nodes()[0].iter().all(|&x| x.abs() < 1e-12));
+        assert!((grid.weights()[0] - 1.0).abs() < 1e-12);
+        assert_eq!(grid.n_vars(), 2);
+        assert!(!grid.is_empty());
+    }
+}

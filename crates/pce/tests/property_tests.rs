@@ -36,6 +36,46 @@ proptest! {
         prop_assert!((norm - family.norm_squared(1)).abs() < 1e-6 * family.norm_squared(1).max(1.0));
     }
 
+    /// Across every order 1..=12: weights are a probability distribution
+    /// (positive, summing to one) and, for the families whose measures are
+    /// symmetric about zero (Hermite, Legendre), the nodes come in ±x pairs.
+    #[test]
+    fn gauss_rules_hold_across_orders_one_through_twelve(family in family_strategy()) {
+        let symmetric = matches!(
+            family,
+            PolynomialFamily::Hermite | PolynomialFamily::Legendre
+        );
+        for n in 1usize..=12 {
+            let rule = gauss_rule(family, n).unwrap();
+            prop_assert_eq!(rule.len(), n);
+            let total: f64 = rule.weights.iter().sum();
+            prop_assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{family}, n = {n}: weights sum to {total}"
+            );
+            prop_assert!(
+                rule.weights.iter().all(|&w| w > 0.0),
+                "{family}, n = {n}: non-positive weight"
+            );
+            if symmetric {
+                // Nodes are sorted ascending, so node[i] must mirror
+                // node[n−1−i]; odd rules pin the middle node at zero.
+                for i in 0..n {
+                    let mirrored = rule.nodes[n - 1 - i];
+                    prop_assert!(
+                        (rule.nodes[i] + mirrored).abs() < 1e-9,
+                        "{family}, n = {n}: node {i} = {} not mirrored by {}",
+                        rule.nodes[i],
+                        mirrored
+                    );
+                }
+                if n % 2 == 1 {
+                    prop_assert!(rule.nodes[n / 2].abs() < 1e-9);
+                }
+            }
+        }
+    }
+
     /// The truncated basis has exactly C(n + p, p) functions and the first is
     /// the constant.
     #[test]

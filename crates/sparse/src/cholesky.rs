@@ -27,6 +27,198 @@ pub enum OrderingChoice {
     MinimumDegree,
 }
 
+/// The reusable symbolic phase of a sparse Cholesky factorisation: the
+/// fill-reducing ordering, elimination tree and column counts of `L` for one
+/// fixed sparsity pattern.
+///
+/// A `SymbolicCholesky` is immutable (and therefore `Sync`), so one analysis
+/// can be shared by many concurrent numeric factorisations of matrices whose
+/// pattern is contained in the analysed one — e.g. the per-node conductance
+/// realisations of a stochastic-collocation sweep, where every node has the
+/// same structure but different values.
+///
+/// # Example
+///
+/// ```
+/// use opera_sparse::{SymbolicCholesky, TripletMatrix};
+///
+/// # fn main() -> Result<(), opera_sparse::SparseError> {
+/// let mut t = TripletMatrix::new(3, 3);
+/// for i in 0..3 {
+///     t.push(i, i, 3.0);
+/// }
+/// t.add_symmetric_pair(0, 1, 1.0);
+/// t.add_symmetric_pair(1, 2, 1.0);
+/// let a = t.to_csr();
+/// let symbolic = SymbolicCholesky::analyze(&a)?;
+/// // Numeric-only factorisations against the one shared analysis.
+/// let chol_a = symbolic.factor_numeric(&a)?;
+/// let chol_2a = symbolic.factor_numeric(&a.scaled(2.0))?;
+/// let b = vec![1.0, 0.0, -1.0];
+/// let (xa, x2a) = (chol_a.solve(&b), chol_2a.solve(&b));
+/// assert!((xa[0] - 2.0 * x2a[0]).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymbolicCholesky {
+    n: usize,
+    perm: Permutation,
+    parent: Vec<Option<usize>>,
+    /// Column pointers of `L` derived from the column counts.
+    l_indptr: Vec<usize>,
+    /// Pattern (CSC `indptr`/`indices`) of the analysed *permuted* matrix,
+    /// kept so later numeric factorisations can verify containment.
+    pattern_indptr: Vec<usize>,
+    pattern_indices: Vec<usize>,
+}
+
+impl SymbolicCholesky {
+    /// Analyses the pattern of a symmetric matrix with the default reverse
+    /// Cuthill–McKee ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for non-square input and
+    /// [`SparseError::InvalidStructure`] if the matrix is not symmetric.
+    pub fn analyze(a: &CsrMatrix) -> Result<Self> {
+        Self::analyze_with(a, OrderingChoice::default())
+    }
+
+    /// Analyses with an explicit ordering choice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SymbolicCholesky::analyze`].
+    pub fn analyze_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
+        let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
+        Ok(Self::from_permuted(&a_perm, perm))
+    }
+
+    /// Builds the analysis from an already permuted matrix.
+    fn from_permuted(a_perm: &CscMatrix, perm: Permutation) -> Self {
+        let n = a_perm.ncols();
+        let parent = elimination_tree(a_perm);
+        let counts = column_counts(a_perm, &parent);
+        let mut l_indptr = vec![0usize; n + 1];
+        for j in 0..n {
+            l_indptr[j + 1] = l_indptr[j] + counts[j];
+        }
+        SymbolicCholesky {
+            n,
+            perm,
+            parent,
+            l_indptr,
+            pattern_indptr: a_perm.indptr().to_vec(),
+            pattern_indices: a_perm.indices().to_vec(),
+        }
+    }
+
+    /// Dimension of the analysed matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nonzeros the factor `L` will have.
+    pub fn nnz_l(&self) -> usize {
+        self.l_indptr[self.n]
+    }
+
+    /// The fill-reducing permutation chosen by the analysis.
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Performs a numeric-only factorisation of `a` against this shared
+    /// analysis: no ordering, no elimination tree, no column counts are
+    /// recomputed. The pattern of `a` must be contained in the analysed
+    /// pattern (equal in practice; a strict subset — e.g. the conductance
+    /// matrix `G` factored with the analysis of the companion `G + C/h` — is
+    /// also fine because its fill is contained too).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] for a shape mismatch,
+    /// [`SparseError::InvalidStructure`] if `a` has an entry outside the
+    /// analysed pattern, and [`SparseError::NotPositiveDefinite`] if `a` is
+    /// not positive definite.
+    pub fn factor_numeric(&self, a: &CsrMatrix) -> Result<CholeskyFactor> {
+        if a.nrows() != self.n || a.ncols() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                op: "factor_numeric",
+                left: (self.n, self.n),
+                right: (a.nrows(), a.ncols()),
+            });
+        }
+        let a_perm = a.to_csc().permute_symmetric(&self.perm)?;
+        check_pattern_contained(&a_perm, &self.pattern_indptr, &self.pattern_indices)?;
+        let nnz_l = self.nnz_l();
+        let mut factor = CholeskyFactor {
+            n: self.n,
+            perm: self.perm.clone(),
+            parent: self.parent.clone(),
+            l_indptr: self.l_indptr.clone(),
+            l_indices: vec![0; nnz_l],
+            l_data: vec![0.0; nnz_l],
+            a_perm,
+        };
+        factor.numeric()?;
+        Ok(factor)
+    }
+}
+
+/// Shared front end of `factor_with`/`analyze_with`: symmetry and shape
+/// checks, ordering selection and the symmetric permutation.
+fn permute_for_cholesky(
+    a: &CsrMatrix,
+    ordering_choice: OrderingChoice,
+) -> Result<(CscMatrix, Permutation)> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare {
+            shape: (a.nrows(), a.ncols()),
+        });
+    }
+    let scale = a.frobenius_norm().max(1.0);
+    if !a.is_symmetric(1e-10 * scale) {
+        return Err(SparseError::InvalidStructure {
+            reason: "Cholesky factorisation requires a symmetric matrix".to_string(),
+        });
+    }
+    let a_csc = a.to_csc();
+    let perm = match ordering_choice {
+        OrderingChoice::Natural => Permutation::identity(a.nrows()),
+        OrderingChoice::ReverseCuthillMckee => ordering::reverse_cuthill_mckee(&a_csc),
+        OrderingChoice::MinimumDegree => ordering::minimum_degree(&a_csc),
+    };
+    let a_perm = a_csc.permute_symmetric(&perm)?;
+    Ok((a_perm, perm))
+}
+
+/// Verifies, column by column, that every entry of `sub` lies at a position
+/// stored in the reference pattern (`indptr`/`indices` of a CSC matrix of the
+/// same shape). Both index lists are sorted, so a two-pointer sweep suffices.
+fn check_pattern_contained(sub: &CscMatrix, indptr: &[usize], indices: &[usize]) -> Result<()> {
+    for j in 0..sub.ncols() {
+        let (rows, _) = sub.col(j);
+        let reference = &indices[indptr[j]..indptr[j + 1]];
+        let mut r = 0usize;
+        for &i in rows {
+            while r < reference.len() && reference[r] < i {
+                r += 1;
+            }
+            if r == reference.len() || reference[r] != i {
+                return Err(SparseError::InvalidStructure {
+                    reason: format!(
+                        "entry ({i}, {j}) lies outside the analysed sparsity pattern; \
+                         numeric refactorisation requires the same (or a sub-) pattern"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A sparse Cholesky factorisation `P·A·Pᵀ = L·Lᵀ` of a symmetric positive
 /// definite matrix.
 ///
@@ -85,37 +277,16 @@ impl CholeskyFactor {
     ///
     /// Same as [`CholeskyFactor::factor`].
     pub fn factor_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
-        if a.nrows() != a.ncols() {
-            return Err(SparseError::NotSquare {
-                shape: (a.nrows(), a.ncols()),
-            });
-        }
-        let scale = a.frobenius_norm().max(1.0);
-        if !a.is_symmetric(1e-10 * scale) {
-            return Err(SparseError::InvalidStructure {
-                reason: "Cholesky factorisation requires a symmetric matrix".to_string(),
-            });
-        }
-        let a_csc = a.to_csc();
-        let perm = match ordering_choice {
-            OrderingChoice::Natural => Permutation::identity(a.nrows()),
-            OrderingChoice::ReverseCuthillMckee => ordering::reverse_cuthill_mckee(&a_csc),
-            OrderingChoice::MinimumDegree => ordering::minimum_degree(&a_csc),
-        };
-        let a_perm = a_csc.permute_symmetric(&perm)?;
-        Self::factor_permuted(a_perm, perm)
-    }
-
-    /// Performs symbolic + numeric factorisation of an already permuted matrix.
-    fn factor_permuted(a_perm: CscMatrix, perm: Permutation) -> Result<Self> {
-        let n = a_perm.ncols();
-        let parent = elimination_tree(&a_perm);
-        let counts = column_counts(&a_perm, &parent);
-        let mut l_indptr = vec![0usize; n + 1];
-        for j in 0..n {
-            l_indptr[j + 1] = l_indptr[j] + counts[j];
-        }
-        let nnz_l = l_indptr[n];
+        let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
+        let symbolic = SymbolicCholesky::from_permuted(&a_perm, perm);
+        let nnz_l = symbolic.nnz_l();
+        let SymbolicCholesky {
+            n,
+            perm,
+            parent,
+            l_indptr,
+            ..
+        } = symbolic;
         let mut factor = CholeskyFactor {
             n,
             perm,
@@ -150,13 +321,12 @@ impl CholeskyFactor {
         }
         let a_csc = a.to_csc();
         let a_perm = a_csc.permute_symmetric(&self.perm)?;
-        // Verify the new pattern is contained in the symbolic pattern we
-        // analysed (same pattern in practice).
-        if a_perm.nnz() > self.a_perm.nnz() {
-            return Err(SparseError::InvalidStructure {
-                reason: "refactor requires the same (or a sub-) sparsity pattern".to_string(),
-            });
-        }
+        // Verify, entry by entry, that the new pattern is contained in the
+        // pattern the symbolic analysis was computed for (same pattern in
+        // practice). A count-based check is not enough: a matrix that drops
+        // one entry and gains another has the same nnz but would silently
+        // corrupt the factorisation.
+        check_pattern_contained(&a_perm, self.a_perm.indptr(), self.a_perm.indices())?;
         self.a_perm = a_perm;
         self.numeric()
     }
@@ -420,6 +590,81 @@ mod tests {
         let llt = l.matmul(&lt);
         let dense = a.to_dense();
         assert!(llt.max_abs_diff(&dense) < 1e-10);
+    }
+
+    #[test]
+    fn shared_symbolic_analysis_factors_many_value_sets() {
+        let a = grid_spd(6, 5);
+        let symbolic = SymbolicCholesky::analyze(&a).unwrap();
+        assert_eq!(symbolic.dim(), a.nrows());
+        let b: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.21).cos()).collect();
+        for scale in [0.5, 1.0, 2.5] {
+            let scaled = a.scaled(scale);
+            let from_symbolic = symbolic.factor_numeric(&scaled).unwrap();
+            let from_scratch = CholeskyFactor::factor(&scaled).unwrap();
+            let x = from_symbolic.solve(&b);
+            let y = from_scratch.solve(&b);
+            assert!(scaled.residual_inf_norm(&x, &b) < 1e-10);
+            for (u, v) in x.iter().zip(&y) {
+                assert!((u - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_analysis_accepts_sub_patterns_and_rejects_new_entries() {
+        // Analyse the "companion" pattern A + D (denser), then numerically
+        // factor the plain A (sub-pattern) against it.
+        let a = grid_spd(5, 4);
+        let mut extra = TripletMatrix::new(a.nrows(), a.ncols());
+        extra.add_symmetric_pair(0, a.nrows() - 1, 0.3);
+        let denser = a.add_scaled(&extra.to_csr(), 1.0).unwrap();
+        let symbolic = SymbolicCholesky::analyze(&denser).unwrap();
+        let chol = symbolic.factor_numeric(&a).unwrap();
+        let b = vec![1.0; a.nrows()];
+        let x = chol.solve(&b);
+        assert!(a.residual_inf_norm(&x, &b) < 1e-10);
+        // The reverse direction — an entry outside the analysed pattern —
+        // must be rejected, not silently mis-factored.
+        let narrow = SymbolicCholesky::analyze(&a).unwrap();
+        assert!(matches!(
+            narrow.factor_numeric(&denser),
+            Err(SparseError::InvalidStructure { .. })
+        ));
+        // Shape mismatches are dimension errors.
+        let small = grid_spd(2, 2);
+        assert!(matches!(
+            symbolic.factor_numeric(&small),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_rejects_same_nnz_different_pattern() {
+        // Swap one symmetric off-diagonal pair for another: identical nnz,
+        // different pattern. The element-wise containment check must fire.
+        let n = 6;
+        let build = |pair: (usize, usize)| {
+            let mut t = TripletMatrix::new(n, n);
+            for i in 0..n {
+                t.push(i, i, 4.0);
+            }
+            t.add_symmetric_pair(pair.0, pair.1, 1.0);
+            t.to_csr()
+        };
+        let a = build((0, 1));
+        let swapped = build((2, 3));
+        assert_eq!(a.nnz(), swapped.nnz());
+        let mut chol = CholeskyFactor::factor_with(&a, OrderingChoice::Natural).unwrap();
+        assert!(matches!(
+            chol.refactor(&swapped),
+            Err(SparseError::InvalidStructure { .. })
+        ));
+        // The factor is still usable with a pattern-preserving update.
+        chol.refactor(&a.scaled(3.0)).unwrap();
+        let b = vec![1.0; n];
+        let x = chol.solve(&b);
+        assert!(a.scaled(3.0).residual_inf_norm(&x, &b) < 1e-10);
     }
 
     #[test]

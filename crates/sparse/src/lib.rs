@@ -60,7 +60,7 @@ mod triplet;
 pub mod cg;
 pub mod ordering;
 
-pub use cholesky::{cholesky_solve, CholeskyFactor, OrderingChoice};
+pub use cholesky::{cholesky_solve, CholeskyFactor, OrderingChoice, SymbolicCholesky};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;

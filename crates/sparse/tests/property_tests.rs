@@ -92,6 +92,70 @@ proptest! {
     }
 
     #[test]
+    fn refactor_accepts_pattern_preserving_updates_and_matches_fresh_factorization(
+        a in spd_matrix(30),
+        scales in proptest::collection::vec(0.2f64..4.0, 8),
+    ) {
+        // Perturb every stored value (pattern untouched) by per-entry scales
+        // drawn from the strategy; `refactor` must succeed and agree with a
+        // from-scratch factorisation of the same matrix.
+        let mut perturbed = a.clone();
+        {
+            let data = perturbed.data_mut();
+            for (k, v) in data.iter_mut().enumerate() {
+                *v *= scales[k % scales.len()];
+            }
+        }
+        // Restore symmetry, then make the result strictly diagonally dominant
+        // (hence SPD) without touching the sparsity pattern.
+        let sym = perturbed
+            .add_scaled(&perturbed.transpose(), 1.0)
+            .unwrap()
+            .scaled(0.5);
+        let boost: Vec<f64> = (0..sym.nrows())
+            .map(|i| {
+                let (_, vals) = sym.row(i);
+                vals.iter().map(|v| v.abs()).sum::<f64>() + 1.0
+            })
+            .collect();
+        let spd = sym
+            .add_scaled(&CsrMatrix::from_diagonal(&boost), 1.0)
+            .unwrap();
+
+        let mut chol = CholeskyFactor::factor(&a).expect("SPD by construction");
+        chol.refactor(&spd).expect("pattern-preserving refactor must succeed");
+        let fresh = CholeskyFactor::factor(&spd).unwrap();
+        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let x_re = chol.solve(&b);
+        let x_fresh = fresh.solve(&b);
+        prop_assert!(spd.residual_inf_norm(&x_re, &b) < 1e-8);
+        for (u, v) in x_re.iter().zip(&x_fresh) {
+            prop_assert!((u - v).abs() < 1e-8, "refactor and fresh factorisation disagree");
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_values_at_new_nonzero_positions(
+        a in spd_matrix(25),
+        i in 0usize..25,
+        j in 0usize..25,
+    ) {
+        let n = a.nrows();
+        let (i, j) = (i % n, j % n);
+        prop_assume!(i != j);
+        // Only interesting when (i, j) is NOT already in the pattern.
+        prop_assume!(a.get(i, j) == 0.0);
+        let mut extra = TripletMatrix::new(n, n);
+        extra.add_symmetric_pair(i, j, 0.125);
+        let widened = a.add_scaled(&extra.to_csr(), 1.0).unwrap();
+        let mut chol = CholeskyFactor::factor(&a).unwrap();
+        prop_assert!(
+            chol.refactor(&widened).is_err(),
+            "a new nonzero at ({i}, {j}) must be rejected"
+        );
+    }
+
+    #[test]
     fn csr_csc_round_trip_preserves_entries(
         entries in proptest::collection::vec((0usize..15, 0usize..15, -5.0f64..5.0), 0..60)
     ) {

@@ -8,12 +8,15 @@
 //! * [`opera_pce`] — orthogonal polynomial (polynomial chaos) machinery
 //! * [`opera_grid`] — RC power-grid modelling and synthetic grid generation
 //! * [`opera_variation`] — process-variation models
-//! * [`opera`] — the OPERA engine (Galerkin stochastic solver) and the
-//!   Monte Carlo baseline
+//! * [`opera_collocation`] — the stochastic-collocation driver (Smolyak
+//!   sweeps of deterministic solves sharing one symbolic analysis)
+//! * [`opera`] — the OPERA engine (Galerkin stochastic solver), the
+//!   collocation cross-check and the Monte Carlo baseline
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
 pub use opera;
+pub use opera_collocation;
 pub use opera_grid;
 pub use opera_pce;
 pub use opera_sparse;

@@ -1,0 +1,132 @@
+//! Integration tests for the stochastic-collocation subsystem, covering the
+//! three contract points:
+//!
+//! (a) collocation mean/variance agree with the Galerkin solve on the
+//!     (scaled) paper grid, and converge toward the Monte Carlo reference as
+//!     the Smolyak level rises;
+//! (b) exactly one symbolic analysis/ordering is performed across all
+//!     collocation nodes (engine counter hooks, mirroring
+//!     `integration_engine_reuse.rs`);
+//! (c) the projected statistics are bit-identical for 1, 2 and 8 worker
+//!     threads.
+
+use opera::analysis::ExperimentConfig;
+use opera::engine::{CollocationConfig, OperaEngine};
+use opera::{McConfig, Parallelism};
+
+/// The scaled first paper grid shared by the tests below.
+fn paper_engine(parallelism: Parallelism) -> OperaEngine {
+    let mut config = ExperimentConfig::table1_row_scaled(0, 0.012, 50).unwrap();
+    config.time_step = 0.1e-9;
+    config.end_time = Some(1.0e-9);
+    config.parallelism = parallelism;
+    OperaEngine::from_config(&config).unwrap()
+}
+
+#[test]
+fn collocation_matches_galerkin_and_converges_toward_monte_carlo() {
+    let engine = paper_engine(Parallelism::Max);
+    let vdd = engine.grid().vdd();
+    let galerkin = engine.solve().unwrap();
+    let (node, k, drop) = galerkin.worst_mean_drop(vdd);
+    assert!(drop > 0.0);
+
+    // --- (a1) agreement with the Galerkin solution at the matched level.
+    let colloc = engine.collocation(&CollocationConfig::smolyak(2)).unwrap();
+    let mean_diff = (colloc.solution.mean_at(k, node) - galerkin.mean_at(k, node)).abs();
+    assert!(
+        mean_diff < 1e-4 * vdd,
+        "collocation and Galerkin means differ by {mean_diff}"
+    );
+    let sigma_g = galerkin.std_dev_at(k, node);
+    let sigma_c = colloc.solution.std_dev_at(k, node);
+    assert!(sigma_g > 0.0);
+    assert!(
+        (sigma_c - sigma_g).abs() < 0.05 * sigma_g,
+        "collocation σ {sigma_c} vs Galerkin σ {sigma_g}"
+    );
+
+    // --- (a2) convergence toward Monte Carlo as the Smolyak level rises.
+    // The per-level variance error against a converged reference must not
+    // grow, and the highest level must sit within Monte Carlo sampling noise.
+    let mc = engine.monte_carlo(&McConfig::new(400, 11)).unwrap();
+    let sigma_mc = mc.std_dev_at(k, node);
+    assert!(sigma_mc > 0.0);
+    let sigma_err = |level: u32| {
+        let report = engine
+            .collocation(&CollocationConfig::smolyak(level))
+            .unwrap();
+        (report.solution.std_dev_at(k, node) - sigma_mc).abs() / sigma_mc
+    };
+    let (err1, err2, err3) = (sigma_err(1), sigma_err(2), sigma_err(3));
+    assert!(
+        err3 <= err1 + 1e-9,
+        "σ error must not grow with the level: {err1} -> {err2} -> {err3}"
+    );
+    assert!(
+        err3 < 0.15,
+        "level-3 collocation σ should sit within MC noise, got {err3}"
+    );
+}
+
+#[test]
+fn exactly_one_symbolic_analysis_serves_all_collocation_nodes() {
+    let engine = paper_engine(Parallelism::Max);
+    assert_eq!(engine.collocation_symbolic_count(), 0);
+    assert_eq!(engine.collocation_factorization_count(), 0);
+
+    let report = engine.collocation(&CollocationConfig::smolyak(2)).unwrap();
+    assert!(report.nodes > 1, "a level-2 sweep has many nodes");
+    // One ordering + elimination-tree analysis for the whole sweep …
+    assert_eq!(report.symbolic_analyses, 1);
+    assert_eq!(engine.collocation_symbolic_count(), 1);
+    // … and two numeric-only factorisations per node (DC + companion).
+    assert_eq!(report.numeric_factorizations, 2 * report.nodes);
+    assert_eq!(engine.collocation_factorization_count(), 2 * report.nodes);
+    // The Galerkin-side counters are untouched: no re-assembly either.
+    assert_eq!(engine.assembly_count(), 1);
+    assert_eq!(engine.factorization_count(), 1);
+
+    // A second sweep performs its own single analysis.
+    engine.collocation(&CollocationConfig::smolyak(1)).unwrap();
+    assert_eq!(engine.collocation_symbolic_count(), 2);
+}
+
+#[test]
+fn collocation_statistics_are_bit_identical_for_1_2_and_8_threads() {
+    let runs: Vec<_> = [
+        Parallelism::Serial,
+        Parallelism::Threads(2),
+        Parallelism::Threads(8),
+    ]
+    .into_iter()
+    .map(|parallelism| {
+        let engine = paper_engine(parallelism);
+        engine
+            .collocation(&CollocationConfig::smolyak(2))
+            .unwrap()
+            .solution
+    })
+    .collect();
+
+    let reference = &runs[0];
+    for (which, other) in runs.iter().enumerate().skip(1) {
+        assert_eq!(reference.times(), other.times());
+        assert_eq!(reference.node_count(), other.node_count());
+        for k in 0..reference.times().len() {
+            for n in 0..reference.node_count() {
+                // Bit-identical, not approximately equal.
+                assert_eq!(
+                    reference.mean_at(k, n).to_bits(),
+                    other.mean_at(k, n).to_bits(),
+                    "mean differs at ({k}, {n}) for thread-variant {which}"
+                );
+                assert_eq!(
+                    reference.variance_at(k, n).to_bits(),
+                    other.variance_at(k, n).to_bits(),
+                    "variance differs at ({k}, {n}) for thread-variant {which}"
+                );
+            }
+        }
+    }
+}
