@@ -2,9 +2,11 @@
 //! result recorded in EXPERIMENTS.md: the Table 1 reproduction, the
 //! Figure 1/2 distributions, the order/variable ablation, the special case
 //! of Section 5.1, a batched scenario sweep served by one long-lived
-//! [`OperaEngine`] (setup-once/solve-many), and the
+//! [`OperaEngine`] (setup-once/solve-many), the
 //! Galerkin-vs-collocation-vs-Monte-Carlo cross-validation (orders
-//! `1..=OPERA_BENCH_COLLOCATION_MAX_ORDER`).
+//! `1..=OPERA_BENCH_COLLOCATION_MAX_ORDER`), and the netlist round trip
+//! (export the scaled paper grid as a SPICE-style deck, re-parse it with
+//! bit-identical stamping, re-analyze through the engine).
 //!
 //! ```text
 //! cargo run --release -p opera-bench --bin experiments_report
@@ -22,6 +24,7 @@ use opera_bench::{
     scale_from_env, table1_config, table1_header, table1_row_line,
 };
 use opera_grid::GridSpec;
+use opera_netlist::{export_grid, parse};
 use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -237,6 +240,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "collocation shares one symbolic analysis across all nodes of each sweep; \
          both methods project into the same order-p chaos basis"
+    );
+
+    // --------------------------- Netlist round trip: GridSpec -> deck -> engine
+    println!("\n==== Experiment 7: netlist front end — export, re-parse, re-analyze ====");
+    let grid = GridSpec::paper_grid(0)?.scaled_nodes(scale).build()?;
+    let started = std::time::Instant::now();
+    let deck = export_grid(&grid, None)?;
+    let export_secs = started.elapsed().as_secs_f64();
+    let started = std::time::Instant::now();
+    let netlist = parse(&deck)?;
+    let card_count = netlist.cards.len();
+    let lowered = netlist.lower()?;
+    let parse_secs = started.elapsed().as_secs_f64();
+    let identical = grid.conductance_matrix() == lowered.grid.conductance_matrix()
+        && grid.capacitance_matrix() == lowered.grid.capacitance_matrix()
+        && grid.sources() == lowered.grid.sources();
+    println!(
+        "{} nodes -> {:.1} KiB deck, {card_count} cards; export {export_secs:.3} s, \
+         parse+lower {parse_secs:.3} s; bit-identical stamping: {identical}",
+        grid.node_count(),
+        deck.len() as f64 / 1024.0,
+    );
+    assert!(identical, "netlist round trip lost bits");
+    let engine = OperaEngine::for_lowered_netlist(lowered)
+        .mc_samples(samples.min(50))
+        .build()?;
+    let report = engine.run_scenario(&Scenario::named("netlist"))?;
+    println!(
+        "re-analyzed from the deck: worst mean drop {:.2} mV at node `{}`, \
+         µ err vs MC {:.4} %VDD",
+        1e3 * report.report.opera.worst_mean_drop,
+        engine.node_label(report.report.opera.worst_node),
+        report.report.errors.avg_mean_error_percent
     );
     Ok(())
 }

@@ -41,7 +41,8 @@ use std::time::Instant;
 
 pub use opera_collocation::GridKind;
 use opera_collocation::{build_grid, solve_collocation, StepScheme, TransientSpec};
-use opera_grid::{GridSpec, PowerGrid};
+use opera_grid::{GridSpec, NodeMap, PowerGrid};
+use opera_netlist::LoweredNetlist;
 use opera_pce::OrthogonalBasis;
 use opera_variation::{StochasticGridModel, VariationSpec};
 use rayon::prelude::*;
@@ -251,6 +252,7 @@ enum ModelSource {
 /// [`OperaEngine::for_grid`] or [`OperaEngine::for_model`].
 pub struct EngineBuilder {
     source: ModelSource,
+    node_names: Option<Arc<NodeMap>>,
     order: u32,
     solver: Arc<dyn SolverBackend>,
     time_step: f64,
@@ -266,6 +268,7 @@ impl EngineBuilder {
     fn new(source: ModelSource) -> Self {
         EngineBuilder {
             source,
+            node_names: None,
             order: 2,
             solver: Arc::new(DirectCholesky),
             time_step: 0.05e-9,
@@ -288,6 +291,13 @@ impl EngineBuilder {
         {
             *v = variation;
         }
+        self
+    }
+
+    /// Attaches a node-name ↔ index mapping so reports can name nodes
+    /// ([`OperaEngine::for_netlist`] does this automatically from the deck).
+    pub fn node_names(mut self, names: NodeMap) -> Self {
+        self.node_names = Some(Arc::new(names));
         self
     }
 
@@ -408,6 +418,7 @@ impl EngineBuilder {
 
         Ok(OperaEngine {
             model,
+            node_names: self.node_names,
             system,
             solver: self.solver,
             prepared,
@@ -430,6 +441,7 @@ impl EngineBuilder {
 /// across arbitrarily many solves, scenarios and Monte Carlo validations.
 pub struct OperaEngine {
     model: StochasticGridModel,
+    node_names: Option<Arc<NodeMap>>,
     system: GalerkinSystem,
     solver: Arc<dyn SolverBackend>,
     prepared: Box<dyn PreparedSolver>,
@@ -477,6 +489,75 @@ impl OperaEngine {
         EngineBuilder::new(ModelSource::Model(Box::new(model)))
     }
 
+    /// Starts a builder from a SPICE-style deck file: the deck is parsed
+    /// and lowered eagerly (so netlist errors surface here, with line
+    /// spans), the deck's `.tran` window becomes the engine's default
+    /// transient settings, and the deck's node names are attached so every
+    /// report can name real nodes (see [`OperaEngine::node_name`]).
+    ///
+    /// The accepted grammar is documented in `docs/NETLIST.md`. Note that
+    /// deck waveforms are materialised over the deck's `.tran` window:
+    /// periodic `PULSE` sources hold their final value beyond it, so widen
+    /// the deck's `.tran` (rather than overriding `end_time`) when a longer
+    /// driven horizon is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::Netlist`] for I/O, parse and lowering errors.
+    pub fn for_netlist(path: impl AsRef<std::path::Path>) -> Result<EngineBuilder> {
+        Ok(Self::for_lowered_netlist(opera_netlist::load(path)?))
+    }
+
+    /// Like [`OperaEngine::for_netlist`], but parses deck text directly.
+    ///
+    /// ```
+    /// use opera::engine::OperaEngine;
+    ///
+    /// # fn main() -> Result<(), opera::OperaError> {
+    /// let engine = OperaEngine::for_netlist_str(
+    ///     "VDD p 0 1.2\n\
+    ///      Rpad p n1 0.05\n\
+    ///      Rw1 n1 n2 0.2\n\
+    ///      C1 n1 0 10f class=gate\n\
+    ///      C2 n2 0 10f\n\
+    ///      I1 n2 0 PWL(0 0 0.4n 5m 0.8n 0)\n\
+    ///      .tran 0.2n 0.8n\n",
+    /// )?
+    /// .mc_samples(10)
+    /// .build()?;
+    /// let solution = engine.solve()?;
+    /// let (node, _, drop) = solution.worst_mean_drop(engine.grid().vdd());
+    /// assert_eq!(engine.node_name(node), Some("n2"));
+    /// assert!(drop > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::Netlist`] for parse and lowering errors.
+    pub fn for_netlist_str(text: &str) -> Result<EngineBuilder> {
+        Ok(Self::for_lowered_netlist(
+            opera_netlist::parse(text)?.lower()?,
+        ))
+    }
+
+    /// Starts a builder from an already lowered netlist, attaching its node
+    /// names and adopting its `.tran` window as the transient defaults.
+    pub fn for_lowered_netlist(lowered: LoweredNetlist) -> EngineBuilder {
+        let LoweredNetlist { grid, nodes, tran } = lowered;
+        let mut builder = EngineBuilder::new(ModelSource::Grid {
+            grid: Box::new(grid),
+            variation: VariationSpec::paper_defaults(),
+        });
+        builder.node_names = Some(Arc::new(nodes));
+        if let Some(tran) = tran {
+            builder.time_step = tran.time_step;
+            builder.end_time = Some(tran.end_time);
+        }
+        builder
+    }
+
     /// Builds an engine from an [`ExperimentConfig`] front end.
     ///
     /// # Errors
@@ -508,6 +589,31 @@ impl OperaEngine {
     /// The stochastic grid model.
     pub fn model(&self) -> &StochasticGridModel {
         &self.model
+    }
+
+    /// The node-name ↔ index mapping, when the engine was built from a
+    /// netlist (or a mapping was attached via [`EngineBuilder::node_names`]).
+    pub fn node_map(&self) -> Option<&NodeMap> {
+        self.node_names.as_deref()
+    }
+
+    /// The deck name of node `index`, when known.
+    pub fn node_name(&self, index: usize) -> Option<&str> {
+        self.node_names.as_deref().and_then(|m| m.name(index))
+    }
+
+    /// The index of the node named `name` in the deck, when known.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.node_names.as_deref().and_then(|m| m.index(name))
+    }
+
+    /// A display label for node `index`: its deck name, or `#index` for
+    /// grids without names.
+    pub fn node_label(&self, index: usize) -> String {
+        match self.node_name(index) {
+            Some(name) => name.to_string(),
+            None => format!("#{index}"),
+        }
     }
 
     /// The assembled Galerkin system.
@@ -1087,6 +1193,60 @@ mod tests {
             "collocation disagrees with Monte Carlo: {} %VDD",
             report.report.errors.avg_mean_error_percent
         );
+    }
+
+    #[test]
+    fn netlist_engines_carry_node_names_and_deck_transients() {
+        let deck = "\
+* star of four nodes behind one pad
+VDD p 0 1.0
+Rpad p hub 0.1
+Rw1 hub leaf_a 0.5
+Rw2 hub leaf_b 0.5
+Rv3 hub leaf_c 0.5
+C1 hub 0 4f class=gate
+C2 leaf_a 0 2f
+C3 leaf_b 0 2f
+C4 leaf_c 0 2f
+I1 leaf_c 0 PWL(0 0 0.5n 2m 1n 0) block=1
+.tran 0.25n 1n
+";
+        let engine = OperaEngine::for_netlist_str(deck)
+            .unwrap()
+            .mc_samples(5)
+            .build()
+            .unwrap();
+        // Deck `.tran` became the engine defaults.
+        assert_eq!(engine.transient().time_step, 0.25e-9);
+        assert_eq!(engine.transient().end_time, 1e-9);
+        // Names round-trip both ways; the unnamed fallback label works too.
+        assert_eq!(engine.node_count(), 4);
+        assert_eq!(engine.node_index("leaf_c"), Some(3));
+        assert_eq!(engine.node_name(0), Some("hub"));
+        assert_eq!(engine.node_label(3), "leaf_c");
+        assert_eq!(engine.node_name(99), None);
+        assert_eq!(engine.node_label(99), "#99");
+        // The worst drop is at the loaded leaf, by name.
+        let solution = engine.solve().unwrap();
+        let (node, _, drop) = solution.worst_mean_drop(engine.grid().vdd());
+        assert_eq!(engine.node_label(node), "leaf_c");
+        assert!(drop > 0.0);
+        // Grid-built engines have no names.
+        let plain = quick_engine();
+        assert!(plain.node_map().is_none());
+        assert_eq!(plain.node_label(0), "#0");
+    }
+
+    #[test]
+    fn netlist_errors_surface_with_spans() {
+        let Err(err) = OperaEngine::for_netlist_str("VDD p 0 1.2\nR1 p n1 bogus\n") else {
+            panic!("a malformed deck must not build");
+        };
+        let OperaError::Netlist(inner) = &err else {
+            panic!("expected a netlist error, got {err}");
+        };
+        assert_eq!(inner.line(), Some(2));
+        assert!(OperaEngine::for_netlist("/no/such/deck.sp").is_err());
     }
 
     #[test]

@@ -12,6 +12,8 @@ pub enum OperaError {
     Pce(opera_pce::PceError),
     /// A grid construction/query failed.
     Grid(opera_grid::GridError),
+    /// A netlist could not be read, parsed or lowered.
+    Netlist(opera_netlist::NetlistError),
     /// A variation-model operation failed.
     Variation(opera_variation::VariationError),
     /// The analysis options are inconsistent (non-positive time step, zero
@@ -28,6 +30,7 @@ impl fmt::Display for OperaError {
             OperaError::Sparse(e) => write!(f, "sparse linear algebra error: {e}"),
             OperaError::Pce(e) => write!(f, "polynomial chaos error: {e}"),
             OperaError::Grid(e) => write!(f, "power grid error: {e}"),
+            OperaError::Netlist(e) => write!(f, "netlist error: {e}"),
             OperaError::Variation(e) => write!(f, "variation model error: {e}"),
             OperaError::InvalidOptions { reason } => write!(f, "invalid options: {reason}"),
         }
@@ -40,6 +43,7 @@ impl Error for OperaError {
             OperaError::Sparse(e) => Some(e),
             OperaError::Pce(e) => Some(e),
             OperaError::Grid(e) => Some(e),
+            OperaError::Netlist(e) => Some(e),
             OperaError::Variation(e) => Some(e),
             OperaError::InvalidOptions { .. } => None,
         }
@@ -61,6 +65,12 @@ impl From<opera_pce::PceError> for OperaError {
 impl From<opera_grid::GridError> for OperaError {
     fn from(e: opera_grid::GridError) -> Self {
         OperaError::Grid(e)
+    }
+}
+
+impl From<opera_netlist::NetlistError> for OperaError {
+    fn from(e: opera_netlist::NetlistError) -> Self {
+        OperaError::Netlist(e)
     }
 }
 

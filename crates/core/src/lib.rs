@@ -11,7 +11,11 @@
 //!   grid generation, stochastic-model construction, Galerkin assembly and
 //!   the solver factorisation happen **once** at build time, then any number
 //!   of [scenarios](engine::Scenario) (waveform rescalings, transient
-//!   overrides, Monte Carlo validations, whole batches) reuse them.
+//!   overrides, Monte Carlo validations, whole batches) reuse them. Engines
+//!   are built either from a synthetic [`GridSpec`](opera_grid::GridSpec)
+//!   ([`OperaEngine::for_grid`]) or from a SPICE-style deck
+//!   ([`OperaEngine::for_netlist`], grammar in `docs/NETLIST.md`) — netlist
+//!   engines name their nodes in every report.
 //! * [`solver`] — pluggable [`SolverBackend`]s for the
 //!   augmented system (direct Cholesky, block-Jacobi preconditioned CG,
 //!   left-looking LU) plus a name-based registry for custom backends.

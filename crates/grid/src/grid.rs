@@ -392,13 +392,11 @@ impl PowerGrid {
             .fold(0.0, f64::max)
     }
 
-    /// Checks that every node has a resistive path to at least one pad, which
-    /// is what makes the conductance matrix positive definite.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`GridError::InvalidSpec`] naming one unreachable node.
-    pub fn validate_connectivity(&self) -> Result<()> {
+    /// The lowest-indexed node with no resistive path to any pad, or `None`
+    /// when the grid is fully pad-connected (which is what makes the
+    /// conductance matrix positive definite). The netlist front end uses
+    /// this to report unreachable nodes by *name*.
+    pub fn first_unreached_node(&self) -> Option<usize> {
         let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.node_count];
         let mut reached = vec![false; self.node_count];
         let mut queue = std::collections::VecDeque::new();
@@ -424,7 +422,17 @@ impl PowerGrid {
                 }
             }
         }
-        match reached.iter().position(|&r| !r) {
+        reached.iter().position(|&r| !r)
+    }
+
+    /// Checks that every node has a resistive path to at least one pad, which
+    /// is what makes the conductance matrix positive definite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::InvalidSpec`] naming one unreachable node.
+    pub fn validate_connectivity(&self) -> Result<()> {
+        match self.first_unreached_node() {
             None => Ok(()),
             Some(node) => Err(GridError::InvalidSpec {
                 reason: format!("node {node} has no resistive path to any pad"),

@@ -12,9 +12,12 @@
 //! * [`Waveform`] — piecewise-linear transient current profiles (the paper
 //!   obtains these from gate-level simulation; we synthesise clocked pulses).
 //! * [`GridSpec`] / [`generator`] — a synthetic "industrial-like" mesh
-//!   generator parameterised by node count, used in place of the paper's
-//!   proprietary FreeScale grids (see DESIGN.md §5 for the substitution
-//!   rationale).
+//!   generator parameterised by node count, one of the two ways to obtain a
+//!   grid (the other being the `opera-netlist` SPICE-deck front end; see
+//!   DESIGN.md §5).
+//! * [`NodeMap`] — the stable node-name ↔ node-index mapping that lets
+//!   grids imported from netlists report real node names instead of raw
+//!   indices.
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@
 
 mod error;
 mod grid;
+mod names;
 mod waveform;
 
 pub mod generator;
@@ -42,6 +46,7 @@ pub mod generator;
 pub use error::GridError;
 pub use generator::{GridSpec, PAPER_GRID_NODE_COUNTS};
 pub use grid::{BranchKind, CapacitorClass, CurrentSource, PowerGrid, ResistiveBranch};
+pub use names::NodeMap;
 pub use waveform::Waveform;
 
 /// `true` unless the value is a strictly positive finite number — the

@@ -1,0 +1,132 @@
+//! Stable node-name ↔ node-index mapping.
+//!
+//! Grids built by [`GridSpec`](crate::GridSpec) identify nodes by bare
+//! indices, but grids imported from a netlist have real names
+//! (`n1_123_456`, `vddcore_17`, …). [`NodeMap`] records the bijection chosen
+//! at import time so that every downstream report can translate between the
+//! engine's indices and the deck's names — and so that an exported deck can
+//! be re-imported with the *same* index assignment, which is what makes
+//! export → parse → stamp round trips bit-identical.
+
+use std::collections::HashMap;
+
+/// A bijection between node names and the `0..n` node indices of a
+/// [`PowerGrid`](crate::PowerGrid).
+///
+/// Insertion order defines the index assignment: the first name inserted is
+/// node `0`, the second node `1`, and so on. Lookups run in `O(1)` both
+/// ways.
+///
+/// # Example
+///
+/// ```
+/// use opera_grid::NodeMap;
+///
+/// let mut map = NodeMap::new();
+/// assert_eq!(map.get_or_insert("n1_0_0"), 0);
+/// assert_eq!(map.get_or_insert("n1_0_1"), 1);
+/// assert_eq!(map.get_or_insert("n1_0_0"), 0); // already known
+/// assert_eq!(map.name(1), Some("n1_0_1"));
+/// assert_eq!(map.index("n1_0_1"), Some(1));
+/// assert_eq!(map.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeMap {
+    names: Vec<String>,
+    indices: HashMap<String, usize>,
+}
+
+impl NodeMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        NodeMap::default()
+    }
+
+    /// Creates a map with the synthetic names `n0`, `n1`, …, `n{count-1}` —
+    /// the naming scheme the netlist exporter uses for grids that were never
+    /// imported from a deck.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use opera_grid::NodeMap;
+    ///
+    /// let map = NodeMap::numbered(3);
+    /// assert_eq!(map.name(2), Some("n2"));
+    /// assert_eq!(map.index("n1"), Some(1));
+    /// ```
+    pub fn numbered(count: usize) -> Self {
+        let mut map = NodeMap::new();
+        for i in 0..count {
+            map.get_or_insert(&format!("n{i}"));
+        }
+        map
+    }
+
+    /// Returns the index of `name`, inserting it as the next fresh index if
+    /// it is not yet known.
+    pub fn get_or_insert(&mut self, name: &str) -> usize {
+        if let Some(&idx) = self.indices.get(name) {
+            return idx;
+        }
+        let idx = self.names.len();
+        self.names.push(name.to_string());
+        self.indices.insert(name.to_string(), idx);
+        idx
+    }
+
+    /// The name of node `index`, or `None` if the index is out of range.
+    pub fn name(&self, index: usize) -> Option<&str> {
+        self.names.get(index).map(String::as_str)
+    }
+
+    /// The index of `name`, or `None` if the name is unknown.
+    pub fn index(&self, name: &str) -> Option<usize> {
+        self.indices.get(name).copied()
+    }
+
+    /// Number of mapped nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no node has been mapped yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(index, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> + '_ {
+        self.names.iter().enumerate().map(|(i, n)| (i, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_defines_indices() {
+        let mut map = NodeMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.get_or_insert("b"), 0);
+        assert_eq!(map.get_or_insert("a"), 1);
+        assert_eq!(map.get_or_insert("b"), 0);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.name(0), Some("b"));
+        assert_eq!(map.name(2), None);
+        assert_eq!(map.index("a"), Some(1));
+        assert_eq!(map.index("zz"), None);
+        let pairs: Vec<_> = map.iter().collect();
+        assert_eq!(pairs, vec![(0, "b"), (1, "a")]);
+    }
+
+    #[test]
+    fn numbered_names_round_trip() {
+        let map = NodeMap::numbered(5);
+        assert_eq!(map.len(), 5);
+        for i in 0..5 {
+            assert_eq!(map.index(&format!("n{i}")), Some(i));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Spanned, actionable errors for deck parsing and lowering.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while lexing, parsing or lowering a SPICE-style deck.
+///
+/// Every variant that originates from a specific card carries the 1-based
+/// physical line number of the card's *first* line (continuation lines
+/// report the line the card started on), so error messages point straight at
+/// the offending deck text. [`NetlistError::line`] extracts it uniformly.
+///
+/// # Example
+///
+/// ```
+/// use opera_netlist::{parse, NetlistError};
+///
+/// let err = parse("L1 a b 1n\n").unwrap_err();
+/// assert!(matches!(err, NetlistError::Unsupported { line: 1, .. }));
+/// assert_eq!(err.line(), Some(1));
+/// assert!(err.to_string().contains("l1")); // names are lower-cased
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A card does not match the grammar (wrong field count, missing ground
+    /// terminal, malformed waveform, …).
+    Syntax {
+        /// 1-based line the card started on.
+        line: usize,
+        /// What was wrong and what was expected instead.
+        message: String,
+    },
+    /// A numeric field could not be parsed (bad float, unknown SI suffix,
+    /// non-finite value, …).
+    Value {
+        /// 1-based line the card started on.
+        line: usize,
+        /// The offending token, verbatim (lower-cased).
+        token: String,
+        /// What was wrong and, where possible, how to fix it.
+        message: String,
+    },
+    /// The element or directive is recognised SPICE but outside the
+    /// power-grid subset this front end accepts (inductors, MOSFETs,
+    /// subcircuits, `.include`, …).
+    Unsupported {
+        /// 1-based line the card started on.
+        line: usize,
+        /// The card name or directive, verbatim (lower-cased).
+        what: String,
+        /// Why it is rejected and what the supported alternative is.
+        hint: String,
+    },
+    /// Two elements share a name (element names are case-insensitive and
+    /// must be unique, like in SPICE).
+    Duplicate {
+        /// 1-based line of the second definition.
+        line: usize,
+        /// 1-based line of the first definition.
+        previous_line: usize,
+        /// The duplicated element name (lower-cased).
+        name: String,
+    },
+    /// A card is grammatical but electrically meaningless in the VDD-net
+    /// model (resistor to ground, capacitor between two grid nodes, element
+    /// on a supply node, conflicting supply voltages, …).
+    Lowering {
+        /// 1-based line of the offending card.
+        line: usize,
+        /// What was wrong and how to restructure the deck.
+        message: String,
+    },
+    /// A grid node has no resistive path to any supply pad, so the
+    /// conductance matrix would be singular.
+    Connectivity {
+        /// Name of (one) unreachable node.
+        node: String,
+    },
+    /// The deck as a whole is unusable (no cards, no supply, no grid
+    /// nodes, …) — there is no single line to blame.
+    Deck {
+        /// What is missing and how to fix the deck.
+        message: String,
+    },
+    /// The deck file could not be read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+}
+
+impl NetlistError {
+    /// The 1-based deck line the error points at, when it has one.
+    ///
+    /// ```
+    /// use opera_netlist::parse;
+    ///
+    /// let err = parse("VDD vdd 0 1.2\nR1 vdd 0 bogus\n").unwrap_err();
+    /// assert_eq!(err.line(), Some(2));
+    /// ```
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            NetlistError::Syntax { line, .. }
+            | NetlistError::Value { line, .. }
+            | NetlistError::Unsupported { line, .. }
+            | NetlistError::Duplicate { line, .. }
+            | NetlistError::Lowering { line, .. } => Some(*line),
+            NetlistError::Connectivity { .. }
+            | NetlistError::Deck { .. }
+            | NetlistError::Io { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Syntax { line, message } => {
+                write!(f, "line {line}: syntax error: {message}")
+            }
+            NetlistError::Value {
+                line,
+                token,
+                message,
+            } => write!(f, "line {line}: bad value `{token}`: {message}"),
+            NetlistError::Unsupported { line, what, hint } => {
+                write!(f, "line {line}: unsupported `{what}`: {hint}")
+            }
+            NetlistError::Duplicate {
+                line,
+                previous_line,
+                name,
+            } => write!(
+                f,
+                "line {line}: duplicate element `{name}` (first defined on line {previous_line})"
+            ),
+            NetlistError::Lowering { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            NetlistError::Connectivity { node } => write!(
+                f,
+                "node `{node}` has no resistive path to any supply pad; \
+                 the conductance matrix would be singular"
+            ),
+            NetlistError::Deck { message } => write!(f, "unusable deck: {message}"),
+            NetlistError::Io { path, message } => {
+                write!(f, "cannot read deck `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_line_and_context() {
+        let e = NetlistError::Duplicate {
+            line: 9,
+            previous_line: 4,
+            name: "r1".to_string(),
+        };
+        assert!(e.to_string().contains("line 9"));
+        assert!(e.to_string().contains("line 4"));
+        assert!(e.to_string().contains("r1"));
+        assert_eq!(e.line(), Some(9));
+
+        let e = NetlistError::Connectivity {
+            node: "n1_5_5".to_string(),
+        };
+        assert!(e.to_string().contains("n1_5_5"));
+        assert_eq!(e.line(), None);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

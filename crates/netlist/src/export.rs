@@ -1,0 +1,323 @@
+//! Exporting a [`PowerGrid`] as a deck this crate can re-parse.
+//!
+//! The exporter is the bridge from the synthetic-grid input path
+//! ([`GridSpec`](opera_grid::GridSpec)) to the netlist path: any grid can be
+//! written out as a SPICE-style deck and re-imported with **bit-identical
+//! stamping** — the same `G`/`C` triplets, pad injection and source
+//! waveforms. Three dialect conventions make that exactness possible:
+//!
+//! * resistor values are written as conductances with the `S` suffix
+//!   (`25S`), because `1/(1/g)` is not `g` for every float — ohms would
+//!   round-trip only approximately,
+//! * all floats use the shortest round-trip representation
+//!   ([`format_value`](crate::format_value)),
+//! * element order follows the grid's internal element order, and — when
+//!   the grid's capacitors would not already touch every node in index
+//!   order — a block of zero-farad anchor capacitors pins the node-index
+//!   assignment (first appearance) to the original indices.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use opera_grid::{BranchKind, NodeMap, PowerGrid};
+
+use crate::value::format_value;
+use crate::{NetlistError, Result};
+
+/// Writes `grid` as a deck string that [`parse`](crate::parse) +
+/// [`lower`](crate::Netlist::lower) reconstruct with bit-identical
+/// stamping.
+///
+/// `names` supplies the node names; pass `None` to use the synthetic
+/// `n0`, `n1`, … scheme. The supply node is named `vdd` (uniquified if a
+/// grid node already uses that name).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Deck`] if `names` is present but does not cover
+/// every grid node.
+///
+/// # Example
+///
+/// ```
+/// use opera_grid::GridSpec;
+/// use opera_netlist::{export_grid, parse};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = GridSpec::small_test(60).build()?;
+/// let deck = export_grid(&grid, None)?;
+/// let again = parse(&deck)?.lower()?.grid;
+/// assert_eq!(grid.conductance_matrix(), again.conductance_matrix());
+/// assert_eq!(grid.capacitance_matrix(), again.capacitance_matrix());
+/// assert_eq!(grid.sources(), again.sources());
+/// # Ok(())
+/// # }
+/// ```
+pub fn export_grid(grid: &PowerGrid, names: Option<&NodeMap>) -> Result<String> {
+    let n = grid.node_count();
+    let numbered;
+    let names = match names {
+        Some(map) => {
+            if map.len() != n {
+                return Err(NetlistError::Deck {
+                    message: format!("node map covers {} nodes but the grid has {n}", map.len()),
+                });
+            }
+            for (_, name) in map.iter() {
+                validate_node_name(name)?;
+            }
+            map
+        }
+        None => {
+            numbered = NodeMap::numbered(n);
+            &numbered
+        }
+    };
+    let supply = supply_name(names);
+
+    let mut deck = String::new();
+    let _ = writeln!(deck, "* OPERA power-grid deck exported by opera-netlist");
+    let _ = writeln!(
+        deck,
+        "* {} nodes, {} resistive branches, {} capacitors, {} current sources",
+        n,
+        grid.branches().len(),
+        grid.capacitors().len(),
+        grid.sources().len()
+    );
+    let _ = writeln!(deck, "vsupply {supply} 0 {}", format_value(grid.vdd()));
+
+    // Pin the node-index assignment when the natural element order would
+    // not already visit the nodes in index order.
+    if !first_appearance_is_identity(grid) {
+        let _ = writeln!(deck, "* anchor block: pins node indices to deck order");
+        for i in 0..n {
+            let _ = writeln!(deck, "canchor{i} {} 0 0", names.name(i).expect("covered"));
+        }
+    }
+
+    for (k, cap) in grid.capacitors().iter().enumerate() {
+        let class = match cap.class {
+            opera_grid::CapacitorClass::Gate => "gate",
+            opera_grid::CapacitorClass::Diffusion => "diffusion",
+            opera_grid::CapacitorClass::Interconnect => "interconnect",
+        };
+        let _ = writeln!(
+            deck,
+            "c{k} {} 0 {} class={class}",
+            names.name(cap.node).expect("covered"),
+            format_value(cap.capacitance)
+        );
+    }
+
+    for (k, branch) in grid.branches().iter().enumerate() {
+        let g = format_value(branch.conductance);
+        match (branch.b, branch.kind) {
+            (None, _) => {
+                let _ = writeln!(
+                    deck,
+                    "rpad{k} {} {supply} {g}S",
+                    names.name(branch.a).expect("covered")
+                );
+            }
+            (Some(b), kind) => {
+                let prefix = if kind == BranchKind::Via { "rv" } else { "rw" };
+                let _ = writeln!(
+                    deck,
+                    "{prefix}{k} {} {} {g}S",
+                    names.name(branch.a).expect("covered"),
+                    names.name(b).expect("covered")
+                );
+            }
+        }
+    }
+
+    for (k, source) in grid.sources().iter().enumerate() {
+        let mut card = format!("i{k} {} 0 pwl(", names.name(source.node).expect("covered"));
+        for (j, &(t, v)) in source.waveform.points().iter().enumerate() {
+            if j > 0 {
+                card.push(' ');
+            }
+            let _ = write!(card, "{} {}", format_value(t), format_value(v));
+        }
+        let _ = write!(card, ") block={}", source.block);
+        deck.push_str(&card);
+        deck.push('\n');
+    }
+
+    let end_time = grid.waveform_end_time();
+    if end_time > 0.0 {
+        let _ = writeln!(
+            deck,
+            ".tran {} {}",
+            format_value(end_time / 100.0),
+            format_value(end_time)
+        );
+    }
+    deck.push_str(".end\n");
+    Ok(deck)
+}
+
+/// `true` when emitting capacitors, then branches, then sources visits the
+/// grid nodes for the first time in index order `0, 1, 2, …` — the common
+/// case for generated grids, where every node carries capacitance.
+fn first_appearance_is_identity(grid: &PowerGrid) -> bool {
+    let mut next = 0usize;
+    let mut seen = HashSet::new();
+    let visit = |node: usize, next: &mut usize, seen: &mut HashSet<usize>| {
+        if seen.insert(node) {
+            if node != *next {
+                return false;
+            }
+            *next += 1;
+        }
+        true
+    };
+    for cap in grid.capacitors() {
+        if !visit(cap.node, &mut next, &mut seen) {
+            return false;
+        }
+    }
+    for branch in grid.branches() {
+        if !visit(branch.a, &mut next, &mut seen) {
+            return false;
+        }
+        if let Some(b) = branch.b {
+            if !visit(b, &mut next, &mut seen) {
+                return false;
+            }
+        }
+    }
+    for source in grid.sources() {
+        if !visit(source.node, &mut next, &mut seen) {
+            return false;
+        }
+    }
+    next == grid.node_count()
+}
+
+/// Rejects caller-supplied node names the deck grammar cannot represent
+/// faithfully: the parser lower-cases and re-tokenises everything, so a
+/// name must already be lower-case, free of separator/comment characters,
+/// and not a ground alias — otherwise the re-imported grid would not match.
+fn validate_node_name(name: &str) -> Result<()> {
+    let bad = |reason: &str| {
+        Err(NetlistError::Deck {
+            message: format!("node name `{name}` cannot round-trip through a deck: {reason}"),
+        })
+    };
+    if name.is_empty() {
+        return bad("it is empty");
+    }
+    if name.chars().any(|c| c.is_ascii_uppercase()) {
+        return bad("deck names are case-insensitive and re-imported lower-cased");
+    }
+    if name
+        .chars()
+        .any(|c| c.is_whitespace() || "()=,$;*+".contains(c))
+    {
+        return bad("it contains separator or comment characters");
+    }
+    if crate::is_ground(name) {
+        return bad("it denotes the ground net in the deck grammar");
+    }
+    Ok(())
+}
+
+/// Picks a supply-node name that does not collide with any grid node.
+fn supply_name(names: &NodeMap) -> String {
+    let mut name = "vdd".to_string();
+    while names.index(&name).is_some() {
+        name.push('_');
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use opera_grid::{CapacitorClass, GridSpec, Waveform};
+
+    #[test]
+    fn exported_spec_grid_round_trips_bitwise() {
+        let grid = GridSpec::small_test(90).with_seed(11).build().unwrap();
+        let deck = export_grid(&grid, None).unwrap();
+        let lowered = parse(&deck).unwrap().lower().unwrap();
+        assert_eq!(grid.node_count(), lowered.grid.node_count());
+        assert_eq!(grid.vdd(), lowered.grid.vdd());
+        assert_eq!(grid.branches(), lowered.grid.branches());
+        assert_eq!(grid.capacitors(), lowered.grid.capacitors());
+        assert_eq!(grid.sources(), lowered.grid.sources());
+        assert_eq!(grid.conductance_matrix(), lowered.grid.conductance_matrix());
+        assert_eq!(grid.capacitance_matrix(), lowered.grid.capacitance_matrix());
+        assert_eq!(
+            grid.pad_injection_vector(),
+            lowered.grid.pad_injection_vector()
+        );
+    }
+
+    #[test]
+    fn anchor_block_pins_out_of_order_nodes() {
+        // A grid whose first element touches node 2: without anchors the
+        // re-parsed index assignment would start at `n2`.
+        let mut grid = PowerGrid::new(3, 1.0).unwrap();
+        grid.add_pad(2, 4.0).unwrap();
+        grid.add_wire(2, 0, 1.0, BranchKind::MetalWire).unwrap();
+        grid.add_wire(0, 1, 2.0, BranchKind::Via).unwrap();
+        grid.add_capacitor(1, 1e-15, CapacitorClass::Gate).unwrap();
+        grid.add_current_source(1, Waveform::constant(1e-3), 7)
+            .unwrap();
+        let deck = export_grid(&grid, None).unwrap();
+        assert!(deck.contains("canchor0"));
+        let lowered = parse(&deck).unwrap().lower().unwrap();
+        assert_eq!(lowered.nodes.name(2), Some("n2"));
+        assert_eq!(grid.branches(), lowered.grid.branches());
+        assert_eq!(grid.conductance_matrix(), lowered.grid.conductance_matrix());
+        assert_eq!(grid.capacitance_matrix(), lowered.grid.capacitance_matrix());
+        assert_eq!(grid.sources(), lowered.grid.sources());
+    }
+
+    #[test]
+    fn custom_names_and_supply_collision_are_handled() {
+        let mut grid = PowerGrid::new(2, 1.0).unwrap();
+        grid.add_pad(0, 1.0).unwrap();
+        grid.add_wire(0, 1, 1.0, BranchKind::MetalWire).unwrap();
+        grid.add_capacitor(0, 0.0, CapacitorClass::Diffusion)
+            .unwrap();
+        grid.add_capacitor(1, 1e-15, CapacitorClass::Diffusion)
+            .unwrap();
+        let mut names = NodeMap::new();
+        names.get_or_insert("vdd"); // collides with the default supply name
+        names.get_or_insert("core_1_1");
+        let deck = export_grid(&grid, Some(&names)).unwrap();
+        assert!(deck.contains("vsupply vdd_ 0 1.0"));
+        let lowered = parse(&deck).unwrap().lower().unwrap();
+        assert_eq!(lowered.nodes.index("vdd"), Some(0));
+        assert_eq!(lowered.nodes.index("core_1_1"), Some(1));
+        assert_eq!(grid.conductance_matrix(), lowered.grid.conductance_matrix());
+
+        let short = NodeMap::numbered(1);
+        assert!(matches!(
+            export_grid(&grid, Some(&short)),
+            Err(NetlistError::Deck { .. })
+        ));
+    }
+
+    #[test]
+    fn unrepresentable_names_are_rejected() {
+        let mut grid = PowerGrid::new(2, 1.0).unwrap();
+        grid.add_pad(0, 1.0).unwrap();
+        grid.add_wire(0, 1, 1.0, BranchKind::MetalWire).unwrap();
+        for bad in ["GND", "N1", "has space", "a=b", "semi;colon", "", "0"] {
+            let mut names = NodeMap::new();
+            names.get_or_insert(bad);
+            names.get_or_insert("ok");
+            let err = export_grid(&grid, Some(&names)).unwrap_err();
+            assert!(
+                matches!(err, NetlistError::Deck { .. }),
+                "name {bad:?}: {err}"
+            );
+        }
+    }
+}

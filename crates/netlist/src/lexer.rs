@@ -1,0 +1,150 @@
+//! Line-level preprocessing: comments, continuations, field splitting.
+//!
+//! SPICE decks are line-oriented. The lexer turns the raw text into
+//! *logical lines* — each one card — by:
+//!
+//! * dropping blank lines and full-line comments (first non-blank character
+//!   `*`),
+//! * stripping inline comments (`$` or `;` to end of line),
+//! * joining continuation lines (first non-blank character `+`) onto the
+//!   previous logical line,
+//! * lower-casing everything (SPICE is case-insensitive; names are reported
+//!   lower-cased),
+//! * treating `(`, `)`, `,` and `=` as field separators (`=` is kept as its
+//!   own token so `block=3` parses as a key/value pair), so
+//!   `PWL(0 0, 1n 2m)` and `pwl 0 0 1n 2m` tokenise identically.
+//!
+//! Each logical line remembers the 1-based physical line its card started
+//! on, which is what every parse error reports.
+
+use crate::{NetlistError, Result};
+
+/// One card after preprocessing: its fields and where it started.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalLine {
+    /// 1-based physical line number of the card's first line.
+    pub line: usize,
+    /// Whitespace/paren/comma-separated fields, lower-cased. Never empty.
+    pub fields: Vec<String>,
+}
+
+/// Splits deck text into logical lines.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Syntax`] for a continuation line (`+ …`) with no
+/// preceding card.
+///
+/// # Example
+///
+/// ```
+/// use opera_netlist::lex;
+///
+/// let lines = lex("* a comment\nR1 a b 10 $ inline comment\n+ extra\n").unwrap();
+/// assert_eq!(lines.len(), 1);
+/// assert_eq!(lines[0].line, 2);
+/// assert_eq!(lines[0].fields, ["r1", "a", "b", "10", "extra"]);
+/// ```
+pub fn lex(text: &str) -> Result<Vec<LogicalLine>> {
+    let mut out: Vec<LogicalLine> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        // Inline comments first, then trim.
+        let body = raw
+            .split(['$', ';'])
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .to_ascii_lowercase();
+        if body.is_empty() || body.starts_with('*') {
+            continue;
+        }
+        let (continuation, body) = match body.strip_prefix('+') {
+            Some(rest) => (true, rest.to_string()),
+            None => (false, body),
+        };
+        let fields = split_fields(&body);
+        if continuation {
+            let Some(last) = out.last_mut() else {
+                return Err(NetlistError::Syntax {
+                    line: line_no,
+                    message: "continuation line (`+ …`) with no card to continue".to_string(),
+                });
+            };
+            last.fields.extend(fields);
+        } else if !fields.is_empty() {
+            out.push(LogicalLine {
+                line: line_no,
+                fields,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Splits one physical line into fields, treating parens and commas as
+/// whitespace and `=` as its own token.
+fn split_fields(body: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    for ch in body.chars() {
+        match ch {
+            '(' | ')' | ',' | ' ' | '\t' => {
+                if !current.is_empty() {
+                    fields.push(std::mem::take(&mut current));
+                }
+            }
+            '=' => {
+                if !current.is_empty() {
+                    fields.push(std::mem::take(&mut current));
+                }
+                fields.push("=".to_string());
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.is_empty() {
+        fields.push(current);
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_blanks_and_case_are_normalised() {
+        let lines = lex("* title-ish comment\n\n  VDD Vdd 0 1.2 ; trailing\n*last\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].line, 3);
+        assert_eq!(lines[0].fields, ["vdd", "vdd", "0", "1.2"]);
+    }
+
+    #[test]
+    fn continuations_join_with_the_first_line_number() {
+        let lines = lex("I1 n1 0 PWL(0 0\n* interleaved comment\n+ 1n 2m)\nR1 a b 5\n").unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].line, 1);
+        assert_eq!(
+            lines[0].fields,
+            ["i1", "n1", "0", "pwl", "0", "0", "1n", "2m"]
+        );
+        assert_eq!(lines[1].line, 4);
+    }
+
+    #[test]
+    fn equals_becomes_its_own_token() {
+        let lines = lex("C1 n1 0 2f class=gate\n").unwrap();
+        assert_eq!(
+            lines[0].fields,
+            ["c1", "n1", "0", "2f", "class", "=", "gate"]
+        );
+    }
+
+    #[test]
+    fn dangling_continuation_is_an_error() {
+        let err = lex("+ 1 2 3\n").unwrap_err();
+        assert_eq!(err.line(), Some(1));
+    }
+}

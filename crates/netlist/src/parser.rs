@@ -1,0 +1,564 @@
+//! Card-level parsing: logical lines → the [`Netlist`] IR.
+
+use std::collections::HashMap;
+
+use crate::deck::{
+    CapacitorCard, Card, CurrentSourceCard, Netlist, ResistorCard, SourceWaveform, SupplyCard,
+    TranSpec,
+};
+use crate::lexer::{lex, LogicalLine};
+use crate::value::parse_value;
+use crate::{NetlistError, Result};
+use opera_grid::CapacitorClass;
+
+/// Node names that mean "ground" (the reference net of the VDD-net model).
+pub const GROUND_NAMES: [&str; 2] = ["0", "gnd"];
+
+/// `true` when `name` (lower-cased) denotes the ground net.
+///
+/// ```
+/// use opera_netlist::is_ground;
+///
+/// assert!(is_ground("0") && is_ground("gnd"));
+/// assert!(!is_ground("n1_0_0"));
+/// ```
+pub fn is_ground(name: &str) -> bool {
+    GROUND_NAMES.contains(&name)
+}
+
+/// Parses deck text into a validated [`Netlist`].
+///
+/// Per-card validation happens here (grammar, arity, numeric values,
+/// duplicate element names); whole-circuit checks happen in
+/// [`Netlist::lower`]. See `docs/NETLIST.md` for the accepted grammar.
+///
+/// # Errors
+///
+/// Returns the first [`NetlistError`] encountered, with the deck line it
+/// points at.
+///
+/// # Example
+///
+/// ```
+/// use opera_netlist::parse;
+///
+/// let deck = parse(
+///     "* two-node chain\n\
+///      VDD vddnode 0 1.8\n\
+///      Rpad vddnode n1 0.05\n\
+///      Rw1 n1 n2 0.2\n\
+///      C1 n2 0 10f class=gate\n\
+///      I1 n2 0 PWL(0 0 1n 5m 2n 0)\n\
+///      .tran 50p 2n\n\
+///      .end\n",
+/// )
+/// .unwrap();
+/// assert_eq!(deck.cards.len(), 5);
+/// assert!(deck.tran.is_some());
+/// ```
+pub fn parse(text: &str) -> Result<Netlist> {
+    let lines = lex(text)?;
+    let mut cards: Vec<Card> = Vec::new();
+    let mut tran: Option<TranSpec> = None;
+    let mut seen_names: HashMap<String, usize> = HashMap::new();
+
+    for ll in lines {
+        let first = ll.fields[0].as_str();
+        if let Some(directive) = first.strip_prefix('.') {
+            match directive {
+                "tran" => {
+                    if tran.is_some() {
+                        return Err(NetlistError::Syntax {
+                            line: ll.line,
+                            message: "multiple .tran directives (only one is allowed)".to_string(),
+                        });
+                    }
+                    tran = Some(parse_tran(&ll)?);
+                }
+                // `.op` is accepted for IBM-benchmark compatibility: the
+                // engine always solves the t = 0 operating point anyway.
+                "op" => {}
+                "end" => break,
+                _ => {
+                    return Err(NetlistError::Unsupported {
+                        line: ll.line,
+                        what: first.to_string(),
+                        hint: "only .tran, .op and .end directives are supported".to_string(),
+                    });
+                }
+            }
+            continue;
+        }
+
+        let card = match first.chars().next() {
+            Some('r') => Card::Resistor(parse_resistor(&ll)?),
+            Some('c') => Card::Capacitor(parse_capacitor(&ll)?),
+            Some('i') => Card::Current(parse_current(&ll)?),
+            Some('v') => Card::Supply(parse_supply(&ll)?),
+            Some(
+                c @ ('l' | 'd' | 'q' | 'm' | 'x' | 'k' | 'e' | 'f' | 'g' | 'h' | 'b' | 's' | 'w'
+                | 't' | 'u' | 'o' | 'j' | 'z'),
+            ) => {
+                return Err(NetlistError::Unsupported {
+                    line: ll.line,
+                    what: first.to_string(),
+                    hint: format!(
+                        "`{c}` elements are outside the power-grid subset; \
+                         only R, C, I and V cards are supported"
+                    ),
+                });
+            }
+            _ => {
+                return Err(NetlistError::Syntax {
+                    line: ll.line,
+                    message: format!(
+                        "unrecognised card `{first}` (expected an R/C/I/V element \
+                         or a .tran/.op/.end directive)"
+                    ),
+                });
+            }
+        };
+
+        if let Some(&previous_line) = seen_names.get(card.name()) {
+            return Err(NetlistError::Duplicate {
+                line: ll.line,
+                previous_line,
+                name: card.name().to_string(),
+            });
+        }
+        seen_names.insert(card.name().to_string(), ll.line);
+        cards.push(card);
+    }
+
+    Ok(Netlist { cards, tran })
+}
+
+/// Trailing `key=value` parameters of a card, in order.
+type Params<'a> = Vec<(&'a str, &'a str)>;
+
+/// Splits off the trailing `key=value` parameters (tokenised as
+/// `key "=" value` triples) and returns `(positional, params)`.
+fn split_params<'a>(fields: &'a [String], line: usize) -> Result<(&'a [String], Params<'a>)> {
+    let Some(first_eq) = fields.iter().position(|f| f == "=") else {
+        return Ok((fields, Vec::new()));
+    };
+    if first_eq == 0 {
+        return Err(NetlistError::Syntax {
+            line,
+            message: "`=` with no parameter name before it".to_string(),
+        });
+    }
+    let split = first_eq - 1;
+    let (positional, tail) = fields.split_at(split);
+    let mut params = Vec::new();
+    let mut chunks = tail.chunks_exact(3);
+    for chunk in &mut chunks {
+        if chunk[1] != "=" || chunk[0] == "=" || chunk[2] == "=" {
+            return Err(NetlistError::Syntax {
+                line,
+                message: "parameters must be trailing `key=value` pairs".to_string(),
+            });
+        }
+        let key = chunk[0].as_str();
+        if params.iter().any(|&(k, _)| k == key) {
+            return Err(NetlistError::Syntax {
+                line,
+                message: format!("parameter `{key}` is given more than once"),
+            });
+        }
+        params.push((key, chunk[2].as_str()));
+    }
+    if !chunks.remainder().is_empty() {
+        return Err(NetlistError::Syntax {
+            line,
+            message: "incomplete trailing `key=value` parameter".to_string(),
+        });
+    }
+    Ok((positional, params))
+}
+
+fn expect_arity(ll: &LogicalLine, positional: &[String], n: usize, usage: &str) -> Result<()> {
+    if positional.len() != n {
+        return Err(NetlistError::Syntax {
+            line: ll.line,
+            message: format!(
+                "expected `{usage}`, got {} field(s): `{}`",
+                positional.len(),
+                positional.join(" ")
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn require_positive(value: f64, token: &str, line: usize, what: &str) -> Result<()> {
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(NetlistError::Value {
+            line,
+            token: token.to_string(),
+            message: format!("{what} must be positive, got {value}"),
+        })
+    }
+}
+
+fn parse_resistor(ll: &LogicalLine) -> Result<ResistorCard> {
+    let (positional, params) = split_params(&ll.fields, ll.line)?;
+    reject_params(ll.line, &params, &[])?;
+    expect_arity(ll, positional, 4, "Rname a b value")?;
+    let token = positional[3].as_str();
+    // The dialect's exact-interchange extension: a trailing `s` marks the
+    // value as a conductance in siemens (`25S`, `1.5kS`); plain values are
+    // ohms and are reciprocated here, once.
+    let conductance = match token.strip_suffix('s') {
+        Some(siemens) if !siemens.is_empty() => {
+            let g = parse_value(siemens, ll.line)?;
+            require_positive(g, token, ll.line, "conductance")?;
+            g
+        }
+        _ => {
+            let ohms = parse_value(token, ll.line)?;
+            require_positive(ohms, token, ll.line, "resistance")?;
+            1.0 / ohms
+        }
+    };
+    Ok(ResistorCard {
+        name: positional[0].clone(),
+        line: ll.line,
+        a: positional[1].clone(),
+        b: positional[2].clone(),
+        conductance,
+    })
+}
+
+fn parse_capacitor(ll: &LogicalLine) -> Result<CapacitorCard> {
+    let (positional, params) = split_params(&ll.fields, ll.line)?;
+    expect_arity(ll, positional, 4, "Cname node 0 value [class=…]")?;
+    let node = grounded_terminal(ll, &positional[1], &positional[2], "capacitor")?;
+    let capacitance = parse_value(&positional[3], ll.line)?;
+    if capacitance < 0.0 {
+        return Err(NetlistError::Value {
+            line: ll.line,
+            token: positional[3].clone(),
+            message: "capacitance must be non-negative".to_string(),
+        });
+    }
+    let mut class = CapacitorClass::Diffusion;
+    for (key, value) in reject_params(ll.line, &params, &["class"])? {
+        debug_assert_eq!(key, "class");
+        class = match value {
+            "gate" => CapacitorClass::Gate,
+            "diffusion" => CapacitorClass::Diffusion,
+            "interconnect" => CapacitorClass::Interconnect,
+            other => {
+                return Err(NetlistError::Syntax {
+                    line: ll.line,
+                    message: format!(
+                        "unknown capacitor class `{other}` \
+                         (expected gate, diffusion or interconnect)"
+                    ),
+                });
+            }
+        };
+    }
+    Ok(CapacitorCard {
+        name: positional[0].clone(),
+        line: ll.line,
+        node,
+        capacitance,
+        class,
+    })
+}
+
+fn parse_current(ll: &LogicalLine) -> Result<CurrentSourceCard> {
+    let (positional, params) = split_params(&ll.fields, ll.line)?;
+    if positional.len() < 4 {
+        return Err(NetlistError::Syntax {
+            line: ll.line,
+            message: "expected `Iname node 0 <value | PWL …| PULSE …> [block=k]`".to_string(),
+        });
+    }
+    let node = grounded_terminal(ll, &positional[1], &positional[2], "current source")?;
+    let waveform = parse_waveform(ll, &positional[3..])?;
+    let mut block = 0usize;
+    for (key, value) in reject_params(ll.line, &params, &["block"])? {
+        debug_assert_eq!(key, "block");
+        block = value.parse().map_err(|_| NetlistError::Value {
+            line: ll.line,
+            token: value.to_string(),
+            message: "block id must be a non-negative integer".to_string(),
+        })?;
+    }
+    Ok(CurrentSourceCard {
+        name: positional[0].clone(),
+        line: ll.line,
+        node,
+        waveform,
+        block,
+    })
+}
+
+fn parse_supply(ll: &LogicalLine) -> Result<SupplyCard> {
+    let (positional, params) = split_params(&ll.fields, ll.line)?;
+    reject_params(ll.line, &params, &[])?;
+    // Accept both `Vname node 0 value` and `Vname node 0 DC value`.
+    let value_fields: &[String] = match positional {
+        [_, _, _, _] => &positional[3..],
+        [_, _, _, dc, _] if dc.as_str() == "dc" => &positional[4..],
+        _ => {
+            return Err(NetlistError::Syntax {
+                line: ll.line,
+                message: "expected `Vname node 0 value` (optionally `… 0 DC value`)".to_string(),
+            });
+        }
+    };
+    let (node, gnd) = (&positional[1], &positional[2]);
+    if !is_ground(gnd) {
+        return Err(NetlistError::Syntax {
+            line: ll.line,
+            message: format!(
+                "a supply must connect a node to ground with the node first \
+                 (`Vname node 0 value`); got terminals `{node}` and `{gnd}`"
+            ),
+        });
+    }
+    if is_ground(node) {
+        return Err(NetlistError::Syntax {
+            line: ll.line,
+            message: "supply node cannot be ground".to_string(),
+        });
+    }
+    let volts = parse_value(&value_fields[0], ll.line)?;
+    if volts <= 0.0 {
+        return Err(NetlistError::Lowering {
+            line: ll.line,
+            message: format!(
+                "supply voltage must be positive, got {volts}; this front end \
+                 analyzes the VDD net only (model ground-net decks separately)"
+            ),
+        });
+    }
+    Ok(SupplyCard {
+        name: positional[0].clone(),
+        line: ll.line,
+        node: node.clone(),
+        volts,
+    })
+}
+
+fn parse_waveform(ll: &LogicalLine, fields: &[String]) -> Result<SourceWaveform> {
+    match fields[0].as_str() {
+        "pwl" => {
+            let values: Vec<f64> = fields[1..]
+                .iter()
+                .map(|f| parse_value(f, ll.line))
+                .collect::<Result<_>>()?;
+            if values.is_empty() || !values.len().is_multiple_of(2) {
+                return Err(NetlistError::Syntax {
+                    line: ll.line,
+                    message: format!(
+                        "PWL needs an even, non-zero number of values \
+                         (t1 v1 t2 v2 …), got {}",
+                        values.len()
+                    ),
+                });
+            }
+            let points: Vec<(f64, f64)> = values.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+            if points.windows(2).any(|w| w[1].0 < w[0].0) {
+                return Err(NetlistError::Syntax {
+                    line: ll.line,
+                    message: "PWL breakpoint times must be non-decreasing".to_string(),
+                });
+            }
+            Ok(SourceWaveform::Pwl(points))
+        }
+        "pulse" => {
+            if fields.len() != 8 {
+                return Err(NetlistError::Syntax {
+                    line: ll.line,
+                    message: format!(
+                        "PULSE takes exactly 7 values (i1 i2 td tr tf pw per), got {}",
+                        fields.len() - 1
+                    ),
+                });
+            }
+            let v: Vec<f64> = fields[1..]
+                .iter()
+                .map(|f| parse_value(f, ll.line))
+                .collect::<Result<_>>()?;
+            for (label, &t) in ["td", "tr", "tf", "pw", "per"].iter().zip(&v[2..]) {
+                if t < 0.0 {
+                    return Err(NetlistError::Syntax {
+                        line: ll.line,
+                        message: format!("PULSE {label} must be non-negative, got {t}"),
+                    });
+                }
+            }
+            Ok(SourceWaveform::Pulse {
+                base: v[0],
+                peak: v[1],
+                delay: v[2],
+                rise: v[3],
+                fall: v[4],
+                width: v[5],
+                period: v[6],
+            })
+        }
+        "dc" if fields.len() == 2 => Ok(SourceWaveform::Dc(parse_value(&fields[1], ll.line)?)),
+        _ if fields.len() == 1 => Ok(SourceWaveform::Dc(parse_value(&fields[0], ll.line)?)),
+        other => Err(NetlistError::Syntax {
+            line: ll.line,
+            message: format!(
+                "expected a DC value, `PWL(t v …)` or `PULSE(i1 i2 td tr tf pw per)`, \
+                 got `{other} …`"
+            ),
+        }),
+    }
+}
+
+fn parse_tran(ll: &LogicalLine) -> Result<TranSpec> {
+    let fields = &ll.fields;
+    if !(3..=4).contains(&fields.len()) {
+        return Err(NetlistError::Syntax {
+            line: ll.line,
+            message: "expected `.tran tstep tstop [tstart]`".to_string(),
+        });
+    }
+    let time_step = parse_value(&fields[1], ll.line)?;
+    let end_time = parse_value(&fields[2], ll.line)?;
+    if fields.len() == 4 && parse_value(&fields[3], ll.line)? != 0.0 {
+        return Err(NetlistError::Unsupported {
+            line: ll.line,
+            what: ".tran tstart".to_string(),
+            hint: "a non-zero tstart is not supported; the transient always starts at 0"
+                .to_string(),
+        });
+    }
+    if !(time_step > 0.0 && end_time > 0.0 && time_step <= end_time) {
+        return Err(NetlistError::Syntax {
+            line: ll.line,
+            message: format!(
+                "need 0 < tstep <= tstop, got tstep = {time_step}, tstop = {end_time}"
+            ),
+        });
+    }
+    Ok(TranSpec {
+        time_step,
+        end_time,
+    })
+}
+
+/// Validates that every parameter key is in `allowed`; returns the params.
+fn reject_params<'a>(
+    line: usize,
+    params: &[(&'a str, &'a str)],
+    allowed: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>> {
+    for &(key, _) in params {
+        if !allowed.contains(&key) {
+            return Err(NetlistError::Syntax {
+                line,
+                message: if allowed.is_empty() {
+                    format!("this card takes no `key=value` parameters, got `{key}=…`")
+                } else {
+                    format!(
+                        "unknown parameter `{key}` (supported: {})",
+                        allowed.join(", ")
+                    )
+                },
+            });
+        }
+    }
+    Ok(params.to_vec())
+}
+
+/// For two-terminal-to-ground elements: exactly one terminal must be
+/// ground; returns the other (the grid node), which must come first.
+fn grounded_terminal(ll: &LogicalLine, a: &str, b: &str, what: &str) -> Result<String> {
+    match (is_ground(a), is_ground(b)) {
+        (false, true) => Ok(a.to_string()),
+        (true, false) => Err(NetlistError::Syntax {
+            line: ll.line,
+            message: format!(
+                "write the grid node first (`…name {b} 0 …`): a {what}'s \
+                 second terminal must be ground"
+            ),
+        }),
+        (true, true) => Err(NetlistError::Syntax {
+            line: ll.line,
+            message: format!("{what} has both terminals grounded"),
+        }),
+        (false, false) => Err(NetlistError::Lowering {
+            line: ll.line,
+            message: format!(
+                "{what} between two grid nodes (`{a}`, `{b}`) is not supported; \
+                 the second terminal must be ground (`0`)"
+            ),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_deck() {
+        let deck = parse(
+            "VDD p 0 1.2\n\
+             Rp p n1 10s\n\
+             Rv1 n1 n2 0.5\n\
+             C1 n1 0 1f\n\
+             I1 n2 0 2m block=3\n",
+        )
+        .unwrap();
+        assert_eq!(deck.cards.len(), 5);
+        let r: Vec<_> = deck.resistors().collect();
+        assert_eq!(r[0].conductance, 10.0);
+        assert_eq!(r[1].conductance, 1.0 / 0.5);
+        let i = deck.current_sources().next().unwrap();
+        assert_eq!(i.block, 3);
+        assert_eq!(i.waveform, SourceWaveform::Dc(2e-3));
+    }
+
+    #[test]
+    fn dc_keyword_and_pulse_parse() {
+        let deck = parse(
+            "V1 p 0 DC 1.8\n\
+             I1 n 0 DC 5m\n\
+             I2 n 0 PULSE(0 1m 0.1n 0.1n 0.1n 0.3n 1n)\n",
+        )
+        .unwrap();
+        assert_eq!(deck.supplies().next().unwrap().volts, 1.8);
+        let sources: Vec<_> = deck.current_sources().collect();
+        assert_eq!(sources[0].waveform, SourceWaveform::Dc(5e-3));
+        assert!(matches!(
+            sources[1].waveform,
+            SourceWaveform::Pulse { peak, .. } if peak == 1e-3
+        ));
+    }
+
+    #[test]
+    fn spans_point_at_the_offending_card() {
+        let err = parse("V1 p 0 1.2\nR1 p n1 0.1\nR1 n1 n2 0.1\n").unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::Duplicate {
+                line: 3,
+                previous_line: 2,
+                name: "r1".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn tran_is_validated() {
+        assert!(parse(".tran 1n 10n\n").unwrap().tran.is_some());
+        assert!(parse(".tran 1n 10n 0\n").is_ok());
+        assert!(parse(".tran 1n 10n 1n\n").is_err());
+        assert!(parse(".tran 10n 1n\n").is_err());
+        assert!(parse(".tran 1n\n").is_err());
+        assert!(parse(".tran 1n 2n\n.tran 1n 2n\n").is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Numeric fields with SPICE SI suffixes.
+//!
+//! A value is a float in any Rust-parseable form (`12`, `0.5`, `1e-9`,
+//! `-3.2e2`) optionally followed by one of the standard SPICE magnitude
+//! suffixes, case-insensitively:
+//!
+//! | suffix | scale  | | suffix | scale  |
+//! |--------|--------|-|--------|--------|
+//! | `t`    | 1e12   | | `m`    | 1e-3   |
+//! | `g`    | 1e9    | | `u`    | 1e-6   |
+//! | `meg`  | 1e6    | | `n`    | 1e-9   |
+//! | `k`    | 1e3    | | `p`    | 1e-12  |
+//! |        |        | | `f`    | 1e-15  |
+//!
+//! Trailing unit letters (`1ns`, `10pF`, `5ohm`) are **not** part of the
+//! grammar — write `1n`, `10p`, `5`. The only exception is the resistor
+//! cards' `S` marker handled in the parser (see `docs/NETLIST.md`).
+
+use crate::{NetlistError, Result};
+
+/// The SPICE magnitude suffixes, longest first so `meg` wins over `m`.
+const SUFFIXES: [(&str, f64); 9] = [
+    ("meg", 1e6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+];
+
+/// Parses one numeric field (already lower-cased by the lexer), applying an
+/// optional SI suffix. `line` is the deck line used for error spans.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Value`] for malformed floats, unknown suffixes
+/// and non-finite results.
+///
+/// # Example
+///
+/// ```
+/// use opera_netlist::parse_value;
+///
+/// assert_eq!(parse_value("1.5k", 1).unwrap(), 1.5e3);
+/// assert_eq!(parse_value("100meg", 1).unwrap(), 100.0e6);
+/// assert_eq!(parse_value("2p", 1).unwrap(), 2.0e-12);
+/// assert_eq!(parse_value("1e-9", 1).unwrap(), 1e-9);
+/// assert!(parse_value("1ns", 7).unwrap_err().to_string().contains("line 7"));
+/// ```
+pub fn parse_value(token: &str, line: usize) -> Result<f64> {
+    let bad = |message: String| NetlistError::Value {
+        line,
+        token: token.to_string(),
+        message,
+    };
+    if token.is_empty() {
+        return Err(bad("empty numeric field".to_string()));
+    }
+    // A plain float (possibly with an exponent) needs no suffix handling.
+    // This branch must come first: `1e-15` ends in a suffix-like letter
+    // sequence but is already a complete float.
+    let (value, scale) = if let Ok(v) = token.parse::<f64>() {
+        (v, 1.0)
+    } else {
+        let Some((mantissa, scale)) = SUFFIXES.iter().find_map(|&(s, scale)| {
+            token
+                .strip_suffix(s)
+                .map(|mantissa| (mantissa, scale))
+                .filter(|(m, _)| !m.is_empty())
+        }) else {
+            return Err(bad("expected a number with an optional SI suffix \
+                 (t, g, meg, k, m, u, n, p, f); unit letters like `1ns` or \
+                 `10pf` are not accepted — write `1n`, `10p`"
+                .to_string()));
+        };
+        let v = mantissa.parse::<f64>().map_err(|_| {
+            bad(format!(
+                "`{mantissa}` is not a number (suffix `{}` was recognised)",
+                &token[mantissa.len()..]
+            ))
+        })?;
+        (v, scale)
+    };
+    let scaled = value * scale;
+    if !scaled.is_finite() {
+        return Err(bad("value is not finite".to_string()));
+    }
+    Ok(scaled)
+}
+
+/// Formats an `f64` so that parsing the result recovers the value exactly
+/// (shortest round-trip representation) — the exporter's value formatter.
+///
+/// # Example
+///
+/// ```
+/// use opera_netlist::{format_value, parse_value};
+///
+/// let x = 0.1f64 + 0.2;
+/// assert_eq!(parse_value(&format_value(x), 1).unwrap(), x);
+/// ```
+pub fn format_value(value: f64) -> String {
+    format!("{value:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffixes_scale_correctly() {
+        for (tok, expect) in [
+            ("1t", 1e12),
+            ("1g", 1e9),
+            ("1meg", 1e6),
+            ("2.5k", 2.5e3),
+            ("3m", 3e-3),
+            ("4u", 4e-6),
+            ("5n", 5e-9),
+            ("6p", 6e-12),
+            ("7f", 7e-15),
+            ("-2.5", -2.5),
+            (".5", 0.5),
+            ("1e3", 1e3),
+            ("1.5e-9", 1.5e-9),
+        ] {
+            assert_eq!(parse_value(tok, 1).unwrap(), expect, "token {tok}");
+        }
+    }
+
+    #[test]
+    fn plain_exponent_floats_win_over_suffix_splitting() {
+        // `1e-15` must parse as the float, not as `1e-1` + `5`-ish nonsense.
+        assert_eq!(parse_value("1e-15", 1).unwrap(), 1e-15);
+        // `2e3` is a float; `2k` uses a suffix; both are 2000.
+        assert_eq!(
+            parse_value("2e3", 1).unwrap(),
+            parse_value("2k", 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_values_are_rejected_with_spans() {
+        for tok in ["", "abc", "1ns", "10pf", "--3", "1..2", "k", "1e999"] {
+            let err = parse_value(tok, 42).unwrap_err();
+            assert_eq!(err.line(), Some(42), "token {tok:?}");
+        }
+    }
+
+    #[test]
+    fn format_round_trips_awkward_values() {
+        for v in [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            25.0 * (1.0 + 0.25 * 0.123456789),
+            8.0e-15,
+            f64::MIN_POSITIVE,
+            1.2345678901234567e300,
+        ] {
+            assert_eq!(parse_value(&format_value(v), 1).unwrap(), v, "value {v}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Parser/lowering rejection suite: every malformed deck produces a
+//! spanned, actionable `NetlistError` — never a panic.
+
+use proptest::prelude::*;
+
+use opera_netlist::{parse, NetlistError};
+
+/// A well-formed prefix most cases build on (lines 1–3).
+const HEADER: &str = "VDD p 0 1.2\nRpad p n1 0.1\nRw1 n1 n2 0.2\n";
+
+fn fail(deck_tail: &str) -> NetlistError {
+    let deck = format!("{HEADER}{deck_tail}");
+    match parse(&deck).and_then(|netlist| netlist.lower().map(drop)) {
+        Ok(()) => panic!("deck unexpectedly accepted:\n{deck}"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn malformed_cards_are_spanned_syntax_errors() {
+    // Wrong arity.
+    let e = fail("R9 n1 0.5\n");
+    assert!(matches!(e, NetlistError::Syntax { line: 4, .. }), "{e}");
+    // Bad float.
+    let e = fail("R9 n1 n2 12..5\n");
+    assert!(matches!(e, NetlistError::Value { line: 4, .. }), "{e}");
+    // Unit letters are not values.
+    let e = fail("C9 n1 0 10pf\n");
+    assert!(matches!(e, NetlistError::Value { line: 4, .. }), "{e}");
+    assert!(e.to_string().contains("10p"), "hint missing: {e}");
+    // Unknown capacitor class.
+    let e = fail("C9 n1 0 10p class=metal\n");
+    assert!(matches!(e, NetlistError::Syntax { line: 4, .. }), "{e}");
+    // PWL with an odd value count.
+    let e = fail("I9 n1 0 PWL(0 0 1n)\n");
+    assert!(matches!(e, NetlistError::Syntax { line: 4, .. }), "{e}");
+    // PWL with decreasing times.
+    let e = fail("I9 n1 0 PWL(1n 0 0 1m)\n");
+    assert!(matches!(e, NetlistError::Syntax { line: 4, .. }), "{e}");
+    // PULSE with the wrong arity.
+    let e = fail("I9 n1 0 PULSE(0 1m 0 0.1n)\n");
+    assert!(matches!(e, NetlistError::Syntax { line: 4, .. }), "{e}");
+    // Unknown trailing parameter.
+    let e = fail("I9 n1 0 1m frequency=2\n");
+    assert!(matches!(e, NetlistError::Syntax { line: 4, .. }), "{e}");
+    // Repeated parameter (last-one-wins would hide a contradiction).
+    let e = fail("C9 n1 0 2f class=gate class=interconnect\n");
+    assert!(matches!(e, NetlistError::Syntax { line: 4, .. }), "{e}");
+    assert!(e.to_string().contains("more than once"), "{e}");
+}
+
+#[test]
+fn non_physical_values_are_rejected() {
+    for bad in [
+        "R9 n1 n2 0\n",
+        "R9 n1 n2 -5\n",
+        "R9 n1 n2 0S\n",
+        "C9 n1 0 -1f\n",
+        "I9 n1 0 1e400\n",
+    ] {
+        let e = fail(bad);
+        assert!(
+            matches!(e, NetlistError::Value { line: 4, .. }),
+            "{bad}: {e}"
+        );
+    }
+}
+
+#[test]
+fn unsupported_elements_and_directives_name_themselves() {
+    let e = fail("L1 n1 n2 1n\n");
+    let NetlistError::Unsupported { line, what, hint } = &e else {
+        panic!("expected Unsupported, got {e}");
+    };
+    assert_eq!((*line, what.as_str()), (4, "l1"));
+    assert!(hint.contains("R, C, I and V"), "{hint}");
+
+    let e = fail("M1 d g s b nch\n");
+    assert!(
+        matches!(e, NetlistError::Unsupported { line: 4, .. }),
+        "{e}"
+    );
+    let e = fail(".include other.sp\n");
+    assert!(
+        matches!(e, NetlistError::Unsupported { line: 4, .. }),
+        "{e}"
+    );
+    let e = fail(".tran 1p 1n 0.5n\n");
+    assert!(
+        matches!(e, NetlistError::Unsupported { line: 4, .. }),
+        "{e}"
+    );
+}
+
+#[test]
+fn duplicate_elements_and_supplies_are_flagged() {
+    let e = fail("Rw1 n2 n3 0.2\n");
+    assert_eq!(
+        e,
+        NetlistError::Duplicate {
+            line: 4,
+            previous_line: 3,
+            name: "rw1".to_string(),
+        }
+    );
+    // Two supplies pinning the same node.
+    let e = fail("VDD2 p 0 1.2\n");
+    assert!(matches!(e, NetlistError::Lowering { line: 4, .. }), "{e}");
+    assert!(e.to_string().contains("line 1"), "{e}");
+    // Conflicting supply voltages on different nodes.
+    let e = fail("VDD2 q 0 1.0\nRq q n2 0.1\n");
+    assert!(matches!(e, NetlistError::Lowering { line: 4, .. }), "{e}");
+    // Ground-net (zero/negative) supplies are out of scope.
+    let e = fail("VSS g 0 0\n");
+    assert!(matches!(e, NetlistError::Lowering { line: 4, .. }), "{e}");
+}
+
+#[test]
+fn structural_nonsense_is_rejected_at_lowering() {
+    // Resistor to ground.
+    let e = fail("R9 n2 0 1\n");
+    assert!(matches!(e, NetlistError::Lowering { line: 4, .. }), "{e}");
+    // Resistor between two supply nodes.
+    let e = fail("VDD2 q 0 1.2\nR9 p q 1\n");
+    assert!(matches!(e, NetlistError::Lowering { line: 5, .. }), "{e}");
+    // Self-loop.
+    let e = fail("R9 n2 n2 1\n");
+    assert!(matches!(e, NetlistError::Lowering { line: 4, .. }), "{e}");
+    // Coupling capacitor between two grid nodes.
+    let e = fail("C9 n1 n2 1f\n");
+    assert!(matches!(e, NetlistError::Lowering { line: 4, .. }), "{e}");
+    // Element on a supply node.
+    let e = fail("C9 p 0 1f\n");
+    assert!(matches!(e, NetlistError::Lowering { line: 4, .. }), "{e}");
+    let e = fail("I9 p 0 1m\n");
+    assert!(matches!(e, NetlistError::Lowering { line: 4, .. }), "{e}");
+    // Grid-node-second orientation.
+    let e = fail("I9 0 n2 1m\n");
+    assert!(matches!(e, NetlistError::Syntax { line: 4, .. }), "{e}");
+}
+
+#[test]
+fn dangling_and_unreachable_nodes_are_named() {
+    let e = fail("C9 orphan 0 1f\n");
+    assert_eq!(
+        e,
+        NetlistError::Connectivity {
+            node: "orphan".to_string(),
+        }
+    );
+    // An island of wires with no pad is unreachable too.
+    let e = fail("Risl island_a island_b 1\n");
+    let NetlistError::Connectivity { node } = &e else {
+        panic!("expected Connectivity, got {e}");
+    };
+    assert!(node.starts_with("island_"), "{node}");
+}
+
+#[test]
+fn whole_deck_problems_have_dedicated_errors() {
+    // Empty-ish decks.
+    for deck in ["", "* only a comment\n", ".end\n"] {
+        let e = parse(deck).unwrap().lower().unwrap_err();
+        assert!(matches!(e, NetlistError::Deck { .. }), "{deck:?}: {e}");
+    }
+    // No supply.
+    let e = parse("R1 a b 1\nC1 a 0 1f\n").unwrap().lower().unwrap_err();
+    assert!(matches!(e, NetlistError::Deck { .. }), "{e}");
+    assert!(e.to_string().contains("supply"), "{e}");
+    // Continuation with nothing to continue.
+    let e = parse("+ R1 a b 1\n").unwrap_err();
+    assert!(matches!(e, NetlistError::Syntax { line: 1, .. }), "{e}");
+}
+
+#[test]
+fn cards_after_end_are_ignored() {
+    let deck = format!("{HEADER}C1 n2 0 1f\n.end\nL1 bogus cards 99\n");
+    let netlist = parse(&deck).unwrap();
+    assert_eq!(netlist.cards.len(), 4);
+    netlist.lower().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary printable garbage never panics the front end: it either
+    /// parses (and then lowers or errors) or reports a structured error.
+    #[test]
+    fn random_decks_never_panic(lines in proptest::collection::vec(
+        proptest::collection::vec(32u32..127, 0..30),
+        0..8,
+    )) {
+        let text = lines
+            .iter()
+            .map(|l| l.iter().map(|&c| char::from(c as u8)).collect::<String>())
+            .collect::<Vec<_>>()
+            .join("\n");
+        if let Ok(netlist) = parse(&text) {
+            let _ = netlist.lower();
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests of the export → parse → lower round trip.
+//!
+//! The contract (ISSUE 4 / `docs/NETLIST.md`): any `GridSpec::small_test`
+//! grid survives export → parse → stamp with **bit-identical** `G`/`C`
+//! triplets, pad injection and source waveforms — floats compared with
+//! `==`, not tolerances.
+
+use proptest::prelude::*;
+
+use opera_grid::GridSpec;
+use opera_netlist::{export_grid, parse};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn small_test_grids_round_trip_bitwise(
+        target in 30usize..150,
+        seed in 0u64..1_000,
+        blocks in 1usize..6,
+    ) {
+        let grid = GridSpec::small_test(target)
+            .with_seed(seed)
+            .with_blocks(blocks)
+            .build()
+            .unwrap();
+        let deck = export_grid(&grid, None).unwrap();
+        let lowered = parse(&deck).unwrap().lower().unwrap();
+        let again = &lowered.grid;
+
+        // Structure: same nodes, same elements in the same order (this
+        // covers branch kinds, capacitor classes, block ids and the full
+        // breakpoint lists of every waveform).
+        prop_assert_eq!(grid.node_count(), again.node_count());
+        prop_assert_eq!(grid.vdd(), again.vdd());
+        prop_assert_eq!(grid.branches(), again.branches());
+        prop_assert_eq!(grid.capacitors(), again.capacitors());
+        prop_assert_eq!(grid.sources(), again.sources());
+
+        // Stamping: bit-identical triplets and vectors.
+        prop_assert_eq!(grid.conductance_matrix(), again.conductance_matrix());
+        prop_assert_eq!(grid.capacitance_matrix(), again.capacitance_matrix());
+        prop_assert_eq!(grid.pad_injection_vector(), again.pad_injection_vector());
+        let end = grid.waveform_end_time();
+        for k in 0..=8 {
+            let t = end * k as f64 / 8.0;
+            prop_assert_eq!(grid.excitation(t), again.excitation(t));
+        }
+
+        // The exporter names nodes `n<i>` in index order.
+        prop_assert_eq!(lowered.nodes.len(), grid.node_count());
+        prop_assert_eq!(lowered.nodes.index("n0"), Some(0));
+        let last = grid.node_count() - 1;
+        let last_name = format!("n{last}");
+        prop_assert_eq!(lowered.nodes.name(last), Some(last_name.as_str()));
+    }
+
+    /// Exporting the re-imported grid reproduces the deck byte-for-byte:
+    /// the exporter is a fixed point of the round trip.
+    #[test]
+    fn export_is_a_fixed_point(target in 30usize..100, seed in 0u64..200) {
+        let grid = GridSpec::small_test(target).with_seed(seed).build().unwrap();
+        let deck = export_grid(&grid, None).unwrap();
+        let lowered = parse(&deck).unwrap().lower().unwrap();
+        let deck_again = export_grid(&lowered.grid, Some(&lowered.nodes)).unwrap();
+        prop_assert_eq!(deck, deck_again);
+    }
+}

@@ -7,6 +7,7 @@
 //! * [`opera_sparse`] — sparse linear algebra substrate
 //! * [`opera_pce`] — orthogonal polynomial (polynomial chaos) machinery
 //! * [`opera_grid`] — RC power-grid modelling and synthetic grid generation
+//! * [`opera_netlist`] — SPICE-style deck front end (parse/lower/export)
 //! * [`opera_variation`] — process-variation models
 //! * [`opera_collocation`] — the stochastic-collocation driver (Smolyak
 //!   sweeps of deterministic solves sharing one symbolic analysis)
@@ -18,6 +19,7 @@
 pub use opera;
 pub use opera_collocation;
 pub use opera_grid;
+pub use opera_netlist;
 pub use opera_pce;
 pub use opera_sparse;
 pub use opera_variation;

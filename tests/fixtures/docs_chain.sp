@@ -1,0 +1,12 @@
+* Worked example from docs/NETLIST.md: a three-node chain behind one pad.
+* At DC with I1 at its 1 mA plateau the drop at n2 is
+* 1 mA x (0.1 + 0.2 + 0.2) ohm = 0.5 mV below the 1.2 V supply.
+VDD supply 0 1.2
+Rpad supply n0 0.1
+Rw1  n0 n1 0.2
+Rw2  n1 n2 0.2
+C1   n1 0 1f class=gate
+C2   n2 0 2f
+I1   n2 0 PWL(0 0 0.2n 1m 0.8n 1m 1n 0)
+.tran 10p 1n
+.end

@@ -1,0 +1,116 @@
+* Golden fixture: IBM-power-grid-benchmark-style VDD-net deck.
+* A 4x4 metal-1 mesh (nodes n1_<x>_<y>) fed from two supply rails through
+* four corner pads. Three functional blocks draw clocked / ramped / static
+* currents. Used by tests/integration_netlist.rs, the netlist_analysis
+* example and docs/NETLIST.md.
+*
+* Layout:           pads at the four corners, 0.2 ohm each
+*   n1_0_3 - n1_1_3 - n1_2_3 - n1_3_3
+*     |        |        |        |
+*   n1_0_2 - n1_1_2 - n1_2_2 - n1_3_2
+*     |        |        |        |
+*   n1_0_1 - n1_1_1 - n1_2_1 - n1_3_1
+*     |        |        |        |
+*   n1_0_0 - n1_1_0 - n1_2_0 - n1_3_0
+
+* --- supplies (both rails at the same VDD level)
+V1 vdd_rail_w 0 1.8
+V2 vdd_rail_e 0 1.8
+
+* --- corner pads (package + C4 bump resistance)
+Rpad1 vdd_rail_w n1_0_0 0.2
+Rpad2 vdd_rail_w n1_0_3 0.2
+Rpad3 vdd_rail_e n1_3_0 0.2
+Rpad4 vdd_rail_e n1_3_3 0.2
+
+* --- horizontal stripes (0.4 ohm per segment)
+Rh1  n1_0_0 n1_1_0 0.4
+Rh2  n1_1_0 n1_2_0 0.4
+Rh3  n1_2_0 n1_3_0 0.4
+Rh4  n1_0_1 n1_1_1 0.4
+Rh5  n1_1_1 n1_2_1 0.4
+Rh6  n1_2_1 n1_3_1 0.4
+Rh7  n1_0_2 n1_1_2 0.4
+Rh8  n1_1_2 n1_2_2 0.4
+Rh9  n1_2_2 n1_3_2 0.4
+Rh10 n1_0_3 n1_1_3 0.4
+Rh11 n1_1_3 n1_2_3 0.4
+Rh12 n1_2_3 n1_3_3 0.4
+
+* --- vertical stripes, named Rv* so they lower as vias (0.5 ohm)
+Rv1  n1_0_0 n1_0_1 0.5
+Rv2  n1_0_1 n1_0_2 0.5
+Rv3  n1_0_2 n1_0_3 0.5
+Rv4  n1_1_0 n1_1_1 0.5
+Rv5  n1_1_1 n1_1_2 0.5
+Rv6  n1_1_2 n1_1_3 0.5
+Rv7  n1_2_0 n1_2_1 0.5
+Rv8  n1_2_1 n1_2_2 0.5
+Rv9  n1_2_2 n1_2_3 0.5
+Rv10 n1_3_0 n1_3_1 0.5
+Rv11 n1_3_1 n1_3_2 0.5
+Rv12 n1_3_2 n1_3_3 0.5
+
+* --- load capacitance: 8f gate + 10f diffusion + 2f interconnect per node
+Cg0  n1_0_0 0 8f  class=gate
+Cd0  n1_0_0 0 10f class=diffusion
+Cw0  n1_0_0 0 2f  class=interconnect
+Cg1  n1_1_0 0 8f  class=gate
+Cd1  n1_1_0 0 10f class=diffusion
+Cw1  n1_1_0 0 2f  class=interconnect
+Cg2  n1_2_0 0 8f  class=gate
+Cd2  n1_2_0 0 10f class=diffusion
+Cw2  n1_2_0 0 2f  class=interconnect
+Cg3  n1_3_0 0 8f  class=gate
+Cd3  n1_3_0 0 10f class=diffusion
+Cw3  n1_3_0 0 2f  class=interconnect
+Cg4  n1_0_1 0 8f  class=gate
+Cd4  n1_0_1 0 10f class=diffusion
+Cw4  n1_0_1 0 2f  class=interconnect
+Cg5  n1_1_1 0 8f  class=gate
+Cd5  n1_1_1 0 10f class=diffusion
+Cw5  n1_1_1 0 2f  class=interconnect
+Cg6  n1_2_1 0 8f  class=gate
+Cd6  n1_2_1 0 10f class=diffusion
+Cw6  n1_2_1 0 2f  class=interconnect
+Cg7  n1_3_1 0 8f  class=gate
+Cd7  n1_3_1 0 10f class=diffusion
+Cw7  n1_3_1 0 2f  class=interconnect
+Cg8  n1_0_2 0 8f  class=gate
+Cd8  n1_0_2 0 10f class=diffusion
+Cw8  n1_0_2 0 2f  class=interconnect
+Cg9  n1_1_2 0 8f  class=gate
+Cd9  n1_1_2 0 10f class=diffusion
+Cw9  n1_1_2 0 2f  class=interconnect
+Cg10 n1_2_2 0 8f  class=gate
+Cd10 n1_2_2 0 10f class=diffusion
+Cw10 n1_2_2 0 2f  class=interconnect
+Cg11 n1_3_2 0 8f  class=gate
+Cd11 n1_3_2 0 10f class=diffusion
+Cw11 n1_3_2 0 2f  class=interconnect
+Cg12 n1_0_3 0 8f  class=gate
+Cd12 n1_0_3 0 10f class=diffusion
+Cw12 n1_0_3 0 2f  class=interconnect
+Cg13 n1_1_3 0 8f  class=gate
+Cd13 n1_1_3 0 10f class=diffusion
+Cw13 n1_1_3 0 2f  class=interconnect
+Cg14 n1_2_3 0 8f  class=gate
+Cd14 n1_2_3 0 10f class=diffusion
+Cw14 n1_2_3 0 2f  class=interconnect
+Cg15 n1_3_3 0 8f  class=gate
+Cd15 n1_3_3 0 10f class=diffusion
+Cw15 n1_3_3 0 2f  class=interconnect
+
+* --- block 0: clock-synchronous switching in the lower middle
+Ib0a n1_1_1 0 PULSE(0 12m 0.1n 0.1n 0.15n 0.25n 1n) block=0
+Ib0b n1_2_1 0 PULSE(0 9m  0.1n 0.1n 0.15n 0.25n 1n) block=0
+
+* --- block 1: a data-dependent ramp in the upper middle (continuation line)
+Ib1  n1_2_2 0 PWL(0 0 0.2n 4m 0.6n 4m
++ 0.9n 11m 1.2n 2m 2n 0) block=1
+
+* --- block 2: static leakage draw
+Ib2  n1_1_2 0 2m block=2
+
+.tran 20p 2n
+.end

@@ -1,0 +1,152 @@
+//! End-to-end tests of the netlist front end (ISSUE 4 acceptance criteria):
+//! a golden IBM-style deck runs through `OperaEngine::for_netlist` under
+//! both Galerkin and collocation, the `GridSpec → netlist` exporter
+//! round-trips with bit-identical stamping, and `docs/NETLIST.md` only
+//! references fixtures that exist.
+
+use opera::engine::{CollocationConfig, OperaEngine, Scenario};
+use opera_grid::GridSpec;
+use opera_netlist::{export_grid, parse};
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn golden_deck_runs_galerkin_and_collocation() {
+    let engine = OperaEngine::for_netlist(fixture("ibmpg_style.sp"))
+        .unwrap()
+        .mc_samples(25)
+        .mc_seed(11)
+        .build()
+        .unwrap();
+    let vdd = engine.grid().vdd();
+    assert_eq!(vdd, 1.8);
+    assert_eq!(engine.node_count(), 16);
+    // The deck's .tran became the engine's transient window.
+    assert_eq!(engine.transient().time_step, 20e-12);
+    assert_eq!(engine.transient().end_time, 2e-9);
+    // Two supply rails, four pads.
+    assert_eq!(engine.grid().pad_nodes().len(), 4);
+
+    // Galerkin solve, reported for a *named* node.
+    let galerkin = engine.solve().unwrap();
+    let (node, k, drop) = galerkin.worst_mean_drop(vdd);
+    assert!(drop > 0.0);
+    let name = engine.node_name(node).expect("netlist engines name nodes");
+    assert!(name.starts_with("n1_"), "unexpected worst node {name}");
+
+    // Collocation cross-check on the same engine: statistics agree.
+    let colloc = engine.collocation(&CollocationConfig::smolyak(2)).unwrap();
+    assert_eq!(colloc.symbolic_analyses, 1);
+    let mean_diff = (colloc.solution.mean_at(k, node) - galerkin.mean_at(k, node)).abs();
+    assert!(mean_diff < 1e-4 * vdd, "mean differs by {mean_diff}");
+    let sigma_g = galerkin.std_dev_at(k, node);
+    let sigma_c = colloc.solution.std_dev_at(k, node);
+    assert!(sigma_g > 0.0);
+    assert!(
+        (sigma_g - sigma_c).abs() < 0.05 * sigma_g,
+        "sigma {sigma_g} vs {sigma_c}"
+    );
+
+    // Full scenario run validates against its own Monte Carlo baseline.
+    let report = engine.run_scenario(&Scenario::named("golden")).unwrap();
+    assert!(
+        report.report.errors.avg_mean_error_percent < 1.0,
+        "OPERA disagrees with Monte Carlo on the golden deck: {} %VDD",
+        report.report.errors.avg_mean_error_percent
+    );
+}
+
+#[test]
+fn exported_gridspec_deck_round_trips_with_bit_identical_stamping() {
+    let spec = GridSpec::small_test(140).with_seed(9);
+    let grid = spec.build().unwrap();
+    let deck = export_grid(&grid, None).unwrap();
+    let lowered = parse(&deck).unwrap().lower().unwrap();
+
+    // The acceptance criterion: bit-identical stamping, not mere closeness.
+    assert_eq!(grid.conductance_matrix(), lowered.grid.conductance_matrix());
+    assert_eq!(grid.capacitance_matrix(), lowered.grid.capacitance_matrix());
+    assert_eq!(grid.branches(), lowered.grid.branches());
+    assert_eq!(grid.capacitors(), lowered.grid.capacitors());
+    assert_eq!(grid.sources(), lowered.grid.sources());
+
+    // Two engines — one per input path — produce bit-identical solutions
+    // once they share the same transient window.
+    let engine_grid = OperaEngine::for_grid(spec)
+        .unwrap()
+        .time_step(0.25e-9)
+        .end_time(1.0e-9)
+        .build()
+        .unwrap();
+    let engine_deck = OperaEngine::for_netlist_str(&deck)
+        .unwrap()
+        .time_step(0.25e-9)
+        .end_time(1.0e-9)
+        .build()
+        .unwrap();
+    let a = engine_grid.solve().unwrap();
+    let b = engine_deck.solve().unwrap();
+    assert_eq!(a.times(), b.times());
+    let k = a.times().len() - 1;
+    for node in 0..a.node_count() {
+        assert_eq!(a.mean_at(k, node), b.mean_at(k, node), "node {node}");
+        assert_eq!(
+            a.variance_at(k, node),
+            b.variance_at(k, node),
+            "node {node}"
+        );
+    }
+    // The deck engine additionally knows the exporter's node names.
+    assert_eq!(engine_deck.node_name(0), Some("n0"));
+    assert!(engine_grid.node_map().is_none());
+}
+
+#[test]
+fn docs_chain_fixture_matches_its_hand_computation() {
+    let lowered = opera_netlist::load(fixture("docs_chain.sp")).unwrap();
+    let grid = &lowered.grid;
+    // At the 1 mA plateau the DC drop at n2 is 1 mA · (0.1 + 0.2 + 0.2) Ω.
+    let g = grid.conductance_matrix();
+    let mut u = grid.pad_injection_vector();
+    let n2 = lowered.nodes.index("n2").unwrap();
+    u[n2] -= 1.0e-3;
+    let v = opera_sparse::cholesky_solve(&g, &u).unwrap();
+    let drop = grid.vdd() - v[n2];
+    assert!(
+        (drop - 0.5e-3).abs() < 1e-9,
+        "documented worked example broke: drop = {drop} V"
+    );
+}
+
+#[test]
+fn netlist_docs_only_reference_existing_fixtures() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let docs = std::fs::read_to_string(format!("{root}/docs/NETLIST.md"))
+        .expect("docs/NETLIST.md must exist (linked from README)");
+    let mut referenced = Vec::new();
+    let needle = "tests/fixtures/";
+    let mut rest = docs.as_str();
+    while let Some(pos) = rest.find(needle) {
+        let tail = &rest[pos..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_alphanumeric() || "/._-".contains(c)))
+            .unwrap_or(tail.len());
+        // Bare mentions of the directory itself are not file references.
+        if end > needle.len() {
+            referenced.push(tail[..end].to_string());
+        }
+        rest = &tail[end..];
+    }
+    assert!(
+        referenced.iter().any(|p| p.ends_with("ibmpg_style.sp")),
+        "docs/NETLIST.md should reference the golden fixture"
+    );
+    for path in referenced {
+        assert!(
+            std::path::Path::new(root).join(&path).is_file(),
+            "docs/NETLIST.md references missing fixture `{path}`"
+        );
+    }
+}
