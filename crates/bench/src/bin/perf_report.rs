@@ -1,0 +1,492 @@
+//! `perf_report` — the hot-path performance trajectory of the OPERA engine.
+//!
+//! Times the assemble/factor/step phases of the Galerkin transient across
+//! chaos orders, measures the blocked multi-RHS panel engine against the
+//! per-column reference path, benchmarks the fill-reducing orderings on the
+//! paper grid and the netlist fixtures, sweeps worker-thread counts (proving
+//! the statistics stay bit-identical), and emits the results as a
+//! schema-validated `BENCH_<pr>.json` at the repo root — one point of the
+//! perf trajectory future PRs append to.
+//!
+//! ```text
+//! perf_report                  # run the benchmarks, write BENCH_5.json
+//! perf_report --validate FILE  # re-validate an emitted trajectory file
+//! ```
+//!
+//! Tuning environment variables (see `docs/PERFORMANCE.md`):
+//!
+//! * `OPERA_BENCH_SCALE` — fraction of the paper's node counts (default
+//!   `0.05`; the committed `BENCH_5.json` was generated at `1.0`),
+//! * `OPERA_BENCH_MC_SAMPLES` — Monte Carlo samples of the thread sweep,
+//! * `OPERA_BENCH_THREADS` — ignored for the sweep itself (it always runs
+//!   1/2/8), but validated like the other report binaries,
+//! * `OPERA_BENCH_PERF_MAX_ORDER` — highest chaos order of the phase sweep
+//!   (default `2`),
+//! * `OPERA_BENCH_PERF_OUTPUT` — output path (default `BENCH_5.json`).
+
+use std::time::Instant;
+
+use opera::engine::{McConfig, OperaEngine, Scenario};
+use opera::solver::{DirectCholesky, SolverBackend};
+use opera::transient::TransientOptions;
+use opera::{OperaError, Parallelism};
+use opera_bench::json::Json;
+use opera_bench::perf::{validate_text, PERF_SCHEMA};
+use opera_grid::GridSpec;
+use opera_pce::OrthogonalBasis;
+use opera_sparse::{CholeskyFactor, CsrMatrix, OrderingChoice, SolveWorkspace, SymbolicCholesky};
+use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
+
+/// PR number of the trajectory point this binary emits.
+const PR_NUMBER: usize = 5;
+/// Thread counts of the invariance sweep.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+fn main() {
+    if let Err(err) = run() {
+        eprintln!("perf_report: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--validate" {
+        let text = std::fs::read_to_string(&args[2])
+            .map_err(|e| format!("cannot read {}: {e}", args[2]))?;
+        validate_text(&text)?;
+        println!("{}: valid {PERF_SCHEMA} trajectory point", args[2]);
+        return Ok(());
+    }
+    if args.len() > 1 {
+        return Err("usage: perf_report [--validate FILE]".to_string());
+    }
+
+    // Honour (and validate) the shared environment knobs.
+    opera_bench::parallelism_from_env()?;
+    let scale = opera_bench::scale_from_env();
+    let mc_samples = opera_bench::mc_samples_from_env();
+    let max_order = max_order_from_env();
+    let output = std::env::var("OPERA_BENCH_PERF_OUTPUT")
+        .unwrap_or_else(|_| format!("BENCH_{PR_NUMBER}.json"));
+
+    println!("== OPERA perf trajectory (PR {PR_NUMBER}) ==");
+    println!("scale = {scale}, mc_samples = {mc_samples}, max_order = {max_order}\n");
+
+    let grid = GridSpec::paper_grid(0)
+        .map_err(|e| e.to_string())?
+        .scaled_nodes(scale)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let model = StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults())
+        .map_err(|e| e.to_string())?;
+    println!("paper grid 0 at scale {scale}: {} nodes", grid.node_count());
+
+    let phases = phase_sweep(&model, max_order)?;
+    let multi_rhs = multi_rhs_sweep(&grid)?;
+    let orderings = ordering_sweep(&grid)?;
+    let (threads, allocations) = thread_sweep(&grid, mc_samples)?;
+
+    let report = Json::Obj(vec![
+        ("schema".to_string(), Json::str(PERF_SCHEMA)),
+        ("pr".to_string(), Json::Num(PR_NUMBER as f64)),
+        ("scale".to_string(), Json::Num(scale)),
+        ("mc_samples".to_string(), Json::Num(mc_samples as f64)),
+        (
+            "threads_available".to_string(),
+            Json::Num(Parallelism::Max.thread_count() as f64),
+        ),
+        (
+            "steady_state_step_allocations".to_string(),
+            Json::Num(allocations as f64),
+        ),
+        ("phases".to_string(), Json::Arr(phases)),
+        ("galerkin_multi_rhs".to_string(), Json::Arr(multi_rhs)),
+        ("orderings".to_string(), Json::Arr(orderings)),
+        ("threads".to_string(), Json::Arr(threads)),
+    ]);
+    let text = report.to_pretty();
+    validate_text(&text)?;
+    std::fs::write(&output, &text).map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!("\nwrote {output} (validated against {PERF_SCHEMA})");
+    Ok(())
+}
+
+fn err(e: OperaError) -> String {
+    e.to_string()
+}
+
+fn max_order_from_env() -> u32 {
+    std::env::var("OPERA_BENCH_PERF_MAX_ORDER")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&o| o >= 1)
+        .unwrap_or(2)
+}
+
+/// Phase timings of the augmented Galerkin transient: assemble, prepare
+/// (symbolic + numeric factorisation) and the per-step solve cost, per chaos
+/// order.
+fn phase_sweep(model: &StochasticGridModel, max_order: u32) -> Result<Vec<Json>, String> {
+    println!("-- phases: assemble / factor / step, orders 1..={max_order}");
+    let grid = model.grid();
+    let transient = TransientOptions::new(0.05e-9, grid.waveform_end_time().max(0.05e-9));
+    let mut entries = Vec::new();
+    for order in 1..=max_order {
+        let basis = OrthogonalBasis::total_order_mixed(model.families(), model.n_vars(), order)
+            .map_err(|e| e.to_string())?;
+        let t0 = Instant::now();
+        let system = opera::galerkin::GalerkinSystem::assemble(model, &basis).map_err(err)?;
+        let assemble_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let prepared = DirectCholesky
+            .prepare(model, &system, &transient)
+            .map_err(err)?;
+        let prepare_seconds = t1.elapsed().as_secs_f64();
+
+        // The transient hot loop: DC start + fixed steps, double-buffered
+        // state, one warm workspace.
+        let dim = system.dim();
+        let mut ws = SolveWorkspace::with_capacity(dim);
+        let u0 = system.excitation(model, 0.0);
+        let mut state = vec![0.0; dim];
+        prepared
+            .solve_dc_into(&u0, &mut state, &mut ws)
+            .map_err(err)?;
+        let mut next = vec![0.0; dim];
+        let times = transient.time_points();
+        let mut u_prev = u0;
+        let t2 = Instant::now();
+        for &t in &times[1..] {
+            let u_next = system.excitation(model, t);
+            prepared
+                .step_into(&state, &u_prev, &u_next, &mut next, &mut ws)
+                .map_err(err)?;
+            std::mem::swap(&mut state, &mut next);
+            u_prev = u_next;
+        }
+        let steps = times.len() - 1;
+        let step_seconds_total = t2.elapsed().as_secs_f64();
+        let seconds_per_step = step_seconds_total / steps as f64;
+        println!(
+            "order {order}: dim = {dim}, assemble = {assemble_seconds:.3}s, \
+             prepare = {prepare_seconds:.3}s, {steps} steps in {step_seconds_total:.3}s \
+             ({:.2}ms/step)",
+            seconds_per_step * 1e3
+        );
+        entries.push(Json::Obj(vec![
+            ("nodes".to_string(), Json::Num(grid.node_count() as f64)),
+            ("order".to_string(), Json::Num(order as f64)),
+            ("basis_size".to_string(), Json::Num(basis.len() as f64)),
+            ("dim".to_string(), Json::Num(dim as f64)),
+            ("assemble_seconds".to_string(), Json::Num(assemble_seconds)),
+            ("prepare_seconds".to_string(), Json::Num(prepare_seconds)),
+            ("steps".to_string(), Json::Num(steps as f64)),
+            (
+                "step_seconds_total".to_string(),
+                Json::Num(step_seconds_total),
+            ),
+            ("seconds_per_step".to_string(), Json::Num(seconds_per_step)),
+        ]));
+    }
+    Ok(entries)
+}
+
+/// The acceptance measurement: the P-column Galerkin transient *solve phase*
+/// (all chaos-coefficient excitation columns share one already-computed
+/// factorisation), panel engine vs the pre-PR per-column path. Both paths
+/// run single-threaded on the same factors, so the numbers isolate the
+/// blocked-kernel effect — the identical shared factorisation is excluded
+/// from both sides, exactly as `docs/PERFORMANCE.md` documents. The two
+/// paths are verified bit-identical before their timings are reported.
+fn multi_rhs_sweep(grid: &opera_grid::PowerGrid) -> Result<Vec<Json>, String> {
+    use opera::transient::{CompanionSystem, IntegrationMethod};
+    use opera_pce::GalerkinCoupling;
+    use opera_sparse::{MatrixFactor, Panel};
+
+    println!("-- galerkin_multi_rhs: panel vs per-column solve phase (serial, bit-identical)");
+    let leakage = LeakageModel::uniform_slices(grid.node_count(), 2, 3.0e-5, 0.04, 23.0)
+        .map_err(|e| e.to_string())?;
+    let n = grid.node_count();
+    let transient = TransientOptions::new(0.05e-9, grid.waveform_end_time().max(0.05e-9));
+    let times = transient.time_points();
+    let steps = times.len() - 1;
+
+    // One shared factorisation pair (identical for both paths, not timed).
+    let g = grid.conductance_matrix();
+    let c = grid.capacitance_matrix();
+    let dc = MatrixFactor::cholesky_or_lu(&g).map_err(|e| e.to_string())?;
+    let companion = CompanionSystem::new(
+        &g,
+        &c,
+        transient.time_step,
+        IntegrationMethod::BackwardEuler,
+    )
+    .map_err(err)?;
+
+    let mut entries = Vec::new();
+    for order in [2u32, 3] {
+        let basis =
+            OrthogonalBasis::total_order_mixed(leakage.families(), leakage.region_count(), order)
+                .map_err(|e| e.to_string())?;
+        let coupling = GalerkinCoupling::new(&basis).map_err(|e| e.to_string())?;
+        let injections = leakage
+            .projected_injections(&basis, &coupling)
+            .map_err(|e| e.to_string())?;
+        let size = basis.len();
+        // Right-hand side for coefficient j at time t (the special case's
+        // Eq. 27 columns).
+        let rhs_at = |j: usize, t: f64| -> Vec<f64> {
+            if j == 0 {
+                let mut u = grid.excitation(t);
+                for (u_n, inj) in u.iter_mut().zip(&injections[0]) {
+                    *u_n -= inj;
+                }
+                u
+            } else {
+                injections[j].iter().map(|&inj| -inj).collect()
+            }
+        };
+
+        // --- Pre-PR per-column path: one scalar solve per column per step,
+        // allocating state per step.
+        let per_column = || -> opera::Result<Vec<Vec<f64>>> {
+            let mut finals = Vec::with_capacity(size);
+            for j in 0..size {
+                let u0 = rhs_at(j, 0.0);
+                let mut state = dc.solve(&u0);
+                let mut u_prev = u0;
+                for &t in &times[1..] {
+                    let u_next = rhs_at(j, t);
+                    state = companion.step(&state, &u_prev, &u_next);
+                    u_prev = u_next;
+                }
+                finals.push(state);
+            }
+            Ok(finals)
+        };
+
+        // --- Panel path: all P columns advance through one blocked
+        // multi-RHS solve per step, double-buffered, workspace-reused.
+        let panel = || -> opera::Result<Vec<Vec<f64>>> {
+            let mut ws = SolveWorkspace::with_capacity(n * size);
+            let mut u_prev = Panel::zeros(n, size);
+            for j in 0..size {
+                u_prev.col_mut(j).copy_from_slice(&rhs_at(j, 0.0));
+            }
+            let mut state = Panel::zeros(n, size);
+            state.data_mut().copy_from_slice(u_prev.data());
+            dc.solve_panel(&mut state, &mut ws);
+            let mut u_next = u_prev.clone();
+            let mut next = Panel::zeros(n, size);
+            for &t in &times[1..] {
+                u_next.col_mut(0).copy_from_slice(&rhs_at(0, t));
+                companion.step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws);
+                std::mem::swap(&mut state, &mut next);
+                std::mem::swap(&mut u_prev, &mut u_next);
+            }
+            Ok(state.into_columns())
+        };
+
+        let (panel_finals, panel_seconds) = Parallelism::Serial
+            .install(|| best_of(3, panel))
+            .map_err(err)??;
+        let (column_finals, per_column_seconds) = Parallelism::Serial
+            .install(|| best_of(3, per_column))
+            .map_err(err)??;
+        // Honesty check: the timed paths must produce bit-identical states,
+        // otherwise the speedup compares different work.
+        if panel_finals != column_finals {
+            return Err(format!(
+                "panel and per-column paths diverge at order {order}"
+            ));
+        }
+        let speedup = per_column_seconds / panel_seconds;
+        println!(
+            "P = {size} columns: per-column = {per_column_seconds:.3}s, \
+             panel = {panel_seconds:.3}s, speedup = {speedup:.2}x"
+        );
+        entries.push(Json::Obj(vec![
+            ("nodes".to_string(), Json::Num(n as f64)),
+            ("columns".to_string(), Json::Num(size as f64)),
+            ("steps".to_string(), Json::Num(steps as f64)),
+            (
+                "per_column_seconds".to_string(),
+                Json::Num(per_column_seconds),
+            ),
+            ("panel_seconds".to_string(), Json::Num(panel_seconds)),
+            ("speedup".to_string(), Json::Num(speedup)),
+        ]));
+    }
+    Ok(entries)
+}
+
+/// Times `f` a few times and returns its result with the fastest wall clock.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> opera::Result<T>) -> Result<(T, f64), String> {
+    let mut best: Option<(T, f64)> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let value = f().map_err(err)?;
+        let seconds = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, b)| seconds < *b) {
+            best = Some((value, seconds));
+        }
+    }
+    Ok(best.expect("reps >= 1"))
+}
+
+/// RCM-vs-minimum-degree measurement on the paper-grid companion matrix and
+/// the netlist fixtures — the numbers behind the `OrderingChoice` default.
+fn ordering_sweep(grid: &opera_grid::PowerGrid) -> Result<Vec<Json>, String> {
+    println!("-- orderings: RCM vs minimum degree");
+    let companion = |g: &CsrMatrix, c: &CsrMatrix| -> Result<CsrMatrix, String> {
+        g.add_scaled(&c.scaled(1.0 / 0.05e-9), 1.0)
+            .map_err(|e| e.to_string())
+    };
+    let mut matrices: Vec<(String, CsrMatrix)> = vec![(
+        "paper_grid_companion".to_string(),
+        companion(&grid.conductance_matrix(), &grid.capacitance_matrix())?,
+    )];
+    let fixtures_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures");
+    for fixture in ["ibmpg_style.sp", "docs_chain.sp"] {
+        let lowered =
+            opera_netlist::load(format!("{fixtures_dir}/{fixture}")).map_err(|e| e.to_string())?;
+        matrices.push((
+            format!("netlist_{fixture}"),
+            companion(
+                &lowered.grid.conductance_matrix(),
+                &lowered.grid.capacitance_matrix(),
+            )?,
+        ));
+    }
+
+    let mut entries = Vec::new();
+    for (label, matrix) in &matrices {
+        for (name, choice) in [
+            ("rcm", OrderingChoice::ReverseCuthillMckee),
+            ("minimum-degree", OrderingChoice::MinimumDegree),
+        ] {
+            let t0 = Instant::now();
+            let symbolic =
+                SymbolicCholesky::analyze_with(matrix, choice).map_err(|e| e.to_string())?;
+            let analyze_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let factor: CholeskyFactor =
+                symbolic.factor_numeric(matrix).map_err(|e| e.to_string())?;
+            let numeric_seconds = t1.elapsed().as_secs_f64();
+            let n = matrix.nrows();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let mut ws = SolveWorkspace::with_capacity(n);
+            let mut x = b.clone();
+            factor.solve_in_place(&mut x, &mut ws); // warm the workspace
+            let reps = 20;
+            let t2 = Instant::now();
+            for _ in 0..reps {
+                x.copy_from_slice(&b);
+                factor.solve_in_place(&mut x, &mut ws);
+            }
+            let solve_milliseconds = t2.elapsed().as_secs_f64() * 1e3 / reps as f64;
+            println!(
+                "{label} / {name}: n = {n}, nnz_l = {}, analyze = {analyze_seconds:.3}s, \
+                 numeric = {numeric_seconds:.3}s, solve = {solve_milliseconds:.3}ms",
+                factor.nnz_l()
+            );
+            entries.push(Json::Obj(vec![
+                ("matrix".to_string(), Json::str(label.clone())),
+                ("ordering".to_string(), Json::str(name)),
+                ("n".to_string(), Json::Num(n as f64)),
+                ("nnz_l".to_string(), Json::Num(factor.nnz_l() as f64)),
+                ("analyze_seconds".to_string(), Json::Num(analyze_seconds)),
+                ("numeric_seconds".to_string(), Json::Num(numeric_seconds)),
+                (
+                    "solve_milliseconds".to_string(),
+                    Json::Num(solve_milliseconds),
+                ),
+            ]));
+        }
+    }
+    Ok(entries)
+}
+
+/// Worker-thread sweep over one prepared engine: Monte Carlo validation and
+/// a panel-batched scenario sweep at 1/2/8 threads, with a statistics
+/// checksum that must be bit-identical across all settings (enforced again
+/// by the schema validator). Also reports the engine's allocation-counter
+/// hook for the steady-state transient step.
+fn thread_sweep(
+    grid: &opera_grid::PowerGrid,
+    mc_samples: usize,
+) -> Result<(Vec<Json>, usize), String> {
+    println!("-- threads: 1/2/8 sweep over one prepared engine");
+    let mut engine = OperaEngine::for_grid(paper_spec_of(grid)?)
+        .map_err(err)?
+        .variation(VariationSpec::paper_defaults())
+        .order(2)
+        .mc_samples(mc_samples.clamp(4, 50))
+        .mc_seed(7)
+        .build()
+        .map_err(err)?;
+    let allocations = engine.steady_state_step_allocations().map_err(err)?;
+    println!("steady-state allocations per transient step: {allocations}");
+
+    let scenarios: Vec<Scenario> = [0.8, 1.0, 1.25, 1.5]
+        .iter()
+        .map(|&s| {
+            Scenario::named(format!("sweep-{s}"))
+                .with_current_scale(s)
+                .with_mc_samples(mc_samples.clamp(4, 20))
+        })
+        .collect();
+
+    let mut entries = Vec::new();
+    for threads in THREAD_SWEEP {
+        engine.set_parallelism(Parallelism::Threads(threads));
+        let t0 = Instant::now();
+        let mc = engine
+            .monte_carlo(&McConfig::new(mc_samples, 11))
+            .map_err(err)?;
+        let mc_seconds = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let reports = engine.run_batch(&scenarios).map_err(err)?;
+        let batch_seconds = t1.elapsed().as_secs_f64();
+        // Fold a deterministic checksum over the statistics: MC means and
+        // variances plus each scenario's accuracy numbers, all accumulated
+        // in fixed order.
+        let mut checksum = 0.0f64;
+        for row in mc.mean.iter().chain(mc.variance.iter()) {
+            for &v in row {
+                checksum += v;
+            }
+        }
+        for report in &reports {
+            checksum += report.report.errors.avg_mean_error_percent;
+            checksum += report.report.opera.worst_mean_drop;
+        }
+        println!(
+            "{threads} threads: mc = {mc_seconds:.3}s, batch = {batch_seconds:.3}s, \
+             checksum = {checksum:.6e}"
+        );
+        entries.push(Json::Obj(vec![
+            ("threads".to_string(), Json::Num(threads as f64)),
+            ("mc_seconds".to_string(), Json::Num(mc_seconds)),
+            ("batch_seconds".to_string(), Json::Num(batch_seconds)),
+            ("stat_checksum".to_string(), Json::Num(checksum)),
+        ]));
+    }
+    Ok((entries, allocations))
+}
+
+/// Rebuilds a `GridSpec` matching the already-built benchmark grid (the
+/// engine builder wants a spec, and grid generation is deterministic).
+fn paper_spec_of(grid: &opera_grid::PowerGrid) -> Result<GridSpec, String> {
+    let scale = opera_bench::scale_from_env();
+    let spec = GridSpec::paper_grid(0)
+        .map_err(|e| e.to_string())?
+        .scaled_nodes(scale);
+    let rebuilt = spec.build().map_err(|e| e.to_string())?;
+    if rebuilt.node_count() != grid.node_count() {
+        return Err("grid spec reconstruction diverged".to_string());
+    }
+    Ok(spec)
+}

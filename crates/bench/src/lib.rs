@@ -26,6 +26,9 @@
 use opera::analysis::ExperimentConfig;
 use opera::Parallelism;
 
+pub mod json;
+pub mod perf;
+
 /// Default fraction of the paper's grid sizes used by the reports.
 pub const DEFAULT_SCALE: f64 = 0.05;
 /// Default Monte Carlo sample count used by the reports.

@@ -1,0 +1,234 @@
+//! The performance-trajectory report: schema and validation for the
+//! `BENCH_*.json` files emitted by the `perf_report` binary.
+//!
+//! Every perf-focused PR appends one `BENCH_<pr>.json` to the repo root so
+//! the hot-path numbers form a reviewable trajectory instead of folklore.
+//! The schema (`opera-perf-trajectory/v1`, documented field by field in
+//! `docs/PERFORMANCE.md`) is enforced by [`validate_report`], which both the
+//! CI perf-smoke job and the `perf_report --validate` mode run against the
+//! emitted file.
+
+use crate::json::Json;
+
+/// Schema identifier of the current trajectory format.
+pub const PERF_SCHEMA: &str = "opera-perf-trajectory/v1";
+
+/// Required numeric fields of one `phases[]` entry.
+pub const PHASE_FIELDS: &[&str] = &[
+    "nodes",
+    "order",
+    "basis_size",
+    "dim",
+    "assemble_seconds",
+    "prepare_seconds",
+    "steps",
+    "step_seconds_total",
+    "seconds_per_step",
+];
+
+/// Required numeric fields of one `galerkin_multi_rhs[]` entry.
+pub const MULTI_RHS_FIELDS: &[&str] = &[
+    "nodes",
+    "columns",
+    "steps",
+    "per_column_seconds",
+    "panel_seconds",
+    "speedup",
+];
+
+/// Required numeric fields of one `orderings[]` entry (plus the string
+/// fields `matrix` and `ordering`).
+pub const ORDERING_FIELDS: &[&str] = &[
+    "n",
+    "nnz_l",
+    "analyze_seconds",
+    "numeric_seconds",
+    "solve_milliseconds",
+];
+
+/// Required numeric fields of one `threads[]` entry.
+pub const THREAD_FIELDS: &[&str] = &["threads", "mc_seconds", "batch_seconds", "stat_checksum"];
+
+fn require_num(obj: &Json, key: &str, context: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{context}: missing or non-numeric field {key:?}"))
+}
+
+fn require_str<'j>(obj: &'j Json, key: &str, context: &str) -> Result<&'j str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{context}: missing or non-string field {key:?}"))
+}
+
+fn require_section<'j>(report: &'j Json, key: &str) -> Result<&'j [Json], String> {
+    report
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing or non-array section {key:?}"))
+}
+
+/// Validates a parsed trajectory report against the
+/// `opera-perf-trajectory/v1` schema.
+///
+/// # Errors
+///
+/// Returns the first schema violation as a human-readable message.
+pub fn validate_report(report: &Json) -> Result<(), String> {
+    let schema = require_str(report, "schema", "report")?;
+    if schema != PERF_SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {PERF_SCHEMA:?}"));
+    }
+    require_num(report, "pr", "report")?;
+    require_num(report, "scale", "report")?;
+    require_num(report, "threads_available", "report")?;
+    let allocations = require_num(report, "steady_state_step_allocations", "report")?;
+    if allocations != 0.0 {
+        return Err(format!(
+            "steady_state_step_allocations is {allocations}: the transient hot loop \
+             must perform zero steady-state allocations per step"
+        ));
+    }
+
+    for (section, fields, min_len) in [
+        ("phases", PHASE_FIELDS, 1),
+        ("galerkin_multi_rhs", MULTI_RHS_FIELDS, 1),
+        ("orderings", ORDERING_FIELDS, 2),
+        ("threads", THREAD_FIELDS, 1),
+    ] {
+        let entries = require_section(report, section)?;
+        if entries.len() < min_len {
+            return Err(format!(
+                "section {section:?} has {} entries, expected at least {min_len}",
+                entries.len()
+            ));
+        }
+        for (i, entry) in entries.iter().enumerate() {
+            let context = format!("{section}[{i}]");
+            for field in fields {
+                require_num(entry, field, &context)?;
+            }
+            if section == "orderings" {
+                require_str(entry, "matrix", &context)?;
+                require_str(entry, "ordering", &context)?;
+            }
+        }
+    }
+
+    // The thread sweep must prove statistics are thread-count invariant:
+    // every entry carries a checksum folded from the solution statistics and
+    // all checksums must be bit-identical.
+    let threads = require_section(report, "threads")?;
+    let reference = require_num(&threads[0], "stat_checksum", "threads[0]")?;
+    for (i, entry) in threads.iter().enumerate() {
+        let checksum = require_num(entry, "stat_checksum", "threads")?;
+        if checksum.to_bits() != reference.to_bits() {
+            return Err(format!(
+                "threads[{i}] stat_checksum {checksum} differs from threads[0] \
+                 {reference}: statistics must be bit-identical for every thread count"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parses and validates a trajectory document in one step.
+///
+/// # Errors
+///
+/// Returns parse errors and schema violations as human-readable messages.
+pub fn validate_text(text: &str) -> Result<(), String> {
+    validate_report(&crate::json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(fields: &[&str]) -> Json {
+        let mut obj: Vec<(String, Json)> = fields
+            .iter()
+            .map(|f| (f.to_string(), Json::Num(1.0)))
+            .collect();
+        obj.push(("matrix".to_string(), Json::str("paper_grid")));
+        obj.push(("ordering".to_string(), Json::str("rcm")));
+        Json::Obj(obj)
+    }
+
+    fn minimal_report() -> Json {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::str(PERF_SCHEMA)),
+            ("pr".to_string(), Json::Num(5.0)),
+            ("scale".to_string(), Json::Num(1.0)),
+            ("threads_available".to_string(), Json::Num(8.0)),
+            ("steady_state_step_allocations".to_string(), Json::Num(0.0)),
+            ("phases".to_string(), Json::Arr(vec![entry(PHASE_FIELDS)])),
+            (
+                "galerkin_multi_rhs".to_string(),
+                Json::Arr(vec![entry(MULTI_RHS_FIELDS)]),
+            ),
+            (
+                "orderings".to_string(),
+                Json::Arr(vec![entry(ORDERING_FIELDS), entry(ORDERING_FIELDS)]),
+            ),
+            ("threads".to_string(), Json::Arr(vec![entry(THREAD_FIELDS)])),
+        ])
+    }
+
+    #[test]
+    fn minimal_report_validates_and_round_trips() {
+        let report = minimal_report();
+        validate_report(&report).unwrap();
+        validate_text(&report.to_pretty()).unwrap();
+    }
+
+    #[test]
+    fn schema_violations_are_reported() {
+        let mut report = minimal_report();
+        if let Json::Obj(entries) = &mut report {
+            entries[0].1 = Json::str("bogus/v0");
+        }
+        assert!(validate_report(&report).unwrap_err().contains("schema"));
+
+        let mut report = minimal_report();
+        if let Json::Obj(entries) = &mut report {
+            entries.retain(|(k, _)| k != "phases");
+        }
+        assert!(validate_report(&report).unwrap_err().contains("phases"));
+
+        let mut report = minimal_report();
+        if let Json::Obj(entries) = &mut report {
+            for (k, v) in entries.iter_mut() {
+                if k == "steady_state_step_allocations" {
+                    *v = Json::Num(3.0);
+                }
+            }
+        }
+        assert!(validate_report(&report)
+            .unwrap_err()
+            .contains("zero steady-state allocations"));
+    }
+
+    #[test]
+    fn thread_checksum_mismatches_are_rejected() {
+        let mut report = minimal_report();
+        if let Json::Obj(entries) = &mut report {
+            for (k, v) in entries.iter_mut() {
+                if k == "threads" {
+                    let mut second = entry(THREAD_FIELDS);
+                    if let Json::Obj(fields) = &mut second {
+                        for (fk, fv) in fields.iter_mut() {
+                            if fk == "stat_checksum" {
+                                *fv = Json::Num(2.0);
+                            }
+                        }
+                    }
+                    *v = Json::Arr(vec![entry(THREAD_FIELDS), second]);
+                }
+            }
+        }
+        assert!(validate_report(&report)
+            .unwrap_err()
+            .contains("bit-identical"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Guards the committed performance trajectory: every `BENCH_*.json` at the
+//! repo root must parse and validate against the current schema, and the
+//! PR-5 point must carry the panel-speedup measurement its acceptance
+//! criterion rests on.
+
+use opera_bench::json;
+use opera_bench::perf::validate_text;
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn committed_trajectory_points_validate() {
+    let mut found = 0;
+    for entry in std::fs::read_dir(repo_root()).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        found += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate_text(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    assert!(found >= 1, "no BENCH_*.json trajectory points at repo root");
+}
+
+#[test]
+fn bench_5_records_the_panel_speedup_at_paper_scale() {
+    let text = std::fs::read_to_string(repo_root().join("BENCH_5.json")).unwrap();
+    let report = json::parse(&text).unwrap();
+    assert_eq!(
+        report.get("scale").and_then(json::Json::as_num),
+        Some(1.0),
+        "the committed BENCH_5.json must be a paper-scale measurement"
+    );
+    let multi_rhs = report
+        .get("galerkin_multi_rhs")
+        .and_then(json::Json::as_arr)
+        .unwrap();
+    let best = multi_rhs
+        .iter()
+        .filter_map(|e| e.get("speedup").and_then(json::Json::as_num))
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best >= 2.0,
+        "panel speedup {best} is below the 2x acceptance threshold"
+    );
+}

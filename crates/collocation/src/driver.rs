@@ -8,7 +8,7 @@ use rayon::prelude::*;
 
 use opera_pce::sparse_grid::{smolyak_grid, tensor_grid, QuadratureGrid};
 use opera_pce::{OrthogonalBasis, PolynomialFamily};
-use opera_sparse::SymbolicCholesky;
+use opera_sparse::{SolveWorkspace, SymbolicCholesky};
 use opera_variation::StochasticGridModel;
 
 use crate::{CollocationError, Result};
@@ -245,16 +245,23 @@ pub fn solve_collocation(
             Ok(u)
         };
 
-        // DC start, then fixed-step implicit integration.
+        // DC start, then fixed-step implicit integration. The node transient
+        // reuses the shared workspace API of `opera_sparse`: one
+        // `SolveWorkspace` plus preallocated rhs/matvec buffers serve every
+        // step, so the steady-state loop allocates only its output rows.
         let u0 = excitation(0.0)?;
-        let v0 = dc.solve(&u0);
-        let mut voltages = Vec::with_capacity(times.len());
-        voltages.push(v0);
+        let mut ws = SolveWorkspace::with_capacity(n);
+        let mut v0 = u0.clone();
+        dc.solve_in_place(&mut v0, &mut ws);
+        let mut voltages = vec![vec![0.0; n]; times.len()];
+        voltages[0] = v0;
+        let mut rhs = vec![0.0; n];
+        let mut gv = vec![0.0; n];
         let mut u_prev = u0;
         for (k, &t) in times.iter().enumerate().skip(1) {
             let u_next = excitation(t)?;
             let v_k = &voltages[k - 1];
-            let mut rhs = c_over_h.matvec(v_k);
+            c_over_h.matvec_into(v_k, &mut rhs);
             match spec.scheme {
                 StepScheme::BackwardEuler => {
                     // (G + C/h) v_{k+1} = u_{k+1} + (C/h) v_k
@@ -264,7 +271,7 @@ pub fn solve_collocation(
                 }
                 StepScheme::Trapezoidal => {
                     // (G + 2C/h) v_{k+1} = u_k + u_{k+1} + (2C/h − G) v_k
-                    let gv = g.matvec(v_k);
+                    g.matvec_into(v_k, &mut gv);
                     for ((r, gv_n), (a, b)) in
                         rhs.iter_mut().zip(&gv).zip(u_prev.iter().zip(&u_next))
                     {
@@ -272,7 +279,8 @@ pub fn solve_collocation(
                     }
                 }
             }
-            voltages.push(stepper.solve(&rhs));
+            stepper.solve_in_place(&mut rhs, &mut ws);
+            voltages[k].copy_from_slice(&rhs);
             u_prev = u_next;
         }
         Ok(voltages)

@@ -54,7 +54,7 @@ use crate::monte_carlo::{run as run_monte_carlo, MonteCarloOptions, MonteCarloRe
 use crate::parallel::Parallelism;
 use crate::response::drop_summary;
 use crate::solver::{backend_by_name, DirectCholesky, PreparedSolver, SolverBackend};
-use crate::stochastic::{run_prepared, StochasticSolution};
+use crate::stochastic::{run_prepared, run_prepared_panel, StochasticSolution};
 use crate::transient::{
     rescale_around_anchor, solve_transient, IntegrationMethod, TransientOptions,
 };
@@ -647,6 +647,15 @@ impl OperaEngine {
         self.setup_seconds
     }
 
+    /// Changes the worker-thread budget of later batched scenarios, Monte
+    /// Carlo validations and collocation sweeps. Purely a wall-clock knob:
+    /// every statistic is bit-identical for every setting (see
+    /// `tests/integration_smoke.rs`), so benchmarks can sweep thread counts
+    /// against one prepared engine instead of rebuilding it.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
     /// How many Galerkin assemblies the engine has performed (one at build
     /// time; scenarios never re-assemble). Test hook for the
     /// setup-once/solve-many contract.
@@ -674,6 +683,45 @@ impl OperaEngine {
     /// quadrature node: the DC matrix and the companion matrix).
     pub fn collocation_factorization_count(&self) -> usize {
         self.collocation_factorizations.load(Ordering::Relaxed)
+    }
+
+    /// Test hook for the allocation-free hot-loop contract: runs a short
+    /// augmented transient (DC start plus four steps) against the engine's
+    /// prepared solver with one reused
+    /// [`SolveWorkspace`](opera_sparse::SolveWorkspace) and returns how many
+    /// workspace buffer growths the steps *after the first* performed. For
+    /// the direct backends this is `0`: every steady-state step borrows all
+    /// solver scratch from the warm workspace and never touches the
+    /// allocator. CI asserts exactly that.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn steady_state_step_allocations(&self) -> Result<usize> {
+        let dim = self.system.dim();
+        let mut ws = opera_sparse::SolveWorkspace::new();
+        let u0 = self.system.excitation(&self.model, 0.0);
+        let mut state = vec![0.0; dim];
+        self.prepared.solve_dc_into(&u0, &mut state, &mut ws)?;
+        let mut next = vec![0.0; dim];
+        let h = self.transient.time_step;
+        // Warm-up step: the workspace may grow here, once.
+        let mut u_prev = u0;
+        let mut u_next = self.system.excitation(&self.model, h);
+        self.prepared
+            .step_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
+        std::mem::swap(&mut state, &mut next);
+        std::mem::swap(&mut u_prev, &mut u_next);
+        let warm = ws.allocation_count();
+        // Steady state: three more steps must not grow the workspace at all.
+        for k in 2..=4 {
+            u_next = self.system.excitation(&self.model, k as f64 * h);
+            self.prepared
+                .step_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
+            std::mem::swap(&mut state, &mut next);
+            std::mem::swap(&mut u_prev, &mut u_next);
+        }
+        Ok(ws.allocation_count() - warm)
     }
 
     /// Solves the engine's baseline configuration (the default
@@ -836,23 +884,76 @@ impl OperaEngine {
     }
 
     /// Runs a batch of independent scenarios, sharing the engine's single
-    /// assembly and factorisation across all of them and distributing the
-    /// scenarios over the engine's [`Parallelism`] pool. Statistics are
-    /// identical to running each scenario alone (solves are deterministic and
-    /// the Monte Carlo accumulation is thread-count neutral). Per-scenario
+    /// assembly and factorisation across all of them.
+    ///
+    /// Scenarios that reuse the engine's prepared factors *and* its time grid
+    /// (no `time_step`/`end_time` override) are solved together as **one
+    /// panel-batched transient**: at every time step their augmented states
+    /// form the columns of a dense panel and advance through a single blocked
+    /// multi-RHS solve, streaming the factor once per step instead of once
+    /// per scenario per step. The remaining scenarios fall back to individual
+    /// solves distributed over the engine's [`Parallelism`] pool, which also
+    /// runs every scenario's Monte Carlo validation.
+    ///
+    /// Statistics are bit-identical to running each scenario alone (each
+    /// panel column performs exactly the scalar solve's arithmetic, and the
+    /// Monte Carlo accumulation is thread-count neutral). Per-scenario
     /// wall-clock fields (`opera_seconds`, `monte_carlo_seconds`, `speedup`)
-    /// are measured while the other scenarios run concurrently, so they
-    /// include contention — use [`run_scenario`](Self::run_scenario) when a
-    /// scenario's isolated timing matters.
+    /// are approximate in a batch: panel-solved scenarios report an equal
+    /// share of the panel's wall-clock time, and the rest are timed while
+    /// other scenarios run concurrently — use
+    /// [`run_scenario`](Self::run_scenario) when a scenario's isolated timing
+    /// matters.
     ///
     /// # Errors
     ///
     /// Propagates the first scenario error.
     pub fn run_batch(&self, scenarios: &[Scenario]) -> Result<Vec<ScenarioReport>> {
         self.parallelism.install(|| {
-            scenarios
-                .par_iter()
-                .map(|scenario| self.run_scenario_in_pool(scenario))
+            // Validate every scenario up front (the panel path must reject
+            // bad overrides exactly like the scalar path would).
+            for scenario in scenarios {
+                self.scenario_transient(scenario)?;
+            }
+            // Scenarios without transient overrides share the engine's
+            // factors and time grid: solve them as one panel.
+            let batchable: Vec<usize> = (0..scenarios.len())
+                .filter(|&i| scenarios[i].time_step.is_none() && scenarios[i].end_time.is_none())
+                .collect();
+            let mut solutions: Vec<Option<(StochasticSolution, f64)>> =
+                (0..scenarios.len()).map(|_| None).collect();
+            if batchable.len() > 1 {
+                let scales: Vec<f64> = batchable
+                    .iter()
+                    .map(|&i| scenarios[i].current_scale)
+                    .collect();
+                let anchor = scales
+                    .iter()
+                    .any(|&s| s != 1.0)
+                    .then(|| self.system.excitation(&self.model, 0.0));
+                let t0 = Instant::now();
+                let panel_solutions = run_prepared_panel(
+                    self.prepared.as_ref(),
+                    &self.system,
+                    |t| self.system.excitation(&self.model, t),
+                    anchor.as_deref(),
+                    &scales,
+                    self.transient.time_points(),
+                )?;
+                let share = t0.elapsed().as_secs_f64() / batchable.len() as f64;
+                for (&i, solution) in batchable.iter().zip(panel_solutions) {
+                    solutions[i] = Some((solution, share));
+                }
+            }
+            let work: Vec<(usize, Option<(StochasticSolution, f64)>)> =
+                solutions.into_iter().enumerate().collect();
+            work.into_par_iter()
+                .map(|(i, solution)| match solution {
+                    Some((solution, seconds)) => {
+                        self.finish_scenario_report(&scenarios[i], solution, seconds)
+                    }
+                    None => self.run_scenario_in_pool(&scenarios[i]),
+                })
                 .collect::<Result<Vec<_>>>()
         })?
     }

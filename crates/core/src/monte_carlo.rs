@@ -23,7 +23,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 use opera_grid::PowerGrid;
-use opera_sparse::{CsrMatrix, MatrixFactor};
+use opera_sparse::{CsrMatrix, MatrixFactor, Panel, SolveWorkspace};
 use opera_variation::{LeakageModel, StochasticGridModel};
 
 use crate::parallel::sample_seed;
@@ -230,24 +230,55 @@ fn accumulate_samples(
     n: usize,
     sample_trace: impl Fn(usize) -> Result<Vec<Vec<f64>>> + Sync,
 ) -> Result<MonteCarloResult> {
+    accumulate_sample_groups(options, times, n, 1, |range| {
+        range.map(&sample_trace).collect()
+    })
+}
+
+/// Width of the sample panels in shared-factor Monte Carlo runs: each worker
+/// advances this many samples in lock step through one blocked panel solve
+/// per time step. The partition into groups is fixed (independent of the
+/// thread count), so statistics stay bit-identical for every setting.
+const MC_PANEL_WIDTH: usize = 4;
+
+/// Grouped generalisation of the sample accumulator: samples are partitioned
+/// into contiguous groups of `group_width`, one worker produces all traces of
+/// a group (e.g. by stepping them as one panel), and groups are folded into
+/// the Welford statistics strictly in sample order. `group_width == 1`
+/// recovers the plain per-sample loop.
+fn accumulate_sample_groups(
+    options: &MonteCarloOptions,
+    times: Vec<f64>,
+    n: usize,
+    group_width: usize,
+    group_traces: impl Fn(std::ops::Range<usize>) -> Result<Vec<Vec<Vec<f64>>>> + Sync,
+) -> Result<MonteCarloResult> {
     let mut stats = WelfordGrid::new(times.len(), n);
     let mut probe_traces: Vec<Vec<Vec<f64>>> =
         vec![Vec::with_capacity(options.samples); options.probe_nodes.len()];
 
-    let batch = (rayon::current_num_threads().max(1) * 2).min(options.samples.max(1));
-    let mut start = 0;
-    while start < options.samples {
-        let end = (start + batch).min(options.samples);
-        let traces: Vec<Result<Vec<Vec<f64>>>> =
-            (start..end).into_par_iter().map(&sample_trace).collect();
-        for voltages in traces {
-            let voltages = voltages?;
-            stats.update(&voltages);
-            for (p, &node) in options.probe_nodes.iter().enumerate() {
-                probe_traces[p].push(voltages.iter().map(|row| row[node]).collect());
+    let total_groups = options.samples.div_ceil(group_width.max(1)).max(1);
+    let batch = (rayon::current_num_threads().max(1) * 2).min(total_groups);
+    let mut group = 0;
+    while group < total_groups {
+        let end = (group + batch).min(total_groups);
+        let results: Vec<Result<Vec<Vec<Vec<f64>>>>> = (group..end)
+            .into_par_iter()
+            .map(|g| {
+                let start = g * group_width;
+                let stop = (start + group_width).min(options.samples);
+                group_traces(start..stop)
+            })
+            .collect();
+        for group_result in results {
+            for voltages in group_result? {
+                stats.update(&voltages);
+                for (p, &node) in options.probe_nodes.iter().enumerate() {
+                    probe_traces[p].push(voltages.iter().map(|row| row[node]).collect());
+                }
             }
         }
-        start = end;
+        group = end;
     }
     let (mean, variance, samples) = stats.finish();
     Ok(MonteCarloResult {
@@ -262,7 +293,13 @@ fn accumulate_samples(
 
 /// Runs the Monte Carlo baseline for the RHS-only leakage variation of the
 /// paper's special case: the matrices stay nominal, only the excitation is
-/// resampled, so a single factorisation is shared by all samples.
+/// resampled, so a single factorisation is shared by all samples — and the
+/// samples of each worker's group advance in lock step through **one blocked
+/// panel solve** per time step (groups of `MC_PANEL_WIDTH` = 4 samples)
+/// instead of one scalar solve per sample per step. Each panel column
+/// performs exactly
+/// the scalar arithmetic, so the statistics are bit-identical to the
+/// per-sample path for every thread count.
 ///
 /// # Errors
 ///
@@ -289,43 +326,75 @@ pub fn run_leakage(
     let dc = MatrixFactor::cholesky_or_lu(&g)?;
     let scale = options.current_scale;
 
-    accumulate_samples(options, times.clone(), n, |sample_index| {
-        let mut rng = StdRng::seed_from_u64(sample_seed(options.seed, sample_index as u64));
-        let xi: Vec<f64> = families.iter().map(|f| f.sample(&mut rng)).collect();
-        // Leakage current for this sample at each node.
-        let leak = leakage.sample_leakage(&xi);
-        // The waveform scaling is anchored at t = 0, so it rescales only the
-        // switching currents; the (time-independent) leakage is untouched.
-        let anchor = (scale != 1.0).then(|| grid.excitation(0.0));
-        let excitation = |t: f64| {
-            let mut u = grid.excitation(t);
-            if let Some(u0) = &anchor {
-                crate::transient::rescale_around_anchor(&mut u, u0, scale);
-            }
-            for (u_n, l_n) in u.iter_mut().zip(&leak) {
-                *u_n -= l_n;
-            }
-            u
-        };
-        // DC start + shared-factor transient (the factor is shared across
-        // samples *and* threads; it is only read).
-        let u0 = excitation(0.0);
-        let mut state = dc.solve(&u0);
-        let mut voltages = Vec::with_capacity(times.len());
-        voltages.push(state.clone());
-        let mut u_prev = u0;
-        for &t in &times[1..] {
-            let u_next = excitation(t);
-            state = companion.step(&state, &u_prev, &u_next);
-            voltages.push(state.clone());
-            u_prev = u_next;
+    // The waveform scaling is anchored at t = 0, so it rescales only the
+    // switching currents; the (time-independent) leakage is untouched. The
+    // switching excitation is shared by every sample — only the subtracted
+    // leakage differs — so each group evaluates it once per time point.
+    let anchor = (scale != 1.0).then(|| grid.excitation(0.0));
+    let base_at = |t: f64| {
+        let mut u = grid.excitation(t);
+        if let Some(u0) = &anchor {
+            crate::transient::rescale_around_anchor(&mut u, u0, scale);
         }
-        Ok(voltages)
+        u
+    };
+
+    accumulate_sample_groups(options, times.clone(), n, MC_PANEL_WIDTH, |range| {
+        // Per-sample leakage draws, from each sample's own RNG stream.
+        let leaks: Vec<Vec<f64>> = range
+            .map(|sample_index| {
+                let mut rng = StdRng::seed_from_u64(sample_seed(options.seed, sample_index as u64));
+                let xi: Vec<f64> = families.iter().map(|f| f.sample(&mut rng)).collect();
+                leakage.sample_leakage(&xi)
+            })
+            .collect();
+        let w = leaks.len();
+        let fill = |u_panel: &mut Panel, base: &[f64]| {
+            for (j, leak) in leaks.iter().enumerate() {
+                for ((u_n, &b), l_n) in u_panel.col_mut(j).iter_mut().zip(base).zip(leak) {
+                    *u_n = b - l_n;
+                }
+            }
+        };
+
+        // DC start + shared-factor panel transient (the factors are shared
+        // across groups *and* threads; they are only read). One workspace
+        // per group: the steady-state loop allocates only its output traces.
+        let mut ws = SolveWorkspace::with_capacity(n * w);
+        let mut u_prev = Panel::zeros(n, w);
+        fill(&mut u_prev, &base_at(0.0));
+        let mut state = Panel::zeros(n, w);
+        state.data_mut().copy_from_slice(u_prev.data());
+        dc.solve_panel(&mut state, &mut ws);
+
+        let mut traces: Vec<Vec<Vec<f64>>> = state
+            .columns()
+            .map(|col| {
+                let mut series = Vec::with_capacity(times.len());
+                series.push(col.to_vec());
+                series
+            })
+            .collect();
+        let mut u_next = Panel::zeros(n, w);
+        let mut next = Panel::zeros(n, w);
+        for &t in &times[1..] {
+            fill(&mut u_next, &base_at(t));
+            companion.step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws);
+            for (series, col) in traces.iter_mut().zip(next.columns()) {
+                series.push(col.to_vec());
+            }
+            std::mem::swap(&mut state, &mut next);
+            std::mem::swap(&mut u_prev, &mut u_next);
+        }
+        Ok(traces)
     })
 }
 
 /// One Monte Carlo transient: DC start plus fixed-step integration with the
-/// sampled matrices.
+/// sampled matrices. The output rows are allocated up front and each step
+/// writes straight into its row with one reused solver workspace (the
+/// per-worker scratch arena of the sample loop), so the steady-state loop
+/// performs no per-step solver allocations.
 fn transient_sample(
     g: &CsrMatrix,
     c: &CsrMatrix,
@@ -333,18 +402,20 @@ fn transient_sample(
     times: &[f64],
     options: &TransientOptions,
 ) -> Result<Vec<Vec<f64>>> {
+    let n = g.nrows();
     let u0 = excitation(0.0)?;
     let dc = MatrixFactor::cholesky_or_lu(g)?;
     let v0 = dc.solve(&u0);
     let method = options.method;
     let companion = crate::transient::CompanionSystem::new(g, c, options.time_step, method)?;
-    let mut voltages = Vec::with_capacity(times.len());
-    voltages.push(v0);
+    let mut voltages = vec![vec![0.0; n]; times.len()];
+    voltages[0] = v0;
+    let mut ws = SolveWorkspace::with_capacity(n);
     let mut u_prev = u0;
     for (k, &t) in times.iter().enumerate().skip(1) {
         let u_next = excitation(t)?;
-        let next = companion.step(&voltages[k - 1], &u_prev, &u_next);
-        voltages.push(next);
+        let (done, rest) = voltages.split_at_mut(k);
+        companion.step_into(&done[k - 1], &u_prev, &u_next, &mut rest[0], &mut ws);
         u_prev = u_next;
     }
     Ok(voltages)

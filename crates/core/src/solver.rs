@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use opera_sparse::{CholeskyFactor, CsrMatrix, MatrixFactor};
+use opera_sparse::{CholeskyFactor, CsrMatrix, MatrixFactor, Panel, SolveWorkspace};
 use opera_variation::StochasticGridModel;
 
 use crate::galerkin::GalerkinSystem;
@@ -76,21 +76,109 @@ pub trait SolverBackend: fmt::Debug + Send + Sync {
 /// The reusable product of [`SolverBackend::prepare`]: owns every factor
 /// needed to run an augmented transient and is shareable across threads, so
 /// batched scenarios can step it concurrently.
+///
+/// The required methods are the allocation-free workspace forms
+/// ([`solve_dc_into`](PreparedSolver::solve_dc_into) /
+/// [`step_into`](PreparedSolver::step_into)): they write into caller-provided
+/// buffers and borrow scratch from a [`SolveWorkspace`], so a steady-state
+/// transient loop with a warm workspace never touches the allocator (direct
+/// backends; iterative backends may allocate internally). The panel forms
+/// step several independent right-hand-side columns through **one** blocked
+/// multi-RHS solve; the provided defaults fall back to column-at-a-time
+/// stepping, and every implementation must keep each panel column
+/// bit-identical to the scalar form on that column.
 pub trait PreparedSolver: Send + Sync {
-    /// Solves the DC system `G̃·a(0) = Ũ(0)` for the initial condition.
+    /// Solves the DC system `G̃·a(0) = Ũ(0)` into `out` for the initial
+    /// condition.
     ///
     /// # Errors
     ///
     /// Propagates solver errors (iterative backends may fail to converge).
-    fn solve_dc(&self, u0: &[f64]) -> Result<Vec<f64>>;
+    fn solve_dc_into(&self, u0: &[f64], out: &mut [f64], ws: &mut SolveWorkspace) -> Result<()>;
 
-    /// Advances one implicit time step: given the state at `t_k` and the
-    /// excitations at `t_k` and `t_{k+1}`, returns the state at `t_{k+1}`.
+    /// Advances one implicit time step into `out`: given the state at `t_k`
+    /// and the excitations at `t_k` and `t_{k+1}`, computes the state at
+    /// `t_{k+1}`.
     ///
     /// # Errors
     ///
     /// Propagates solver errors (iterative backends may fail to converge).
-    fn step(&self, state: &[f64], u_prev: &[f64], u_next: &[f64]) -> Result<Vec<f64>>;
+    fn step_into(
+        &self,
+        state: &[f64],
+        u_prev: &[f64],
+        u_next: &[f64],
+        out: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<()>;
+
+    /// Solves the DC system for every column of a panel of initial
+    /// excitations. The default solves column by column; direct backends
+    /// override it with one blocked panel solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    fn solve_dc_panel(&self, u0: &Panel, out: &mut Panel, ws: &mut SolveWorkspace) -> Result<()> {
+        assert_eq!(u0.ncols(), out.ncols(), "panel column count mismatch");
+        for j in 0..u0.ncols() {
+            self.solve_dc_into(u0.col(j), out.col_mut(j), ws)?;
+        }
+        Ok(())
+    }
+
+    /// Advances one implicit time step for a panel of independent states
+    /// (column `j` of `out` steps column `j` of `state`). The default steps
+    /// column by column; direct backends override it with one blocked panel
+    /// solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    fn step_panel_into(
+        &self,
+        state: &Panel,
+        u_prev: &Panel,
+        u_next: &Panel,
+        out: &mut Panel,
+        ws: &mut SolveWorkspace,
+    ) -> Result<()> {
+        assert_eq!(state.ncols(), out.ncols(), "panel column count mismatch");
+        for j in 0..state.ncols() {
+            self.step_into(
+                state.col(j),
+                u_prev.col(j),
+                u_next.col(j),
+                out.col_mut(j),
+                ws,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`solve_dc_into`](PreparedSolver::solve_dc_into).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    fn solve_dc(&self, u0: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; u0.len()];
+        self.solve_dc_into(u0, &mut out, &mut SolveWorkspace::new())?;
+        Ok(out)
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`step_into`](PreparedSolver::step_into).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    fn step(&self, state: &[f64], u_prev: &[f64], u_next: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; state.len()];
+        self.step_into(state, u_prev, u_next, &mut out, &mut SolveWorkspace::new())?;
+        Ok(out)
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -119,12 +207,41 @@ struct DirectPrepared {
 }
 
 impl PreparedSolver for DirectPrepared {
-    fn solve_dc(&self, u0: &[f64]) -> Result<Vec<f64>> {
-        Ok(self.dc.solve(u0))
+    fn solve_dc_into(&self, u0: &[f64], out: &mut [f64], ws: &mut SolveWorkspace) -> Result<()> {
+        out.copy_from_slice(u0);
+        self.dc.solve_in_place(out, ws);
+        Ok(())
     }
 
-    fn step(&self, state: &[f64], u_prev: &[f64], u_next: &[f64]) -> Result<Vec<f64>> {
-        Ok(self.companion.step(state, u_prev, u_next))
+    fn step_into(
+        &self,
+        state: &[f64],
+        u_prev: &[f64],
+        u_next: &[f64],
+        out: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<()> {
+        self.companion.step_into(state, u_prev, u_next, out, ws);
+        Ok(())
+    }
+
+    fn solve_dc_panel(&self, u0: &Panel, out: &mut Panel, ws: &mut SolveWorkspace) -> Result<()> {
+        out.data_mut().copy_from_slice(u0.data());
+        self.dc.solve_panel(out, ws);
+        Ok(())
+    }
+
+    fn step_panel_into(
+        &self,
+        state: &Panel,
+        u_prev: &Panel,
+        u_next: &Panel,
+        out: &mut Panel,
+        ws: &mut SolveWorkspace,
+    ) -> Result<()> {
+        self.companion
+            .step_panel_into(state, u_prev, u_next, out, ws);
+        Ok(())
     }
 }
 
@@ -277,13 +394,20 @@ struct BlockNominalPreconditioner {
 
 impl opera_sparse::cg::Preconditioner for BlockNominalPreconditioner {
     fn apply(&self, r: &[f64]) -> Vec<f64> {
-        let mut z = Vec::with_capacity(r.len());
-        for (i, block) in r.chunks(self.block_size).enumerate() {
-            let mut zi = self.factor.solve(block);
-            for v in &mut zi {
+        // The stacked residual is column-major over basis blocks, so it *is*
+        // a panel: all blocks go through one blocked multi-RHS solve of the
+        // shared nominal factor instead of one scalar solve per block. Each
+        // block's values are bit-identical to the per-block path.
+        let n = self.block_size;
+        let k = r.len() / n;
+        let mut panel = Panel::from_vec(n, k, r.to_vec());
+        self.factor
+            .solve_panel(&mut panel, &mut SolveWorkspace::new());
+        let mut z = panel.into_vec();
+        for (i, block) in z.chunks_mut(n).enumerate() {
+            for v in block {
                 *v *= self.inv_norms[i];
             }
-            z.extend_from_slice(&zi);
         }
         z
     }
@@ -302,22 +426,33 @@ struct CgPrepared {
 }
 
 impl PreparedSolver for CgPrepared {
-    fn solve_dc(&self, u0: &[f64]) -> Result<Vec<f64>> {
-        // CG on G̃ with the nominal DC solution in block 0 as the guess.
+    fn solve_dc_into(&self, u0: &[f64], out: &mut [f64], _ws: &mut SolveWorkspace) -> Result<()> {
+        // CG on G̃ with the nominal DC solution in block 0 as the guess. The
+        // iteration allocates its own vectors; the workspace contract only
+        // binds the direct backends.
         let mut guess = vec![0.0; u0.len()];
         let n = self.block_size;
         guess[..n].copy_from_slice(&self.dc_pre.factor.solve(&u0[..n]));
-        cg_with_guess(
+        let x = cg_with_guess(
             &self.g_hat,
             u0,
             &guess,
             &self.dc_pre,
             self.tolerance,
             self.max_iterations,
-        )
+        )?;
+        out.copy_from_slice(&x);
+        Ok(())
     }
 
-    fn step(&self, state: &[f64], u_prev: &[f64], u_next: &[f64]) -> Result<Vec<f64>> {
+    fn step_into(
+        &self,
+        state: &[f64],
+        u_prev: &[f64],
+        u_next: &[f64],
+        out: &mut [f64],
+        _ws: &mut SolveWorkspace,
+    ) -> Result<()> {
         // Right-hand side of the implicit step.
         let mut rhs = vec![0.0; state.len()];
         match self.method {
@@ -335,14 +470,16 @@ impl PreparedSolver for CgPrepared {
                 }
             }
         }
-        cg_with_guess(
+        let x = cg_with_guess(
             &self.a_hat,
             &rhs,
             state,
             &self.step_pre,
             self.tolerance,
             self.max_iterations,
-        )
+        )?;
+        out.copy_from_slice(&x);
+        Ok(())
     }
 }
 

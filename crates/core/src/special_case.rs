@@ -13,13 +13,20 @@
 //! right-hand sides. Unlike the bounds of prior work, the expansion gives the
 //! exact mean, variance and higher moments of the response.
 //!
-//! The `N + 1` solves are independent and run in parallel on the installed
-//! [`Parallelism`](crate::parallel::Parallelism) pool; the solver is fully
-//! deterministic, so the result does not depend on the thread count.
+//! This is the multi-RHS hot loop of the whole system: at every time step all
+//! `N + 1` chaos-coefficient excitation columns form one dense
+//! [`opera_sparse::Panel`] and advance through a **single blocked
+//! panel solve** of the shared companion factor ([`solve_leakage`]), instead
+//! of `N + 1` sequential scalar solves. The per-column path is kept as
+//! [`solve_leakage_reference`] — it fans the independent columns out over the
+//! installed [`Parallelism`](crate::parallel::Parallelism) pool — and both
+//! paths produce bit-identical coefficients (each panel column performs
+//! exactly the scalar arithmetic), which `perf_report` uses to measure the
+//! panel speedup honestly.
 
 use opera_grid::PowerGrid;
 use opera_pce::{GalerkinCoupling, OrthogonalBasis};
-use opera_sparse::MatrixFactor;
+use opera_sparse::{MatrixFactor, Panel, SolveWorkspace};
 use opera_variation::LeakageModel;
 use rayon::prelude::*;
 
@@ -92,56 +99,63 @@ pub fn solve_leakage(
     leakage: &LeakageModel,
     options: &SpecialCaseOptions,
 ) -> Result<StochasticSolution> {
-    options.validate()?;
-    if leakage.node_count() != grid.node_count() {
-        return Err(OperaError::InvalidOptions {
-            reason: format!(
-                "leakage model covers {} nodes but the grid has {}",
-                leakage.node_count(),
-                grid.node_count()
-            ),
-        });
+    let sys = LeakageSystem::build(grid, leakage, options)?;
+    let (n, size) = (sys.n, sys.size);
+    let times = &sys.times;
+
+    // ---- Panel transient: the N + 1 chaos-coefficient columns advance in
+    // lock step, one blocked multi-RHS solve per time point. Only the j = 0
+    // column depends on time; the leakage-coefficient columns are constant.
+    let mut ws = SolveWorkspace::with_capacity(n * size);
+    let mut u_prev = Panel::zeros(n, size);
+    for j in 0..size {
+        u_prev.col_mut(j).copy_from_slice(&sys.rhs_at(j, 0.0));
     }
-    let basis = OrthogonalBasis::total_order_mixed(
-        leakage.families(),
-        leakage.region_count(),
-        options.order,
-    )?;
-    let coupling = GalerkinCoupling::new(&basis)?;
-    // Projected leakage injections: inj[j][node] (amperes drawn).
-    let injections = leakage.projected_injections(&basis, &coupling)?;
+    let mut state = Panel::zeros(n, size);
+    state.data_mut().copy_from_slice(u_prev.data());
+    sys.dc_factor.solve_panel(&mut state, &mut ws);
 
-    let g = grid.conductance_matrix();
-    let c = grid.capacitance_matrix();
-    let times = options.transient.time_points();
-    let n = grid.node_count();
-    let size = basis.len();
+    let mut coefficients: Vec<Vec<Vec<f64>>> = Vec::with_capacity(times.len());
+    coefficients.push(state.columns().map(<[f64]>::to_vec).collect());
 
-    // Right-hand side for coefficient j at time t:
-    //   j = 0 : nominal switching excitation minus the mean leakage,
-    //   j > 0 : minus the j-th leakage coefficient (time independent).
-    let rhs_at = |j: usize, t: f64| -> Vec<f64> {
-        if j == 0 {
-            let mut u = grid.excitation(t);
-            for (u_n, inj) in u.iter_mut().zip(&injections[0]) {
-                *u_n -= inj;
-            }
-            u
-        } else {
-            injections[j].iter().map(|&inj| -inj).collect()
-        }
-    };
+    let mut u_next = u_prev.clone();
+    let mut next = Panel::zeros(n, size);
+    for &t in &times[1..] {
+        u_next.col_mut(0).copy_from_slice(&sys.rhs_at(0, t));
+        sys.companion
+            .step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws);
+        coefficients.push(next.columns().map(<[f64]>::to_vec).collect());
+        std::mem::swap(&mut state, &mut next);
+        std::mem::swap(&mut u_prev, &mut u_next);
+    }
+    Ok(StochasticSolution::new(
+        sys.basis,
+        sys.times,
+        n,
+        coefficients,
+    ))
+}
 
-    // One factorisation of G for the DC start and one of the companion matrix
-    // for the time stepping — shared by all N + 1 systems (the whole point of
-    // the special case).
-    let dc_factor = MatrixFactor::cholesky_or_lu(&g)?;
-    let companion = CompanionSystem::new(
-        &g,
-        &c,
-        options.transient.time_step,
-        options.transient.method,
-    )?;
+/// Per-column reference implementation of [`solve_leakage`]: the `N + 1`
+/// independent systems are solved one right-hand side at a time, fanned out
+/// over the installed [`Parallelism`](crate::parallel::Parallelism) pool.
+///
+/// This is the pre-panel hot path, kept so the panel speedup can be measured
+/// against it (`perf_report`'s `galerkin_multi_rhs` section) and so property
+/// tests can assert the two paths stay **bit-identical**. Prefer
+/// [`solve_leakage`] everywhere else.
+///
+/// # Errors
+///
+/// Same as [`solve_leakage`].
+pub fn solve_leakage_reference(
+    grid: &PowerGrid,
+    leakage: &LeakageModel,
+    options: &SpecialCaseOptions,
+) -> Result<StochasticSolution> {
+    let sys = LeakageSystem::build(grid, leakage, options)?;
+    let (n, size) = (sys.n, sys.size);
+    let times = &sys.times;
 
     // The N + 1 systems are independent, so they run on the installed rayon
     // pool; the shared factors are only read. Each worker produces the full
@@ -149,14 +163,14 @@ pub fn solve_leakage(
     let per_j: Vec<Vec<Vec<f64>>> = (0..size)
         .into_par_iter()
         .map(|j| {
-            let u0 = rhs_at(j, 0.0);
-            let mut state = dc_factor.solve(&u0);
+            let u0 = sys.rhs_at(j, 0.0);
+            let mut state = sys.dc_factor.solve(&u0);
             let mut series = Vec::with_capacity(times.len());
             series.push(state.clone());
             let mut u_prev = u0;
             for &t in &times[1..] {
-                let u_next = rhs_at(j, t);
-                state = companion.step(&state, &u_prev, &u_next);
+                let u_next = sys.rhs_at(j, t);
+                state = sys.companion.step(&state, &u_prev, &u_next);
                 series.push(state.clone());
                 u_prev = u_next;
             }
@@ -171,7 +185,92 @@ pub fn solve_leakage(
             coefficients[k][j] = state;
         }
     }
-    Ok(StochasticSolution::new(basis, times, n, coefficients))
+    Ok(StochasticSolution::new(
+        sys.basis,
+        sys.times,
+        n,
+        coefficients,
+    ))
+}
+
+/// The shared setup of both special-case drivers: basis, projected
+/// injections, the two shared factorisations and the time grid.
+struct LeakageSystem<'a> {
+    grid: &'a PowerGrid,
+    basis: OrthogonalBasis,
+    injections: Vec<Vec<f64>>,
+    dc_factor: MatrixFactor,
+    companion: CompanionSystem,
+    times: Vec<f64>,
+    n: usize,
+    size: usize,
+}
+
+impl<'a> LeakageSystem<'a> {
+    fn build(
+        grid: &'a PowerGrid,
+        leakage: &LeakageModel,
+        options: &SpecialCaseOptions,
+    ) -> Result<Self> {
+        options.validate()?;
+        if leakage.node_count() != grid.node_count() {
+            return Err(OperaError::InvalidOptions {
+                reason: format!(
+                    "leakage model covers {} nodes but the grid has {}",
+                    leakage.node_count(),
+                    grid.node_count()
+                ),
+            });
+        }
+        let basis = OrthogonalBasis::total_order_mixed(
+            leakage.families(),
+            leakage.region_count(),
+            options.order,
+        )?;
+        let coupling = GalerkinCoupling::new(&basis)?;
+        // Projected leakage injections: inj[j][node] (amperes drawn).
+        let injections = leakage.projected_injections(&basis, &coupling)?;
+
+        let g = grid.conductance_matrix();
+        let c = grid.capacitance_matrix();
+
+        // One factorisation of G for the DC start and one of the companion
+        // matrix for the time stepping — shared by all N + 1 systems (the
+        // whole point of the special case).
+        let dc_factor = MatrixFactor::cholesky_or_lu(&g)?;
+        let companion = CompanionSystem::new(
+            &g,
+            &c,
+            options.transient.time_step,
+            options.transient.method,
+        )?;
+
+        Ok(LeakageSystem {
+            grid,
+            n: grid.node_count(),
+            size: basis.len(),
+            basis,
+            injections,
+            dc_factor,
+            companion,
+            times: options.transient.time_points(),
+        })
+    }
+
+    /// Right-hand side for coefficient `j` at time `t`:
+    ///   `j = 0` : nominal switching excitation minus the mean leakage,
+    ///   `j > 0` : minus the `j`-th leakage coefficient (time independent).
+    fn rhs_at(&self, j: usize, t: f64) -> Vec<f64> {
+        if j == 0 {
+            let mut u = self.grid.excitation(t);
+            for (u_n, inj) in u.iter_mut().zip(&self.injections[0]) {
+                *u_n -= inj;
+            }
+            u
+        } else {
+            self.injections[j].iter().map(|&inj| -inj).collect()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +304,39 @@ mod tests {
             (s_opera - s_mc).abs() / s_mc < 0.3,
             "sigma mismatch {s_opera} vs {s_mc}"
         );
+    }
+
+    #[test]
+    fn panel_path_is_bit_identical_to_per_column_reference() {
+        use crate::transient::IntegrationMethod;
+        let (grid, leakage) = setup();
+        for method in [
+            IntegrationMethod::BackwardEuler,
+            IntegrationMethod::Trapezoidal,
+        ] {
+            let opts = SpecialCaseOptions {
+                order: 2,
+                transient: TransientOptions {
+                    time_step: 0.2e-9,
+                    end_time: 1.0e-9,
+                    method,
+                },
+            };
+            let panel = solve_leakage(&grid, &leakage, &opts).unwrap();
+            let reference = solve_leakage_reference(&grid, &leakage, &opts).unwrap();
+            assert_eq!(panel.times(), reference.times());
+            for k in 0..panel.times().len() {
+                for j in 0..panel.basis_size() {
+                    for node in 0..grid.node_count() {
+                        assert_eq!(
+                            panel.coefficient(k, j, node),
+                            reference.coefficient(k, j, node),
+                            "coefficient ({k}, {j}, {node}) differs under {method:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,11 +16,12 @@
 use std::sync::Arc;
 
 use opera_pce::{OrthogonalBasis, PceSeries};
+use opera_sparse::{Panel, SolveWorkspace};
 use opera_variation::StochasticGridModel;
 
 use crate::galerkin::GalerkinSystem;
 use crate::solver::{BlockJacobiCg, DirectCholesky, PreparedSolver, SolverBackend};
-use crate::transient::TransientOptions;
+use crate::transient::{rescale_around_anchor, TransientOptions};
 use crate::{OperaError, Result};
 
 /// Options for the OPERA solver.
@@ -277,18 +278,26 @@ pub(crate) fn run_prepared(
     times: Vec<f64>,
 ) -> Result<StochasticSolution> {
     let n = system.node_count();
+    let dim = system.dim();
+    // One workspace and two state buffers serve the whole transient: the
+    // loop double-buffers `state`/`next` and every solve borrows its scratch
+    // from `ws`, so the steady-state loop performs zero solver allocations
+    // per step (the direct backends' contract, asserted by the engine's
+    // allocation-counter hook).
+    let mut ws = SolveWorkspace::with_capacity(dim);
     let u0 = excitation(0.0);
-    let a0 = prepared.solve_dc(&u0)?;
+    let mut state = vec![0.0; dim];
+    prepared.solve_dc_into(&u0, &mut state, &mut ws)?;
 
     let mut coefficients = Vec::with_capacity(times.len());
-    coefficients.push(system.split_solution(&a0));
-    let mut state = a0;
+    coefficients.push(system.split_solution(&state));
+    let mut next = vec![0.0; dim];
     let mut u_prev = u0;
     for &t in &times[1..] {
         let u_next = excitation(t);
-        let next = prepared.step(&state, &u_prev, &u_next)?;
+        prepared.step_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
         coefficients.push(system.split_solution(&next));
-        state = next;
+        std::mem::swap(&mut state, &mut next);
         u_prev = u_next;
     }
     Ok(StochasticSolution::new(
@@ -297,6 +306,77 @@ pub(crate) fn run_prepared(
         n,
         coefficients,
     ))
+}
+
+/// Panel-batched variant of [`run_prepared`]: runs one augmented transient
+/// for *several scenarios at once*, where scenario `j` drives the system with
+/// the shared excitation rescaled around `anchor` by `scales[j]`. At every
+/// time step the scenario states form the columns of one [`Panel`] and
+/// advance through a single blocked multi-RHS solve, so the factor is
+/// streamed once per step instead of once per scenario per step.
+///
+/// Column `j` of the panel is bit-identical to a standalone
+/// [`run_prepared`] call with the same scaled excitation: a scale of exactly
+/// `1.0` copies the shared excitation verbatim (no rescaling arithmetic),
+/// mirroring the scalar scenario path.
+pub(crate) fn run_prepared_panel(
+    prepared: &dyn PreparedSolver,
+    system: &GalerkinSystem,
+    excitation: impl Fn(f64) -> Vec<f64>,
+    anchor: Option<&[f64]>,
+    scales: &[f64],
+    times: Vec<f64>,
+) -> Result<Vec<StochasticSolution>> {
+    let n = system.node_count();
+    let dim = system.dim();
+    let k = scales.len();
+    let mut ws = SolveWorkspace::with_capacity(dim * k);
+
+    // Column builder: the shared excitation, rescaled per scenario.
+    let fill = |u: &[f64], panel: &mut Panel| {
+        for (j, &scale) in scales.iter().enumerate() {
+            let col = panel.col_mut(j);
+            col.copy_from_slice(u);
+            if scale != 1.0 {
+                let anchor = anchor.expect("anchor is required for scaled scenarios");
+                rescale_around_anchor(col, anchor, scale);
+            }
+        }
+    };
+
+    let u0 = excitation(0.0);
+    let mut u_prev = Panel::zeros(dim, k);
+    fill(&u0, &mut u_prev);
+    let mut state = Panel::zeros(dim, k);
+    prepared.solve_dc_panel(&u_prev, &mut state, &mut ws)?;
+
+    let mut coefficients: Vec<Vec<Vec<Vec<f64>>>> = (0..k)
+        .map(|j| {
+            let mut per_scenario = Vec::with_capacity(times.len());
+            per_scenario.push(system.split_solution(state.col(j)));
+            per_scenario
+        })
+        .collect();
+
+    let mut u_next = Panel::zeros(dim, k);
+    let mut next = Panel::zeros(dim, k);
+    for &t in &times[1..] {
+        let u = excitation(t);
+        fill(&u, &mut u_next);
+        prepared.step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
+        for (j, per_scenario) in coefficients.iter_mut().enumerate() {
+            per_scenario.push(system.split_solution(next.col(j)));
+        }
+        std::mem::swap(&mut state, &mut next);
+        std::mem::swap(&mut u_prev, &mut u_next);
+    }
+
+    Ok(coefficients
+        .into_iter()
+        .map(|per_scenario| {
+            StochasticSolution::new(system.basis().clone(), times.clone(), n, per_scenario)
+        })
+        .collect())
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! `G + C/h` (or `G + 2C/h`) is factored once with sparse Cholesky and reused
 //! for every time step.
 
-use opera_sparse::{CsrMatrix, MatrixFactor};
+use opera_sparse::{CsrMatrix, MatrixFactor, Panel, SolveWorkspace};
 
 use crate::{OperaError, Result};
 
@@ -200,34 +200,115 @@ impl CompanionSystem {
         self.h
     }
 
-    /// Solves the companion system for an arbitrary right-hand side.
+    /// Solves the companion system for an arbitrary right-hand side,
+    /// allocating the result. In hot loops prefer
+    /// [`CompanionSystem::solve_in_place`].
     pub fn solve(&self, rhs: &[f64]) -> Vec<f64> {
         self.factor.solve(rhs)
     }
 
+    /// Solves the companion system in place with workspace-borrowed scratch
+    /// (zero heap allocations once `ws` is warm).
+    pub fn solve_in_place(&self, rhs: &mut [f64], ws: &mut SolveWorkspace) {
+        self.factor.solve_in_place(rhs, ws);
+    }
+
+    /// Solves the companion system for every column of a panel in one blocked
+    /// multi-RHS sweep. Each column is bit-identical to
+    /// [`CompanionSystem::solve`] on that column.
+    pub fn solve_panel(&self, rhs: &mut Panel, ws: &mut SolveWorkspace) {
+        self.factor.solve_panel(rhs, ws);
+    }
+
     /// Advances one time step: given the state `v_k` and the excitations at
-    /// `t_k` and `t_{k+1}`, returns `v_{k+1}`.
+    /// `t_k` and `t_{k+1}`, returns `v_{k+1}`. Allocates the result; the hot
+    /// loops use [`CompanionSystem::step_into`].
     pub fn step(&self, v_k: &[f64], u_k: &[f64], u_k1: &[f64]) -> Vec<f64> {
-        let n = v_k.len();
-        let mut rhs = vec![0.0; n];
+        let mut out = vec![0.0; v_k.len()];
+        self.step_into(v_k, u_k, u_k1, &mut out, &mut SolveWorkspace::new());
+        out
+    }
+
+    /// Advances one time step into a caller-provided buffer: builds the
+    /// implicit right-hand side in `out` and solves it in place, borrowing
+    /// all scratch from `ws`. A steady-state loop that double-buffers `v_k`
+    /// and `out` performs zero heap allocations per step. Bit-identical to
+    /// [`CompanionSystem::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths disagree with the system dimension.
+    pub fn step_into(
+        &self,
+        v_k: &[f64],
+        u_k: &[f64],
+        u_k1: &[f64],
+        out: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) {
+        assert_eq!(u_k.len(), out.len(), "u_k dimension mismatch");
+        assert_eq!(u_k1.len(), out.len(), "u_k1 dimension mismatch");
         match self.method {
             IntegrationMethod::BackwardEuler => {
                 // (G + C/h) v_{k+1} = u_{k+1} + (C/h) v_k
-                self.c_over_h.matvec_into(v_k, &mut rhs);
-                for (r, u) in rhs.iter_mut().zip(u_k1) {
+                self.c_over_h.matvec_into(v_k, out);
+                for (r, u) in out.iter_mut().zip(u_k1) {
                     *r += u;
                 }
             }
             IntegrationMethod::Trapezoidal => {
                 // (G + 2C/h) v_{k+1} = u_k + u_{k+1} + (2C/h − G) v_k
-                self.c_over_h.matvec_into(v_k, &mut rhs);
-                self.g.matvec_acc(v_k, -1.0, &mut rhs);
-                for ((r, a), b) in rhs.iter_mut().zip(u_k).zip(u_k1) {
+                self.c_over_h.matvec_into(v_k, out);
+                self.g.matvec_acc(v_k, -1.0, out);
+                for ((r, a), b) in out.iter_mut().zip(u_k).zip(u_k1) {
                     *r += a + b;
                 }
             }
         }
-        self.solve(&rhs)
+        self.factor.solve_in_place(out, ws);
+    }
+
+    /// Advances one time step for a whole panel of independent states sharing
+    /// this companion system: column `j` of `out` receives the step of column
+    /// `j` of `v_k` driven by column `j` of `u_k`/`u_k1`, and all columns go
+    /// through **one** blocked panel solve. Each column is bit-identical to
+    /// [`CompanionSystem::step`] on that column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel shapes disagree.
+    pub fn step_panel_into(
+        &self,
+        v_k: &Panel,
+        u_k: &Panel,
+        u_k1: &Panel,
+        out: &mut Panel,
+        ws: &mut SolveWorkspace,
+    ) {
+        assert_eq!(v_k.ncols(), out.ncols(), "state/output panel mismatch");
+        assert_eq!(u_k.ncols(), out.ncols(), "u_k panel column mismatch");
+        assert_eq!(u_k1.ncols(), out.ncols(), "u_k1 panel column mismatch");
+        assert_eq!(u_k.nrows(), out.nrows(), "u_k panel row mismatch");
+        assert_eq!(u_k1.nrows(), out.nrows(), "u_k1 panel row mismatch");
+        for j in 0..out.ncols() {
+            let col = out.col_mut(j);
+            match self.method {
+                IntegrationMethod::BackwardEuler => {
+                    self.c_over_h.matvec_into(v_k.col(j), col);
+                    for (r, u) in col.iter_mut().zip(u_k1.col(j)) {
+                        *r += u;
+                    }
+                }
+                IntegrationMethod::Trapezoidal => {
+                    self.c_over_h.matvec_into(v_k.col(j), col);
+                    self.g.matvec_acc(v_k.col(j), -1.0, col);
+                    for ((r, a), b) in col.iter_mut().zip(u_k.col(j)).zip(u_k1.col(j)) {
+                        *r += a + b;
+                    }
+                }
+            }
+        }
+        self.factor.solve_panel(out, ws);
     }
 }
 
@@ -269,19 +350,25 @@ pub fn solve_transient(
 ) -> Result<TransientSolution> {
     options.validate()?;
     let times = options.time_points();
+    let n = g.nrows();
     // DC initial condition.
     let u0 = excitation(0.0);
     let v0 = MatrixFactor::cholesky_or_lu(g)
         .map_err(OperaError::from)?
         .solve(&u0);
     let companion = CompanionSystem::new(g, c, options.time_step, options.method)?;
-    let mut voltages = Vec::with_capacity(times.len());
-    voltages.push(v0);
+    // All output rows are allocated up front; the stepping loop then writes
+    // each new state straight into its output row (double-buffering the state
+    // through `split_at_mut`) with workspace-borrowed solver scratch, so the
+    // steady-state loop performs no per-step solver allocations.
+    let mut voltages = vec![vec![0.0; n]; times.len()];
+    voltages[0] = v0;
+    let mut ws = SolveWorkspace::with_capacity(n);
     let mut u_prev = u0;
     for k in 1..times.len() {
         let u_next = excitation(times[k]);
-        let v_next = companion.step(&voltages[k - 1], &u_prev, &u_next);
-        voltages.push(v_next);
+        let (done, rest) = voltages.split_at_mut(k);
+        companion.step_into(&done[k - 1], &u_prev, &u_next, &mut rest[0], &mut ws);
         u_prev = u_next;
     }
     Ok(TransientSolution { times, voltages })

@@ -9,21 +9,35 @@
 //! [`CholeskyFactor::solve`].
 
 use crate::etree::ereach;
+use crate::triangular::{lower_panel_raw, lower_transpose_panel_raw};
 use crate::{
-    column_counts, elimination_tree, ordering, CscMatrix, CsrMatrix, Permutation, Result,
-    SparseError,
+    column_counts, elimination_tree, ordering, CscMatrix, CsrMatrix, Panel, Permutation, Result,
+    SolveWorkspace, SparseError,
 };
 
 /// Fill-reducing ordering strategy used before factorisation.
+///
+/// The default is [`OrderingChoice::ReverseCuthillMckee`], the *measured*
+/// winner on the paper grids and netlist fixtures (`perf_report`'s
+/// `orderings` section; methodology and numbers in `docs/PERFORMANCE.md`).
+/// Minimum degree produces a ~3.5× sparser factor with correspondingly
+/// faster triangular solves on the paper grid, but its greedy ordering pass
+/// is orders of magnitude slower than RCM and grows super-linearly — on the
+/// `(N+1)·n` Galerkin-augmented companion matrix it dominates the entire
+/// analysis, so RCM wins end to end. Pick
+/// [`OrderingChoice::MinimumDegree`] explicitly for factor-once workloads
+/// with very many solves of a *nominal-sized* matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OrderingChoice {
     /// Keep the natural (input) order.
     Natural,
-    /// Reverse Cuthill–McKee — fast, good for mesh-like power grids (default).
+    /// Reverse Cuthill–McKee — fast banded ordering for mesh-like power
+    /// grids (the measured default, see above).
     #[default]
     ReverseCuthillMckee,
-    /// Greedy minimum degree — slower ordering, usually less fill on
-    /// irregular patterns.
+    /// Greedy minimum degree — much less fill than RCM, but a far more
+    /// expensive ordering pass; worthwhile only when one factorisation is
+    /// amortised over very many solves.
     MinimumDegree,
 }
 
@@ -63,6 +77,7 @@ pub enum OrderingChoice {
 #[derive(Debug, Clone)]
 pub struct SymbolicCholesky {
     n: usize,
+    ordering: OrderingChoice,
     perm: Permutation,
     parent: Vec<Option<usize>>,
     /// Column pointers of `L` derived from the column counts.
@@ -92,11 +107,11 @@ impl SymbolicCholesky {
     /// Same as [`SymbolicCholesky::analyze`].
     pub fn analyze_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
         let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
-        Ok(Self::from_permuted(&a_perm, perm))
+        Ok(Self::from_permuted(&a_perm, perm, ordering_choice))
     }
 
     /// Builds the analysis from an already permuted matrix.
-    fn from_permuted(a_perm: &CscMatrix, perm: Permutation) -> Self {
+    fn from_permuted(a_perm: &CscMatrix, perm: Permutation, ordering: OrderingChoice) -> Self {
         let n = a_perm.ncols();
         let parent = elimination_tree(a_perm);
         let counts = column_counts(a_perm, &parent);
@@ -106,6 +121,7 @@ impl SymbolicCholesky {
         }
         SymbolicCholesky {
             n,
+            ordering,
             perm,
             parent,
             l_indptr,
@@ -117,6 +133,12 @@ impl SymbolicCholesky {
     /// Dimension of the analysed matrix.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// The fill-reducing ordering strategy this analysis was computed with
+    /// ([`OrderingChoice::default`] for [`SymbolicCholesky::analyze`]).
+    pub fn ordering(&self) -> OrderingChoice {
+        self.ordering
     }
 
     /// Number of nonzeros the factor `L` will have.
@@ -278,7 +300,7 @@ impl CholeskyFactor {
     /// Same as [`CholeskyFactor::factor`].
     pub fn factor_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
         let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
-        let symbolic = SymbolicCholesky::from_permuted(&a_perm, perm);
+        let symbolic = SymbolicCholesky::from_permuted(&a_perm, perm, ordering_choice);
         let nnz_l = symbolic.nnz_l();
         let SymbolicCholesky {
             n,
@@ -419,25 +441,65 @@ impl CholeskyFactor {
         2.0 * acc
     }
 
-    /// Solves `A·x = b`.
+    /// Solves `A·x = b`, allocating the result (and a fresh scratch buffer).
+    /// In hot loops prefer [`CholeskyFactor::solve_in_place`] with a reused
+    /// [`SolveWorkspace`].
     ///
     /// # Panics
     ///
     /// Panics if `b.len()` does not match the matrix dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
-        let mut y = self.perm.apply(b);
-        self.solve_permuted_in_place(&mut y);
-        self.perm.apply_inverse(&y)
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x, &mut SolveWorkspace::new());
+        x
     }
 
-    /// Solves `A·X = B` column by column for several right-hand sides.
+    /// Solves `A·x = b` in place, borrowing the permutation scratch from
+    /// `ws`: once the workspace is warm, the solve performs zero heap
+    /// allocations. Bit-identical to [`CholeskyFactor::solve`].
     ///
     /// # Panics
     ///
-    /// Panics if any right-hand side has the wrong length.
-    pub fn solve_many(&self, columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        columns.iter().map(|b| self.solve(b)).collect()
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve_in_place(&self, b: &mut [f64], ws: &mut SolveWorkspace) {
+        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
+        let y = ws.scratch(self.n);
+        for (yi, &p) in y.iter_mut().zip(self.perm.as_slice()) {
+            *yi = b[p];
+        }
+        self.solve_permuted_in_place(y);
+        for (yi, &p) in y.iter().zip(self.perm.as_slice()) {
+            b[p] = *yi;
+        }
+    }
+
+    /// Solves `A·X = B` in place for every column of the panel through the
+    /// blocked triangular kernels: the factor is streamed once per 4-wide
+    /// column strip instead of once per right-hand side. Each panel column is
+    /// bit-identical to [`CholeskyFactor::solve`] on that column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel row count does not match the matrix dimension.
+    pub fn solve_panel(&self, b: &mut Panel, ws: &mut SolveWorkspace) {
+        assert_eq!(b.nrows(), self.n, "panel row count mismatch");
+        let n = self.n;
+        let k = b.ncols();
+        let y = ws.scratch(n * k);
+        let perm = self.perm.as_slice();
+        for (y_col, b_col) in y.chunks_exact_mut(n).zip(b.columns()) {
+            for (yi, &p) in y_col.iter_mut().zip(perm) {
+                *yi = b_col[p];
+            }
+        }
+        lower_panel_raw(&self.l_indptr, &self.l_indices, &self.l_data, n, y);
+        lower_transpose_panel_raw(&self.l_indptr, &self.l_indices, &self.l_data, n, y);
+        for (j, y_col) in y.chunks_exact(n).enumerate() {
+            let b_col = b.col_mut(j);
+            for (yi, &p) in y_col.iter().zip(perm) {
+                b_col[p] = *yi;
+            }
+        }
     }
 
     /// In-place solve in the permuted ordering (`L·Lᵀ·y = b_perm`).
@@ -676,15 +738,61 @@ mod tests {
     }
 
     #[test]
-    fn solve_many_handles_multiple_rhs() {
-        let a = grid_spd(3, 3);
+    fn solve_panel_handles_multiple_rhs_bit_identically() {
+        let a = grid_spd(5, 4);
         let chol = CholeskyFactor::factor(&a).unwrap();
-        let rhs: Vec<Vec<f64>> = (0..4)
+        let rhs: Vec<Vec<f64>> = (0..7)
             .map(|k| (0..a.nrows()).map(|i| ((i + k) as f64).cos()).collect())
             .collect();
-        let xs = chol.solve_many(&rhs);
-        for (x, b) in xs.iter().zip(&rhs) {
-            assert!(a.residual_inf_norm(x, b) < 1e-10);
+        let mut panel = Panel::from_columns(&rhs);
+        let mut ws = SolveWorkspace::new();
+        chol.solve_panel(&mut panel, &mut ws);
+        for (j, b) in rhs.iter().enumerate() {
+            assert!(a.residual_inf_norm(panel.col(j), b) < 1e-10);
+            // Panel columns must be bit-identical to scalar solves.
+            assert_eq!(panel.col(j), &chol.solve(b)[..]);
         }
+        // A warm workspace makes subsequent panel solves allocation-free.
+        let warm = ws.allocation_count();
+        let mut panel2 = Panel::from_columns(&rhs);
+        chol.solve_panel(&mut panel2, &mut ws);
+        assert_eq!(ws.allocation_count(), warm);
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve_and_reuses_workspace() {
+        let a = grid_spd(4, 5);
+        let chol = CholeskyFactor::factor(&a).unwrap();
+        let b: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.31).sin()).collect();
+        let expected = chol.solve(&b);
+        let mut ws = SolveWorkspace::new();
+        let mut x = b.clone();
+        chol.solve_in_place(&mut x, &mut ws);
+        assert_eq!(x, expected);
+        let warm = ws.allocation_count();
+        x.copy_from_slice(&b);
+        chol.solve_in_place(&mut x, &mut ws);
+        assert_eq!(x, expected);
+        assert_eq!(ws.allocation_count(), warm);
+    }
+
+    #[test]
+    fn analyze_honours_the_default_ordering_choice() {
+        // The satellite contract: `SymbolicCholesky::analyze` must route the
+        // workspace-wide default `OrderingChoice` through to the permutation
+        // it computes (and report which choice it used).
+        let a = grid_spd(6, 7);
+        let default = SymbolicCholesky::analyze(&a).unwrap();
+        assert_eq!(default.ordering(), OrderingChoice::default());
+        let explicit = SymbolicCholesky::analyze_with(&a, OrderingChoice::default()).unwrap();
+        assert_eq!(default.permutation(), explicit.permutation());
+        assert_eq!(default.nnz_l(), explicit.nnz_l());
+        // And an explicit non-default choice is honoured, not overridden.
+        let natural = SymbolicCholesky::analyze_with(&a, OrderingChoice::Natural).unwrap();
+        assert_eq!(natural.ordering(), OrderingChoice::Natural);
+        assert_eq!(
+            natural.permutation(),
+            &crate::Permutation::identity(a.nrows())
+        );
     }
 }

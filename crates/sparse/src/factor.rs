@@ -11,6 +11,7 @@
 use crate::cholesky::CholeskyFactor;
 use crate::csr::CsrMatrix;
 use crate::lu::LuFactor;
+use crate::panel::{Panel, SolveWorkspace};
 use crate::Result;
 
 /// A factored sparse matrix: either a sparse Cholesky factor (SPD input) or a
@@ -69,11 +70,32 @@ impl MatrixFactor {
         }
     }
 
-    /// Solves `A·x = b`.
+    /// Solves `A·x = b`, allocating the result. In hot loops prefer
+    /// [`MatrixFactor::solve_in_place`] with a reused [`SolveWorkspace`].
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         match self {
             MatrixFactor::Cholesky(f) => f.solve(b),
             MatrixFactor::Lu(f) => f.solve(b),
+        }
+    }
+
+    /// Solves `A·x = b` in place with workspace-borrowed scratch; zero heap
+    /// allocations once `ws` is warm. Bit-identical to
+    /// [`MatrixFactor::solve`].
+    pub fn solve_in_place(&self, b: &mut [f64], ws: &mut SolveWorkspace) {
+        match self {
+            MatrixFactor::Cholesky(f) => f.solve_in_place(b, ws),
+            MatrixFactor::Lu(f) => f.solve_in_place(b, ws),
+        }
+    }
+
+    /// Solves `A·X = B` in place for every column of the panel through the
+    /// blocked multi-RHS triangular kernels. Each panel column is
+    /// bit-identical to [`MatrixFactor::solve`] on that column.
+    pub fn solve_panel(&self, b: &mut Panel, ws: &mut SolveWorkspace) {
+        match self {
+            MatrixFactor::Cholesky(f) => f.solve_panel(b, ws),
+            MatrixFactor::Lu(f) => f.solve_panel(b, ws),
         }
     }
 }
@@ -119,6 +141,26 @@ mod tests {
         let x = f.solve(&[2.0, 3.0]);
         // A swaps the entries: x = [3, 2].
         assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_place_and_panel_solves_match_on_both_variants() {
+        let rhs: Vec<Vec<f64>> = (0..3).map(|k| vec![1.0 + k as f64, -2.0]).collect();
+        for factor in [
+            MatrixFactor::cholesky(&spd2()).unwrap(),
+            MatrixFactor::lu(&indefinite2()).unwrap(),
+        ] {
+            let mut ws = SolveWorkspace::new();
+            let mut panel = Panel::from_columns(&rhs);
+            factor.solve_panel(&mut panel, &mut ws);
+            for (j, b) in rhs.iter().enumerate() {
+                let expected = factor.solve(b);
+                assert_eq!(panel.col(j), &expected[..]);
+                let mut x = b.clone();
+                factor.solve_in_place(&mut x, &mut ws);
+                assert_eq!(x, expected);
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`cg`] — preconditioned conjugate gradient (Jacobi and IC(0)
 //!   preconditioners) for very large grids where a direct factorisation is
 //!   not wanted.
+//! * [`Panel`] / [`SolveWorkspace`] — column-major multi-RHS panels and
+//!   reusable scratch arenas: the factor-once/solve-thousands hot loop of
+//!   every transient runs through blocked panel triangular kernels with zero
+//!   steady-state heap allocations.
 //! * [`DenseMatrix`] — small dense kernels used by quadrature and tests.
 //!
 //! # Example
@@ -53,6 +57,7 @@ mod error;
 mod etree;
 mod factor;
 mod lu;
+mod panel;
 mod permutation;
 mod triangular;
 mod triplet;
@@ -68,8 +73,12 @@ pub use error::SparseError;
 pub use etree::{column_counts, elimination_tree, postorder};
 pub use factor::MatrixFactor;
 pub use lu::LuFactor;
+pub use panel::{Panel, SolveWorkspace};
 pub use permutation::Permutation;
-pub use triangular::{solve_lower_csc, solve_lower_transpose_csc, solve_upper_csc};
+pub use triangular::{
+    solve_lower_csc, solve_lower_csc_panel, solve_lower_transpose_csc,
+    solve_lower_transpose_csc_panel, solve_upper_csc, solve_upper_csc_panel,
+};
 pub use triplet::TripletMatrix;
 
 /// Result alias used throughout the crate.

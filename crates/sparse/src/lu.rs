@@ -7,8 +7,10 @@
 //! Galerkin-augmented matrix loses definiteness for extreme variation
 //! magnitudes).
 
-use crate::triangular::{solve_lower_csc, solve_upper_csc};
-use crate::{CscMatrix, CsrMatrix, Permutation, Result, SparseError};
+use crate::triangular::{
+    solve_lower_csc, solve_lower_csc_panel, solve_upper_csc, solve_upper_csc_panel,
+};
+use crate::{CscMatrix, CsrMatrix, Panel, Permutation, Result, SolveWorkspace, SparseError};
 
 /// A sparse LU factorisation `P·A = L·U` with partial (row) pivoting.
 ///
@@ -239,23 +241,58 @@ impl LuFactor {
         &self.row_perm
     }
 
-    /// Solves `A·x = b`.
+    /// Solves `A·x = b`, allocating the result. In hot loops prefer
+    /// [`LuFactor::solve_in_place`] with a reused [`SolveWorkspace`].
     ///
     /// # Panics
     ///
     /// Panics if `b.len()` does not match the matrix dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
-        // P A = L U  ⇒  A x = b  ⇔  L U x = P b.
-        let mut y = self.row_perm.apply(b);
-        solve_lower_csc(&self.l, &mut y);
-        solve_upper_csc(&self.u, &mut y);
-        y
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x, &mut SolveWorkspace::new());
+        x
     }
 
-    /// Solves `A·X = B` for several right-hand sides.
-    pub fn solve_many(&self, columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        columns.iter().map(|b| self.solve(b)).collect()
+    /// Solves `A·x = b` in place, borrowing the pivoting scratch from `ws`:
+    /// once the workspace is warm, the solve performs zero heap allocations.
+    /// Bit-identical to [`LuFactor::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve_in_place(&self, b: &mut [f64], ws: &mut SolveWorkspace) {
+        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
+        // P A = L U  ⇒  A x = b  ⇔  L U x = P b.
+        let y = ws.scratch(self.n);
+        for (yi, &p) in y.iter_mut().zip(self.row_perm.as_slice()) {
+            *yi = b[p];
+        }
+        solve_lower_csc(&self.l, y);
+        solve_upper_csc(&self.u, y);
+        b.copy_from_slice(y);
+    }
+
+    /// Solves `A·X = B` in place for every column of the panel through the
+    /// blocked triangular kernels. Each panel column is bit-identical to
+    /// [`LuFactor::solve`] on that column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel row count does not match the matrix dimension.
+    pub fn solve_panel(&self, b: &mut Panel, ws: &mut SolveWorkspace) {
+        assert_eq!(b.nrows(), self.n, "panel row count mismatch");
+        let n = self.n;
+        let k = b.ncols();
+        let y = ws.scratch(n * k);
+        let perm = self.row_perm.as_slice();
+        for (y_col, b_col) in y.chunks_exact_mut(n).zip(b.columns()) {
+            for (yi, &p) in y_col.iter_mut().zip(perm) {
+                *yi = b_col[p];
+            }
+        }
+        b.data_mut().copy_from_slice(y);
+        solve_lower_csc_panel(&self.l, b);
+        solve_upper_csc_panel(&self.u, b);
     }
 }
 
@@ -331,6 +368,29 @@ mod tests {
             LuFactor::factor(&a),
             Err(SparseError::NotSquare { .. })
         ));
+    }
+
+    #[test]
+    fn solve_in_place_and_panel_match_solve_bit_identically() {
+        let a = CsrMatrix::from_dense(3, 3, &[2.0, 1.0, 0.0, 4.0, 3.0, 1.0, 0.0, 1.0, 5.0], 0.0);
+        let lu = LuFactor::factor(&a).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..5)
+            .map(|k| (0..3).map(|i| ((2 * i + k) as f64 * 0.4).cos()).collect())
+            .collect();
+        let mut ws = SolveWorkspace::new();
+        let mut panel = Panel::from_columns(&rhs);
+        lu.solve_panel(&mut panel, &mut ws);
+        for (j, b) in rhs.iter().enumerate() {
+            let expected = lu.solve(b);
+            assert_eq!(panel.col(j), &expected[..], "panel col {j}");
+            let mut x = b.clone();
+            lu.solve_in_place(&mut x, &mut ws);
+            assert_eq!(x, expected, "in-place col {j}");
+        }
+        let warm = ws.allocation_count();
+        let mut panel2 = Panel::from_columns(&rhs);
+        lu.solve_panel(&mut panel2, &mut ws);
+        assert_eq!(ws.allocation_count(), warm);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Dense right-hand-side panels and reusable solver workspaces.
+//!
+//! A [`Panel`] is the multi-RHS currency of the whole OPERA hot path:
+//! contiguous column-major `n × k` storage, so `k` right-hand sides of a
+//! factored system travel together through the blocked triangular kernels in
+//! [`crate::solve_lower_csc_panel`] and friends instead of one cache-hostile
+//! `Vec<f64>` at a time. A [`SolveWorkspace`] is the companion scratch arena:
+//! every in-place solve borrows its buffers from one, so a warmed-up
+//! transient loop performs **zero** heap allocations per step — and the
+//! workspace counts its buffer growths so callers can assert exactly that.
+
+/// Contiguous column-major `n × k` storage for multi-RHS solves.
+///
+/// Columns are the unit of access: [`Panel::col`]/[`Panel::col_mut`] return
+/// borrowed views of single right-hand sides, and the blocked triangular
+/// kernels sweep all columns of a panel in one pass over the factor.
+///
+/// # Example
+///
+/// ```
+/// use opera_sparse::Panel;
+///
+/// let mut p = Panel::zeros(3, 2);
+/// p.col_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+/// assert_eq!(p.col(0), &[0.0, 0.0, 0.0]);
+/// assert_eq!(p.col(1), &[1.0, 2.0, 3.0]);
+/// assert_eq!(p.nrows(), 3);
+/// assert_eq!(p.ncols(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panel {
+    nrows: usize,
+    ncols: usize,
+    /// Column-major values, `data[j * nrows + i]` = entry `(i, j)`.
+    data: Vec<f64>,
+}
+
+impl Panel {
+    /// An `n × k` panel of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Panel {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Builds a panel from equal-length columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have differing lengths.
+    pub fn from_columns(columns: &[Vec<f64>]) -> Self {
+        let nrows = columns.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * columns.len());
+        for col in columns {
+            assert_eq!(col.len(), nrows, "panel columns must have equal length");
+            data.extend_from_slice(col);
+        }
+        Panel {
+            nrows,
+            ncols: columns.len(),
+            data,
+        }
+    }
+
+    /// Number of rows (the system dimension).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (right-hand sides).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Column `j` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Column `j` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// All values in column-major order.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// All values in column-major order, mutably.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Wraps an existing column-major buffer (e.g. a stacked block vector,
+    /// whose blocks are exactly the panel columns) without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "panel buffer length mismatch");
+        Panel { nrows, ncols, data }
+    }
+
+    /// Consumes the panel into its column-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterates over the columns.
+    pub fn columns(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.nrows)
+    }
+
+    /// Consumes the panel into per-column vectors.
+    pub fn into_columns(self) -> Vec<Vec<f64>> {
+        let n = self.nrows;
+        (0..self.ncols)
+            .map(|j| self.data[j * n..(j + 1) * n].to_vec())
+            .collect()
+    }
+}
+
+/// A reusable scratch arena for in-place and panel solves.
+///
+/// The direct factors ([`crate::CholeskyFactor`], [`crate::LuFactor`],
+/// [`crate::MatrixFactor`]) need a permuted copy of the right-hand side(s);
+/// a `SolveWorkspace` owns that buffer across calls so a steady-state solve
+/// loop never touches the allocator. The workspace counts how many times its
+/// buffer had to grow — [`SolveWorkspace::allocation_count`] is the test
+/// hook behind the engine's zero-allocations-per-step contract.
+///
+/// # Example
+///
+/// ```
+/// use opera_sparse::{CholeskyFactor, CsrMatrix, SolveWorkspace};
+///
+/// # fn main() -> Result<(), opera_sparse::SparseError> {
+/// let a = CsrMatrix::from_dense(2, 2, &[4.0, 1.0, 1.0, 3.0], 0.0);
+/// let chol = CholeskyFactor::factor(&a)?;
+/// let mut ws = SolveWorkspace::new();
+/// let mut b = vec![5.0, 4.0];
+/// chol.solve_in_place(&mut b, &mut ws); // warms the workspace
+/// let warm = ws.allocation_count();
+/// b.copy_from_slice(&[1.0, 2.0]);
+/// chol.solve_in_place(&mut b, &mut ws); // steady state: no allocations
+/// assert_eq!(ws.allocation_count(), warm);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SolveWorkspace {
+    buf: Vec<f64>,
+    allocations: usize,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        SolveWorkspace::default()
+    }
+
+    /// A workspace pre-sized for panels of `len` values (`n * k`), so even
+    /// the first solve allocates nothing.
+    pub fn with_capacity(len: usize) -> Self {
+        SolveWorkspace {
+            buf: vec![0.0; len],
+            allocations: 0,
+        }
+    }
+
+    /// Borrows a scratch buffer of exactly `len` values, growing (and
+    /// counting the growth) only when the current buffer is too small.
+    pub fn scratch(&mut self, len: usize) -> &mut [f64] {
+        if self.buf.len() < len {
+            self.buf.resize(len, 0.0);
+            self.allocations += 1;
+        }
+        &mut self.buf[..len]
+    }
+
+    /// How many times the workspace had to grow its buffer. Constant across
+    /// calls once the workspace is warm — the zero-steady-state-allocations
+    /// test hook.
+    pub fn allocation_count(&self) -> usize {
+        self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_columns_round_trip() {
+        let mut p = Panel::zeros(4, 3);
+        assert_eq!(p.nrows(), 4);
+        assert_eq!(p.ncols(), 3);
+        for j in 0..3 {
+            for (i, v) in p.col_mut(j).iter_mut().enumerate() {
+                *v = (10 * j + i) as f64;
+            }
+        }
+        assert_eq!(p.col(2), &[20.0, 21.0, 22.0, 23.0]);
+        assert_eq!(p.columns().count(), 3);
+        let cols = p.clone().into_columns();
+        assert_eq!(cols[1], vec![10.0, 11.0, 12.0, 13.0]);
+        let rebuilt = Panel::from_columns(&cols);
+        assert_eq!(rebuilt, p);
+    }
+
+    #[test]
+    fn data_is_column_major() {
+        let p = Panel::from_columns(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(p.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_columns_are_rejected() {
+        Panel::from_columns(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn workspace_counts_growths_only() {
+        let mut ws = SolveWorkspace::new();
+        assert_eq!(ws.allocation_count(), 0);
+        ws.scratch(8);
+        assert_eq!(ws.allocation_count(), 1);
+        ws.scratch(8);
+        ws.scratch(4);
+        assert_eq!(ws.allocation_count(), 1);
+        ws.scratch(9);
+        assert_eq!(ws.allocation_count(), 2);
+        let mut sized = SolveWorkspace::with_capacity(16);
+        sized.scratch(16);
+        assert_eq!(sized.allocation_count(), 0);
+    }
+}

@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use opera_sparse::{
-    cg, CholeskyFactor, CsrMatrix, LuFactor, OrderingChoice, Permutation, TripletMatrix,
+    cg, CholeskyFactor, CsrMatrix, LuFactor, MatrixFactor, OrderingChoice, Panel, Permutation,
+    SolveWorkspace, TripletMatrix,
 };
 
 /// Strategy: a random symmetric positive definite matrix built as a weighted
@@ -65,6 +66,69 @@ proptest! {
             prop_assert!((x_nat[i] - x_rcm[i]).abs() < 1e-7);
             prop_assert!((x_nat[i] - x_md[i]).abs() < 1e-7);
         }
+    }
+
+    /// Panel solves must be *bit-identical* to per-column scalar solves on
+    /// random SPD patterns with 1..=17 right-hand-side columns — the blocked
+    /// kernels only amortise factor traffic, they must not change a single
+    /// rounding. The range covers every strip width (1..=8), the
+    /// strip+tail cases, and panels spanning two full strips plus a tail
+    /// (so `for_each_strip`'s second-and-later iterations are exercised).
+    #[test]
+    fn panel_solves_are_bit_identical_to_scalar_solves(
+        a in spd_matrix(40),
+        k in 1usize..=17,
+        seed in 0u64..1000,
+    ) {
+        let n = a.nrows();
+        let columns: Vec<Vec<f64>> = (0..k)
+            .map(|c| {
+                (0..n)
+                    .map(|i| (((seed + 1) * (c as u64 + 1)) as f64 * (i as f64 + 0.5) * 0.37).sin())
+                    .collect()
+            })
+            .collect();
+        let chol = CholeskyFactor::factor(&a).expect("SPD by construction");
+        let mut ws = SolveWorkspace::new();
+        let mut panel = Panel::from_columns(&columns);
+        chol.solve_panel(&mut panel, &mut ws);
+        for (j, b) in columns.iter().enumerate() {
+            prop_assert_eq!(panel.col(j), &chol.solve(b)[..], "cholesky panel col {}", j);
+        }
+        // Same contract for the LU and unified-factor panel paths.
+        let lu = LuFactor::factor(&a).expect("SPD matrices are non-singular");
+        let mut panel = Panel::from_columns(&columns);
+        lu.solve_panel(&mut panel, &mut ws);
+        for (j, b) in columns.iter().enumerate() {
+            prop_assert_eq!(panel.col(j), &lu.solve(b)[..], "lu panel col {}", j);
+        }
+        let factor = MatrixFactor::cholesky_or_lu(&a).unwrap();
+        let mut panel = Panel::from_columns(&columns);
+        factor.solve_panel(&mut panel, &mut ws);
+        for (j, b) in columns.iter().enumerate() {
+            prop_assert_eq!(panel.col(j), &factor.solve(b)[..], "factor panel col {}", j);
+        }
+    }
+
+    /// The in-place workspace solves must also be bit-identical to the
+    /// allocating path, with zero allocations once the workspace is warm.
+    #[test]
+    fn workspace_solves_are_bit_identical_and_allocation_free(a in spd_matrix(30)) {
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.77).cos()).collect();
+        let factor = MatrixFactor::cholesky_or_lu(&a).unwrap();
+        let expected = factor.solve(&b);
+        let mut ws = SolveWorkspace::new();
+        let mut x = b.clone();
+        factor.solve_in_place(&mut x, &mut ws);
+        prop_assert_eq!(&x, &expected);
+        let warm = ws.allocation_count();
+        for _ in 0..3 {
+            x.copy_from_slice(&b);
+            factor.solve_in_place(&mut x, &mut ws);
+            prop_assert_eq!(&x, &expected);
+        }
+        prop_assert_eq!(ws.allocation_count(), warm);
     }
 
     #[test]
