@@ -9,20 +9,21 @@
 //! perf trajectory future PRs append to.
 //!
 //! ```text
-//! perf_report                  # run the benchmarks, write BENCH_5.json
+//! perf_report                  # run the benchmarks, write BENCH_6.json
 //! perf_report --validate FILE  # re-validate an emitted trajectory file
 //! ```
 //!
 //! Tuning environment variables (see `docs/PERFORMANCE.md`):
 //!
 //! * `OPERA_BENCH_SCALE` — fraction of the paper's node counts (default
-//!   `0.05`; the committed `BENCH_5.json` was generated at `1.0`),
+//!   `0.05`; the committed `BENCH_6.json` was generated at `1.0`),
 //! * `OPERA_BENCH_MC_SAMPLES` — Monte Carlo samples of the thread sweep,
 //! * `OPERA_BENCH_THREADS` — ignored for the sweep itself (it always runs
-//!   1/2/8), but validated like the other report binaries,
+//!   1/2/8, marking counts beyond the machine's cores `degraded`), but
+//!   validated like the other report binaries,
 //! * `OPERA_BENCH_PERF_MAX_ORDER` — highest chaos order of the phase sweep
 //!   (default `2`),
-//! * `OPERA_BENCH_PERF_OUTPUT` — output path (default `BENCH_5.json`).
+//! * `OPERA_BENCH_PERF_OUTPUT` — output path (default `BENCH_6.json`).
 
 use std::time::Instant;
 
@@ -38,7 +39,7 @@ use opera_sparse::{CholeskyFactor, CsrMatrix, OrderingChoice, SolveWorkspace, Sy
 use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
 
 /// PR number of the trajectory point this binary emits.
-const PR_NUMBER: usize = 5;
+const PR_NUMBER: usize = 6;
 /// Thread counts of the invariance sweep.
 const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
 
@@ -70,8 +71,12 @@ fn run() -> Result<(), String> {
     let output = std::env::var("OPERA_BENCH_PERF_OUTPUT")
         .unwrap_or_else(|_| format!("BENCH_{PR_NUMBER}.json"));
 
+    let threads_available = Parallelism::Max.thread_count();
     println!("== OPERA perf trajectory (PR {PR_NUMBER}) ==");
-    println!("scale = {scale}, mc_samples = {mc_samples}, max_order = {max_order}\n");
+    println!(
+        "scale = {scale}, mc_samples = {mc_samples}, max_order = {max_order}, \
+         threads available on this machine = {threads_available}\n"
+    );
 
     let grid = GridSpec::paper_grid(0)
         .map_err(|e| e.to_string())?
@@ -94,7 +99,11 @@ fn run() -> Result<(), String> {
         ("mc_samples".to_string(), Json::Num(mc_samples as f64)),
         (
             "threads_available".to_string(),
-            Json::Num(Parallelism::Max.thread_count() as f64),
+            Json::Num(threads_available as f64),
+        ),
+        (
+            "default_ordering".to_string(),
+            Json::str(ordering_name(OrderingChoice::default())),
         ),
         (
             "steady_state_step_allocations".to_string(),
@@ -336,10 +345,20 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> opera::Result<T>) -> Result<(T
     Ok(best.expect("reps >= 1"))
 }
 
-/// RCM-vs-minimum-degree measurement on the paper-grid companion matrix and
+/// Stable trajectory-file name of an ordering choice.
+fn ordering_name(choice: OrderingChoice) -> &'static str {
+    match choice {
+        OrderingChoice::Natural => "natural",
+        OrderingChoice::ReverseCuthillMckee => "rcm",
+        OrderingChoice::MinimumDegree => "minimum-degree",
+        OrderingChoice::ApproximateMinimumDegree => "amd",
+    }
+}
+
+/// RCM vs exact minimum degree vs AMD on the paper-grid companion matrix and
 /// the netlist fixtures — the numbers behind the `OrderingChoice` default.
 fn ordering_sweep(grid: &opera_grid::PowerGrid) -> Result<Vec<Json>, String> {
-    println!("-- orderings: RCM vs minimum degree");
+    println!("-- orderings: RCM vs minimum degree vs AMD");
     let companion = |g: &CsrMatrix, c: &CsrMatrix| -> Result<CsrMatrix, String> {
         g.add_scaled(&c.scaled(1.0 / 0.05e-9), 1.0)
             .map_err(|e| e.to_string())
@@ -363,10 +382,12 @@ fn ordering_sweep(grid: &opera_grid::PowerGrid) -> Result<Vec<Json>, String> {
 
     let mut entries = Vec::new();
     for (label, matrix) in &matrices {
-        for (name, choice) in [
-            ("rcm", OrderingChoice::ReverseCuthillMckee),
-            ("minimum-degree", OrderingChoice::MinimumDegree),
+        for choice in [
+            OrderingChoice::ReverseCuthillMckee,
+            OrderingChoice::MinimumDegree,
+            OrderingChoice::ApproximateMinimumDegree,
         ] {
+            let name = ordering_name(choice);
             let t0 = Instant::now();
             let symbolic =
                 SymbolicCholesky::analyze_with(matrix, choice).map_err(|e| e.to_string())?;
@@ -412,13 +433,20 @@ fn ordering_sweep(grid: &opera_grid::PowerGrid) -> Result<Vec<Json>, String> {
 /// Worker-thread sweep over one prepared engine: Monte Carlo validation and
 /// a panel-batched scenario sweep at 1/2/8 threads, with a statistics
 /// checksum that must be bit-identical across all settings (enforced again
-/// by the schema validator). Also reports the engine's allocation-counter
-/// hook for the steady-state transient step.
+/// by the schema validator). Counts beyond the machine's physical worker
+/// pool cannot measure real scaling, so those entries are marked
+/// `degraded: true` — they still feed the determinism proof, but their
+/// timings must never be read as parallel speedups. Also reports the
+/// engine's allocation-counter hook for the steady-state transient step.
 fn thread_sweep(
     grid: &opera_grid::PowerGrid,
     mc_samples: usize,
 ) -> Result<(Vec<Json>, usize), String> {
-    println!("-- threads: 1/2/8 sweep over one prepared engine");
+    let threads_available = Parallelism::Max.thread_count();
+    println!(
+        "-- threads: 1/2/8 sweep over one prepared engine \
+         ({threads_available} available; oversubscribed entries marked degraded)"
+    );
     let mut engine = OperaEngine::for_grid(paper_spec_of(grid)?)
         .map_err(err)?
         .variation(VariationSpec::paper_defaults())
@@ -463,16 +491,26 @@ fn thread_sweep(
             checksum += report.report.errors.avg_mean_error_percent;
             checksum += report.report.opera.worst_mean_drop;
         }
+        let degraded = threads > threads_available;
         println!(
             "{threads} threads: mc = {mc_seconds:.3}s, batch = {batch_seconds:.3}s, \
-             checksum = {checksum:.6e}"
+             checksum = {checksum:.6e}{}",
+            if degraded {
+                " [degraded: oversubscribed]"
+            } else {
+                ""
+            }
         );
-        entries.push(Json::Obj(vec![
+        let mut entry = vec![
             ("threads".to_string(), Json::Num(threads as f64)),
             ("mc_seconds".to_string(), Json::Num(mc_seconds)),
             ("batch_seconds".to_string(), Json::Num(batch_seconds)),
             ("stat_checksum".to_string(), Json::Num(checksum)),
-        ]));
+        ];
+        if degraded {
+            entry.push(("degraded".to_string(), Json::Bool(true)));
+        }
+        entries.push(Json::Obj(entry));
     }
     Ok((entries, allocations))
 }

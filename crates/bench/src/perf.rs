@@ -81,7 +81,8 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
     }
     require_num(report, "pr", "report")?;
     require_num(report, "scale", "report")?;
-    require_num(report, "threads_available", "report")?;
+    let threads_available = require_num(report, "threads_available", "report")?;
+    require_str(report, "default_ordering", "report")?;
     let allocations = require_num(report, "steady_state_step_allocations", "report")?;
     if allocations != 0.0 {
         return Err(format!(
@@ -117,7 +118,10 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
 
     // The thread sweep must prove statistics are thread-count invariant:
     // every entry carries a checksum folded from the solution statistics and
-    // all checksums must be bit-identical.
+    // all checksums must be bit-identical. Entries asking for more workers
+    // than the machine has cannot report honest scaling numbers, so they
+    // must declare themselves `degraded` — their checksums still count
+    // towards the invariance proof, their timings do not count as speedups.
     let threads = require_section(report, "threads")?;
     let reference = require_num(&threads[0], "stat_checksum", "threads[0]")?;
     for (i, entry) in threads.iter().enumerate() {
@@ -126,6 +130,14 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
             return Err(format!(
                 "threads[{i}] stat_checksum {checksum} differs from threads[0] \
                  {reference}: statistics must be bit-identical for every thread count"
+            ));
+        }
+        let requested = require_num(entry, "threads", "threads")?;
+        if requested > threads_available && entry.get("degraded") != Some(&Json::Bool(true)) {
+            return Err(format!(
+                "threads[{i}] requests {requested} workers but only \
+                 {threads_available} are available: oversubscribed entries must \
+                 carry \"degraded\": true"
             ));
         }
     }
@@ -161,6 +173,7 @@ mod tests {
             ("pr".to_string(), Json::Num(5.0)),
             ("scale".to_string(), Json::Num(1.0)),
             ("threads_available".to_string(), Json::Num(8.0)),
+            ("default_ordering".to_string(), Json::str("amd")),
             ("steady_state_step_allocations".to_string(), Json::Num(0.0)),
             ("phases".to_string(), Json::Arr(vec![entry(PHASE_FIELDS)])),
             (
@@ -207,6 +220,47 @@ mod tests {
         assert!(validate_report(&report)
             .unwrap_err()
             .contains("zero steady-state allocations"));
+
+        let mut report = minimal_report();
+        if let Json::Obj(entries) = &mut report {
+            entries.retain(|(k, _)| k != "default_ordering");
+        }
+        assert!(validate_report(&report)
+            .unwrap_err()
+            .contains("default_ordering"));
+    }
+
+    #[test]
+    fn oversubscribed_thread_entries_must_be_marked_degraded() {
+        // threads_available is 8 in the minimal report; an entry asking for
+        // 16 workers is rejected until it carries `degraded: true`.
+        let oversubscribed = |degraded: Option<Json>| {
+            let mut report = minimal_report();
+            if let Json::Obj(entries) = &mut report {
+                for (k, v) in entries.iter_mut() {
+                    if k == "threads" {
+                        let mut entry = entry(THREAD_FIELDS);
+                        if let Json::Obj(fields) = &mut entry {
+                            for (fk, fv) in fields.iter_mut() {
+                                if fk == "threads" {
+                                    *fv = Json::Num(16.0);
+                                }
+                            }
+                            if let Some(flag) = degraded.clone() {
+                                fields.push(("degraded".to_string(), flag));
+                            }
+                        }
+                        *v = Json::Arr(vec![entry]);
+                    }
+                }
+            }
+            report
+        };
+        let err = validate_report(&oversubscribed(None)).unwrap_err();
+        assert!(err.contains("degraded"), "unexpected error: {err}");
+        let err = validate_report(&oversubscribed(Some(Json::Bool(false)))).unwrap_err();
+        assert!(err.contains("degraded"), "unexpected error: {err}");
+        validate_report(&oversubscribed(Some(Json::Bool(true)))).unwrap();
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Guards the committed performance trajectory: every `BENCH_*.json` at the
-//! repo root must parse and validate against the current schema, and the
-//! PR-5 point must carry the panel-speedup measurement its acceptance
-//! criterion rests on.
+//! repo root must parse and validate against the current schema, the PR-5
+//! point must carry the panel-speedup measurement its acceptance criterion
+//! rests on, and the PR-6 point must show AMD + supernodal factorisation
+//! breaking the order-2 factorisation wall.
 
 use opera_bench::json;
 use opera_bench::perf::validate_text;
@@ -46,5 +47,56 @@ fn bench_5_records_the_panel_speedup_at_paper_scale() {
     assert!(
         best >= 2.0,
         "panel speedup {best} is below the 2x acceptance threshold"
+    );
+}
+
+#[test]
+fn bench_6_breaks_the_order_2_factorization_wall() {
+    let text = std::fs::read_to_string(repo_root().join("BENCH_6.json")).unwrap();
+    let report = json::parse(&text).unwrap();
+    assert_eq!(
+        report.get("scale").and_then(json::Json::as_num),
+        Some(1.0),
+        "the committed BENCH_6.json must be a paper-scale measurement"
+    );
+    // The measured default must be the AMD ordering this PR flips to.
+    assert_eq!(
+        report.get("default_ordering").and_then(json::Json::as_str),
+        Some("amd"),
+        "BENCH_6.json must record AMD as the measured default ordering"
+    );
+    // Acceptance: the order-2 augmented companion (115k+ unknowns) must
+    // factorise in under 5 seconds — BENCH_5 recorded 34.3s.
+    let phases = report.get("phases").and_then(json::Json::as_arr).unwrap();
+    let order2 = phases
+        .iter()
+        .find(|p| p.get("order").and_then(json::Json::as_num) == Some(2.0))
+        .expect("BENCH_6.json must include the order-2 phase");
+    let prepare = order2
+        .get("prepare_seconds")
+        .and_then(json::Json::as_num)
+        .unwrap();
+    assert!(
+        prepare < 5.0,
+        "order-2 prepare took {prepare}s, the factorisation wall is not broken"
+    );
+    // AMD must beat RCM on fill for the paper-grid companion.
+    let orderings = report
+        .get("orderings")
+        .and_then(json::Json::as_arr)
+        .unwrap();
+    let nnz_of = |ordering: &str| -> f64 {
+        orderings
+            .iter()
+            .find(|e| {
+                e.get("matrix").and_then(json::Json::as_str) == Some("paper_grid_companion")
+                    && e.get("ordering").and_then(json::Json::as_str) == Some(ordering)
+            })
+            .and_then(|e| e.get("nnz_l").and_then(json::Json::as_num))
+            .unwrap_or_else(|| panic!("missing paper_grid_companion/{ordering} entry"))
+    };
+    assert!(
+        nnz_of("amd") < nnz_of("rcm"),
+        "AMD fill must be below RCM fill on the paper-grid companion"
     );
 }

@@ -1,14 +1,15 @@
 //! Sparse Cholesky (`L·Lᵀ`) factorisation for symmetric positive definite
 //! matrices.
 //!
-//! The factorisation is the classic up-looking algorithm: a symbolic phase
-//! computes the elimination tree and the column counts of `L`, and the
-//! numeric phase computes one row of `L` at a time using the elimination
-//! reach. A fill-reducing ordering (reverse Cuthill–McKee by default) is
-//! applied first; the permutation is handled transparently by
-//! [`CholeskyFactor::solve`].
+//! The symbolic phase computes the elimination tree, the full pattern of `L`
+//! and its fundamental-supernode partition; the numeric phase is supernodal —
+//! columns sharing one sub-diagonal pattern are factored together as dense
+//! panels (see [`crate::Supernodes`]). A fill-reducing ordering (approximate
+//! minimum degree by default) is applied first; the permutation is handled
+//! transparently by [`CholeskyFactor::solve`].
 
-use crate::etree::ereach;
+use crate::etree::{ereach, postorder};
+use crate::supernodal::{amalgamate, factor_supernodal, Supernodes};
 use crate::triangular::{lower_panel_raw, lower_transpose_panel_raw};
 use crate::{
     column_counts, elimination_tree, ordering, CscMatrix, CsrMatrix, Panel, Permutation, Result,
@@ -17,28 +18,32 @@ use crate::{
 
 /// Fill-reducing ordering strategy used before factorisation.
 ///
-/// The default is [`OrderingChoice::ReverseCuthillMckee`], the *measured*
-/// winner on the paper grids and netlist fixtures (`perf_report`'s
-/// `orderings` section; methodology and numbers in `docs/PERFORMANCE.md`).
-/// Minimum degree produces a ~3.5× sparser factor with correspondingly
-/// faster triangular solves on the paper grid, but its greedy ordering pass
-/// is orders of magnitude slower than RCM and grows super-linearly — on the
-/// `(N+1)·n` Galerkin-augmented companion matrix it dominates the entire
-/// analysis, so RCM wins end to end. Pick
-/// [`OrderingChoice::MinimumDegree`] explicitly for factor-once workloads
-/// with very many solves of a *nominal-sized* matrix.
+/// The default is [`OrderingChoice::ApproximateMinimumDegree`], the
+/// *measured* winner on the paper grids and netlist fixtures (`perf_report`'s
+/// `orderings` section; methodology and numbers in `docs/PERFORMANCE.md` §4
+/// and `docs/SPARSE.md`). AMD delivers the ~3.5× sparser factor and ~3×
+/// faster triangular solves of minimum-degree fill at an ordering cost that
+/// stays near-linear — sub-second even on the `(N+1)·n` Galerkin-augmented
+/// companion matrix where [`OrderingChoice::MinimumDegree`]'s explicit
+/// clique updates run for minutes and [`OrderingChoice::ReverseCuthillMckee`]
+/// pays its banded fill on every later solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OrderingChoice {
     /// Keep the natural (input) order.
     Natural,
     /// Reverse Cuthill–McKee — fast banded ordering for mesh-like power
-    /// grids (the measured default, see above).
-    #[default]
+    /// grids. Cheapest analysis, but several times more factor fill than
+    /// AMD on large meshes.
     ReverseCuthillMckee,
-    /// Greedy minimum degree — much less fill than RCM, but a far more
-    /// expensive ordering pass; worthwhile only when one factorisation is
-    /// amortised over very many solves.
+    /// Greedy minimum degree with explicit clique updates — the exact
+    /// fill-quality reference that AMD approximates. Its ordering pass is
+    /// super-linear; prefer the default unless auditing fill quality.
     MinimumDegree,
+    /// Approximate minimum degree (the measured default, see above):
+    /// quotient-graph elimination with element absorption and supervariable
+    /// merging, [`ordering::approximate_minimum_degree`].
+    #[default]
+    ApproximateMinimumDegree,
 }
 
 /// The reusable symbolic phase of a sparse Cholesky factorisation: the
@@ -79,9 +84,13 @@ pub struct SymbolicCholesky {
     n: usize,
     ordering: OrderingChoice,
     perm: Permutation,
-    parent: Vec<Option<usize>>,
     /// Column pointers of `L` derived from the column counts.
     l_indptr: Vec<usize>,
+    /// Full precomputed row pattern of `L` (per column: diagonal first, then
+    /// ascending rows), so numeric factorisations are value-only.
+    l_indices: Vec<usize>,
+    /// Fundamental-supernode partition of the factor columns.
+    snodes: Supernodes,
     /// Pattern (CSC `indptr`/`indices`) of the analysed *permuted* matrix,
     /// kept so later numeric factorisations can verify containment.
     pattern_indptr: Vec<usize>,
@@ -89,8 +98,8 @@ pub struct SymbolicCholesky {
 }
 
 impl SymbolicCholesky {
-    /// Analyses the pattern of a symmetric matrix with the default reverse
-    /// Cuthill–McKee ordering.
+    /// Analyses the pattern of a symmetric matrix with the default
+    /// approximate-minimum-degree ordering.
     ///
     /// # Errors
     ///
@@ -102,32 +111,116 @@ impl SymbolicCholesky {
 
     /// Analyses with an explicit ordering choice.
     ///
+    /// # Example
+    ///
+    /// AMD (the default) never produces more fill than RCM on the mesh-like
+    /// matrices this workspace factors; an explicit choice makes the
+    /// trade-off observable:
+    ///
+    /// ```
+    /// use opera_sparse::{OrderingChoice, SymbolicCholesky, TripletMatrix};
+    ///
+    /// # fn main() -> Result<(), opera_sparse::SparseError> {
+    /// // 4x4 grid Laplacian + diagonal shift (SPD).
+    /// let (nx, ny) = (4, 4);
+    /// let mut t = TripletMatrix::new(nx * ny, nx * ny);
+    /// for y in 0..ny {
+    ///     for x in 0..nx {
+    ///         t.push(y * nx + x, y * nx + x, 4.0);
+    ///         if x + 1 < nx {
+    ///             t.add_symmetric_pair(y * nx + x, y * nx + x + 1, -1.0);
+    ///         }
+    ///         if y + 1 < ny {
+    ///             t.add_symmetric_pair(y * nx + x, (y + 1) * nx + x, -1.0);
+    ///         }
+    ///     }
+    /// }
+    /// let a = t.to_csr();
+    /// let amd = SymbolicCholesky::analyze_with(&a, OrderingChoice::ApproximateMinimumDegree)?;
+    /// let rcm = SymbolicCholesky::analyze_with(&a, OrderingChoice::ReverseCuthillMckee)?;
+    /// assert_eq!(amd.ordering(), OrderingChoice::default());
+    /// assert!(amd.nnz_l() <= rcm.nnz_l());
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Same as [`SymbolicCholesky::analyze`].
     pub fn analyze_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
         let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
-        Ok(Self::from_permuted(&a_perm, perm, ordering_choice))
+        Ok(Self::from_permuted(a_perm, perm, ordering_choice).0)
     }
 
-    /// Builds the analysis from an already permuted matrix.
-    fn from_permuted(a_perm: &CscMatrix, perm: Permutation, ordering: OrderingChoice) -> Self {
+    /// Builds the analysis from an already permuted matrix. Returns the
+    /// matrix back (re-permuted if the postorder relabelling below applied),
+    /// so numeric front ends factor exactly the matrix that was analysed.
+    fn from_permuted(
+        a_perm: CscMatrix,
+        perm: Permutation,
+        ordering: OrderingChoice,
+    ) -> (Self, CscMatrix) {
         let n = a_perm.ncols();
-        let parent = elimination_tree(a_perm);
-        let counts = column_counts(a_perm, &parent);
+        let mut parent = elimination_tree(&a_perm);
+        // Relabel by a postorder of the elimination tree: fill-preserving
+        // (the filled graphs are isomorphic), and it makes every supernode
+        // column-contiguous with its tree parent, which is what lets the
+        // relaxed amalgamation below widen the panels. `Natural` keeps its
+        // identity-permutation contract and is left untouched.
+        let mut perm = perm;
+        let mut a_perm = a_perm;
+        if !matches!(ordering, OrderingChoice::Natural) {
+            let post = postorder(&parent);
+            if !post.iter().enumerate().all(|(i, &p)| i == p) {
+                let pp = Permutation::from_vec(post).expect("postorder is a permutation");
+                let a2 = a_perm
+                    .permute_symmetric(&pp)
+                    .expect("permuted matrix stays square and symmetric");
+                parent = elimination_tree(&a2);
+                perm = pp.compose(&perm);
+                a_perm = a2;
+            }
+        }
+        let counts = column_counts(&a_perm, &parent);
         let mut l_indptr = vec![0usize; n + 1];
         for j in 0..n {
             l_indptr[j + 1] = l_indptr[j] + counts[j];
         }
-        SymbolicCholesky {
+        // Materialise the full pattern of L by replaying the elimination
+        // reach row by row: row k lands in every column of its reach, and
+        // each column's diagonal entry is written at its own iteration —
+        // per column that yields the diagonal first, then ascending rows,
+        // the layout the supernodal numeric phase and the triangular
+        // kernels rely on.
+        let mut l_indices = vec![0usize; l_indptr[n]];
+        let mut next = l_indptr[..n].to_vec();
+        let mut work = vec![false; n];
+        for k in 0..n {
+            for i in ereach(&a_perm, k, &parent, &mut work) {
+                l_indices[next[i]] = k;
+                next[i] += 1;
+            }
+            l_indices[next[k]] = k;
+            next[k] += 1;
+        }
+        let fundamental = Supernodes::from_etree(&parent, &l_indptr);
+        // Merge adjacent near-identical supernodes, padding the merged
+        // panels to their union pattern with explicit zeros — the numeric
+        // phase is dominated by panel width, and a few percent of padded
+        // storage buys panels wide enough for the blocked kernels.
+        let (snodes, l_indptr, l_indices) =
+            amalgamate(&fundamental, &parent, &l_indptr, &l_indices);
+        let symbolic = SymbolicCholesky {
             n,
             ordering,
             perm,
-            parent,
             l_indptr,
+            l_indices,
+            snodes,
             pattern_indptr: a_perm.indptr().to_vec(),
             pattern_indices: a_perm.indices().to_vec(),
-        }
+        };
+        (symbolic, a_perm)
     }
 
     /// Dimension of the analysed matrix.
@@ -149,6 +242,12 @@ impl SymbolicCholesky {
     /// The fill-reducing permutation chosen by the analysis.
     pub fn permutation(&self) -> &Permutation {
         &self.perm
+    }
+
+    /// The fundamental-supernode partition the numeric phase factors the
+    /// matrix by (see [`Supernodes`]).
+    pub fn supernodes(&self) -> &Supernodes {
+        &self.snodes
     }
 
     /// Performs a numeric-only factorisation of `a` against this shared
@@ -178,9 +277,9 @@ impl SymbolicCholesky {
         let mut factor = CholeskyFactor {
             n: self.n,
             perm: self.perm.clone(),
-            parent: self.parent.clone(),
+            snodes: self.snodes.clone(),
             l_indptr: self.l_indptr.clone(),
-            l_indices: vec![0; nnz_l],
+            l_indices: self.l_indices.clone(),
             l_data: vec![0.0; nnz_l],
             a_perm,
         };
@@ -211,6 +310,7 @@ fn permute_for_cholesky(
         OrderingChoice::Natural => Permutation::identity(a.nrows()),
         OrderingChoice::ReverseCuthillMckee => ordering::reverse_cuthill_mckee(&a_csc),
         OrderingChoice::MinimumDegree => ordering::minimum_degree(&a_csc),
+        OrderingChoice::ApproximateMinimumDegree => ordering::approximate_minimum_degree(&a_csc),
     };
     let a_perm = a_csc.permute_symmetric(&perm)?;
     Ok((a_perm, perm))
@@ -269,10 +369,11 @@ fn check_pattern_contained(sub: &CscMatrix, indptr: &[usize], indices: &[usize])
 pub struct CholeskyFactor {
     n: usize,
     perm: Permutation,
-    parent: Vec<Option<usize>>,
+    /// Fundamental-supernode partition (fixed by the symbolic analysis).
+    snodes: Supernodes,
     /// Column pointers of `L` (fixed by the symbolic analysis).
     l_indptr: Vec<usize>,
-    /// Row indices of `L`.
+    /// Row indices of `L` (fixed by the symbolic analysis).
     l_indices: Vec<usize>,
     /// Values of `L`.
     l_data: Vec<f64>,
@@ -282,7 +383,7 @@ pub struct CholeskyFactor {
 
 impl CholeskyFactor {
     /// Factors a symmetric positive definite matrix given in CSR format,
-    /// using the default reverse Cuthill–McKee ordering.
+    /// using the default approximate-minimum-degree ordering.
     ///
     /// # Errors
     ///
@@ -300,21 +401,22 @@ impl CholeskyFactor {
     /// Same as [`CholeskyFactor::factor`].
     pub fn factor_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
         let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
-        let symbolic = SymbolicCholesky::from_permuted(&a_perm, perm, ordering_choice);
+        let (symbolic, a_perm) = SymbolicCholesky::from_permuted(a_perm, perm, ordering_choice);
         let nnz_l = symbolic.nnz_l();
         let SymbolicCholesky {
             n,
             perm,
-            parent,
+            snodes,
             l_indptr,
+            l_indices,
             ..
         } = symbolic;
         let mut factor = CholeskyFactor {
             n,
             perm,
-            parent,
+            snodes,
             l_indptr,
-            l_indices: vec![0; nnz_l],
+            l_indices,
             l_data: vec![0.0; nnz_l],
             a_perm,
         };
@@ -353,56 +455,18 @@ impl CholeskyFactor {
         self.numeric()
     }
 
-    /// Up-looking numeric factorisation (CSparse-style).
+    /// Supernodal numeric factorisation over the precomputed pattern: the
+    /// symbolic analysis fixed `l_indptr`/`l_indices` and the supernode
+    /// partition, so this phase is value-only dense-panel work (see
+    /// [`crate::Supernodes`]).
     fn numeric(&mut self) -> Result<()> {
-        let n = self.n;
-        let a = &self.a_perm;
-        let mut x = vec![0.0f64; n];
-        let mut work = vec![false; n];
-        // Next free slot in each column of L.
-        let mut next: Vec<usize> = self.l_indptr[..n].to_vec();
-        self.l_data.iter_mut().for_each(|v| *v = 0.0);
-
-        for k in 0..n {
-            let pattern = ereach(a, k, &self.parent, &mut work);
-            // Scatter the upper-triangular part of column k of A into x.
-            let (rows, vals) = a.col(k);
-            let mut d = 0.0;
-            for (&i, &v) in rows.iter().zip(vals) {
-                if i < k {
-                    x[i] = v;
-                } else if i == k {
-                    d = v;
-                }
-            }
-            // Sparse triangular solve along the elimination reach.
-            for &i in &pattern {
-                let li_start = self.l_indptr[i];
-                let diag = self.l_data[li_start];
-                let lki = x[i] / diag;
-                x[i] = 0.0;
-                for p in (li_start + 1)..next[i] {
-                    x[self.l_indices[p]] -= self.l_data[p] * lki;
-                }
-                d -= lki * lki;
-                let slot = next[i];
-                next[i] += 1;
-                self.l_indices[slot] = k;
-                self.l_data[slot] = lki;
-            }
-            if d <= 0.0 || !d.is_finite() {
-                // Clear scratch before reporting the failure.
-                return Err(SparseError::NotPositiveDefinite {
-                    column: k,
-                    pivot: d,
-                });
-            }
-            let slot = next[k];
-            next[k] += 1;
-            self.l_indices[slot] = k;
-            self.l_data[slot] = d.sqrt();
-        }
-        Ok(())
+        factor_supernodal(
+            &self.a_perm,
+            &self.snodes,
+            &self.l_indptr,
+            &self.l_indices,
+            &mut self.l_data,
+        )
     }
 
     /// Dimension of the factored matrix.
@@ -583,6 +647,7 @@ mod tests {
             OrderingChoice::Natural,
             OrderingChoice::ReverseCuthillMckee,
             OrderingChoice::MinimumDegree,
+            OrderingChoice::ApproximateMinimumDegree,
         ] {
             let chol = CholeskyFactor::factor_with(&a, ord).unwrap();
             let x = chol.solve(&b);
@@ -784,6 +849,12 @@ mod tests {
         let a = grid_spd(6, 7);
         let default = SymbolicCholesky::analyze(&a).unwrap();
         assert_eq!(default.ordering(), OrderingChoice::default());
+        // The measured winner (docs/PERFORMANCE.md §4) is pinned here so a
+        // silent default change cannot slip past review.
+        assert_eq!(
+            OrderingChoice::default(),
+            OrderingChoice::ApproximateMinimumDegree
+        );
         let explicit = SymbolicCholesky::analyze_with(&a, OrderingChoice::default()).unwrap();
         assert_eq!(default.permutation(), explicit.permutation());
         assert_eq!(default.nnz_l(), explicit.nnz_l());

@@ -8,11 +8,14 @@
 //! * [`TripletMatrix`] — coordinate-format builder for assembling stamps.
 //! * [`CsrMatrix`] / [`CscMatrix`] — compressed row/column storage with the
 //!   usual kernels (mat-vec, transpose, add, scale, pattern queries).
-//! * [`Permutation`], [`ordering`] — reverse Cuthill–McKee and greedy
-//!   minimum-degree fill-reducing orderings.
-//! * [`CholeskyFactor`] — sparse `L·Lᵀ` factorisation (symbolic analysis via
-//!   the elimination tree + up-looking numeric factorisation) for the
-//!   symmetric positive definite matrices produced by RC power grids.
+//! * [`Permutation`], [`ordering`] — fill-reducing orderings: quotient-graph
+//!   approximate minimum degree (the default), reverse Cuthill–McKee, and
+//!   exact greedy minimum degree.
+//! * [`CholeskyFactor`] / [`SymbolicCholesky`] / [`Supernodes`] — sparse
+//!   `L·Lᵀ` factorisation: symbolic analysis via the elimination tree
+//!   (including the full factor pattern and its fundamental-supernode
+//!   partition) + a supernodal dense-panel numeric phase, for the symmetric
+//!   positive definite matrices produced by RC power grids.
 //! * [`LuFactor`] — left-looking sparse LU with partial pivoting as a
 //!   general-purpose fallback.
 //! * [`MatrixFactor`] — one handle over "Cholesky, or LU when the matrix is
@@ -59,6 +62,7 @@ mod factor;
 mod lu;
 mod panel;
 mod permutation;
+mod supernodal;
 mod triangular;
 mod triplet;
 
@@ -75,6 +79,7 @@ pub use factor::MatrixFactor;
 pub use lu::LuFactor;
 pub use panel::{Panel, SolveWorkspace};
 pub use permutation::Permutation;
+pub use supernodal::Supernodes;
 pub use triangular::{
     solve_lower_csc, solve_lower_csc_panel, solve_lower_transpose_csc,
     solve_lower_transpose_csc_panel, solve_upper_csc, solve_upper_csc_panel,

@@ -1,0 +1,498 @@
+//! Supernodal numeric Cholesky: the fundamental-supernode partition of the
+//! elimination tree and the dense-panel numeric phase built on it.
+//!
+//! A *fundamental supernode* is a maximal run of consecutive columns
+//! `j, j+1, …` where each column's sub-diagonal pattern equals the next
+//! column's pattern plus that column's own row — equivalently, where
+//! `parent(j) = j+1` in the elimination tree and the factor column counts
+//! drop by exactly one. Those columns share one sparsity pattern, so the
+//! numeric phase can treat them as a single dense `m × w` panel: scatter the
+//! matching entries of `A`, apply every descendant supernode's update as a
+//! small dense rank-`w` product, and finish with one dense left-looking
+//! Cholesky of the panel. All inner loops stream contiguous factor columns —
+//! the same register-friendly discipline as the blocked triangular kernels
+//! in [`crate::Panel`]-based solves — instead of the scalar
+//! scatter/gather-per-column of the classic up-looking algorithm.
+//!
+//! The partition is computed once per [`crate::SymbolicCholesky`] analysis
+//! and reused by every numeric (re-)factorisation sharing it. On the
+//! AMD-ordered paper-grid companion the mean panel is 3–4 columns wide with
+//! dense trailing supernodes of 100+ columns, which is where the numeric
+//! speedup over the up-looking code comes from (`docs/SPARSE.md` walks
+//! through the partition on a worked example; `docs/PERFORMANCE.md` §4 has
+//! the measurements).
+
+use crate::{CscMatrix, Result, SparseError};
+
+/// Sentinel for "no entry" in the intra-factorisation link lists.
+const NONE: usize = usize::MAX;
+
+/// The fundamental-supernode partition of a Cholesky factor's columns.
+///
+/// Column indices refer to the *permuted* matrix the analysis was computed
+/// for. The partition is a monotone split of `0..n`: supernode `s` owns the
+/// contiguous column range [`Supernodes::columns`]`(s)`, and every column
+/// belongs to exactly one supernode.
+#[derive(Debug, Clone)]
+pub struct Supernodes {
+    /// Supernode `s` spans columns `ptr[s]..ptr[s + 1]`; `ptr.len()` is the
+    /// supernode count plus one.
+    ptr: Vec<usize>,
+    /// Maps a column to the supernode containing it.
+    of: Vec<usize>,
+}
+
+impl Supernodes {
+    /// Detects the fundamental supernodes of a factor from its elimination
+    /// tree and column pointers: column `j` extends the supernode of column
+    /// `j − 1` exactly when `parent(j − 1) = j` and column `j − 1` has one
+    /// more nonzero than column `j` (which forces the two sub-diagonal
+    /// patterns to coincide).
+    pub(crate) fn from_etree(parent: &[Option<usize>], l_indptr: &[usize]) -> Self {
+        let n = parent.len();
+        let mut ptr = Vec::new();
+        ptr.push(0);
+        for j in 1..n {
+            let count_prev = l_indptr[j] - l_indptr[j - 1];
+            let count = l_indptr[j + 1] - l_indptr[j];
+            let extends = parent[j - 1] == Some(j) && count_prev == count + 1;
+            if !extends {
+                ptr.push(j);
+            }
+        }
+        if n > 0 {
+            ptr.push(n);
+        }
+        let mut of = vec![0usize; n];
+        for s in 0..ptr.len() - 1 {
+            of[ptr[s]..ptr[s + 1]].fill(s);
+        }
+        Supernodes { ptr, of }
+    }
+
+    /// Builds the partition directly from its boundary list (`ptr[s]..
+    /// ptr[s+1]` are supernode `s`'s columns; the last entry is `n`).
+    pub(crate) fn from_partition(ptr: Vec<usize>) -> Self {
+        let n = *ptr.last().expect("partition has at least the [0] boundary");
+        let mut of = vec![0usize; n];
+        for s in 0..ptr.len() - 1 {
+            of[ptr[s]..ptr[s + 1]].fill(s);
+        }
+        Supernodes { ptr, of }
+    }
+
+    /// Number of supernodes in the partition.
+    pub fn count(&self) -> usize {
+        self.ptr.len() - 1
+    }
+
+    /// The contiguous column range of supernode `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.count()`.
+    pub fn columns(&self, s: usize) -> std::ops::Range<usize> {
+        self.ptr[s]..self.ptr[s + 1]
+    }
+
+    /// The supernode containing `column`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` is out of range.
+    pub fn containing(&self, column: usize) -> usize {
+        self.of[column]
+    }
+
+    /// Width of the widest supernode (0 for an empty partition).
+    pub fn max_width(&self) -> usize {
+        (0..self.count())
+            .map(|s| self.ptr[s + 1] - self.ptr[s])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Whether merging two runs of columns into one `w`-wide panel with
+/// `zeros` explicit padding zeros out of `entries` total panel entries is
+/// worth it. The tiers mirror the classic relaxed-amalgamation schedule:
+/// narrow panels gain so much from blocked kernels that generous padding
+/// pays off, wide panels must stay nearly dense.
+fn merge_is_worthwhile(w: usize, zeros: usize, entries: usize) -> bool {
+    if zeros == 0 {
+        return true;
+    }
+    let frac = zeros as f64 / entries as f64;
+    (w <= 4 && frac < 0.9) || (w <= 16 && frac < 0.5) || (w <= 48 && frac < 0.2) || frac < 0.05
+}
+
+/// Relaxed supernode amalgamation.
+///
+/// Takes the fundamental partition and the *exact* factor pattern
+/// (`l_indptr`/`l_indices`, each column diagonal-first then ascending) and
+/// greedily merges adjacent supernodes whenever the resulting panel stays
+/// dense enough ([`merge_is_worthwhile`]). Merged columns are padded to the
+/// union pattern with explicit zeros, which buys much wider panels — the
+/// quantity that decides how fast the dense-panel numeric phase runs — for
+/// a small, bounded amount of extra storage. Returns the merged partition
+/// and the padded pattern.
+///
+/// Only child→parent merges are considered (`parent[last column of the
+/// group] == first column of the next supernode`): that chain is what keeps
+/// every *exact* row of a merged column inside the pattern of every later
+/// merged column, which in turn guarantees the descendant-scatter containment
+/// the numeric phase relies on (a descendant's padded rows must land inside
+/// its ancestor's panel pattern). Columns relabelled by an elimination-tree
+/// postorder — which `SymbolicCholesky::from_permuted` applies first — make
+/// such chains plentiful, because a postorder places every parent right
+/// after its last child's subtree.
+pub(crate) fn amalgamate(
+    fundamental: &Supernodes,
+    parent: &[Option<usize>],
+    l_indptr: &[usize],
+    l_indices: &[usize],
+) -> (Supernodes, Vec<usize>, Vec<usize>) {
+    let nsuper = fundamental.count();
+    let n = l_indptr.len() - 1;
+
+    // Decide the merged group boundaries.
+    let mut boundaries = vec![0usize];
+    let mut cur_pattern: Vec<usize> = Vec::new();
+    let mut merged: Vec<usize> = Vec::new();
+    let mut cur_start = 0usize;
+    let mut cur_exact = 0usize;
+    for s in 0..nsuper {
+        let cols = fundamental.columns(s);
+        let s_pattern = &l_indices[l_indptr[cols.start]..l_indptr[cols.start + 1]];
+        let s_exact: usize = l_indptr[cols.end] - l_indptr[cols.start];
+        if cur_pattern.is_empty() && cols.start == cur_start {
+            cur_pattern.extend_from_slice(s_pattern);
+            cur_exact = s_exact;
+            continue;
+        }
+        // Candidate: extend the current group with supernode s. The union
+        // pattern starts with the merged columns themselves, so the padded
+        // panel holds w*M - w*(w-1)/2 entries.
+        merged.clear();
+        merged.reserve(cur_pattern.len() + s_pattern.len());
+        let (mut i, mut j) = (0, 0);
+        while i < cur_pattern.len() && j < s_pattern.len() {
+            let (a, b) = (cur_pattern[i], s_pattern[j]);
+            merged.push(a.min(b));
+            i += (a <= b) as usize;
+            j += (b <= a) as usize;
+        }
+        merged.extend_from_slice(&cur_pattern[i..]);
+        merged.extend_from_slice(&s_pattern[j..]);
+
+        let w = cols.end - cur_start;
+        let entries = w * merged.len() - w * (w - 1) / 2;
+        let zeros = entries - (cur_exact + s_exact);
+        let chains = parent[cols.start - 1] == Some(cols.start);
+        if chains && merge_is_worthwhile(w, zeros, entries) {
+            std::mem::swap(&mut cur_pattern, &mut merged);
+            cur_exact += s_exact;
+        } else {
+            boundaries.push(cols.start);
+            cur_pattern.clear();
+            cur_pattern.extend_from_slice(s_pattern);
+            cur_start = cols.start;
+            cur_exact = s_exact;
+        }
+    }
+    if n > 0 {
+        boundaries.push(n);
+    }
+    let snodes = Supernodes::from_partition(boundaries);
+
+    // Rebuild the pattern: every column of a merged supernode stores the
+    // union pattern from its own row down (explicit zeros where the exact
+    // pattern had none).
+    let mut union_pat: Vec<usize> = Vec::new();
+    let mut new_indptr = Vec::with_capacity(n + 1);
+    new_indptr.push(0usize);
+    let mut new_indices: Vec<usize> = Vec::new();
+    for s in 0..snodes.count() {
+        let cols = snodes.columns(s);
+        union_pat.clear();
+        for j in cols.clone() {
+            let col = &l_indices[l_indptr[j]..l_indptr[j + 1]];
+            if union_pat.is_empty() {
+                union_pat.extend_from_slice(col);
+            } else {
+                merged.clear();
+                let (mut i, mut k) = (0, 0);
+                while i < union_pat.len() && k < col.len() {
+                    let (a, b) = (union_pat[i], col[k]);
+                    merged.push(a.min(b));
+                    i += (a <= b) as usize;
+                    k += (b <= a) as usize;
+                }
+                merged.extend_from_slice(&union_pat[i..]);
+                merged.extend_from_slice(&col[k..]);
+                std::mem::swap(&mut union_pat, &mut merged);
+            }
+        }
+        for (b, _) in cols.clone().enumerate() {
+            new_indices.extend_from_slice(&union_pat[b..]);
+            new_indptr.push(new_indices.len());
+        }
+    }
+    (snodes, new_indptr, new_indices)
+}
+
+/// Left-looking supernodal numeric factorisation.
+///
+/// `l_indptr`/`l_indices` hold the full precomputed pattern of `L` (each
+/// column sorted ascending, diagonal first); `l_data` receives the values.
+/// `a_perm` is the permuted input matrix, whose pattern must be contained in
+/// the analysed pattern — exactly what
+/// [`crate::SymbolicCholesky::factor_numeric`] verifies before calling in.
+pub(crate) fn factor_supernodal(
+    a_perm: &CscMatrix,
+    snodes: &Supernodes,
+    l_indptr: &[usize],
+    l_indices: &[usize],
+    l_data: &mut [f64],
+) -> Result<()> {
+    let n = a_perm.ncols();
+    let nsuper = snodes.count();
+
+    // Scratch: the widest panel determines the dense buffer; `pos` maps a
+    // global row to its local index inside the current panel.
+    let mut max_panel = 0usize;
+    for s in 0..nsuper {
+        let cols = snodes.columns(s);
+        let m = l_indptr[cols.start + 1] - l_indptr[cols.start];
+        max_panel = max_panel.max(m * cols.len());
+    }
+    let mut panel = vec![0.0f64; max_panel];
+    let mut pos = vec![0usize; n];
+    // Per-supernode descendant lists: `link_head[s]` chains (via `link_next`)
+    // the factored supernodes whose below-panel rows reach s's columns next;
+    // `frontier[d]` is the index into d's pattern where those rows start.
+    let mut link_head = vec![NONE; nsuper];
+    let mut link_next = vec![NONE; nsuper];
+    let mut frontier = vec![0usize; nsuper];
+    // Per-descendant scratch (relative indices and one accumulation column).
+    let mut rel: Vec<usize> = Vec::new();
+    let mut acc: Vec<f64> = Vec::new();
+
+    for s in 0..nsuper {
+        let cols = snodes.columns(s);
+        let (k0, k1) = (cols.start, cols.end);
+        let w = k1 - k0;
+        let pat = &l_indices[l_indptr[k0]..l_indptr[k0 + 1]];
+        let m = pat.len();
+        let d_panel = &mut panel[..m * w];
+        d_panel.fill(0.0);
+        for (local, &row) in pat.iter().enumerate() {
+            pos[row] = local;
+        }
+
+        // Scatter the lower triangle of A's columns k0..k1 into the panel.
+        for (jj, j) in cols.clone().enumerate() {
+            let (rows, vals) = a_perm.col(j);
+            let col = &mut d_panel[jj * m..(jj + 1) * m];
+            for (&i, &v) in rows.iter().zip(vals) {
+                if i >= j {
+                    col[pos[i]] = v;
+                }
+            }
+        }
+
+        // Apply every pending descendant update, re-queueing each descendant
+        // to the supernode its next below-panel row belongs to.
+        let mut d = link_head[s];
+        link_head[s] = NONE;
+        while d != NONE {
+            let next_d = link_next[d];
+            let dcols = snodes.columns(d);
+            let (d0, wd) = (dcols.start, dcols.len());
+            let dpat = &l_indices[l_indptr[d0]..l_indptr[d0 + 1]];
+            let dm = dpat.len();
+            let f = frontier[d];
+
+            // Relative indices of the descendant's active rows in the panel,
+            // shared by all target columns of this (d, s) pair.
+            rel.clear();
+            rel.extend(dpat[f..].iter().map(|&r| pos[r]));
+
+            // Target columns of this panel: descendant pattern rows < k1.
+            let f_end = f + dpat[f..].partition_point(|&r| r < k1);
+
+            // Update the targets in groups of four. For a group starting at
+            // pattern row i1 the contribution is the dense product of the
+            // descendant's rows i1..dm with its rows i1..i1+nb — each
+            // descendant column t is a contiguous slice of `l_data` (the
+            // entry for pattern row i sits at l_indptr[d0+t] + i - t), so
+            // one streaming pass over lt[i1..dm] feeds all four accumulator
+            // columns (4x less factor traffic than a per-target pass). The
+            // upper-triangle corner of the group (row < target) is computed
+            // but never scattered.
+            let mut i1 = f;
+            while i1 < f_end {
+                let nb = (f_end - i1).min(4);
+                let len = dm - i1;
+                acc.clear();
+                acc.resize(nb * len, 0.0);
+                for t in 0..wd {
+                    let lt = &l_data[l_indptr[d0 + t] - t..][..dm];
+                    let c = &lt[i1..i1 + nb];
+                    let src = &lt[i1..dm];
+                    match nb {
+                        4 => {
+                            let (c0, c1, c2, c3) = (c[0], c[1], c[2], c[3]);
+                            let (a0, rest) = acc.split_at_mut(len);
+                            let (a1, rest) = rest.split_at_mut(len);
+                            let (a2, a3) = rest.split_at_mut(len);
+                            for i in 0..len {
+                                let lv = src[i];
+                                a0[i] += c0 * lv;
+                                a1[i] += c1 * lv;
+                                a2[i] += c2 * lv;
+                                a3[i] += c3 * lv;
+                            }
+                        }
+                        _ => {
+                            for (b, &cb) in c.iter().enumerate() {
+                                let ab = &mut acc[b * len..(b + 1) * len];
+                                for i in 0..len {
+                                    ab[i] += cb * src[i];
+                                }
+                            }
+                        }
+                    }
+                }
+                for b in 0..nb {
+                    let col_base = (dpat[i1 + b] - k0) * m;
+                    let ab = &acc[b * len..(b + 1) * len];
+                    for off in b..len {
+                        d_panel[col_base + rel[i1 - f + off]] -= ab[off];
+                    }
+                }
+                i1 += nb;
+            }
+
+            // Rows f_end.. lie beyond this panel: hand the descendant on.
+            if f_end < dm {
+                frontier[d] = f_end;
+                let t = snodes.containing(dpat[f_end]);
+                link_next[d] = link_head[t];
+                link_head[t] = d;
+            }
+            d = next_d;
+        }
+
+        // Dense left-looking Cholesky of the panel: column j first absorbs
+        // the rank-1 updates of the panel columns before it (four at a
+        // time, so each pass loads four update columns against one
+        // register-resident target element), then the `i` loop from the
+        // diagonal down both forms the pivot column and applies the
+        // triangular solve to the below-diagonal rows.
+        for j in 0..w {
+            let (left, right) = d_panel.split_at_mut(j * m);
+            let jcol = &mut right[..m];
+            let mut t = 0;
+            while t + 4 <= j {
+                let c0 = left[t * m + j];
+                let c1 = left[(t + 1) * m + j];
+                let c2 = left[(t + 2) * m + j];
+                let c3 = left[(t + 3) * m + j];
+                let t0 = &left[t * m..(t + 1) * m];
+                let t1 = &left[(t + 1) * m..(t + 2) * m];
+                let t2 = &left[(t + 2) * m..(t + 3) * m];
+                let t3 = &left[(t + 3) * m..(t + 4) * m];
+                for i in j..m {
+                    jcol[i] -= c0 * t0[i] + c1 * t1[i] + c2 * t2[i] + c3 * t3[i];
+                }
+                t += 4;
+            }
+            while t < j {
+                let coef = left[t * m + j];
+                let tcol = &left[t * m..(t + 1) * m];
+                for i in j..m {
+                    jcol[i] -= coef * tcol[i];
+                }
+                t += 1;
+            }
+            let pivot = jcol[j];
+            if pivot <= 0.0 || !pivot.is_finite() {
+                return Err(SparseError::NotPositiveDefinite {
+                    column: k0 + j,
+                    pivot,
+                });
+            }
+            let sq = pivot.sqrt();
+            jcol[j] = sq;
+            for v in &mut jcol[j + 1..m] {
+                *v /= sq;
+            }
+        }
+
+        // Copy the finished panel into the factor columns.
+        for j in 0..w {
+            let dst = &mut l_data[l_indptr[k0 + j]..l_indptr[k0 + j + 1]];
+            dst.copy_from_slice(&d_panel[j * m + j..(j + 1) * m]);
+        }
+
+        // Queue this supernode as a descendant of the supernode owning its
+        // first below-panel row.
+        if w < m {
+            frontier[s] = w;
+            let t = snodes.containing(pat[w]);
+            link_next[s] = link_head[t];
+            link_head[t] = s;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_all_columns_exactly_once() {
+        // Tridiagonal chain: parent(j) = j+1 everywhere, counts 2,2,...,2,1 —
+        // the count condition only lets the final two columns merge.
+        let parent = vec![Some(1), Some(2), Some(3), None];
+        let l_indptr = vec![0, 2, 4, 6, 7];
+        let sn = Supernodes::from_etree(&parent, &l_indptr);
+        let mut seen = [false; 4];
+        for s in 0..sn.count() {
+            for j in sn.columns(s) {
+                assert!(!seen[j], "column {j} in two supernodes");
+                seen[j] = true;
+                assert_eq!(sn.containing(j), s);
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert_eq!(sn.columns(sn.count() - 1), 2..4);
+    }
+
+    #[test]
+    fn dense_trailing_block_forms_one_supernode() {
+        // A fully dense factor: counts n, n-1, ..., 1 and a chain etree —
+        // one supernode spanning everything.
+        let n = 5;
+        let parent: Vec<Option<usize>> = (0..n)
+            .map(|j| if j + 1 < n { Some(j + 1) } else { None })
+            .collect();
+        let mut l_indptr = vec![0usize];
+        for j in 0..n {
+            l_indptr.push(l_indptr[j] + (n - j));
+        }
+        let sn = Supernodes::from_etree(&parent, &l_indptr);
+        assert_eq!(sn.count(), 1);
+        assert_eq!(sn.columns(0), 0..n);
+        assert_eq!(sn.max_width(), n);
+    }
+
+    #[test]
+    fn empty_partition_is_valid() {
+        let sn = Supernodes::from_etree(&[], &[0]);
+        assert_eq!(sn.count(), 0);
+        assert_eq!(sn.max_width(), 0);
+    }
+}

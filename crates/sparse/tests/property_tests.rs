@@ -62,10 +62,56 @@ proptest! {
         let x_md = CholeskyFactor::factor_with(&a, OrderingChoice::MinimumDegree)
             .unwrap()
             .solve(&b);
+        let x_amd = CholeskyFactor::factor_with(&a, OrderingChoice::ApproximateMinimumDegree)
+            .unwrap()
+            .solve(&b);
         for i in 0..b.len() {
             prop_assert!((x_nat[i] - x_rcm[i]).abs() < 1e-7);
             prop_assert!((x_nat[i] - x_md[i]).abs() < 1e-7);
+            prop_assert!((x_nat[i] - x_amd[i]).abs() < 1e-7);
         }
+    }
+
+    /// AMD must emit a valid permutation on any symmetric pattern (the
+    /// `Permutation` constructor validates bijectivity, so length equality
+    /// plus a solved system is the full contract), and the AMD-ordered
+    /// factorisation must solve the same systems the RCM-ordered one does.
+    #[test]
+    fn amd_permutes_validly_and_matches_rcm_solves(a in spd_matrix(40)) {
+        let n = a.nrows();
+        let p = opera_sparse::ordering::approximate_minimum_degree(&a.to_csc());
+        prop_assert_eq!(p.len(), n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64) - 5.0).collect();
+        let b = a.matvec(&x_true);
+        let x_amd = CholeskyFactor::factor_with(&a, OrderingChoice::ApproximateMinimumDegree)
+            .unwrap()
+            .solve(&b);
+        let x_rcm = CholeskyFactor::factor_with(&a, OrderingChoice::ReverseCuthillMckee)
+            .unwrap()
+            .solve(&b);
+        for i in 0..n {
+            prop_assert!((x_amd[i] - x_rcm[i]).abs() < 1e-6,
+                "AMD and RCM solves disagree at {i}: {} vs {}", x_amd[i], x_rcm[i]);
+        }
+        prop_assert!(a.residual_inf_norm(&x_amd, &b) < 1e-8);
+    }
+
+    /// The supernodal numeric phase must reproduce `P·A·Pᵀ = L·Lᵀ` exactly
+    /// (up to roundoff) — multi-column panels, descendant updates and the
+    /// dense diagonal-block Cholesky all feed this single identity.
+    #[test]
+    fn supernodal_factor_reconstructs_matrix_under_amd(a in spd_matrix(35)) {
+        let chol = CholeskyFactor::factor_with(&a, OrderingChoice::ApproximateMinimumDegree)
+            .unwrap();
+        let l = chol.lower().to_csr().to_dense();
+        let llt = l.matmul(&l.transpose());
+        let ap = a
+            .to_csc()
+            .permute_symmetric(chol.permutation())
+            .unwrap()
+            .to_csr()
+            .to_dense();
+        prop_assert!(llt.max_abs_diff(&ap) < 1e-8);
     }
 
     /// Panel solves must be *bit-identical* to per-column scalar solves on
