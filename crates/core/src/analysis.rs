@@ -312,7 +312,11 @@ pub fn probe_distributions(
     seed: u64,
 ) -> Result<ProbeDistribution> {
     // Monte Carlo drops at the probe.
-    let mc_voltages = mc.probe_samples_at(node, time_index);
+    let mc_voltages =
+        mc.probe_samples_at(node, time_index)
+            .ok_or_else(|| OperaError::InvalidOptions {
+                reason: format!("node {node} is not a Monte Carlo probe node"),
+            })?;
     let mc_drops = drops_as_percent_of_vdd(&mc_voltages, vdd);
 
     // OPERA drops: evaluate the expansion at freshly drawn standard samples.

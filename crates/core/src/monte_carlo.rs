@@ -123,18 +123,11 @@ impl MonteCarloResult {
         best
     }
 
-    /// Per-sample voltages of a probe node at one time index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the node is not a probe node.
-    pub fn probe_samples_at(&self, node: usize, k: usize) -> Vec<f64> {
-        let p = self
-            .probe_nodes
-            .iter()
-            .position(|&n| n == node)
-            .expect("node is not a probe node");
-        self.probe_traces[p].iter().map(|trace| trace[k]).collect()
+    /// Per-sample voltages of a probe node at one time index, or `None`
+    /// when the node was not among the probe nodes of the run.
+    pub fn probe_samples_at(&self, node: usize, k: usize) -> Option<Vec<f64>> {
+        let p = self.probe_nodes.iter().position(|&n| n == node)?;
+        Some(self.probe_traces[p].iter().map(|trace| trace[k]).collect())
     }
 }
 
@@ -461,7 +454,7 @@ mod tests {
         assert_eq!(mc.probe_traces.len(), 2);
         assert_eq!(mc.probe_traces[0].len(), 5);
         assert_eq!(mc.probe_traces[0][0].len(), mc.times.len());
-        let samples = mc.probe_samples_at(7, 1);
+        let samples = mc.probe_samples_at(7, 1).expect("probe node");
         assert_eq!(samples.len(), 5);
         assert_eq!(mc.samples, 5);
     }
@@ -480,7 +473,7 @@ mod tests {
         let mc = run_leakage(&grid, &leakage, &opts).unwrap();
         assert_eq!(mc.probe_traces[0].len(), 8);
         let k = mc.times.len() - 1;
-        let samples = mc.probe_samples_at(3, k);
+        let samples = mc.probe_samples_at(3, k).expect("probe node");
         for s in &samples {
             assert!((s - samples[0]).abs() < 1e-12);
         }

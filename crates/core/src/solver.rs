@@ -560,7 +560,7 @@ pub fn register_backend(
 ) {
     registry()
         .lock()
-        .expect("solver registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .insert(name.to_string(), Arc::new(factory));
 }
 
@@ -575,7 +575,9 @@ pub fn backend_by_name(name: &str) -> Result<Arc<dyn SolverBackend>> {
     // may themselves consult the registry (e.g. delegating backends) without
     // deadlocking on the mutex.
     let factory = {
-        let guard = registry().lock().expect("solver registry poisoned");
+        let guard = registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match guard.get(name) {
             Some(factory) => Arc::clone(factory),
             None => {
@@ -595,7 +597,7 @@ pub fn backend_by_name(name: &str) -> Result<Arc<dyn SolverBackend>> {
 pub fn available_backends() -> Vec<String> {
     registry()
         .lock()
-        .expect("solver registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .keys()
         .cloned()
         .collect()

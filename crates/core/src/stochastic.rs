@@ -332,13 +332,24 @@ pub(crate) fn run_prepared_panel(
     let k = scales.len();
     let mut ws = SolveWorkspace::with_capacity(dim * k);
 
+    // Resolve the anchor once up front: scaled scenarios without one are a
+    // caller error, reported before any factorisation work is spent.
+    let anchor = match anchor {
+        Some(anchor) => anchor,
+        None if scales.iter().all(|&s| s == 1.0) => &[][..],
+        None => {
+            return Err(OperaError::InvalidOptions {
+                reason: "scaled scenarios need an anchor excitation to rescale around".to_string(),
+            })
+        }
+    };
+
     // Column builder: the shared excitation, rescaled per scenario.
     let fill = |u: &[f64], panel: &mut Panel| {
         for (j, &scale) in scales.iter().enumerate() {
             let col = panel.col_mut(j);
             col.copy_from_slice(u);
             if scale != 1.0 {
-                let anchor = anchor.expect("anchor is required for scaled scenarios");
                 rescale_around_anchor(col, anchor, scale);
             }
         }

@@ -238,6 +238,10 @@ impl CompanionSystem {
     /// # Panics
     ///
     /// Panics if the buffer lengths disagree with the system dimension.
+    // The per-step state advance: zero allocations, scratch comes from the
+    // caller's SolveWorkspace (the engine's allocation counter asserts the
+    // same property at run time).
+    // lint: hot(transient-step)
     pub fn step_into(
         &self,
         v_k: &[f64],
@@ -310,6 +314,8 @@ impl CompanionSystem {
         }
         self.factor.solve_panel(out, ws);
     }
+
+    // lint: end-hot
 }
 
 /// Runs a fixed-step transient analysis of `G·v + C·dv/dt = u(t)`.
@@ -365,12 +371,14 @@ pub fn solve_transient(
     voltages[0] = v0;
     let mut ws = SolveWorkspace::with_capacity(n);
     let mut u_prev = u0;
+    // lint: hot(transient-stepping-loop)
     for k in 1..times.len() {
         let u_next = excitation(times[k]);
         let (done, rest) = voltages.split_at_mut(k);
         companion.step_into(&done[k - 1], &u_prev, &u_next, &mut rest[0], &mut ws);
         u_prev = u_next;
     }
+    // lint: end-hot
     Ok(TransientSolution { times, voltages })
 }
 

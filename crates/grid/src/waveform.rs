@@ -49,7 +49,7 @@ impl Waveform {
             points.iter().all(|(t, v)| t.is_finite() && v.is_finite()),
             "waveform breakpoints must be finite"
         );
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         Waveform { points }
     }
 

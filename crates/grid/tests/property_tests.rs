@@ -43,7 +43,7 @@ proptest! {
         query in 0.0f64..10.0,
     ) {
         // De-duplicate times so breakpoints are unambiguous.
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
         prop_assume!(pts.len() >= 2);
         let wave = Waveform::from_points(pts.clone());

@@ -1,0 +1,43 @@
+//! `opera-lint`: workspace static analysis for the OPERA reproduction.
+//!
+//! The engine stakes three hard guarantees — a panic-free library surface,
+//! zero allocations on warm hot-loop iterations, and bit-identical
+//! floating-point statistics for any thread count — that until this crate
+//! were enforced only dynamically (the `SolveWorkspace` allocation counter,
+//! thread-checksum tests) or by ad-hoc shell greps in CI. `opera-lint`
+//! machine-checks them statically on every CI run:
+//!
+//! * **L001 panic-surface** — no `unwrap()`/`expect(`/`panic!`/
+//!   `unreachable!` in non-test library code,
+//! * **L002 hot-loop allocation** — no allocating calls inside
+//!   `// lint: hot` regions,
+//! * **L003 doc-symbol rot** — every backticked symbol in the docs
+//!   resolves to a workspace definition,
+//! * **L004 fp-determinism** — no order-nondeterministic float reductions
+//!   in the crates that promise bit-identity.
+//!
+//! Run it with `cargo run -p opera-lint -- check [--json]`; see
+//! `docs/LINTS.md` for the full rationale, the `// lint: allow(...)` /
+//! `// lint: hot(...)` comment grammar and the allowlist policy.
+//!
+//! The crate is dependency-free by design (like `opera-bench`'s JSON
+//! layer): the lint gate must build fast and can never be blocked by the
+//! crates it checks.
+#![deny(missing_docs)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod lints;
+pub mod report;
+pub mod scan;
+pub mod workspace;
+
+use std::path::Path;
+
+/// Runs the full lint pass over the workspace rooted at `root`.
+pub fn check(root: &Path) -> report::Report {
+    let ws = workspace::Workspace::load(root);
+    lints::run_all(&ws)
+}

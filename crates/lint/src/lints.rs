@@ -1,0 +1,452 @@
+//! The four lint passes and the allow-directive application layer.
+//!
+//! | code | contract it proves |
+//! |------|--------------------|
+//! | L001 | no `unwrap()`/`expect(`/`panic!`/`unreachable!` in non-test library code |
+//! | L002 | no allocation (`Vec::new`, `vec![`, `.to_vec()`, `.clone()`, `.collect()`) inside `// lint: hot` regions |
+//! | L003 | every backticked symbol in the docs resolves to a workspace definition |
+//! | L004 | no order-nondeterministic float reductions in bit-identity crates |
+//!
+//! Each pass emits raw findings; [`run_all`] then applies the per-line
+//! allow directives, reports the allows it used and flags the stale ones.
+
+use std::collections::BTreeSet;
+
+use crate::report::{AppliedAllow, Finding, Report, ToolError};
+use crate::scan::{contains_word, SourceFile};
+use crate::workspace::{inline_code_spans, Workspace};
+
+/// Crates that promise bit-identical floating-point results regardless of
+/// thread count (see `docs/PERFORMANCE.md`); L004 applies only to these.
+const DETERMINISTIC_CRATES: [&str; 6] = [
+    "src/",
+    "crates/sparse/",
+    "crates/pce/",
+    "crates/core/",
+    "crates/collocation/",
+    "crates/variation/",
+];
+
+/// Runs every lint over the workspace and applies the allow directives.
+pub fn run_all(ws: &Workspace) -> Report {
+    let mut report = Report {
+        files_scanned: ws.sources.len(),
+        docs_checked: ws.docs.len(),
+        ..Report::default()
+    };
+
+    for (path, msg) in &ws.io_errors {
+        report.errors.push(ToolError {
+            path: path.clone(),
+            line: 0,
+            message: msg.clone(),
+        });
+    }
+    for src in &ws.sources {
+        for e in &src.directive_errors {
+            report.errors.push(ToolError {
+                path: src.path.clone(),
+                line: e.line,
+                message: e.message.clone(),
+            });
+        }
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for src in &ws.sources {
+        lint_panic_surface(src, &mut findings);
+        lint_hot_alloc(src, &mut findings);
+        lint_fp_determinism(src, &mut findings);
+    }
+    lint_doc_symbols(ws, &mut findings);
+
+    // Apply the allow directives: an allow suppresses findings of its code
+    // on its target line; each allow must suppress at least one finding.
+    let mut used = vec![false; 0];
+    let mut all_allows: Vec<AppliedAllow> = Vec::new();
+    for src in &ws.sources {
+        for a in &src.allows {
+            all_allows.push(AppliedAllow {
+                lint: a.lint.clone(),
+                path: src.path.clone(),
+                line: a.target_line,
+                reason: a.reason.clone(),
+            });
+        }
+    }
+    used.resize(all_allows.len(), false);
+    findings.retain(|f| {
+        let mut suppressed = false;
+        for (i, a) in all_allows.iter().enumerate() {
+            if a.lint == f.lint && a.path == f.path && a.line == f.line {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+    for (i, a) in all_allows.into_iter().enumerate() {
+        if used[i] {
+            report.allows.push(a);
+        } else {
+            report.unused_allows.push(a);
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
+    report.findings = findings;
+    report
+}
+
+/// L001: panic-free library surface outside test code.
+fn lint_panic_surface(src: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in src.masked.iter().enumerate() {
+        if src.in_test[idx] {
+            continue;
+        }
+        // `.unwrap()`/`.expect(` are dot-prefixed on purpose: a local
+        // `fn expect(…)` (e.g. the JSON parser's) is not a panic site.
+        for needle in [".unwrap()", ".expect("] {
+            if line.contains(needle) {
+                findings.push(Finding {
+                    lint: "L001",
+                    path: src.path.clone(),
+                    line: idx + 1,
+                    message: format!("`{needle}` in non-test library code"),
+                });
+            }
+        }
+        for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+            let bare = &mac[..mac.len() - 1];
+            if line.contains(mac) && contains_word(line, bare) {
+                findings.push(Finding {
+                    lint: "L001",
+                    path: src.path.clone(),
+                    line: idx + 1,
+                    message: format!("`{mac}` in non-test library code"),
+                });
+            }
+        }
+    }
+}
+
+/// L002: no allocation inside declared hot regions.
+fn lint_hot_alloc(src: &SourceFile, findings: &mut Vec<Finding>) {
+    const NEEDLES: [&str; 6] = [
+        "Vec::new",
+        "vec![",
+        ".to_vec()",
+        ".clone()",
+        ".collect()",
+        ".collect::<",
+    ];
+    for region in &src.hot {
+        for line_no in region.start_line..=region.end_line {
+            let Some(line) = src.masked.get(line_no - 1) else {
+                continue;
+            };
+            for needle in NEEDLES {
+                if line.contains(needle) {
+                    findings.push(Finding {
+                        lint: "L002",
+                        path: src.path.clone(),
+                        line: line_no,
+                        message: format!(
+                            "`{needle}` allocates inside hot region `{}`",
+                            region.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// L004: flags order-nondeterministic float reductions in the crates that
+/// promise bit-identity.
+fn lint_fp_determinism(src: &SourceFile, findings: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.iter().any(|p| src.path.starts_with(p)) {
+        return;
+    }
+    // Rule A: a statement that starts a parallel iterator and ends in a
+    // float reduction combines partial sums in nondeterministic order.
+    const PAR_STARTS: [&str; 3] = ["par_iter(", "into_par_iter(", "par_chunks("];
+    const REDUCERS: [&str; 4] = [".sum", ".fold(", ".reduce(", ".product"];
+    let n = src.masked.len();
+    for idx in 0..n {
+        if src.in_test[idx] {
+            continue;
+        }
+        let line = &src.masked[idx];
+        if !PAR_STARTS.iter().any(|p| line.contains(p)) {
+            continue;
+        }
+        // Scan the statement window: this line until one ending in `;`
+        // (bounded look-ahead; chained builders are short).
+        let mut window = String::new();
+        let mut end = idx;
+        for j in idx..n.min(idx + 30) {
+            window.push_str(&src.masked[j]);
+            window.push('\n');
+            end = j;
+            if src.masked[j].trim_end().ends_with(';') {
+                break;
+            }
+        }
+        if REDUCERS.iter().any(|r| window.contains(r)) {
+            findings.push(Finding {
+                lint: "L004",
+                path: src.path.clone(),
+                line: idx + 1,
+                message: format!(
+                    "parallel iterator feeds a float reduction (statement ends line {}): \
+                     partial-sum order is nondeterministic",
+                    end + 1
+                ),
+            });
+        }
+    }
+    // Rule B: HashMap/HashSet iteration order is randomized per process;
+    // any use in a bit-identity crate risks order-dependent fp results.
+    for (idx, line) in src.masked.iter().enumerate() {
+        if src.in_test[idx] {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            if contains_word(line, ty) {
+                findings.push(Finding {
+                    lint: "L004",
+                    path: src.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{ty}` in a bit-identity crate: iteration order is \
+                         nondeterministic; use `BTreeMap`/`BTreeSet` or index maps"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L003: every backticked symbol in the docs must resolve somewhere in the
+/// workspace.
+fn lint_doc_symbols(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let defs: BTreeSet<String> = ws.definition_index();
+    for (path, text) in &ws.docs {
+        for (line, span) in inline_code_spans(text) {
+            if let Some(message) = check_doc_span(&span, &defs, ws) {
+                findings.push(Finding {
+                    lint: "L003",
+                    path: path.clone(),
+                    line,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// Classifies one backticked span and checks it resolves. Returns the
+/// finding message when it does not.
+fn check_doc_span(span: &str, defs: &BTreeSet<String>, ws: &Workspace) -> Option<String> {
+    // Spans with whitespace are prose/commands (`cargo test -q`), not
+    // symbols; skip them.
+    if span.chars().any(|c| c.is_whitespace()) {
+        return None;
+    }
+    // Globs, elided arguments, brace shorthand and `<placeholder>` tokens
+    // are patterns the reader expands, not symbols the workspace defines.
+    if span.contains('*')
+        || span.contains('…')
+        || span.contains('{')
+        || span.contains("_<")
+        || span.contains("=<")
+    {
+        return None;
+    }
+    // Paths into the standard library cannot rot with the workspace.
+    if span.starts_with("std::") || span.starts_with("core::") || span.starts_with("alloc::") {
+        return None;
+    }
+    // Rust-ish symbols: `a::b::c`, `f()`, `vec!`, `engine.method(arg)`.
+    // Checked before the path heuristic so `ceil(k/8)`-style spans with a
+    // `/` in the argument list are not mistaken for file paths.
+    let symbolish = span.contains("::") || span.ends_with('!') || span.contains('(');
+    if symbolish {
+        if ws.corpus.contains(span) {
+            return None;
+        }
+        // Name = everything before the argument list, then the last
+        // `::`/`.`-separated segment, generics stripped.
+        let callee = span.split('(').next().unwrap_or(span);
+        let last = callee
+            .rsplit("::")
+            .next()
+            .unwrap_or(callee)
+            .rsplit('.')
+            .next()
+            .unwrap_or(callee)
+            .trim_end_matches(['!', ';'])
+            .trim_start_matches(['&', '*']);
+        let name = last.split('<').next().unwrap_or(last);
+        if name.is_empty() || name.len() == 1 {
+            // Single letters are math notation (`O(nnz)`), not symbols.
+            return None;
+        }
+        if defs.contains(name) {
+            return None;
+        }
+        // Fields and re-exported methods don't appear in the definition
+        // index; accept them when the code uses the name as one.
+        for usage in [format!(".{name}"), format!("{name}:"), format!("{name}(")] {
+            if ws.corpus.contains(&usage) {
+                return None;
+            }
+        }
+        return Some(format!(
+            "`{span}` does not resolve: no workspace definition or use of `{name}`"
+        ));
+    }
+    // File paths: the file must exist (or be cited verbatim in the corpus,
+    // for files generated at run time).
+    let looks_like_path = span.contains('/')
+        || [".rs", ".md", ".toml", ".yml", ".sp", ".json", ".lock"]
+            .iter()
+            .any(|ext| span.ends_with(ext));
+    if looks_like_path {
+        if ws.root.join(span).exists() || ws.corpus.contains(span) || doc_exists(ws, span) {
+            return None;
+        }
+        return Some(format!("`{span}` looks like a path but resolves nowhere"));
+    }
+    // Hyphenated/underscored/uppercase tokens (feature names, env vars,
+    // crate names, flags): require a verbatim corpus or definition match.
+    let structured = span.contains('-')
+        || span.contains('_')
+        || span.chars().any(|c| c.is_ascii_uppercase())
+        || span.contains('=');
+    if structured {
+        // `VAR=value` settings resolve through the variable name alone.
+        let bare = span.trim_start_matches("--");
+        let bare = bare.split('=').next().unwrap_or(bare);
+        if ws.corpus.contains(bare) || defs.contains(bare) {
+            return None;
+        }
+        return Some(format!(
+            "`{span}` is not mentioned anywhere in the workspace"
+        ));
+    }
+    // Plain lowercase single words (`etree`, `rust`, `panel`) are prose
+    // emphasis, not checkable symbols.
+    None
+}
+
+/// Whether a span names a doc file we loaded.
+fn doc_exists(ws: &Workspace, span: &str) -> bool {
+    ws.docs
+        .iter()
+        .any(|(p, _)| p == span || p.ends_with(&format!("/{span}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn ws_of(path: &str, src: &str) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::from("/nonexistent-lint-test-root"),
+            sources: vec![SourceFile::scan(path.into(), src.into())],
+            docs: Vec::new(),
+            corpus: src.to_string(),
+            io_errors: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn l001_skips_strings_comments_and_tests() {
+        let src = "\
+fn lib() {
+    let x = maybe().unwrap();
+}
+// a comment mentioning .unwrap() is fine
+fn doc() { let s = \".unwrap()\"; }
+#[cfg(test)]
+mod tests {
+    fn t() { none().unwrap(); }
+}
+";
+        let r = run_all(&ws_of("crates/x/src/lib.rs", src));
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn l002_flags_alloc_in_hot_regions_only() {
+        let src = "\
+fn cold() { let v = vec![1]; }
+// lint: hot(kernel)
+fn hot() {
+    let v = Vec::new();
+    let w = x.to_vec();
+}
+// lint: end-hot
+";
+        let r = run_all(&ws_of("crates/x/src/lib.rs", src));
+        assert_eq!(r.findings.len(), 2);
+        assert!(r.findings.iter().all(|f| f.lint == "L002"));
+    }
+
+    #[test]
+    fn l004_flags_par_reduction_and_hash_iteration() {
+        let src = "\
+fn f(xs: &[f64]) -> f64 {
+    xs.par_iter()
+        .map(|x| x * 2.0)
+        .sum::<f64>();
+    let m: HashMap<u32, f64> = HashMap::new();
+    0.0
+}
+";
+        let r = run_all(&ws_of("crates/sparse/src/lib.rs", src));
+        let l004: Vec<_> = r.findings.iter().filter(|f| f.lint == "L004").collect();
+        // one par reduction + two HashMap mentions (decl line has two tokens
+        // but findings are per (needle, line): HashMap appears on one line).
+        assert_eq!(l004.len(), 2);
+    }
+
+    #[test]
+    fn l004_ignores_nondeterministic_patterns_outside_promise_crates() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let r = run_all(&ws_of("crates/grid/src/lib.rs", src));
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn allows_suppress_and_stale_allows_fail() {
+        let src = "\
+// lint: allow(L001, this invariant is structural)
+fn lib() { let x = maybe().unwrap(); }
+// lint: allow(L001, nothing here to suppress)
+fn clean() {}
+";
+        let r = run_all(&ws_of("crates/x/src/lib.rs", src));
+        assert!(r.findings.is_empty());
+        assert_eq!(r.allows.len(), 1);
+        assert_eq!(r.unused_allows.len(), 1);
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn doc_symbols_resolve_against_definitions() {
+        let mut ws = ws_of("crates/x/src/lib.rs", "pub fn factor_supernodal() {}\n");
+        ws.docs.push((
+            "docs/TEST.md".into(),
+            "Call `factor_supernodal()` but never `ghost_symbol()`.\n".into(),
+        ));
+        let r = run_all(&ws);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].message.contains("ghost_symbol"));
+    }
+}

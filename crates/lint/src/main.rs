@@ -1,0 +1,53 @@
+//! CLI for `opera-lint`.
+//!
+//! ```text
+//! opera-lint check [--json] [--root <dir>]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings or unused allows, 2 tool error
+//! (malformed directive, unreadable file, bad usage).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut cmd: Option<&str> = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" if cmd.is_none() => cmd = Some("check"),
+            "--json" => json = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => {
+                        eprintln!("error: --root needs a directory argument");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: opera-lint check [--json] [--root <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if cmd != Some("check") {
+        eprintln!("usage: opera-lint check [--json] [--root <dir>]");
+        return ExitCode::from(2);
+    }
+
+    let report = opera_lint::check(&root);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    ExitCode::from(report.exit_code() as u8)
+}

@@ -1,0 +1,234 @@
+//! Findings, the run report and its dependency-free JSON emission.
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Lint code (`L001`…`L004`).
+    pub lint: &'static str,
+    /// Root-relative file path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human message (what matched, and where relevant the hot-region name).
+    pub message: String,
+}
+
+/// One applied suppression, surfaced so the allowlist is auditable and its
+/// count can only shrink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppliedAllow {
+    /// Lint code being suppressed.
+    pub lint: String,
+    /// Root-relative file path.
+    pub path: String,
+    /// 1-based line the suppression applies to.
+    pub line: usize,
+    /// The mandatory reason from the directive.
+    pub reason: String,
+}
+
+/// A tool-level error (malformed directive, unreadable file): exit code 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolError {
+    /// Root-relative file path (empty for global errors).
+    pub path: String,
+    /// 1-based line number (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// The full result of one `opera-lint check` run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (path, line, lint).
+    pub findings: Vec<Finding>,
+    /// Applied allow directives.
+    pub allows: Vec<AppliedAllow>,
+    /// Allow directives that matched no finding (these fail the run: a
+    /// stale suppression hides nothing and must be deleted).
+    pub unused_allows: Vec<AppliedAllow>,
+    /// Malformed directives and I/O failures.
+    pub errors: Vec<ToolError>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of markdown documents checked by L003.
+    pub docs_checked: usize,
+}
+
+impl Report {
+    /// Process exit code for this report: 2 on tool errors, 1 on findings
+    /// or unused allows, 0 when clean.
+    pub fn exit_code(&self) -> i32 {
+        if !self.errors.is_empty() {
+            2
+        } else if !self.findings.is_empty() || !self.unused_allows.is_empty() {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.errors {
+            if e.line == 0 {
+                out.push_str(&format!("error: {}: {}\n", e.path, e.message));
+            } else {
+                out.push_str(&format!("error: {}:{}: {}\n", e.path, e.line, e.message));
+            }
+        }
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}: {}:{}: {}\n",
+                f.lint, f.path, f.line, f.message
+            ));
+        }
+        for a in &self.unused_allows {
+            out.push_str(&format!(
+                "unused-allow: {}:{}: allow({}) matched no finding — delete it\n",
+                a.path, a.line, a.lint
+            ));
+        }
+        out.push_str(&format!(
+            "opera-lint: {} file(s), {} doc(s) scanned; {} finding(s), \
+             {} allow(s) in use, {} unused allow(s), {} error(s)\n",
+            self.files_scanned,
+            self.docs_checked,
+            self.findings.len(),
+            self.allows.len(),
+            self.unused_allows.len(),
+            self.errors.len()
+        ));
+        out
+    }
+
+    /// Renders the report as JSON (schema `opera-lint/v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"opera-lint/v1\",\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"lint\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.lint),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"lint\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(&a.lint),
+                json_str(&a.path),
+                a.line,
+                json_str(&a.reason)
+            ));
+        }
+        if !self.allows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"unused_allows\": [");
+        for (i, a) in self.unused_allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"lint\": {}, \"path\": {}, \"line\": {}}}",
+                json_str(&a.lint),
+                json_str(&a.path),
+                a.line
+            ));
+        }
+        if !self.unused_allows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"errors\": [");
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&e.path),
+                e.line,
+                json_str(&e.message)
+            ));
+        }
+        if !self.errors.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"summary\": {{\"files_scanned\": {}, \"docs_checked\": {}, \
+             \"findings\": {}, \"allows\": {}, \"unused_allows\": {}, \
+             \"errors\": {}, \"exit_code\": {}}}\n}}\n",
+            self.files_scanned,
+            self.docs_checked,
+            self.findings.len(),
+            self.allows.len(),
+            self.unused_allows.len(),
+            self.errors.len(),
+            self.exit_code()
+        ));
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_rank_errors_over_findings() {
+        let mut r = Report::default();
+        assert_eq!(r.exit_code(), 0);
+        r.findings.push(Finding {
+            lint: "L001",
+            path: "a.rs".into(),
+            line: 1,
+            message: "x".into(),
+        });
+        assert_eq!(r.exit_code(), 1);
+        r.errors.push(ToolError {
+            path: "a.rs".into(),
+            line: 2,
+            message: "bad".into(),
+        });
+        assert_eq!(r.exit_code(), 2);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

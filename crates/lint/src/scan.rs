@@ -1,0 +1,596 @@
+//! Lexical source scanner: string/comment masking, `#[cfg(test)]` region
+//! tracking and the `// lint:` directive grammar.
+//!
+//! The lints in this crate are lexical, so their one hard prerequisite is
+//! never confusing *mentions* of a pattern with *uses* of it: `"unwrap()"`
+//! inside a string literal, `.unwrap()` inside a doc-comment example and a
+//! panic site inside a `#[cfg(test)]` module must all be invisible to a
+//! panic-surface lint. This module produces that view once per file:
+//!
+//! * [`mask_source`] replaces the contents of every string/char literal and
+//!   every comment with spaces (preserving line/column structure) while
+//!   collecting the text of each `//` comment for directive parsing;
+//! * [`SourceFile::scan`] layers test-region tracking (`#[cfg(test)]` /
+//!   `#[test]` attributes followed by a braced item) and the directive
+//!   grammar on top:
+//!
+//! ```text
+//! // lint: allow(L001, <mandatory reason>)   – suppress one finding on the
+//! //                                           next line (or this line, when
+//! //                                           trailing after code)
+//! // lint: hot(<region name>)                – open a hot region (L002)
+//! // lint: end-hot                           – close it
+//! ```
+//!
+//! Malformed directives (unknown lint code, missing reason, unbalanced hot
+//! markers) are collected as [`DirectiveError`]s and fail the run outright:
+//! a suppression that does not parse must never silently suppress nothing.
+
+/// Lint codes the directive grammar accepts.
+pub const LINT_CODES: [&str; 4] = ["L001", "L002", "L003", "L004"];
+
+/// A parsed `// lint: allow(...)` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowDirective {
+    /// The lint code being suppressed (one of [`LINT_CODES`]).
+    pub lint: String,
+    /// The mandatory human reason.
+    pub reason: String,
+    /// 1-based line of the comment itself.
+    pub comment_line: usize,
+    /// 1-based line the suppression applies to.
+    pub target_line: usize,
+}
+
+/// A contiguous `// lint: hot(...)` … `// lint: end-hot` region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotRegion {
+    /// The region name given in the opening marker.
+    pub name: String,
+    /// 1-based first line covered (the line after the opening marker).
+    pub start_line: usize,
+    /// 1-based last line covered (the line before the closing marker).
+    pub end_line: usize,
+}
+
+/// A directive that failed to parse (these fail the whole run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectiveError {
+    /// 1-based line of the offending comment.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+/// One scanned source file, ready for the lexical lints.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Root-relative path with forward slashes.
+    pub path: String,
+    /// Raw file text (used by the doc-symbol corpus).
+    pub raw: String,
+    /// Per-line code with string/char literals and comments blanked out.
+    pub masked: Vec<String>,
+    /// Per-line flag: the line belongs to a `#[cfg(test)]`/`#[test]` region.
+    pub in_test: Vec<bool>,
+    /// Parsed allow directives.
+    pub allows: Vec<AllowDirective>,
+    /// Parsed hot regions.
+    pub hot: Vec<HotRegion>,
+    /// Malformed directives.
+    pub directive_errors: Vec<DirectiveError>,
+}
+
+impl SourceFile {
+    /// Scans one file: masks literals/comments, computes test regions and
+    /// parses the directive comments.
+    pub fn scan(path: String, raw: String) -> SourceFile {
+        let (masked_text, comments) = mask_source(&raw);
+        let masked: Vec<String> = masked_text.split('\n').map(str::to_string).collect();
+        let in_test = test_regions(&masked);
+        let mut allows = Vec::new();
+        let mut hot = Vec::new();
+        let mut directive_errors = Vec::new();
+        parse_directives(
+            &masked,
+            &comments,
+            &mut allows,
+            &mut hot,
+            &mut directive_errors,
+        );
+        SourceFile {
+            path,
+            raw,
+            masked,
+            in_test,
+            allows,
+            hot,
+            directive_errors,
+        }
+    }
+
+    /// Whether 1-based `line` lies inside a hot region, and that region's
+    /// name.
+    pub fn hot_region_at(&self, line: usize) -> Option<&HotRegion> {
+        self.hot
+            .iter()
+            .find(|r| r.start_line <= line && line <= r.end_line)
+    }
+}
+
+/// Masking state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` hashes (`r##"…"##`).
+    RawStr(u32),
+    CharLit,
+}
+
+/// Replaces the contents of comments and string/char literals with spaces,
+/// preserving the line structure exactly, and returns the text of every
+/// `//` line comment as `(0-based line, text after the slashes)`.
+pub fn mask_source(raw: &str) -> (String, Vec<(usize, String)>) {
+    let bytes = raw.as_bytes();
+    let mut out = String::with_capacity(raw.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut state = State::Code;
+    let mut line = 0usize;
+    let mut comment_buf = String::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            if state == State::LineComment {
+                comments.push((line, std::mem::take(&mut comment_buf)));
+                state = State::Code;
+            }
+            out.push('\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    comment_buf.clear();
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == b'"' {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                } else if c == b'r' && is_raw_string_start(bytes, i) {
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    // is_raw_string_start guarantees the quote is here.
+                    state = State::RawStr(hashes);
+                    for _ in i..=j {
+                        out.push(' ');
+                    }
+                    i = j + 1;
+                } else if c == b'\'' {
+                    if let Some(len) = char_literal_len(bytes, i) {
+                        state = State::CharLit;
+                        out.push('\'');
+                        i += 1;
+                        // Mask the literal body; the closing quote is
+                        // handled by the CharLit arm below.
+                        let _ = len;
+                    } else {
+                        // A lifetime (`'a`) — plain code.
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    out.push(c as char);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_buf.push(c as char);
+                out.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    out.push_str("  ");
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    out.push_str("  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == b'\\' && i + 1 < bytes.len() {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == b'"' {
+                    out.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' && raw_string_ends(bytes, i, hashes) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == b'\\' && i + 1 < bytes.len() {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == b'\'' {
+                    out.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment {
+        comments.push((line, comment_buf));
+    }
+    (out, comments)
+}
+
+/// Whether `bytes[i] == b'r'` starts a raw string literal (`r"` / `r#"`),
+/// as opposed to an identifier that merely contains `r`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Whether the `"` at `bytes[i]` closes a raw string with `hashes` hashes.
+fn raw_string_ends(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    for k in 0..hashes as usize {
+        if bytes.get(i + 1 + k) != Some(&b'#') {
+            return false;
+        }
+    }
+    true
+}
+
+/// Distinguishes a char literal from a lifetime at a `'`. Returns the
+/// literal's byte length when it is one.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        b'\\' => {
+            // Escape: scan to the closing quote (bounded, escapes are short).
+            let mut j = i + 2;
+            while j < bytes.len() && j < i + 12 {
+                if bytes[j] == b'\'' {
+                    return Some(j - i + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        b'\'' => None, // `''` is not a literal
+        _ => {
+            // `'x'` (possibly multi-byte UTF-8): find a quote within 5 bytes.
+            let mut j = i + 2;
+            while j < bytes.len() && j <= i + 5 {
+                if bytes[j] == b'\'' {
+                    return Some(j - i + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Computes, per masked line, whether it belongs to a test region: a
+/// `#[cfg(test)]`-style or `#[test]` attribute followed by a braced item
+/// marks everything up to the matching close brace as test code.
+fn test_regions(masked: &[String]) -> Vec<bool> {
+    let mut flags = vec![false; masked.len()];
+    let mut depth = 0i64;
+    // Depths at which a test region opened.
+    let mut stack: Vec<i64> = Vec::new();
+    let mut pending = false;
+    for (idx, line) in masked.iter().enumerate() {
+        let start_in_test = !stack.is_empty();
+        if line_has_test_attribute(line) {
+            pending = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        stack.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if stack.last() == Some(&depth) {
+                        stack.pop();
+                    }
+                    depth -= 1;
+                }
+                // `#[cfg(test)] use …;` — attribute consumed by a
+                // braceless item.
+                ';' if pending && depth >= 0 => pending = false,
+                _ => {}
+            }
+        }
+        flags[idx] = start_in_test || !stack.is_empty() || pending;
+    }
+    flags
+}
+
+/// Whether a masked line carries a `#[cfg(… test …)]` or `#[test]` attribute.
+fn line_has_test_attribute(line: &str) -> bool {
+    let mut rest = line;
+    while let Some(pos) = rest.find("#[") {
+        let attr = &rest[pos + 2..];
+        if let Some(end) = attr.find(']') {
+            let body = &attr[..end];
+            if body == "test"
+                || (body.starts_with("cfg") && contains_word(body, "test"))
+                || (body.starts_with("cfg_attr") && contains_word(body, "test"))
+            {
+                return true;
+            }
+            rest = &attr[end + 1..];
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Word-boundary substring search over ASCII identifiers.
+pub fn contains_word(haystack: &str, needle: &str) -> bool {
+    let h = haystack.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(h[at - 1]);
+        let after = at + needle.len();
+        let after_ok = after >= h.len() || !is_ident_byte(h[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Parses every `lint:` comment into allow directives and hot regions.
+fn parse_directives(
+    masked: &[String],
+    comments: &[(usize, String)],
+    allows: &mut Vec<AllowDirective>,
+    hot: &mut Vec<HotRegion>,
+    errors: &mut Vec<DirectiveError>,
+) {
+    let mut open_hot: Option<(String, usize)> = None;
+    for (line0, text) in comments {
+        let text = text.trim();
+        let Some(body) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        let body = body.trim();
+        let line = line0 + 1; // 1-based
+        if let Some(args) = body.strip_prefix("allow(") {
+            let Some(args) = args.strip_suffix(')') else {
+                errors.push(DirectiveError {
+                    line,
+                    message: "unterminated `lint: allow(…)` directive".to_string(),
+                });
+                continue;
+            };
+            let Some((code, reason)) = args.split_once(',') else {
+                errors.push(DirectiveError {
+                    line,
+                    message: "`lint: allow` needs a reason: `allow(L00x, <reason>)`".to_string(),
+                });
+                continue;
+            };
+            let code = code.trim();
+            let reason = reason.trim();
+            if !LINT_CODES.contains(&code) {
+                errors.push(DirectiveError {
+                    line,
+                    message: format!("unknown lint code `{code}` in allow directive"),
+                });
+                continue;
+            }
+            if reason.is_empty() {
+                errors.push(DirectiveError {
+                    line,
+                    message: format!("allow({code}) without a reason; the reason is mandatory"),
+                });
+                continue;
+            }
+            // Trailing comment → same line; standalone comment → next line.
+            let standalone = masked
+                .get(*line0)
+                .map(|l| l.trim().is_empty())
+                .unwrap_or(true);
+            let target_line = if standalone { line + 1 } else { line };
+            allows.push(AllowDirective {
+                lint: code.to_string(),
+                reason: reason.to_string(),
+                comment_line: line,
+                target_line,
+            });
+        } else if let Some(args) = body.strip_prefix("hot(") {
+            let Some(name) = args.strip_suffix(')') else {
+                errors.push(DirectiveError {
+                    line,
+                    message: "unterminated `lint: hot(…)` directive".to_string(),
+                });
+                continue;
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                errors.push(DirectiveError {
+                    line,
+                    message: "`lint: hot()` needs a region name".to_string(),
+                });
+                continue;
+            }
+            if let Some((open_name, open_line)) = &open_hot {
+                errors.push(DirectiveError {
+                    line,
+                    message: format!(
+                        "hot region `{name}` opened while `{open_name}` (line {open_line}) \
+                         is still open"
+                    ),
+                });
+                continue;
+            }
+            open_hot = Some((name.to_string(), line));
+        } else if body == "end-hot" {
+            match open_hot.take() {
+                Some((name, start)) => hot.push(HotRegion {
+                    name,
+                    start_line: start + 1,
+                    end_line: line - 1,
+                }),
+                None => errors.push(DirectiveError {
+                    line,
+                    message: "`lint: end-hot` without an open hot region".to_string(),
+                }),
+            }
+        } else {
+            errors.push(DirectiveError {
+                line,
+                message: format!(
+                    "unrecognised lint directive `{body}`; expected \
+                     `allow(L00x, reason)`, `hot(name)` or `end-hot`"
+                ),
+            });
+        }
+    }
+    if let Some((name, line)) = open_hot {
+        errors.push(DirectiveError {
+            line,
+            message: format!("hot region `{name}` is never closed with `lint: end-hot`"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_comments_and_char_literals() {
+        let src = "let s = \"has .unwrap() inside\"; // trailing .unwrap()\nlet c = 'x';\n";
+        let (masked, comments) = mask_source(src);
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("let s = \""));
+        assert!(masked.contains("let c = '"));
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].1.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn masks_raw_strings_and_nested_block_comments() {
+        let src = "let r = r#\"panic!(\"no\")\"#; /* outer /* panic! */ still */ code()\n";
+        let (masked, _) = mask_source(src);
+        assert!(!masked.contains("panic!"));
+        assert!(masked.contains("code()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\n";
+        let (masked, _) = mask_source(src);
+        assert!(masked.contains("fn f<'a>(x: &'a str) -> &'a str { x }"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_nested_modules() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    mod nested {\n        fn t() {}\n    }\n}\nfn lib2() {}\n";
+        let f = SourceFile::scan("x.rs".into(), src.into());
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[2] && f.in_test[4] && f.in_test[6]);
+        assert!(!f.in_test[7]);
+    }
+
+    #[test]
+    fn directive_grammar_round_trips() {
+        let src = "\
+// lint: hot(kernel)
+fn hot_code() {}
+// lint: end-hot
+// lint: allow(L001, registry poisoning is unrecoverable)
+fn allowed() {}
+let x = 1; // lint: allow(L002, trailing)
+";
+        let f = SourceFile::scan("x.rs".into(), src.into());
+        assert!(f.directive_errors.is_empty(), "{:?}", f.directive_errors);
+        assert_eq!(f.hot.len(), 1);
+        assert_eq!(f.hot[0].start_line, 2);
+        assert_eq!(f.hot[0].end_line, 2);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].target_line, 5);
+        assert_eq!(f.allows[1].target_line, 6);
+    }
+
+    #[test]
+    fn malformed_directives_are_errors() {
+        for bad in [
+            "// lint: allow(L001)\n",
+            "// lint: allow(L001, )\n",
+            "// lint: allow(L999, because)\n",
+            "// lint: hot(x)\n",
+            "// lint: end-hot\n",
+            "// lint: frobnicate\n",
+        ] {
+            let f = SourceFile::scan("x.rs".into(), bad.into());
+            assert!(!f.directive_errors.is_empty(), "{bad:?} should error");
+        }
+    }
+}

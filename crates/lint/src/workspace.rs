@@ -1,0 +1,258 @@
+//! Workspace discovery: which files each lint sees.
+//!
+//! The scan scope is deliberately narrow and deterministic:
+//!
+//! * **Library sources** — `src/**/*.rs` of the root package and of every
+//!   `crates/*` member, excluding `/bin/` (CLI glue may print/panic on bad
+//!   argv), `tests/`, `examples/` and `benches/` (test code is allowed to
+//!   unwrap), and all of `vendor/` (third-party shims are not ours to lint).
+//! * **Documents** — `docs/*.md`, `DESIGN.md`, `README.md` for L003.
+//! * **Corpus** — the raw text of every workspace `.rs` file (here
+//!   *including* `bin/`, `tests/`, `examples/` and `benches/`) plus the
+//!   fixture decks, `Cargo.toml`s and CI config, used to resolve doc
+//!   symbols that are not Rust definitions (feature names, env vars,
+//!   deck node names, file paths).
+//!
+//! Paths are sorted before scanning so reports are byte-identical between
+//! runs — the same determinism bar the engine itself is held to.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::scan::SourceFile;
+
+/// All inputs for one lint run.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root directory (for file-existence checks on doc paths).
+    pub root: PathBuf,
+    /// Scanned library sources, sorted by path.
+    pub sources: Vec<SourceFile>,
+    /// `(root-relative path, raw text)` of the markdown documents, sorted.
+    pub docs: Vec<(String, String)>,
+    /// Concatenated raw text of all `.rs` files, fixtures, manifests and
+    /// CI config.
+    pub corpus: String,
+    /// Files that could not be read.
+    pub io_errors: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Discovers and scans everything under `root`.
+    pub fn load(root: &Path) -> Workspace {
+        let mut ws = Workspace {
+            root: root.to_path_buf(),
+            sources: Vec::new(),
+            docs: Vec::new(),
+            corpus: String::new(),
+            io_errors: Vec::new(),
+        };
+
+        let mut rs_paths: Vec<PathBuf> = Vec::new();
+        collect_rs(&root.join("src"), true, &mut rs_paths);
+        let crates_dir = root.join("crates");
+        for member in sorted_dir_entries(&crates_dir) {
+            collect_rs(&member.join("src"), true, &mut rs_paths);
+        }
+        rs_paths.sort();
+        for p in rs_paths {
+            let rel = rel_path(root, &p);
+            match fs::read_to_string(&p) {
+                Ok(raw) => {
+                    ws.corpus.push_str(&raw);
+                    ws.corpus.push('\n');
+                    ws.sources.push(SourceFile::scan(rel, raw));
+                }
+                Err(e) => ws.io_errors.push((rel, e.to_string())),
+            }
+        }
+
+        // Corpus-only Rust: CLI glue, tests, examples and benches are not
+        // linted (test code may unwrap) but doc symbols must still resolve
+        // against them.
+        let mut corpus_rs: Vec<PathBuf> = Vec::new();
+        collect_bin_rs(&root.join("src"), &mut corpus_rs);
+        collect_rs(&root.join("tests"), false, &mut corpus_rs);
+        collect_rs(&root.join("examples"), false, &mut corpus_rs);
+        for member in sorted_dir_entries(&crates_dir) {
+            collect_bin_rs(&member.join("src"), &mut corpus_rs);
+            collect_rs(&member.join("tests"), false, &mut corpus_rs);
+            collect_rs(&member.join("examples"), false, &mut corpus_rs);
+            collect_rs(&member.join("benches"), false, &mut corpus_rs);
+        }
+        // Fixture decks: docs cite node/element names from them.
+        for p in sorted_dir_entries(&root.join("tests/fixtures")) {
+            if p.is_file() {
+                corpus_rs.push(p);
+            }
+        }
+        corpus_rs.sort();
+        for p in corpus_rs {
+            if let Ok(raw) = fs::read_to_string(&p) {
+                ws.corpus.push_str(&raw);
+                ws.corpus.push('\n');
+            }
+        }
+
+        let mut doc_paths: Vec<PathBuf> = vec![root.join("DESIGN.md"), root.join("README.md")];
+        for p in sorted_dir_entries(&root.join("docs")) {
+            if p.extension().and_then(|e| e.to_str()) == Some("md") {
+                doc_paths.push(p);
+            }
+        }
+        doc_paths.sort();
+        for p in doc_paths {
+            if !p.is_file() {
+                continue;
+            }
+            let rel = rel_path(root, &p);
+            match fs::read_to_string(&p) {
+                Ok(raw) => ws.docs.push((rel, raw)),
+                Err(e) => ws.io_errors.push((rel, e.to_string())),
+            }
+        }
+
+        // Manifests and CI config round out the corpus so feature names,
+        // job names and crate names in docs resolve.
+        let mut extra: Vec<PathBuf> = vec![
+            root.join("Cargo.toml"),
+            root.join(".github/workflows/ci.yml"),
+            root.join("clippy.toml"),
+            root.join("rust-toolchain.toml"),
+        ];
+        for member in sorted_dir_entries(&crates_dir) {
+            extra.push(member.join("Cargo.toml"));
+        }
+        for p in extra {
+            if let Ok(raw) = fs::read_to_string(&p) {
+                ws.corpus.push_str(&raw);
+                ws.corpus.push('\n');
+            }
+        }
+
+        ws
+    }
+
+    /// Builds the definition index: every identifier the workspace defines
+    /// via `fn`/`struct`/`enum`/`trait`/`mod`/`type`/`const`/`static`/
+    /// `union`/`macro_rules!`, harvested from masked code so strings and
+    /// comments cannot fabricate definitions.
+    pub fn definition_index(&self) -> std::collections::BTreeSet<String> {
+        let mut defs = std::collections::BTreeSet::new();
+        const KEYWORDS: [&str; 9] = [
+            "fn", "struct", "enum", "trait", "mod", "type", "const", "static", "union",
+        ];
+        for src in &self.sources {
+            for line in &src.masked {
+                let mut toks = line
+                    .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '!'))
+                    .filter(|t| !t.is_empty())
+                    .peekable();
+                while let Some(tok) = toks.next() {
+                    if tok == "macro_rules!" {
+                        if let Some(name) = toks.peek() {
+                            defs.insert((*name).to_string());
+                        }
+                    } else if KEYWORDS.contains(&tok) {
+                        if let Some(name) = toks.peek() {
+                            let name = name.trim_end_matches('!');
+                            if !name.is_empty()
+                                && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
+                            {
+                                defs.insert(name.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        defs
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `/bin/` when
+/// `skip_bin` is set.
+fn collect_rs(dir: &Path, skip_bin: bool, out: &mut Vec<PathBuf>) {
+    for entry in sorted_dir_entries(dir) {
+        if entry.is_dir() {
+            if skip_bin && entry.file_name().and_then(|n| n.to_str()) == Some("bin") {
+                continue;
+            }
+            collect_rs(&entry, skip_bin, out);
+        } else if entry.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(entry);
+        }
+    }
+}
+
+/// Collects only the `bin/**/*.rs` files under a `src/` directory.
+fn collect_bin_rs(src_dir: &Path, out: &mut Vec<PathBuf>) {
+    collect_rs(&src_dir.join("bin"), false, out);
+}
+
+/// Directory entries in sorted order (empty when unreadable).
+fn sorted_dir_entries(dir: &Path) -> Vec<PathBuf> {
+    let mut entries: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(_) => Vec::new(),
+    };
+    entries.sort();
+    entries
+}
+
+/// Root-relative path with forward slashes.
+fn rel_path(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Extracts the inline backticked spans from a markdown document as
+/// `(1-based line, span text)`, skipping fenced code blocks.
+pub fn inline_code_spans(doc: &str) -> Vec<(usize, String)> {
+    let mut spans = Vec::new();
+    let mut in_fence = false;
+    for (idx, line) in doc.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('`') else { break };
+            let span = &after[..close];
+            if !span.is_empty() {
+                spans.push((idx + 1, span.to_string()));
+            }
+            rest = &after[close + 1..];
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_skip_fenced_blocks() {
+        let doc = "Use `foo()` here.\n```rust\nlet x = `not_a_span`;\n```\nAnd `bar` too.\n";
+        let spans = inline_code_spans(doc);
+        assert_eq!(
+            spans,
+            vec![(1, "foo()".to_string()), (5, "bar".to_string())]
+        );
+    }
+
+    #[test]
+    fn multiple_spans_per_line() {
+        let spans = inline_code_spans("`a` and `b::c` and `d-e`\n");
+        assert_eq!(spans.len(), 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Self-tests for opera-lint: the seeded-violation fixtures must produce
+//! exactly the expected findings, the malformed-directive fixture must be
+//! a tool error, the real workspace must be clean, and the `--json` output
+//! must round-trip through the workspace's own JSON parser.
+
+use std::path::{Path, PathBuf};
+
+use opera_lint::check;
+use opera_lint::report::Report;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn count(report: &Report, lint: &str) -> usize {
+    report.findings.iter().filter(|f| f.lint == lint).count()
+}
+
+#[test]
+fn seeded_violations_are_found_exactly() {
+    let r = check(&fixture("violations"));
+
+    // L001: two un-allowed panic sites in `panics_twice`; the string and
+    // comment mentions, the `#[cfg(test)]` unwrap and the allowed site
+    // must not count.
+    assert_eq!(count(&r, "L001"), 2, "findings: {:#?}", r.findings);
+    // L002: `Vec::new` + `.clone()` inside the declared hot region; the
+    // `vec![…]` in `cold_alloc` is outside and must not count.
+    assert_eq!(count(&r, "L002"), 2, "findings: {:#?}", r.findings);
+    // L003: `ghost_symbol()`, `missing/file.rs`, `FIXTURE_MISSING_ENV`.
+    assert_eq!(count(&r, "L003"), 3, "findings: {:#?}", r.findings);
+    // L004: one par_iter→sum reduction + one HashMap use; the BTreeMap
+    // alternative must not count.
+    assert_eq!(count(&r, "L004"), 2, "findings: {:#?}", r.findings);
+
+    assert_eq!(r.findings.len(), 9);
+    assert_eq!(r.allows.len(), 1, "allows: {:#?}", r.allows);
+    assert_eq!(r.unused_allows.len(), 1, "unused: {:#?}", r.unused_allows);
+    assert!(r.errors.is_empty(), "errors: {:#?}", r.errors);
+    assert_eq!(r.exit_code(), 1);
+
+    // Findings are sorted by (path, line, lint) so reports are stable.
+    let keys: Vec<_> = r
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), f.line, f.lint))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn malformed_directives_are_tool_errors() {
+    let r = check(&fixture("malformed"));
+    // Allow without a reason, unknown lint code, unknown directive verb.
+    assert_eq!(r.errors.len(), 3, "errors: {:#?}", r.errors);
+    assert!(r.findings.is_empty(), "findings: {:#?}", r.findings);
+    assert_eq!(r.exit_code(), 2);
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The contract the CI job enforces, asserted from the test suite too:
+    // zero findings, zero stale allows, zero tool errors on the repo.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let r = check(&root);
+    assert!(r.findings.is_empty(), "findings: {:#?}", r.findings);
+    assert!(r.unused_allows.is_empty(), "stale: {:#?}", r.unused_allows);
+    assert!(r.errors.is_empty(), "errors: {:#?}", r.errors);
+    assert_eq!(r.exit_code(), 0);
+    assert!(r.files_scanned > 50, "scanned {} files", r.files_scanned);
+    assert!(!r.allows.is_empty(), "expected documented allow sites");
+}
+
+#[test]
+fn json_report_round_trips_through_opera_bench_parser() {
+    let r = check(&fixture("violations"));
+    let json = r.to_json();
+    let doc = opera_bench::json::parse(&json).expect("valid JSON");
+
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("opera-lint/v1")
+    );
+    let findings = doc
+        .get("findings")
+        .and_then(|v| v.as_arr())
+        .expect("findings array");
+    assert_eq!(findings.len(), r.findings.len());
+    for (j, f) in findings.iter().zip(&r.findings) {
+        assert_eq!(j.get("lint").and_then(|v| v.as_str()), Some(f.lint));
+        assert_eq!(
+            j.get("path").and_then(|v| v.as_str()),
+            Some(f.path.as_str())
+        );
+        assert_eq!(j.get("line").and_then(|v| v.as_num()), Some(f.line as f64));
+        assert_eq!(
+            j.get("message").and_then(|v| v.as_str()),
+            Some(f.message.as_str())
+        );
+    }
+    let summary = doc.get("summary").expect("summary object");
+    assert_eq!(
+        summary.get("findings").and_then(|v| v.as_num()),
+        Some(r.findings.len() as f64)
+    );
+    assert_eq!(
+        summary.get("exit_code").and_then(|v| v.as_num()),
+        Some(f64::from(r.exit_code()))
+    );
+}

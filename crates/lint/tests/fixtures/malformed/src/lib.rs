@@ -1,0 +1,11 @@
+//! Fixture with malformed lint directives: every case below is a tool
+//! error (exit 2), not a finding.
+
+// lint: allow(L001)
+pub fn allow_without_reason() -> u32 { 1 }
+
+// lint: allow(L999, no such lint code)
+pub fn allow_unknown_code() -> u32 { 2 }
+
+// lint: frobnicate(all)
+pub fn unknown_directive() -> u32 { 3 }

@@ -1,0 +1,15 @@
+//! Seeded L004 violations: this fixture file sits under `src/`, which the
+//! lint treats as a bit-identity crate.
+
+pub fn par_sum(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x + 1.0).sum::<f64>();
+    0.0
+}
+
+pub fn hash_iteration() {
+    let _m: HashMap<u32, u32> = HashMap::new();
+}
+
+pub fn ordered_is_fine() {
+    let _m: BTreeMap<u32, u32> = BTreeMap::new();
+}

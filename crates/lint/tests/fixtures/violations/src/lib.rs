@@ -1,0 +1,43 @@
+//! Seeded-violation fixture for the opera-lint self-tests.
+//!
+//! Every violation below is deliberate; `fixture_tests.rs` asserts the
+//! exact counts. This file is never compiled by cargo (it lives under
+//! `tests/fixtures/`), only scanned by the lint.
+
+pub fn panics_twice(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = Some(a).expect("seeded violation");
+    a + b
+}
+
+// A comment mentioning .unwrap() must NOT be flagged.
+pub fn masked_string() -> &'static str {
+    ".unwrap() inside a string literal is data, not code"
+}
+
+// lint: allow(L001, fixture: deliberately allowed panic site)
+pub fn allowed_panic() -> u32 { None::<u32>.unwrap() }
+
+// lint: allow(L001, fixture: stale allow with nothing to suppress)
+pub fn clean() -> u32 { 7 }
+
+// lint: hot(fixture-kernel)
+pub fn hot_alloc() -> Vec<u32> {
+    let v: Vec<u32> = Vec::new();
+    let w = v.clone();
+    w
+}
+// lint: end-hot
+
+pub fn cold_alloc() -> Vec<u32> {
+    // Allocation outside a hot region is fine.
+    vec![1, 2, 3]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let _ = Some(1).unwrap();
+    }
+}

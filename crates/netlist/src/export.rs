@@ -92,7 +92,7 @@ pub fn export_grid(grid: &PowerGrid, names: Option<&NodeMap>) -> Result<String> 
     if !first_appearance_is_identity(grid) {
         let _ = writeln!(deck, "* anchor block: pins node indices to deck order");
         for i in 0..n {
-            let _ = writeln!(deck, "canchor{i} {} 0 0", names.name(i).expect("covered"));
+            let _ = writeln!(deck, "canchor{i} {} 0 0", covered_name(names, i)?);
         }
     }
 
@@ -105,7 +105,7 @@ pub fn export_grid(grid: &PowerGrid, names: Option<&NodeMap>) -> Result<String> 
         let _ = writeln!(
             deck,
             "c{k} {} 0 {} class={class}",
-            names.name(cap.node).expect("covered"),
+            covered_name(names, cap.node)?,
             format_value(cap.capacitance)
         );
     }
@@ -117,7 +117,7 @@ pub fn export_grid(grid: &PowerGrid, names: Option<&NodeMap>) -> Result<String> 
                 let _ = writeln!(
                     deck,
                     "rpad{k} {} {supply} {g}S",
-                    names.name(branch.a).expect("covered")
+                    covered_name(names, branch.a)?
                 );
             }
             (Some(b), kind) => {
@@ -125,15 +125,15 @@ pub fn export_grid(grid: &PowerGrid, names: Option<&NodeMap>) -> Result<String> 
                 let _ = writeln!(
                     deck,
                     "{prefix}{k} {} {} {g}S",
-                    names.name(branch.a).expect("covered"),
-                    names.name(b).expect("covered")
+                    covered_name(names, branch.a)?,
+                    covered_name(names, b)?
                 );
             }
         }
     }
 
     for (k, source) in grid.sources().iter().enumerate() {
-        let mut card = format!("i{k} {} 0 pwl(", names.name(source.node).expect("covered"));
+        let mut card = format!("i{k} {} 0 pwl(", covered_name(names, source.node)?);
         for (j, &(t, v)) in source.waveform.points().iter().enumerate() {
             if j > 0 {
                 card.push(' ');
@@ -156,6 +156,15 @@ pub fn export_grid(grid: &PowerGrid, names: Option<&NodeMap>) -> Result<String> 
     }
     deck.push_str(".end\n");
     Ok(deck)
+}
+
+/// Resolves a node index through the (length-checked) name map. A miss is
+/// an internal inconsistency in the map, reported as a typed error rather
+/// than a panic so export can never crash on a caller-supplied map.
+fn covered_name(names: &NodeMap, index: usize) -> Result<&str> {
+    names.name(index).ok_or_else(|| NetlistError::Deck {
+        message: format!("internal: node {index} has no entry in the export node map"),
+    })
 }
 
 /// `true` when emitting capacitors, then branches, then sources visits the

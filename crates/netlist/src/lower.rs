@@ -164,16 +164,16 @@ impl Netlist {
                             });
                         }
                         (true, false) => {
-                            let node = nodes.index(&r.b).expect("indexed in pass 2");
+                            let node = indexed_node(&nodes, &r.b, r.line)?;
                             grid.add_pad(node, r.conductance).map_err(element(r.line))?;
                         }
                         (false, true) => {
-                            let node = nodes.index(&r.a).expect("indexed in pass 2");
+                            let node = indexed_node(&nodes, &r.a, r.line)?;
                             grid.add_pad(node, r.conductance).map_err(element(r.line))?;
                         }
                         (false, false) => {
-                            let a = nodes.index(&r.a).expect("indexed in pass 2");
-                            let b = nodes.index(&r.b).expect("indexed in pass 2");
+                            let a = indexed_node(&nodes, &r.a, r.line)?;
+                            let b = indexed_node(&nodes, &r.b, r.line)?;
                             let kind = if is_via_name(&r.name) {
                                 BranchKind::Via
                             } else {
@@ -226,7 +226,17 @@ fn grid_node(
             ),
         });
     }
-    Ok(nodes.index(name).expect("indexed in pass 2"))
+    indexed_node(nodes, name, line)
+}
+
+/// Looks up a node that pass 2 must already have indexed. A miss is an
+/// internal bookkeeping bug, surfaced as a typed error instead of a panic
+/// so a malformed deck can never take the process down.
+fn indexed_node(nodes: &NodeMap, name: &str, line: usize) -> Result<usize> {
+    nodes.index(name).ok_or_else(|| NetlistError::Lowering {
+        line,
+        message: format!("internal: grid node `{name}` was not indexed in pass 2"),
+    })
 }
 
 /// Expands a parsed waveform to the piecewise-linear form the grid model

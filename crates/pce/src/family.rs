@@ -78,6 +78,7 @@ impl PolynomialFamily {
         *self
             .evaluate_all(k, x)
             .last()
+            // lint: allow(L001, evaluate_all returns exactly k + 1 values, so last() is structurally Some)
             .expect("evaluate_all returns k + 1 values")
     }
 

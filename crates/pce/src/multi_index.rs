@@ -4,8 +4,23 @@ use crate::{PceError, Result};
 
 /// A multi-index `α = (α₁, …, α_r)`: the per-variable polynomial degrees of
 /// one multivariate basis function `ψ_α(ξ) = Π_d φ_{α_d}(ξ_d)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MultiIndex(Vec<u32>);
+
+// Manual, total ordering (lexicographic over degrees): the derived
+// `PartialOrd` would route through `partial_cmp`, which `clippy.toml`
+// disallows workspace-wide in favour of total orderings.
+impl Ord for MultiIndex {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl PartialOrd for MultiIndex {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl MultiIndex {
     /// Creates a multi-index from per-variable degrees.

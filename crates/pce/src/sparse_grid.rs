@@ -20,7 +20,9 @@
 //! too — the weights still sum to one because every constituent rule
 //! integrates the constant exactly.
 
-use std::collections::HashMap;
+// An ordered map: grid assembly feeds float accumulation, and an ordered
+// key type rules out nondeterministic iteration orders by construction (L004).
+use std::collections::BTreeMap;
 
 use crate::quadrature::{gauss_rule, GaussRule};
 use crate::{multi_indices, OrthogonalBasis, PceError, PolynomialFamily, Result};
@@ -134,7 +136,7 @@ struct GridAccumulator {
     /// Sum of |contribution| per node, to tell genuine combination-technique
     /// cancellation apart from an intrinsically tiny single-rule weight.
     magnitudes: Vec<f64>,
-    index: HashMap<Vec<i64>, usize>,
+    index: BTreeMap<Vec<i64>, usize>,
 }
 
 impl GridAccumulator {
@@ -144,7 +146,7 @@ impl GridAccumulator {
             nodes: Vec::new(),
             weights: Vec::new(),
             magnitudes: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
         }
     }
 
@@ -354,7 +356,7 @@ mod tests {
                 .map(|n| n[0])
                 .zip(grid.weights().iter().copied())
                 .collect();
-            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
             for ((x, w), (rx, rw)) in pairs.iter().zip(rule.nodes.iter().zip(&rule.weights)) {
                 assert!((x - rx).abs() < 1e-12);
                 assert!((w - rw).abs() < 1e-12);

@@ -149,7 +149,7 @@ impl SymbolicCholesky {
     /// Same as [`SymbolicCholesky::analyze`].
     pub fn analyze_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
         let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
-        Ok(Self::from_permuted(a_perm, perm, ordering_choice).0)
+        Ok(Self::from_permuted(a_perm, perm, ordering_choice)?.0)
     }
 
     /// Builds the analysis from an already permuted matrix. Returns the
@@ -159,7 +159,7 @@ impl SymbolicCholesky {
         a_perm: CscMatrix,
         perm: Permutation,
         ordering: OrderingChoice,
-    ) -> (Self, CscMatrix) {
+    ) -> Result<(Self, CscMatrix)> {
         let n = a_perm.ncols();
         let mut parent = elimination_tree(&a_perm);
         // Relabel by a postorder of the elimination tree: fill-preserving
@@ -171,10 +171,14 @@ impl SymbolicCholesky {
         let mut a_perm = a_perm;
         if !matches!(ordering, OrderingChoice::Natural) {
             let post = postorder(&parent);
+            #[cfg(feature = "strict-invariants")]
+            crate::invariants::validate_postorder(&post, &parent)?;
             if !post.iter().enumerate().all(|(i, &p)| i == p) {
+                // lint: allow(L001, postorder of an n-vertex forest visits each vertex exactly once)
                 let pp = Permutation::from_vec(post).expect("postorder is a permutation");
                 let a2 = a_perm
                     .permute_symmetric(&pp)
+                    // lint: allow(L001, a_perm was already validated square and pp has matching length)
                     .expect("permuted matrix stays square and symmetric");
                 parent = elimination_tree(&a2);
                 perm = pp.compose(&perm);
@@ -220,7 +224,16 @@ impl SymbolicCholesky {
             pattern_indptr: a_perm.indptr().to_vec(),
             pattern_indices: a_perm.indices().to_vec(),
         };
-        (symbolic, a_perm)
+        #[cfg(feature = "strict-invariants")]
+        {
+            a_perm.validate()?;
+            crate::invariants::validate_supernode_containment(
+                symbolic.snodes.boundaries(),
+                &symbolic.l_indptr,
+                &symbolic.l_indices,
+            )?;
+        }
+        Ok((symbolic, a_perm))
     }
 
     /// Dimension of the analysed matrix.
@@ -401,7 +414,7 @@ impl CholeskyFactor {
     /// Same as [`CholeskyFactor::factor`].
     pub fn factor_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
         let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
-        let (symbolic, a_perm) = SymbolicCholesky::from_permuted(a_perm, perm, ordering_choice);
+        let (symbolic, a_perm) = SymbolicCholesky::from_permuted(a_perm, perm, ordering_choice)?;
         let nnz_l = symbolic.nnz_l();
         let SymbolicCholesky {
             n,
@@ -493,6 +506,7 @@ impl CholeskyFactor {
             self.l_indices.clone(),
             self.l_data.clone(),
         )
+        // lint: allow(L001, the factorization emits sorted in-bounds columns by construction)
         .expect("factor storage is structurally valid")
     }
 

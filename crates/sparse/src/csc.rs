@@ -48,7 +48,31 @@ impl CscMatrix {
         // Validate by reusing the CSR validator on the transposed
         // interpretation, then move the arrays into a CscMatrix.
         let as_csr = CsrMatrix::from_raw_parts(ncols, nrows, indptr, indices, data)?;
-        Ok(CscMatrix::from_transposed_csr(as_csr))
+        let csc = CscMatrix::from_transposed_csr(as_csr);
+        #[cfg(feature = "strict-invariants")]
+        csc.validate()?;
+        Ok(csc)
+    }
+
+    /// Revalidates every structural invariant of this matrix: monotone
+    /// `indptr`, strictly ascending in-bounds row indices per column, and
+    /// finite values (see [`crate::invariants::validate_csc_slices`]).
+    ///
+    /// Always available; with the `strict-invariants` feature the checked
+    /// constructors call it automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<()> {
+        crate::invariants::validate_csc_slices(
+            self.nrows,
+            self.ncols,
+            &self.indptr,
+            &self.indices,
+            &self.data,
+        )
     }
 
     /// Interprets a CSR matrix as the CSC storage of its transpose
@@ -172,6 +196,7 @@ impl CscMatrix {
             self.indices.clone(),
             self.data.clone(),
         )
+        // lint: allow(L001, arrays come from a validated CscMatrix, so re-validation cannot fail)
         .expect("internal CSC arrays are always structurally valid");
         as_csr_of_transpose.transpose()
     }
@@ -225,13 +250,16 @@ impl CscMatrix {
                 data[base + k] = v;
             }
         }
-        Ok(CscMatrix {
+        let permuted = CscMatrix {
             nrows: n,
             ncols: n,
             indptr: counts,
             indices,
             data,
-        })
+        };
+        #[cfg(feature = "strict-invariants")]
+        permuted.validate()?;
+        Ok(permuted)
     }
 
     /// Extracts the lower triangle (including the diagonal) as CSC.

@@ -67,6 +67,7 @@ mod triangular;
 mod triplet;
 
 pub mod cg;
+pub mod invariants;
 pub mod ordering;
 
 pub use cholesky::{cholesky_solve, CholeskyFactor, OrderingChoice, SymbolicCholesky};

@@ -199,6 +199,7 @@ impl LuFactor {
         }
 
         let row_perm =
+            // lint: allow(L001, partial pivoting selects each row exactly once, so perm is a bijection)
             Permutation::from_vec(perm).expect("partial pivoting assigns each row exactly once");
 
         // Remap L's row indices from original rows to pivotal positions so

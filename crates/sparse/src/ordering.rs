@@ -92,6 +92,7 @@ pub fn reverse_cuthill_mckee(a: &CscMatrix) -> Permutation {
         }
     }
     order.reverse();
+    // lint: allow(L001, BFS visits every vertex of every component exactly once)
     Permutation::from_vec(order).expect("RCM produces a valid permutation")
 }
 
@@ -138,6 +139,7 @@ pub fn minimum_degree(a: &CscMatrix) -> Permutation {
         }
         adj[v].clear();
     }
+    // lint: allow(L001, the elimination loop pushes each vertex exactly once)
     Permutation::from_vec(order).expect("minimum degree produces a valid permutation")
 }
 
@@ -471,6 +473,7 @@ pub fn approximate_minimum_degree(a: &CscMatrix) -> Permutation {
             dfs.extend_from_slice(&children[v]);
         }
     }
+    // lint: allow(L001, supervariable expansion emits each variable exactly once)
     Permutation::from_vec(order).expect("AMD produces a valid permutation")
 }
 

@@ -64,6 +64,11 @@ impl Panel {
         }
     }
 
+    // The accessors below are called from inside the per-step solve kernels;
+    // allocating constructors (`zeros`, `from_columns`) and the consuming
+    // conversions stay outside the region by design.
+    // lint: hot(panel-access)
+
     /// Number of rows (the system dimension).
     pub fn nrows(&self) -> usize {
         self.nrows
@@ -122,6 +127,8 @@ impl Panel {
     pub fn columns(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.nrows)
     }
+
+    // lint: end-hot
 
     /// Consumes the panel into per-column vectors.
     pub fn into_columns(self) -> Vec<Vec<f64>> {

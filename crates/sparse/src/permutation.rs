@@ -142,6 +142,7 @@ impl Permutation {
     pub fn compose(&self, other: &Permutation) -> Permutation {
         assert_eq!(self.len(), other.len(), "permutation length mismatch");
         let perm: Vec<usize> = self.perm.iter().map(|&p| other.perm[p]).collect();
+        // lint: allow(L001, composing two bijections of equal length yields a bijection)
         Permutation::from_vec(perm).expect("composition of valid permutations is valid")
     }
 }

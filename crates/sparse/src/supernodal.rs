@@ -73,12 +73,22 @@ impl Supernodes {
     /// Builds the partition directly from its boundary list (`ptr[s]..
     /// ptr[s+1]` are supernode `s`'s columns; the last entry is `n`).
     pub(crate) fn from_partition(ptr: Vec<usize>) -> Self {
+        // lint: allow(L001, every caller seeds ptr with the leading 0 boundary, so it is non-empty)
         let n = *ptr.last().expect("partition has at least the [0] boundary");
         let mut of = vec![0usize; n];
         for s in 0..ptr.len() - 1 {
             of[ptr[s]..ptr[s + 1]].fill(s);
         }
         Supernodes { ptr, of }
+    }
+
+    /// The partition boundary list: supernode `s` spans columns
+    /// `boundaries()[s]..boundaries()[s + 1]`, and the final entry is the
+    /// matrix dimension. This is the slice the supernode-containment
+    /// validator ([`crate::invariants::validate_supernode_containment`])
+    /// consumes.
+    pub fn boundaries(&self) -> &[usize] {
+        &self.ptr
     }
 
     /// Number of supernodes in the partition.
@@ -278,6 +288,9 @@ pub(crate) fn factor_supernodal(
     let mut rel: Vec<usize> = Vec::new();
     let mut acc: Vec<f64> = Vec::new();
 
+    // The numeric phase proper: only the pre-sized scratch above may be
+    // resized (amortised O(1), cleared per descendant), never fresh buffers.
+    // lint: hot(supernodal-numeric)
     for s in 0..nsuper {
         let cols = snodes.columns(s);
         let (k0, k1) = (cols.start, cols.end);
@@ -291,7 +304,7 @@ pub(crate) fn factor_supernodal(
         }
 
         // Scatter the lower triangle of A's columns k0..k1 into the panel.
-        for (jj, j) in cols.clone().enumerate() {
+        for (jj, j) in (k0..k1).enumerate() {
             let (rows, vals) = a_perm.col(j);
             let col = &mut d_panel[jj * m..(jj + 1) * m];
             for (&i, &v) in rows.iter().zip(vals) {
@@ -445,6 +458,7 @@ pub(crate) fn factor_supernodal(
             link_head[t] = s;
         }
     }
+    // lint: end-hot
     Ok(())
 }
 

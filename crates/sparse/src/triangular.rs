@@ -19,6 +19,11 @@
 
 use crate::{CscMatrix, Panel};
 
+// Every kernel below runs on the per-step transient path; the region-wide
+// static no-allocation guarantee complements the runtime SolveWorkspace
+// allocation counter.
+// lint: hot(triangular-kernels)
+
 /// Solves `L·x = b` in place, where `L` is lower triangular in CSC format
 /// with the diagonal entry stored as the *first* entry of each column
 /// (the layout produced by [`crate::CholeskyFactor`] and [`crate::LuFactor`]).
@@ -254,6 +259,7 @@ macro_rules! dispatch_strip {
                     x7 / b7
                 ]
             ),
+            // lint: allow(L001, for_each_strip caps strips at STRIP columns, so wider widths cannot occur)
             _ => unreachable!("strips are at most {STRIP} columns wide"),
         }
     };
@@ -346,6 +352,8 @@ pub fn solve_upper_csc_panel(u: &CscMatrix, b: &mut Panel) {
     check_panel_dims(u, b);
     upper_panel_raw(u.indptr(), u.indices(), u.data(), u.ncols(), b.data_mut());
 }
+
+// lint: end-hot
 
 #[cfg(test)]
 mod tests {

@@ -190,6 +190,7 @@ impl TripletMatrix {
             indptr.push(indices.len());
         }
         CsrMatrix::from_raw_parts(self.nrows, self.ncols, indptr, indices, data)
+            // lint: allow(L001, compression sorts and bounds-checks entries, so the CSR invariants hold)
             .expect("triplet compression produced a valid CSR matrix")
     }
 

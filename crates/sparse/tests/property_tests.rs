@@ -96,6 +96,19 @@ proptest! {
         prop_assert!(a.residual_inf_norm(&x_amd, &b) < 1e-8);
     }
 
+    /// Every CSC matrix the kernels produce must satisfy the structural
+    /// invariants the solvers index by — the same validator the
+    /// `strict-invariants` feature wires into the checked constructors.
+    #[test]
+    fn produced_csc_matrices_satisfy_structural_invariants(a in spd_matrix(35)) {
+        let csc = a.to_csc();
+        prop_assert!(csc.validate().is_ok());
+        let p = opera_sparse::ordering::approximate_minimum_degree(&csc);
+        prop_assert!(csc.permute_symmetric(&p).unwrap().validate().is_ok());
+        let chol = CholeskyFactor::factor(&a).expect("SPD by construction");
+        prop_assert!(chol.lower().validate().is_ok());
+    }
+
     /// The supernodal numeric phase must reproduce `P·A·Pᵀ = L·Lᵀ` exactly
     /// (up to roundoff) — multi-column panels, descendant updates and the
     /// dense diagonal-block Cholesky all feed this single identity.

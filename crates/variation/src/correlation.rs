@@ -106,7 +106,7 @@ pub fn decorrelate(n: usize, covariance: &[f64]) -> Result<Decorrelation> {
     let (eigenvalues, eigenvectors) = jacobi_eigen(n, covariance);
     // Sort descending by eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| eigenvalues[b].partial_cmp(&eigenvalues[a]).expect("finite"));
+    order.sort_by(|&a, &b| eigenvalues[b].total_cmp(&eigenvalues[a]));
     let variances: Vec<f64> = order.iter().map(|&k| eigenvalues[k]).collect();
     let mut components = DenseMatrix::zeros(n, n);
     for (new_k, &old_k) in order.iter().enumerate() {

@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut drops: Vec<(usize, f64)> = (0..galerkin.node_count())
         .map(|n| (n, vdd - galerkin.mean_at(k_worst, n)))
         .collect();
-    drops.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite drops"));
+    drops.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\nfive worst nodes at the peak time step:");
     for &(node, drop) in drops.iter().take(5) {
         println!(
