@@ -8,9 +8,20 @@
 //! schema-validated `BENCH_<pr>.json` at the repo root — one point of the
 //! perf trajectory future PRs append to.
 //!
+//! The binary runs with [`opera_trace`] enabled: the per-phase timings of
+//! the `phases[]` section are the drained span totals of the engine's own
+//! instrumentation (`galerkin.assemble`, `solver.prepare`,
+//! `transient.stepping`), not separate stopwatches, so the trajectory file
+//! and an exported trace can never disagree about what was measured. The
+//! full span/counter record of the run can be exported as a Chrome
+//! trace-event JSON (`chrome://tracing`, Perfetto) with `--trace` or the
+//! `OPERA_TRACE` environment variable; see `docs/OBSERVABILITY.md`.
+//!
 //! ```text
-//! perf_report                  # run the benchmarks, write BENCH_6.json
-//! perf_report --validate FILE  # re-validate an emitted trajectory file
+//! perf_report                        # run the benchmarks, write BENCH_8.json
+//! perf_report --trace FILE           # also export the Chrome trace of the run
+//! perf_report --validate FILE        # re-validate an emitted trajectory file
+//! perf_report --validate-trace FILE  # schema-check an exported Chrome trace
 //! ```
 //!
 //! Tuning environment variables (see `docs/PERFORMANCE.md`):
@@ -23,7 +34,9 @@
 //!   validated like the other report binaries,
 //! * `OPERA_BENCH_PERF_MAX_ORDER` — highest chaos order of the phase sweep
 //!   (default `2`),
-//! * `OPERA_BENCH_PERF_OUTPUT` — output path (default `BENCH_6.json`).
+//! * `OPERA_BENCH_PERF_OUTPUT` — output path (default `BENCH_8.json`),
+//! * `OPERA_TRACE` — when set, export the run's Chrome trace to this path
+//!   (same as `--trace`).
 
 use std::time::Instant;
 
@@ -33,13 +46,15 @@ use opera::transient::TransientOptions;
 use opera::{OperaError, Parallelism};
 use opera_bench::json::Json;
 use opera_bench::perf::{validate_text, PERF_SCHEMA};
+use opera_bench::trace_export::{chrome_trace, validate_chrome_trace, CHROME_TRACE_SCHEMA};
 use opera_grid::GridSpec;
 use opera_pce::OrthogonalBasis;
 use opera_sparse::{CholeskyFactor, CsrMatrix, OrderingChoice, SolveWorkspace, SymbolicCholesky};
+use opera_trace::TraceSnapshot;
 use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
 
 /// PR number of the trajectory point this binary emits.
-const PR_NUMBER: usize = 6;
+const PR_NUMBER: usize = 8;
 /// Thread counts of the invariance sweep.
 const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
 
@@ -59,9 +74,27 @@ fn run() -> Result<(), String> {
         println!("{}: valid {PERF_SCHEMA} trajectory point", args[2]);
         return Ok(());
     }
-    if args.len() > 1 {
-        return Err("usage: perf_report [--validate FILE]".to_string());
+    if args.len() == 3 && args[1] == "--validate-trace" {
+        let text = std::fs::read_to_string(&args[2])
+            .map_err(|e| format!("cannot read {}: {e}", args[2]))?;
+        let summary = validate_chrome_trace(&opera_bench::json::parse(&text)?)?;
+        println!(
+            "{}: valid {CHROME_TRACE_SCHEMA} trace ({} spans, {} instants, {} counters)",
+            args[2], summary.complete_events, summary.instant_events, summary.counter_events
+        );
+        return Ok(());
     }
+    let trace_output = match args.as_slice() {
+        [_] => None,
+        [_, flag, path] if flag == "--trace" => Some(path.clone()),
+        _ => {
+            return Err(
+                "usage: perf_report [--trace FILE | --validate FILE | --validate-trace FILE]"
+                    .to_string(),
+            )
+        }
+    };
+    let trace_output = trace_output.or_else(|| std::env::var("OPERA_TRACE").ok());
 
     // Honour (and validate) the shared environment knobs.
     opera_bench::parallelism_from_env()?;
@@ -71,7 +104,21 @@ fn run() -> Result<(), String> {
     let output = std::env::var("OPERA_BENCH_PERF_OUTPUT")
         .unwrap_or_else(|_| format!("BENCH_{PR_NUMBER}.json"));
 
-    let threads_available = Parallelism::Max.thread_count();
+    // The whole run is traced: the phase timings below are read back out of
+    // the drained spans, and the merged snapshot can be exported at the end.
+    opera_trace::reset();
+    opera_trace::enable();
+    let mut trace = TraceSnapshot::default();
+
+    // The pool records its own width gauges from inside `install`; priming an
+    // empty install here means `threads_available` in the report is what the
+    // pool actually saw, not a separately computed number.
+    Parallelism::Max.install(|| ()).map_err(err)?;
+    trace.merge(opera_trace::drain());
+    let threads_available = trace
+        .gauge("threads.available")
+        .ok_or("thread pool did not record the threads.available gauge")?
+        as usize;
     println!("== OPERA perf trajectory (PR {PR_NUMBER}) ==");
     println!(
         "scale = {scale}, mc_samples = {mc_samples}, max_order = {max_order}, \
@@ -87,10 +134,12 @@ fn run() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!("paper grid 0 at scale {scale}: {} nodes", grid.node_count());
 
-    let phases = phase_sweep(&model, max_order)?;
+    let phases = phase_sweep(&model, max_order, &mut trace)?;
     let multi_rhs = multi_rhs_sweep(&grid)?;
     let orderings = ordering_sweep(&grid)?;
-    let (threads, allocations) = thread_sweep(&grid, mc_samples)?;
+    trace.merge(opera_trace::drain());
+    let (threads, allocations) = thread_sweep(&grid, mc_samples, threads_available)?;
+    trace.merge(opera_trace::drain());
 
     let report = Json::Obj(vec![
         ("schema".to_string(), Json::str(PERF_SCHEMA)),
@@ -118,6 +167,21 @@ fn run() -> Result<(), String> {
     validate_text(&text)?;
     std::fs::write(&output, &text).map_err(|e| format!("cannot write {output}: {e}"))?;
     println!("\nwrote {output} (validated against {PERF_SCHEMA})");
+
+    if let Some(path) = trace_output {
+        let doc = chrome_trace(&trace);
+        let trace_text = doc.to_pretty();
+        // Round-trip through the parser and the schema check before writing,
+        // so an exported file is valid by construction.
+        let summary = validate_chrome_trace(&opera_bench::json::parse(&trace_text)?)?;
+        std::fs::write(&path, &trace_text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "wrote {path} ({} spans, {} instants, {} counters; validated against \
+             {CHROME_TRACE_SCHEMA})",
+            summary.complete_events, summary.instant_events, summary.counter_events
+        );
+        println!("\n{}", trace.text_report());
+    }
     Ok(())
 }
 
@@ -136,7 +200,18 @@ fn max_order_from_env() -> u32 {
 /// Phase timings of the augmented Galerkin transient: assemble, prepare
 /// (symbolic + numeric factorisation) and the per-step solve cost, per chaos
 /// order.
-fn phase_sweep(model: &StochasticGridModel, max_order: u32) -> Result<Vec<Json>, String> {
+///
+/// The timings are not separate stopwatches: each order's numbers are the
+/// drained totals of the `galerkin.assemble`, `solver.prepare` and
+/// `transient.stepping` spans the engine code records about itself, and the
+/// step count is the `transient.steps` counter. The same spans are merged
+/// into `master` for the exported trace, so the trajectory file is a derived
+/// view of the trace by construction.
+fn phase_sweep(
+    model: &StochasticGridModel,
+    max_order: u32,
+    master: &mut TraceSnapshot,
+) -> Result<Vec<Json>, String> {
     println!("-- phases: assemble / factor / step, orders 1..={max_order}");
     let grid = model.grid();
     let transient = TransientOptions::new(0.05e-9, grid.waveform_end_time().max(0.05e-9));
@@ -144,15 +219,13 @@ fn phase_sweep(model: &StochasticGridModel, max_order: u32) -> Result<Vec<Json>,
     for order in 1..=max_order {
         let basis = OrthogonalBasis::total_order_mixed(model.families(), model.n_vars(), order)
             .map_err(|e| e.to_string())?;
-        let t0 = Instant::now();
+        // Flush whatever earlier work left in the sink so this order's drain
+        // holds exactly its own spans.
+        master.merge(opera_trace::drain());
         let system = opera::galerkin::GalerkinSystem::assemble(model, &basis).map_err(err)?;
-        let assemble_seconds = t0.elapsed().as_secs_f64();
-
-        let t1 = Instant::now();
         let prepared = DirectCholesky
             .prepare(model, &system, &transient)
             .map_err(err)?;
-        let prepare_seconds = t1.elapsed().as_secs_f64();
 
         // The transient hot loop: DC start + fixed steps, double-buffered
         // state, one warm workspace.
@@ -166,8 +239,9 @@ fn phase_sweep(model: &StochasticGridModel, max_order: u32) -> Result<Vec<Json>,
         let mut next = vec![0.0; dim];
         let times = transient.time_points();
         let mut u_prev = u0;
-        let t2 = Instant::now();
+        let stepping = opera_trace::span("transient.stepping");
         for &t in &times[1..] {
+            opera_trace::count("transient.steps", 1);
             let u_next = system.excitation(model, t);
             prepared
                 .step_into(&state, &u_prev, &u_next, &mut next, &mut ws)
@@ -175,8 +249,20 @@ fn phase_sweep(model: &StochasticGridModel, max_order: u32) -> Result<Vec<Json>,
             std::mem::swap(&mut state, &mut next);
             u_prev = u_next;
         }
-        let steps = times.len() - 1;
-        let step_seconds_total = t2.elapsed().as_secs_f64();
+        drop(stepping);
+
+        let snapshot = opera_trace::drain();
+        let assemble_seconds = snapshot.total_seconds("galerkin.assemble");
+        let prepare_seconds = snapshot.total_seconds("solver.prepare");
+        let step_seconds_total = snapshot.total_seconds("transient.stepping");
+        let steps = snapshot.counter("transient.steps") as usize;
+        master.merge(snapshot);
+        if steps != times.len() - 1 {
+            return Err(format!(
+                "transient.steps counted {steps} steps, the time grid has {}",
+                times.len() - 1
+            ));
+        }
         let seconds_per_step = step_seconds_total / steps as f64;
         println!(
             "order {order}: dim = {dim}, assemble = {assemble_seconds:.3}s, \
@@ -441,8 +527,8 @@ fn ordering_sweep(grid: &opera_grid::PowerGrid) -> Result<Vec<Json>, String> {
 fn thread_sweep(
     grid: &opera_grid::PowerGrid,
     mc_samples: usize,
+    threads_available: usize,
 ) -> Result<(Vec<Json>, usize), String> {
-    let threads_available = Parallelism::Max.thread_count();
     println!(
         "-- threads: 1/2/8 sweep over one prepared engine \
          ({threads_available} available; oversubscribed entries marked degraded)"
@@ -492,6 +578,17 @@ fn thread_sweep(
             checksum += report.report.opera.worst_mean_drop;
         }
         let degraded = threads > threads_available;
+        if degraded {
+            // The exported trace names the reason alongside the JSON flag, so
+            // a trace viewed on its own still explains the useless timing.
+            opera_trace::event(
+                "threads.degraded",
+                &format!(
+                    "{threads} workers requested, {threads_available} available: \
+                     oversubscribed timings are not speedups"
+                ),
+            );
+        }
         println!(
             "{threads} threads: mc = {mc_seconds:.3}s, batch = {batch_seconds:.3}s, \
              checksum = {checksum:.6e}{}",

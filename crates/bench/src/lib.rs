@@ -28,6 +28,7 @@ use opera::Parallelism;
 
 pub mod json;
 pub mod perf;
+pub mod trace_export;
 
 /// Default fraction of the paper's grid sizes used by the reports.
 pub const DEFAULT_SCALE: f64 = 0.05;

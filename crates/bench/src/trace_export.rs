@@ -1,0 +1,288 @@
+//! Chrome trace-event export of [`opera_trace`] snapshots.
+//!
+//! The exporter lives here rather than in `opera_trace` so the trace crate
+//! stays dependency-free at the bottom of the workspace: `opera-bench`
+//! already owns the vendored JSON writer/parser in [`crate::json`], and the
+//! report binaries are the only consumers of the exported files.
+//!
+//! The output follows the Chrome trace-event JSON object format
+//! (`chrome://tracing`, Perfetto): spans become `ph: "X"` complete events
+//! with microsecond `ts`/`dur`, instant events become `ph: "i"`, and
+//! counters/gauges become `ph: "C"` counter samples. Span identity and
+//! parentage travel in `args` so a validated file can be folded back into a
+//! nesting tree without the live snapshot.
+
+use opera_trace::TraceSnapshot;
+
+use crate::json::Json;
+
+/// Schema tag written into (and required from) every exported trace.
+pub const CHROME_TRACE_SCHEMA: &str = "opera-trace/chrome/v1";
+
+/// Summary returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChromeTraceSummary {
+    /// `ph: "X"` complete (span) events.
+    pub complete_events: usize,
+    /// `ph: "i"` instant events.
+    pub instant_events: usize,
+    /// `ph: "C"` counter samples.
+    pub counter_events: usize,
+}
+
+fn ns_to_us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Converts a drained snapshot into a Chrome trace-event JSON document.
+///
+/// Spans map to `ph: "X"` complete events (one per [`opera_trace::SpanRecord`],
+/// with the span id and parent id in `args`), instant events to `ph: "i"`,
+/// and the final counter/gauge values to `ph: "C"` counter samples stamped at
+/// the end of the trace.
+pub fn chrome_trace(snapshot: &TraceSnapshot) -> Json {
+    let mut events = Vec::new();
+    let mut end_ns = 0u64;
+    for span in &snapshot.spans {
+        end_ns = end_ns.max(span.start_ns.saturating_add(span.dur_ns));
+        events.push(Json::Obj(vec![
+            ("name".to_string(), Json::str(span.name)),
+            ("cat".to_string(), Json::str("opera")),
+            ("ph".to_string(), Json::str("X")),
+            ("ts".to_string(), Json::Num(ns_to_us(span.start_ns))),
+            ("dur".to_string(), Json::Num(ns_to_us(span.dur_ns))),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(span.tid as f64)),
+            (
+                "args".to_string(),
+                Json::Obj(vec![
+                    ("span_id".to_string(), Json::Num(span.id as f64)),
+                    ("parent_id".to_string(), Json::Num(span.parent as f64)),
+                ]),
+            ),
+        ]));
+    }
+    for event in &snapshot.events {
+        end_ns = end_ns.max(event.ts_ns);
+        events.push(Json::Obj(vec![
+            ("name".to_string(), Json::str(event.name)),
+            ("cat".to_string(), Json::str("opera")),
+            ("ph".to_string(), Json::str("i")),
+            ("ts".to_string(), Json::Num(ns_to_us(event.ts_ns))),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(event.tid as f64)),
+            ("s".to_string(), Json::str("t")),
+            (
+                "args".to_string(),
+                Json::Obj(vec![(
+                    "message".to_string(),
+                    Json::str(event.message.clone()),
+                )]),
+            ),
+        ]));
+    }
+    let end_us = ns_to_us(end_ns);
+    for (name, value) in &snapshot.counters {
+        events.push(counter_sample(name, *value as f64, end_us));
+    }
+    for (name, value) in &snapshot.gauges {
+        events.push(counter_sample(name, *value, end_us));
+    }
+    Json::Obj(vec![
+        ("schema".to_string(), Json::str(CHROME_TRACE_SCHEMA)),
+        ("displayTimeUnit".to_string(), Json::str("ms")),
+        ("traceEvents".to_string(), Json::Arr(events)),
+    ])
+}
+
+fn counter_sample(name: &str, value: f64, ts_us: f64) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::str(name)),
+        ("cat".to_string(), Json::str("opera")),
+        ("ph".to_string(), Json::str("C")),
+        ("ts".to_string(), Json::Num(ts_us)),
+        ("pid".to_string(), Json::Num(1.0)),
+        ("tid".to_string(), Json::Num(0.0)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("value".to_string(), Json::Num(value))]),
+        ),
+    ])
+}
+
+fn require_num(event: &Json, key: &str, index: usize) -> Result<f64, String> {
+    let value = event
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("event {index}: missing numeric {key:?}"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!(
+            "event {index}: {key} = {value} is not a finite non-negative number"
+        ));
+    }
+    Ok(value)
+}
+
+/// Schema-checks a parsed Chrome trace document produced by [`chrome_trace`]
+/// (the CI smoke run round-trips the exported file through
+/// [`crate::json::parse`] and this validator).
+///
+/// Checks the schema tag, that `traceEvents` is an array, and that every
+/// event carries `name`/`ph`/`ts`/`pid`/`tid` with the per-phase extras:
+/// `X` events need a non-negative `dur` plus `span_id`/`parent_id` args,
+/// `C` events a numeric `args.value`.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending event.
+pub fn validate_chrome_trace(doc: &Json) -> Result<ChromeTraceSummary, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing top-level \"schema\" string")?;
+    if schema != CHROME_TRACE_SCHEMA {
+        return Err(format!(
+            "schema {schema:?} is not the expected {CHROME_TRACE_SCHEMA:?}"
+        ));
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing top-level \"traceEvents\" array")?;
+    let mut summary = ChromeTraceSummary::default();
+    for (index, event) in events.iter().enumerate() {
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {index}: missing string \"name\""))?;
+        if name.is_empty() {
+            return Err(format!("event {index}: empty name"));
+        }
+        require_num(event, "ts", index)?;
+        require_num(event, "pid", index)?;
+        require_num(event, "tid", index)?;
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {index}: missing string \"ph\""))?;
+        match ph {
+            "X" => {
+                require_num(event, "dur", index)?;
+                let args = event
+                    .get("args")
+                    .ok_or_else(|| format!("event {index}: complete event without args"))?;
+                for key in ["span_id", "parent_id"] {
+                    args.get(key)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| format!("event {index}: missing numeric args.{key}"))?;
+                }
+                summary.complete_events += 1;
+            }
+            "i" => {
+                summary.instant_events += 1;
+            }
+            "C" => {
+                event
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {index}: counter without numeric args.value"))?;
+                summary.counter_events += 1;
+            }
+            other => {
+                return Err(format!("event {index}: unsupported phase {other:?}"));
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn demo_snapshot() -> TraceSnapshot {
+        let _lock = opera_trace::test_guard();
+        opera_trace::reset();
+        opera_trace::enable();
+        {
+            let _outer = opera_trace::span("outer");
+            let _inner = opera_trace::span("inner");
+            opera_trace::count("widgets", 3);
+            opera_trace::gauge_set("level", 0.5);
+            opera_trace::event("milestone", "halfway");
+        }
+        let snapshot = opera_trace::drain();
+        opera_trace::disable();
+        snapshot
+    }
+
+    #[test]
+    fn export_round_trips_through_the_json_parser_and_validates() {
+        let snapshot = demo_snapshot();
+        let doc = chrome_trace(&snapshot);
+        let parsed = json::parse(&doc.to_pretty()).unwrap();
+        let summary = validate_chrome_trace(&parsed).unwrap();
+        assert_eq!(summary.complete_events, 2);
+        assert_eq!(summary.instant_events, 1);
+        // One sample per counter plus one per gauge.
+        assert_eq!(summary.counter_events, 2);
+    }
+
+    #[test]
+    fn export_preserves_span_parentage_in_args() {
+        let snapshot = demo_snapshot();
+        let doc = chrome_trace(&snapshot);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let arg = |name: &str, key: &str| -> f64 {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|e| e.get("args"))
+                .and_then(|a| a.get(key))
+                .and_then(Json::as_num)
+                .unwrap()
+        };
+        assert_eq!(arg("outer", "parent_id"), 0.0);
+        assert_eq!(arg("inner", "parent_id"), arg("outer", "span_id"));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        let no_schema = Json::Obj(vec![("traceEvents".to_string(), Json::Arr(vec![]))]);
+        assert!(validate_chrome_trace(&no_schema).is_err());
+
+        let bad_phase = Json::Obj(vec![
+            ("schema".to_string(), Json::str(CHROME_TRACE_SCHEMA)),
+            (
+                "traceEvents".to_string(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("name".to_string(), Json::str("x")),
+                    ("ph".to_string(), Json::str("Z")),
+                    ("ts".to_string(), Json::Num(0.0)),
+                    ("pid".to_string(), Json::Num(1.0)),
+                    ("tid".to_string(), Json::Num(0.0)),
+                ])]),
+            ),
+        ]);
+        let err = validate_chrome_trace(&bad_phase).unwrap_err();
+        assert!(err.contains("unsupported phase"), "{err}");
+
+        let negative_dur = Json::Obj(vec![
+            ("schema".to_string(), Json::str(CHROME_TRACE_SCHEMA)),
+            (
+                "traceEvents".to_string(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("name".to_string(), Json::str("x")),
+                    ("ph".to_string(), Json::str("X")),
+                    ("ts".to_string(), Json::Num(0.0)),
+                    ("dur".to_string(), Json::Num(-1.0)),
+                    ("pid".to_string(), Json::Num(1.0)),
+                    ("tid".to_string(), Json::Num(0.0)),
+                ])]),
+            ),
+        ]);
+        assert!(validate_chrome_trace(&negative_dur).is_err());
+    }
+}

@@ -220,7 +220,12 @@ pub fn solve_collocation(
     let symbolic = SymbolicCholesky::analyze(&companion_nominal)?;
     let numeric_factorizations = AtomicUsize::new(0);
 
+    // Captured before the fan-out: per-node spans on worker threads nest
+    // under the span that launched the sweep.
+    let parent = opera_trace::current_span();
     let solve_node = |q: usize| -> Result<Vec<Vec<f64>>> {
+        let _span = opera_trace::span_under(parent, "collocation.node");
+        opera_trace::count("collocation.nodes", 1);
         let xi: &[f64] = &grid.nodes()[q];
         let g = model.sample_conductance(xi)?;
         let c_over_h = model.sample_capacitance(xi)?.scaled(h_scale);

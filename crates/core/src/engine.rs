@@ -35,9 +35,10 @@
 //! ```
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+use opera_trace::Counter;
 
 pub use opera_collocation::GridKind;
 use opera_collocation::{build_grid, solve_collocation, StepScheme, TransientSpec};
@@ -393,6 +394,7 @@ impl EngineBuilder {
         }
         self.solver.validate()?;
 
+        let trace_span = opera_trace::span("engine.build");
         let started = Instant::now();
         let model = match self.source {
             ModelSource::Grid { grid, variation } => {
@@ -415,6 +417,14 @@ impl EngineBuilder {
         let system = GalerkinSystem::assemble(&model, &basis)?;
         let prepared = self.solver.prepare(&model, &system, &transient)?;
         let setup_seconds = started.elapsed().as_secs_f64();
+        drop(trace_span);
+
+        // The build above performed exactly one assembly and one solver
+        // preparation; start the engine's counters accordingly.
+        let assemblies = Counter::new("engine.assemblies");
+        assemblies.incr();
+        let factorizations = Counter::new("engine.factorizations");
+        factorizations.incr();
 
         Ok(OperaEngine {
             model,
@@ -428,10 +438,10 @@ impl EngineBuilder {
             histogram_bins: self.histogram_bins,
             parallelism: self.parallelism,
             setup_seconds,
-            assemblies: AtomicUsize::new(1),
-            factorizations: AtomicUsize::new(1),
-            collocation_symbolics: AtomicUsize::new(0),
-            collocation_factorizations: AtomicUsize::new(0),
+            assemblies,
+            factorizations,
+            collocation_symbolics: Counter::new("engine.collocation_symbolic_analyses"),
+            collocation_factorizations: Counter::new("engine.collocation_factorizations"),
         })
     }
 }
@@ -451,10 +461,10 @@ pub struct OperaEngine {
     histogram_bins: usize,
     parallelism: Parallelism,
     setup_seconds: f64,
-    assemblies: AtomicUsize,
-    factorizations: AtomicUsize,
-    collocation_symbolics: AtomicUsize,
-    collocation_factorizations: AtomicUsize,
+    assemblies: Counter,
+    factorizations: Counter,
+    collocation_symbolics: Counter,
+    collocation_factorizations: Counter,
 }
 
 impl fmt::Debug for OperaEngine {
@@ -658,31 +668,35 @@ impl OperaEngine {
 
     /// How many Galerkin assemblies the engine has performed (one at build
     /// time; scenarios never re-assemble). Test hook for the
-    /// setup-once/solve-many contract.
+    /// setup-once/solve-many contract — a thin shim over the engine's
+    /// `engine.assemblies` [`Counter`] (see `docs/OBSERVABILITY.md`).
     pub fn assembly_count(&self) -> usize {
-        self.assemblies.load(Ordering::Relaxed)
+        self.assemblies.get() as usize
     }
 
     /// How many solver preparations (symbolic+numeric factorisations or
     /// preconditioner setups) the engine has performed: one at build time,
-    /// plus one per scenario that overrides the time step.
+    /// plus one per scenario that overrides the time step. A thin shim over
+    /// the `engine.factorizations` [`Counter`].
     pub fn factorization_count(&self) -> usize {
-        self.factorizations.load(Ordering::Relaxed)
+        self.factorizations.get() as usize
     }
 
     /// How many *symbolic* Cholesky analyses (ordering + elimination tree)
     /// the engine's collocation sweeps have performed — one per
     /// [`collocation`](Self::collocation) call, shared by every quadrature
-    /// node of that sweep. Test hook for the shared-symbolic contract.
+    /// node of that sweep. Test hook for the shared-symbolic contract — a
+    /// thin shim over the `engine.collocation_symbolic_analyses` [`Counter`].
     pub fn collocation_symbolic_count(&self) -> usize {
-        self.collocation_symbolics.load(Ordering::Relaxed)
+        self.collocation_symbolics.get() as usize
     }
 
     /// How many numeric-only factorisations the engine's collocation sweeps
     /// have performed against their shared symbolic analyses (two per
-    /// quadrature node: the DC matrix and the companion matrix).
+    /// quadrature node: the DC matrix and the companion matrix). A thin shim
+    /// over the `engine.collocation_factorizations` [`Counter`].
     pub fn collocation_factorization_count(&self) -> usize {
-        self.collocation_factorizations.load(Ordering::Relaxed)
+        self.collocation_factorizations.get() as usize
     }
 
     /// Test hook for the allocation-free hot-loop contract: runs a short
@@ -826,15 +840,17 @@ impl OperaEngine {
             current_scale: scenario.current_scale,
         };
         let started = Instant::now();
+        let trace_span = opera_trace::span("collocation.sweep");
         let quadrature = build_grid(config.grid, &self.model.families(), config.level)
             .map_err(OperaError::from)?;
         let run = solve_collocation(&self.model, self.system.basis(), &quadrature, &spec)
             .map_err(OperaError::from)?;
+        drop(trace_span);
         let seconds = started.elapsed().as_secs_f64();
         self.collocation_symbolics
-            .fetch_add(run.stats.symbolic_analyses, Ordering::Relaxed);
+            .add(run.stats.symbolic_analyses as u64);
         self.collocation_factorizations
-            .fetch_add(run.stats.numeric_factorizations, Ordering::Relaxed);
+            .add(run.stats.numeric_factorizations as u64);
         let solution = StochasticSolution::new(
             self.system.basis().clone(),
             run.times,
@@ -947,12 +963,19 @@ impl OperaEngine {
             }
             let work: Vec<(usize, Option<(StochasticSolution, f64)>)> =
                 solutions.into_iter().enumerate().collect();
+            // Captured before the fan-out: each worker's scenario span
+            // attaches to the span that launched the batch, not to whatever
+            // the worker thread happened to run last.
+            let parent = opera_trace::current_span();
             work.into_par_iter()
-                .map(|(i, solution)| match solution {
-                    Some((solution, seconds)) => {
-                        self.finish_scenario_report(&scenarios[i], solution, seconds)
+                .map(|(i, solution)| {
+                    let _span = opera_trace::span_under(parent, "batch.scenario");
+                    match solution {
+                        Some((solution, seconds)) => {
+                            self.finish_scenario_report(&scenarios[i], solution, seconds)
+                        }
+                        None => self.run_scenario_in_pool(&scenarios[i]),
                     }
-                    None => self.run_scenario_in_pool(&scenarios[i]),
                 })
                 .collect::<Result<Vec<_>>>()
         })?
@@ -989,7 +1012,7 @@ impl OperaEngine {
             return Ok(None);
         }
         let prepared = self.solver.prepare(&self.model, &self.system, transient)?;
-        self.factorizations.fetch_add(1, Ordering::Relaxed);
+        self.factorizations.incr();
         Ok(Some(prepared))
     }
 

@@ -38,6 +38,7 @@ impl GalerkinSystem {
     /// Returns [`OperaError::InvalidOptions`] if the basis variable count does
     /// not match the model, and propagates numerical errors.
     pub fn assemble(model: &StochasticGridModel, basis: &OrthogonalBasis) -> Result<Self> {
+        let _span = opera_trace::span("galerkin.assemble");
         if basis.n_vars() != model.n_vars() {
             return Err(OperaError::InvalidOptions {
                 reason: format!(

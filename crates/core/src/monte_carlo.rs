@@ -179,6 +179,7 @@ impl WelfordGrid {
 /// Returns [`OperaError::InvalidOptions`] for invalid options, and propagates
 /// sampling or factorisation errors.
 pub fn run(model: &StochasticGridModel, options: &MonteCarloOptions) -> Result<MonteCarloResult> {
+    let _span = opera_trace::span("mc.run");
     options.validate()?;
     let times = options.transient.time_points();
     let n = model.node_count();
@@ -252,6 +253,9 @@ fn accumulate_sample_groups(
 
     let total_groups = options.samples.div_ceil(group_width.max(1)).max(1);
     let batch = (rayon::current_num_threads().max(1) * 2).min(total_groups);
+    // Captured before the fan-out: worker threads attach their group spans
+    // to the span that spawned the sweep, not to a thread-local root.
+    let parent = opera_trace::current_span();
     let mut group = 0;
     while group < total_groups {
         let end = (group + batch).min(total_groups);
@@ -260,6 +264,8 @@ fn accumulate_sample_groups(
             .map(|g| {
                 let start = g * group_width;
                 let stop = (start + group_width).min(options.samples);
+                let _span = opera_trace::span_under(parent, "mc.sample_group");
+                opera_trace::count("mc.samples", (stop - start) as u64);
                 group_traces(start..stop)
             })
             .collect();
@@ -303,6 +309,7 @@ pub fn run_leakage(
     leakage: &LeakageModel,
     options: &MonteCarloOptions,
 ) -> Result<MonteCarloResult> {
+    let _span = opera_trace::span("mc.run");
     options.validate()?;
     let times = options.transient.time_points();
     let n = grid.node_count();

@@ -48,7 +48,14 @@ impl Parallelism {
             .map_err(|e| OperaError::InvalidOptions {
                 reason: format!("failed to build thread pool: {e}"),
             })?;
-        Ok(pool.install(op))
+        Ok(pool.install(|| {
+            // Recorded from inside the pool, so the gauges report what the
+            // pool *actually* started with — the instrumentation that would
+            // have caught the PR-5 thread sweep silently running on 1 core.
+            opera_trace::gauge_set("threads.available", Parallelism::Max.thread_count() as f64);
+            opera_trace::gauge_set("threads.installed", rayon::current_num_threads() as f64);
+            op()
+        }))
     }
 
     /// Parses a thread-count string (as used by the `OPERA_BENCH_THREADS`

@@ -256,6 +256,7 @@ impl SolverBackend for DirectCholesky {
         system: &GalerkinSystem,
         transient: &TransientOptions,
     ) -> Result<Box<dyn PreparedSolver>> {
+        let _span = opera_trace::span("solver.prepare");
         let dc = MatrixFactor::cholesky_or_lu(system.conductance())?;
         let companion = CompanionSystem::new(
             system.conductance(),
@@ -278,6 +279,7 @@ impl SolverBackend for LeftLookingLu {
         system: &GalerkinSystem,
         transient: &TransientOptions,
     ) -> Result<Box<dyn PreparedSolver>> {
+        let _span = opera_trace::span("solver.prepare");
         let dc = MatrixFactor::lu(system.conductance())?;
         let companion = CompanionSystem::with_lu(
             system.conductance(),
@@ -336,6 +338,7 @@ impl SolverBackend for BlockJacobiCg {
         system: &GalerkinSystem,
         transient: &TransientOptions,
     ) -> Result<Box<dyn PreparedSolver>> {
+        let _span = opera_trace::span("solver.prepare");
         self.validate()?;
         let n = system.node_count();
         let size = system.basis_size();

@@ -293,13 +293,19 @@ pub(crate) fn run_prepared(
     coefficients.push(system.split_solution(&state));
     let mut next = vec![0.0; dim];
     let mut u_prev = u0;
+    // One span for the whole loop plus a per-step counter: per-step spans
+    // would record thousands of tiny ranges and perturb the very loop the
+    // allocation-counter hook asserts is steady-state.
+    let stepping = opera_trace::span("transient.stepping");
     for &t in &times[1..] {
+        opera_trace::count("transient.steps", 1);
         let u_next = excitation(t);
         prepared.step_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
         coefficients.push(system.split_solution(&next));
         std::mem::swap(&mut state, &mut next);
         u_prev = u_next;
     }
+    drop(stepping);
     Ok(StochasticSolution::new(
         system.basis().clone(),
         times,
@@ -371,7 +377,9 @@ pub(crate) fn run_prepared_panel(
 
     let mut u_next = Panel::zeros(dim, k);
     let mut next = Panel::zeros(dim, k);
+    let stepping = opera_trace::span("transient.stepping");
     for &t in &times[1..] {
+        opera_trace::count("transient.steps", 1);
         let u = excitation(t);
         fill(&u, &mut u_next);
         prepared.step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
@@ -381,6 +389,7 @@ pub(crate) fn run_prepared_panel(
         std::mem::swap(&mut state, &mut next);
         std::mem::swap(&mut u_prev, &mut u_next);
     }
+    drop(stepping);
 
     Ok(coefficients
         .into_iter()

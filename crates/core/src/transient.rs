@@ -371,14 +371,19 @@ pub fn solve_transient(
     voltages[0] = v0;
     let mut ws = SolveWorkspace::with_capacity(n);
     let mut u_prev = u0;
+    // The span lives outside the hot region (its guard is not allocation-free
+    // when tracing is enabled); inside it only counter increments are allowed.
+    let stepping = opera_trace::span("transient.stepping");
     // lint: hot(transient-stepping-loop)
     for k in 1..times.len() {
+        opera_trace::count("transient.steps", 1);
         let u_next = excitation(times[k]);
         let (done, rest) = voltages.split_at_mut(k);
         companion.step_into(&done[k - 1], &u_prev, &u_next, &mut rest[0], &mut ws);
         u_prev = u_next;
     }
     // lint: end-hot
+    drop(stepping);
     Ok(TransientSolution { times, voltages })
 }
 

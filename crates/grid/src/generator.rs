@@ -212,6 +212,7 @@ impl GridSpec {
     ///
     /// Returns [`GridError::InvalidSpec`] if the specification is invalid.
     pub fn build(&self) -> Result<PowerGrid> {
+        let _span = opera_trace::span("grid.generate");
         self.validate()?;
         let mut rng = StdRng::seed_from_u64(self.seed);
 

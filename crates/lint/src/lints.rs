@@ -3,7 +3,7 @@
 //! | code | contract it proves |
 //! |------|--------------------|
 //! | L001 | no `unwrap()`/`expect(`/`panic!`/`unreachable!` in non-test library code |
-//! | L002 | no allocation (`Vec::new`, `vec![`, `.to_vec()`, `.clone()`, `.collect()`) inside `// lint: hot` regions |
+//! | L002 | no allocation (`Vec::new`, `vec![`, `.to_vec()`, `.clone()`, `.collect()`) and no non-counter `opera_trace` call inside `// lint: hot` regions |
 //! | L003 | every backticked symbol in the docs resolves to a workspace definition |
 //! | L004 | no order-nondeterministic float reductions in bit-identity crates |
 //!
@@ -18,12 +18,13 @@ use crate::workspace::{inline_code_spans, Workspace};
 
 /// Crates that promise bit-identical floating-point results regardless of
 /// thread count (see `docs/PERFORMANCE.md`); L004 applies only to these.
-const DETERMINISTIC_CRATES: [&str; 6] = [
+const DETERMINISTIC_CRATES: [&str; 7] = [
     "src/",
     "crates/sparse/",
     "crates/pce/",
     "crates/core/",
     "crates/collocation/",
+    "crates/trace/",
     "crates/variation/",
 ];
 
@@ -158,6 +159,21 @@ fn lint_hot_alloc(src: &SourceFile, findings: &mut Vec<Finding>) {
                         ),
                     });
                 }
+            }
+            // Tracing inside a hot region must stay on the allocation-free
+            // fast path: `opera_trace::count(` is a branch plus an add, but
+            // spans, gauges and events take the sink lock and may allocate.
+            if line.contains("opera_trace::") && !line.contains("opera_trace::count(") {
+                findings.push(Finding {
+                    lint: "L002",
+                    path: src.path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "non-counter `opera_trace` call inside hot region `{}`: \
+                         only `opera_trace::count(` is allowed in hot code",
+                        region.name
+                    ),
+                });
             }
         }
     }
@@ -396,6 +412,25 @@ fn hot() {
         let r = run_all(&ws_of("crates/x/src/lib.rs", src));
         assert_eq!(r.findings.len(), 2);
         assert!(r.findings.iter().all(|f| f.lint == "L002"));
+    }
+
+    #[test]
+    fn l002_permits_only_counter_increments_from_opera_trace() {
+        let src = "\
+fn cold() { let _s = opera_trace::span(\"ok-outside\"); }
+// lint: hot(kernel)
+fn hot() {
+    opera_trace::count(\"iters\", 1);
+    let _s = opera_trace::span(\"too-heavy\");
+    opera_trace::gauge_set(\"width\", 4.0);
+}
+// lint: end-hot
+";
+        let r = run_all(&ws_of("crates/x/src/lib.rs", src));
+        assert_eq!(r.findings.len(), 2, "findings: {:#?}", r.findings);
+        assert!(r.findings.iter().all(|f| f.lint == "L002"));
+        assert_eq!(r.findings[0].line, 5);
+        assert_eq!(r.findings[1].line, 6);
     }
 
     #[test]

@@ -26,16 +26,18 @@ fn seeded_violations_are_found_exactly() {
     // comment mentions, the `#[cfg(test)]` unwrap and the allowed site
     // must not count.
     assert_eq!(count(&r, "L001"), 2, "findings: {:#?}", r.findings);
-    // L002: `Vec::new` + `.clone()` inside the declared hot region; the
-    // `vec![…]` in `cold_alloc` is outside and must not count.
-    assert_eq!(count(&r, "L002"), 2, "findings: {:#?}", r.findings);
+    // L002: `Vec::new` + `.clone()` + the non-counter `opera_trace::span`
+    // call inside the declared hot region; the `vec![…]` in `cold_alloc`
+    // is outside and the `opera_trace::count` increment is the permitted
+    // allocation-free fast path, so neither counts.
+    assert_eq!(count(&r, "L002"), 3, "findings: {:#?}", r.findings);
     // L003: `ghost_symbol()`, `missing/file.rs`, `FIXTURE_MISSING_ENV`.
     assert_eq!(count(&r, "L003"), 3, "findings: {:#?}", r.findings);
     // L004: one par_iter→sum reduction + one HashMap use; the BTreeMap
     // alternative must not count.
     assert_eq!(count(&r, "L004"), 2, "findings: {:#?}", r.findings);
 
-    assert_eq!(r.findings.len(), 9);
+    assert_eq!(r.findings.len(), 10);
     assert_eq!(r.allows.len(), 1, "allows: {:#?}", r.allows);
     assert_eq!(r.unused_allows.len(), 1, "unused: {:#?}", r.unused_allows);
     assert!(r.errors.is_empty(), "errors: {:#?}", r.errors);

@@ -25,6 +25,8 @@ pub fn clean() -> u32 { 7 }
 pub fn hot_alloc() -> Vec<u32> {
     let v: Vec<u32> = Vec::new();
     let w = v.clone();
+    let _span = opera_trace::span("fixture.kernel");
+    opera_trace::count("fixture.iterations", 1);
     w
 }
 // lint: end-hot

@@ -66,6 +66,7 @@ impl Netlist {
     /// supplies, …) and [`NetlistError::Connectivity`] for nodes with no
     /// resistive path to a pad.
     pub fn lower(&self) -> Result<LoweredNetlist> {
+        let _span = opera_trace::span("netlist.lower");
         // --- Pass 1: supplies.
         let mut supplies: HashMap<&str, (f64, usize)> = HashMap::new();
         let mut vdd: Option<(f64, usize)> = None;

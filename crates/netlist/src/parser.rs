@@ -57,6 +57,7 @@ pub fn is_ground(name: &str) -> bool {
 /// assert!(deck.tran.is_some());
 /// ```
 pub fn parse(text: &str) -> Result<Netlist> {
+    let _span = opera_trace::span("netlist.parse");
     let lines = lex(text)?;
     let mut cards: Vec<Card> = Vec::new();
     let mut tran: Option<TranSpec> = None;

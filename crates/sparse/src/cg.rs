@@ -216,6 +216,7 @@ pub fn solve(
     preconditioner: &impl Preconditioner,
     options: CgOptions,
 ) -> Result<CgSolution> {
+    let _span = opera_trace::span("cg.solve");
     if a.nrows() != a.ncols() {
         return Err(SparseError::NotSquare {
             shape: (a.nrows(), a.ncols()),
@@ -245,6 +246,7 @@ pub fn solve(
     let mut ap = vec![0.0; n];
 
     for iter in 0..options.max_iterations {
+        opera_trace::count("cg.iterations", 1);
         a.matvec_into(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 {

@@ -148,6 +148,7 @@ impl SymbolicCholesky {
     ///
     /// Same as [`SymbolicCholesky::analyze`].
     pub fn analyze_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
+        let _span = opera_trace::span("cholesky.analyze");
         let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
         Ok(Self::from_permuted(a_perm, perm, ordering_choice)?.0)
     }
@@ -160,6 +161,7 @@ impl SymbolicCholesky {
         perm: Permutation,
         ordering: OrderingChoice,
     ) -> Result<(Self, CscMatrix)> {
+        let _span = opera_trace::span("cholesky.symbolic");
         let n = a_perm.ncols();
         let mut parent = elimination_tree(&a_perm);
         // Relabel by a postorder of the elimination tree: fill-preserving
@@ -212,8 +214,21 @@ impl SymbolicCholesky {
         // panels to their union pattern with explicit zeros — the numeric
         // phase is dominated by panel width, and a few percent of padded
         // storage buys panels wide enough for the blocked kernels.
+        let fundamental_nnz = l_indptr[n];
         let (snodes, l_indptr, l_indices) =
             amalgamate(&fundamental, &parent, &l_indptr, &l_indices);
+        let padded_nnz = l_indptr[n];
+        opera_trace::count("cholesky.symbolic_analyses", 1);
+        opera_trace::count("cholesky.supernodes", snodes.count() as u64);
+        opera_trace::gauge_set("cholesky.nnz_l", padded_nnz as f64);
+        opera_trace::gauge_set(
+            "cholesky.padded_nnz_fraction",
+            if padded_nnz > 0 {
+                (padded_nnz - fundamental_nnz) as f64 / padded_nnz as f64
+            } else {
+                0.0
+            },
+        );
         let symbolic = SymbolicCholesky {
             n,
             ordering,
@@ -307,6 +322,7 @@ fn permute_for_cholesky(
     a: &CsrMatrix,
     ordering_choice: OrderingChoice,
 ) -> Result<(CscMatrix, Permutation)> {
+    let _span = opera_trace::span("cholesky.ordering");
     if a.nrows() != a.ncols() {
         return Err(SparseError::NotSquare {
             shape: (a.nrows(), a.ncols()),
@@ -413,8 +429,11 @@ impl CholeskyFactor {
     ///
     /// Same as [`CholeskyFactor::factor`].
     pub fn factor_with(a: &CsrMatrix, ordering_choice: OrderingChoice) -> Result<Self> {
-        let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
-        let (symbolic, a_perm) = SymbolicCholesky::from_permuted(a_perm, perm, ordering_choice)?;
+        let (symbolic, a_perm) = {
+            let _span = opera_trace::span("cholesky.analyze");
+            let (a_perm, perm) = permute_for_cholesky(a, ordering_choice)?;
+            SymbolicCholesky::from_permuted(a_perm, perm, ordering_choice)?
+        };
         let nnz_l = symbolic.nnz_l();
         let SymbolicCholesky {
             n,
@@ -473,6 +492,8 @@ impl CholeskyFactor {
     /// partition, so this phase is value-only dense-panel work (see
     /// [`crate::Supernodes`]).
     fn numeric(&mut self) -> Result<()> {
+        let _span = opera_trace::span("cholesky.numeric");
+        opera_trace::count("cholesky.numeric_factorizations", 1);
         factor_supernodal(
             &self.a_perm,
             &self.snodes,
@@ -563,6 +584,8 @@ impl CholeskyFactor {
         assert_eq!(b.nrows(), self.n, "panel row count mismatch");
         let n = self.n;
         let k = b.ncols();
+        opera_trace::count("panel.solves", 1);
+        opera_trace::count("panel.columns", k as u64);
         let y = ws.scratch(n * k);
         let perm = self.perm.as_slice();
         for (y_col, b_col) in y.chunks_exact_mut(n).zip(b.columns()) {

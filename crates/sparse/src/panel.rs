@@ -193,6 +193,7 @@ impl SolveWorkspace {
         if self.buf.len() < len {
             self.buf.resize(len, 0.0);
             self.allocations += 1;
+            opera_trace::count("workspace.allocations", 1);
         }
         &mut self.buf[..len]
     }

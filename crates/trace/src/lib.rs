@@ -1,0 +1,733 @@
+//! Zero-overhead hierarchical spans, counters and gauges for the OPERA
+//! engine pipeline.
+//!
+//! The engine's observability used to be ad hoc: `perf_report` stopwatched a
+//! few phases from the outside and the core crate grew one-off test hooks for
+//! every counter a test wanted. This crate replaces both with one
+//! instrumentation source:
+//!
+//! * **Spans** — RAII guards ([`span`], [`SpanGuard`]) measuring wall time on
+//!   the monotonic [`Instant`] clock, with automatic nesting via a
+//!   thread-local current-span token. Workers on other threads attach to the
+//!   spawning span explicitly with [`current_span`] + [`span_under`], so
+//!   rayon fan-out keeps correct parentage.
+//! * **Counters** — named monotonic totals ([`count`]) plus the owned
+//!   [`Counter`] cell for per-object tallies that also feed the global sink.
+//! * **Gauges** — last-write-wins values ([`gauge_set`]), e.g. the number of
+//!   worker threads a pool actually started with.
+//! * **Events** — timestamped one-off annotations ([`event`]), e.g. "thread
+//!   sweep degraded: 2 cores for an 8-thread point".
+//!
+//! # Overhead policy
+//!
+//! The sink is **disabled by default**. Every recording entry point first
+//! branches on one relaxed [`AtomicBool`] load; when disabled, no clock is
+//! read, no allocation happens, and no lock is touched, so hot loops stay
+//! allocation-free and results stay bit-identical whether or not the calls
+//! are present. When enabled, records go to per-thread buffers (keyed by
+//! [`BTreeMap`] for deterministic iteration) that flush to a global sink when
+//! the thread exits or [`drain`] runs, so the only contended lock is taken
+//! once per thread lifetime, not per record.
+//!
+//! # Example
+//!
+//! ```
+//! opera_trace::enable();
+//! {
+//!     let _outer = opera_trace::span("assemble");
+//!     let _inner = opera_trace::span("stamp");
+//!     opera_trace::count("stamps", 3);
+//! }
+//! let snap = opera_trace::drain();
+//! assert_eq!(snap.counter("stamps"), 3);
+//! assert_eq!(snap.span_count("assemble"), 1);
+//! opera_trace::disable();
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Master switch. All recording entry points branch on this first.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Monotonic span id allocator; 0 is reserved for "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Small per-process thread ids for trace records (not OS tids).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace epoch (monotonic clock).
+fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One closed span: a named interval with a parent link and thread id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id (> 0) of this span.
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root span.
+    pub parent: u64,
+    /// Static span name, e.g. `"cholesky.numeric"`.
+    pub name: &'static str,
+    /// Start time in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-process id of the recording thread.
+    pub tid: u64,
+}
+
+/// One timestamped annotation emitted with [`event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Static event name, e.g. `"threads.degraded"`.
+    pub name: &'static str,
+    /// Free-form message describing the event.
+    pub message: String,
+    /// Timestamp in nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Small per-process id of the recording thread.
+    pub tid: u64,
+}
+
+#[derive(Default)]
+struct SinkState {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    events: Vec<EventRecord>,
+}
+
+fn sink() -> &'static Mutex<SinkState> {
+    static SINK: OnceLock<Mutex<SinkState>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(SinkState::default()))
+}
+
+fn lock_sink() -> MutexGuard<'static, SinkState> {
+    sink().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct ThreadBuffer {
+    tid: u64,
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<&'static str, u64>,
+    events: Vec<EventRecord>,
+}
+
+impl ThreadBuffer {
+    fn flush_into(&mut self, sink: &mut SinkState) {
+        sink.spans.append(&mut self.spans);
+        for (name, value) in std::mem::take(&mut self.counters) {
+            *sink.counters.entry(name).or_insert(0) += value;
+        }
+        sink.events.append(&mut self.events);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.events.is_empty()
+    }
+}
+
+impl Drop for ThreadBuffer {
+    // Worker threads (the vendored rayon shim spawns scoped threads per
+    // parallel call) flush their buffers here, before the parallel call
+    // returns, so a subsequent `drain` on the spawning thread sees them.
+    fn drop(&mut self) {
+        if !self.is_empty() {
+            self.flush_into(&mut lock_sink());
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    static BUFFER: RefCell<ThreadBuffer> = RefCell::new(ThreadBuffer {
+        tid: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+        spans: Vec::new(),
+        counters: BTreeMap::new(),
+        events: Vec::new(),
+    });
+}
+
+/// Whether the global sink is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on. Also pins the trace epoch so the first span does not
+/// pay the one-time clock initialisation.
+pub fn enable() {
+    let _ = epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off. Already-buffered records survive until [`drain`] or
+/// [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Discards every buffered record on the calling thread and in the global
+/// sink, including gauges. Intended for test isolation.
+pub fn reset() {
+    let _ = BUFFER.try_with(|b| {
+        let mut b = b.borrow_mut();
+        b.spans.clear();
+        b.counters.clear();
+        b.events.clear();
+    });
+    CURRENT.with(|c| c.set(0));
+    let mut s = lock_sink();
+    s.spans.clear();
+    s.counters.clear();
+    s.gauges.clear();
+    s.events.clear();
+}
+
+/// An opaque handle to a span, captured with [`current_span`] and handed to
+/// workers on other threads so their spans nest under the spawning span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanToken(u64);
+
+/// The innermost open span on the calling thread (the zero token when none
+/// is open or tracing is disabled).
+#[must_use]
+pub fn current_span() -> SpanToken {
+    SpanToken(CURRENT.with(Cell::get))
+}
+
+/// RAII guard for one span: the interval runs from construction to drop.
+///
+/// When tracing is disabled the guard is inert — no id, no clock read, no
+/// work on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    const fn inert(name: &'static str) -> Self {
+        SpanGuard {
+            id: 0,
+            parent: 0,
+            name,
+            start_ns: 0,
+        }
+    }
+
+    /// The token workers should nest under; equals [`current_span`] while
+    /// this guard is the innermost open span.
+    #[must_use]
+    pub fn token(&self) -> SpanToken {
+        SpanToken(self.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        let end_ns = now_ns();
+        let _ = CURRENT.try_with(|c| c.set(self.parent));
+        let _ = BUFFER.try_with(|b| {
+            let mut b = b.borrow_mut();
+            let tid = b.tid;
+            b.spans.push(SpanRecord {
+                id: self.id,
+                parent: self.parent,
+                name: self.name,
+                start_ns: self.start_ns,
+                dur_ns: end_ns.saturating_sub(self.start_ns),
+                tid,
+            });
+        });
+    }
+}
+
+fn start_span(name: &'static str, parent: u64) -> SpanGuard {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    CURRENT.with(|c| c.set(id));
+    SpanGuard {
+        id,
+        parent,
+        name,
+        start_ns: now_ns(),
+    }
+}
+
+/// Opens a span nested under the calling thread's innermost open span.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert(name);
+    }
+    let parent = CURRENT.with(Cell::get);
+    start_span(name, parent)
+}
+
+/// Opens a span under an explicit parent token — the cross-thread variant of
+/// [`span`] for rayon workers: capture [`current_span`] before the fan-out,
+/// call this inside the worker closure.
+#[must_use]
+pub fn span_under(parent: SpanToken, name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert(name);
+    }
+    start_span(name, parent.0)
+}
+
+/// Adds `delta` to the named counter. Allocation-free after the first use of
+/// a name on a thread; a no-op branch when tracing is disabled, which is why
+/// lint L002 permits this call (and only this call) inside hot regions.
+#[inline]
+pub fn count(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let _ = BUFFER.try_with(|b| {
+        let mut b = b.borrow_mut();
+        *b.counters.entry(name).or_insert(0) += delta;
+    });
+}
+
+/// Sets the named gauge to `value` (last write wins). Gauges persist across
+/// [`drain`] so a value set once — e.g. the pool's thread count — stays
+/// readable in every later snapshot.
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    lock_sink().gauges.insert(name, value);
+}
+
+/// Records a timestamped annotation with a free-form message.
+pub fn event(name: &'static str, message: &str) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = now_ns();
+    let _ = BUFFER.try_with(|b| {
+        let mut b = b.borrow_mut();
+        let tid = b.tid;
+        b.events.push(EventRecord {
+            name,
+            message: message.to_string(),
+            ts_ns,
+            tid,
+        });
+    });
+}
+
+/// A named monotonic counter owned by a value (e.g. one engine instance).
+///
+/// The local total is always maintained — a relaxed atomic increment — so
+/// per-object hooks like `OperaEngine::factorization_count` keep their exact
+/// semantics with tracing off; every increment is additionally forwarded to
+/// the global sink when tracing is on.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    local: AtomicU64,
+}
+
+impl Counter {
+    /// A new counter at zero.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            local: AtomicU64::new(0),
+        }
+    }
+
+    /// The sink name increments are forwarded under.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta` to the local total and, when tracing is enabled, to the
+    /// global counter of the same name.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.local.fetch_add(delta, Ordering::Relaxed);
+        count(self.name, delta);
+    }
+
+    /// The local (per-object) total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything the sink held at one [`drain`] call.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// Closed spans, sorted by start time then id.
+    pub spans: Vec<SpanRecord>,
+    /// Global counter totals.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values (persist in the sink across drains).
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Timestamped annotations, sorted by timestamp.
+    pub events: Vec<EventRecord>,
+}
+
+/// Flushes the calling thread's buffer and removes everything except gauges
+/// from the global sink, returning it as a snapshot. Worker threads spawned
+/// by the vendored rayon shim have already flushed (they exit before the
+/// parallel call returns), so a drain after a parallel region sees all
+/// worker records.
+pub fn drain() -> TraceSnapshot {
+    let mut s = lock_sink();
+    let _ = BUFFER.try_with(|b| b.borrow_mut().flush_into(&mut s));
+    let mut spans = std::mem::take(&mut s.spans);
+    let mut events = std::mem::take(&mut s.events);
+    let snapshot_gauges = s.gauges.clone();
+    let counters = std::mem::take(&mut s.counters);
+    drop(s);
+    spans.sort_by_key(|r| (r.start_ns, r.id));
+    events.sort_by_key(|e| (e.ts_ns, e.tid));
+    TraceSnapshot {
+        spans,
+        counters,
+        gauges: snapshot_gauges,
+        events,
+    }
+}
+
+impl TraceSnapshot {
+    /// Folds another snapshot into this one (spans/events re-sorted,
+    /// counters summed, gauges last-write-wins from `other`).
+    pub fn merge(&mut self, other: TraceSnapshot) {
+        self.spans.extend(other.spans);
+        self.spans.sort_by_key(|r| (r.start_ns, r.id));
+        for (name, value) in other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        self.gauges.extend(other.gauges);
+        self.events.extend(other.events);
+        self.events.sort_by_key(|e| (e.ts_ns, e.tid));
+    }
+
+    /// Summed wall time, in nanoseconds, over every span with this name.
+    #[must_use]
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.dur_ns)
+            .sum()
+    }
+
+    /// Summed wall time, in seconds, over every span with this name.
+    #[must_use]
+    pub fn total_seconds(&self, name: &str) -> f64 {
+        self.total_ns(name) as f64 * 1e-9
+    }
+
+    /// Number of spans with this name.
+    #[must_use]
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|r| r.name == name).count()
+    }
+
+    /// The counter total, or 0 if the name was never counted.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge value, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The spans whose parent is `parent`.
+    #[must_use]
+    pub fn children_of(&self, parent: u64) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|r| r.parent == parent).collect()
+    }
+
+    /// A hierarchical text report: spans aggregated by name at each nesting
+    /// level (total wall time, call count), then counters, gauges, events.
+    #[must_use]
+    pub fn text_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== trace report ==\n");
+        if !self.spans.is_empty() {
+            out.push_str("spans (total ms, calls):\n");
+            let mut by_parent: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+            let known: std::collections::BTreeSet<u64> = self.spans.iter().map(|r| r.id).collect();
+            for r in &self.spans {
+                // A parent drained in an earlier snapshot is treated as a
+                // root so its children still appear in the report.
+                let key = if known.contains(&r.parent) {
+                    r.parent
+                } else {
+                    0
+                };
+                by_parent.entry(key).or_default().push(r);
+            }
+            let roots = by_parent.get(&0).cloned().unwrap_or_default();
+            emit_group(&mut out, &by_parent, &roots, 1);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name} = {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name} = {value}\n"));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("events:\n");
+            for e in &self.events {
+                out.push_str(&format!(
+                    "  [{:.3} ms] {}: {}\n",
+                    e.ts_ns as f64 * 1e-6,
+                    e.name,
+                    e.message
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Aggregates one sibling group by name and recurses into the children of
+/// each name bucket.
+fn emit_group(
+    out: &mut String,
+    by_parent: &BTreeMap<u64, Vec<&SpanRecord>>,
+    group: &[&SpanRecord],
+    depth: usize,
+) {
+    let mut buckets: BTreeMap<&'static str, (u64, usize, Vec<u64>)> = BTreeMap::new();
+    for r in group {
+        let b = buckets.entry(r.name).or_insert((0, 0, Vec::new()));
+        b.0 += r.dur_ns;
+        b.1 += 1;
+        b.2.push(r.id);
+    }
+    let mut ordered: Vec<_> = buckets.into_iter().collect();
+    // Largest total first; name breaks ties so the report is stable.
+    ordered.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(b.0)));
+    for (name, (total_ns, calls, ids)) in ordered {
+        out.push_str(&format!(
+            "{:indent$}{name}  {:.3} ms  x{calls}\n",
+            "",
+            total_ns as f64 * 1e-6,
+            indent = depth * 2
+        ));
+        let mut children: Vec<&SpanRecord> = Vec::new();
+        for id in ids {
+            if let Some(kids) = by_parent.get(&id) {
+                children.extend(kids.iter().copied());
+            }
+        }
+        if !children.is_empty() {
+            emit_group(out, by_parent, &children, depth + 1);
+        }
+    }
+}
+
+/// Serialises tests that touch the process-global trace state.
+///
+/// Trace state (the enabled flag, the sink, the counters) is shared by every
+/// thread in the process, so two tests that [`enable`]/[`drain`] concurrently
+/// would see each other's records. Any test that enables tracing should hold
+/// this guard for its whole body and call [`reset`] before enabling.
+#[must_use = "dropping the guard immediately would let trace-enabled tests interleave"]
+pub fn test_guard() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Trace state is process-global; tests in this binary serialise on one
+    // mutex and reset around each body.
+    fn serial() -> MutexGuard<'static, ()> {
+        test_guard()
+    }
+
+    #[test]
+    fn disabled_spans_are_inert_and_record_nothing() {
+        let _g = serial();
+        reset();
+        disable();
+        {
+            let s = span("nothing");
+            assert_eq!(s.token(), SpanToken(0));
+            count("nope", 5);
+            gauge_set("nope", 1.0);
+            event("nope", "msg");
+        }
+        let snap = drain();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let _g = serial();
+        reset();
+        enable();
+        {
+            let outer = span("outer");
+            let outer_id = outer.token();
+            {
+                let _inner = span("inner");
+                assert_ne!(current_span(), outer_id);
+            }
+            assert_eq!(current_span(), outer_id);
+        }
+        disable();
+        let snap = drain();
+        assert_eq!(snap.spans.len(), 2);
+        let outer = snap.spans.iter().find(|r| r.name == "outer").map(|r| r.id);
+        let inner = snap.spans.iter().find(|r| r.name == "inner");
+        assert_eq!(inner.map(|r| r.parent), outer);
+        assert!(snap.total_ns("outer") >= snap.total_ns("inner"));
+    }
+
+    #[test]
+    fn span_under_attaches_cross_thread_workers() {
+        let _g = serial();
+        reset();
+        enable();
+        let parent_id;
+        {
+            let parent = span("fanout");
+            parent_id = parent.token();
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    scope.spawn(|| {
+                        let _w = span_under(parent_id, "worker");
+                        count("work", 1);
+                    });
+                }
+            });
+        }
+        disable();
+        let snap = drain();
+        assert_eq!(snap.span_count("worker"), 3);
+        let fan = snap
+            .spans
+            .iter()
+            .find(|r| r.name == "fanout")
+            .map(|r| r.id)
+            .unwrap_or(0);
+        assert!(snap
+            .spans
+            .iter()
+            .filter(|r| r.name == "worker")
+            .all(|r| r.parent == fan));
+        assert_eq!(snap.counter("work"), 3);
+        // Workers got distinct thread ids.
+        let tids: std::collections::BTreeSet<u64> = snap
+            .spans
+            .iter()
+            .filter(|r| r.name == "worker")
+            .map(|r| r.tid)
+            .collect();
+        assert!(!tids.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_events_round_trip() {
+        let _g = serial();
+        reset();
+        enable();
+        count("steps", 10);
+        count("steps", 5);
+        gauge_set("threads", 4.0);
+        gauge_set("threads", 8.0);
+        event("note", "hello");
+        disable();
+        let snap = drain();
+        assert_eq!(snap.counter("steps"), 15);
+        assert_eq!(snap.gauge("threads"), Some(8.0));
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].message, "hello");
+        // Gauges persist in the sink across drains.
+        let again = drain();
+        assert_eq!(again.gauge("threads"), Some(8.0));
+        assert!(again.spans.is_empty());
+    }
+
+    #[test]
+    fn owned_counter_keeps_local_total_and_feeds_sink() {
+        let _g = serial();
+        reset();
+        disable();
+        let c = Counter::new("owned.total");
+        c.incr();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        enable();
+        c.incr();
+        disable();
+        assert_eq!(c.get(), 4);
+        let snap = drain();
+        // Only the increment made while enabled reached the sink.
+        assert_eq!(snap.counter("owned.total"), 1);
+    }
+
+    #[test]
+    fn merge_and_text_report_cover_all_sections() {
+        let _g = serial();
+        reset();
+        enable();
+        {
+            let _a = span("phase.a");
+            let _b = span("phase.b");
+            count("n", 1);
+        }
+        gauge_set("g", 2.5);
+        event("e", "detail");
+        let mut first = drain();
+        {
+            let _a = span("phase.a");
+        }
+        disable();
+        let second = drain();
+        first.merge(second);
+        assert_eq!(first.span_count("phase.a"), 2);
+        let report = first.text_report();
+        assert!(report.contains("phase.a"));
+        assert!(report.contains("phase.b"));
+        assert!(report.contains("n = 1"));
+        assert!(report.contains("g = 2.5"));
+        assert!(report.contains("detail"));
+    }
+}

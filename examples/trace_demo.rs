@@ -1,0 +1,58 @@
+//! Demonstrates the `opera_trace` observability layer end to end — and
+//! doubles as an overhead check: the same engine is built and solved twice,
+//! first with tracing disabled (the production default), then with the
+//! sink enabled, and both wall times are printed side by side before the
+//! hierarchical trace report.
+//!
+//! ```text
+//! cargo run --release --example trace_demo            # 5 % paper grid
+//! cargo run --release --example trace_demo -- 1.0     # full paper scale
+//! ```
+
+use std::time::Instant;
+
+use opera::engine::OperaEngine;
+use opera_grid::GridSpec;
+use opera_variation::VariationSpec;
+
+fn build_and_solve(spec: &GridSpec) -> Result<f64, Box<dyn std::error::Error>> {
+    let started = Instant::now();
+    let engine = OperaEngine::for_grid(spec.clone())?
+        .variation(VariationSpec::paper_defaults())
+        .order(2)
+        .time_step(0.1e-9)
+        .end_time(1.0e-9)
+        .build()?;
+    let _solution = engine.solve()?;
+    Ok(started.elapsed().as_secs_f64())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.05);
+    let spec = GridSpec::paper_grid(0)?.scaled_nodes(scale);
+    println!("paper grid 0 scaled to {scale}: build + order-2 solve, twice\n");
+
+    // Production default: sink disabled, every trace call is one relaxed
+    // atomic branch.
+    opera_trace::disable();
+    let untraced = build_and_solve(&spec)?;
+    println!("tracing disabled: {untraced:.3}s");
+
+    // Same work with the sink recording spans, counters and gauges.
+    opera_trace::reset();
+    opera_trace::enable();
+    let traced = build_and_solve(&spec)?;
+    let snapshot = opera_trace::drain();
+    opera_trace::disable();
+    println!(
+        "tracing enabled:  {traced:.3}s  ({:+.1}% wall-clock)\n",
+        (traced / untraced - 1.0) * 100.0
+    );
+
+    print!("{}", snapshot.text_report());
+    Ok(())
+}

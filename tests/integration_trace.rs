@@ -1,0 +1,188 @@
+//! Integration tests for the `opera_trace` observability layer: span
+//! nesting across the rayon fan-outs, counter totals agreeing with the
+//! engine's legacy test hooks, and the zero-overhead contract (tracing
+//! enabled must not perturb a single bit of the results; tracing disabled
+//! must keep the steady-state transient loop allocation-free).
+//!
+//! Trace state is process-global, so every test here holds
+//! [`opera_trace::test_guard`] for its whole body and resets the sink
+//! before enabling.
+
+use opera::analysis::ExperimentConfig;
+use opera::engine::{McConfig, OperaEngine, Scenario};
+use opera::stochastic::{solve, OperaOptions};
+use opera::transient::TransientOptions;
+use opera_grid::GridSpec;
+use opera_variation::{StochasticGridModel, VariationSpec};
+
+fn small_model() -> StochasticGridModel {
+    let grid = GridSpec::small_test(120).with_seed(9).build().unwrap();
+    StochasticGridModel::inter_die(&grid, &VariationSpec::paper_defaults()).unwrap()
+}
+
+#[test]
+fn rayon_fanout_spans_attach_to_the_launching_span() {
+    let _guard = opera_trace::test_guard();
+    opera_trace::reset();
+    opera_trace::enable();
+
+    let engine = OperaEngine::from_config(&ExperimentConfig::quick_demo(100)).unwrap();
+    // Discard the build-time spans so the drain below holds exactly the
+    // Monte Carlo sweep.
+    let _ = opera_trace::drain();
+    let samples = 16;
+    let _mc = engine.monte_carlo(&McConfig::new(samples, 3)).unwrap();
+    let snapshot = opera_trace::drain();
+    opera_trace::disable();
+
+    let runs: Vec<_> = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.name == "mc.run")
+        .collect();
+    assert_eq!(runs.len(), 1, "expected exactly one mc.run span");
+    let run_id = runs[0].id;
+
+    // Every per-group worker span must name the launching sweep as its
+    // parent, no matter which pool thread executed it.
+    let groups: Vec<_> = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.name == "mc.sample_group")
+        .collect();
+    assert!(!groups.is_empty(), "expected mc.sample_group worker spans");
+    for group in &groups {
+        assert_eq!(
+            group.parent, run_id,
+            "worker span on tid {} is not attached to the mc.run span",
+            group.tid
+        );
+    }
+    assert_eq!(snapshot.counter("mc.samples"), samples as u64);
+}
+
+#[test]
+fn engine_counters_agree_with_the_legacy_test_hooks() {
+    let _guard = opera_trace::test_guard();
+    opera_trace::reset();
+    opera_trace::enable();
+
+    let engine = OperaEngine::from_config(&ExperimentConfig::quick_demo(120)).unwrap();
+    // Same batch as `integration_engine_reuse.rs`: the time-step override
+    // forces exactly one extra factorisation, nothing re-assembles.
+    let scenarios = [
+        Scenario::named("baseline"),
+        Scenario::named("fine").with_time_step(0.1e-9),
+        Scenario::named("short").with_end_time(0.6e-9),
+    ];
+    let reports = engine.run_batch(&scenarios).unwrap();
+    assert_eq!(reports.len(), 3);
+    let snapshot = opera_trace::drain();
+    opera_trace::disable();
+
+    // The legacy hooks are now shims over the same counters the sink
+    // drained, so the two views must agree exactly.
+    assert_eq!(
+        engine.assembly_count() as u64,
+        snapshot.counter("engine.assemblies")
+    );
+    assert_eq!(
+        engine.factorization_count() as u64,
+        snapshot.counter("engine.factorizations")
+    );
+    assert_eq!(snapshot.counter("engine.assemblies"), 1);
+    assert_eq!(snapshot.counter("engine.factorizations"), 2);
+
+    // The batch fan-out ran under per-scenario worker spans.
+    assert_eq!(snapshot.span_count("batch.scenario"), scenarios.len());
+}
+
+#[test]
+fn enabled_tracing_is_bit_invisible_to_the_solver() {
+    let _guard = opera_trace::test_guard();
+    let model = small_model();
+    let options = OperaOptions::order2(TransientOptions::new(0.1e-9, 1.0e-9));
+
+    opera_trace::reset();
+    opera_trace::disable();
+    let untraced = solve(&model, &options).unwrap();
+
+    opera_trace::enable();
+    let traced = solve(&model, &options).unwrap();
+    let snapshot = opera_trace::drain();
+    opera_trace::disable();
+
+    // The traced run really was recorded...
+    assert!(snapshot.span_count("transient.stepping") >= 1);
+    assert!(snapshot.span_count("galerkin.assemble") >= 1);
+    assert!(snapshot.counter("transient.steps") > 0);
+
+    // ...and produced bit-identical coefficients everywhere.
+    assert_eq!(untraced.times(), traced.times());
+    assert_eq!(untraced.basis_size(), traced.basis_size());
+    for k in 0..untraced.times().len() {
+        for i in 0..untraced.basis_size() {
+            for n in 0..untraced.node_count() {
+                assert_eq!(
+                    untraced.coefficient(k, i, n).to_bits(),
+                    traced.coefficient(k, i, n).to_bits(),
+                    "coefficient ({k}, {i}, {n}) differs under tracing"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn disabled_tracing_keeps_the_steady_state_loop_allocation_free() {
+    let _guard = opera_trace::test_guard();
+    opera_trace::reset();
+    opera_trace::disable();
+    let engine = OperaEngine::from_config(&ExperimentConfig::quick_demo(100)).unwrap();
+    assert_eq!(engine.steady_state_step_allocations().unwrap(), 0);
+}
+
+#[test]
+fn build_span_nests_its_phases_and_child_times_fit_inside_the_parent() {
+    let _guard = opera_trace::test_guard();
+    opera_trace::reset();
+    opera_trace::enable();
+    let engine = OperaEngine::from_config(&ExperimentConfig::quick_demo(110)).unwrap();
+    let snapshot = opera_trace::drain();
+    opera_trace::disable();
+    drop(engine);
+
+    let builds: Vec<_> = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.name == "engine.build")
+        .collect();
+    assert_eq!(builds.len(), 1);
+    let build = builds[0];
+
+    // The build must decompose into the documented pipeline phases.
+    let children = snapshot.children_of(build.id);
+    let names: Vec<&str> = children.iter().map(|c| c.name).collect();
+    assert!(names.contains(&"galerkin.assemble"), "children: {names:?}");
+    assert!(names.contains(&"solver.prepare"), "children: {names:?}");
+
+    // Sequential children of one span can never out-run their parent: the
+    // reconciliation property `perf_report` relies on when it reports the
+    // drained span totals as the BENCH phase timings.
+    let child_sum: u64 = children.iter().map(|c| c.dur_ns).sum();
+    assert!(
+        child_sum <= build.dur_ns,
+        "children sum to {child_sum} ns, parent engine.build lasted {} ns",
+        build.dur_ns
+    );
+    for child in &children {
+        assert!(child.start_ns >= build.start_ns);
+        assert!(child.start_ns + child.dur_ns <= build.start_ns + build.dur_ns);
+    }
+
+    // The factorisation layer reported its structure gauges.
+    assert!(snapshot.counter("cholesky.symbolic_analyses") >= 1);
+    assert!(snapshot.gauge("cholesky.nnz_l").unwrap_or(0.0) > 0.0);
+    let padded = snapshot.gauge("cholesky.padded_nnz_fraction").unwrap();
+    assert!((0.0..1.0).contains(&padded), "padded fraction {padded}");
+}
