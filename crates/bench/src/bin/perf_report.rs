@@ -3,10 +3,12 @@
 //! Times the assemble/factor/step phases of the Galerkin transient across
 //! chaos orders, measures the blocked multi-RHS panel engine against the
 //! per-column reference path, benchmarks the fill-reducing orderings on the
-//! paper grid and the netlist fixtures, sweeps worker-thread counts (proving
-//! the statistics stay bit-identical), and emits the results as a
-//! schema-validated `BENCH_<pr>.json` at the repo root — one point of the
-//! perf trajectory future PRs append to.
+//! paper grid and the netlist fixtures, compares fixed-step TR-BDF2 against
+//! the LTE-driven adaptive controller on the same grid (step counts, wall
+//! time, and the one-symbolic-analysis refactorisation contract), sweeps
+//! worker-thread counts (proving the statistics stay bit-identical), and
+//! emits the results as a schema-validated `BENCH_<pr>.json` at the repo
+//! root — one point of the perf trajectory future PRs append to.
 //!
 //! The binary runs with [`opera_trace`] enabled: the per-phase timings of
 //! the `phases[]` section are the drained span totals of the engine's own
@@ -18,7 +20,7 @@
 //! `OPERA_TRACE` environment variable; see `docs/OBSERVABILITY.md`.
 //!
 //! ```text
-//! perf_report                        # run the benchmarks, write BENCH_8.json
+//! perf_report                        # run the benchmarks, write BENCH_9.json
 //! perf_report --trace FILE           # also export the Chrome trace of the run
 //! perf_report --validate FILE        # re-validate an emitted trajectory file
 //! perf_report --validate-trace FILE  # schema-check an exported Chrome trace
@@ -34,7 +36,7 @@
 //!   validated like the other report binaries,
 //! * `OPERA_BENCH_PERF_MAX_ORDER` — highest chaos order of the phase sweep
 //!   (default `2`),
-//! * `OPERA_BENCH_PERF_OUTPUT` — output path (default `BENCH_8.json`),
+//! * `OPERA_BENCH_PERF_OUTPUT` — output path (default `BENCH_9.json`),
 //! * `OPERA_TRACE` — when set, export the run's Chrome trace to this path
 //!   (same as `--trace`).
 
@@ -54,7 +56,7 @@ use opera_trace::TraceSnapshot;
 use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
 
 /// PR number of the trajectory point this binary emits.
-const PR_NUMBER: usize = 8;
+const PR_NUMBER: usize = 9;
 /// Thread counts of the invariance sweep.
 const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
 
@@ -137,6 +139,7 @@ fn run() -> Result<(), String> {
     let phases = phase_sweep(&model, max_order, &mut trace)?;
     let multi_rhs = multi_rhs_sweep(&grid)?;
     let orderings = ordering_sweep(&grid)?;
+    let adaptive = adaptive_sweep(&grid, max_order)?;
     trace.merge(opera_trace::drain());
     let (threads, allocations) = thread_sweep(&grid, mc_samples, threads_available)?;
     trace.merge(opera_trace::drain());
@@ -161,6 +164,7 @@ fn run() -> Result<(), String> {
         ("phases".to_string(), Json::Arr(phases)),
         ("galerkin_multi_rhs".to_string(), Json::Arr(multi_rhs)),
         ("orderings".to_string(), Json::Arr(orderings)),
+        ("adaptive".to_string(), Json::Arr(adaptive)),
         ("threads".to_string(), Json::Arr(threads)),
     ]);
     let text = report.to_pretty();
@@ -512,6 +516,88 @@ fn ordering_sweep(grid: &opera_grid::PowerGrid) -> Result<Vec<Json>, String> {
                 ),
             ]));
         }
+    }
+    Ok(entries)
+}
+
+/// Fixed-step TR-BDF2 vs the LTE-driven adaptive controller on the paper
+/// grid's augmented Galerkin transient, per chaos order: the
+/// adaptive-vs-fixed phase of the trajectory (`docs/TRANSIENT.md`). The
+/// fixed baseline runs the same scheme on the deck grid through its own
+/// engine (exactly the pre-adaptive behaviour); the adaptive run reports
+/// the controller's `AdaptiveStats`, and the schema validator re-asserts
+/// the `symbolic_analyses == 1` contract — step-size changes refactor
+/// numerically through the `CompanionFamily`, they never re-analyze.
+fn adaptive_sweep(grid: &opera_grid::PowerGrid, max_order: u32) -> Result<Vec<Json>, String> {
+    use opera::adaptive::AdaptiveOptions;
+    use opera::transient::IntegrationMethod;
+
+    println!("-- adaptive: fixed TR-BDF2 vs the LTE controller, orders 1..={max_order}");
+    let mut entries = Vec::new();
+    for order in 1..=max_order {
+        let fixed_engine = OperaEngine::for_grid(paper_spec_of(grid)?)
+            .map_err(err)?
+            .variation(VariationSpec::paper_defaults())
+            .order(order)
+            .integration_method(IntegrationMethod::TrBdf2)
+            .build()
+            .map_err(err)?;
+        let fixed_steps = fixed_engine.transient().time_points().len() - 1;
+        let (_, fixed_seconds) = best_of(1, || fixed_engine.solve())?;
+
+        // docs/TRANSIENT.md §5: `abs_tol` is the noise floor — a millionth
+        // of the supply is where we stop caring about a chaos coefficient.
+        let mut options = AdaptiveOptions::with_rel_tol(1e-4);
+        options.abs_tol = 1e-6 * grid.vdd();
+        let adaptive_engine = OperaEngine::for_grid(paper_spec_of(grid)?)
+            .map_err(err)?
+            .variation(VariationSpec::paper_defaults())
+            .order(order)
+            .adaptive(options)
+            .build()
+            .map_err(err)?;
+        let adaptive_options = adaptive_engine
+            .adaptive_options()
+            .ok_or("adaptive engine lost its options")?;
+        let t0 = Instant::now();
+        let (_, stats) = adaptive_engine
+            .solve_scenario_adaptive(&Scenario::default(), adaptive_options)
+            .map_err(err)?;
+        let adaptive_seconds = t0.elapsed().as_secs_f64();
+        let step_ratio = fixed_steps as f64 / stats.steps_accepted.max(1) as f64;
+        println!(
+            "order {order}: fixed = {fixed_steps} steps in {fixed_seconds:.3}s, adaptive = {} \
+             accepted (+{} rejected) in {adaptive_seconds:.3}s, {} numeric refactorisations on \
+             {} symbolic analysis, step ratio = {step_ratio:.2}x",
+            stats.steps_accepted,
+            stats.steps_rejected,
+            stats.refactorizations,
+            stats.symbolic_analyses
+        );
+        entries.push(Json::Obj(vec![
+            ("nodes".to_string(), Json::Num(grid.node_count() as f64)),
+            ("order".to_string(), Json::Num(order as f64)),
+            ("fixed_steps".to_string(), Json::Num(fixed_steps as f64)),
+            ("fixed_seconds".to_string(), Json::Num(fixed_seconds)),
+            (
+                "adaptive_steps_accepted".to_string(),
+                Json::Num(stats.steps_accepted as f64),
+            ),
+            (
+                "adaptive_steps_rejected".to_string(),
+                Json::Num(stats.steps_rejected as f64),
+            ),
+            ("adaptive_seconds".to_string(), Json::Num(adaptive_seconds)),
+            (
+                "refactorizations".to_string(),
+                Json::Num(stats.refactorizations as f64),
+            ),
+            (
+                "symbolic_analyses".to_string(),
+                Json::Num(stats.symbolic_analyses as f64),
+            ),
+            ("step_ratio".to_string(), Json::Num(step_ratio)),
+        ]));
     }
     Ok(entries)
 }

@@ -49,6 +49,25 @@ pub const ORDERING_FIELDS: &[&str] = &[
 /// Required numeric fields of one `threads[]` entry.
 pub const THREAD_FIELDS: &[&str] = &["threads", "mc_seconds", "batch_seconds", "stat_checksum"];
 
+/// Required numeric fields of one `adaptive[]` entry. Trajectory files
+/// written before PR 9 predate the section and may omit it; points from
+/// PR 9 on must carry it, and every entry must hold the full
+/// fixed-vs-adaptive comparison: step counts, runtimes, the controller's
+/// rejection count, and the factorisation bookkeeping proving the shared
+/// symbolic analysis.
+pub const ADAPTIVE_FIELDS: &[&str] = &[
+    "nodes",
+    "order",
+    "fixed_steps",
+    "fixed_seconds",
+    "adaptive_steps_accepted",
+    "adaptive_steps_rejected",
+    "adaptive_seconds",
+    "refactorizations",
+    "symbolic_analyses",
+    "step_ratio",
+];
+
 fn require_num(obj: &Json, key: &str, context: &str) -> Result<f64, String> {
     obj.get(key)
         .and_then(Json::as_num)
@@ -79,7 +98,7 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
     if schema != PERF_SCHEMA {
         return Err(format!("schema is {schema:?}, expected {PERF_SCHEMA:?}"));
     }
-    require_num(report, "pr", "report")?;
+    let pr = require_num(report, "pr", "report")?;
     require_num(report, "scale", "report")?;
     let threads_available = require_num(report, "threads_available", "report")?;
     require_str(report, "default_ordering", "report")?;
@@ -112,6 +131,39 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
             if section == "orderings" {
                 require_str(entry, "matrix", &context)?;
                 require_str(entry, "ordering", &context)?;
+            }
+        }
+    }
+
+    // Trajectory points written before PR 9 predate the adaptive phase, so
+    // the section is optional for them; from PR 9 on `perf_report` always
+    // emits it and the schema holds every emitter to that. When present it
+    // must be a non-empty array of complete entries, each proving the
+    // one-symbolic-analysis contract.
+    if report.get("adaptive").is_none() && pr >= 9.0 {
+        return Err(format!(
+            "section \"adaptive\" is missing: trajectory points from PR 9 on must \
+             record the adaptive-vs-fixed phase (this point is PR {pr})"
+        ));
+    }
+    if let Some(section) = report.get("adaptive") {
+        let entries = section
+            .as_arr()
+            .ok_or_else(|| "section \"adaptive\" must be an array".to_string())?;
+        if entries.is_empty() {
+            return Err("section \"adaptive\" is present but empty".to_string());
+        }
+        for (i, entry) in entries.iter().enumerate() {
+            let context = format!("adaptive[{i}]");
+            for field in ADAPTIVE_FIELDS {
+                require_num(entry, field, &context)?;
+            }
+            let analyses = require_num(entry, "symbolic_analyses", &context)?;
+            if analyses != 1.0 {
+                return Err(format!(
+                    "{context}: symbolic_analyses is {analyses}, expected exactly 1 \
+                     (step-size changes must reuse the symbolic analysis)"
+                ));
             }
         }
     }
@@ -228,6 +280,66 @@ mod tests {
         assert!(validate_report(&report)
             .unwrap_err()
             .contains("default_ordering"));
+    }
+
+    #[test]
+    fn adaptive_section_is_optional_but_validated_when_present() {
+        // Absent: fine for pre-PR-9 trajectory points (the minimal report
+        // is PR 5) ...
+        validate_report(&minimal_report()).unwrap();
+
+        // ... but points from PR 9 on must record the adaptive phase.
+        let mut report = minimal_report();
+        if let Json::Obj(entries) = &mut report {
+            for (k, v) in entries.iter_mut() {
+                if k == "pr" {
+                    *v = Json::Num(9.0);
+                }
+            }
+        }
+        let err = validate_report(&report).unwrap_err();
+        assert!(err.contains("adaptive"), "unexpected error: {err}");
+
+        let with_adaptive = |mutate: fn(&mut Vec<(String, Json)>)| {
+            let mut report = minimal_report();
+            if let Json::Obj(entries) = &mut report {
+                let mut entry = entry(ADAPTIVE_FIELDS);
+                if let Json::Obj(fields) = &mut entry {
+                    mutate(fields);
+                }
+                entries.push(("adaptive".to_string(), Json::Arr(vec![entry])));
+            }
+            report
+        };
+
+        // Complete entry with one symbolic analysis: fine.
+        validate_report(&with_adaptive(|_| {})).unwrap();
+
+        // A missing field is rejected.
+        let err = validate_report(&with_adaptive(|fields| {
+            fields.retain(|(k, _)| k != "step_ratio");
+        }))
+        .unwrap_err();
+        assert!(err.contains("step_ratio"), "unexpected error: {err}");
+
+        // More than one symbolic analysis breaks the reuse contract.
+        let err = validate_report(&with_adaptive(|fields| {
+            for (k, v) in fields.iter_mut() {
+                if k == "symbolic_analyses" {
+                    *v = Json::Num(2.0);
+                }
+            }
+        }))
+        .unwrap_err();
+        assert!(err.contains("symbolic_analyses"), "unexpected error: {err}");
+
+        // Present-but-empty is a schema violation, not a silent pass.
+        let mut report = minimal_report();
+        if let Json::Obj(entries) = &mut report {
+            entries.push(("adaptive".to_string(), Json::Arr(vec![])));
+        }
+        let err = validate_report(&report).unwrap_err();
+        assert!(err.contains("empty"), "unexpected error: {err}");
     }
 
     #[test]

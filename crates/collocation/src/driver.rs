@@ -66,7 +66,18 @@ pub enum StepScheme {
     BackwardEuler,
     /// Second-order trapezoidal rule.
     Trapezoidal,
+    /// Second-order L-stable TR-BDF2 composite (trapezoidal stage over
+    /// `γh`, BDF2 stage over the remainder, `γ = 2 − √2`).
+    TrBdf2,
 }
+
+/// TR-BDF2 stage split; mirrors the constant of the same name in
+/// `opera::transient`.
+pub const TR_BDF2_GAMMA: f64 = 2.0 - std::f64::consts::SQRT_2;
+/// BDF2-stage weight of the intermediate state: `1/(2(1−γ))`.
+const TR_BDF2_W_MID: f64 = 0.5 / (1.0 - TR_BDF2_GAMMA);
+/// BDF2-stage weight of the old state: `(1−γ)/2`.
+const TR_BDF2_W_OLD: f64 = 0.5 * (1.0 - TR_BDF2_GAMMA);
 
 /// Transient options of the per-node deterministic solves.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,9 +140,21 @@ impl TransientSpec {
     }
 
     /// The time points `t₀ = 0, t₁ = h, …` covered by the solves.
+    ///
+    /// Interior points are the drift-free `k as f64 * h` form and the final
+    /// point is `end_time` itself — bit-identical to
+    /// `TransientOptions::time_points` in the engine crate.
     pub fn time_points(&self) -> Vec<f64> {
         let steps = (self.end_time / self.time_step).round() as usize;
-        (0..=steps).map(|k| k as f64 * self.time_step).collect()
+        (0..=steps)
+            .map(|k| {
+                if k == steps {
+                    self.end_time
+                } else {
+                    k as f64 * self.time_step
+                }
+            })
+            .collect()
     }
 }
 
@@ -207,6 +230,8 @@ pub fn solve_collocation(
     let h_scale = match spec.scheme {
         StepScheme::BackwardEuler => 1.0 / spec.time_step,
         StepScheme::Trapezoidal => 2.0 / spec.time_step,
+        // Both TR-BDF2 stages share the one companion scale 2/(γh).
+        StepScheme::TrBdf2 => 2.0 / (TR_BDF2_GAMMA * spec.time_step),
     };
 
     // ---- The one shared symbolic analysis, on the nominal companion
@@ -262,25 +287,52 @@ pub fn solve_collocation(
         voltages[0] = v0;
         let mut rhs = vec![0.0; n];
         let mut gv = vec![0.0; n];
+        let mut stage = vec![0.0; n];
         let mut u_prev = u0;
         for (k, &t) in times.iter().enumerate().skip(1) {
             let u_next = excitation(t)?;
             let v_k = &voltages[k - 1];
-            c_over_h.matvec_into(v_k, &mut rhs);
             match spec.scheme {
                 StepScheme::BackwardEuler => {
                     // (G + C/h) v_{k+1} = u_{k+1} + (C/h) v_k
+                    c_over_h.matvec_into(v_k, &mut rhs);
                     for (r, u) in rhs.iter_mut().zip(&u_next) {
                         *r += u;
                     }
                 }
                 StepScheme::Trapezoidal => {
                     // (G + 2C/h) v_{k+1} = u_k + u_{k+1} + (2C/h − G) v_k
+                    c_over_h.matvec_into(v_k, &mut rhs);
                     g.matvec_into(v_k, &mut gv);
                     for ((r, gv_n), (a, b)) in
                         rhs.iter_mut().zip(&gv).zip(u_prev.iter().zip(&u_next))
                     {
                         *r += a + b - gv_n;
+                    }
+                }
+                StepScheme::TrBdf2 => {
+                    // TR stage over [t_k, t_k + γh]:
+                    // (G + 2C/(γh)) v_γ = u_k + u_γ + (2C/(γh) − G) v_k
+                    let t_prev = times[k - 1];
+                    let u_mid = excitation(t_prev + TR_BDF2_GAMMA * (t - t_prev))?;
+                    c_over_h.matvec_into(v_k, &mut stage);
+                    g.matvec_into(v_k, &mut gv);
+                    for ((r, gv_n), (a, b)) in
+                        stage.iter_mut().zip(&gv).zip(u_prev.iter().zip(&u_mid))
+                    {
+                        *r += a + b - gv_n;
+                    }
+                    stepper.solve_in_place(&mut stage, &mut ws);
+                    // BDF2 stage on {t_k, t_k + γh, t_{k+1}}:
+                    // (G + 2C/(γh)) v_{k+1} = u_{k+1} +
+                    //   (2C/(γh))·(v_γ/(2(1−γ)) − v_k·(1−γ)/2)
+                    c_over_h.matvec_into(&stage, &mut rhs);
+                    for r in rhs.iter_mut() {
+                        *r *= TR_BDF2_W_MID;
+                    }
+                    c_over_h.matvec_acc(v_k, -TR_BDF2_W_OLD, &mut rhs);
+                    for (r, u) in rhs.iter_mut().zip(&u_next) {
+                        *r += u;
                     }
                 }
             }

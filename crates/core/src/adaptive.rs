@@ -1,0 +1,652 @@
+//! LTE-driven adaptive TR-BDF2 transient integration.
+//!
+//! The fixed-step loops in [`crate::transient`] resolve the whole horizon at
+//! the deck's `.tran` step, which over-resolves quiet regions and
+//! under-resolves fast edges. This module drives the L-stable
+//! [`IntegrationMethod::TrBdf2`] composite with a local-truncation-error
+//! controller instead: every step solves the embedded Hosea–Shampine error
+//! estimate ([`crate::transient::CompanionSystem::tr_bdf2_error_into`]),
+//! accepts the step when
+//! the weighted-RMS error norm is at most one, and grows or shrinks the step
+//! with the classic `safety · err^(−1/3)` rule (TR-BDF2 is second order) under
+//! PI-style clamps. Results are still reported on the caller's output grid —
+//! dense quadratic interpolation through the TR stage reconstructs the state
+//! between accepted steps, and output points that coincide with accepted steps
+//! are bit-exact copies of the accepted state.
+//!
+//! Step-size changes are cheap by construction: the controller requests every
+//! factorisation through a [`CompanionFamily`], which reuses one shared
+//! symbolic Cholesky analysis (numeric-only refactorisation) and serves
+//! recently used step sizes from an LRU cache. A dead-band in the controller
+//! keeps the step unchanged when the predicted growth is modest, so long
+//! smooth stretches run entirely on cache hits. See `docs/TRANSIENT.md` for
+//! the full contract.
+
+use opera_sparse::{CsrMatrix, MatrixFactor, SolveWorkspace};
+
+use crate::transient::{
+    CompanionFamily, IntegrationMethod, TransientOptions, TransientSolution, TR_BDF2_GAMMA,
+};
+use crate::{OperaError, Result};
+
+/// Controller dead-band: predicted step factors inside `[DEADBAND_LOW,
+/// DEADBAND_HIGH]` keep the current step, so consecutive smooth steps reuse
+/// the cached factorisation instead of refactoring for a marginal gain.
+const DEADBAND_LOW: f64 = 0.9;
+const DEADBAND_HIGH: f64 = 1.3;
+
+/// Error exponent for a second-order embedded pair: `factor ∝ err^(−1/3)`.
+const ERROR_EXPONENT: f64 = -1.0 / 3.0;
+
+/// Options for the adaptive TR-BDF2 step-size controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOptions {
+    /// Relative error tolerance per step (weighted-RMS norm).
+    pub rel_tol: f64,
+    /// Absolute error tolerance per step, in volts.
+    pub abs_tol: f64,
+    /// First attempted step. Defaults to 1/100 of the horizon.
+    pub initial_step: Option<f64>,
+    /// Smallest step the controller may take. Defaults to `1e-12` of the
+    /// horizon.
+    pub min_step: Option<f64>,
+    /// Largest step the controller may take. Defaults to the whole horizon.
+    pub max_step: Option<f64>,
+    /// Safety factor applied to the predicted optimal step (classic 0.9).
+    pub safety: f64,
+    /// Maximum step growth per accepted step.
+    pub max_growth: f64,
+    /// Maximum step shrink per rejected step.
+    pub min_shrink: f64,
+    /// Consecutive rejections tolerated before the controller gives up.
+    pub max_rejects: u32,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            rel_tol: 1e-4,
+            abs_tol: 1e-9,
+            initial_step: None,
+            min_step: None,
+            max_step: None,
+            safety: 0.9,
+            max_growth: 5.0,
+            min_shrink: 0.2,
+            max_rejects: 20,
+        }
+    }
+}
+
+impl AdaptiveOptions {
+    /// Adaptive stepping at the given relative tolerance (other knobs at
+    /// their defaults).
+    pub fn with_rel_tol(rel_tol: f64) -> Self {
+        AdaptiveOptions {
+            rel_tol,
+            ..AdaptiveOptions::default()
+        }
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for non-positive tolerances,
+    /// out-of-range controller clamps, or inconsistent step bounds.
+    pub fn validate(&self) -> Result<()> {
+        let positive_finite = |value: f64| value > 0.0 && value.is_finite();
+        if !positive_finite(self.rel_tol) {
+            return Err(invalid(format!(
+                "rel_tol must be positive, got {}",
+                self.rel_tol
+            )));
+        }
+        if !positive_finite(self.abs_tol) {
+            return Err(invalid(format!(
+                "abs_tol must be positive, got {}",
+                self.abs_tol
+            )));
+        }
+        for (name, step) in [
+            ("initial_step", self.initial_step),
+            ("min_step", self.min_step),
+            ("max_step", self.max_step),
+        ] {
+            if let Some(step) = step {
+                if !positive_finite(step) {
+                    return Err(invalid(format!("{name} must be positive, got {step}")));
+                }
+            }
+        }
+        if let (Some(lo), Some(hi)) = (self.min_step, self.max_step) {
+            if lo > hi {
+                return Err(invalid(format!("min_step {lo} exceeds max_step {hi}")));
+            }
+        }
+        if !(self.safety > 0.0 && self.safety <= 1.0) {
+            return Err(invalid(format!(
+                "safety must lie in (0, 1], got {}",
+                self.safety
+            )));
+        }
+        if !(self.max_growth > 1.0 && self.max_growth.is_finite()) {
+            return Err(invalid(format!(
+                "max_growth must exceed 1, got {}",
+                self.max_growth
+            )));
+        }
+        if !(self.min_shrink > 0.0 && self.min_shrink < 1.0) {
+            return Err(invalid(format!(
+                "min_shrink must lie in (0, 1), got {}",
+                self.min_shrink
+            )));
+        }
+        if self.max_rejects == 0 {
+            return Err(invalid("max_rejects must be at least 1".to_string()));
+        }
+        Ok(())
+    }
+}
+
+fn invalid(reason: String) -> OperaError {
+    OperaError::InvalidOptions { reason }
+}
+
+/// What the adaptive controller did over one integration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Steps attempted (accepted + rejected).
+    pub steps_attempted: u64,
+    /// Steps accepted (emitted into the solution).
+    pub steps_accepted: u64,
+    /// Steps rejected by the error test (never emitted).
+    pub steps_rejected: u64,
+    /// Numeric refactorisations the run triggered in its
+    /// [`CompanionFamily`] (cache hits excluded).
+    pub refactorizations: u64,
+    /// Symbolic analyses the family has ever run (1 for Cholesky families —
+    /// step-size changes are numeric-only).
+    pub symbolic_analyses: u64,
+}
+
+/// Internal result of [`integrate_adaptive`]: dense output rows plus the
+/// accepted internal trajectory and controller statistics.
+pub(crate) struct AdaptiveRun {
+    /// State at every requested output time (dense interpolated output).
+    pub states: Vec<Vec<f64>>,
+    /// The internal accepted time sequence, starting at `t0` and ending
+    /// exactly at `t_end`.
+    pub accepted_times: Vec<f64>,
+    /// State at every accepted time.
+    pub accepted_states: Vec<Vec<f64>>,
+    /// Controller statistics.
+    pub stats: AdaptiveStats,
+}
+
+/// Result of an adaptive deterministic transient analysis.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTransientSolution {
+    /// The solution sampled on the requested output grid (same shape a
+    /// fixed-step [`solve_transient`](crate::transient::solve_transient)
+    /// would produce for those times).
+    pub solution: TransientSolution,
+    /// The internal accepted step times.
+    pub accepted_times: Vec<f64>,
+    /// The state at every accepted step time (row `i` belongs to
+    /// `accepted_times[i]`).
+    pub accepted_states: Vec<Vec<f64>>,
+    /// Controller statistics.
+    pub stats: AdaptiveStats,
+}
+
+/// Weighted-RMS error norm: `sqrt(mean((e_i / (abs_tol + rel_tol ·
+/// max(|v_old_i|, |v_new_i|)))²))`. Accept when at most 1.
+fn wrms_norm(err: &[f64], v_old: &[f64], v_new: &[f64], options: &AdaptiveOptions) -> f64 {
+    let mut sum = 0.0;
+    for ((&e, &a), &b) in err.iter().zip(v_old).zip(v_new) {
+        let scale = options.abs_tol + options.rel_tol * a.abs().max(b.abs());
+        let ratio = e / scale;
+        sum += ratio * ratio;
+    }
+    (sum / err.len().max(1) as f64).sqrt()
+}
+
+/// The predicted step factor for an error norm, clamped to the controller
+/// limits. A vanishing error predicts maximal growth.
+fn step_factor(err_norm: f64, options: &AdaptiveOptions) -> f64 {
+    if !err_norm.is_finite() {
+        return options.min_shrink;
+    }
+    let factor = options.safety * err_norm.max(1e-10).powf(ERROR_EXPONENT);
+    factor.clamp(options.min_shrink, options.max_growth)
+}
+
+/// Quadratic dense output through the three TR-BDF2 stage nodes `θ ∈ {0, γ,
+/// 1}` (Lagrange basis), writing the interpolant at `theta` into `out`.
+fn interpolate_into(v_old: &[f64], v_mid: &[f64], v_new: &[f64], theta: f64, out: &mut [f64]) {
+    let g = TR_BDF2_GAMMA;
+    let w_old = (theta - g) * (theta - 1.0) / g;
+    let w_mid = theta * (theta - 1.0) / (g * (g - 1.0));
+    let w_new = theta * (theta - g) / (1.0 - g);
+    for (((o, &a), &b), &d) in out.iter_mut().zip(v_old).zip(v_mid).zip(v_new) {
+        *o = w_old * a + w_mid * b + w_new * d;
+    }
+}
+
+/// The LTE-driven adaptive TR-BDF2 loop. Starts from `v0` at
+/// `output_times[0]`, integrates to `*output_times.last()`, and returns the
+/// dense output on `output_times` plus the accepted internal trajectory.
+///
+/// Every factorisation goes through `family` (one symbolic analysis, LRU'd
+/// numeric factors); rejected steps are never emitted; the final step is
+/// capped so the last accepted time is **exactly** `t_end`. Counters
+/// `transient.adaptive.steps_attempted` / `transient.adaptive.steps_rejected`
+/// flow into [`opera_trace`] alongside the family's refactorisation counter.
+///
+/// # Errors
+///
+/// Returns [`OperaError::InvalidOptions`] when the output grid is not
+/// strictly increasing, when `v0` disagrees with the family dimension, or
+/// when the controller cannot meet the tolerance within `max_rejects`
+/// consecutive rejections at the minimum step.
+pub(crate) fn integrate_adaptive(
+    family: &CompanionFamily,
+    v0: Vec<f64>,
+    excitation: &dyn Fn(f64) -> Vec<f64>,
+    output_times: &[f64],
+    options: &AdaptiveOptions,
+) -> Result<AdaptiveRun> {
+    options.validate()?;
+    if output_times.len() < 2 || output_times.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(invalid(
+            "adaptive output grid needs at least two strictly increasing times".to_string(),
+        ));
+    }
+    if v0.len() != family.dim() {
+        return Err(invalid(format!(
+            "initial state has {} entries but the system dimension is {}",
+            v0.len(),
+            family.dim()
+        )));
+    }
+    let t0 = output_times[0];
+    let t_end = output_times[output_times.len() - 1];
+    let span = t_end - t0;
+    let min_step = options.min_step.unwrap_or(span * 1e-12);
+    let max_step = options.max_step.unwrap_or(span).min(span);
+    let mut h = options
+        .initial_step
+        .unwrap_or(span / 100.0)
+        .clamp(min_step, max_step);
+
+    let n = v0.len();
+    let refactorizations_before = family.refactorization_count();
+    let mut stats = AdaptiveStats::default();
+
+    let mut v = v0;
+    let mut t = t0;
+    let mut u_prev = excitation(t0);
+    let mut stage = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    let mut err = vec![0.0; n];
+    let mut ws = SolveWorkspace::with_capacity(n);
+
+    let mut states = Vec::with_capacity(output_times.len());
+    states.push(v.clone());
+    let mut out_idx = 1;
+    let mut accepted_times = vec![t0];
+    let mut accepted_states = vec![v.clone()];
+
+    let mut rejected_last = false;
+    let mut consecutive_rejects = 0u32;
+
+    let adaptive_span = opera_trace::span("transient.adaptive");
+    while t < t_end {
+        // Cap the closing step so the trajectory lands exactly on `t_end`.
+        let last_step = h >= t_end - t;
+        let h_eff = if last_step { t_end - t } else { h };
+        let t_new = if last_step { t_end } else { t + h };
+        let system = family.system_for(h_eff, IntegrationMethod::TrBdf2)?;
+
+        stats.steps_attempted += 1;
+        opera_trace::count("transient.adaptive.steps_attempted", 1);
+        let u_mid = excitation(t + TR_BDF2_GAMMA * h_eff);
+        let u_new = excitation(t_new);
+        system.step_tr_bdf2_into(&v, &u_prev, &u_mid, &u_new, &mut stage, &mut next, &mut ws);
+        system.tr_bdf2_error_into(
+            &v, &stage, &next, &u_prev, &u_mid, &u_new, &mut err, &mut ws,
+        );
+        let err_norm = wrms_norm(&err, &v, &next, options);
+
+        // A NaN norm fails this comparison and lands in the reject branch.
+        if err_norm <= 1.0 {
+            stats.steps_accepted += 1;
+            consecutive_rejects = 0;
+            // Dense output for every requested time inside (t, t_new]; the
+            // point at `t_new` itself is a bit-exact copy of the accepted
+            // state, never an interpolation.
+            while out_idx < output_times.len() && output_times[out_idx] <= t_new {
+                let t_out = output_times[out_idx];
+                if t_out == t_new {
+                    states.push(next.clone());
+                } else {
+                    let mut row = vec![0.0; n];
+                    interpolate_into(&v, &stage, &next, (t_out - t) / h_eff, &mut row);
+                    states.push(row);
+                }
+                out_idx += 1;
+            }
+            t = t_new;
+            std::mem::swap(&mut v, &mut next);
+            u_prev = u_new;
+            accepted_times.push(t);
+            accepted_states.push(v.clone());
+            // Grow/shrink for the next step; never grow right after a
+            // rejection, and hold the step inside the dead-band so smooth
+            // stretches keep hitting the factor cache.
+            let mut factor = step_factor(err_norm, options);
+            if rejected_last {
+                factor = factor.min(1.0);
+            }
+            rejected_last = false;
+            if !(DEADBAND_LOW..=DEADBAND_HIGH).contains(&factor) {
+                h = (h * factor).clamp(min_step, max_step);
+            }
+        } else {
+            stats.steps_rejected += 1;
+            opera_trace::count("transient.adaptive.steps_rejected", 1);
+            consecutive_rejects += 1;
+            rejected_last = true;
+            let at_floor = h_eff <= min_step;
+            if consecutive_rejects > options.max_rejects || at_floor {
+                return Err(invalid(format!(
+                    "adaptive TR-BDF2 could not meet the error tolerance at t = {t:e} s \
+                     (step {h_eff:e} s, error norm {err_norm:.3}); loosen rel_tol/abs_tol \
+                     or lower min_step"
+                )));
+            }
+            let factor = step_factor(err_norm, options).min(DEADBAND_LOW);
+            h = (h_eff * factor).max(min_step);
+        }
+    }
+    drop(adaptive_span);
+
+    stats.refactorizations = family.refactorization_count() - refactorizations_before;
+    stats.symbolic_analyses = family.symbolic_analysis_count();
+    Ok(AdaptiveRun {
+        states,
+        accepted_times,
+        accepted_states,
+        stats,
+    })
+}
+
+/// Runs an adaptive TR-BDF2 transient analysis of `G·v + C·dv/dt = u(t)`,
+/// reporting the solution on the fixed grid of `options.time_points()` (so
+/// the result is drop-in comparable with
+/// [`solve_transient`](crate::transient::solve_transient)) while stepping
+/// internally at whatever step sizes the error controller selects.
+///
+/// # Errors
+///
+/// Returns [`OperaError::InvalidOptions`] unless `options.method` is
+/// [`IntegrationMethod::TrBdf2`], for invalid options, and when the
+/// controller cannot meet the tolerance; propagates factorisation errors.
+///
+/// # Example
+///
+/// ```
+/// use opera::adaptive::{solve_transient_adaptive, AdaptiveOptions};
+/// use opera::transient::{IntegrationMethod, TransientOptions};
+/// use opera_grid::GridSpec;
+///
+/// # fn main() -> Result<(), opera::OperaError> {
+/// let grid = GridSpec::small_test(120).build()?;
+/// let opts = TransientOptions {
+///     time_step: 0.05e-9,
+///     end_time: 1.0e-9,
+///     method: IntegrationMethod::TrBdf2,
+/// };
+/// let sol = solve_transient_adaptive(
+///     &grid.conductance_matrix(),
+///     &grid.capacitance_matrix(),
+///     |t| grid.excitation(t),
+///     &opts,
+///     &AdaptiveOptions::default(),
+/// )?;
+/// assert_eq!(sol.solution.times.len(), opts.time_points().len());
+/// assert_eq!(sol.stats.symbolic_analyses, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_transient_adaptive(
+    g: &CsrMatrix,
+    c: &CsrMatrix,
+    excitation: impl Fn(f64) -> Vec<f64>,
+    options: &TransientOptions,
+    adaptive: &AdaptiveOptions,
+) -> Result<AdaptiveTransientSolution> {
+    options.validate()?;
+    if options.method != IntegrationMethod::TrBdf2 {
+        return Err(invalid(
+            "adaptive stepping requires IntegrationMethod::TrBdf2".to_string(),
+        ));
+    }
+    let times = options.time_points();
+    solve_transient_adaptive_at(g, c, excitation, &times, adaptive)
+}
+
+/// Like [`solve_transient_adaptive`], but reports on an arbitrary strictly
+/// increasing output grid starting at the DC time `output_times[0]`.
+///
+/// # Errors
+///
+/// Same contract as [`solve_transient_adaptive`].
+pub fn solve_transient_adaptive_at(
+    g: &CsrMatrix,
+    c: &CsrMatrix,
+    excitation: impl Fn(f64) -> Vec<f64>,
+    output_times: &[f64],
+    adaptive: &AdaptiveOptions,
+) -> Result<AdaptiveTransientSolution> {
+    let family = CompanionFamily::new(g, c)?;
+    let u0 = excitation(output_times.first().copied().unwrap_or(0.0));
+    let v0 = MatrixFactor::cholesky_or_lu(g)
+        .map_err(OperaError::from)?
+        .solve(&u0);
+    let run = integrate_adaptive(&family, v0, &excitation, output_times, adaptive)?;
+    Ok(AdaptiveTransientSolution {
+        solution: TransientSolution {
+            times: output_times.to_vec(),
+            voltages: run.states,
+        },
+        accepted_times: run.accepted_times,
+        accepted_states: run.accepted_states,
+        stats: run.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::solve_transient;
+    use opera_sparse::TripletMatrix;
+
+    /// Single RC node: G = 1, C = 1 (τ = 1 s).
+    fn rc_circuit() -> (CsrMatrix, CsrMatrix) {
+        let mut g = TripletMatrix::new(1, 1);
+        g.push(0, 0, 1.0);
+        let mut c = TripletMatrix::new(1, 1);
+        c.push(0, 0, 1.0);
+        (g.to_csr(), c.to_csr())
+    }
+
+    fn step_excitation(t: f64) -> Vec<f64> {
+        vec![if t > 0.0 { 1.0 } else { 0.0 }]
+    }
+
+    fn tr_bdf2_options() -> TransientOptions {
+        TransientOptions {
+            time_step: 0.01,
+            end_time: 2.0,
+            method: IntegrationMethod::TrBdf2,
+        }
+    }
+
+    #[test]
+    fn adaptive_rc_matches_the_analytic_solution_on_the_output_grid() {
+        let (g, c) = rc_circuit();
+        let sol = solve_transient_adaptive(
+            &g,
+            &c,
+            step_excitation,
+            &tr_bdf2_options(),
+            &AdaptiveOptions::default(),
+        )
+        .unwrap();
+        for (k, &t) in sol.solution.times.iter().enumerate().skip(1) {
+            let expected = 1.0 - (-t).exp();
+            assert!(
+                (sol.solution.voltages[k][0] - expected).abs() < 1e-3,
+                "t = {t}: got {}, expected {expected}",
+                sol.solution.voltages[k][0]
+            );
+        }
+        assert_eq!(sol.stats.symbolic_analyses, 1);
+        assert_eq!(
+            sol.stats.steps_attempted,
+            sol.stats.steps_accepted + sol.stats.steps_rejected
+        );
+        // The controller should need far fewer internal steps than the
+        // 200-point output grid it reports on.
+        assert!(
+            sol.accepted_times.len() < sol.solution.times.len() / 2,
+            "accepted {} steps for {} output points",
+            sol.accepted_times.len(),
+            sol.solution.times.len()
+        );
+    }
+
+    #[test]
+    fn accepted_trajectory_is_monotone_and_inside_the_horizon() {
+        let (g, c) = rc_circuit();
+        let opts = tr_bdf2_options();
+        let sol =
+            solve_transient_adaptive(&g, &c, step_excitation, &opts, &AdaptiveOptions::default())
+                .unwrap();
+        assert_eq!(sol.accepted_times[0], 0.0);
+        assert_eq!(*sol.accepted_times.last().unwrap(), opts.end_time);
+        for w in sol.accepted_times.windows(2) {
+            assert!(w[1] > w[0], "time must strictly increase: {w:?}");
+        }
+        assert_eq!(sol.accepted_times.len(), sol.accepted_states.len());
+        assert_eq!(
+            sol.stats.steps_accepted as usize,
+            sol.accepted_times.len() - 1
+        );
+    }
+
+    #[test]
+    fn tightening_the_tolerance_converges_to_the_fixed_step_reference() {
+        // Smooth excitation: a discontinuous source would dominate the
+        // comparison with the *reference's own* first-step error.
+        let smooth = |t: f64| vec![1.0 - (-3.0 * t).exp()];
+        let (g, c) = rc_circuit();
+        let opts = TransientOptions {
+            time_step: 0.001,
+            end_time: 1.0,
+            method: IntegrationMethod::TrBdf2,
+        };
+        let reference = solve_transient(&g, &c, smooth, &opts).unwrap();
+        let mut worst_prev = f64::INFINITY;
+        for rel_tol in [1e-3, 1e-6] {
+            let sol = solve_transient_adaptive(
+                &g,
+                &c,
+                smooth,
+                &opts,
+                &AdaptiveOptions::with_rel_tol(rel_tol),
+            )
+            .unwrap();
+            let worst = sol
+                .solution
+                .voltages
+                .iter()
+                .zip(&reference.voltages)
+                .map(|(a, b)| (a[0] - b[0]).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                worst < worst_prev,
+                "tolerance {rel_tol} did not improve: {worst} vs {worst_prev}"
+            );
+            worst_prev = worst;
+        }
+        assert!(worst_prev < 1e-5, "tightest run still off by {worst_prev}");
+    }
+
+    #[test]
+    fn invalid_options_and_wrong_method_are_rejected() {
+        let (g, c) = rc_circuit();
+        let bad = AdaptiveOptions {
+            rel_tol: -1.0,
+            ..AdaptiveOptions::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(AdaptiveOptions {
+            safety: 1.5,
+            ..AdaptiveOptions::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AdaptiveOptions {
+            min_step: Some(1.0),
+            max_step: Some(0.5),
+            ..AdaptiveOptions::default()
+        }
+        .validate()
+        .is_err());
+        let be = TransientOptions::new(0.1, 1.0);
+        assert!(matches!(
+            solve_transient_adaptive(&g, &c, step_excitation, &be, &AdaptiveOptions::default()),
+            Err(OperaError::InvalidOptions { .. })
+        ));
+    }
+
+    #[test]
+    fn interpolation_is_exact_at_the_stage_nodes() {
+        let v_old = [1.0, -2.0];
+        let v_mid = [0.5, 3.0];
+        let v_new = [0.25, 7.0];
+        let mut out = [0.0; 2];
+        interpolate_into(&v_old, &v_mid, &v_new, 0.0, &mut out);
+        assert_eq!(out, v_old);
+        interpolate_into(&v_old, &v_mid, &v_new, TR_BDF2_GAMMA, &mut out);
+        for (o, e) in out.iter().zip(v_mid) {
+            assert!((o - e).abs() < 1e-14);
+        }
+        interpolate_into(&v_old, &v_mid, &v_new, 1.0, &mut out);
+        for (o, e) in out.iter().zip(v_new) {
+            assert!((o - e).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn impossible_tolerance_reports_a_controller_failure() {
+        let (g, c) = rc_circuit();
+        let opts = tr_bdf2_options();
+        let impossible = AdaptiveOptions {
+            rel_tol: 1e-15,
+            abs_tol: 1e-18,
+            min_step: Some(0.5),
+            initial_step: Some(0.5),
+            max_rejects: 3,
+            ..AdaptiveOptions::default()
+        };
+        let err =
+            solve_transient_adaptive(&g, &c, step_excitation, &opts, &impossible).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("could not meet the error tolerance"));
+    }
+}

@@ -48,6 +48,7 @@ use opera_pce::OrthogonalBasis;
 use opera_variation::{StochasticGridModel, VariationSpec};
 use rayon::prelude::*;
 
+use crate::adaptive::{AdaptiveOptions, AdaptiveStats};
 use crate::analysis::{probe_distributions, ExperimentConfig, ExperimentReport};
 use crate::compare::compare;
 use crate::galerkin::GalerkinSystem;
@@ -55,7 +56,9 @@ use crate::monte_carlo::{run as run_monte_carlo, MonteCarloOptions, MonteCarloRe
 use crate::parallel::Parallelism;
 use crate::response::drop_summary;
 use crate::solver::{backend_by_name, DirectCholesky, PreparedSolver, SolverBackend};
-use crate::stochastic::{run_prepared, run_prepared_panel, StochasticSolution};
+use crate::stochastic::{
+    run_prepared, run_prepared_adaptive, run_prepared_panel, StochasticSolution,
+};
 use crate::transient::{
     rescale_around_anchor, solve_transient, IntegrationMethod, TransientOptions,
 };
@@ -259,6 +262,7 @@ pub struct EngineBuilder {
     time_step: f64,
     end_time: Option<f64>,
     method: IntegrationMethod,
+    adaptive: Option<AdaptiveOptions>,
     mc_samples: usize,
     mc_seed: u64,
     histogram_bins: usize,
@@ -275,6 +279,7 @@ impl EngineBuilder {
             time_step: 0.05e-9,
             end_time: None,
             method: IntegrationMethod::BackwardEuler,
+            adaptive: None,
             mc_samples: 200,
             mc_seed: 42,
             histogram_bins: 30,
@@ -341,6 +346,18 @@ impl EngineBuilder {
     /// Sets the time-integration scheme.
     pub fn integration_method(mut self, method: IntegrationMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Switches the engine's Galerkin transients to LTE-driven adaptive
+    /// TR-BDF2 stepping (see [`crate::adaptive`]): the `.tran` grid becomes
+    /// the *output* grid while the controller chooses the internal steps, and
+    /// the integration method is forced to
+    /// [`IntegrationMethod::TrBdf2`]. Requires a direct solver backend
+    /// (Cholesky or LU); [`EngineBuilder::build`] rejects iterative backends.
+    pub fn adaptive(mut self, adaptive: AdaptiveOptions) -> Self {
+        self.adaptive = Some(adaptive);
+        self.method = IntegrationMethod::TrBdf2;
         self
     }
 
@@ -411,11 +428,23 @@ impl EngineBuilder {
             method: self.method,
         };
         transient.validate()?;
+        if let Some(adaptive) = &self.adaptive {
+            adaptive.validate()?;
+        }
 
         let basis =
             OrthogonalBasis::total_order_mixed(model.families(), model.n_vars(), self.order)?;
         let system = GalerkinSystem::assemble(&model, &basis)?;
         let prepared = self.solver.prepare(&model, &system, &transient)?;
+        if self.adaptive.is_some() && prepared.companion_family().is_none() {
+            return Err(OperaError::InvalidOptions {
+                reason: format!(
+                    "adaptive stepping requires a direct solver backend, \
+                     but '{}' exposes no companion family",
+                    self.solver.name()
+                ),
+            });
+        }
         let setup_seconds = started.elapsed().as_secs_f64();
         drop(trace_span);
 
@@ -433,6 +462,7 @@ impl EngineBuilder {
             solver: self.solver,
             prepared,
             transient,
+            adaptive: self.adaptive,
             mc_samples: self.mc_samples,
             mc_seed: self.mc_seed,
             histogram_bins: self.histogram_bins,
@@ -456,6 +486,7 @@ pub struct OperaEngine {
     solver: Arc<dyn SolverBackend>,
     prepared: Box<dyn PreparedSolver>,
     transient: TransientOptions,
+    adaptive: Option<AdaptiveOptions>,
     mc_samples: usize,
     mc_seed: u64,
     histogram_bins: usize,
@@ -553,7 +584,8 @@ impl OperaEngine {
     }
 
     /// Starts a builder from an already lowered netlist, attaching its node
-    /// names and adopting its `.tran` window as the transient defaults.
+    /// names and adopting its `.tran` window (and `method=` scheme, when the
+    /// deck named one) as the transient defaults.
     pub fn for_lowered_netlist(lowered: LoweredNetlist) -> EngineBuilder {
         let LoweredNetlist { grid, nodes, tran } = lowered;
         let mut builder = EngineBuilder::new(ModelSource::Grid {
@@ -564,6 +596,13 @@ impl OperaEngine {
         if let Some(tran) = tran {
             builder.time_step = tran.time_step;
             builder.end_time = Some(tran.end_time);
+            if let Some(method) = tran.method {
+                builder.method = match method {
+                    opera_netlist::TranMethod::BackwardEuler => IntegrationMethod::BackwardEuler,
+                    opera_netlist::TranMethod::Trapezoidal => IntegrationMethod::Trapezoidal,
+                    opera_netlist::TranMethod::TrBdf2 => IntegrationMethod::TrBdf2,
+                };
+            }
         }
         builder
     }
@@ -634,6 +673,11 @@ impl OperaEngine {
     /// The solver backend.
     pub fn solver(&self) -> &dyn SolverBackend {
         self.solver.as_ref()
+    }
+
+    /// The adaptive-stepping options the engine was built with, if any.
+    pub fn adaptive_options(&self) -> Option<&AdaptiveOptions> {
+        self.adaptive.as_ref()
     }
 
     /// The engine's default transient options.
@@ -718,20 +762,48 @@ impl OperaEngine {
         let mut state = vec![0.0; dim];
         self.prepared.solve_dc_into(&u0, &mut state, &mut ws)?;
         let mut next = vec![0.0; dim];
+        let two_stage = self.transient.method == IntegrationMethod::TrBdf2;
+        let mut stage = vec![0.0; if two_stage { dim } else { 0 }];
         let h = self.transient.time_step;
+        let mut advance = |state: &[f64],
+                           u_prev: &[f64],
+                           t_prev: f64,
+                           t: f64,
+                           u_next: &[f64],
+                           next: &mut [f64],
+                           ws: &mut opera_sparse::SolveWorkspace|
+         -> Result<()> {
+            if two_stage {
+                let u_mid = self.system.excitation(
+                    &self.model,
+                    t_prev + crate::transient::TR_BDF2_GAMMA * (t - t_prev),
+                );
+                self.prepared
+                    .step_tr_bdf2_into(state, u_prev, &u_mid, u_next, &mut stage, next, ws)
+            } else {
+                self.prepared.step_into(state, u_prev, u_next, next, ws)
+            }
+        };
         // Warm-up step: the workspace may grow here, once.
         let mut u_prev = u0;
         let mut u_next = self.system.excitation(&self.model, h);
-        self.prepared
-            .step_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
+        advance(&state, &u_prev, 0.0, h, &u_next, &mut next, &mut ws)?;
         std::mem::swap(&mut state, &mut next);
         std::mem::swap(&mut u_prev, &mut u_next);
         let warm = ws.allocation_count();
         // Steady state: three more steps must not grow the workspace at all.
         for k in 2..=4 {
-            u_next = self.system.excitation(&self.model, k as f64 * h);
-            self.prepared
-                .step_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
+            let t = k as f64 * h;
+            u_next = self.system.excitation(&self.model, t);
+            advance(
+                &state,
+                &u_prev,
+                (k - 1) as f64 * h,
+                t,
+                &u_next,
+                &mut next,
+                &mut ws,
+            )?;
             std::mem::swap(&mut state, &mut next);
             std::mem::swap(&mut u_prev, &mut u_next);
         }
@@ -758,13 +830,62 @@ impl OperaEngine {
     /// Returns [`OperaError::InvalidOptions`] for invalid overrides and
     /// propagates solver errors.
     pub fn solve_scenario(&self, scenario: &Scenario) -> Result<StochasticSolution> {
+        match &self.adaptive {
+            Some(adaptive) => self
+                .solve_scenario_adaptive_with(scenario, adaptive)
+                .map(|(solution, _)| solution),
+            None => {
+                let transient = self.scenario_transient(scenario)?;
+                let fresh = self.prepare_if_needed(&transient)?;
+                let prepared = fresh.as_deref().unwrap_or(self.prepared.as_ref());
+                let scale = scenario.current_scale;
+                let anchor = (scale != 1.0).then(|| self.system.excitation(&self.model, 0.0));
+                run_prepared(
+                    prepared,
+                    &self.system,
+                    |t| {
+                        let mut u = self.system.excitation(&self.model, t);
+                        if let Some(u0) = &anchor {
+                            rescale_around_anchor(&mut u, u0, scale);
+                        }
+                        u
+                    },
+                    transient.time_points(),
+                    transient.method,
+                )
+            }
+        }
+    }
+
+    /// Solves one scenario with LTE-driven adaptive TR-BDF2 stepping and
+    /// returns the controller statistics alongside the solution. The solution
+    /// is reported on the scenario's `.tran` grid (dense interpolated
+    /// output), exactly like [`solve_scenario`](Self::solve_scenario) when
+    /// the engine was [built adaptive](EngineBuilder::adaptive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] when the engine's backend
+    /// exposes no companion family, for invalid overrides, and when the
+    /// controller cannot meet its tolerance; propagates solver errors.
+    pub fn solve_scenario_adaptive(
+        &self,
+        scenario: &Scenario,
+        adaptive: &AdaptiveOptions,
+    ) -> Result<(StochasticSolution, AdaptiveStats)> {
+        self.solve_scenario_adaptive_with(scenario, adaptive)
+    }
+
+    fn solve_scenario_adaptive_with(
+        &self,
+        scenario: &Scenario,
+        adaptive: &AdaptiveOptions,
+    ) -> Result<(StochasticSolution, AdaptiveStats)> {
         let transient = self.scenario_transient(scenario)?;
-        let fresh = self.prepare_if_needed(&transient)?;
-        let prepared = fresh.as_deref().unwrap_or(self.prepared.as_ref());
         let scale = scenario.current_scale;
         let anchor = (scale != 1.0).then(|| self.system.excitation(&self.model, 0.0));
-        run_prepared(
-            prepared,
+        run_prepared_adaptive(
+            self.prepared.as_ref(),
             &self.system,
             |t| {
                 let mut u = self.system.excitation(&self.model, t);
@@ -774,6 +895,7 @@ impl OperaEngine {
                 u
             },
             transient.time_points(),
+            adaptive,
         )
     }
 
@@ -836,6 +958,7 @@ impl OperaEngine {
             scheme: match transient.method {
                 IntegrationMethod::BackwardEuler => StepScheme::BackwardEuler,
                 IntegrationMethod::Trapezoidal => StepScheme::Trapezoidal,
+                IntegrationMethod::TrBdf2 => StepScheme::TrBdf2,
             },
             current_scale: scenario.current_scale,
         };
@@ -932,9 +1055,15 @@ impl OperaEngine {
                 self.scenario_transient(scenario)?;
             }
             // Scenarios without transient overrides share the engine's
-            // factors and time grid: solve them as one panel.
+            // factors and time grid: solve them as one panel. Adaptive
+            // engines skip the panel path — each scenario's controller picks
+            // its own step sequence, so there is no shared grid to batch on.
             let batchable: Vec<usize> = (0..scenarios.len())
-                .filter(|&i| scenarios[i].time_step.is_none() && scenarios[i].end_time.is_none())
+                .filter(|&i| {
+                    self.adaptive.is_none()
+                        && scenarios[i].time_step.is_none()
+                        && scenarios[i].end_time.is_none()
+                })
                 .collect();
             let mut solutions: Vec<Option<(StochasticSolution, f64)>> =
                 (0..scenarios.len()).map(|_| None).collect();
@@ -955,6 +1084,7 @@ impl OperaEngine {
                     anchor.as_deref(),
                     &scales,
                     self.transient.time_points(),
+                    self.transient.method,
                 )?;
                 let share = t0.elapsed().as_secs_f64() / batchable.len() as f64;
                 for (&i, solution) in batchable.iter().zip(panel_solutions) {
@@ -1001,7 +1131,12 @@ impl OperaEngine {
 
     /// Returns a freshly prepared solver when `transient` is incompatible
     /// with the engine's prepared factors (different time step), `None` when
-    /// the shared preparation can be reused.
+    /// the shared preparation can be reused. Backends with a
+    /// [`CompanionFamily`](crate::transient::CompanionFamily) re-step via a
+    /// numeric-only refactorisation against the shared symbolic analysis
+    /// ([`PreparedSolver::with_time_step`]); others run a full prepare.
+    /// Either way the refresh counts towards
+    /// [`factorization_count`](Self::factorization_count).
     fn prepare_if_needed(
         &self,
         transient: &TransientOptions,
@@ -1010,6 +1145,12 @@ impl OperaEngine {
             && transient.method == self.transient.method
         {
             return Ok(None);
+        }
+        if transient.method == self.transient.method {
+            if let Some(restepped) = self.prepared.with_time_step(transient.time_step)? {
+                self.factorizations.incr();
+                return Ok(Some(restepped));
+            }
         }
         let prepared = self.solver.prepare(&self.model, &self.system, transient)?;
         self.factorizations.incr();
@@ -1333,16 +1474,17 @@ C2 leaf_a 0 2f
 C3 leaf_b 0 2f
 C4 leaf_c 0 2f
 I1 leaf_c 0 PWL(0 0 0.5n 2m 1n 0) block=1
-.tran 0.25n 1n
+.tran 0.25n 1n method=trbdf2
 ";
         let engine = OperaEngine::for_netlist_str(deck)
             .unwrap()
             .mc_samples(5)
             .build()
             .unwrap();
-        // Deck `.tran` became the engine defaults.
+        // Deck `.tran` became the engine defaults, including the scheme.
         assert_eq!(engine.transient().time_step, 0.25e-9);
         assert_eq!(engine.transient().end_time, 1e-9);
+        assert_eq!(engine.transient().method, IntegrationMethod::TrBdf2);
         // Names round-trip both ways; the unnamed fallback label works too.
         assert_eq!(engine.node_count(), 4);
         assert_eq!(engine.node_index("leaf_c"), Some(3));

@@ -19,9 +19,12 @@
 //! * [`solver`] — pluggable [`SolverBackend`]s for the
 //!   augmented system (direct Cholesky, block-Jacobi preconditioned CG,
 //!   left-looking LU) plus a name-based registry for custom backends.
-//! * [`transient`] — deterministic transient MNA solver (backward Euler or
-//!   trapezoidal) used both for nominal analysis and inside the Monte Carlo
-//!   baseline.
+//! * [`transient`] — deterministic transient MNA solver (backward Euler,
+//!   trapezoidal or L-stable TR-BDF2) used both for nominal analysis and
+//!   inside the Monte Carlo baseline.
+//! * [`adaptive`] — LTE-driven adaptive TR-BDF2 stepping with dense
+//!   interpolated output on the requested `.tran` grid, sharing one symbolic
+//!   analysis across all step sizes.
 //! * [`galerkin`] — assembly of the spectral (Galerkin) augmented system
 //!   `(G̃ + sC̃) a(s) = Ũ(s)` of paper Eqs. (19)–(22).
 //! * [`stochastic`] — the one-shot OPERA solver front end: one augmented
@@ -89,6 +92,7 @@
 
 mod error;
 
+pub mod adaptive;
 pub mod analysis;
 pub mod compare;
 pub mod engine;
@@ -101,6 +105,7 @@ pub mod special_case;
 pub mod stochastic;
 pub mod transient;
 
+pub use adaptive::{AdaptiveOptions, AdaptiveStats, AdaptiveTransientSolution};
 pub use engine::{
     CollocationConfig, CollocationReport, GridKind as CollocationGridKind, McConfig, OperaEngine,
     Scenario, ScenarioReport,

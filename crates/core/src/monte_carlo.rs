@@ -377,14 +377,28 @@ pub fn run_leakage(
             .collect();
         let mut u_next = Panel::zeros(n, w);
         let mut next = Panel::zeros(n, w);
+        let two_stage = options.transient.method == crate::transient::IntegrationMethod::TrBdf2;
+        let cols_mid = if two_stage { w } else { 0 };
+        let mut u_mid = Panel::zeros(n, cols_mid);
+        let mut stage = Panel::zeros(n, cols_mid);
+        let mut t_prev = times[0];
         for &t in &times[1..] {
             fill(&mut u_next, &base_at(t));
-            companion.step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws);
+            if two_stage {
+                let tm = t_prev + crate::transient::TR_BDF2_GAMMA * (t - t_prev);
+                fill(&mut u_mid, &base_at(tm));
+                companion.step_tr_bdf2_panel_into(
+                    &state, &u_prev, &u_mid, &u_next, &mut stage, &mut next, &mut ws,
+                );
+            } else {
+                companion.step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws);
+            }
             for (series, col) in traces.iter_mut().zip(next.columns()) {
                 series.push(col.to_vec());
             }
             std::mem::swap(&mut state, &mut next);
             std::mem::swap(&mut u_prev, &mut u_next);
+            t_prev = t;
         }
         Ok(traces)
     })
@@ -412,10 +426,26 @@ fn transient_sample(
     voltages[0] = v0;
     let mut ws = SolveWorkspace::with_capacity(n);
     let mut u_prev = u0;
+    let two_stage = method == crate::transient::IntegrationMethod::TrBdf2;
+    let mut stage = vec![0.0; if two_stage { n } else { 0 }];
     for (k, &t) in times.iter().enumerate().skip(1) {
         let u_next = excitation(t)?;
         let (done, rest) = voltages.split_at_mut(k);
-        companion.step_into(&done[k - 1], &u_prev, &u_next, &mut rest[0], &mut ws);
+        if two_stage {
+            let t_prev = times[k - 1];
+            let u_mid = excitation(t_prev + crate::transient::TR_BDF2_GAMMA * (t - t_prev))?;
+            companion.step_tr_bdf2_into(
+                &done[k - 1],
+                &u_prev,
+                &u_mid,
+                &u_next,
+                &mut stage,
+                &mut rest[0],
+                &mut ws,
+            );
+        } else {
+            companion.step_into(&done[k - 1], &u_prev, &u_next, &mut rest[0], &mut ws);
+        }
         u_prev = u_next;
     }
     Ok(voltages)

@@ -36,7 +36,10 @@ use opera_sparse::{CholeskyFactor, CsrMatrix, MatrixFactor, Panel, SolveWorkspac
 use opera_variation::StochasticGridModel;
 
 use crate::galerkin::GalerkinSystem;
-use crate::transient::{CompanionSystem, IntegrationMethod, TransientOptions};
+use crate::transient::{
+    companion_scale, CompanionFamily, CompanionSystem, IntegrationMethod, TransientOptions,
+    TR_BDF2_W_MID, TR_BDF2_W_OLD,
+};
 use crate::{OperaError, Result};
 
 /// A strategy for solving the augmented Galerkin system.
@@ -179,6 +182,92 @@ pub trait PreparedSolver: Send + Sync {
         self.step_into(state, u_prev, u_next, &mut out, &mut SolveWorkspace::new())?;
         Ok(out)
     }
+
+    /// Advances one TR-BDF2 composite step into `out`: the trapezoidal stage
+    /// over `[t, t + γh]` lands in `stage`, the BDF2 stage over the rest of
+    /// the step lands in `out`. `u_mid` is the excitation at `t + γh`.
+    ///
+    /// The default rejects the call; backends prepared for
+    /// [`IntegrationMethod::TrBdf2`] override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] when the backend does not
+    /// support TR-BDF2, and propagates solver errors otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn step_tr_bdf2_into(
+        &self,
+        state: &[f64],
+        u_prev: &[f64],
+        u_mid: &[f64],
+        u_next: &[f64],
+        stage: &mut [f64],
+        out: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<()> {
+        let _ = (state, u_prev, u_mid, u_next, stage, out, ws);
+        Err(OperaError::InvalidOptions {
+            reason: "this solver backend was not prepared for TR-BDF2 stepping".to_string(),
+        })
+    }
+
+    /// Advances one TR-BDF2 step for a panel of independent states. The
+    /// default steps column by column through
+    /// [`step_tr_bdf2_into`](PreparedSolver::step_tr_bdf2_into); direct
+    /// backends override it with blocked panel solves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    #[allow(clippy::too_many_arguments)]
+    fn step_tr_bdf2_panel_into(
+        &self,
+        state: &Panel,
+        u_prev: &Panel,
+        u_mid: &Panel,
+        u_next: &Panel,
+        stage: &mut Panel,
+        out: &mut Panel,
+        ws: &mut SolveWorkspace,
+    ) -> Result<()> {
+        assert_eq!(state.ncols(), out.ncols(), "panel column count mismatch");
+        assert_eq!(stage.ncols(), out.ncols(), "stage panel column mismatch");
+        for j in 0..state.ncols() {
+            self.step_tr_bdf2_into(
+                state.col(j),
+                u_prev.col(j),
+                u_mid.col(j),
+                u_next.col(j),
+                stage.col_mut(j),
+                out.col_mut(j),
+                ws,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The companion-system family behind this solver, when it has one:
+    /// direct backends expose it so the adaptive controller can request
+    /// numeric-only refactorisations for new step sizes (and so callers can
+    /// read the symbolic/refactorisation counters). Iterative backends
+    /// return `None`.
+    fn companion_family(&self) -> Option<&CompanionFamily> {
+        None
+    }
+
+    /// Re-prepares this solver for a different fixed time step, reusing
+    /// every step-size-independent artifact (the DC factor and the shared
+    /// symbolic analysis) and re-running only the numeric companion
+    /// factorisation. Returns `Ok(None)` when the backend cannot re-step
+    /// cheaply and the caller should run a full prepare.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorisation errors.
+    fn with_time_step(&self, time_step: f64) -> Result<Option<Box<dyn PreparedSolver>>> {
+        let _ = time_step;
+        Ok(None)
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -199,11 +288,34 @@ pub struct DirectCholesky;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LeftLookingLu;
 
-/// Factors shared by the two direct backends: a DC factor of `G̃` and a
-/// factored companion system for the stepping.
+/// Factors shared by the two direct backends: a DC factor of `G̃`, the
+/// companion family (one symbolic analysis for every step size), and the
+/// family's factored companion system for the prepared time step.
+///
+/// The DC factor deliberately keeps its own full factorisation instead of
+/// the family's union-pattern analysis: `G̃`'s pattern is a strict subset of
+/// `G̃ + C̃`, so factoring it against the union analysis would change fill
+/// and break bit-identity with the pre-family behaviour.
 struct DirectPrepared {
-    dc: MatrixFactor,
-    companion: CompanionSystem,
+    dc: Arc<MatrixFactor>,
+    family: Arc<CompanionFamily>,
+    companion: Arc<CompanionSystem>,
+}
+
+impl DirectPrepared {
+    fn new(
+        dc: MatrixFactor,
+        family: CompanionFamily,
+        transient: &TransientOptions,
+    ) -> Result<Self> {
+        let family = Arc::new(family);
+        let companion = family.system_for(transient.time_step, transient.method)?;
+        Ok(DirectPrepared {
+            dc: Arc::new(dc),
+            family,
+            companion,
+        })
+    }
 }
 
 impl PreparedSolver for DirectPrepared {
@@ -243,6 +355,49 @@ impl PreparedSolver for DirectPrepared {
             .step_panel_into(state, u_prev, u_next, out, ws);
         Ok(())
     }
+
+    fn step_tr_bdf2_into(
+        &self,
+        state: &[f64],
+        u_prev: &[f64],
+        u_mid: &[f64],
+        u_next: &[f64],
+        stage: &mut [f64],
+        out: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<()> {
+        self.companion
+            .step_tr_bdf2_into(state, u_prev, u_mid, u_next, stage, out, ws);
+        Ok(())
+    }
+
+    fn step_tr_bdf2_panel_into(
+        &self,
+        state: &Panel,
+        u_prev: &Panel,
+        u_mid: &Panel,
+        u_next: &Panel,
+        stage: &mut Panel,
+        out: &mut Panel,
+        ws: &mut SolveWorkspace,
+    ) -> Result<()> {
+        self.companion
+            .step_tr_bdf2_panel_into(state, u_prev, u_mid, u_next, stage, out, ws);
+        Ok(())
+    }
+
+    fn companion_family(&self) -> Option<&CompanionFamily> {
+        Some(&self.family)
+    }
+
+    fn with_time_step(&self, time_step: f64) -> Result<Option<Box<dyn PreparedSolver>>> {
+        let companion = self.family.system_for(time_step, self.companion.method())?;
+        Ok(Some(Box::new(DirectPrepared {
+            dc: Arc::clone(&self.dc),
+            family: Arc::clone(&self.family),
+            companion,
+        })))
+    }
 }
 
 impl SolverBackend for DirectCholesky {
@@ -258,13 +413,8 @@ impl SolverBackend for DirectCholesky {
     ) -> Result<Box<dyn PreparedSolver>> {
         let _span = opera_trace::span("solver.prepare");
         let dc = MatrixFactor::cholesky_or_lu(system.conductance())?;
-        let companion = CompanionSystem::new(
-            system.conductance(),
-            system.capacitance(),
-            transient.time_step,
-            transient.method,
-        )?;
-        Ok(Box::new(DirectPrepared { dc, companion }))
+        let family = CompanionFamily::new(system.conductance(), system.capacitance())?;
+        Ok(Box::new(DirectPrepared::new(dc, family, transient)?))
     }
 }
 
@@ -281,13 +431,8 @@ impl SolverBackend for LeftLookingLu {
     ) -> Result<Box<dyn PreparedSolver>> {
         let _span = opera_trace::span("solver.prepare");
         let dc = MatrixFactor::lu(system.conductance())?;
-        let companion = CompanionSystem::with_lu(
-            system.conductance(),
-            system.capacitance(),
-            transient.time_step,
-            transient.method,
-        )?;
-        Ok(Box::new(DirectPrepared { dc, companion }))
+        let family = CompanionFamily::with_lu(system.conductance(), system.capacitance())?;
+        Ok(Box::new(DirectPrepared::new(dc, family, transient)?))
     }
 }
 
@@ -343,10 +488,9 @@ impl SolverBackend for BlockJacobiCg {
         let n = system.node_count();
         let size = system.basis_size();
         let h = transient.time_step;
-        let c_scale = match transient.method {
-            IntegrationMethod::BackwardEuler => 1.0 / h,
-            IntegrationMethod::Trapezoidal => 2.0 / h,
-        };
+        // Matches the direct backends' companion matrix for every scheme
+        // (TR-BDF2's two stages share the single scale 2/(γh)).
+        let c_scale = companion_scale(transient.method, h);
 
         let inv_norms: Vec<f64> = (0..size)
             .map(|i| 1.0 / system.coupling().norm_squared(i))
@@ -472,11 +616,71 @@ impl PreparedSolver for CgPrepared {
                     *r += a + b;
                 }
             }
+            IntegrationMethod::TrBdf2 => {
+                return Err(OperaError::InvalidOptions {
+                    reason: "TR-BDF2 needs the mid-stage excitation: step via step_tr_bdf2_into"
+                        .to_string(),
+                })
+            }
         }
         let x = cg_with_guess(
             &self.a_hat,
             &rhs,
             state,
+            &self.step_pre,
+            self.tolerance,
+            self.max_iterations,
+        )?;
+        out.copy_from_slice(&x);
+        Ok(())
+    }
+
+    fn step_tr_bdf2_into(
+        &self,
+        state: &[f64],
+        u_prev: &[f64],
+        u_mid: &[f64],
+        u_next: &[f64],
+        stage: &mut [f64],
+        out: &mut [f64],
+        _ws: &mut SolveWorkspace,
+    ) -> Result<()> {
+        if self.method != IntegrationMethod::TrBdf2 {
+            return Err(OperaError::InvalidOptions {
+                reason: "backend was prepared for a single-stage scheme, not TR-BDF2".to_string(),
+            });
+        }
+        // TR stage: Â v_γ = u_k + u_γ + (2C̃/(γh) − G̃) v_k, with the
+        // step-start state as the CG guess.
+        let mut rhs = vec![0.0; state.len()];
+        self.c_over_h.matvec_into(state, &mut rhs);
+        self.g_hat.matvec_acc(state, -1.0, &mut rhs);
+        for ((r, a), b) in rhs.iter_mut().zip(u_prev).zip(u_mid) {
+            *r += a + b;
+        }
+        let x = cg_with_guess(
+            &self.a_hat,
+            &rhs,
+            state,
+            &self.step_pre,
+            self.tolerance,
+            self.max_iterations,
+        )?;
+        stage.copy_from_slice(&x);
+        // BDF2 stage: Â v_{k+1} = u_{k+1} + (2C̃/(γh))·(v_γ/(2(1−γ)) −
+        // v_k·(1−γ)/2), with the mid state as the guess.
+        self.c_over_h.matvec_into(stage, &mut rhs);
+        for r in rhs.iter_mut() {
+            *r *= TR_BDF2_W_MID;
+        }
+        self.c_over_h.matvec_acc(state, -TR_BDF2_W_OLD, &mut rhs);
+        for (r, u) in rhs.iter_mut().zip(u_next) {
+            *r += u;
+        }
+        let x = cg_with_guess(
+            &self.a_hat,
+            &rhs,
+            stage,
             &self.step_pre,
             self.tolerance,
             self.max_iterations,
@@ -677,6 +881,89 @@ mod tests {
                 assert!((a - b).abs() < 1e-7 * scale, "{a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn all_three_backends_agree_on_a_tr_bdf2_step() {
+        use crate::transient::TR_BDF2_GAMMA;
+        let (model, system, mut transient) = prepared_setup();
+        transient.method = IntegrationMethod::TrBdf2;
+        let u0 = system.excitation(&model, 0.0);
+        let u_mid = system.excitation(&model, TR_BDF2_GAMMA * transient.time_step);
+        let u1 = system.excitation(&model, transient.time_step);
+        let dim = u0.len();
+        let mut states = Vec::new();
+        for name in [DIRECT_CHOLESKY, LEFT_LOOKING_LU, BLOCK_JACOBI_CG] {
+            let backend = backend_by_name(name).unwrap();
+            let prepared = backend.prepare(&model, &system, &transient).unwrap();
+            let a0 = prepared.solve_dc(&u0).unwrap();
+            let mut stage = vec![0.0; dim];
+            let mut a1 = vec![0.0; dim];
+            prepared
+                .step_tr_bdf2_into(
+                    &a0,
+                    &u0,
+                    &u_mid,
+                    &u1,
+                    &mut stage,
+                    &mut a1,
+                    &mut SolveWorkspace::new(),
+                )
+                .unwrap();
+            if name == BLOCK_JACOBI_CG {
+                // The single-stage entry must refuse a TR-BDF2 preparation
+                // (the direct backends enforce the same contract by panic).
+                assert!(prepared.step(&a0, &u0, &u1).is_err());
+            }
+            states.push(a1);
+        }
+        let scale = states[0]
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1.0);
+        for other in &states[1..] {
+            for (a, b) in states[0].iter().zip(other) {
+                assert!((a - b).abs() < 1e-7 * scale, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_time_step_reuses_the_symbolic_analysis() {
+        let (model, system, transient) = prepared_setup();
+        let prepared = DirectCholesky.prepare(&model, &system, &transient).unwrap();
+        let family_analyses = prepared
+            .companion_family()
+            .expect("direct backends expose their family")
+            .symbolic_analysis_count();
+        assert_eq!(family_analyses, 1);
+        let refactors_before = prepared.companion_family().unwrap().refactorization_count();
+        let restepped = prepared
+            .with_time_step(transient.time_step / 2.0)
+            .unwrap()
+            .expect("direct backends re-step cheaply");
+        let family = restepped.companion_family().unwrap();
+        // One numeric refactorisation, zero new symbolic analyses.
+        assert_eq!(family.symbolic_analysis_count(), 1);
+        assert_eq!(family.refactorization_count(), refactors_before + 1);
+        // The re-stepped solver matches a from-scratch preparation bitwise.
+        let mut halved = transient;
+        halved.time_step /= 2.0;
+        let fresh = DirectCholesky.prepare(&model, &system, &halved).unwrap();
+        let u0 = system.excitation(&model, 0.0);
+        let u1 = system.excitation(&model, halved.time_step);
+        let a0 = fresh.solve_dc(&u0).unwrap();
+        let via_fresh = fresh.step(&a0, &u0, &u1).unwrap();
+        let via_restep = restepped.step(&a0, &u0, &u1).unwrap();
+        for (x, y) in via_fresh.iter().zip(&via_restep) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The CG backend opts out of cheap re-stepping.
+        let cg = BlockJacobiCg::default()
+            .prepare(&model, &system, &transient)
+            .unwrap();
+        assert!(cg.with_time_step(transient.time_step).unwrap().is_none());
+        assert!(cg.companion_family().is_none());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use opera_variation::LeakageModel;
 use rayon::prelude::*;
 
 use crate::stochastic::StochasticSolution;
-use crate::transient::{CompanionSystem, TransientOptions};
+use crate::transient::{CompanionSystem, IntegrationMethod, TransientOptions, TR_BDF2_GAMMA};
 use crate::{OperaError, Result};
 
 /// Options for the special-case (RHS-only variation) solver.
@@ -120,13 +120,33 @@ pub fn solve_leakage(
 
     let mut u_next = u_prev.clone();
     let mut next = Panel::zeros(n, size);
+    let two_stage = options.transient.method == IntegrationMethod::TrBdf2;
+    // TR-BDF2 mid-stage panels: only column 0 is time-dependent, so the
+    // leakage-coefficient columns of `u_mid` are filled once up front.
+    let cols_mid = if two_stage { size } else { 0 };
+    let mut u_mid = if two_stage {
+        u_prev.clone()
+    } else {
+        Panel::zeros(n, cols_mid)
+    };
+    let mut stage = Panel::zeros(n, cols_mid);
+    let mut t_prev = times[0];
     for &t in &times[1..] {
         u_next.col_mut(0).copy_from_slice(&sys.rhs_at(0, t));
-        sys.companion
-            .step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws);
+        if two_stage {
+            let tm = t_prev + TR_BDF2_GAMMA * (t - t_prev);
+            u_mid.col_mut(0).copy_from_slice(&sys.rhs_at(0, tm));
+            sys.companion.step_tr_bdf2_panel_into(
+                &state, &u_prev, &u_mid, &u_next, &mut stage, &mut next, &mut ws,
+            );
+        } else {
+            sys.companion
+                .step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws);
+        }
         coefficients.push(next.columns().map(<[f64]>::to_vec).collect());
         std::mem::swap(&mut state, &mut next);
         std::mem::swap(&mut u_prev, &mut u_next);
+        t_prev = t;
     }
     Ok(StochasticSolution::new(
         sys.basis,
@@ -160,6 +180,7 @@ pub fn solve_leakage_reference(
     // The N + 1 systems are independent, so they run on the installed rayon
     // pool; the shared factors are only read. Each worker produces the full
     // time series of its coefficient, per_j[j][k][node].
+    let two_stage = options.transient.method == IntegrationMethod::TrBdf2;
     let per_j: Vec<Vec<Vec<f64>>> = (0..size)
         .into_par_iter()
         .map(|j| {
@@ -168,11 +189,18 @@ pub fn solve_leakage_reference(
             let mut series = Vec::with_capacity(times.len());
             series.push(state.clone());
             let mut u_prev = u0;
+            let mut t_prev = times[0];
             for &t in &times[1..] {
                 let u_next = sys.rhs_at(j, t);
-                state = sys.companion.step(&state, &u_prev, &u_next);
+                state = if two_stage {
+                    let u_mid = sys.rhs_at(j, t_prev + TR_BDF2_GAMMA * (t - t_prev));
+                    sys.companion.step_tr_bdf2(&state, &u_prev, &u_mid, &u_next)
+                } else {
+                    sys.companion.step(&state, &u_prev, &u_next)
+                };
                 series.push(state.clone());
                 u_prev = u_next;
+                t_prev = t;
             }
             series
         })
@@ -308,11 +336,11 @@ mod tests {
 
     #[test]
     fn panel_path_is_bit_identical_to_per_column_reference() {
-        use crate::transient::IntegrationMethod;
         let (grid, leakage) = setup();
         for method in [
             IntegrationMethod::BackwardEuler,
             IntegrationMethod::Trapezoidal,
+            IntegrationMethod::TrBdf2,
         ] {
             let opts = SpecialCaseOptions {
                 order: 2,

@@ -19,9 +19,10 @@ use opera_pce::{OrthogonalBasis, PceSeries};
 use opera_sparse::{Panel, SolveWorkspace};
 use opera_variation::StochasticGridModel;
 
+use crate::adaptive::{integrate_adaptive, AdaptiveOptions, AdaptiveStats};
 use crate::galerkin::GalerkinSystem;
 use crate::solver::{BlockJacobiCg, DirectCholesky, PreparedSolver, SolverBackend};
-use crate::transient::{rescale_around_anchor, TransientOptions};
+use crate::transient::{rescale_around_anchor, IntegrationMethod, TransientOptions, TR_BDF2_GAMMA};
 use crate::{OperaError, Result};
 
 /// Options for the OPERA solver.
@@ -263,6 +264,7 @@ pub fn solve_assembled(
         system,
         |t| system.excitation(model, t),
         transient.time_points(),
+        transient.method,
     )
 }
 
@@ -276,6 +278,7 @@ pub(crate) fn run_prepared(
     system: &GalerkinSystem,
     excitation: impl Fn(f64) -> Vec<f64>,
     times: Vec<f64>,
+    method: IntegrationMethod,
 ) -> Result<StochasticSolution> {
     let n = system.node_count();
     let dim = system.dim();
@@ -293,6 +296,10 @@ pub(crate) fn run_prepared(
     coefficients.push(system.split_solution(&state));
     let mut next = vec![0.0; dim];
     let mut u_prev = u0;
+    let two_stage = method == IntegrationMethod::TrBdf2;
+    // TR-BDF2 intermediate stage (empty for the single-stage schemes).
+    let mut stage = vec![0.0; if two_stage { dim } else { 0 }];
+    let mut t_prev = times[0];
     // One span for the whole loop plus a per-step counter: per-step spans
     // would record thousands of tiny ranges and perturb the very loop the
     // allocation-counter hook asserts is steady-state.
@@ -300,10 +307,18 @@ pub(crate) fn run_prepared(
     for &t in &times[1..] {
         opera_trace::count("transient.steps", 1);
         let u_next = excitation(t);
-        prepared.step_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
+        if two_stage {
+            let u_mid = excitation(t_prev + TR_BDF2_GAMMA * (t - t_prev));
+            prepared.step_tr_bdf2_into(
+                &state, &u_prev, &u_mid, &u_next, &mut stage, &mut next, &mut ws,
+            )?;
+        } else {
+            prepared.step_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
+        }
         coefficients.push(system.split_solution(&next));
         std::mem::swap(&mut state, &mut next);
         u_prev = u_next;
+        t_prev = t;
     }
     drop(stepping);
     Ok(StochasticSolution::new(
@@ -311,6 +326,45 @@ pub(crate) fn run_prepared(
         times,
         n,
         coefficients,
+    ))
+}
+
+/// Adaptive variant of [`run_prepared`]: the augmented transient is advanced
+/// by the LTE-driven TR-BDF2 controller of [`crate::adaptive`] through the
+/// prepared solver's [`CompanionFamily`](crate::transient::CompanionFamily)
+/// (one symbolic analysis; numeric-only refactorisation per step size), and
+/// the polynomial-chaos coefficients are reported on `times` via dense
+/// interpolation — bit-exact copies wherever an output time coincides with an
+/// accepted step.
+pub(crate) fn run_prepared_adaptive(
+    prepared: &dyn PreparedSolver,
+    system: &GalerkinSystem,
+    excitation: impl Fn(f64) -> Vec<f64>,
+    times: Vec<f64>,
+    adaptive: &AdaptiveOptions,
+) -> Result<(StochasticSolution, AdaptiveStats)> {
+    let family = prepared
+        .companion_family()
+        .ok_or_else(|| OperaError::InvalidOptions {
+            reason: "adaptive stepping needs a direct solver backend \
+                     (no companion family is available)"
+                .to_string(),
+        })?;
+    let n = system.node_count();
+    let dim = system.dim();
+    let mut ws = SolveWorkspace::with_capacity(dim);
+    let u0 = excitation(times.first().copied().unwrap_or(0.0));
+    let mut v0 = vec![0.0; dim];
+    prepared.solve_dc_into(&u0, &mut v0, &mut ws)?;
+    let run = integrate_adaptive(family, v0, &excitation, &times, adaptive)?;
+    let coefficients = run
+        .states
+        .iter()
+        .map(|state| system.split_solution(state))
+        .collect();
+    Ok((
+        StochasticSolution::new(system.basis().clone(), times, n, coefficients),
+        run.stats,
     ))
 }
 
@@ -332,6 +386,7 @@ pub(crate) fn run_prepared_panel(
     anchor: Option<&[f64]>,
     scales: &[f64],
     times: Vec<f64>,
+    method: IntegrationMethod,
 ) -> Result<Vec<StochasticSolution>> {
     let n = system.node_count();
     let dim = system.dim();
@@ -377,17 +432,33 @@ pub(crate) fn run_prepared_panel(
 
     let mut u_next = Panel::zeros(dim, k);
     let mut next = Panel::zeros(dim, k);
+    let two_stage = method == IntegrationMethod::TrBdf2;
+    // TR-BDF2 mid-stage excitation and state panels (zero columns for the
+    // single-stage schemes, so they cost nothing).
+    let cols_mid = if two_stage { k } else { 0 };
+    let mut u_mid = Panel::zeros(dim, cols_mid);
+    let mut stage = Panel::zeros(dim, cols_mid);
+    let mut t_prev = times[0];
     let stepping = opera_trace::span("transient.stepping");
     for &t in &times[1..] {
         opera_trace::count("transient.steps", 1);
         let u = excitation(t);
         fill(&u, &mut u_next);
-        prepared.step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
+        if two_stage {
+            let um = excitation(t_prev + TR_BDF2_GAMMA * (t - t_prev));
+            fill(&um, &mut u_mid);
+            prepared.step_tr_bdf2_panel_into(
+                &state, &u_prev, &u_mid, &u_next, &mut stage, &mut next, &mut ws,
+            )?;
+        } else {
+            prepared.step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws)?;
+        }
         for (j, per_scenario) in coefficients.iter_mut().enumerate() {
             per_scenario.push(system.split_solution(next.col(j)));
         }
         std::mem::swap(&mut state, &mut next);
         std::mem::swap(&mut u_prev, &mut u_next);
+        t_prev = t;
     }
     drop(stepping);
 

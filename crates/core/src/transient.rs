@@ -2,13 +2,52 @@
 //!
 //! The paper carries out fixed-step transient analysis of the power grid.
 //! This module provides backward Euler (default, matching the paper's fixed
-//! time step) and trapezoidal integration. The companion matrix
-//! `G + C/h` (or `G + 2C/h`) is factored once with sparse Cholesky and reused
-//! for every time step.
+//! time step), trapezoidal integration, and the L-stable two-stage TR-BDF2
+//! composite. The companion matrix `G + s·C` (`s = 1/h`, `2/h` or `2/(γh)`
+//! depending on the scheme) is factored once with sparse Cholesky and reused
+//! for every time step. [`CompanionFamily`] extends the reuse across step
+//! sizes: one symbolic analysis serves numeric-only refactorisations for
+//! every `h` the adaptive controller visits, with an LRU cache of the
+//! recently-used factors. See `docs/TRANSIENT.md`.
 
-use opera_sparse::{CsrMatrix, MatrixFactor, Panel, SolveWorkspace};
+use std::sync::{Arc, Mutex};
+
+use opera_sparse::{CsrMatrix, MatrixFactor, Panel, SolveWorkspace, SymbolicCholesky};
+use opera_trace::Counter;
 
 use crate::{OperaError, Result};
+
+/// TR-BDF2 stage split: the trapezoidal stage covers `γh`, the BDF2 stage the
+/// remaining `(1−γ)h`, with `γ = 2 − √2` so both stages share one companion
+/// matrix `G + (2/(γh))·C`.
+pub const TR_BDF2_GAMMA: f64 = 2.0 - std::f64::consts::SQRT_2;
+
+/// BDF2-stage weight of the intermediate state: `1/(2(1−γ))`.
+pub(crate) const TR_BDF2_W_MID: f64 = 0.5 / (1.0 - TR_BDF2_GAMMA);
+/// BDF2-stage weight of the old state: `(1−γ)/2`.
+pub(crate) const TR_BDF2_W_OLD: f64 = 0.5 * (1.0 - TR_BDF2_GAMMA);
+
+/// TR-BDF2 local-error constant `(3γ² − 4γ + 2) / (12(2 − γ))`
+/// (Hosea–Shampine), folded below into the per-node residual weights of the
+/// filtered error estimate.
+const TR_BDF2_ERR_CONST: f64 = (3.0 * TR_BDF2_GAMMA * TR_BDF2_GAMMA - 4.0 * TR_BDF2_GAMMA + 2.0)
+    / (12.0 * (2.0 - TR_BDF2_GAMMA));
+/// Residual weight of the step-start node in the filtered LTE solve.
+const TR_BDF2_ERR_OLD: f64 = 2.0 * TR_BDF2_ERR_CONST / (TR_BDF2_GAMMA * TR_BDF2_GAMMA);
+/// Residual weight of the intermediate (`t + γh`) node.
+const TR_BDF2_ERR_MID: f64 =
+    -2.0 * TR_BDF2_ERR_CONST / (TR_BDF2_GAMMA * TR_BDF2_GAMMA * (1.0 - TR_BDF2_GAMMA));
+/// Residual weight of the step-end node.
+const TR_BDF2_ERR_NEW: f64 = 2.0 * TR_BDF2_ERR_CONST / (TR_BDF2_GAMMA * (1.0 - TR_BDF2_GAMMA));
+
+/// Companion-matrix scale `s` in `G + s·C` for a scheme at step `h`.
+pub(crate) fn companion_scale(method: IntegrationMethod, time_step: f64) -> f64 {
+    match method {
+        IntegrationMethod::BackwardEuler => 1.0 / time_step,
+        IntegrationMethod::Trapezoidal => 2.0 / time_step,
+        IntegrationMethod::TrBdf2 => 2.0 / (TR_BDF2_GAMMA * time_step),
+    }
+}
 
 /// Rescales an excitation vector around an anchor (the quiescent `t = 0`
 /// excitation): `u ← anchor + scale·(u − anchor)`. Because switching
@@ -31,6 +70,11 @@ pub enum IntegrationMethod {
     BackwardEuler,
     /// Second-order trapezoidal rule — more accurate for smooth waveforms.
     Trapezoidal,
+    /// Second-order TR-BDF2 composite (trapezoidal stage over `γh`, BDF2
+    /// stage over the rest, `γ = 2 − √2`) — L-stable, so stiff RC decks do
+    /// not ring, with an embedded error estimate that drives the adaptive
+    /// controller in [`crate::adaptive`].
+    TrBdf2,
 }
 
 /// Options for a fixed-step transient analysis.
@@ -80,9 +124,23 @@ impl TransientOptions {
     }
 
     /// The time points `t₀ = 0, t₁ = h, …` covered by the analysis.
+    ///
+    /// Interior points are generated as `k as f64 * h` (not by accumulating
+    /// `t += h`, which drifts), and the final point is `end_time` itself, so
+    /// the grid always lands exactly on the requested horizon even when
+    /// `steps · h` rounds away from it. `TransientSpec::time_points` in
+    /// `opera-collocation` mirrors this exactly.
     pub fn time_points(&self) -> Vec<f64> {
         let steps = (self.end_time / self.time_step).round() as usize;
-        (0..=steps).map(|k| k as f64 * self.time_step).collect()
+        (0..=steps)
+            .map(|k| {
+                if k == steps {
+                    self.end_time
+                } else {
+                    k as f64 * self.time_step
+                }
+            })
+            .collect()
     }
 }
 
@@ -179,11 +237,7 @@ impl CompanionSystem {
         method: IntegrationMethod,
         factoring: impl FnOnce(&CsrMatrix) -> opera_sparse::Result<MatrixFactor>,
     ) -> Result<Self> {
-        let scale = match method {
-            IntegrationMethod::BackwardEuler => 1.0 / time_step,
-            IntegrationMethod::Trapezoidal => 2.0 / time_step,
-        };
-        let c_over_h = c.scaled(scale);
+        let c_over_h = c.scaled(companion_scale(method, time_step));
         let companion = g.add_scaled(&c_over_h, 1.0)?;
         let factor = factoring(&companion)?;
         Ok(CompanionSystem {
@@ -198,6 +252,11 @@ impl CompanionSystem {
     /// Time step the companion matrix was built for.
     pub fn time_step(&self) -> f64 {
         self.h
+    }
+
+    /// Integration scheme the companion matrix was built for.
+    pub fn method(&self) -> IntegrationMethod {
+        self.method
     }
 
     /// Solves the companion system for an arbitrary right-hand side,
@@ -252,6 +311,10 @@ impl CompanionSystem {
     ) {
         assert_eq!(u_k.len(), out.len(), "u_k dimension mismatch");
         assert_eq!(u_k1.len(), out.len(), "u_k1 dimension mismatch");
+        assert!(
+            self.method != IntegrationMethod::TrBdf2,
+            "TR-BDF2 needs the mid-stage excitation: step via step_tr_bdf2_into"
+        );
         match self.method {
             IntegrationMethod::BackwardEuler => {
                 // (G + C/h) v_{k+1} = u_{k+1} + (C/h) v_k
@@ -260,7 +323,8 @@ impl CompanionSystem {
                     *r += u;
                 }
             }
-            IntegrationMethod::Trapezoidal => {
+            // TrBdf2 is rejected by the assert above.
+            IntegrationMethod::Trapezoidal | IntegrationMethod::TrBdf2 => {
                 // (G + 2C/h) v_{k+1} = u_k + u_{k+1} + (2C/h − G) v_k
                 self.c_over_h.matvec_into(v_k, out);
                 self.g.matvec_acc(v_k, -1.0, out);
@@ -270,6 +334,92 @@ impl CompanionSystem {
             }
         }
         self.factor.solve_in_place(out, ws);
+    }
+
+    /// Advances one TR-BDF2 step into caller-provided buffers: the
+    /// trapezoidal stage over `[t, t + γh]` lands the intermediate state in
+    /// `stage`, the BDF2 stage over `[t, t + γh, t + h]` lands `v_{k+1}` in
+    /// `out`. Both stages solve the **same** factored companion matrix
+    /// `G + (2/(γh))·C`, so a TR-BDF2 step costs two solves against one
+    /// factorisation. `u_mid` is the excitation at `t + γh`. Zero heap
+    /// allocations once `ws` is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths disagree or the system was built for a
+    /// different scheme.
+    #[allow(clippy::too_many_arguments)] // two stages = three excitations + two buffers
+    pub fn step_tr_bdf2_into(
+        &self,
+        v_k: &[f64],
+        u_k: &[f64],
+        u_mid: &[f64],
+        u_k1: &[f64],
+        stage: &mut [f64],
+        out: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) {
+        assert_eq!(self.method, IntegrationMethod::TrBdf2, "method mismatch");
+        assert_eq!(u_k.len(), out.len(), "u_k dimension mismatch");
+        assert_eq!(u_mid.len(), out.len(), "u_mid dimension mismatch");
+        assert_eq!(u_k1.len(), out.len(), "u_k1 dimension mismatch");
+        assert_eq!(stage.len(), out.len(), "stage dimension mismatch");
+        // TR stage: (G + 2C/(γh)) v_γ = u_k + u_γ + (2C/(γh) − G) v_k
+        self.c_over_h.matvec_into(v_k, stage);
+        self.g.matvec_acc(v_k, -1.0, stage);
+        for ((r, a), b) in stage.iter_mut().zip(u_k).zip(u_mid) {
+            *r += a + b;
+        }
+        self.factor.solve_in_place(stage, ws);
+        // BDF2 stage on the unequally spaced nodes {t, t+γh, t+h}:
+        // (G + 2C/(γh)) v_{k+1} = u_{k+1} + (2C/(γh))·(v_γ/(2(1−γ)) − v_k·(1−γ)/2)
+        self.c_over_h.matvec_into(stage, out);
+        for r in out.iter_mut() {
+            *r *= TR_BDF2_W_MID;
+        }
+        self.c_over_h.matvec_acc(v_k, -TR_BDF2_W_OLD, out);
+        for (r, u) in out.iter_mut().zip(u_k1) {
+            *r += u;
+        }
+        self.factor.solve_in_place(out, ws);
+    }
+
+    /// The embedded TR-BDF2 local-truncation-error estimate, filtered through
+    /// the companion matrix (Hosea–Shampine): solves
+    /// `(G + (2/(γh))·C) e = Σ w_i (u_i − G v_i)` over the three stage nodes,
+    /// which equals the raw divided-difference estimate premultiplied by the
+    /// L-stable filter `(I + (γh/2)C⁻¹G)⁻¹` — no `C⁻¹` ever materialises, so
+    /// singular `C` (nodes without capacitors) is fine. Costs three `G`
+    /// mat-vecs and one extra solve of the already-factored companion. Zero
+    /// heap allocations once `ws` is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths disagree or the system was built for a
+    /// different scheme.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tr_bdf2_error_into(
+        &self,
+        v_k: &[f64],
+        v_mid: &[f64],
+        v_k1: &[f64],
+        u_k: &[f64],
+        u_mid: &[f64],
+        u_k1: &[f64],
+        err: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) {
+        assert_eq!(self.method, IntegrationMethod::TrBdf2, "method mismatch");
+        assert_eq!(v_k.len(), err.len(), "v_k dimension mismatch");
+        assert_eq!(v_mid.len(), err.len(), "v_mid dimension mismatch");
+        assert_eq!(v_k1.len(), err.len(), "v_k1 dimension mismatch");
+        for (((e, a), b), d) in err.iter_mut().zip(u_k).zip(u_mid).zip(u_k1) {
+            *e = TR_BDF2_ERR_OLD * a + TR_BDF2_ERR_MID * b + TR_BDF2_ERR_NEW * d;
+        }
+        self.g.matvec_acc(v_k, -TR_BDF2_ERR_OLD, err);
+        self.g.matvec_acc(v_mid, -TR_BDF2_ERR_MID, err);
+        self.g.matvec_acc(v_k1, -TR_BDF2_ERR_NEW, err);
+        self.factor.solve_in_place(err, ws);
     }
 
     /// Advances one time step for a whole panel of independent states sharing
@@ -294,6 +444,10 @@ impl CompanionSystem {
         assert_eq!(u_k1.ncols(), out.ncols(), "u_k1 panel column mismatch");
         assert_eq!(u_k.nrows(), out.nrows(), "u_k panel row mismatch");
         assert_eq!(u_k1.nrows(), out.nrows(), "u_k1 panel row mismatch");
+        assert!(
+            self.method != IntegrationMethod::TrBdf2,
+            "TR-BDF2 needs the mid-stage excitation: step via step_tr_bdf2_panel_into"
+        );
         for j in 0..out.ncols() {
             let col = out.col_mut(j);
             match self.method {
@@ -303,7 +457,8 @@ impl CompanionSystem {
                         *r += u;
                     }
                 }
-                IntegrationMethod::Trapezoidal => {
+                // TrBdf2 is rejected by the assert above.
+                IntegrationMethod::Trapezoidal | IntegrationMethod::TrBdf2 => {
                     self.c_over_h.matvec_into(v_k.col(j), col);
                     self.g.matvec_acc(v_k.col(j), -1.0, col);
                     for ((r, a), b) in col.iter_mut().zip(u_k.col(j)).zip(u_k1.col(j)) {
@@ -315,7 +470,241 @@ impl CompanionSystem {
         self.factor.solve_panel(out, ws);
     }
 
+    /// Advances one TR-BDF2 step for a whole panel of independent states:
+    /// the TR-stage right-hand sides of every column build in `stage`, go
+    /// through **one** blocked panel solve, then the BDF2 stage does the
+    /// same into `out`. Each column is bit-identical to
+    /// [`CompanionSystem::step_tr_bdf2_into`] on that column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel shapes disagree or the system was built for a
+    /// different scheme.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_tr_bdf2_panel_into(
+        &self,
+        v_k: &Panel,
+        u_k: &Panel,
+        u_mid: &Panel,
+        u_k1: &Panel,
+        stage: &mut Panel,
+        out: &mut Panel,
+        ws: &mut SolveWorkspace,
+    ) {
+        assert_eq!(self.method, IntegrationMethod::TrBdf2, "method mismatch");
+        assert_eq!(v_k.ncols(), out.ncols(), "state/output panel mismatch");
+        assert_eq!(stage.ncols(), out.ncols(), "stage panel column mismatch");
+        assert_eq!(u_k.ncols(), out.ncols(), "u_k panel column mismatch");
+        assert_eq!(u_mid.ncols(), out.ncols(), "u_mid panel column mismatch");
+        assert_eq!(u_k1.ncols(), out.ncols(), "u_k1 panel column mismatch");
+        assert_eq!(u_k.nrows(), out.nrows(), "u_k panel row mismatch");
+        assert_eq!(u_mid.nrows(), out.nrows(), "u_mid panel row mismatch");
+        assert_eq!(u_k1.nrows(), out.nrows(), "u_k1 panel row mismatch");
+        for j in 0..out.ncols() {
+            let col = stage.col_mut(j);
+            self.c_over_h.matvec_into(v_k.col(j), col);
+            self.g.matvec_acc(v_k.col(j), -1.0, col);
+            for ((r, a), b) in col.iter_mut().zip(u_k.col(j)).zip(u_mid.col(j)) {
+                *r += a + b;
+            }
+        }
+        self.factor.solve_panel(stage, ws);
+        for j in 0..out.ncols() {
+            let col = out.col_mut(j);
+            self.c_over_h.matvec_into(stage.col(j), col);
+            for r in col.iter_mut() {
+                *r *= TR_BDF2_W_MID;
+            }
+            self.c_over_h.matvec_acc(v_k.col(j), -TR_BDF2_W_OLD, col);
+            for (r, u) in col.iter_mut().zip(u_k1.col(j)) {
+                *r += u;
+            }
+        }
+        self.factor.solve_panel(out, ws);
+    }
+
     // lint: end-hot
+
+    /// Advances one TR-BDF2 step, allocating the result; the hot loops use
+    /// [`CompanionSystem::step_tr_bdf2_into`]. Returns `v_{k+1}`.
+    pub fn step_tr_bdf2(&self, v_k: &[f64], u_k: &[f64], u_mid: &[f64], u_k1: &[f64]) -> Vec<f64> {
+        let mut stage = vec![0.0; v_k.len()];
+        let mut out = vec![0.0; v_k.len()];
+        self.step_tr_bdf2_into(
+            v_k,
+            u_k,
+            u_mid,
+            u_k1,
+            &mut stage,
+            &mut out,
+            &mut SolveWorkspace::new(),
+        );
+        out
+    }
+}
+
+/// Number of recently-used step sizes whose numeric companion factors stay
+/// cached (the adaptive controller's deadband revisits a handful of steps).
+const FAMILY_CACHE_CAPACITY: usize = 8;
+
+/// A family of companion systems over one `(G, C)` pair: the sparsity
+/// pattern of `G + s·C` is independent of `s`, so **one**
+/// [`SymbolicCholesky`] analysis (AMD ordering, etree, supernodes) serves
+/// every step size, and changing `h` only re-runs the numeric factorisation.
+/// Recently-used factors are kept in a small LRU cache keyed by
+/// `(h, method)`, so the adaptive controller's deadband — and TR-BDF2 step
+/// sequences that alternate a few step sizes — pay no factorisation at all
+/// on revisits.
+///
+/// The factors produced here are bit-identical to [`CompanionSystem::new`]
+/// on the same inputs: the shared analysis sees the same union pattern, so
+/// ordering, fill and the numeric kernel all match the one-shot path.
+///
+/// Bookkeeping is observable two ways: the `transient.symbolic_analyses` and
+/// `transient.refactorizations` counters flow into [`opera_trace`] when
+/// tracing is enabled, and [`CompanionFamily::symbolic_analysis_count`] /
+/// [`CompanionFamily::refactorization_count`] always read the per-family
+/// totals.
+pub struct CompanionFamily {
+    g: CsrMatrix,
+    c: CsrMatrix,
+    symbolic: Option<SymbolicCholesky>,
+    use_lu: bool,
+    cache: Mutex<Vec<CachedFactor>>,
+    symbolic_analyses: Counter,
+    refactorizations: Counter,
+}
+
+/// One LRU entry of a [`CompanionFamily`]: a factored companion system keyed
+/// by the step-size bit pattern and the scheme it was built for.
+type CachedFactor = ((u64, IntegrationMethod), Arc<CompanionSystem>);
+
+impl CompanionFamily {
+    /// Analyses the union pattern `G + C` once and prepares the family for
+    /// Cholesky factors (with a per-step-size LU fallback mirroring
+    /// [`MatrixFactor::cholesky_or_lu`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern-union and symbolic-analysis errors.
+    pub fn new(g: &CsrMatrix, c: &CsrMatrix) -> Result<Self> {
+        Self::build_family(g, c, false)
+    }
+
+    /// Prepares a family that factors every step size with left-looking LU,
+    /// skipping the shared Cholesky analysis — for matrices known not to be
+    /// positive definite. Step-size changes re-run the full LU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern-union errors.
+    pub fn with_lu(g: &CsrMatrix, c: &CsrMatrix) -> Result<Self> {
+        Self::build_family(g, c, true)
+    }
+
+    fn build_family(g: &CsrMatrix, c: &CsrMatrix, use_lu: bool) -> Result<Self> {
+        let symbolic_analyses = Counter::new("transient.symbolic_analyses");
+        let symbolic = if use_lu {
+            None
+        } else {
+            // The analysis is pattern-only: `s = 1` stands in for every
+            // positive companion scale.
+            let pattern = g.add_scaled(c, 1.0)?;
+            let symbolic = SymbolicCholesky::analyze(&pattern)?;
+            symbolic_analyses.incr();
+            Some(symbolic)
+        };
+        Ok(CompanionFamily {
+            g: g.clone(),
+            c: c.clone(),
+            symbolic,
+            use_lu,
+            cache: Mutex::new(Vec::new()),
+            symbolic_analyses,
+            refactorizations: Counter::new("transient.refactorizations"),
+        })
+    }
+
+    /// System dimension (rows of `G`).
+    pub fn dim(&self) -> usize {
+        self.g.nrows()
+    }
+
+    /// Number of symbolic analyses this family has run (0 for the LU
+    /// fallback, 1 otherwise — never more).
+    pub fn symbolic_analysis_count(&self) -> u64 {
+        self.symbolic_analyses.get()
+    }
+
+    /// Number of numeric (re)factorisations this family has run — one per
+    /// distinct `(h, method)` requested, cache hits excluded.
+    pub fn refactorization_count(&self) -> u64 {
+        self.refactorizations.get()
+    }
+
+    /// Number of companion systems currently held by the LRU cache.
+    pub fn cached_systems(&self) -> usize {
+        match self.cache.lock() {
+            Ok(cache) => cache.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Returns the factored companion system for `(time_step, method)`,
+    /// reusing the cached factor when the pair was recently requested and
+    /// otherwise running a numeric-only refactorisation against the shared
+    /// symbolic analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperaError::InvalidOptions`] for a non-positive step and
+    /// propagates factorisation errors.
+    pub fn system_for(
+        &self,
+        time_step: f64,
+        method: IntegrationMethod,
+    ) -> Result<Arc<CompanionSystem>> {
+        if time_step <= 0.0 || !time_step.is_finite() {
+            return Err(OperaError::InvalidOptions {
+                reason: format!("companion step must be positive, got {time_step}"),
+            });
+        }
+        let key = (time_step.to_bits(), method);
+        let mut cache = match self.cache.lock() {
+            Ok(cache) => cache,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            let entry = cache.remove(pos);
+            cache.insert(0, entry);
+            return Ok(Arc::clone(&cache[0].1));
+        }
+        let c_over_h = self.c.scaled(companion_scale(method, time_step));
+        let companion = self.g.add_scaled(&c_over_h, 1.0)?;
+        let factor = if self.use_lu {
+            MatrixFactor::lu(&companion)?
+        } else if let Some(symbolic) = &self.symbolic {
+            match symbolic.factor_numeric(&companion) {
+                Ok(factor) => MatrixFactor::Cholesky(factor),
+                // Mirror cholesky_or_lu: numerically indefinite companions
+                // fall back to a full LU for this step size.
+                Err(_) => MatrixFactor::lu(&companion)?,
+            }
+        } else {
+            MatrixFactor::cholesky_or_lu(&companion)?
+        };
+        self.refactorizations.incr();
+        let system = Arc::new(CompanionSystem {
+            factor,
+            c_over_h,
+            g: self.g.clone(),
+            method,
+            h: time_step,
+        });
+        cache.insert(0, (key, Arc::clone(&system)));
+        cache.truncate(FAMILY_CACHE_CAPACITY);
+        Ok(system)
+    }
 }
 
 /// Runs a fixed-step transient analysis of `G·v + C·dv/dt = u(t)`.
@@ -371,6 +760,10 @@ pub fn solve_transient(
     voltages[0] = v0;
     let mut ws = SolveWorkspace::with_capacity(n);
     let mut u_prev = u0;
+    let two_stage = options.method == IntegrationMethod::TrBdf2;
+    // TR-BDF2 intermediate stage (allocated outside the hot loop; unused by
+    // the single-stage schemes).
+    let mut stage = vec![0.0; if two_stage { n } else { 0 }];
     // The span lives outside the hot region (its guard is not allocation-free
     // when tracing is enabled); inside it only counter increments are allowed.
     let stepping = opera_trace::span("transient.stepping");
@@ -379,7 +772,21 @@ pub fn solve_transient(
         opera_trace::count("transient.steps", 1);
         let u_next = excitation(times[k]);
         let (done, rest) = voltages.split_at_mut(k);
-        companion.step_into(&done[k - 1], &u_prev, &u_next, &mut rest[0], &mut ws);
+        if two_stage {
+            let t_prev = times[k - 1];
+            let u_mid = excitation(t_prev + TR_BDF2_GAMMA * (times[k] - t_prev));
+            companion.step_tr_bdf2_into(
+                &done[k - 1],
+                &u_prev,
+                &u_mid,
+                &u_next,
+                &mut stage,
+                &mut rest[0],
+                &mut ws,
+            );
+        } else {
+            companion.step_into(&done[k - 1], &u_prev, &u_next, &mut rest[0], &mut ws);
+        }
         u_prev = u_next;
     }
     // lint: end-hot
@@ -531,5 +938,192 @@ mod tests {
         assert!(TransientOptions::new(2.0, 1.0).validate().is_err());
         assert!(TransientOptions::new(0.1, 1.0).validate().is_ok());
         assert_eq!(TransientOptions::new(0.25, 1.0).time_points().len(), 5);
+    }
+
+    #[test]
+    fn time_points_land_exactly_on_end_time() {
+        // 0.1 is not exactly representable: accumulating (or multiplying out)
+        // ten steps of it misses 1e-9 in the last bits. The grid must still
+        // end bit-exactly on end_time.
+        for (dt, end) in [
+            (1e-10, 1e-9),
+            (0.1, 0.7),
+            (0.3, 0.9),
+            (0.05e-9, 1.0e-9),
+            (0.25, 1.0),
+        ] {
+            let pts = TransientOptions::new(dt, end).time_points();
+            assert_eq!(pts[0], 0.0);
+            let last = *pts.last().unwrap();
+            assert_eq!(
+                last.to_bits(),
+                f64::to_bits(end),
+                "grid for dt={dt}, end={end} ends at {last:e}, not {end:e}"
+            );
+            // Interior points are the drift-free k·h form.
+            for (k, &t) in pts.iter().enumerate().take(pts.len() - 1) {
+                assert_eq!(t.to_bits(), (k as f64 * dt).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tr_bdf2_holds_steady_state_exactly() {
+        let (g, c) = rc_circuit();
+        let u = |_t: f64| vec![0.5];
+        let opts = TransientOptions {
+            time_step: 0.1,
+            end_time: 1.0,
+            method: IntegrationMethod::TrBdf2,
+        };
+        let sol = solve_transient(&g, &c, u, &opts).unwrap();
+        for v in &sol.voltages {
+            assert!(
+                (v[0] - 0.5).abs() < 1e-12,
+                "steady state drifted to {}",
+                v[0]
+            );
+        }
+    }
+
+    #[test]
+    fn tr_bdf2_is_second_order_on_smooth_excitation() {
+        let (g, c) = rc_circuit();
+        let u = |t: f64| vec![0.5 * (1.0 - (std::f64::consts::PI * t).cos())];
+        let value_at_end = |method: IntegrationMethod, step: f64| {
+            let sol = solve_transient(
+                &g,
+                &c,
+                u,
+                &TransientOptions {
+                    time_step: step,
+                    end_time: 1.0,
+                    method,
+                },
+            )
+            .unwrap();
+            sol.voltages.last().unwrap()[0]
+        };
+        let reference = value_at_end(IntegrationMethod::Trapezoidal, 0.0005);
+        let coarse = (value_at_end(IntegrationMethod::TrBdf2, 0.05) - reference).abs();
+        let fine = (value_at_end(IntegrationMethod::TrBdf2, 0.025) - reference).abs();
+        let be = (value_at_end(IntegrationMethod::BackwardEuler, 0.05) - reference).abs();
+        // Halving the step must cut the error by ~4 (order 2), and the
+        // composite must clearly beat first-order backward Euler.
+        assert!(fine < 0.35 * coarse, "coarse {coarse:e}, fine {fine:e}");
+        assert!(coarse < 0.25 * be, "tr-bdf2 {coarse:e} vs BE {be:e}");
+    }
+
+    #[test]
+    fn companion_family_matches_one_shot_factorisation_bitwise() {
+        let grid = opera_grid::GridSpec::small_test(150).build().unwrap();
+        let g = grid.conductance_matrix();
+        let c = grid.capacitance_matrix();
+        let family = CompanionFamily::new(&g, &c).unwrap();
+        let u0 = grid.excitation(0.0);
+        let u1 = grid.excitation(0.05e-9);
+        let v0 = MatrixFactor::cholesky_or_lu(&g).unwrap().solve(&u0);
+        for method in [
+            IntegrationMethod::BackwardEuler,
+            IntegrationMethod::Trapezoidal,
+        ] {
+            let one_shot = CompanionSystem::new(&g, &c, 0.05e-9, method).unwrap();
+            let shared = family.system_for(0.05e-9, method).unwrap();
+            let a = one_shot.step(&v0, &u0, &u1);
+            let b = shared.step(&v0, &u0, &u1);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "family factor diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn companion_family_reuses_one_symbolic_analysis_and_caches_factors() {
+        let (g, c) = rc_circuit();
+        let family = CompanionFamily::new(&g, &c).unwrap();
+        assert_eq!(family.symbolic_analysis_count(), 1);
+        assert_eq!(family.refactorization_count(), 0);
+        let first = family.system_for(0.1, IntegrationMethod::TrBdf2).unwrap();
+        assert_eq!(family.refactorization_count(), 1);
+        // Cache hit: same (h, method) pair returns the same factor object.
+        let again = family.system_for(0.1, IntegrationMethod::TrBdf2).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(family.refactorization_count(), 1);
+        // A new step size refactors numerics only — the analysis count stays 1.
+        family.system_for(0.05, IntegrationMethod::TrBdf2).unwrap();
+        assert_eq!(family.refactorization_count(), 2);
+        assert_eq!(family.symbolic_analysis_count(), 1);
+        // The cache is bounded: far more step sizes than the capacity...
+        for k in 1..=(2 * FAMILY_CACHE_CAPACITY) {
+            family
+                .system_for(0.1 / k as f64, IntegrationMethod::TrBdf2)
+                .unwrap();
+        }
+        assert!(family.cached_systems() <= FAMILY_CACHE_CAPACITY);
+        // ...and eviction is least-recently-used: the newest entry survives.
+        let newest = 0.1 / (2 * FAMILY_CACHE_CAPACITY) as f64;
+        let before = family.refactorization_count();
+        family
+            .system_for(newest, IntegrationMethod::TrBdf2)
+            .unwrap();
+        assert_eq!(family.refactorization_count(), before);
+        assert!(family.system_for(-1.0, IntegrationMethod::TrBdf2).is_err());
+    }
+
+    #[test]
+    fn tr_bdf2_step_wrapper_matches_step_into_and_panel_path() {
+        let grid = opera_grid::GridSpec::small_test(80).build().unwrap();
+        let g = grid.conductance_matrix();
+        let c = grid.capacitance_matrix();
+        let n = g.nrows();
+        let sys = CompanionSystem::new(&g, &c, 0.05e-9, IntegrationMethod::TrBdf2).unwrap();
+        let u0 = grid.excitation(0.0);
+        let u_mid = grid.excitation(TR_BDF2_GAMMA * 0.05e-9);
+        let u1 = grid.excitation(0.05e-9);
+        let v0 = MatrixFactor::cholesky_or_lu(&g).unwrap().solve(&u0);
+        let scalar = sys.step_tr_bdf2(&v0, &u0, &u_mid, &u1);
+        // Panel with two identical columns: both must equal the scalar step
+        // bit for bit.
+        let mut ws = SolveWorkspace::with_capacity(2 * n);
+        let fill = |src: &[f64]| {
+            let mut p = Panel::zeros(n, 2);
+            p.col_mut(0).copy_from_slice(src);
+            p.col_mut(1).copy_from_slice(src);
+            p
+        };
+        let (vp, up0, upm, up1) = (fill(&v0), fill(&u0), fill(&u_mid), fill(&u1));
+        let mut stage = Panel::zeros(n, 2);
+        let mut out = Panel::zeros(n, 2);
+        sys.step_tr_bdf2_panel_into(&vp, &up0, &upm, &up1, &mut stage, &mut out, &mut ws);
+        for j in 0..2 {
+            for (x, y) in scalar.iter().zip(out.col(j)) {
+                assert_eq!(x.to_bits(), y.to_bits(), "panel column {j} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn tr_bdf2_error_estimate_shrinks_with_the_step() {
+        let (g, c) = rc_circuit();
+        let u = |t: f64| vec![0.5 * (1.0 - (std::f64::consts::PI * t).cos())];
+        let norm_at = |h: f64| {
+            let sys = CompanionSystem::new(&g, &c, h, IntegrationMethod::TrBdf2).unwrap();
+            let u0 = u(0.0);
+            let um = u(TR_BDF2_GAMMA * h);
+            let u1 = u(h);
+            let v0 = vec![0.0];
+            let mut stage = vec![0.0];
+            let mut next = vec![0.0];
+            let mut ws = SolveWorkspace::new();
+            sys.step_tr_bdf2_into(&v0, &u0, &um, &u1, &mut stage, &mut next, &mut ws);
+            let mut err = vec![0.0];
+            sys.tr_bdf2_error_into(&v0, &stage, &next, &u0, &um, &u1, &mut err, &mut ws);
+            err[0].abs()
+        };
+        let coarse = norm_at(0.2);
+        let fine = norm_at(0.1);
+        // The local error of an order-2 step is O(h³): halving the step must
+        // shrink the estimate by far more than half.
+        assert!(fine < 0.3 * coarse, "coarse {coarse:e}, fine {fine:e}");
     }
 }

@@ -12,15 +12,17 @@
 
 use opera_grid::CapacitorClass;
 
-/// The transient analysis window from a `.tran tstep tstop` directive.
+/// The transient analysis window from a `.tran tstep tstop [tstart]
+/// [method=be|trap|trbdf2]` directive.
 ///
 /// ```
-/// use opera_netlist::parse;
+/// use opera_netlist::{parse, TranMethod};
 ///
-/// let deck = parse("VDD s 0 1.2\nR1 s a 1\n.tran 10p 2n\n").unwrap();
+/// let deck = parse("VDD s 0 1.2\nR1 s a 1\n.tran 10p 2n method=trbdf2\n").unwrap();
 /// let tran = deck.tran.unwrap();
 /// assert_eq!(tran.time_step, 10e-12);
 /// assert_eq!(tran.end_time, 2e-9);
+/// assert_eq!(tran.method, Some(TranMethod::TrBdf2));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TranSpec {
@@ -28,6 +30,22 @@ pub struct TranSpec {
     pub time_step: f64,
     /// End of the transient window in seconds (`tstop`).
     pub end_time: f64,
+    /// The requested integration scheme (`method=…`), when the deck named
+    /// one; `None` leaves the consumer's default in place.
+    pub method: Option<TranMethod>,
+}
+
+/// The integration scheme named by a `.tran … method=…` parameter. The
+/// netlist crate only records the request; the engine maps it onto its own
+/// `IntegrationMethod` when it adopts the deck's transient window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranMethod {
+    /// `method=be` — backward Euler.
+    BackwardEuler,
+    /// `method=trap` — trapezoidal.
+    Trapezoidal,
+    /// `method=trbdf2` — the L-stable TR-BDF2 composite.
+    TrBdf2,
 }
 
 /// A current-source waveform as written in the deck, before expansion to a

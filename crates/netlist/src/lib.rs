@@ -64,7 +64,7 @@ mod value;
 
 pub use deck::{
     CapacitorCard, Card, CurrentSourceCard, Netlist, ResistorCard, SourceWaveform, SupplyCard,
-    TranSpec,
+    TranMethod, TranSpec,
 };
 pub use error::NetlistError;
 pub use export::export_grid;

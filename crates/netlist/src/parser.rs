@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use crate::deck::{
     CapacitorCard, Card, CurrentSourceCard, Netlist, ResistorCard, SourceWaveform, SupplyCard,
-    TranSpec,
+    TranMethod, TranSpec,
 };
 use crate::lexer::{lex, LogicalLine};
 use crate::value::parse_value;
@@ -419,11 +419,29 @@ fn parse_waveform(ll: &LogicalLine, fields: &[String]) -> Result<SourceWaveform>
 }
 
 fn parse_tran(ll: &LogicalLine) -> Result<TranSpec> {
-    let fields = &ll.fields;
+    let (fields, params) = split_params(&ll.fields, ll.line)?;
     if !(3..=4).contains(&fields.len()) {
         return Err(NetlistError::Syntax {
             line: ll.line,
-            message: "expected `.tran tstep tstop [tstart]`".to_string(),
+            message: "expected `.tran tstep tstop [tstart] [method=be|trap|trbdf2]`".to_string(),
+        });
+    }
+    let params = reject_params(ll.line, &params, &["method"])?;
+    let mut method = None;
+    for (key, value) in params {
+        debug_assert_eq!(key, "method");
+        method = Some(match value.to_ascii_lowercase().as_str() {
+            "be" => TranMethod::BackwardEuler,
+            "trap" => TranMethod::Trapezoidal,
+            "trbdf2" => TranMethod::TrBdf2,
+            other => {
+                return Err(NetlistError::Syntax {
+                    line: ll.line,
+                    message: format!(
+                        "unknown integration method `{other}` (supported: be, trap, trbdf2)"
+                    ),
+                })
+            }
         });
     }
     let time_step = parse_value(&fields[1], ll.line)?;
@@ -447,6 +465,7 @@ fn parse_tran(ll: &LogicalLine) -> Result<TranSpec> {
     Ok(TranSpec {
         time_step,
         end_time,
+        method,
     })
 }
 
@@ -561,5 +580,28 @@ mod tests {
         assert!(parse(".tran 10n 1n\n").is_err());
         assert!(parse(".tran 1n\n").is_err());
         assert!(parse(".tran 1n 2n\n.tran 1n 2n\n").is_err());
+    }
+
+    #[test]
+    fn tran_method_parameter_is_parsed_and_validated() {
+        let tran = parse(".tran 1n 10n\n").unwrap().tran.unwrap();
+        assert_eq!(tran.method, None);
+        for (spelling, expected) in [
+            ("be", TranMethod::BackwardEuler),
+            ("trap", TranMethod::Trapezoidal),
+            ("trbdf2", TranMethod::TrBdf2),
+            ("TRBDF2", TranMethod::TrBdf2),
+        ] {
+            let deck = format!(".tran 1n 10n method={spelling}\n");
+            let tran = parse(&deck).unwrap().tran.unwrap();
+            assert_eq!(tran.method, Some(expected), "method={spelling}");
+        }
+        let tran = parse(".tran 1n 10n 0 method=be\n").unwrap().tran.unwrap();
+        assert_eq!(tran.method, Some(TranMethod::BackwardEuler));
+
+        let err = parse(".tran 1n 10n method=gear2\n").unwrap_err();
+        assert!(err.to_string().contains("unknown integration method"));
+        let err = parse(".tran 1n 10n order=2\n").unwrap_err();
+        assert!(err.to_string().contains("unknown parameter `order`"));
     }
 }

@@ -392,6 +392,21 @@ pub struct TraceSnapshot {
     pub events: Vec<EventRecord>,
 }
 
+/// Flushes the calling thread's buffered records into the global sink
+/// without draining it.
+///
+/// Worker threads owned by the vendored rayon shim flush automatically
+/// before a parallel call returns, and every thread flushes at exit through
+/// its buffer's `Drop` — but thread-local destructors may still be running
+/// when a `std::thread` join (or a `std::thread::scope` exit) returns on
+/// the spawning side. A plain-`std::thread` worker whose records must be
+/// visible to an immediate [`drain`] on another thread should therefore
+/// call `flush` as the last thing its closure does.
+pub fn flush() {
+    let mut s = lock_sink();
+    let _ = BUFFER.try_with(|b| b.borrow_mut().flush_into(&mut s));
+}
+
 /// Flushes the calling thread's buffer and removes everything except gauges
 /// from the global sink, returning it as a snapshot. Worker threads spawned
 /// by the vendored rayon shim have already flushed (they exit before the
@@ -632,8 +647,14 @@ mod tests {
             std::thread::scope(|scope| {
                 for _ in 0..3 {
                     scope.spawn(|| {
-                        let _w = span_under(parent_id, "worker");
-                        count("work", 1);
+                        {
+                            let _w = span_under(parent_id, "worker");
+                            count("work", 1);
+                        }
+                        // The scope can unwind past a joined worker before
+                        // its thread-local buffer's exit-time flush runs;
+                        // flushing explicitly makes the drain deterministic.
+                        flush();
                     });
                 }
             });

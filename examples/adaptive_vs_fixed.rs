@@ -1,0 +1,243 @@
+//! Adaptive TR-BDF2 vs fixed-step integration: the step-count/accuracy
+//! trade-off table.
+//!
+//! Two circuits with closed-form solutions (the same ones
+//! `tests/golden_waveforms.rs` pins budgets on):
+//!
+//! * a **stiff RC pair** — eigenvalues 250× apart under a smooth ramp, the
+//!   regime where a fixed step must resolve the fast mode everywhere, and
+//! * a **PULSE edge** — sharp trapezoid edges on an RC node, where all the
+//!   error lives in four corner transients.
+//!
+//! For each, the table shows every fixed-step scheme at the same grid and
+//! the adaptive controller at a few tolerances: steps taken, steps
+//! rejected, numeric refactorisations (all sharing **one** symbolic
+//! analysis), max error against the analytic waveform, and wall time.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example adaptive_vs_fixed
+//! ```
+
+use std::time::Instant;
+
+use opera::adaptive::{solve_transient_adaptive, AdaptiveOptions};
+use opera::transient::{solve_transient, IntegrationMethod, TransientOptions};
+use opera_sparse::{CsrMatrix, TripletMatrix};
+
+// --- stiff RC pair (see tests/golden_waveforms.rs for the derivation) ----
+
+const STIFF_SIGMA: f64 = 4.0;
+const STIFF_U_INF: [f64; 2] = [1.0, 0.5];
+
+fn stiff_circuit() -> (CsrMatrix, CsrMatrix) {
+    let mut g = TripletMatrix::new(2, 2);
+    g.push(0, 0, 2.0);
+    g.push(1, 1, 500.0);
+    g.push(0, 1, -1.0);
+    g.push(1, 0, -1.0);
+    let mut c = TripletMatrix::new(2, 2);
+    c.push(0, 0, 1.0);
+    c.push(1, 1, 1.0);
+    (g.to_csr(), c.to_csr())
+}
+
+fn stiff_excitation(t: f64) -> Vec<f64> {
+    let ramp = 1.0 - (-STIFF_SIGMA * t).exp();
+    vec![STIFF_U_INF[0] * ramp, STIFF_U_INF[1] * ramp]
+}
+
+/// Exact solution via the 2×2 eigen-decomposition of G (C = I).
+fn stiff_reference(t: f64) -> Vec<f64> {
+    let (a, b, d) = (2.0f64, -1.0f64, 500.0f64);
+    let mid = 0.5 * (a + d);
+    let half_gap = (0.25 * (a - d) * (a - d) + b * b).sqrt();
+    let mut v = [0.0f64; 2];
+    for lambda in [mid - half_gap, mid + half_gap] {
+        let (mut qx, mut qy) = (b, lambda - a);
+        let norm = (qx * qx + qy * qy).sqrt();
+        qx /= norm;
+        qy /= norm;
+        let w = qx * STIFF_U_INF[0] + qy * STIFF_U_INF[1];
+        let forced = w / lambda;
+        let driven = w / (STIFF_SIGMA - lambda);
+        let y =
+            forced + driven * (-STIFF_SIGMA * t).exp() + (-forced - driven) * (-lambda * t).exp();
+        v[0] += qx * y;
+        v[1] += qy * y;
+    }
+    v.to_vec()
+}
+
+// --- PULSE edge ----------------------------------------------------------
+
+const PULSE_G: f64 = 1.0;
+const PULSE_C: f64 = 0.02;
+const PULSE_POINTS: [(f64, f64); 6] = [
+    (0.0, 0.0),
+    (0.10, 0.0),
+    (0.15, 1.0),
+    (0.50, 1.0),
+    (0.55, 0.0),
+    (1.0, 0.0),
+];
+
+fn pulse_excitation(t: f64) -> Vec<f64> {
+    let points = &PULSE_POINTS;
+    if t <= points[0].0 {
+        return vec![points[0].1];
+    }
+    for pair in points.windows(2) {
+        let ((t0, i0), (t1, i1)) = (pair[0], pair[1]);
+        if t <= t1 {
+            return vec![i0 + (i1 - i0) * (t - t0) / (t1 - t0)];
+        }
+    }
+    vec![points[points.len() - 1].1]
+}
+
+/// Exact piecewise response: on each linear current segment the solution is
+/// a linear particular part plus a decaying exponential, chained forward.
+fn pulse_reference(t: f64) -> Vec<f64> {
+    let lambda = PULSE_G / PULSE_C;
+    let mut v = 0.0f64;
+    let mut segment_end = v;
+    for pair in PULSE_POINTS.windows(2) {
+        let ((t0, i0), (t1, i1)) = (pair[0], pair[1]);
+        let beta = (i1 - i0) / (t1 - t0);
+        let particular =
+            |tau: f64| (i0 + beta * tau) / PULSE_G - beta * PULSE_C / (PULSE_G * PULSE_G);
+        let tau_end = if t < t1 { t - t0 } else { t1 - t0 };
+        segment_end = particular(tau_end) + (v - particular(0.0)) * (-lambda * tau_end).exp();
+        if t < t1 {
+            return vec![segment_end];
+        }
+        v = segment_end;
+    }
+    vec![segment_end]
+}
+
+// --- the table -----------------------------------------------------------
+
+fn max_error(times: &[f64], voltages: &[Vec<f64>], reference: impl Fn(f64) -> Vec<f64>) -> f64 {
+    let mut worst = 0.0f64;
+    for (k, &t) in times.iter().enumerate() {
+        for (node, &v) in voltages[k].iter().enumerate() {
+            worst = worst.max((v - reference(t)[node]).abs());
+        }
+    }
+    worst
+}
+
+fn row(label: &str, steps: u64, rejected: u64, refactors: u64, err: f64, seconds: f64) {
+    println!(
+        "{label:<34} {steps:>6} {rejected:>9} {refactors:>10} {err:>11.3e} {:>9.1}",
+        seconds * 1e6
+    );
+}
+
+#[allow(clippy::too_many_arguments)] // a table row is wide: circuit + grid + tolerance sweep
+fn run_circuit(
+    name: &str,
+    g: &CsrMatrix,
+    c: &CsrMatrix,
+    excitation: impl Fn(f64) -> Vec<f64> + Copy,
+    reference: impl Fn(f64) -> Vec<f64> + Copy,
+    time_step: f64,
+    end_time: f64,
+    tolerances: &[(f64, f64)],
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n== {name} (fixed grid: h = {time_step}, horizon {end_time}) ==");
+    println!(
+        "{:<34} {:>6} {:>9} {:>10} {:>11} {:>9}",
+        "integrator", "steps", "rejected", "refactors", "max error", "µs"
+    );
+    for method in [
+        IntegrationMethod::BackwardEuler,
+        IntegrationMethod::Trapezoidal,
+        IntegrationMethod::TrBdf2,
+    ] {
+        let options = TransientOptions {
+            time_step,
+            end_time,
+            method,
+        };
+        let start = Instant::now();
+        let sol = solve_transient(g, c, excitation, &options)?;
+        let seconds = start.elapsed().as_secs_f64();
+        let err = max_error(&sol.times, &sol.voltages, reference);
+        row(
+            &format!("fixed {method:?}"),
+            (sol.times.len() - 1) as u64,
+            0,
+            1,
+            err,
+            seconds,
+        );
+    }
+    for &(rel_tol, abs_tol) in tolerances {
+        let options = TransientOptions {
+            time_step,
+            end_time,
+            method: IntegrationMethod::TrBdf2,
+        };
+        let mut adaptive = AdaptiveOptions::with_rel_tol(rel_tol);
+        adaptive.abs_tol = abs_tol;
+        let start = Instant::now();
+        let sol = solve_transient_adaptive(g, c, excitation, &options, &adaptive)?;
+        let seconds = start.elapsed().as_secs_f64();
+        let err = max_error(&sol.solution.times, &sol.solution.voltages, reference);
+        assert_eq!(sol.stats.symbolic_analyses, 1);
+        row(
+            &format!("adaptive TrBdf2 rel={rel_tol:.0e}"),
+            sol.stats.steps_accepted,
+            sol.stats.steps_rejected,
+            sol.stats.refactorizations,
+            err,
+            seconds,
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Adaptive TR-BDF2 vs fixed-step integration (docs/TRANSIENT.md)");
+    println!("errors are max |v - analytic| over the output grid; every run");
+    println!("performs exactly one symbolic analysis.");
+
+    let (g, c) = stiff_circuit();
+    run_circuit(
+        "stiff RC pair",
+        &g,
+        &c,
+        stiff_excitation,
+        stiff_reference,
+        0.005,
+        2.0,
+        &[(1e-3, 1e-6), (1e-5, 1e-8), (1e-7, 1e-10)],
+    )?;
+
+    let mut gp = TripletMatrix::new(1, 1);
+    gp.push(0, 0, PULSE_G);
+    let mut cp = TripletMatrix::new(1, 1);
+    cp.push(0, 0, PULSE_C);
+    run_circuit(
+        "PULSE edge",
+        &gp.to_csr(),
+        &cp.to_csr(),
+        pulse_excitation,
+        pulse_reference,
+        0.005,
+        1.0,
+        &[(1e-2, 1e-3), (1e-3, 1e-4), (1e-4, 1e-6)],
+    )?;
+
+    println!(
+        "\nThe adaptive rows reach the fixed-step trapezoidal accuracy with a\n\
+         fraction of the steps; tightening rel_tol buys accuracy back at a\n\
+         sublinear step-count cost. See tests/golden_waveforms.rs for the\n\
+         pinned budgets."
+    );
+    Ok(())
+}

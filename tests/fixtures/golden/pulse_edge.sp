@@ -1,0 +1,9 @@
+* Golden fixture: a single RC node hit by a sharp PULSE edge (10 ps
+* rise/fall on a 100 fF / 0.2 ohm node). The interesting error lives in
+* the two edges; the plateaus are trivially smooth.
+VDD vdd 0 1.0
+Rpad vdd n1 0.2
+C1   n1 0 100f
+I1   n1 0 PULSE(0 8m 0.1n 10p 10p 0.3n 0)
+.tran 2p 1n method=trbdf2
+.end

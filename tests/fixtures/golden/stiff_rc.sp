@@ -1,0 +1,14 @@
+* Golden fixture: stiff RC ladder — a fast surface node (tau ~ 1ps) in
+* front of a slow decap tank (tau ~ 1ns), so fixed-step schemes must
+* resolve the fast mode everywhere while an adaptive controller only pays
+* for it near the ramp.
+VDD vdd 0 1.0
+Rpad vdd top 0.1
+Rw1  top mid 0.5
+Rw2  mid leaf 2.0
+C1   top  0 10f class=gate
+C2   mid  0 50f
+C3   leaf 0 2000f
+I1   leaf 0 PWL(0 0 0.1n 5m 1n 5m)
+.tran 5p 1n method=trbdf2
+.end

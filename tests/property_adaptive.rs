@@ -1,0 +1,197 @@
+//! Property tests of the LTE-driven adaptive step-size controller.
+//!
+//! On random RC grids with random smooth drives, the controller must honour
+//! its structural contract no matter what the error estimator does:
+//!
+//! * every accepted time lies strictly inside `[t0, t_end]`, the sequence is
+//!   strictly monotone, starts at `t0` and ends **exactly** at `t_end`;
+//! * rejected steps are never emitted — the accepted trajectory length is
+//!   `steps_accepted + 1` and the attempt count balances;
+//! * the dense output is **bit-exact** at accepted step times that coincide
+//!   with output points (interpolation never replaces a solved state);
+//! * tightening the tolerance converges the adaptive result to a fine
+//!   fixed-step TR-BDF2 reference;
+//! * the whole run performs exactly one symbolic analysis.
+
+use proptest::prelude::*;
+
+use opera::adaptive::{solve_transient_adaptive, AdaptiveOptions};
+use opera::transient::{IntegrationMethod, TransientOptions};
+use opera_sparse::{CsrMatrix, TripletMatrix};
+
+/// A random RC mesh: SPD conductance (weighted Laplacian plus leaks to
+/// ground) and a positive diagonal capacitance.
+fn rc_grid(max_n: usize) -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (2..max_n)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..n, 0.1f64..4.0), 1..3 * n),
+                proptest::collection::vec(0.05f64..1.0, n),
+                proptest::collection::vec(0.1f64..2.0, n),
+            )
+        })
+        .prop_map(|(n, edges, leaks, caps)| {
+            let mut g = TripletMatrix::new(n, n);
+            let mut c = TripletMatrix::new(n, n);
+            for (i, (&leak, &cap)) in leaks.iter().zip(&caps).enumerate() {
+                g.push(i, i, leak);
+                c.push(i, i, cap);
+            }
+            for (a, b, w) in edges {
+                if a != b {
+                    g.add_symmetric_pair(a, b, w);
+                }
+            }
+            (g.to_csr(), c.to_csr())
+        })
+}
+
+/// A smooth per-node drive (sums of decaying exponentials, no kinks), so
+/// the convergence property is not limited by excitation discontinuities.
+fn smooth_drive(n: usize, amp: f64, rate: f64) -> impl Fn(f64) -> Vec<f64> + Copy {
+    move |t: f64| {
+        (0..n)
+            .map(|i| amp * (1.0 - (-(rate + i as f64 * 0.3) * t).exp()))
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Structural invariants of the accepted trajectory and the stats.
+    #[test]
+    fn accepted_trajectory_is_monotone_bounded_and_balanced(
+        (g, c) in rc_grid(12),
+        amp in 0.2f64..2.0,
+        rate in 0.5f64..4.0,
+    ) {
+        let n = g.nrows();
+        let options = TransientOptions {
+            time_step: 0.1,
+            end_time: 1.5,
+            method: IntegrationMethod::TrBdf2,
+        };
+        let sol = solve_transient_adaptive(
+            &g,
+            &c,
+            smooth_drive(n, amp, rate),
+            &options,
+            &AdaptiveOptions::with_rel_tol(1e-4),
+        )
+        .unwrap();
+
+        // Monotone, inside the horizon, exact endpoints.
+        prop_assert_eq!(sol.accepted_times[0], 0.0);
+        prop_assert_eq!(*sol.accepted_times.last().unwrap(), options.end_time);
+        for w in sol.accepted_times.windows(2) {
+            prop_assert!(w[1] > w[0], "non-monotone accepted times {:?}", w);
+            prop_assert!(w[1] <= options.end_time);
+        }
+
+        // Rejected steps are never emitted, and the attempt count balances.
+        prop_assert_eq!(
+            sol.accepted_times.len() as u64,
+            sol.stats.steps_accepted + 1
+        );
+        prop_assert_eq!(sol.accepted_states.len(), sol.accepted_times.len());
+        prop_assert_eq!(
+            sol.stats.steps_attempted,
+            sol.stats.steps_accepted + sol.stats.steps_rejected
+        );
+
+        // One symbolic analysis for the whole run; every factor reused it.
+        prop_assert_eq!(sol.stats.symbolic_analyses, 1);
+    }
+
+    /// Wherever an output point coincides with an accepted step time, the
+    /// reported row is the solved state bit for bit, not an interpolation.
+    #[test]
+    fn dense_output_is_bit_exact_at_accepted_step_points(
+        (g, c) in rc_grid(10),
+        amp in 0.2f64..2.0,
+    ) {
+        let n = g.nrows();
+        let options = TransientOptions {
+            time_step: 0.125,
+            end_time: 2.0,
+            method: IntegrationMethod::TrBdf2,
+        };
+        let sol = solve_transient_adaptive(
+            &g,
+            &c,
+            smooth_drive(n, amp, 1.0),
+            &options,
+            &AdaptiveOptions::with_rel_tol(1e-4),
+        )
+        .unwrap();
+        let mut checked = 0usize;
+        for (k, &t_out) in sol.solution.times.iter().enumerate() {
+            if let Some(i) = sol.accepted_times.iter().position(|&t| t == t_out) {
+                prop_assert_eq!(
+                    &sol.solution.voltages[k],
+                    &sol.accepted_states[i],
+                    "output row at t = {} differs from the accepted state",
+                    t_out
+                );
+                checked += 1;
+            }
+        }
+        // t0 and t_end always coincide by construction.
+        prop_assert!(checked >= 2);
+    }
+
+    /// Tightening rel_tol converges the adaptive result to a fine
+    /// fixed-step TR-BDF2 reference, monotonically in tolerance decades.
+    #[test]
+    fn tightening_the_tolerance_converges_to_the_fixed_step_reference(
+        (g, c) in rc_grid(8),
+        amp in 0.2f64..1.5,
+    ) {
+        let n = g.nrows();
+        let drive = smooth_drive(n, amp, 2.0);
+        let options = TransientOptions {
+            time_step: 0.1,
+            end_time: 1.0,
+            method: IntegrationMethod::TrBdf2,
+        };
+        let fine = TransientOptions {
+            time_step: 0.1 / 256.0,
+            end_time: 1.0,
+            method: IntegrationMethod::TrBdf2,
+        };
+        let reference = opera::transient::solve_transient(&g, &c, drive, &fine).unwrap();
+
+        let error_against_reference = |rel_tol: f64| -> f64 {
+            let sol = solve_transient_adaptive(
+                &g,
+                &c,
+                drive,
+                &options,
+                &AdaptiveOptions::with_rel_tol(rel_tol),
+            )
+            .unwrap();
+            let mut worst = 0.0f64;
+            for (k, &t) in sol.solution.times.iter().enumerate() {
+                let r = reference
+                    .times
+                    .iter()
+                    .position(|&tr| (tr - t).abs() < 1e-12)
+                    .unwrap();
+                for j in 0..n {
+                    worst = worst.max((sol.solution.voltages[k][j] - reference.voltages[r][j]).abs());
+                }
+            }
+            worst
+        };
+
+        let loose = error_against_reference(1e-2);
+        let tight = error_against_reference(1e-6);
+        prop_assert!(
+            tight <= loose.max(1e-9),
+            "tightening did not converge: loose {loose:e}, tight {tight:e}"
+        );
+        prop_assert!(tight < 1e-4, "tightest run still off by {tight:e}");
+    }
+}

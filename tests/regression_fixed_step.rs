@@ -1,0 +1,139 @@
+//! Regression pins for the fixed-step transient paths.
+//!
+//! The adaptive TR-BDF2 PR refactored `CompanionSystem` around
+//! `CompanionFamily` (shared symbolic analysis, LRU'd numeric factors) and
+//! threaded an `IntegrationMethod` through every stepping loop. Fixed-step
+//! backward Euler and trapezoidal results must be **bit-identical** to the
+//! pre-refactor behaviour: this file pins FNV-1a hashes of full
+//! trajectories, computed on the pre-PR loop shape, so any future change
+//! that perturbs a single mantissa bit of the fixed-step paths fails here.
+//!
+//! Adaptive stepping is opt-in: the defaults are also pinned (backward
+//! Euler, no adaptive options on a default-built engine).
+
+use opera::adaptive::AdaptiveOptions;
+use opera::engine::OperaEngine;
+use opera::transient::{
+    solve_transient, CompanionFamily, CompanionSystem, IntegrationMethod, TransientOptions,
+};
+use opera_grid::GridSpec;
+use opera_sparse::{CsrMatrix, TripletMatrix};
+
+/// FNV-1a over the IEEE-754 bit patterns of a trajectory, order-sensitive.
+fn fnv1a_bits(rows: &[Vec<f64>]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for row in rows {
+        for &v in row {
+            for byte in v.to_bits().to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+    }
+    hash
+}
+
+/// A fixed 4-node RC mesh with hand-picked values — no RNG, so the pinned
+/// hashes are reproducible from the source alone.
+fn pinned_circuit() -> (CsrMatrix, CsrMatrix) {
+    let mut g = TripletMatrix::new(4, 4);
+    let mut c = TripletMatrix::new(4, 4);
+    for (i, (leak, cap)) in [(0.5, 1.0), (0.25, 0.5), (0.125, 2.0), (1.0, 0.75)]
+        .into_iter()
+        .enumerate()
+    {
+        g.push(i, i, leak);
+        c.push(i, i, cap);
+    }
+    g.add_symmetric_pair(0, 1, 1.5);
+    g.add_symmetric_pair(1, 2, 0.75);
+    g.add_symmetric_pair(2, 3, 2.0);
+    g.add_symmetric_pair(0, 3, 0.25);
+    (g.to_csr(), c.to_csr())
+}
+
+fn pinned_excitation(t: f64) -> Vec<f64> {
+    (0..4)
+        .map(|i| 0.8 * ((i + 1) as f64 * (2.0 * t + 0.1)).sin())
+        .collect()
+}
+
+#[test]
+fn fixed_step_trajectories_are_bit_identical_to_the_pre_refactor_pins() {
+    let (g, c) = pinned_circuit();
+    // Hashes recorded from the pre-CompanionFamily stepping loop; the
+    // refactor must not move a single bit.
+    let pins = [
+        (IntegrationMethod::BackwardEuler, 0xc8b1_2ef2_e494_9979_u64),
+        (IntegrationMethod::Trapezoidal, 0x6046_e4f7_a090_8666_u64),
+    ];
+    for (method, expected) in pins {
+        let options = TransientOptions {
+            time_step: 0.125,
+            end_time: 2.0,
+            method,
+        };
+        let sol = solve_transient(&g, &c, pinned_excitation, &options).unwrap();
+        let hash = fnv1a_bits(&sol.voltages);
+        assert_eq!(
+            hash, expected,
+            "{method:?}: fixed-step trajectory hash changed (got {hash:#018x})"
+        );
+    }
+}
+
+/// The family-built companion system must step bit-identically to a
+/// one-shot `CompanionSystem::new` — the exact contract that lets the
+/// engine swap its prepared solver onto the shared symbolic analysis.
+#[test]
+fn family_factors_step_bit_identically_to_one_shot_systems() {
+    let (g, c) = pinned_circuit();
+    let family = CompanionFamily::new(&g, &c).unwrap();
+    for method in [
+        IntegrationMethod::BackwardEuler,
+        IntegrationMethod::Trapezoidal,
+    ] {
+        for h in [0.125, 0.25, 0.125] {
+            let from_family = family.system_for(h, method).unwrap();
+            let one_shot = CompanionSystem::new(&g, &c, h, method).unwrap();
+            let v = pinned_excitation(0.3);
+            let u_prev = pinned_excitation(0.0);
+            let u_next = pinned_excitation(h);
+            assert_eq!(
+                from_family.step(&v, &u_prev, &u_next),
+                one_shot.step(&v, &u_prev, &u_next),
+                "{method:?} at h = {h}"
+            );
+        }
+    }
+    // Three distinct (h, method) factors, one symbolic analysis; the repeat
+    // of h = 0.125 hit the LRU cache instead of refactoring.
+    assert_eq!(family.symbolic_analysis_count(), 1);
+    assert_eq!(family.refactorization_count(), 4);
+}
+
+#[test]
+fn engine_defaults_keep_adaptive_stepping_opt_in() {
+    // Backward Euler stays the default scheme…
+    assert_eq!(
+        TransientOptions::new(0.1, 1.0).method,
+        IntegrationMethod::BackwardEuler
+    );
+    // …and a default-built engine carries no adaptive options, so
+    // `solve_scenario` takes the fixed-step path unchanged.
+    let engine = OperaEngine::for_grid(GridSpec::small_test(60).with_seed(7))
+        .unwrap()
+        .build()
+        .unwrap();
+    assert!(engine.adaptive_options().is_none());
+    assert_eq!(engine.transient().method, IntegrationMethod::BackwardEuler);
+    // Opting in flips the method to TR-BDF2 (the only scheme with an
+    // embedded error estimate).
+    let opted_in = OperaEngine::for_grid(GridSpec::small_test(60).with_seed(7))
+        .unwrap()
+        .adaptive(AdaptiveOptions::default())
+        .build()
+        .unwrap();
+    assert!(opted_in.adaptive_options().is_some());
+    assert_eq!(opted_in.transient().method, IntegrationMethod::TrBdf2);
+}
