@@ -5,10 +5,14 @@
 //! per-column reference path, benchmarks the fill-reducing orderings on the
 //! paper grid and the netlist fixtures, compares fixed-step TR-BDF2 against
 //! the LTE-driven adaptive controller on the same grid (step counts, wall
-//! time, and the one-symbolic-analysis refactorisation contract), sweeps
-//! worker-thread counts (proving the statistics stay bit-identical), and
-//! emits the results as a schema-validated `BENCH_<pr>.json` at the repo
-//! root — one point of the perf trajectory future PRs append to.
+//! time, and the one-symbolic-analysis refactorisation contract), compares
+//! the scalar reference kernels against the best runtime-detected SIMD
+//! backend (panel transient solve, triangular panel solves, the Welford
+//! moment fold — each pair verified bit-identical before its speedup is
+//! reported), sweeps worker-thread counts (proving the statistics stay
+//! bit-identical), and emits the results as a schema-validated
+//! `BENCH_<pr>.json` at the repo root — one point of the perf trajectory
+//! future PRs append to.
 //!
 //! The binary runs with [`opera_trace`] enabled: the per-phase timings of
 //! the `phases[]` section are the drained span totals of the engine's own
@@ -20,7 +24,7 @@
 //! `OPERA_TRACE` environment variable; see `docs/OBSERVABILITY.md`.
 //!
 //! ```text
-//! perf_report                        # run the benchmarks, write BENCH_9.json
+//! perf_report                        # run the benchmarks, write BENCH_10.json
 //! perf_report --trace FILE           # also export the Chrome trace of the run
 //! perf_report --validate FILE        # re-validate an emitted trajectory file
 //! perf_report --validate-trace FILE  # schema-check an exported Chrome trace
@@ -36,7 +40,9 @@
 //!   validated like the other report binaries,
 //! * `OPERA_BENCH_PERF_MAX_ORDER` — highest chaos order of the phase sweep
 //!   (default `2`),
-//! * `OPERA_BENCH_PERF_OUTPUT` — output path (default `BENCH_9.json`),
+//! * `OPERA_BENCH_PERF_OUTPUT` — output path (default `BENCH_10.json`),
+//! * `OPERA_SIMD` — the process-wide kernel backend; the `simd[]` sweep
+//!   overrides it per timed side and restores the scalar default after,
 //! * `OPERA_TRACE` — when set, export the run's Chrome trace to this path
 //!   (same as `--trace`).
 
@@ -56,7 +62,7 @@ use opera_trace::TraceSnapshot;
 use opera_variation::{LeakageModel, StochasticGridModel, VariationSpec};
 
 /// PR number of the trajectory point this binary emits.
-const PR_NUMBER: usize = 9;
+const PR_NUMBER: usize = 10;
 /// Thread counts of the invariance sweep.
 const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
 
@@ -140,6 +146,7 @@ fn run() -> Result<(), String> {
     let multi_rhs = multi_rhs_sweep(&grid)?;
     let orderings = ordering_sweep(&grid)?;
     let adaptive = adaptive_sweep(&grid, max_order)?;
+    let (simd, simd_backend) = simd_sweep(&grid)?;
     trace.merge(opera_trace::drain());
     let (threads, allocations) = thread_sweep(&grid, mc_samples, threads_available)?;
     trace.merge(opera_trace::drain());
@@ -165,6 +172,8 @@ fn run() -> Result<(), String> {
         ("galerkin_multi_rhs".to_string(), Json::Arr(multi_rhs)),
         ("orderings".to_string(), Json::Arr(orderings)),
         ("adaptive".to_string(), Json::Arr(adaptive)),
+        ("simd".to_string(), Json::Arr(simd)),
+        ("simd_backend_detected".to_string(), Json::str(simd_backend)),
         ("threads".to_string(), Json::Arr(threads)),
     ]);
     let text = report.to_pretty();
@@ -600,6 +609,168 @@ fn adaptive_sweep(grid: &opera_grid::PowerGrid, max_order: u32) -> Result<Vec<Js
         ]));
     }
     Ok(entries)
+}
+
+/// Scalar vs best-detected-SIMD-backend comparison of the vectorized hot
+/// kernels, all serial so the numbers isolate the vector-width effect:
+///
+/// * `panel_transient_solve` — the headline: a full 8-RHS panel transient
+///   on the paper grid (DC start plus every fixed step through the blocked
+///   panel kernels), timed once with the scalar reference active and once
+///   with the best backend `detect_best` finds;
+/// * `triangular_panel_solve` — repeated 8-wide forward/backward panel
+///   substitutions on one Cholesky factor, the interleaved kernels in
+///   isolation;
+/// * `welford_fold` — the Monte Carlo running-moment update over
+///   node-count-long rows.
+///
+/// Every pair is verified **bit-identical** before its speedup is reported
+/// (the zero-ULP equivalence policy of `docs/SIMD.md`), and the scalar
+/// default is restored afterwards so the rest of the run measures the
+/// documented baseline.
+fn simd_sweep(grid: &opera_grid::PowerGrid) -> Result<(Vec<Json>, &'static str), String> {
+    use opera::transient::{CompanionSystem, IntegrationMethod};
+    use opera_simd::{Backend, LANES};
+    use opera_sparse::{MatrixFactor, Panel};
+
+    let best = opera_simd::detect_best();
+    println!("-- simd: scalar vs {best} kernels (serial, bit-identical)");
+
+    let n = grid.node_count();
+    let g = grid.conductance_matrix();
+    let c = grid.capacitance_matrix();
+    let transient = TransientOptions::new(0.05e-9, grid.waveform_end_time().max(0.05e-9));
+    let times = transient.time_points();
+    let dc = MatrixFactor::cholesky_or_lu(&g).map_err(|e| e.to_string())?;
+    let companion = CompanionSystem::new(
+        &g,
+        &c,
+        transient.time_step,
+        IntegrationMethod::BackwardEuler,
+    )
+    .map_err(err)?;
+
+    let k = LANES;
+    // Per-column excitation: the waveform rescaled per RHS, so all 8 lanes
+    // carry distinct data.
+    let rhs_at = |j: usize, t: f64| -> Vec<f64> {
+        let mut u = grid.excitation(t);
+        for (i, v) in u.iter_mut().enumerate() {
+            *v *= 0.6 + 0.1 * ((i + j) % 5) as f64;
+        }
+        u
+    };
+
+    // Headline: the full k-wide panel transient solve.
+    let panel_transient = || -> opera::Result<Panel> {
+        let mut ws = SolveWorkspace::with_capacity(n * k);
+        let mut u_prev = Panel::zeros(n, k);
+        for j in 0..k {
+            u_prev.col_mut(j).copy_from_slice(&rhs_at(j, 0.0));
+        }
+        let mut state = Panel::zeros(n, k);
+        state.data_mut().copy_from_slice(u_prev.data());
+        dc.solve_panel(&mut state, &mut ws);
+        let mut u_next = u_prev.clone();
+        let mut next = Panel::zeros(n, k);
+        for &t in &times[1..] {
+            for j in 0..k {
+                u_next.col_mut(j).copy_from_slice(&rhs_at(j, t));
+            }
+            companion.step_panel_into(&state, &u_prev, &u_next, &mut next, &mut ws);
+            std::mem::swap(&mut state, &mut next);
+            std::mem::swap(&mut u_prev, &mut u_next);
+        }
+        Ok(state)
+    };
+
+    // The interleaved triangular kernels in isolation.
+    let solve_reps = 20;
+    let triangular = || -> opera::Result<Panel> {
+        let mut ws = SolveWorkspace::with_capacity(n * k);
+        let mut panel = Panel::zeros(n, k);
+        for _ in 0..solve_reps {
+            for j in 0..k {
+                panel.col_mut(j).copy_from_slice(&rhs_at(j, 0.0));
+            }
+            dc.solve_panel(&mut panel, &mut ws);
+        }
+        Ok(panel)
+    };
+
+    // The Welford moment fold over node-count-long sample rows.
+    let samples: Vec<Vec<f64>> = (0..8)
+        .map(|s| {
+            (0..n)
+                .map(|i| (((i * 13 + s * 7) % 101) as f64).mul_add(0.02, -1.0))
+                .collect()
+        })
+        .collect();
+    let welford_reps = 400;
+    let welford = |backend: Backend| -> (Vec<f64>, Vec<f64>) {
+        let mut mean = vec![0.0; n];
+        let mut m2 = vec![0.0; n];
+        for r in 0..welford_reps {
+            let sample = &samples[r % samples.len()];
+            opera_simd::welford_update(&mut mean, &mut m2, sample, (r + 1) as f64, backend);
+        }
+        (mean, m2)
+    };
+
+    let timed_under = |backend: Backend,
+                       f: &mut dyn FnMut() -> opera::Result<Panel>|
+     -> Result<(Panel, f64), String> {
+        opera_simd::set_active(backend)?;
+        let out = Parallelism::Serial
+            .install(|| best_of(3, f))
+            .map_err(err)??;
+        opera_simd::set_active(Backend::Scalar)?;
+        Ok(out)
+    };
+    let bits_equal = |a: &[f64], b: &[f64]| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    };
+
+    let mut entries = Vec::new();
+    let mut push = |kernel: &str, scalar_seconds: f64, simd_seconds: f64| {
+        let speedup = scalar_seconds / simd_seconds;
+        println!(
+            "{kernel}: scalar = {scalar_seconds:.3}s, {best} = {simd_seconds:.3}s, \
+             speedup = {speedup:.2}x"
+        );
+        entries.push(Json::Obj(vec![
+            ("kernel".to_string(), Json::str(kernel)),
+            ("backend".to_string(), Json::str(best.name())),
+            ("scalar_seconds".to_string(), Json::Num(scalar_seconds)),
+            ("simd_seconds".to_string(), Json::Num(simd_seconds)),
+            ("speedup".to_string(), Json::Num(speedup)),
+        ]));
+    };
+
+    let mut kernel = panel_transient;
+    let (scalar_panel, scalar_seconds) = timed_under(Backend::Scalar, &mut kernel)?;
+    let (simd_panel, simd_seconds) = timed_under(best, &mut kernel)?;
+    if !bits_equal(scalar_panel.data(), simd_panel.data()) {
+        return Err("panel_transient_solve: scalar and SIMD states diverge".to_string());
+    }
+    push("panel_transient_solve", scalar_seconds, simd_seconds);
+
+    let mut kernel = triangular;
+    let (scalar_tri, scalar_seconds) = timed_under(Backend::Scalar, &mut kernel)?;
+    let (simd_tri, simd_seconds) = timed_under(best, &mut kernel)?;
+    if !bits_equal(scalar_tri.data(), simd_tri.data()) {
+        return Err("triangular_panel_solve: scalar and SIMD solutions diverge".to_string());
+    }
+    push("triangular_panel_solve", scalar_seconds, simd_seconds);
+
+    let ((scalar_mean, scalar_m2), scalar_seconds) = best_of(3, || Ok(welford(Backend::Scalar)))?;
+    let ((simd_mean, simd_m2), simd_seconds) = best_of(3, || Ok(welford(best)))?;
+    if !bits_equal(&scalar_mean, &simd_mean) || !bits_equal(&scalar_m2, &simd_m2) {
+        return Err("welford_fold: scalar and SIMD moments diverge".to_string());
+    }
+    push("welford_fold", scalar_seconds, simd_seconds);
+
+    Ok((entries, best.name()))
 }
 
 /// Worker-thread sweep over one prepared engine: Monte Carlo validation and

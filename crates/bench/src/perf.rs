@@ -68,6 +68,14 @@ pub const ADAPTIVE_FIELDS: &[&str] = &[
     "step_ratio",
 ];
 
+/// Required numeric fields of one `simd[]` entry (plus the string fields
+/// `kernel` and `backend`). Trajectory files written before PR 10 predate
+/// the runtime-dispatched vector kernels and may omit the section; points
+/// from PR 10 on must carry it together with the top-level
+/// `simd_backend_detected` string, and every entry must hold the
+/// scalar-vs-SIMD comparison of one kernel.
+pub const SIMD_FIELDS: &[&str] = &["scalar_seconds", "simd_seconds", "speedup"];
+
 fn require_num(obj: &Json, key: &str, context: &str) -> Result<f64, String> {
     obj.get(key)
         .and_then(Json::as_num)
@@ -168,6 +176,36 @@ pub fn validate_report(report: &Json) -> Result<(), String> {
         }
     }
 
+    // Trajectory points written before PR 10 predate the SIMD kernels, so
+    // the section is optional for them; from PR 10 on `perf_report` always
+    // emits it (plus the detected-backend field) and the schema holds every
+    // emitter to that.
+    if pr >= 10.0 {
+        if report.get("simd").is_none() {
+            return Err(format!(
+                "section \"simd\" is missing: trajectory points from PR 10 on must \
+                 record the scalar-vs-SIMD kernel comparison (this point is PR {pr})"
+            ));
+        }
+        require_str(report, "simd_backend_detected", "report")?;
+    }
+    if let Some(section) = report.get("simd") {
+        let entries = section
+            .as_arr()
+            .ok_or_else(|| "section \"simd\" must be an array".to_string())?;
+        if entries.is_empty() {
+            return Err("section \"simd\" is present but empty".to_string());
+        }
+        for (i, entry) in entries.iter().enumerate() {
+            let context = format!("simd[{i}]");
+            require_str(entry, "kernel", &context)?;
+            require_str(entry, "backend", &context)?;
+            for field in SIMD_FIELDS {
+                require_num(entry, field, &context)?;
+            }
+        }
+    }
+
     // The thread sweep must prove statistics are thread-count invariant:
     // every entry carries a checksum folded from the solution statistics and
     // all checksums must be bit-identical. Entries asking for more workers
@@ -216,6 +254,8 @@ mod tests {
             .collect();
         obj.push(("matrix".to_string(), Json::str("paper_grid")));
         obj.push(("ordering".to_string(), Json::str("rcm")));
+        obj.push(("kernel".to_string(), Json::str("panel_transient_solve")));
+        obj.push(("backend".to_string(), Json::str("avx512")));
         Json::Obj(obj)
     }
 
@@ -337,6 +377,74 @@ mod tests {
         let mut report = minimal_report();
         if let Json::Obj(entries) = &mut report {
             entries.push(("adaptive".to_string(), Json::Arr(vec![])));
+        }
+        let err = validate_report(&report).unwrap_err();
+        assert!(err.contains("empty"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn simd_section_is_required_from_pr_10_and_validated_when_present() {
+        // Absent: fine for pre-PR-10 trajectory points (the minimal report
+        // is PR 5) ...
+        validate_report(&minimal_report()).unwrap();
+
+        // ... but points from PR 10 on must record the kernel comparison.
+        // (PR 10 also requires the adaptive section, so the helper carries
+        // a valid one.)
+        let at_pr_10 = |extra: Vec<(String, Json)>| {
+            let mut report = minimal_report();
+            if let Json::Obj(entries) = &mut report {
+                for (k, v) in entries.iter_mut() {
+                    if k == "pr" {
+                        *v = Json::Num(10.0);
+                    }
+                }
+                entries.push((
+                    "adaptive".to_string(),
+                    Json::Arr(vec![entry(ADAPTIVE_FIELDS)]),
+                ));
+                entries.extend(extra);
+            }
+            report
+        };
+        let err = validate_report(&at_pr_10(vec![])).unwrap_err();
+        assert!(err.contains("simd"), "unexpected error: {err}");
+
+        // The section alone is not enough: the detected backend must be
+        // recorded too.
+        let err = validate_report(&at_pr_10(vec![(
+            "simd".to_string(),
+            Json::Arr(vec![entry(SIMD_FIELDS)]),
+        )]))
+        .unwrap_err();
+        assert!(
+            err.contains("simd_backend_detected"),
+            "unexpected error: {err}"
+        );
+
+        // A complete point validates.
+        let complete = at_pr_10(vec![
+            ("simd".to_string(), Json::Arr(vec![entry(SIMD_FIELDS)])),
+            ("simd_backend_detected".to_string(), Json::str("avx512")),
+        ]);
+        validate_report(&complete).unwrap();
+
+        // A missing per-entry field is rejected.
+        let mut incomplete = entry(SIMD_FIELDS);
+        if let Json::Obj(fields) = &mut incomplete {
+            fields.retain(|(k, _)| k != "speedup");
+        }
+        let err = validate_report(&at_pr_10(vec![
+            ("simd".to_string(), Json::Arr(vec![incomplete])),
+            ("simd_backend_detected".to_string(), Json::str("avx512")),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("speedup"), "unexpected error: {err}");
+
+        // Present-but-empty is a schema violation, not a silent pass.
+        let mut report = minimal_report();
+        if let Json::Obj(entries) = &mut report {
+            entries.push(("simd".to_string(), Json::Arr(vec![])));
         }
         let err = validate_report(&report).unwrap_err();
         assert!(err.contains("empty"), "unexpected error: {err}");

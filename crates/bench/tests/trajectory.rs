@@ -4,7 +4,8 @@
 //! rests on, the PR-6 point must show AMD + supernodal factorisation
 //! breaking the order-2 factorisation wall, and the PR-9 point must record
 //! the adaptive-vs-fixed phase with its step-count advantage and the
-//! one-symbolic-analysis refactorisation contract.
+//! one-symbolic-analysis refactorisation contract, and the PR-10 point must
+//! record the SIMD panel-solve speedup on the best detected backend.
 
 use opera_bench::json;
 use opera_bench::perf::validate_text;
@@ -145,5 +146,48 @@ fn bench_9_records_the_adaptive_step_advantage() {
     assert!(
         best >= 1.5,
         "adaptive step ratio {best} does not beat the fixed deck grid"
+    );
+}
+
+#[test]
+fn bench_10_records_the_panel_solve_simd_speedup() {
+    let text = std::fs::read_to_string(repo_root().join("BENCH_10.json")).unwrap();
+    let report = json::parse(&text).unwrap();
+    assert_eq!(
+        report.get("scale").and_then(json::Json::as_num),
+        Some(1.0),
+        "the committed BENCH_10.json must be a paper-scale measurement"
+    );
+    // The measurement must name the backend it ran on (what `detect_best`
+    // found on the benchmark machine).
+    let backend = report
+        .get("simd_backend_detected")
+        .and_then(json::Json::as_str)
+        .expect("BENCH_10.json must record the detected SIMD backend");
+    let simd = report
+        .get("simd")
+        .and_then(json::Json::as_arr)
+        .expect("BENCH_10.json must carry the scalar-vs-SIMD kernel phase");
+    // Acceptance: the headline 8-RHS panel transient solve must run at
+    // least 1.5x faster on the best detected backend than on the scalar
+    // reference (the two paths are verified bit-identical before the
+    // emitter reports the speedup).
+    let headline = simd
+        .iter()
+        .find(|e| e.get("kernel").and_then(json::Json::as_str) == Some("panel_transient_solve"))
+        .expect("BENCH_10.json must include the panel_transient_solve entry");
+    assert_eq!(
+        headline.get("backend").and_then(json::Json::as_str),
+        Some(backend),
+        "the headline entry must be measured on the detected backend"
+    );
+    let speedup = headline
+        .get("speedup")
+        .and_then(json::Json::as_num)
+        .unwrap();
+    assert!(
+        speedup >= 1.5,
+        "panel-solve SIMD speedup {speedup} on {backend} is below the 1.5x \
+         acceptance threshold"
     );
 }

@@ -229,9 +229,12 @@ fn interpolate_into(v_old: &[f64], v_mid: &[f64], v_new: &[f64], theta: f64, out
     let w_old = (theta - g) * (theta - 1.0) / g;
     let w_mid = theta * (theta - 1.0) / (g * (g - 1.0));
     let w_new = theta * (theta - g) / (1.0 - g);
-    for (((o, &a), &b), &d) in out.iter_mut().zip(v_old).zip(v_mid).zip(v_new) {
-        *o = w_old * a + w_mid * b + w_new * d;
-    }
+    opera_simd::weighted_sum3(
+        out,
+        [v_old, v_mid, v_new],
+        [w_old, w_mid, w_new],
+        opera_simd::active(),
+    );
 }
 
 /// The LTE-driven adaptive TR-BDF2 loop. Starts from `v0` at
@@ -457,10 +460,7 @@ pub fn solve_transient_adaptive_at(
         .solve(&u0);
     let run = integrate_adaptive(&family, v0, &excitation, output_times, adaptive)?;
     Ok(AdaptiveTransientSolution {
-        solution: TransientSolution {
-            times: output_times.to_vec(),
-            voltages: run.states,
-        },
+        solution: TransientSolution::from_states(output_times.to_vec(), &run.states),
         accepted_times: run.accepted_times,
         accepted_states: run.accepted_states,
         stats: run.stats,
@@ -508,9 +508,9 @@ mod tests {
         for (k, &t) in sol.solution.times.iter().enumerate().skip(1) {
             let expected = 1.0 - (-t).exp();
             assert!(
-                (sol.solution.voltages[k][0] - expected).abs() < 1e-3,
+                (sol.solution.state_at(k)[0] - expected).abs() < 1e-3,
                 "t = {t}: got {}, expected {expected}",
-                sol.solution.voltages[k][0]
+                sol.solution.state_at(k)[0]
             );
         }
         assert_eq!(sol.stats.symbolic_analyses, 1);
@@ -571,9 +571,9 @@ mod tests {
             .unwrap();
             let worst = sol
                 .solution
-                .voltages
-                .iter()
-                .zip(&reference.voltages)
+                .states()
+                .columns()
+                .zip(reference.states().columns())
                 .map(|(a, b)| (a[0] - b[0]).abs())
                 .fold(0.0f64, f64::max);
             assert!(

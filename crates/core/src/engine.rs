@@ -267,6 +267,7 @@ pub struct EngineBuilder {
     mc_seed: u64,
     histogram_bins: usize,
     parallelism: Parallelism,
+    simd: Option<opera_simd::Backend>,
 }
 
 impl EngineBuilder {
@@ -284,6 +285,7 @@ impl EngineBuilder {
             mc_seed: 42,
             histogram_bins: 30,
             parallelism: Parallelism::Max,
+            simd: None,
         }
     }
 
@@ -385,6 +387,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the process-wide SIMD backend for the vectorised hot-loop
+    /// kernels (panel triangular solves, supernodal updates, step assembly,
+    /// Welford folds). The default is [`crate::SimdBackend::Scalar`] unless
+    /// the `OPERA_SIMD` environment variable opted in; every backend is
+    /// bit-identical to scalar, so this is purely a performance knob.
+    /// [`EngineBuilder::build`] rejects backends the running CPU lacks.
+    pub fn simd(mut self, backend: crate::SimdBackend) -> Self {
+        self.simd = Some(backend);
+        self
+    }
+
     /// Performs the one-time setup: stochastic-model construction, Galerkin
     /// assembly of `G̃`/`C̃` and the solver's symbolic+numeric factorisation.
     ///
@@ -410,6 +423,10 @@ impl EngineBuilder {
             });
         }
         self.solver.validate()?;
+        if let Some(backend) = self.simd {
+            opera_simd::set_active(backend)
+                .map_err(|reason| OperaError::InvalidOptions { reason })?;
+        }
 
         let trace_span = opera_trace::span("engine.build");
         let started = Instant::now();

@@ -112,6 +112,7 @@ pub use engine::{
 };
 pub use error::OperaError;
 pub use galerkin::GalerkinSystem;
+pub use opera_simd::Backend as SimdBackend;
 pub use parallel::Parallelism;
 pub use solver::{BlockJacobiCg, DirectCholesky, LeftLookingLu, SolverBackend};
 pub use stochastic::{OperaOptions, StochasticSolution};

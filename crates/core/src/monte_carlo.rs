@@ -150,14 +150,9 @@ impl WelfordGrid {
     fn update(&mut self, sample: &[Vec<f64>]) {
         self.count += 1;
         let c = self.count as f64;
+        let backend = opera_simd::active();
         for (k, row) in sample.iter().enumerate() {
-            let mean_row = &mut self.mean[k];
-            let m2_row = &mut self.m2[k];
-            for (n, &v) in row.iter().enumerate() {
-                let delta = v - mean_row[n];
-                mean_row[n] += delta / c;
-                m2_row[n] += delta * (v - mean_row[n]);
-            }
+            opera_simd::welford_update(&mut self.mean[k], &mut self.m2[k], row, c, backend);
         }
     }
 

@@ -145,7 +145,7 @@ pub fn drop_summary(
     if let Some(nom) = nominal {
         assert_eq!(nom.times.len(), solution.times().len(), "time axes differ");
         assert_eq!(
-            nom.voltages[0].len(),
+            nom.node_count(),
             solution.node_count(),
             "node counts differ"
         );
@@ -161,7 +161,7 @@ pub fn drop_summary(
         let (k, _) = solution.worst_mean_drop_of_node(vdd, node);
         let mu = vdd - solution.mean_at(k, node);
         let mu0 = match nominal {
-            Some(nom) => vdd - nom.voltages[k][node],
+            Some(nom) => vdd - nom.state_at(k)[node],
             None => mu,
         };
         if mu0 < threshold {

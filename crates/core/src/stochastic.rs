@@ -501,7 +501,7 @@ mod tests {
         for k in 0..opera.times().len() {
             for n in 0..grid.node_count() {
                 assert!(
-                    (opera.mean_at(k, n) - det.voltages[k][n]).abs() < 1e-9,
+                    (opera.mean_at(k, n) - det.state_at(k)[n]).abs() < 1e-9,
                     "mean differs at time {k}, node {n}"
                 );
                 assert!(opera.std_dev_at(k, n) < 1e-9);
@@ -538,7 +538,7 @@ mod tests {
         )
         .unwrap();
         let (node, k, _) = sol.worst_mean_drop(grid.vdd());
-        let diff = (sol.mean_at(k, node) - det.voltages[k][node]).abs();
+        let diff = (sol.mean_at(k, node) - det.state_at(k)[node]).abs();
         assert!(
             diff / grid.vdd() < 0.01,
             "mean shift {diff} is larger than 1 % of VDD"

@@ -145,16 +145,46 @@ impl TransientOptions {
 }
 
 /// Result of a deterministic transient analysis.
+///
+/// The per-time states live in **one** contiguous column-major [`Panel`]
+/// (column `k` is the state at `times[k]`), so extracting a node history is
+/// a strided sweep over a single allocation instead of a pointer chase
+/// through per-time-point vectors.
 #[derive(Debug, Clone)]
 pub struct TransientSolution {
     /// Time points, starting at `t = 0`.
     pub times: Vec<f64>,
-    /// Node voltages: `voltages[k][n]` is the voltage of node `n` at
-    /// `times[k]`.
-    pub voltages: Vec<Vec<f64>>,
+    /// Node states: column `k` holds the voltage vector at `times[k]`.
+    states: Panel,
 }
 
 impl TransientSolution {
+    /// Builds a solution from its time grid and state panel (column `k` of
+    /// `states` is the state at `times[k]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel column count disagrees with the time grid.
+    pub fn new(times: Vec<f64>, states: Panel) -> Self {
+        assert_eq!(
+            times.len(),
+            states.ncols(),
+            "one state column per time point"
+        );
+        TransientSolution { times, states }
+    }
+
+    /// Builds a solution from per-time state vectors (row `k` becomes the
+    /// state column at `times[k]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state count disagrees with the time grid or the states
+    /// have differing lengths.
+    pub fn from_states(times: Vec<f64>, states: &[Vec<f64>]) -> Self {
+        Self::new(times, Panel::from_columns(states))
+    }
+
     /// Number of time points.
     pub fn len(&self) -> usize {
         self.times.len()
@@ -165,16 +195,44 @@ impl TransientSolution {
         self.times.is_empty()
     }
 
-    /// Voltage of `node` over time.
+    /// Number of nodes in each state.
+    pub fn node_count(&self) -> usize {
+        self.states.nrows()
+    }
+
+    /// The full state (all node voltages) at time index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn state_at(&self, k: usize) -> &[f64] {
+        self.states.col(k)
+    }
+
+    /// The state panel: column `k` is the state at `times[k]`.
+    pub fn states(&self) -> &Panel {
+        &self.states
+    }
+
+    /// Voltage of `node` over time: one strided gather over the contiguous
+    /// state panel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range (and the solution is non-empty).
     pub fn node_waveform(&self, node: usize) -> Vec<f64> {
-        self.voltages.iter().map(|v| v[node]).collect()
+        let n = self.states.nrows();
+        let data = self.states.data();
+        (0..self.states.ncols())
+            .map(|k| data[k * n + node])
+            .collect()
     }
 
     /// Worst (largest) voltage drop below `vdd` over all nodes and times,
     /// returned as `(drop, node, time_index)`.
     pub fn worst_drop(&self, vdd: f64) -> (f64, usize, usize) {
         let mut worst = (f64::NEG_INFINITY, 0, 0);
-        for (k, v) in self.voltages.iter().enumerate() {
+        for (k, v) in self.states.columns().enumerate() {
             for (n, &vn) in v.iter().enumerate() {
                 let drop = vdd - vn;
                 if drop > worst.0 {
@@ -315,22 +373,19 @@ impl CompanionSystem {
             self.method != IntegrationMethod::TrBdf2,
             "TR-BDF2 needs the mid-stage excitation: step via step_tr_bdf2_into"
         );
+        let backend = opera_simd::active();
         match self.method {
             IntegrationMethod::BackwardEuler => {
                 // (G + C/h) v_{k+1} = u_{k+1} + (C/h) v_k
                 self.c_over_h.matvec_into(v_k, out);
-                for (r, u) in out.iter_mut().zip(u_k1) {
-                    *r += u;
-                }
+                opera_simd::add_assign(out, u_k1, backend);
             }
             // TrBdf2 is rejected by the assert above.
             IntegrationMethod::Trapezoidal | IntegrationMethod::TrBdf2 => {
                 // (G + 2C/h) v_{k+1} = u_k + u_{k+1} + (2C/h − G) v_k
                 self.c_over_h.matvec_into(v_k, out);
                 self.g.matvec_acc(v_k, -1.0, out);
-                for ((r, a), b) in out.iter_mut().zip(u_k).zip(u_k1) {
-                    *r += a + b;
-                }
+                opera_simd::add2_assign(out, u_k, u_k1, backend);
             }
         }
         self.factor.solve_in_place(out, ws);
@@ -364,23 +419,18 @@ impl CompanionSystem {
         assert_eq!(u_mid.len(), out.len(), "u_mid dimension mismatch");
         assert_eq!(u_k1.len(), out.len(), "u_k1 dimension mismatch");
         assert_eq!(stage.len(), out.len(), "stage dimension mismatch");
+        let backend = opera_simd::active();
         // TR stage: (G + 2C/(γh)) v_γ = u_k + u_γ + (2C/(γh) − G) v_k
         self.c_over_h.matvec_into(v_k, stage);
         self.g.matvec_acc(v_k, -1.0, stage);
-        for ((r, a), b) in stage.iter_mut().zip(u_k).zip(u_mid) {
-            *r += a + b;
-        }
+        opera_simd::add2_assign(stage, u_k, u_mid, backend);
         self.factor.solve_in_place(stage, ws);
         // BDF2 stage on the unequally spaced nodes {t, t+γh, t+h}:
         // (G + 2C/(γh)) v_{k+1} = u_{k+1} + (2C/(γh))·(v_γ/(2(1−γ)) − v_k·(1−γ)/2)
         self.c_over_h.matvec_into(stage, out);
-        for r in out.iter_mut() {
-            *r *= TR_BDF2_W_MID;
-        }
+        opera_simd::scale_assign(out, TR_BDF2_W_MID, backend);
         self.c_over_h.matvec_acc(v_k, -TR_BDF2_W_OLD, out);
-        for (r, u) in out.iter_mut().zip(u_k1) {
-            *r += u;
-        }
+        opera_simd::add_assign(out, u_k1, backend);
         self.factor.solve_in_place(out, ws);
     }
 
@@ -413,9 +463,12 @@ impl CompanionSystem {
         assert_eq!(v_k.len(), err.len(), "v_k dimension mismatch");
         assert_eq!(v_mid.len(), err.len(), "v_mid dimension mismatch");
         assert_eq!(v_k1.len(), err.len(), "v_k1 dimension mismatch");
-        for (((e, a), b), d) in err.iter_mut().zip(u_k).zip(u_mid).zip(u_k1) {
-            *e = TR_BDF2_ERR_OLD * a + TR_BDF2_ERR_MID * b + TR_BDF2_ERR_NEW * d;
-        }
+        opera_simd::weighted_sum3(
+            err,
+            [u_k, u_mid, u_k1],
+            [TR_BDF2_ERR_OLD, TR_BDF2_ERR_MID, TR_BDF2_ERR_NEW],
+            opera_simd::active(),
+        );
         self.g.matvec_acc(v_k, -TR_BDF2_ERR_OLD, err);
         self.g.matvec_acc(v_mid, -TR_BDF2_ERR_MID, err);
         self.g.matvec_acc(v_k1, -TR_BDF2_ERR_NEW, err);
@@ -448,22 +501,19 @@ impl CompanionSystem {
             self.method != IntegrationMethod::TrBdf2,
             "TR-BDF2 needs the mid-stage excitation: step via step_tr_bdf2_panel_into"
         );
+        let backend = opera_simd::active();
         for j in 0..out.ncols() {
             let col = out.col_mut(j);
             match self.method {
                 IntegrationMethod::BackwardEuler => {
                     self.c_over_h.matvec_into(v_k.col(j), col);
-                    for (r, u) in col.iter_mut().zip(u_k1.col(j)) {
-                        *r += u;
-                    }
+                    opera_simd::add_assign(col, u_k1.col(j), backend);
                 }
                 // TrBdf2 is rejected by the assert above.
                 IntegrationMethod::Trapezoidal | IntegrationMethod::TrBdf2 => {
                     self.c_over_h.matvec_into(v_k.col(j), col);
                     self.g.matvec_acc(v_k.col(j), -1.0, col);
-                    for ((r, a), b) in col.iter_mut().zip(u_k.col(j)).zip(u_k1.col(j)) {
-                        *r += a + b;
-                    }
+                    opera_simd::add2_assign(col, u_k.col(j), u_k1.col(j), backend);
                 }
             }
         }
@@ -500,25 +550,20 @@ impl CompanionSystem {
         assert_eq!(u_k.nrows(), out.nrows(), "u_k panel row mismatch");
         assert_eq!(u_mid.nrows(), out.nrows(), "u_mid panel row mismatch");
         assert_eq!(u_k1.nrows(), out.nrows(), "u_k1 panel row mismatch");
+        let backend = opera_simd::active();
         for j in 0..out.ncols() {
             let col = stage.col_mut(j);
             self.c_over_h.matvec_into(v_k.col(j), col);
             self.g.matvec_acc(v_k.col(j), -1.0, col);
-            for ((r, a), b) in col.iter_mut().zip(u_k.col(j)).zip(u_mid.col(j)) {
-                *r += a + b;
-            }
+            opera_simd::add2_assign(col, u_k.col(j), u_mid.col(j), backend);
         }
         self.factor.solve_panel(stage, ws);
         for j in 0..out.ncols() {
             let col = out.col_mut(j);
             self.c_over_h.matvec_into(stage.col(j), col);
-            for r in col.iter_mut() {
-                *r *= TR_BDF2_W_MID;
-            }
+            opera_simd::scale_assign(col, TR_BDF2_W_MID, backend);
             self.c_over_h.matvec_acc(v_k.col(j), -TR_BDF2_W_OLD, col);
-            for (r, u) in col.iter_mut().zip(u_k1.col(j)) {
-                *r += u;
-            }
+            opera_simd::add_assign(col, u_k1.col(j), backend);
         }
         self.factor.solve_panel(out, ws);
     }
@@ -752,12 +797,13 @@ pub fn solve_transient(
         .map_err(OperaError::from)?
         .solve(&u0);
     let companion = CompanionSystem::new(g, c, options.time_step, options.method)?;
-    // All output rows are allocated up front; the stepping loop then writes
-    // each new state straight into its output row (double-buffering the state
-    // through `split_at_mut`) with workspace-borrowed solver scratch, so the
-    // steady-state loop performs no per-step solver allocations.
-    let mut voltages = vec![vec![0.0; n]; times.len()];
-    voltages[0] = v0;
+    // The whole output panel is allocated up front; the stepping loop then
+    // writes each new state straight into its output column (double-buffering
+    // the state through `split_at_mut` on the contiguous storage) with
+    // workspace-borrowed solver scratch, so the steady-state loop performs no
+    // per-step solver allocations.
+    let mut states = Panel::zeros(n, times.len());
+    states.col_mut(0).copy_from_slice(&v0);
     let mut ws = SolveWorkspace::with_capacity(n);
     let mut u_prev = u0;
     let two_stage = options.method == IntegrationMethod::TrBdf2;
@@ -771,27 +817,21 @@ pub fn solve_transient(
     for k in 1..times.len() {
         opera_trace::count("transient.steps", 1);
         let u_next = excitation(times[k]);
-        let (done, rest) = voltages.split_at_mut(k);
+        let (done, rest) = states.data_mut().split_at_mut(k * n);
+        let v_prev = &done[(k - 1) * n..];
+        let out = &mut rest[..n];
         if two_stage {
             let t_prev = times[k - 1];
             let u_mid = excitation(t_prev + TR_BDF2_GAMMA * (times[k] - t_prev));
-            companion.step_tr_bdf2_into(
-                &done[k - 1],
-                &u_prev,
-                &u_mid,
-                &u_next,
-                &mut stage,
-                &mut rest[0],
-                &mut ws,
-            );
+            companion.step_tr_bdf2_into(v_prev, &u_prev, &u_mid, &u_next, &mut stage, out, &mut ws);
         } else {
-            companion.step_into(&done[k - 1], &u_prev, &u_next, &mut rest[0], &mut ws);
+            companion.step_into(v_prev, &u_prev, &u_next, out, &mut ws);
         }
         u_prev = u_next;
     }
     // lint: end-hot
     drop(stepping);
-    Ok(TransientSolution { times, voltages })
+    Ok(TransientSolution::new(times, states))
 }
 
 #[cfg(test)]
@@ -823,9 +863,9 @@ mod tests {
         let k = sol.times.len() - 1;
         let expected = 1.0 - (-sol.times[k]).exp();
         assert!(
-            (sol.voltages[k][0] - expected).abs() < 1e-3,
+            (sol.state_at(k)[0] - expected).abs() < 1e-3,
             "got {}, expected {expected}",
-            sol.voltages[k][0]
+            sol.state_at(k)[0]
         );
     }
 
@@ -844,7 +884,7 @@ mod tests {
                 method,
             };
             let sol = solve_transient(&g, &c, u, &opts).unwrap();
-            results.push(sol.voltages.last().unwrap()[0]);
+            results.push(sol.state_at(sol.len() - 1)[0]);
         }
         assert!((results[0] - results[1]).abs() < 2e-3);
     }
@@ -855,9 +895,9 @@ mod tests {
         let u = |_t: f64| vec![0.5];
         let opts = TransientOptions::new(0.1, 1.0);
         let sol = solve_transient(&g, &c, u, &opts).unwrap();
-        assert!((sol.voltages[0][0] - 0.5).abs() < 1e-12);
+        assert!((sol.state_at(0)[0] - 0.5).abs() < 1e-12);
         // Constant excitation keeps the solution at the DC value.
-        assert!((sol.voltages.last().unwrap()[0] - 0.5).abs() < 1e-9);
+        assert!((sol.state_at(sol.len() - 1)[0] - 0.5).abs() < 1e-9);
     }
 
     #[test]
@@ -898,7 +938,7 @@ mod tests {
                 },
             )
             .unwrap();
-            sol.voltages.last().unwrap()[0]
+            sol.state_at(sol.len() - 1)[0]
         };
         let reference = value_at_end(IntegrationMethod::Trapezoidal, 0.001);
         let be_error = (value_at_end(IntegrationMethod::BackwardEuler, 0.05) - reference).abs();
@@ -929,6 +969,34 @@ mod tests {
         let sol = solve_transient(&g, &c, u, &opts).unwrap();
         assert_eq!(sol.node_waveform(0).len(), sol.len());
         assert!(!sol.is_empty());
+        assert_eq!(sol.node_count(), 1);
+    }
+
+    /// The strided panel gather behind `node_waveform` must reproduce the
+    /// naive per-time-point walk bit for bit, for every node of a multi-node
+    /// system.
+    #[test]
+    fn node_waveform_is_bit_identical_to_the_per_step_walk() {
+        let grid = opera_grid::GridSpec::small_test(60).build().unwrap();
+        let opts = TransientOptions::new(0.1e-9, 1.0e-9);
+        let sol = solve_transient(
+            &grid.conductance_matrix(),
+            &grid.capacitance_matrix(),
+            |t| grid.excitation(t),
+            &opts,
+        )
+        .unwrap();
+        for node in 0..sol.node_count() {
+            let waveform = sol.node_waveform(node);
+            assert_eq!(waveform.len(), sol.len());
+            for (k, &v) in waveform.iter().enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    sol.state_at(k)[node].to_bits(),
+                    "node {node} diverged at time index {k}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -977,7 +1045,7 @@ mod tests {
             method: IntegrationMethod::TrBdf2,
         };
         let sol = solve_transient(&g, &c, u, &opts).unwrap();
-        for v in &sol.voltages {
+        for v in sol.states().columns() {
             assert!(
                 (v[0] - 0.5).abs() < 1e-12,
                 "steady state drifted to {}",
@@ -1002,7 +1070,7 @@ mod tests {
                 },
             )
             .unwrap();
-            sol.voltages.last().unwrap()[0]
+            sol.state_at(sol.len() - 1)[0]
         };
         let reference = value_at_end(IntegrationMethod::Trapezoidal, 0.0005);
         let coarse = (value_at_end(IntegrationMethod::TrBdf2, 0.05) - reference).abs();

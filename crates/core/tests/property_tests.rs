@@ -46,7 +46,7 @@ proptest! {
         .unwrap();
         let (node, k, _) = large.worst_mean_drop(grid.vdd());
         prop_assert!(
-            (large.mean_at(k, node) - nominal.voltages[k][node]).abs() / grid.vdd() < 0.02
+            (large.mean_at(k, node) - nominal.state_at(k)[node]).abs() / grid.vdd() < 0.02
         );
         prop_assert!(large.std_dev_at(k, node) >= small.std_dev_at(k, node));
     }

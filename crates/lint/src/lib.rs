@@ -14,7 +14,9 @@
 //! * **L003 doc-symbol rot** — every backticked symbol in the docs
 //!   resolves to a workspace definition,
 //! * **L004 fp-determinism** — no order-nondeterministic float reductions
-//!   in the crates that promise bit-identity.
+//!   in the crates that promise bit-identity,
+//! * **L005 unsafe-justification** — every `unsafe` token carries a
+//!   `// SAFETY:` comment on the same line or immediately above.
 //!
 //! Run it with `cargo run -p opera-lint -- check [--json]`; see
 //! `docs/LINTS.md` for the full rationale, the `// lint: allow(...)` /

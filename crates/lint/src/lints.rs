@@ -1,4 +1,4 @@
-//! The four lint passes and the allow-directive application layer.
+//! The five lint passes and the allow-directive application layer.
 //!
 //! | code | contract it proves |
 //! |------|--------------------|
@@ -6,6 +6,7 @@
 //! | L002 | no allocation (`Vec::new`, `vec![`, `.to_vec()`, `.clone()`, `.collect()`) and no non-counter `opera_trace` call inside `// lint: hot` regions |
 //! | L003 | every backticked symbol in the docs resolves to a workspace definition |
 //! | L004 | no order-nondeterministic float reductions in bit-identity crates |
+//! | L005 | every `unsafe` token in non-test code is justified by a `SAFETY:` comment |
 //!
 //! Each pass emits raw findings; [`run_all`] then applies the per-line
 //! allow directives, reports the allows it used and flags the stale ones.
@@ -18,9 +19,10 @@ use crate::workspace::{inline_code_spans, Workspace};
 
 /// Crates that promise bit-identical floating-point results regardless of
 /// thread count (see `docs/PERFORMANCE.md`); L004 applies only to these.
-const DETERMINISTIC_CRATES: [&str; 7] = [
+const DETERMINISTIC_CRATES: [&str; 8] = [
     "src/",
     "crates/sparse/",
+    "crates/simd/",
     "crates/pce/",
     "crates/core/",
     "crates/collocation/",
@@ -58,6 +60,7 @@ pub fn run_all(ws: &Workspace) -> Report {
         lint_panic_surface(src, &mut findings);
         lint_hot_alloc(src, &mut findings);
         lint_fp_determinism(src, &mut findings);
+        lint_unsafe_justification(src, &mut findings);
     }
     lint_doc_symbols(ws, &mut findings);
 
@@ -243,6 +246,60 @@ fn lint_fp_determinism(src: &SourceFile, findings: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+/// L005: every `unsafe` token in non-test code must carry a `SAFETY:`
+/// justification — on the same line (trailing comment) or in the contiguous
+/// `//` comment block immediately above. Attribute lines (`#[target_feature]`,
+/// `#[cfg(…)]`) between the comment block and the code are skipped, so
+/// feature-gated kernels document in the natural place.
+///
+/// The *detection* runs on masked lines (mentions of `unsafe` in strings,
+/// comments and doc examples are invisible); the *justification* is looked
+/// up in the raw text, because masking blanks out the very comments that
+/// hold it.
+fn lint_unsafe_justification(src: &SourceFile, findings: &mut Vec<Finding>) {
+    let raw_lines: Vec<&str> = src.raw.split('\n').collect();
+    for (idx, line) in src.masked.iter().enumerate() {
+        if src.in_test[idx] || !contains_word(line, "unsafe") {
+            continue;
+        }
+        if unsafe_is_justified(&raw_lines, idx) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: "L005",
+            path: src.path.clone(),
+            line: idx + 1,
+            message: "`unsafe` without a `// SAFETY:` comment on the same line or \
+                      in the comment block above"
+                .to_string(),
+        });
+    }
+}
+
+/// Whether the `unsafe` on 0-based raw line `idx` has a `SAFETY:` comment
+/// in scope: trailing on the line itself, or in the contiguous comment
+/// block above (attribute lines in between are skipped).
+fn unsafe_is_justified(raw_lines: &[&str], idx: usize) -> bool {
+    if raw_lines.get(idx).is_some_and(|l| l.contains("SAFETY:")) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let above = raw_lines.get(i).map(|l| l.trim()).unwrap_or("");
+        if above.starts_with("//") {
+            if above.contains("SAFETY:") {
+                return true;
+            }
+        } else if above.starts_with("#[") || above.starts_with("#![") {
+            // Attributes sit between the justification and the item.
+        } else {
+            return false;
+        }
+    }
+    false
 }
 
 /// L003: every backticked symbol in the docs must resolve somewhere in the
@@ -456,6 +513,52 @@ fn f(xs: &[f64]) -> f64 {
         let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
         let r = run_all(&ws_of("crates/grid/src/lib.rs", src));
         assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn l005_requires_safety_justification_for_unsafe() {
+        let src = "\
+// SAFETY: the slice outlives the derived pointer.
+unsafe fn justified() {}
+
+#[target_feature(enable = \"avx2\")]
+unsafe fn attribute_without_comment() {}
+
+// SAFETY: feature availability is checked by the dispatcher.
+#[target_feature(enable = \"avx2\")]
+unsafe fn justified_through_attribute() {}
+
+fn call_sites() {
+    let _a = unsafe { deref() }; // SAFETY: trailing justification counts.
+    let _b = unsafe { deref() };
+}
+";
+        let r = run_all(&ws_of("crates/x/src/lib.rs", src));
+        let l005: Vec<_> = r.findings.iter().filter(|f| f.lint == "L005").collect();
+        assert_eq!(l005.len(), 2, "findings: {:#?}", r.findings);
+        assert_eq!(l005[0].line, 5);
+        assert_eq!(l005[1].line, 13);
+    }
+
+    #[test]
+    fn l005_ignores_mentions_and_test_code() {
+        let src = "\
+// a comment mentioning unsafe code is invisible
+fn lib() { let s = \"unsafe in a string\"; }
+fn named() { let unsafe_free = 1; let _ = unsafe_free; }
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let _ = unsafe { poke() };
+    }
+}
+";
+        let r = run_all(&ws_of("crates/x/src/lib.rs", src));
+        assert!(
+            r.findings.iter().all(|f| f.lint != "L005"),
+            "findings: {:#?}",
+            r.findings
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
-    /// Lint code (`L001`…`L004`).
+    /// Lint code (`L001`…`L005`).
     pub lint: &'static str,
     /// Root-relative file path.
     pub path: String,

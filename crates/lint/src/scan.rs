@@ -27,7 +27,7 @@
 //! a suppression that does not parse must never silently suppress nothing.
 
 /// Lint codes the directive grammar accepts.
-pub const LINT_CODES: [&str; 4] = ["L001", "L002", "L003", "L004"];
+pub const LINT_CODES: [&str; 5] = ["L001", "L002", "L003", "L004", "L005"];
 
 /// A parsed `// lint: allow(...)` directive.
 #[derive(Debug, Clone, PartialEq)]

@@ -36,8 +36,12 @@ fn seeded_violations_are_found_exactly() {
     // L004: one par_iter→sum reduction + one HashMap use; the BTreeMap
     // alternative must not count.
     assert_eq!(count(&r, "L004"), 2, "findings: {:#?}", r.findings);
+    // L005: the attribute-gated kernel without a comment and the bare
+    // unsafe block; the SAFETY-commented sites (block above, through an
+    // attribute, trailing) and the `#[cfg(test)]` use must not count.
+    assert_eq!(count(&r, "L005"), 2, "findings: {:#?}", r.findings);
 
-    assert_eq!(r.findings.len(), 10);
+    assert_eq!(r.findings.len(), 12);
     assert_eq!(r.allows.len(), 1, "allows: {:#?}", r.allows);
     assert_eq!(r.unused_allows.len(), 1, "unused: {:#?}", r.unused_allows);
     assert!(r.errors.is_empty(), "errors: {:#?}", r.errors);

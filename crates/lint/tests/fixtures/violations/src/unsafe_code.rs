@@ -1,0 +1,27 @@
+//! Seeded L005 violations: every `unsafe` token in non-test code must be
+//! justified by a `SAFETY:` comment on the same line or in the comment
+//! block immediately above (attributes in between are skipped).
+
+// SAFETY: fixture — the justified site must NOT be flagged.
+pub unsafe fn justified_kernel() {}
+
+// SAFETY: fixture — the comment block reaches through the attribute.
+#[target_feature(enable = "avx2")]
+pub unsafe fn justified_through_attribute() {}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn missing_justification() {}
+
+pub fn call_site() {
+    // a comment that does not contain the magic word
+    let _p = unsafe { fixture_deref() };
+    let _q = unsafe { fixture_deref() }; // SAFETY: fixture — trailing form.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_unsafe_freely() {
+        let _ = unsafe { super::fixture_deref() };
+    }
+}

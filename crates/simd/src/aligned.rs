@@ -1,0 +1,190 @@
+//! 64-byte-aligned `f64` storage for the vector kernels.
+//!
+//! [`AlignedVec`] keeps its logical contents starting on a 64-byte boundary
+//! (one cache line, one AVX-512 register) without any unsafe code or custom
+//! allocator: it over-allocates a plain `Vec<f64>` by up to
+//! [`crate::ALIGN`]` / 8` slots and offsets the logical window to the first
+//! aligned element, recomputing the offset whenever the buffer moves.
+
+use crate::ALIGN;
+
+/// Spare `f64` slots needed to guarantee a 64-byte-aligned window inside an
+/// 8-byte-aligned allocation.
+const PAD: usize = ALIGN / std::mem::size_of::<f64>();
+
+/// A contiguous `f64` buffer whose contents start on a 64-byte boundary.
+///
+/// The logical contents are `as_slice()`; `len()` is their length. Empty
+/// buffers make no alignment promise (there is nothing to load).
+///
+/// # Example
+///
+/// ```
+/// use opera_simd::AlignedVec;
+///
+/// let mut v = AlignedVec::zeroed(5);
+/// v.as_mut_slice()[3] = 2.5;
+/// assert_eq!(v.len(), 5);
+/// assert_eq!(v.as_slice(), &[0.0, 0.0, 0.0, 2.5, 0.0]);
+/// assert_eq!(v.as_slice().as_ptr() as usize % 64, 0);
+/// ```
+#[derive(Default)]
+pub struct AlignedVec {
+    /// Backing storage; the logical window is `raw[offset..offset + len]`
+    /// and `raw.len() == offset + len` always holds.
+    raw: Vec<f64>,
+    offset: usize,
+    len: usize,
+}
+
+impl AlignedVec {
+    /// An empty buffer; storage is allocated on first growth.
+    pub fn new() -> Self {
+        AlignedVec::default()
+    }
+
+    /// An aligned buffer of `len` zeros.
+    pub fn zeroed(len: usize) -> Self {
+        let mut v = AlignedVec::new();
+        v.resize(len);
+        v
+    }
+
+    /// Takes ownership of an existing buffer, shifting its contents in
+    /// place (one `memmove` of at most the buffer) so they start on a
+    /// 64-byte boundary.
+    pub fn from_vec(mut raw: Vec<f64>) -> Self {
+        let len = raw.len();
+        raw.reserve_exact(PAD);
+        let offset = Self::offset_of(raw.as_ptr());
+        raw.resize(offset + len, 0.0);
+        raw.copy_within(0..len, offset);
+        AlignedVec { raw, offset, len }
+    }
+
+    /// Consumes the buffer back into a plain `Vec<f64>` of the logical
+    /// contents (shifting them back to the front in place).
+    pub fn into_vec(mut self) -> Vec<f64> {
+        self.raw.copy_within(self.offset..self.offset + self.len, 0);
+        self.raw.truncate(self.len);
+        self.raw
+    }
+
+    /// Logical length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The logical contents.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.raw[self.offset..self.offset + self.len]
+    }
+
+    /// The logical contents, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.raw[self.offset..self.offset + self.len]
+    }
+
+    /// Resizes to `new_len`, zero-filling any growth and preserving the
+    /// existing prefix (like `Vec::resize` with `0.0`). Growth reallocates;
+    /// shrinking keeps the current allocation and alignment.
+    pub fn resize(&mut self, new_len: usize) {
+        if new_len <= self.len {
+            self.raw.truncate(self.offset + new_len);
+            self.len = new_len;
+            return;
+        }
+        let mut next: Vec<f64> = Vec::with_capacity(new_len + PAD);
+        let offset = Self::offset_of(next.as_ptr());
+        next.resize(offset, 0.0);
+        next.extend_from_slice(self.as_slice());
+        next.resize(offset + new_len, 0.0);
+        self.raw = next;
+        self.offset = offset;
+        self.len = new_len;
+    }
+
+    /// Slots to skip from `ptr` to the first 64-byte-aligned element.
+    fn offset_of(ptr: *const f64) -> usize {
+        let addr = ptr as usize;
+        (ALIGN - addr % ALIGN) % ALIGN / std::mem::size_of::<f64>()
+    }
+}
+
+// Clone/PartialEq/Debug are manual: deriving them would compare or copy the
+// physical layout (`raw`, `offset`), which is allocation-dependent, instead
+// of the logical contents.
+
+impl Clone for AlignedVec {
+    fn clone(&self) -> Self {
+        let mut v = AlignedVec::zeroed(self.len);
+        v.as_mut_slice().copy_from_slice(self.as_slice());
+        v
+    }
+}
+
+impl PartialEq for AlignedVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_aligned(v: &AlignedVec) {
+        if !v.is_empty() {
+            assert_eq!(
+                v.as_slice().as_ptr() as usize % ALIGN,
+                0,
+                "contents must start on a {ALIGN}-byte boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn zeroed_resize_and_clone_stay_aligned() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let mut v = AlignedVec::zeroed(len);
+            assert_eq!(v.len(), len);
+            assert_aligned(&v);
+            assert!(v.as_slice().iter().all(|&x| x == 0.0));
+            for (i, x) in v.as_mut_slice().iter_mut().enumerate() {
+                *x = i as f64;
+            }
+            let c = v.clone();
+            assert_aligned(&c);
+            assert_eq!(c, v);
+            v.resize(len + 13);
+            assert_aligned(&v);
+            assert_eq!(&v.as_slice()[..len], c.as_slice());
+            assert!(v.as_slice()[len..].iter().all(|&x| x == 0.0));
+            v.resize(len / 2);
+            assert_eq!(v.len(), len / 2);
+            assert_eq!(v.as_slice(), &c.as_slice()[..len / 2]);
+        }
+    }
+
+    #[test]
+    fn vec_round_trip_preserves_contents_and_aligns() {
+        for len in [0usize, 1, 5, 8, 100] {
+            let data: Vec<f64> = (0..len).map(|i| (i as f64).sqrt()).collect();
+            let v = AlignedVec::from_vec(data.clone());
+            assert_aligned(&v);
+            assert_eq!(v.as_slice(), &data[..]);
+            assert_eq!(v.into_vec(), data);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Scalar reference kernels: the bit-identity baseline every vector backend
+//! must reproduce exactly (zero-ULP budget). These are plain Rust loops with
+//! the same per-element operation order as the original hand-written hot
+//! loops they replaced, so routing a call site through
+//! [`crate::axpy`]-style dispatch with [`crate::Backend::Scalar`] is a
+//! refactor, not a numerical change.
+
+// The kernels below run on the per-step transient path and inside the
+// supernodal factorisation; none of them may allocate.
+// lint: hot(simd-scalar-kernels)
+
+/// `y[i] += c * x[i]` over the common prefix.
+pub fn axpy(y: &mut [f64], x: &[f64], c: f64) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += c * xv;
+    }
+}
+
+/// `y[i] -= c * x[i]` over the common prefix.
+pub fn sub_axpy(y: &mut [f64], x: &[f64], c: f64) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv -= c * xv;
+    }
+}
+
+/// Four axpys off one shared source: `ys[b][i] += cs[b] * x[i]`.
+pub fn axpy4(ys: [&mut [f64]; 4], x: &[f64], cs: [f64; 4]) {
+    let [y0, y1, y2, y3] = ys;
+    let len = x
+        .len()
+        .min(y0.len())
+        .min(y1.len())
+        .min(y2.len())
+        .min(y3.len());
+    for i in 0..len {
+        let xv = x[i];
+        y0[i] += cs[0] * xv;
+        y1[i] += cs[1] * xv;
+        y2[i] += cs[2] * xv;
+        y3[i] += cs[3] * xv;
+    }
+}
+
+/// Rank-4 update with left-to-right summation:
+/// `y[i] -= ((cs[0]*ts[0][i] + cs[1]*ts[1][i]) + cs[2]*ts[2][i]) + cs[3]*ts[3][i]`.
+pub fn rank4_sub(y: &mut [f64], ts: [&[f64]; 4], cs: [f64; 4]) {
+    let [t0, t1, t2, t3] = ts;
+    let len = y
+        .len()
+        .min(t0.len())
+        .min(t1.len())
+        .min(t2.len())
+        .min(t3.len());
+    for i in 0..len {
+        y[i] -= cs[0] * t0[i] + cs[1] * t1[i] + cs[2] * t2[i] + cs[3] * t3[i];
+    }
+}
+
+/// `y[i] /= d`.
+pub fn div_assign(y: &mut [f64], d: f64) {
+    for v in y {
+        *v /= d;
+    }
+}
+
+/// `y[i] *= s`.
+pub fn scale_assign(y: &mut [f64], s: f64) {
+    for v in y {
+        *v *= s;
+    }
+}
+
+/// `y[i] += x[i]` over the common prefix.
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += xv;
+    }
+}
+
+/// `y[i] += a[i] + b[i]` over the common prefix.
+pub fn add2_assign(y: &mut [f64], a: &[f64], b: &[f64]) {
+    for ((yv, &av), &bv) in y.iter_mut().zip(a).zip(b) {
+        *yv += av + bv;
+    }
+}
+
+/// `out[i] = (ws[0]*srcs[0][i] + ws[1]*srcs[1][i]) + ws[2]*srcs[2][i]`.
+pub fn weighted_sum3(out: &mut [f64], srcs: [&[f64]; 3], ws: [f64; 3]) {
+    let [a, b, d] = srcs;
+    for (((o, &av), &bv), &dv) in out.iter_mut().zip(a).zip(b).zip(d) {
+        *o = ws[0] * av + ws[1] * bv + ws[2] * dv;
+    }
+}
+
+/// One Welford fold step over a sample row.
+pub fn welford_update(mean: &mut [f64], m2: &mut [f64], sample: &[f64], count: f64) {
+    for ((m, q), &v) in mean.iter_mut().zip(m2.iter_mut()).zip(sample) {
+        let delta = v - *m;
+        *m += delta / count;
+        *q += delta * (v - *m);
+    }
+}
+
+/// Forward substitution `L·X = B` on a row-major `n × LANES` interleaved
+/// strip (see [`crate::lower_solve_interleaved`]). Diagonal first per CSC
+/// column.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a missing diagonal entry.
+pub fn lower_solve_interleaved(
+    indptr: &[usize],
+    indices: &[usize],
+    data: &[f64],
+    n: usize,
+    x: &mut [f64],
+) {
+    const LANES: usize = crate::LANES;
+    assert_eq!(x.len(), n * LANES, "interleaved strip length mismatch");
+    for j in 0..n {
+        let start = indptr[j];
+        let end = indptr[j + 1];
+        assert!(
+            start < end && indices[start] == j,
+            "missing diagonal entry in lower triangular column {j}"
+        );
+        let d = data[start];
+        let mut xr = [0.0; LANES];
+        for (c, slot) in xr.iter_mut().enumerate() {
+            *slot = x[j * LANES + c] / d;
+            x[j * LANES + c] = *slot;
+        }
+        for e in start + 1..end {
+            let i = indices[e];
+            let v = data[e];
+            let row = &mut x[i * LANES..(i + 1) * LANES];
+            for (rv, &xc) in row.iter_mut().zip(&xr) {
+                *rv -= v * xc;
+            }
+        }
+    }
+}
+
+/// Backward substitution `Lᵀ·X = B` on an interleaved strip (see
+/// [`crate::lower_transpose_solve_interleaved`]).
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a missing diagonal entry.
+pub fn lower_transpose_solve_interleaved(
+    indptr: &[usize],
+    indices: &[usize],
+    data: &[f64],
+    n: usize,
+    x: &mut [f64],
+) {
+    const LANES: usize = crate::LANES;
+    assert_eq!(x.len(), n * LANES, "interleaved strip length mismatch");
+    for j in (0..n).rev() {
+        let start = indptr[j];
+        let end = indptr[j + 1];
+        assert!(
+            start < end && indices[start] == j,
+            "missing diagonal entry in lower triangular column {j}"
+        );
+        let mut acc = [0.0; LANES];
+        for (c, slot) in acc.iter_mut().enumerate() {
+            *slot = x[j * LANES + c];
+        }
+        for e in start + 1..end {
+            let i = indices[e];
+            let v = data[e];
+            let row = &x[i * LANES..(i + 1) * LANES];
+            for (slot, &rv) in acc.iter_mut().zip(row) {
+                *slot -= v * rv;
+            }
+        }
+        let d = data[start];
+        for (c, slot) in acc.iter().enumerate() {
+            x[j * LANES + c] = *slot / d;
+        }
+    }
+}
+
+/// Backward substitution `U·X = B` on an interleaved strip, diagonal last
+/// per CSC column (see [`crate::upper_solve_interleaved`]).
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a missing diagonal entry.
+pub fn upper_solve_interleaved(
+    indptr: &[usize],
+    indices: &[usize],
+    data: &[f64],
+    n: usize,
+    x: &mut [f64],
+) {
+    const LANES: usize = crate::LANES;
+    assert_eq!(x.len(), n * LANES, "interleaved strip length mismatch");
+    for j in (0..n).rev() {
+        let start = indptr[j];
+        let end = indptr[j + 1];
+        assert!(
+            start < end && indices[end - 1] == j,
+            "missing diagonal entry in upper triangular column {j}"
+        );
+        let d = data[end - 1];
+        let mut xr = [0.0; LANES];
+        for (c, slot) in xr.iter_mut().enumerate() {
+            *slot = x[j * LANES + c] / d;
+            x[j * LANES + c] = *slot;
+        }
+        for e in start..end - 1 {
+            let i = indices[e];
+            let v = data[e];
+            let row = &mut x[i * LANES..(i + 1) * LANES];
+            for (rv, &xc) in row.iter_mut().zip(&xr) {
+                *rv -= v * xc;
+            }
+        }
+    }
+}
+
+// lint: end-hot

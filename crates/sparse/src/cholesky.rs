@@ -586,6 +586,23 @@ impl CholeskyFactor {
         let k = b.ncols();
         opera_trace::count("panel.solves", 1);
         opera_trace::count("panel.columns", k as u64);
+        let backend = crate::simd::panel_backend();
+        if backend != opera_simd::Backend::Scalar {
+            // One fused interleave round trip per strip (permutation gather
+            // and scatter folded into pack/unpack, L and Lᵀ solved
+            // back-to-back on the interleaved scratch); bit-identical to the
+            // scalar path below, which moves each panel value six times.
+            crate::simd::cholesky_panel_interleaved(
+                &self.l_indptr,
+                &self.l_indices,
+                &self.l_data,
+                n,
+                self.perm.as_slice(),
+                b.data_mut(),
+                backend,
+            );
+            return;
+        }
         let y = ws.scratch(n * k);
         let perm = self.perm.as_slice();
         for (y_col, b_col) in y.chunks_exact_mut(n).zip(b.columns()) {

@@ -62,6 +62,7 @@ mod factor;
 mod lu;
 mod panel;
 mod permutation;
+mod simd;
 mod supernodal;
 mod triangular;
 mod triplet;

@@ -8,6 +8,11 @@
 //! every in-place solve borrows its buffers from one, so a warmed-up
 //! transient loop performs **zero** heap allocations per step — and the
 //! workspace counts its buffer growths so callers can assert exactly that.
+//!
+//! Both panels and workspace scratch live in 64-byte-aligned storage
+//! (`opera_simd::AlignedVec`): panel columns and scratch buffers start on a
+//! cache-line/AVX-512-register boundary so the runtime-dispatched vector
+//! kernels can stream them with aligned-friendly loads.
 
 /// Contiguous column-major `n × k` storage for multi-RHS solves.
 ///
@@ -31,8 +36,9 @@
 pub struct Panel {
     nrows: usize,
     ncols: usize,
-    /// Column-major values, `data[j * nrows + i]` = entry `(i, j)`.
-    data: Vec<f64>,
+    /// Column-major values, `data[j * nrows + i]` = entry `(i, j)`, in
+    /// 64-byte-aligned storage.
+    data: opera_simd::AlignedVec,
 }
 
 impl Panel {
@@ -41,7 +47,7 @@ impl Panel {
         Panel {
             nrows,
             ncols,
-            data: vec![0.0; nrows * ncols],
+            data: opera_simd::AlignedVec::zeroed(nrows * ncols),
         }
     }
 
@@ -60,7 +66,7 @@ impl Panel {
         Panel {
             nrows,
             ncols: columns.len(),
-            data,
+            data: opera_simd::AlignedVec::from_vec(data),
         }
     }
 
@@ -85,7 +91,7 @@ impl Panel {
     ///
     /// Panics if `j` is out of range.
     pub fn col(&self, j: usize) -> &[f64] {
-        &self.data[j * self.nrows..(j + 1) * self.nrows]
+        &self.data.as_slice()[j * self.nrows..(j + 1) * self.nrows]
     }
 
     /// Column `j` as a mutable slice.
@@ -94,38 +100,44 @@ impl Panel {
     ///
     /// Panics if `j` is out of range.
     pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
-        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+        &mut self.data.as_mut_slice()[j * self.nrows..(j + 1) * self.nrows]
     }
 
     /// All values in column-major order.
     pub fn data(&self) -> &[f64] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// All values in column-major order, mutably.
     pub fn data_mut(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
-    /// Wraps an existing column-major buffer (e.g. a stacked block vector,
-    /// whose blocks are exactly the panel columns) without copying.
+    /// Takes ownership of an existing column-major buffer (e.g. a stacked
+    /// block vector, whose blocks are exactly the panel columns), shifting
+    /// it in place (one `memmove`, no reallocation in the common case) onto
+    /// a 64-byte boundary.
     ///
     /// # Panics
     ///
     /// Panics if `data.len() != nrows * ncols`.
     pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), nrows * ncols, "panel buffer length mismatch");
-        Panel { nrows, ncols, data }
+        Panel {
+            nrows,
+            ncols,
+            data: opera_simd::AlignedVec::from_vec(data),
+        }
     }
 
     /// Consumes the panel into its column-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Iterates over the columns.
     pub fn columns(&self) -> impl Iterator<Item = &[f64]> {
-        self.data.chunks_exact(self.nrows)
+        self.data.as_slice().chunks_exact(self.nrows)
     }
 
     // lint: end-hot
@@ -133,8 +145,9 @@ impl Panel {
     /// Consumes the panel into per-column vectors.
     pub fn into_columns(self) -> Vec<Vec<f64>> {
         let n = self.nrows;
+        let data = self.data.as_slice();
         (0..self.ncols)
-            .map(|j| self.data[j * n..(j + 1) * n].to_vec())
+            .map(|j| data[j * n..(j + 1) * n].to_vec())
             .collect()
     }
 }
@@ -168,7 +181,7 @@ impl Panel {
 /// ```
 #[derive(Debug, Default)]
 pub struct SolveWorkspace {
-    buf: Vec<f64>,
+    buf: opera_simd::AlignedVec,
     allocations: usize,
 }
 
@@ -182,20 +195,21 @@ impl SolveWorkspace {
     /// the first solve allocates nothing.
     pub fn with_capacity(len: usize) -> Self {
         SolveWorkspace {
-            buf: vec![0.0; len],
+            buf: opera_simd::AlignedVec::zeroed(len),
             allocations: 0,
         }
     }
 
-    /// Borrows a scratch buffer of exactly `len` values, growing (and
-    /// counting the growth) only when the current buffer is too small.
+    /// Borrows a 64-byte-aligned scratch buffer of exactly `len` values,
+    /// growing (and counting the growth) only when the current buffer is
+    /// too small.
     pub fn scratch(&mut self, len: usize) -> &mut [f64] {
         if self.buf.len() < len {
-            self.buf.resize(len, 0.0);
+            self.buf.resize(len);
             self.allocations += 1;
             opera_trace::count("workspace.allocations", 1);
         }
-        &mut self.buf[..len]
+        &mut self.buf.as_mut_slice()[..len]
     }
 
     /// How many times the workspace had to grow its buffer. Constant across
@@ -232,6 +246,36 @@ mod tests {
     fn data_is_column_major() {
         let p = Panel::from_columns(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(p.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    /// Every construction path must leave the panel storage on a 64-byte
+    /// boundary so the vector kernels can use aligned loads.
+    #[test]
+    fn panel_storage_is_64_byte_aligned() {
+        for ncols in [1usize, 2, 7, 8, 9] {
+            let p = Panel::zeros(5, ncols);
+            assert_eq!(p.data().as_ptr() as usize % 64, 0, "zeros {ncols}");
+            let cols: Vec<Vec<f64>> = (0..ncols).map(|j| vec![j as f64; 5]).collect();
+            let p = Panel::from_columns(&cols);
+            assert_eq!(p.data().as_ptr() as usize % 64, 0, "from_columns {ncols}");
+            let p = Panel::from_vec(5, ncols, vec![1.5; 5 * ncols]);
+            assert_eq!(p.data().as_ptr() as usize % 64, 0, "from_vec {ncols}");
+            // The round trip back out preserves the logical buffer.
+            assert_eq!(p.clone().into_vec(), vec![1.5; 5 * ncols]);
+            assert_eq!(p.clone(), p);
+        }
+    }
+
+    /// Workspace scratch shares the aligned-storage contract.
+    #[test]
+    fn workspace_scratch_is_64_byte_aligned() {
+        let mut ws = SolveWorkspace::new();
+        for len in [1usize, 9, 33, 100] {
+            assert_eq!(ws.scratch(len).as_ptr() as usize % 64, 0, "len {len}");
+        }
+        let mut sized = SolveWorkspace::with_capacity(24);
+        assert_eq!(sized.scratch(24).as_ptr() as usize % 64, 0);
+        assert_eq!(sized.allocation_count(), 0);
     }
 
     #[test]

@@ -287,6 +287,9 @@ pub(crate) fn factor_supernodal(
     // Per-descendant scratch (relative indices and one accumulation column).
     let mut rel: Vec<usize> = Vec::new();
     let mut acc: Vec<f64> = Vec::new();
+    // Dense inner loops dispatch to the active vector backend (scalar by
+    // default; bit-identical by the no-FMA/independent-lane rules).
+    let backend = crate::simd::panel_backend();
 
     // The numeric phase proper: only the pre-sized scratch above may be
     // resized (amortised O(1), cleared per descendant), never fresh buffers.
@@ -355,24 +358,20 @@ pub(crate) fn factor_supernodal(
                     let src = &lt[i1..dm];
                     match nb {
                         4 => {
-                            let (c0, c1, c2, c3) = (c[0], c[1], c[2], c[3]);
                             let (a0, rest) = acc.split_at_mut(len);
                             let (a1, rest) = rest.split_at_mut(len);
                             let (a2, a3) = rest.split_at_mut(len);
-                            for i in 0..len {
-                                let lv = src[i];
-                                a0[i] += c0 * lv;
-                                a1[i] += c1 * lv;
-                                a2[i] += c2 * lv;
-                                a3[i] += c3 * lv;
-                            }
+                            opera_simd::axpy4(
+                                [a0, a1, a2, a3],
+                                src,
+                                [c[0], c[1], c[2], c[3]],
+                                backend,
+                            );
                         }
                         _ => {
                             for (b, &cb) in c.iter().enumerate() {
                                 let ab = &mut acc[b * len..(b + 1) * len];
-                                for i in 0..len {
-                                    ab[i] += cb * src[i];
-                                }
+                                opera_simd::axpy(ab, src, cb, backend);
                             }
                         }
                     }
@@ -408,25 +407,23 @@ pub(crate) fn factor_supernodal(
             let jcol = &mut right[..m];
             let mut t = 0;
             while t + 4 <= j {
-                let c0 = left[t * m + j];
-                let c1 = left[(t + 1) * m + j];
-                let c2 = left[(t + 2) * m + j];
-                let c3 = left[(t + 3) * m + j];
-                let t0 = &left[t * m..(t + 1) * m];
-                let t1 = &left[(t + 1) * m..(t + 2) * m];
-                let t2 = &left[(t + 2) * m..(t + 3) * m];
-                let t3 = &left[(t + 3) * m..(t + 4) * m];
-                for i in j..m {
-                    jcol[i] -= c0 * t0[i] + c1 * t1[i] + c2 * t2[i] + c3 * t3[i];
-                }
+                let cs = [
+                    left[t * m + j],
+                    left[(t + 1) * m + j],
+                    left[(t + 2) * m + j],
+                    left[(t + 3) * m + j],
+                ];
+                let t0 = &left[t * m + j..(t + 1) * m];
+                let t1 = &left[(t + 1) * m + j..(t + 2) * m];
+                let t2 = &left[(t + 2) * m + j..(t + 3) * m];
+                let t3 = &left[(t + 3) * m + j..(t + 4) * m];
+                opera_simd::rank4_sub(&mut jcol[j..m], [t0, t1, t2, t3], cs, backend);
                 t += 4;
             }
             while t < j {
                 let coef = left[t * m + j];
-                let tcol = &left[t * m..(t + 1) * m];
-                for i in j..m {
-                    jcol[i] -= coef * tcol[i];
-                }
+                let tcol = &left[t * m + j..(t + 1) * m];
+                opera_simd::sub_axpy(&mut jcol[j..m], tcol, coef, backend);
                 t += 1;
             }
             let pivot = jcol[j];
@@ -438,9 +435,7 @@ pub(crate) fn factor_supernodal(
             }
             let sq = pivot.sqrt();
             jcol[j] = sq;
-            for v in &mut jcol[j + 1..m] {
-                *v /= sq;
-            }
+            opera_simd::div_assign(&mut jcol[j + 1..m], sq, backend);
         }
 
         // Copy the finished panel into the factor columns.

@@ -16,6 +16,13 @@
 //! exactly the scalar order, so panel results are bit-identical to solving
 //! the columns one at a time (property-tested in
 //! `tests/property_tests.rs`).
+//!
+//! When a vector backend is active (`OPERA_SIMD` or the engine knob — see
+//! `opera_simd::active`), the panel kernels route each strip through the
+//! interleaved AVX2/AVX-512 path in [`crate::simd`] instead of the scalar
+//! strip macros below. The vector path is bit-identical to the scalar one
+//! (no FMA contraction, lanes along the independent RHS axis), which the
+//! tests here and `tests/property_simd.rs` pin for every available backend.
 
 use crate::{CscMatrix, Panel};
 
@@ -276,6 +283,19 @@ pub(crate) fn lower_panel_raw(
     n: usize,
     panel: &mut [f64],
 ) {
+    let backend = crate::simd::panel_backend();
+    if backend != opera_simd::Backend::Scalar {
+        crate::simd::solve_panel_interleaved(
+            opera_simd::lower_solve_interleaved,
+            indptr,
+            indices,
+            data,
+            n,
+            panel,
+            backend,
+        );
+        return;
+    }
     for_each_strip(panel, n, |cols| {
         dispatch_strip!(cols, lower_strip_kernel, n, indptr, indices, data)
     });
@@ -290,6 +310,19 @@ pub(crate) fn lower_transpose_panel_raw(
     n: usize,
     panel: &mut [f64],
 ) {
+    let backend = crate::simd::panel_backend();
+    if backend != opera_simd::Backend::Scalar {
+        crate::simd::solve_panel_interleaved(
+            opera_simd::lower_transpose_solve_interleaved,
+            indptr,
+            indices,
+            data,
+            n,
+            panel,
+            backend,
+        );
+        return;
+    }
     for_each_strip(panel, n, |cols| {
         dispatch_strip!(cols, lower_transpose_strip_kernel, n, indptr, indices, data)
     });
@@ -304,6 +337,19 @@ pub(crate) fn upper_panel_raw(
     n: usize,
     panel: &mut [f64],
 ) {
+    let backend = crate::simd::panel_backend();
+    if backend != opera_simd::Backend::Scalar {
+        crate::simd::solve_panel_interleaved(
+            opera_simd::upper_solve_interleaved,
+            indptr,
+            indices,
+            data,
+            n,
+            panel,
+            backend,
+        );
+        return;
+    }
     for_each_strip(panel, n, |cols| {
         dispatch_strip!(cols, upper_strip_kernel, n, indptr, indices, data)
     });
@@ -470,6 +516,49 @@ mod tests {
                 let mut b = col.clone();
                 solve_upper_csc(&u, &mut b);
                 assert_eq!(panel.col(c), &b[..], "upper col {c} of {k}");
+            }
+        }
+    }
+
+    /// Every available vector backend must reproduce the scalar strip
+    /// kernels bit-for-bit through the interleaved bridge, including the
+    /// padded (k % 8 != 0) and multi-strip widths.
+    #[test]
+    fn panel_solves_are_bit_identical_under_every_backend() {
+        let l = lower_example();
+        let mut t = TripletMatrix::new(3, 3);
+        for j in 0..3 {
+            let (rows, vals) = l.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                t.push(j, i, v);
+            }
+        }
+        let u = t.to_csc();
+        for backend in opera_simd::available_backends() {
+            for k in [1usize, 3, 7, 8, 9, 17] {
+                let columns: Vec<Vec<f64>> = (0..k)
+                    .map(|c| (0..3).map(|i| ((i + 3 * c) as f64 * 0.9).cos()).collect())
+                    .collect();
+                let mut expected_fwd = Panel::from_columns(&columns);
+                let mut expected_bwd = Panel::from_columns(&columns);
+                let mut expected_up = Panel::from_columns(&columns);
+                opera_simd::set_active(opera_simd::Backend::Scalar).unwrap();
+                solve_lower_csc_panel(&l, &mut expected_fwd);
+                solve_lower_transpose_csc_panel(&l, &mut expected_bwd);
+                solve_upper_csc_panel(&u, &mut expected_up);
+
+                let mut fwd = Panel::from_columns(&columns);
+                let mut bwd = Panel::from_columns(&columns);
+                let mut up = Panel::from_columns(&columns);
+                opera_simd::set_active(backend).unwrap();
+                solve_lower_csc_panel(&l, &mut fwd);
+                solve_lower_transpose_csc_panel(&l, &mut bwd);
+                solve_upper_csc_panel(&u, &mut up);
+                opera_simd::set_active(opera_simd::Backend::Scalar).unwrap();
+
+                assert_eq!(fwd, expected_fwd, "lower backend {backend} k={k}");
+                assert_eq!(bwd, expected_bwd, "transpose backend {backend} k={k}");
+                assert_eq!(up, expected_up, "upper backend {backend} k={k}");
             }
         }
     }

@@ -23,7 +23,7 @@
 use std::time::Instant;
 
 use opera::adaptive::{solve_transient_adaptive, AdaptiveOptions};
-use opera::transient::{solve_transient, IntegrationMethod, TransientOptions};
+use opera::transient::{solve_transient, IntegrationMethod, TransientOptions, TransientSolution};
 use opera_sparse::{CsrMatrix, TripletMatrix};
 
 // --- stiff RC pair (see tests/golden_waveforms.rs for the derivation) ----
@@ -120,10 +120,10 @@ fn pulse_reference(t: f64) -> Vec<f64> {
 
 // --- the table -----------------------------------------------------------
 
-fn max_error(times: &[f64], voltages: &[Vec<f64>], reference: impl Fn(f64) -> Vec<f64>) -> f64 {
+fn max_error(solution: &TransientSolution, reference: impl Fn(f64) -> Vec<f64>) -> f64 {
     let mut worst = 0.0f64;
-    for (k, &t) in times.iter().enumerate() {
-        for (node, &v) in voltages[k].iter().enumerate() {
+    for (k, &t) in solution.times.iter().enumerate() {
+        for (node, &v) in solution.state_at(k).iter().enumerate() {
             worst = worst.max((v - reference(t)[node]).abs());
         }
     }
@@ -166,7 +166,7 @@ fn run_circuit(
         let start = Instant::now();
         let sol = solve_transient(g, c, excitation, &options)?;
         let seconds = start.elapsed().as_secs_f64();
-        let err = max_error(&sol.times, &sol.voltages, reference);
+        let err = max_error(&sol, reference);
         row(
             &format!("fixed {method:?}"),
             (sol.times.len() - 1) as u64,
@@ -187,7 +187,7 @@ fn run_circuit(
         let start = Instant::now();
         let sol = solve_transient_adaptive(g, c, excitation, &options, &adaptive)?;
         let seconds = start.elapsed().as_secs_f64();
-        let err = max_error(&sol.solution.times, &sol.solution.voltages, reference);
+        let err = max_error(&sol.solution, reference);
         assert_eq!(sol.stats.symbolic_analyses, 1);
         row(
             &format!("adaptive TrBdf2 rel={rel_tol:.0e}"),

@@ -22,7 +22,7 @@
 
 use opera::adaptive::{solve_transient_adaptive, AdaptiveOptions};
 use opera::engine::{OperaEngine, Scenario};
-use opera::transient::{solve_transient, IntegrationMethod, TransientOptions};
+use opera::transient::{solve_transient, IntegrationMethod, TransientOptions, TransientSolution};
 use opera_sparse::{CsrMatrix, TripletMatrix};
 
 fn fixture(name: &str) -> String {
@@ -33,10 +33,10 @@ fn fixture(name: &str) -> String {
 }
 
 /// Max |v − reference| over the output grid, all nodes.
-fn max_error(times: &[f64], voltages: &[Vec<f64>], reference: impl Fn(f64) -> Vec<f64>) -> f64 {
+fn max_error(solution: &TransientSolution, reference: impl Fn(f64) -> Vec<f64>) -> f64 {
     let mut worst = 0.0f64;
-    for (k, &t) in times.iter().enumerate() {
-        for (node, &v) in voltages[k].iter().enumerate() {
+    for (k, &t) in solution.times.iter().enumerate() {
+        for (node, &v) in solution.state_at(k).iter().enumerate() {
             worst = worst.max((v - reference(t)[node]).abs());
         }
     }
@@ -85,7 +85,7 @@ fn smooth_rc_charging_meets_per_method_error_budgets() {
             method,
         };
         let sol = solve_transient(&g, &c, smooth_excitation, &options).unwrap();
-        let err = max_error(&sol.times, &sol.voltages, smooth_reference);
+        let err = max_error(&sol, smooth_reference);
         assert!(
             err < budget,
             "{method:?}: max error {err:.3e} exceeds budget {budget:.1e}"
@@ -107,11 +107,7 @@ fn smooth_rc_charging_meets_per_method_error_budgets() {
         &AdaptiveOptions::with_rel_tol(1e-5),
     )
     .unwrap();
-    let err = max_error(
-        &adaptive.solution.times,
-        &adaptive.solution.voltages,
-        smooth_reference,
-    );
+    let err = max_error(&adaptive.solution, smooth_reference);
     assert!(err < 1e-3, "adaptive max error {err:.3e}");
     assert_eq!(adaptive.stats.symbolic_analyses, 1);
 }
@@ -200,7 +196,7 @@ fn stiff_rc_pair_meets_per_method_error_budgets() {
             method,
         };
         let sol = solve_transient(&g, &c, stiff_excitation, &options).unwrap();
-        let err = max_error(&sol.times, &sol.voltages, stiff_reference);
+        let err = max_error(&sol, stiff_reference);
         assert!(
             err < budget,
             "{method:?}: max error {err:.3e} exceeds budget {budget:.1e}"
@@ -222,11 +218,7 @@ fn adaptive_tr_bdf2_beats_fixed_trapezoidal_step_count_on_the_stiff_pair() {
     tolerances.abs_tol = 1e-8;
     let adaptive =
         solve_transient_adaptive(&g, &c, stiff_excitation, &options, &tolerances).unwrap();
-    let err = max_error(
-        &adaptive.solution.times,
-        &adaptive.solution.voltages,
-        stiff_reference,
-    );
+    let err = max_error(&adaptive.solution, stiff_reference);
     // The acceptance bar: meet the fixed-step trapezoidal budget with at
     // least 3× fewer steps, on one symbolic analysis.
     assert!(
@@ -325,7 +317,7 @@ fn pulse_edge_meets_per_method_error_budgets() {
             method,
         };
         let sol = solve_transient(&g, &c, pulse_excitation, &options).unwrap();
-        let err = max_error(&sol.times, &sol.voltages, pulse_reference);
+        let err = max_error(&sol, pulse_reference);
         assert!(
             err < budget,
             "{method:?}: max error {err:.3e} exceeds budget {budget:.1e}"
@@ -346,11 +338,7 @@ fn adaptive_tr_bdf2_beats_fixed_trapezoidal_step_count_on_the_pulse_edge() {
     tolerances.abs_tol = 1e-4;
     let adaptive =
         solve_transient_adaptive(&g, &c, pulse_excitation, &options, &tolerances).unwrap();
-    let err = max_error(
-        &adaptive.solution.times,
-        &adaptive.solution.voltages,
-        pulse_reference,
-    );
+    let err = max_error(&adaptive.solution, pulse_reference);
     assert!(
         err < PULSE_SECOND_ORDER_BUDGET,
         "adaptive max error {err:.3e} exceeds the shared budget"

@@ -130,8 +130,8 @@ proptest! {
         for (k, &t_out) in sol.solution.times.iter().enumerate() {
             if let Some(i) = sol.accepted_times.iter().position(|&t| t == t_out) {
                 prop_assert_eq!(
-                    &sol.solution.voltages[k],
-                    &sol.accepted_states[i],
+                    sol.solution.state_at(k),
+                    sol.accepted_states[i].as_slice(),
                     "output row at t = {} differs from the accepted state",
                     t_out
                 );
@@ -180,7 +180,8 @@ proptest! {
                     .position(|&tr| (tr - t).abs() < 1e-12)
                     .unwrap();
                 for j in 0..n {
-                    worst = worst.max((sol.solution.voltages[k][j] - reference.voltages[r][j]).abs());
+                    worst =
+                        worst.max((sol.solution.state_at(k)[j] - reference.state_at(r)[j]).abs());
                 }
             }
             worst

@@ -64,7 +64,7 @@ fn reference_transient(
         voltages.push(v_next);
         u_prev = u_next;
     }
-    TransientSolution { times, voltages }
+    TransientSolution::from_states(times, &voltages)
 }
 
 proptest! {
@@ -92,7 +92,12 @@ proptest! {
             let fast = solve_transient(&g, &c, excitation, &options).unwrap();
             let reference = reference_transient(&g, &c, excitation, &options);
             prop_assert_eq!(&fast.times, &reference.times);
-            for (k, (a, b)) in fast.voltages.iter().zip(&reference.voltages).enumerate() {
+            for (k, (a, b)) in fast
+                .states()
+                .columns()
+                .zip(reference.states().columns())
+                .enumerate()
+            {
                 prop_assert_eq!(a, b, "state differs at step {} under {:?}", k, method);
             }
         }

@@ -20,14 +20,15 @@ use opera_grid::GridSpec;
 use opera_sparse::{CsrMatrix, TripletMatrix};
 
 /// FNV-1a over the IEEE-754 bit patterns of a trajectory, order-sensitive.
-fn fnv1a_bits(rows: &[Vec<f64>]) -> u64 {
+/// The state panel is column-major with one column per time point, so
+/// hashing its contiguous data visits exactly the pre-refactor
+/// row-of-vectors order (time-major, node-minor).
+fn fnv1a_bits(states: &opera_sparse::Panel) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for row in rows {
-        for &v in row {
-            for byte in v.to_bits().to_le_bytes() {
-                hash ^= u64::from(byte);
-                hash = hash.wrapping_mul(0x1000_0000_01b3);
-            }
+    for &v in states.data() {
+        for byte in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
         }
     }
     hash
@@ -74,7 +75,7 @@ fn fixed_step_trajectories_are_bit_identical_to_the_pre_refactor_pins() {
             method,
         };
         let sol = solve_transient(&g, &c, pinned_excitation, &options).unwrap();
-        let hash = fnv1a_bits(&sol.voltages);
+        let hash = fnv1a_bits(sol.states());
         assert_eq!(
             hash, expected,
             "{method:?}: fixed-step trajectory hash changed (got {hash:#018x})"
